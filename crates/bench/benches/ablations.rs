@@ -1,0 +1,158 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out. Each
+//! ablation compares a full Shahin run against the same run with one
+//! optimization disabled, on a small Census-Income batch with a cost-free
+//! classifier (so the timings measure algorithmic work; the invocation
+//! savings themselves are asserted in the test suite and reported by the
+//! figure binaries).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{run, ExplainerKind, Greedy, Method, StreamingConfig};
+use shahin_explain::{
+    AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer, LimeParams, ShapParams,
+};
+use shahin_model::{CountingClassifier, ForestParams, RandomForest};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+struct Setup {
+    ctx: ExplainContext,
+    clf: CountingClassifier<RandomForest>,
+    batch: Dataset,
+}
+
+fn setup() -> Setup {
+    let (data, labels) = DatasetPreset::CensusIncome.spec(0.05).generate(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let clf = CountingClassifier::new(RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    ));
+    let ctx = ExplainContext::fit(&split.train, 500, &mut rng);
+    let rows: Vec<usize> = (0..120.min(split.test.n_rows())).collect();
+    Setup {
+        ctx,
+        clf,
+        batch: split.test.select(&rows),
+    }
+}
+
+fn lime_kind() -> ExplainerKind {
+    ExplainerKind::Lime(LimeExplainer::new(LimeParams {
+        n_samples: 150,
+        ..Default::default()
+    }))
+}
+
+/// Ablation 1: FIM-planned materialization (Shahin) vs unplanned LRU reuse
+/// (Greedy) vs none (Sequential).
+fn ablation_fim(c: &mut Criterion) {
+    let s = setup();
+    let kind = lime_kind();
+    let mut g = c.benchmark_group("ablation/fim_materialization");
+    g.bench_function("shahin_batch", |b| {
+        b.iter(|| run(&Method::Batch(Default::default()), &kind, &s.ctx, &s.clf, &s.batch, 3))
+    });
+    g.bench_function("greedy_lru", |b| {
+        b.iter(|| {
+            run(
+                &Method::Greedy(Greedy::default_budget(&s.batch)),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &s.batch,
+                3,
+            )
+        })
+    });
+    g.bench_function("sequential", |b| {
+        b.iter(|| run(&Method::Sequential, &kind, &s.ctx, &s.clf, &s.batch, 3))
+    });
+    g.finish();
+}
+
+/// Ablation 2: Anchor invariant caches — full Shahin (precision cache +
+/// bootstrap + coverage memo) vs the exact-rule-count-only Greedy sampler
+/// vs none.
+fn ablation_anchor_caches(c: &mut Criterion) {
+    let s = setup();
+    let kind = ExplainerKind::Anchor(AnchorExplainer::default());
+    let small: Vec<usize> = (0..40).collect();
+    let batch = s.batch.select(&small);
+    let mut g = c.benchmark_group("ablation/anchor_caches");
+    g.bench_function("shahin_full", |b| {
+        b.iter(|| run(&Method::Batch(Default::default()), &kind, &s.ctx, &s.clf, &batch, 5))
+    });
+    g.bench_function("counts_only", |b| {
+        b.iter(|| run(&Method::Greedy(usize::MAX), &kind, &s.ctx, &s.clf, &batch, 5))
+    });
+    g.bench_function("no_cache", |b| {
+        b.iter(|| run(&Method::Sequential, &kind, &s.ctx, &s.clf, &batch, 5))
+    });
+    g.finish();
+}
+
+/// Ablation 3: SHAP kernel-proportional coalition-size sampling (Eq. 1)
+/// vs uniform sizes with kernel regression weights.
+fn ablation_shap_kernel(c: &mut Criterion) {
+    let s = setup();
+    let small: Vec<usize> = (0..60).collect();
+    let batch = s.batch.select(&small);
+    let kernel = ExplainerKind::Shap(KernelShapExplainer::new(ShapParams {
+        n_samples: 96,
+        uniform_sizes: false,
+    }));
+    let uniform = ExplainerKind::Shap(KernelShapExplainer::new(ShapParams {
+        n_samples: 96,
+        uniform_sizes: true,
+    }));
+    let mut g = c.benchmark_group("ablation/shap_size_sampling");
+    g.bench_function("kernel_proportional", |b| {
+        b.iter(|| run(&Method::Batch(Default::default()), &kernel, &s.ctx, &s.clf, &batch, 7))
+    });
+    g.bench_function("uniform_sizes", |b| {
+        b.iter(|| run(&Method::Batch(Default::default()), &uniform, &s.ctx, &s.clf, &batch, 7))
+    });
+    g.finish();
+}
+
+/// Ablation 4: streaming negative-border maintenance on/off.
+fn ablation_negative_border(c: &mut Criterion) {
+    let s = setup();
+    let kind = lime_kind();
+    let on = StreamingConfig {
+        refresh_every: 30,
+        track_negative_border: true,
+        ..Default::default()
+    };
+    let off = StreamingConfig {
+        refresh_every: 30,
+        track_negative_border: false,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("ablation/negative_border");
+    g.bench_function("tracked", |b| {
+        b.iter(|| run(&Method::Streaming(on.clone()), &kind, &s.ctx, &s.clf, &s.batch, 9))
+    });
+    g.bench_function("untracked", |b| {
+        b.iter(|| run(&Method::Streaming(off.clone()), &kind, &s.ctx, &s.clf, &s.batch, 9))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    targets = ablation_fim, ablation_anchor_caches, ablation_shap_kernel,
+              ablation_negative_border
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks for Shahin's hot kernels: mining, index
+//! lookup, perturbation generation, store retrieval, and the surrogate
+//! solvers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shahin::PerturbationStore;
+use shahin_explain::{perturb_codes, ExplainContext};
+use shahin_fim::{apriori, AprioriParams, Itemset, ItemsetIndex};
+use shahin_linalg::{constrained_wls, ridge, Matrix};
+use shahin_model::{Classifier, ForestParams, MajorityClass, RandomForest};
+use shahin_tabular::{DatasetPreset, DiscreteTable};
+
+fn synth_table(n_rows: usize, n_attrs: usize, seed: u64) -> DiscreteTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DiscreteTable::new(
+        (0..n_attrs)
+            .map(|_| {
+                (0..n_rows)
+                    .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..8u32) })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let table = synth_table(1000, 30, 0);
+    let params = AprioriParams {
+        min_support: 0.2,
+        max_len: 3,
+        max_itemsets: 200,
+    };
+    c.bench_function("fim/apriori_1000x30", |b| b.iter(|| apriori(&table, &params)));
+}
+
+fn bench_index(c: &mut Criterion) {
+    let table = synth_table(1000, 30, 1);
+    let mined = apriori(
+        &table,
+        &AprioriParams {
+            min_support: 0.2,
+            max_len: 3,
+            max_itemsets: 200,
+        },
+    );
+    let sets: Vec<Itemset> = mined.frequent.into_iter().map(|(s, _)| s).collect();
+    let index = ItemsetIndex::new(&sets);
+    let row = table.row(0);
+    let mut scratch = Vec::new();
+    c.bench_function("fim/index_contained_in", |b| {
+        b.iter(|| index.contained_in_with(&row, &mut scratch))
+    });
+}
+
+fn bench_perturbation(c: &mut Criterion) {
+    let (data, _) = DatasetPreset::CensusIncome.spec(0.05).generate(2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let ctx = ExplainContext::fit(&data, 500, &mut rng);
+    let empty = Itemset::new(vec![]);
+    c.bench_function("perturb/codes_42attrs", |b| {
+        b.iter(|| perturb_codes(&ctx, &empty, &mut rng))
+    });
+    let codes = perturb_codes(&ctx, &empty, &mut rng);
+    c.bench_function("perturb/undiscretize_instance", |b| {
+        b.iter(|| ctx.discretizer().undiscretize_instance(&codes, &mut rng))
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let (data, _) = DatasetPreset::CensusIncome.spec(0.05).generate(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let ctx = ExplainContext::fit(&data, 500, &mut rng);
+    let table = ctx.discretizer().encode_dataset(&data);
+    let mined = apriori(
+        &table,
+        &AprioriParams {
+            min_support: 0.15,
+            max_len: 3,
+            max_itemsets: 200,
+        },
+    );
+    let sets: Vec<Itemset> = mined.frequent.into_iter().map(|(s, _)| s).collect();
+    let clf = MajorityClass::fit(&[1, 0]);
+    let mut store = PerturbationStore::new(sets, usize::MAX);
+    store.materialize(&ctx, &clf, 20, &mut rng);
+    let row = table.row(0);
+    let mut scratch = Vec::new();
+    c.bench_function("store/matching", |b| {
+        b.iter(|| store.matching(&row, &mut scratch))
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (n, m) = (300, 42);
+    let x = Matrix::from_rows(
+        n,
+        m,
+        (0..n * m).map(|_| f64::from(rng.gen_bool(0.5))).collect(),
+    );
+    let y: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+    c.bench_function("solve/ridge_300x42", |b| b.iter(|| ridge(&x, &y, &w, 1.0)));
+    c.bench_function("solve/constrained_wls_300x42", |b| {
+        b.iter(|| constrained_wls(&x, &y, &w, 0.4, 0.9))
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (data, labels) = DatasetPreset::CensusIncome.spec(0.05).generate(7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let forest = RandomForest::fit(&data, &labels, &ForestParams::default(), &mut rng);
+    let inst = data.instance(0);
+    c.bench_function("model/rf_predict", |b| b.iter(|| forest.predict_proba(&inst)));
+    c.bench_function("model/rf_train_25trees", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(9),
+            |mut r| RandomForest::fit(&data, &labels, &ForestParams::default(), &mut r),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_apriori, bench_index, bench_perturbation, bench_store,
+              bench_solvers, bench_forest
+}
+criterion_main!(benches);

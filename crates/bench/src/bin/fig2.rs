@@ -1,0 +1,73 @@
+//! Figure 2: speedup of Shahin vs the Dist-1/4/8 and GREEDY baselines on
+//! Census-Income, per explainer, as the batch size grows.
+//!
+//! Speedup ratio = sequential time / method time (and the same on
+//! classifier invocations, the machine-independent variant).
+
+use shahin::metrics::{speedup_invocations, speedup_wall};
+use shahin::{run, ExplainerKind, Greedy, Method};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch_sizes: Vec<usize> = [10, 100, 1000, 2000].iter().map(|&n| scaled(n)).collect();
+    let w = workload(DatasetPreset::CensusIncome, 1.0, seed);
+
+    println!("# Figure 2: Speedup of Shahin vs baselines (Census-Income)");
+    println!(
+        "{}",
+        row(&[
+            "explainer".into(),
+            "batch".into(),
+            "method".into(),
+            "speedup(wall)".into(),
+            "speedup(invocations)".into(),
+        ])
+    );
+
+    for kind in [
+        ExplainerKind::Lime(bench_lime()),
+        ExplainerKind::Anchor(bench_anchor()),
+        ExplainerKind::Shap(bench_shap()),
+    ] {
+        for &n in &batch_sizes {
+            let batch = w.batch(n);
+            if batch.n_rows() < n {
+                eprintln!("  (batch {n} truncated to {})", batch.n_rows());
+            }
+            let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
+            let methods: Vec<Method> = vec![
+                Method::Dist(4),
+                Method::Dist(8),
+                Method::Greedy(Greedy::default_budget(&batch)),
+                Method::Batch(Default::default()),
+                Method::Streaming(Default::default()),
+            ];
+            report(&kind, n, "Dist-1", &seq, &seq);
+            for method in methods {
+                let r = run(&method, &kind, &w.ctx, &w.clf, &batch, seed);
+                report(&kind, n, &method.name(), &seq, &r);
+            }
+        }
+    }
+}
+
+fn report(
+    kind: &ExplainerKind,
+    batch: usize,
+    method: &str,
+    seq: &shahin::RunReport,
+    r: &shahin::RunReport,
+) {
+    println!(
+        "{}",
+        row(&[
+            kind.name().into(),
+            batch.to_string(),
+            method.into(),
+            f2(speedup_wall(&seq.metrics, &r.metrics)),
+            f2(speedup_invocations(&seq.metrics, &r.metrics)),
+        ])
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 3: speedup ratio of Shahin-Batch over the sequential baseline
+//! for LIME, Anchor, and SHAP across all five datasets, as the batch size
+//! grows.
+
+use shahin::metrics::{speedup_invocations, speedup_wall};
+use shahin::{run, ExplainerKind, Method};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch_sizes: Vec<usize> = [10, 100, 1000, 2000].iter().map(|&n| scaled(n)).collect();
+
+    println!("# Figure 3: Speedup Ratio of Shahin-Batch across datasets");
+    println!(
+        "{}",
+        row(&[
+            "dataset".into(),
+            "explainer".into(),
+            "batch".into(),
+            "speedup(wall)".into(),
+            "speedup(invocations)".into(),
+        ])
+    );
+
+    for preset in DatasetPreset::all() {
+        let w = workload(preset, 1.0, seed);
+        for kind in [
+            ExplainerKind::Lime(bench_lime()),
+            ExplainerKind::Anchor(bench_anchor()),
+            ExplainerKind::Shap(bench_shap()),
+        ] {
+            for &n in &batch_sizes {
+                let batch = w.batch(n);
+                let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
+                let sh = run(
+                    &Method::Batch(Default::default()),
+                    &kind,
+                    &w.ctx,
+                    &w.clf,
+                    &batch,
+                    seed,
+                );
+                println!(
+                    "{}",
+                    row(&[
+                        w.name.into(),
+                        kind.name().into(),
+                        batch.n_rows().to_string(),
+                        f2(speedup_wall(&seq.metrics, &sh.metrics)),
+                        f2(speedup_invocations(&seq.metrics, &sh.metrics)),
+                    ])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 4: speedup ratio of Shahin-Streaming over the sequential
+//! baseline for LIME, Anchor, and SHAP across all five datasets, as the
+//! stream length grows. The paper's observations to check: streaming
+//! starts slower (~25% of batch-mode speedup) and closes the gap (>60%)
+//! for longer streams.
+
+use shahin::metrics::{speedup_invocations, speedup_wall};
+use shahin::{run, ExplainerKind, Method};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch_sizes: Vec<usize> = [10, 100, 1000, 2000].iter().map(|&n| scaled(n)).collect();
+
+    println!("# Figure 4: Speedup Ratio of Shahin-Streaming across datasets");
+    println!(
+        "{}",
+        row(&[
+            "dataset".into(),
+            "explainer".into(),
+            "batch".into(),
+            "speedup(wall)".into(),
+            "speedup(invocations)".into(),
+            "vs-batch-mode".into(),
+        ])
+    );
+
+    for preset in DatasetPreset::all() {
+        let w = workload(preset, 1.0, seed);
+        for kind in [
+            ExplainerKind::Lime(bench_lime()),
+            ExplainerKind::Anchor(bench_anchor()),
+            ExplainerKind::Shap(bench_shap()),
+        ] {
+            for &n in &batch_sizes {
+                let batch = w.batch(n);
+                let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
+                let bt = run(
+                    &Method::Batch(Default::default()),
+                    &kind,
+                    &w.ctx,
+                    &w.clf,
+                    &batch,
+                    seed,
+                );
+                let st = run(
+                    &Method::Streaming(Default::default()),
+                    &kind,
+                    &w.ctx,
+                    &w.clf,
+                    &batch,
+                    seed,
+                );
+                let s_inv = speedup_invocations(&seq.metrics, &st.metrics);
+                let b_inv = speedup_invocations(&seq.metrics, &bt.metrics);
+                println!(
+                    "{}",
+                    row(&[
+                        w.name.into(),
+                        kind.name().into(),
+                        batch.n_rows().to_string(),
+                        f2(speedup_wall(&seq.metrics, &st.metrics)),
+                        f2(s_inv),
+                        format!("{:.0}%", 100.0 * s_inv / b_inv.max(1e-9)),
+                    ])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 5: Shahin's bookkeeping overhead (frequent itemset mining +
+//! perturbation retrieval) as a percentage of total runtime, for the LIME
+//! explainer on Census-Income. The paper reports ~3% at batch 10K and ~2%
+//! at 50K.
+
+use shahin::{run, ExplainerKind, Method};
+use shahin_bench::{base_seed, bench_lime, row, scaled, secs, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch_sizes: Vec<usize> = [100, 500, 1000, 2000, 5000]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
+    let w = workload(DatasetPreset::CensusIncome, 1.0, seed);
+    let kind = ExplainerKind::Lime(bench_lime());
+
+    println!("# Figure 5: Overhead of Shahin (LIME, Census-Income)");
+    println!(
+        "{}",
+        row(&[
+            "batch".into(),
+            "overhead %".into(),
+            "fim".into(),
+            "retrieval".into(),
+            "materialization".into(),
+            "total wall".into(),
+        ])
+    );
+
+    for &n in &batch_sizes {
+        let batch = w.batch(n);
+        let r = run(
+            &Method::Batch(Default::default()),
+            &kind,
+            &w.ctx,
+            &w.clf,
+            &batch,
+            seed,
+        );
+        println!(
+            "{}",
+            row(&[
+                batch.n_rows().to_string(),
+                format!("{:.2}%", 100.0 * r.metrics.overhead_fraction()),
+                secs(r.metrics.overhead.fim.as_secs_f64()),
+                secs(r.metrics.overhead.retrieval.as_secs_f64()),
+                secs(r.metrics.overhead.materialization.as_secs_f64()),
+                secs(r.metrics.wall.as_secs_f64()),
+            ])
+        );
+    }
+}

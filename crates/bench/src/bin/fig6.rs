@@ -1,0 +1,53 @@
+//! Figure 6: impact of the number of perturbations materialized per
+//! frequent itemset (τ) on Shahin-Batch's speedup, for all three
+//! explainers on Census-Income. The paper: even τ = 10 gives ~5× for LIME;
+//! beyond τ = 100 there is no additional benefit.
+
+use shahin::metrics::{speedup_invocations, speedup_wall};
+use shahin::{run, BatchConfig, ExplainerKind, Method};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch = scaled(1000);
+    let taus = [1usize, 10, 100, 1000];
+    let w = workload(DatasetPreset::CensusIncome, 1.0, seed);
+    let batch = w.batch(batch);
+
+    println!("# Figure 6: Impact of #Perturbations per itemset (τ), Census-Income");
+    println!(
+        "{}",
+        row(&[
+            "explainer".into(),
+            "tau".into(),
+            "speedup(wall)".into(),
+            "speedup(invocations)".into(),
+        ])
+    );
+
+    for kind in [
+        ExplainerKind::Lime(bench_lime()),
+        ExplainerKind::Anchor(bench_anchor()),
+        ExplainerKind::Shap(bench_shap()),
+    ] {
+        let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
+        for &tau in &taus {
+            let cfg = BatchConfig {
+                tau,
+                auto_tau: false,
+                ..Default::default()
+            };
+            let r = run(&Method::Batch(cfg), &kind, &w.ctx, &w.clf, &batch, seed);
+            println!(
+                "{}",
+                row(&[
+                    kind.name().into(),
+                    tau.to_string(),
+                    f2(speedup_wall(&seq.metrics, &r.metrics)),
+                    f2(speedup_invocations(&seq.metrics, &r.metrics)),
+                ])
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 7: impact of the perturbation-cache size on Shahin-Batch's
+//! speedup, for all three explainers on Census-Income.
+//!
+//! The paper sweeps 16 MB → 1024 MB with performance peaking around
+//! 128 MB; our store is proportionally smaller (reduced τ and sample
+//! counts), so the sweep covers 16 KB → 4 MB — the *shape* to reproduce is
+//! the saturation: small caches hurt, and beyond a threshold extra space
+//! buys nothing.
+
+use shahin::metrics::{speedup_invocations, speedup_wall};
+use shahin::{run, BatchConfig, ExplainerKind, Method};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, workload};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let seed = base_seed();
+    let batch = scaled(1000);
+    let budgets: [(usize, &str); 5] = [
+        (16 << 10, "16KB"),
+        (64 << 10, "64KB"),
+        (256 << 10, "256KB"),
+        (1 << 20, "1MB"),
+        (4 << 20, "4MB"),
+    ];
+    let w = workload(DatasetPreset::CensusIncome, 1.0, seed);
+    let batch = w.batch(batch);
+
+    println!("# Figure 7: Impact of Cache Size, Census-Income");
+    println!(
+        "{}",
+        row(&[
+            "explainer".into(),
+            "cache".into(),
+            "speedup(wall)".into(),
+            "speedup(invocations)".into(),
+            "store peak bytes".into(),
+        ])
+    );
+
+    for kind in [
+        ExplainerKind::Lime(bench_lime()),
+        ExplainerKind::Anchor(bench_anchor()),
+        ExplainerKind::Shap(bench_shap()),
+    ] {
+        let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
+        for &(budget, label) in &budgets {
+            let cfg = BatchConfig {
+                cache_budget_bytes: budget,
+                ..Default::default()
+            };
+            let r = run(&Method::Batch(cfg), &kind, &w.ctx, &w.clf, &batch, seed);
+            println!(
+                "{}",
+                row(&[
+                    kind.name().into(),
+                    label.into(),
+                    f2(speedup_wall(&seq.metrics, &r.metrics)),
+                    f2(speedup_invocations(&seq.metrics, &r.metrics)),
+                    r.metrics.store_bytes.to_string(),
+                ])
+            );
+        }
+    }
+}

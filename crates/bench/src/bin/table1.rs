@@ -1,0 +1,91 @@
+//! Table 1: dataset characteristics and average per-tuple explanation time
+//! (batch of 1000) for the sequential baseline, Shahin-Batch, and
+//! Shahin-Streaming across LIME, Anchor, and SHAP.
+
+use shahin::{run, ExplainerKind, Method};
+use shahin_bench::{
+    base_seed, bench_anchor, bench_lime, bench_shap, f2, row, scaled, secs, workload,
+};
+use shahin_tabular::DatasetPreset;
+
+fn main() {
+    let batch_size = scaled(1000);
+    let seed = base_seed();
+    println!("# Table 1: Dataset Characteristics and Performance of Shahin");
+    println!(
+        "# batch = {batch_size}; cells are per-tuple seconds: sequential, \
+         Shahin-Batch, Shahin-Streaming (and the same for invocations/tuple)"
+    );
+    println!(
+        "{}",
+        row(&[
+            "Dataset".into(),
+            "#Tuples".into(),
+            "#CatA".into(),
+            "#NumA".into(),
+            "#MaxDC".into(),
+            "LIME (s)".into(),
+            "Anchor (s)".into(),
+            "SHAP (s)".into(),
+            "LIME (inv)".into(),
+            "Anchor (inv)".into(),
+            "SHAP (inv)".into(),
+        ])
+    );
+
+    for preset in DatasetPreset::all() {
+        let w = workload(preset, 1.0, seed);
+        let batch = w.batch(batch_size);
+        let spec = preset.spec(1.0);
+        let schema = spec.schema();
+        let n_cat = schema.categorical_indices().len();
+        let n_num = schema.len() - n_cat;
+
+        let mut time_cells = Vec::new();
+        let mut inv_cells = Vec::new();
+        for kind in [
+            ExplainerKind::Lime(bench_lime()),
+            ExplainerKind::Anchor(bench_anchor()),
+            ExplainerKind::Shap(bench_shap()),
+        ] {
+            let mut times = Vec::new();
+            let mut invs = Vec::new();
+            for method in [
+                Method::Sequential,
+                Method::Batch(Default::default()),
+                Method::Streaming(Default::default()),
+            ] {
+                let r = run(&method, &kind, &w.ctx, &w.clf, &batch, seed);
+                times.push(format!("{:.3}", r.metrics.per_tuple_secs()));
+                invs.push(format!("{:.0}", r.metrics.invocations_per_tuple()));
+                eprintln!(
+                    "  [{}] {} {}: {} / tuple, {} inv/tuple",
+                    w.name,
+                    kind.name(),
+                    method.name(),
+                    secs(r.metrics.per_tuple_secs()),
+                    f2(r.metrics.invocations_per_tuple()),
+                );
+            }
+            time_cells.push(times.join(", "));
+            inv_cells.push(invs.join(", "));
+        }
+
+        println!(
+            "{}",
+            row(&[
+                w.name.to_string(),
+                spec.n_rows.to_string(),
+                n_cat.to_string(),
+                n_num.to_string(),
+                schema.max_domain_cardinality().to_string(),
+                time_cells[0].clone(),
+                time_cells[1].clone(),
+                time_cells[2].clone(),
+                inv_cells[0].clone(),
+                inv_cells[1].clone(),
+                inv_cells[2].clone(),
+            ])
+        );
+    }
+}

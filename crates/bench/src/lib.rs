@@ -1,0 +1,191 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper.
+//!
+//! Each binary (`table1`, `fig2` … `fig7`, `quality`) sets up the same kind
+//! of workload the paper measures: a synthetic dataset with a preset's
+//! shape, a Random Forest trained on a 1/3 split, and explainers run over
+//! batches drawn from the remaining 2/3. The classifier is wrapped in
+//! [`SimulatedCost`] (emulating the per-call latency of the paper's Python
+//! models — see DESIGN.md) and [`CountingClassifier`] (the primary,
+//! machine-independent metric).
+//!
+//! Environment knobs:
+//!
+//! * `SHAHIN_SCALE` — multiplies batch sizes (default 1.0; use 10 to
+//!   approach the paper's 50K sweeps),
+//! * `SHAHIN_COST_US` — busy-wait microseconds per classifier invocation
+//!   (default 10),
+//! * `SHAHIN_SEED` — base RNG seed (default 42).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin_explain::{
+    AnchorExplainer, AnchorParams, ExplainContext, KernelShapExplainer, LimeExplainer,
+    LimeParams, ShapParams,
+};
+use shahin_model::{CountingClassifier, ForestParams, RandomForest, SimulatedCost};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+/// The instrumented classifier type every experiment uses.
+pub type BenchClassifier = CountingClassifier<SimulatedCost<RandomForest>>;
+
+/// A fully prepared workload.
+pub struct Workload {
+    /// Dataset name (paper spelling).
+    pub name: &'static str,
+    /// The preset it came from.
+    pub preset: DatasetPreset,
+    /// Explanation context fitted on the training split.
+    pub ctx: ExplainContext,
+    /// Instrumented Random Forest.
+    pub clf: BenchClassifier,
+    /// Held-out tuples available for batching.
+    pub test: Dataset,
+}
+
+impl Workload {
+    /// The first `n` held-out tuples as a batch (deterministic).
+    pub fn batch(&self, n: usize) -> Dataset {
+        let n = n.min(self.test.n_rows());
+        let rows: Vec<usize> = (0..n).collect();
+        self.test.select(&rows)
+    }
+
+    /// Largest batch this workload can serve.
+    pub fn max_batch(&self) -> usize {
+        self.test.n_rows()
+    }
+}
+
+/// Reads a float environment knob.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads an integer environment knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base seed for all experiments.
+pub fn base_seed() -> u64 {
+    env_u64("SHAHIN_SEED", 42)
+}
+
+/// Per-invocation simulated classifier cost.
+pub fn classifier_cost() -> Duration {
+    Duration::from_micros(env_u64("SHAHIN_COST_US", 10))
+}
+
+/// Batch-size multiplier.
+pub fn scale() -> f64 {
+    env_f64("SHAHIN_SCALE", 1.0)
+}
+
+/// Scales a batch size by `SHAHIN_SCALE`.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).round().max(2.0) as usize
+}
+
+/// Prepares a workload: generate the synthetic dataset at `data_scale`,
+/// split 1/3 train : 2/3 explain (paper §4.1), train the forest, fit the
+/// context.
+pub fn workload(preset: DatasetPreset, data_scale: f64, seed: u64) -> Workload {
+    let spec = preset.spec(data_scale);
+    let (data, labels) = spec.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    );
+    let clf = CountingClassifier::new(SimulatedCost::new(forest, classifier_cost()));
+    let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+    Workload {
+        name: preset.name(),
+        preset,
+        ctx,
+        clf,
+        test: split.test,
+    }
+}
+
+/// LIME with a reduced sample count relative to the Python default (5000)
+/// so the full sweep fits one machine; the perturb/fit ratio is preserved.
+pub fn bench_lime() -> LimeExplainer {
+    LimeExplainer::new(LimeParams {
+        n_samples: 300,
+        ..Default::default()
+    })
+}
+
+/// Anchor with the paper's `ε = 0.1, δ = 0.05` defaults.
+pub fn bench_anchor() -> AnchorExplainer {
+    AnchorExplainer::new(AnchorParams::default())
+}
+
+/// KernelSHAP with a reduced coalition budget.
+pub fn bench_shap() -> KernelShapExplainer {
+    KernelShapExplainer::new(ShapParams { n_samples: 128, ..Default::default() })
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else if x >= 1e-3 {
+        format!("{:.2}ms", x * 1e3)
+    } else {
+        format!("{:.0}µs", x * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_batches() {
+        let w = workload(DatasetPreset::Recidivism, 0.02, 7);
+        assert!(w.max_batch() > 50);
+        let b = w.batch(10);
+        assert_eq!(b.n_rows(), 10);
+        assert_eq!(b.n_attrs(), 19);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(2.5e-5), "25µs");
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_f64("SHAHIN_NO_SUCH_VAR", 1.5), 1.5);
+        assert_eq!(env_u64("SHAHIN_NO_SUCH_VAR", 9), 9);
+    }
+}

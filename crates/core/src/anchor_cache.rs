@@ -1,0 +1,269 @@
+//! Anchor's invariant caches and the caching rule sampler.
+//!
+//! Two of Shahin's Anchor optimizations are *exact* (paper §3.6):
+//!
+//! 1. **Invariant caching** — a rule's precision counts and its coverage do
+//!    not depend on which tuple is being explained, so they are shared
+//!    across the whole batch ([`SharedAnchorCaches`]).
+//! 2. **Bootstrap from materialized perturbations** — the precision of a
+//!    rule `{A_i=u, A_j=v}` can be seeded by scanning the stored
+//!    perturbations of the frequent itemset `{A_i=u}` for those that also
+//!    have `A_j=v` (and vice versa: a materialized superset's samples are
+//!    valid draws for each of its subset rules).
+//!
+//! [`CachingRuleSampler`] plugs both into the unmodified Anchor search via
+//! the [`RuleSampler`] interface.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin_explain::anchor::{rule_coverage, RuleSampler};
+use shahin_explain::{labeled_perturbation, ExplainContext};
+use shahin_fim::Itemset;
+use shahin_model::Classifier;
+
+use crate::store::PerturbationStore;
+
+/// Caches shared across every tuple of a batch (or stream).
+#[derive(Clone, Debug, Default)]
+pub struct SharedAnchorCaches {
+    /// Per-rule `(n, positive)` sample counts, where `positive` counts
+    /// positive-*class* predictions (so both anchored classes can reuse the
+    /// same entry).
+    precision: HashMap<Itemset, (u64, u64)>,
+    /// Memoized per-rule coverage.
+    coverage: HashMap<Itemset, f64>,
+    /// Rules already seeded from the materialized store (the bootstrap
+    /// must run at most once per rule or counts would be double-added).
+    bootstrapped: HashSet<Itemset>,
+}
+
+impl SharedAnchorCaches {
+    /// Creates empty caches.
+    pub fn new() -> SharedAnchorCaches {
+        SharedAnchorCaches::default()
+    }
+
+    /// Number of rules with cached precision counts.
+    pub fn n_precision_entries(&self) -> usize {
+        self.precision.len()
+    }
+
+    /// Number of rules with memoized coverage.
+    pub fn n_coverage_entries(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Approximate resident bytes (for budget-style reporting).
+    pub fn approx_bytes(&self) -> usize {
+        let per_rule = |s: &Itemset| s.approx_bytes() + 24;
+        self.precision.keys().map(&per_rule).sum::<usize>()
+            + self.coverage.keys().map(&per_rule).sum::<usize>()
+    }
+}
+
+/// A [`RuleSampler`] backed by the shared caches and the materialized
+/// perturbation store. Constructed per explained tuple (it needs the
+/// tuple's matched store entries) but mutating batch-wide state.
+pub struct CachingRuleSampler<'a, C> {
+    ctx: &'a ExplainContext,
+    clf: &'a C,
+    store: &'a PerturbationStore,
+    /// Store ids whose itemsets the current tuple contains.
+    matched: &'a [u32],
+    caches: &'a mut SharedAnchorCaches,
+    rng: StdRng,
+}
+
+impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
+    /// Creates a sampler for one tuple. `matched` are the store entries
+    /// contained in the tuple (from [`PerturbationStore::matching`]).
+    pub fn new(
+        ctx: &'a ExplainContext,
+        clf: &'a C,
+        store: &'a PerturbationStore,
+        matched: &'a [u32],
+        caches: &'a mut SharedAnchorCaches,
+        seed: u64,
+    ) -> Self {
+        CachingRuleSampler {
+            ctx,
+            clf,
+            store,
+            matched,
+            caches,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Seeds the precision counts of `rule` from the materialized store:
+    /// every stored sample of a matched itemset `f ⊆ rule` whose codes also
+    /// satisfy `rule \ f` is a valid rule-conditioned draw — its label came
+    /// for free at materialization time.
+    fn bootstrap(&mut self, rule: &Itemset) -> (u64, u64) {
+        let mut n = 0u64;
+        let mut pos = 0u64;
+        for &id in self.matched {
+            let f = self.store.itemset(id);
+            if !f.is_subset_of(rule) {
+                continue;
+            }
+            for s in self.store.samples(id) {
+                if rule.contained_in(&s.codes) {
+                    n += 1;
+                    pos += u64::from(s.proba >= 0.5);
+                }
+            }
+        }
+        (n, pos)
+    }
+}
+
+impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
+    fn draw(&mut self, rule: &Itemset, k: usize) -> (u64, u64) {
+        let mut pos = 0u64;
+        for _ in 0..k {
+            let s = labeled_perturbation(self.ctx, self.clf, rule, &mut self.rng);
+            pos += u64::from(s.proba >= 0.5);
+        }
+        // Fresh draws are invariant evidence: fold them into the shared
+        // cache so later tuples start ahead (Algorithm 2 line 12).
+        let e = self.caches.precision.entry(rule.clone()).or_insert((0, 0));
+        e.0 += k as u64;
+        e.1 += pos;
+        (k as u64, pos)
+    }
+
+    fn prior(&mut self, rule: &Itemset) -> (u64, u64) {
+        if !self.caches.bootstrapped.contains(rule) {
+            let (n, pos) = self.bootstrap(rule);
+            self.caches.bootstrapped.insert(rule.clone());
+            if n > 0 {
+                let e = self.caches.precision.entry(rule.clone()).or_insert((0, 0));
+                e.0 += n;
+                e.1 += pos;
+            }
+        }
+        self.caches.precision.get(rule).copied().unwrap_or((0, 0))
+    }
+
+    fn coverage(&mut self, rule: &Itemset) -> f64 {
+        if let Some(&c) = self.caches.coverage.get(rule) {
+            return c;
+        }
+        let c = rule_coverage(self.ctx.coverage_sample(), rule);
+        self.caches.coverage.insert(rule.clone(), c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use shahin_fim::Item;
+    use shahin_model::{CountingClassifier, MajorityClass};
+    use shahin_tabular::{Attribute, Column, Dataset, Schema};
+    use std::sync::Arc;
+
+    fn test_ctx(seed: u64) -> ExplainContext {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 300;
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::categorical("a", 3),
+            Attribute::categorical("b", 3),
+            Attribute::categorical("c", 3),
+        ]));
+        let cols = (0..3)
+            .map(|_| Column::Cat((0..n).map(|_| rng.gen_range(0..3u32)).collect()))
+            .collect();
+        ExplainContext::fit(&Dataset::new(schema, cols), 300, &mut rng)
+    }
+
+    fn materialized_store(ctx: &ExplainContext, clf: &impl Classifier) -> PerturbationStore {
+        let itemsets = vec![
+            Itemset::new(vec![Item::new(0, 1)]),
+            Itemset::new(vec![Item::new(1, 2)]),
+        ];
+        let mut store = PerturbationStore::new(itemsets, usize::MAX);
+        let mut rng = StdRng::seed_from_u64(42);
+        store.materialize(ctx, clf, 50, &mut rng);
+        store
+    }
+
+    #[test]
+    fn bootstrap_seeds_subset_and_superset_rules() {
+        let ctx = test_ctx(0);
+        let clf = MajorityClass::fit(&[1]);
+        let store = materialized_store(&ctx, &clf);
+        let matched = vec![0u32, 1];
+        let mut caches = SharedAnchorCaches::new();
+        let mut sampler = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 1);
+        // Rule equal to a materialized itemset: all 50 samples count.
+        let (n, pos) = sampler.prior(&Itemset::new(vec![Item::new(0, 1)]));
+        assert_eq!(n, 50);
+        assert_eq!(pos, 50);
+        // Superset rule: seeded by the subset's samples that also match.
+        let rule = Itemset::new(vec![Item::new(0, 1), Item::new(1, 2)]);
+        let (n2, _) = sampler.prior(&rule);
+        // Samples of {A0=1} with A1=2 (~1/3 of 50) plus samples of {A1=2}
+        // with A0=1 (~1/3 of 50).
+        assert!(n2 > 10, "bootstrap found only {n2} samples");
+        assert!(n2 < 100);
+    }
+
+    #[test]
+    fn bootstrap_happens_once() {
+        let ctx = test_ctx(1);
+        let clf = MajorityClass::fit(&[1]);
+        let store = materialized_store(&ctx, &clf);
+        let matched = vec![0u32];
+        let mut caches = SharedAnchorCaches::new();
+        let rule = Itemset::new(vec![Item::new(0, 1)]);
+        {
+            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 2);
+            assert_eq!(s.prior(&rule).0, 50);
+            assert_eq!(s.prior(&rule).0, 50, "second prior must not double");
+        }
+        // A new sampler (next tuple) sees the same counts, not doubled.
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 3);
+        assert_eq!(s2.prior(&rule).0, 50);
+    }
+
+    #[test]
+    fn draws_accumulate_into_shared_cache() {
+        let ctx = test_ctx(2);
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let store = PerturbationStore::new(vec![], usize::MAX);
+        let matched = vec![];
+        let mut caches = SharedAnchorCaches::new();
+        let rule = Itemset::new(vec![Item::new(2, 0)]);
+        {
+            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 4);
+            assert_eq!(s.draw(&rule, 20), (20, 20));
+        }
+        assert_eq!(clf.invocations(), 20);
+        // Next tuple: the 20 draws are already in the prior.
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 5);
+        assert_eq!(s2.prior(&rule), (20, 20));
+        assert_eq!(clf.invocations(), 20, "prior must be free");
+    }
+
+    #[test]
+    fn coverage_is_memoized() {
+        let ctx = test_ctx(3);
+        let clf = MajorityClass::fit(&[1]);
+        let store = PerturbationStore::new(vec![], usize::MAX);
+        let matched = vec![];
+        let mut caches = SharedAnchorCaches::new();
+        let rule = Itemset::new(vec![Item::new(0, 0)]);
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 6);
+        let c1 = s.coverage(&rule);
+        let c2 = s.coverage(&rule);
+        assert_eq!(c1, c2);
+        assert!((0.2..0.5).contains(&c1), "coverage {c1}");
+        assert_eq!(s.caches.n_coverage_entries(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Measurement types shared by every driver and experiment.
+
+use std::time::Duration;
+
+/// Where Shahin's bookkeeping time went (Figure 5 reports this as a
+/// percentage of total runtime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverheadBreakdown {
+    /// Frequent itemset mining over the batch sample.
+    pub fim: Duration,
+    /// Generating + labeling the materialized perturbations.
+    ///
+    /// Classifier time inside materialization is *useful* work (it replaces
+    /// per-tuple invocations), so it is reported separately from the pure
+    /// bookkeeping below.
+    pub materialization: Duration,
+    /// Retrieving matching perturbations per tuple.
+    pub retrieval: Duration,
+}
+
+impl OverheadBreakdown {
+    /// Pure bookkeeping overhead: mining + retrieval (materialization is
+    /// amortized classifier work, the paper's accounting).
+    pub fn bookkeeping(&self) -> Duration {
+        self.fim + self.retrieval
+    }
+}
+
+/// Metrics of one batch run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunMetrics {
+    /// Classifier invocations consumed by the whole run (including
+    /// materialization).
+    pub invocations: u64,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Overhead breakdown (zero for baselines).
+    pub overhead: OverheadBreakdown,
+    /// Peak bytes resident in the perturbation store.
+    pub store_bytes: usize,
+    /// Number of frequent itemsets materialized.
+    pub n_frequent: usize,
+    /// Number of tuples explained.
+    pub n_tuples: usize,
+}
+
+impl RunMetrics {
+    /// Average wall-clock seconds per explained tuple (Table 1's metric).
+    pub fn per_tuple_secs(&self) -> f64 {
+        if self.n_tuples == 0 {
+            0.0
+        } else {
+            self.wall.as_secs_f64() / self.n_tuples as f64
+        }
+    }
+
+    /// Average classifier invocations per tuple.
+    pub fn invocations_per_tuple(&self) -> f64 {
+        if self.n_tuples == 0 {
+            0.0
+        } else {
+            self.invocations as f64 / self.n_tuples as f64
+        }
+    }
+
+    /// Bookkeeping overhead as a fraction of wall time (Figure 5).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.overhead.bookkeeping().as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Explanations plus the metrics of producing them.
+#[derive(Clone, Debug)]
+pub struct BatchResult<T> {
+    /// One explanation per batch tuple, in batch order.
+    pub explanations: Vec<T>,
+    /// Run metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Speedup of `ours` relative to `baseline` by wall-clock time.
+pub fn speedup_wall(baseline: &RunMetrics, ours: &RunMetrics) -> f64 {
+    baseline.wall.as_secs_f64() / ours.wall.as_secs_f64().max(1e-12)
+}
+
+/// Speedup of `ours` relative to `baseline` by classifier invocations (the
+/// deterministic, machine-independent variant of the paper's metric).
+pub fn speedup_invocations(baseline: &RunMetrics, ours: &RunMetrics) -> f64 {
+    baseline.invocations as f64 / (ours.invocations as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tuple_and_overhead_fractions() {
+        let m = RunMetrics {
+            invocations: 1000,
+            wall: Duration::from_secs(10),
+            overhead: OverheadBreakdown {
+                fim: Duration::from_millis(200),
+                materialization: Duration::from_secs(2),
+                retrieval: Duration::from_millis(300),
+            },
+            store_bytes: 0,
+            n_frequent: 5,
+            n_tuples: 100,
+        };
+        assert!((m.per_tuple_secs() - 0.1).abs() < 1e-12);
+        assert!((m.invocations_per_tuple() - 10.0).abs() < 1e-12);
+        assert!((m.overhead_fraction() - 0.05).abs() < 1e-12);
+        assert_eq!(m.overhead.bookkeeping(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn speedups() {
+        let base = RunMetrics {
+            invocations: 1000,
+            wall: Duration::from_secs(20),
+            n_tuples: 10,
+            ..Default::default()
+        };
+        let ours = RunMetrics {
+            invocations: 100,
+            wall: Duration::from_secs(2),
+            n_tuples: 10,
+            ..Default::default()
+        };
+        assert!((speedup_wall(&base, &ours) - 10.0).abs() < 1e-9);
+        assert!((speedup_invocations(&base, &ours) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let m = RunMetrics::default();
+        assert_eq!(m.per_tuple_secs(), 0.0);
+        assert_eq!(m.invocations_per_tuple(), 0.0);
+        assert_eq!(m.overhead_fraction(), 0.0);
+    }
+}

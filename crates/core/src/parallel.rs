@@ -1,0 +1,262 @@
+//! Multi-core batch explanation.
+//!
+//! The paper disables Shahin's multiprocessing to show the speedup is
+//! algorithmic ("By default, Shahin runs only on a single core of a single
+//! machine", §4.1) — but a production deployment would use every core.
+//! After the (sequential) preparation phase, tuples are embarrassingly
+//! parallel: the materialized store is only *read*, per-tuple RNG streams
+//! are derived from the run seed, and the explainers are pure functions of
+//! their inputs. This module fans the per-tuple work out over scoped
+//! threads and is deterministic: it produces exactly the explanations the
+//! single-threaded driver does (tested below).
+//!
+//! Anchor is deliberately not offered in parallel: its shared precision
+//! cache is what makes Shahin fast there, and sharing it across threads
+//! would either serialize on a lock or forfeit the reuse — the sequential
+//! driver is the right tool.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin_explain::{ExplainContext, FeatureWeights, KernelShapExplainer, LimeExplainer};
+use shahin_model::{Classifier, CountingClassifier};
+use shahin_tabular::Dataset;
+
+use crate::batch::ShahinBatch;
+use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::runner::per_tuple_seed;
+use crate::shap_source::StoreCoalitionSource;
+
+/// Splits `0..n` into at most `n_threads` contiguous chunks.
+fn chunks(n: usize, n_threads: usize) -> Vec<(usize, usize)> {
+    let n_threads = n_threads.clamp(1, n.max(1));
+    let size = n.div_ceil(n_threads);
+    (0..n)
+        .step_by(size.max(1))
+        .map(|start| (start, (start + size).min(n)))
+        .collect()
+}
+
+impl ShahinBatch {
+    /// Algorithm 1 with the per-tuple phase spread over `n_threads`
+    /// threads. Produces exactly the same explanations as
+    /// [`ShahinBatch::explain_lime`] for the same seed.
+    pub fn explain_lime_parallel<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        batch: &Dataset,
+        lime: &LimeExplainer,
+        n_threads: usize,
+        seed: u64,
+    ) -> BatchResult<FeatureWeights> {
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prep = self.prepare(ctx, clf, batch, lime.params.n_samples, &mut rng);
+        let store = &prep.store;
+
+        let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
+        std::thread::scope(|scope| {
+            for ((start, end), slot_chunk) in chunks(batch.n_rows(), n_threads)
+                .into_iter()
+                .zip(explanations.chunks_mut(batch.n_rows().div_ceil(n_threads.max(1)).max(1)))
+            {
+                let table = &prep.table;
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (row, slot) in (start..end).zip(slot_chunk.iter_mut()) {
+                        let mut tuple_rng =
+                            StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                        let codes = table.row(row);
+                        // Read-only matching: no LRU bookkeeping races.
+                        let matched = store.matching_all(&codes, &mut scratch);
+                        let pooled = matched
+                            .iter()
+                            .filter(|&&id| !store.samples(id).is_empty())
+                            .flat_map(|&id| store.samples(id).iter());
+                        let instance = batch.instance(row);
+                        *slot = Some(lime.explain_with_reused(
+                            ctx,
+                            clf,
+                            &instance,
+                            pooled,
+                            &mut tuple_rng,
+                        ));
+                    }
+                });
+            }
+        });
+
+        BatchResult {
+            explanations: explanations
+                .into_iter()
+                .map(|e| e.expect("every row explained"))
+                .collect(),
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: prep.fim_time,
+                    materialization: prep.materialization_time,
+                    retrieval: std::time::Duration::ZERO,
+                },
+                store_bytes: prep.store.peak_bytes(),
+                n_frequent: prep.store.len(),
+                n_tuples: batch.n_rows(),
+            },
+        }
+    }
+
+    /// Algorithm 3 with the per-tuple phase spread over `n_threads`
+    /// threads; deterministic like the LIME variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_shap_parallel<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        batch: &Dataset,
+        shap: &KernelShapExplainer,
+        base_samples: usize,
+        n_threads: usize,
+        seed: u64,
+    ) -> BatchResult<FeatureWeights> {
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prep = self.prepare(ctx, clf, batch, shap.params.n_samples, &mut rng);
+        let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let store = &prep.store;
+
+        let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
+        std::thread::scope(|scope| {
+            for ((start, end), slot_chunk) in chunks(batch.n_rows(), n_threads)
+                .into_iter()
+                .zip(explanations.chunks_mut(batch.n_rows().div_ceil(n_threads.max(1)).max(1)))
+            {
+                let table = &prep.table;
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (row, slot) in (start..end).zip(slot_chunk.iter_mut()) {
+                        let mut tuple_rng =
+                            StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                        let codes = table.row(row);
+                        let matched: Vec<u32> = store
+                            .matching_all(&codes, &mut scratch)
+                            .into_iter()
+                            .filter(|&id| !store.samples(id).is_empty())
+                            .collect();
+                        let pooled = crate::shap_source::pool_coalitions(
+                            store,
+                            &matched,
+                            shap.params.n_samples / 2,
+                        );
+                        let mut source = StoreCoalitionSource::new(store, matched);
+                        let instance = batch.instance(row);
+                        *slot = Some(shap.explain_with(
+                            ctx,
+                            clf,
+                            &instance,
+                            base,
+                            pooled,
+                            &mut source,
+                            &mut tuple_rng,
+                        ));
+                    }
+                });
+            }
+        });
+
+        BatchResult {
+            explanations: explanations
+                .into_iter()
+                .map(|e| e.expect("every row explained"))
+                .collect(),
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: prep.fim_time,
+                    materialization: prep.materialization_time,
+                    retrieval: std::time::Duration::ZERO,
+                },
+                store_bytes: prep.store.peak_bytes(),
+                n_frequent: prep.store.len(),
+                n_tuples: batch.n_rows(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchConfig;
+    use shahin_explain::{LimeParams, ShapParams};
+    use shahin_model::MajorityClass;
+    use shahin_tabular::{train_test_split, DatasetPreset};
+
+    fn setup() -> (ExplainContext, CountingClassifier<MajorityClass>, Dataset) {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.05).generate(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let ctx = ExplainContext::fit(&split.train, 300, &mut rng);
+        let clf = CountingClassifier::new(MajorityClass::fit(&split.train_labels));
+        let rows: Vec<usize> = (0..40.min(split.test.n_rows())).collect();
+        (ctx, clf, split.test.select(&rows))
+    }
+
+    #[test]
+    fn chunking_covers_all_rows() {
+        assert_eq!(chunks(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(chunks(2, 8), vec![(0, 1), (1, 2)]);
+        assert_eq!(chunks(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(chunks(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn parallel_lime_runs_and_counts() {
+        let (ctx, clf, batch) = setup();
+        let lime = LimeExplainer::new(LimeParams {
+            n_samples: 80,
+            ..Default::default()
+        });
+        let shahin = ShahinBatch::new(BatchConfig::default());
+        let r = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 4, 7);
+        assert_eq!(r.explanations.len(), batch.n_rows());
+        assert!(r.metrics.invocations > 0);
+    }
+
+    #[test]
+    fn parallel_shap_matches_batch_structure() {
+        let (ctx, clf, batch) = setup();
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 48,
+            ..Default::default()
+        });
+        let shahin = ShahinBatch::new(BatchConfig::default());
+        let r = shahin.explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 4, 9);
+        assert_eq!(r.explanations.len(), batch.n_rows());
+        for e in &r.explanations {
+            let total: f64 = e.weights.iter().sum();
+            assert!((total - (e.local_prediction - e.intercept)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_lime_is_deterministic_across_thread_counts() {
+        let (ctx, clf, batch) = setup();
+        let lime = LimeExplainer::new(LimeParams {
+            n_samples: 60,
+            ..Default::default()
+        });
+        let shahin = ShahinBatch::new(BatchConfig::default());
+        let a = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 1, 11);
+        let b = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 4, 11);
+        let c = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 7, 11);
+        assert_eq!(a.explanations, b.explanations);
+        assert_eq!(b.explanations, c.explanations);
+    }
+}

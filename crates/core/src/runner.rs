@@ -1,0 +1,287 @@
+//! Unified experiment harness: one entry point running any (method,
+//! explainer) combination with comparable metrics, plus the explanation
+//! fidelity comparisons of §4.2.
+
+use shahin_explain::{
+    AnchorExplainer, AnchorExplanation, ExplainContext, FeatureWeights, KernelShapExplainer,
+    LimeExplainer,
+};
+use shahin_model::{Classifier, CountingClassifier};
+use shahin_tabular::Dataset;
+
+use crate::baseline::{
+    dist_k_anchor, dist_k_lime, dist_k_shap, sequential_anchor, sequential_lime,
+    sequential_shap, Greedy,
+};
+use crate::batch::ShahinBatch;
+use crate::config::{BatchConfig, StreamingConfig};
+use crate::metrics::{BatchResult, RunMetrics};
+use crate::streaming::ShahinStreaming;
+
+/// Classifier invocations spent estimating KernelSHAP's base value, once
+/// per run.
+pub const SHAP_BASE_SAMPLES: usize = 64;
+
+/// Derives a per-tuple RNG seed from the run seed, so every method explains
+/// tuple `idx` with identical randomness (SplitMix64 finalizer).
+pub fn per_tuple_seed(base: u64, idx: usize) -> u64 {
+    let mut z = base ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which explanation algorithm to run.
+#[derive(Clone, Debug)]
+pub enum ExplainerKind {
+    /// LIME with the given parameters.
+    Lime(LimeExplainer),
+    /// Anchor with the given parameters.
+    Anchor(AnchorExplainer),
+    /// KernelSHAP with the given parameters.
+    Shap(KernelShapExplainer),
+}
+
+impl ExplainerKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplainerKind::Lime(_) => "LIME",
+            ExplainerKind::Anchor(_) => "Anchor",
+            ExplainerKind::Shap(_) => "SHAP",
+        }
+    }
+}
+
+/// Which execution strategy to use (the paper's methods and baselines).
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// One tuple at a time, no reuse.
+    Sequential,
+    /// The batch split over `k` threads ("machines"); reported time is the
+    /// per-machine average, as in the paper.
+    Dist(usize),
+    /// The GREEDY LRU-cache baseline with the given byte budget.
+    Greedy(usize),
+    /// Shahin-Batch.
+    Batch(BatchConfig),
+    /// Shahin-Streaming.
+    Streaming(StreamingConfig),
+}
+
+impl Method {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Sequential => "Sequential".into(),
+            Method::Dist(k) => format!("Dist-{k}"),
+            Method::Greedy(_) => "Greedy".into(),
+            Method::Batch(_) => "Shahin-Batch".into(),
+            Method::Streaming(_) => "Shahin-Streaming".into(),
+        }
+    }
+}
+
+/// An explanation of either shape.
+#[derive(Clone, Debug)]
+pub enum Explanation {
+    /// Feature-attribution weights (LIME, SHAP).
+    Weights(FeatureWeights),
+    /// An Anchor rule.
+    Rule(AnchorExplanation),
+}
+
+impl Explanation {
+    /// The weight vector, if this is an attribution explanation.
+    pub fn weights(&self) -> Option<&FeatureWeights> {
+        match self {
+            Explanation::Weights(w) => Some(w),
+            Explanation::Rule(_) => None,
+        }
+    }
+
+    /// The rule, if this is an Anchor explanation.
+    pub fn rule(&self) -> Option<&AnchorExplanation> {
+        match self {
+            Explanation::Rule(r) => Some(r),
+            Explanation::Weights(_) => None,
+        }
+    }
+}
+
+/// Result of one (method, explainer, batch) run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Metrics of the run.
+    pub metrics: RunMetrics,
+    /// One explanation per tuple.
+    pub explanations: Vec<Explanation>,
+}
+
+fn wrap_weights(r: BatchResult<FeatureWeights>) -> RunReport {
+    RunReport {
+        metrics: r.metrics,
+        explanations: r.explanations.into_iter().map(Explanation::Weights).collect(),
+    }
+}
+
+fn wrap_rules(r: BatchResult<AnchorExplanation>) -> RunReport {
+    RunReport {
+        metrics: r.metrics,
+        explanations: r.explanations.into_iter().map(Explanation::Rule).collect(),
+    }
+}
+
+/// Runs one (method, explainer) combination over the batch.
+pub fn run<C: Classifier>(
+    method: &Method,
+    kind: &ExplainerKind,
+    ctx: &ExplainContext,
+    clf: &CountingClassifier<C>,
+    batch: &Dataset,
+    seed: u64,
+) -> RunReport {
+    match (method, kind) {
+        (Method::Sequential, ExplainerKind::Lime(e)) => {
+            wrap_weights(sequential_lime(ctx, clf, batch, e, seed))
+        }
+        (Method::Sequential, ExplainerKind::Anchor(e)) => {
+            wrap_rules(sequential_anchor(ctx, clf, batch, e, seed))
+        }
+        (Method::Sequential, ExplainerKind::Shap(e)) => {
+            wrap_weights(sequential_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed))
+        }
+        (Method::Dist(k), ExplainerKind::Lime(e)) => {
+            wrap_weights(dist_k_lime(ctx, clf, batch, e, *k, seed))
+        }
+        (Method::Dist(k), ExplainerKind::Anchor(e)) => {
+            wrap_rules(dist_k_anchor(ctx, clf, batch, e, *k, seed))
+        }
+        (Method::Dist(k), ExplainerKind::Shap(e)) => wrap_weights(dist_k_shap(
+            ctx,
+            clf,
+            batch,
+            e,
+            SHAP_BASE_SAMPLES,
+            *k,
+            seed,
+        )),
+        (Method::Greedy(budget), ExplainerKind::Lime(e)) => {
+            wrap_weights(Greedy::new(*budget).explain_lime(ctx, clf, batch, e, seed))
+        }
+        (Method::Greedy(budget), ExplainerKind::Anchor(e)) => {
+            wrap_rules(Greedy::new(*budget).explain_anchor(ctx, clf, batch, e, seed))
+        }
+        (Method::Greedy(budget), ExplainerKind::Shap(e)) => wrap_weights(
+            Greedy::new(*budget).explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
+        ),
+        (Method::Batch(cfg), ExplainerKind::Lime(e)) => {
+            wrap_weights(ShahinBatch::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed))
+        }
+        (Method::Batch(cfg), ExplainerKind::Anchor(e)) => {
+            wrap_rules(ShahinBatch::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed))
+        }
+        (Method::Batch(cfg), ExplainerKind::Shap(e)) => wrap_weights(
+            ShahinBatch::new(cfg.clone()).explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Lime(e)) => wrap_weights(
+            ShahinStreaming::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
+            ShahinStreaming::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Shap(e)) => {
+            wrap_weights(ShahinStreaming::new(cfg.clone()).explain_shap(
+                ctx,
+                clf,
+                batch,
+                e,
+                SHAP_BASE_SAMPLES,
+                seed,
+            ))
+        }
+    }
+}
+
+/// Explanation fidelity between two runs of attribution explainers:
+/// `(mean Euclidean distance, mean Kendall-τ)` over the batch (§4.2).
+pub fn attribution_fidelity(a: &[Explanation], b: &[Explanation]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "batch size mismatch");
+    assert!(!a.is_empty(), "empty batch");
+    let mut dist = 0.0;
+    let mut tau = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let (wx, wy) = (
+            &x.weights().expect("attribution explanation").weights,
+            &y.weights().expect("attribution explanation").weights,
+        );
+        dist += shahin_linalg::euclidean_distance(wx, wy);
+        tau += shahin_linalg::kendall_tau(wx, wy);
+    }
+    let n = a.len() as f64;
+    (dist / n, tau / n)
+}
+
+/// Fraction of tuples whose Anchor rules are identical between two runs.
+pub fn rule_agreement(a: &[Explanation], b: &[Explanation]) -> f64 {
+    assert_eq!(a.len(), b.len(), "batch size mismatch");
+    assert!(!a.is_empty(), "empty batch");
+    let same = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| {
+            x.rule().expect("anchor explanation").rule == y.rule().expect("anchor").rule
+        })
+        .count();
+    same as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tuple_seed_spreads() {
+        let a = per_tuple_seed(1, 0);
+        let b = per_tuple_seed(1, 1);
+        let c = per_tuple_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(per_tuple_seed(1, 0), a);
+    }
+
+    #[test]
+    fn explanation_accessors() {
+        let w = Explanation::Weights(FeatureWeights {
+            weights: vec![1.0],
+            intercept: 0.0,
+            local_prediction: 0.5,
+        });
+        assert!(w.weights().is_some());
+        assert!(w.rule().is_none());
+    }
+
+    #[test]
+    fn fidelity_of_identical_runs_is_perfect() {
+        let e = Explanation::Weights(FeatureWeights {
+            weights: vec![0.5, -0.2, 0.1],
+            intercept: 0.0,
+            local_prediction: 0.5,
+        });
+        let a = vec![e.clone(), e.clone()];
+        let (d, t) = attribution_fidelity(&a, &a);
+        assert_eq!(d, 0.0);
+        assert_eq!(t, 1.0);
+    }
+
+    #[test]
+    fn method_and_kind_names() {
+        assert_eq!(Method::Dist(8).name(), "Dist-8");
+        assert_eq!(Method::Sequential.name(), "Sequential");
+        assert_eq!(
+            ExplainerKind::Lime(LimeExplainer::default()).name(),
+            "LIME"
+        );
+    }
+}

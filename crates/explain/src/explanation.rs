@@ -1,0 +1,60 @@
+//! Explanation output types.
+
+use shahin_fim::Itemset;
+
+/// A feature-attribution explanation: one signed weight per attribute
+/// (LIME's surrogate coefficients, or KernelSHAP's Shapley values).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureWeights {
+    /// Per-attribute importance weights, positive toward the positive class.
+    pub weights: Vec<f64>,
+    /// Surrogate intercept (LIME) or base value (SHAP).
+    pub intercept: f64,
+    /// The surrogate's own prediction for the explained instance.
+    pub local_prediction: f64,
+}
+
+impl FeatureWeights {
+    /// Attribute indices sorted by decreasing |weight|.
+    pub fn ranking(&self) -> Vec<usize> {
+        shahin_linalg::rank_by_magnitude(&self.weights)
+    }
+
+    /// The `k` most important attributes.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut r = self.ranking();
+        r.truncate(k);
+        r
+    }
+}
+
+/// An Anchor explanation: a high-precision rule.
+#[derive(Clone, Debug)]
+pub struct AnchorExplanation {
+    /// The rule predicate, as items over the discretized space.
+    pub rule: Itemset,
+    /// Estimated precision: fraction of rule-conditioned perturbations whose
+    /// prediction matches the instance's predicted class.
+    pub precision: f64,
+    /// Estimated coverage: fraction of data rows satisfying the predicate.
+    pub coverage: f64,
+    /// The predicted class the rule anchors.
+    pub anchored_class: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_and_top_k() {
+        let e = FeatureWeights {
+            weights: vec![0.1, -0.8, 0.3],
+            intercept: 0.0,
+            local_prediction: 0.5,
+        };
+        assert_eq!(e.ranking(), vec![1, 2, 0]);
+        assert_eq!(e.top_k(2), vec![1, 2]);
+        assert_eq!(e.top_k(10), vec![1, 2, 0]);
+    }
+}

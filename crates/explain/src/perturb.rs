@@ -1,0 +1,169 @@
+//! Perturbation generation shared by all explainers.
+
+use rand::Rng;
+
+use shahin_fim::Itemset;
+use shahin_model::Classifier;
+use shahin_tabular::Instance;
+
+use crate::context::ExplainContext;
+
+/// A perturbation that has already been pushed through the classifier.
+///
+/// `codes` is the discretized representation (one code per attribute) —
+/// everything the surrogate models need; the concrete feature values fed to
+/// the classifier are not retained (matching what Shahin materializes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledSample {
+    /// Discretized codes, one per attribute.
+    pub codes: Box<[u32]>,
+    /// Classifier probability of the positive class.
+    pub proba: f64,
+}
+
+impl LabeledSample {
+    /// Approximate resident bytes (store budget accounting).
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<LabeledSample>() + self.codes.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Draws the discretized codes of one perturbation: attributes in `frozen`
+/// keep their dictated codes, every other attribute samples a code from the
+/// training frequency distribution. Passing an empty itemset yields the
+/// fully random perturbation LIME draws.
+pub fn perturb_codes(ctx: &ExplainContext, frozen: &Itemset, rng: &mut impl Rng) -> Vec<u32> {
+    let mut codes: Vec<u32> = (0..ctx.n_attrs())
+        .map(|attr| ctx.stats().sample_code(attr, rng))
+        .collect();
+    for item in frozen.items() {
+        codes[item.attr as usize] = item.code;
+    }
+    codes
+}
+
+/// Reconstructs a concrete instance from discretized codes (categorical
+/// codes pass through, numeric bins get truncated-normal draws) and labels
+/// it with one classifier invocation.
+pub fn label_codes(
+    ctx: &ExplainContext,
+    clf: &impl Classifier,
+    codes: Vec<u32>,
+    rng: &mut impl Rng,
+) -> LabeledSample {
+    let instance: Instance = ctx.discretizer().undiscretize_instance(&codes, rng);
+    let proba = clf.predict_proba(&instance);
+    LabeledSample {
+        codes: codes.into_boxed_slice(),
+        proba,
+    }
+}
+
+/// Generates and labels one perturbation with `frozen` items held fixed.
+pub fn labeled_perturbation(
+    ctx: &ExplainContext,
+    clf: &impl Classifier,
+    frozen: &Itemset,
+    rng: &mut impl Rng,
+) -> LabeledSample {
+    let codes = perturb_codes(ctx, frozen, rng);
+    label_codes(ctx, clf, codes, rng)
+}
+
+/// Estimates the base value `E[f]` (KernelSHAP's null prediction) by
+/// averaging the classifier over `n` fully random perturbations. Costs `n`
+/// classifier invocations — done once per batch, which is how the
+/// reference implementation amortizes its background set too.
+pub fn estimate_base_value(
+    ctx: &ExplainContext,
+    clf: &impl Classifier,
+    n: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    let empty = Itemset::new(vec![]);
+    let sum: f64 = (0..n)
+        .map(|_| labeled_perturbation(ctx, clf, &empty, rng).proba)
+        .sum();
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_fim::Item;
+    use shahin_model::{CountingClassifier, MajorityClass};
+    use shahin_tabular::DatasetPreset;
+
+    fn ctx() -> ExplainContext {
+        let (data, _) = DatasetPreset::Recidivism.spec(0.02).generate(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        ExplainContext::fit(&data, 200, &mut rng)
+    }
+
+    #[test]
+    fn frozen_items_are_respected() {
+        let ctx = ctx();
+        let frozen = Itemset::new(vec![Item::new(0, 1), Item::new(3, 0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let codes = perturb_codes(&ctx, &frozen, &mut rng);
+            assert_eq!(codes.len(), ctx.n_attrs());
+            assert_eq!(codes[0], 1);
+            assert_eq!(codes[3], 0);
+        }
+    }
+
+    #[test]
+    fn unfrozen_attrs_vary() {
+        let ctx = ctx();
+        let frozen = Itemset::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<Vec<u32>> = (0..100)
+            .map(|_| perturb_codes(&ctx, &frozen, &mut rng))
+            .collect();
+        // At least one attribute takes multiple values across draws.
+        let varies = (0..ctx.n_attrs())
+            .any(|a| draws.iter().any(|d| d[a] != draws[0][a]));
+        assert!(varies, "perturbations are all identical");
+    }
+
+    #[test]
+    fn labeling_invokes_classifier_once() {
+        let ctx = ctx();
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = labeled_perturbation(&ctx, &clf, &Itemset::new(vec![]), &mut rng);
+        assert_eq!(clf.invocations(), 1);
+        assert_eq!(s.proba, 0.5);
+        assert_eq!(s.codes.len(), ctx.n_attrs());
+    }
+
+    #[test]
+    fn base_value_of_constant_classifier() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1, 1, 1, 0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = estimate_base_value(&ctx, &clf, 20, &mut rng);
+        assert!((base - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_codes_respect_training_support() {
+        // Codes with zero training frequency must never be drawn.
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let codes = perturb_codes(&ctx, &Itemset::new(vec![]), &mut rng);
+            for (attr, &code) in codes.iter().enumerate() {
+                assert!(
+                    ctx.stats().count(attr, code) > 0,
+                    "sampled unseen code {code} for attr {attr}"
+                );
+            }
+        }
+    }
+}

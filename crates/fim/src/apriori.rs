@@ -1,0 +1,362 @@
+//! Level-wise Apriori mining with negative-border tracking.
+
+use std::collections::{HashMap, HashSet};
+
+use shahin_tabular::DiscreteTable;
+
+use crate::item::{Item, Itemset};
+
+/// Parameters controlling the Apriori run.
+#[derive(Clone, Debug)]
+pub struct AprioriParams {
+    /// Minimum relative support (fraction of transactions) for an itemset to
+    /// be frequent.
+    pub min_support: f64,
+    /// Maximum itemset length mined. Shahin only needs short freezes (the
+    /// explainers rarely freeze many attributes at once), so 3 is a good
+    /// default.
+    pub max_len: usize,
+    /// Optional cap on the number of frequent itemsets kept (highest support
+    /// first). Bounds the materialization budget `τ · |F|`. `usize::MAX`
+    /// disables the cap.
+    pub max_itemsets: usize,
+}
+
+impl Default for AprioriParams {
+    fn default() -> Self {
+        AprioriParams {
+            min_support: 0.2,
+            max_len: 3,
+            max_itemsets: usize::MAX,
+        }
+    }
+}
+
+/// Output of [`apriori`].
+#[derive(Clone, Debug)]
+pub struct AprioriResult {
+    /// Frequent itemsets with their absolute support counts, sorted by
+    /// descending support (longest-first on ties so supersets win).
+    pub frequent: Vec<(Itemset, u64)>,
+    /// The negative border: itemsets that are *not* frequent although all of
+    /// their immediate subsets are (paper §3.5). Singleton infrequent items
+    /// are included (their only subset is the empty set).
+    pub negative_border: Vec<Itemset>,
+    /// Number of transactions mined.
+    pub n_transactions: u64,
+}
+
+impl AprioriResult {
+    /// Relative support of the `i`-th frequent itemset.
+    pub fn support(&self, i: usize) -> f64 {
+        self.frequent[i].1 as f64 / self.n_transactions as f64
+    }
+}
+
+/// Mines frequent itemsets over the rows of a discretized table.
+///
+/// Each row is a transaction with exactly one item per attribute
+/// (`attr = code`). Candidate generation is the classic join of `k−1`-sets
+/// sharing a prefix, followed by full subset pruning; support counting is
+/// candidate-driven (each candidate checked against each row in O(k)),
+/// which is the right trade-off for the short, wide transactions of tabular
+/// data.
+pub fn apriori(table: &DiscreteTable, params: &AprioriParams) -> AprioriResult {
+    let n = table.n_rows();
+    assert!(n > 0, "cannot mine an empty table");
+    assert!(
+        (0.0..=1.0).contains(&params.min_support),
+        "min_support must be in [0, 1]"
+    );
+    let min_count = ((params.min_support * n as f64).ceil() as u64).max(1);
+
+    let mut frequent: Vec<(Itemset, u64)> = Vec::new();
+    let mut negative_border: Vec<Itemset> = Vec::new();
+
+    // --- level 1: per-item counting in one scan
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for attr in 0..table.n_attrs() {
+        for &code in table.column(attr) {
+            *counts.entry(Item::new(attr, code).key()).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<(Itemset, u64)> = Vec::new();
+    for (&key, &c) in &counts {
+        let item = Item {
+            attr: (key >> 32) as u16,
+            code: key as u32,
+        };
+        let set = Itemset::singleton(item);
+        if c >= min_count {
+            level.push((set, c));
+        } else {
+            negative_border.push(set);
+        }
+    }
+    sort_level(&mut level);
+
+    // --- levels 2..=max_len
+    for _k in 2..=params.max_len {
+        if level.len() < 2 {
+            frequent.append(&mut level);
+            break;
+        }
+        let prev_sets: HashSet<&Itemset> = level.iter().map(|(s, _)| s).collect();
+        let candidates = generate_candidates(&level, &prev_sets);
+        frequent.append(&mut level);
+        if candidates.is_empty() {
+            break;
+        }
+        // Candidate-driven support counting.
+        let mut cand_counts = vec![0u64; candidates.len()];
+        let mut row_codes = vec![0u32; table.n_attrs()];
+        for row in 0..n {
+            for (attr, code) in row_codes.iter_mut().enumerate() {
+                *code = table.code(row, attr);
+            }
+            for (ci, cand) in candidates.iter().enumerate() {
+                if cand.contained_in(&row_codes) {
+                    cand_counts[ci] += 1;
+                }
+            }
+        }
+        let mut next: Vec<(Itemset, u64)> = Vec::new();
+        for (cand, c) in candidates.into_iter().zip(cand_counts) {
+            if c >= min_count {
+                next.push((cand, c));
+            } else {
+                negative_border.push(cand);
+            }
+        }
+        sort_level(&mut next);
+        level = next;
+    }
+    frequent.extend(level);
+
+    // Global ordering: support desc, then longer itemsets first, then
+    // lexicographic for determinism.
+    frequent.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.0.len().cmp(&a.0.len()))
+            .then(a.0.cmp(&b.0))
+    });
+    if frequent.len() > params.max_itemsets {
+        frequent.truncate(params.max_itemsets);
+    }
+    negative_border.sort();
+
+    AprioriResult {
+        frequent,
+        negative_border,
+        n_transactions: n as u64,
+    }
+}
+
+fn sort_level(level: &mut [(Itemset, u64)]) {
+    level.sort_by(|a, b| a.0.cmp(&b.0));
+}
+
+/// Classic Apriori-gen: join `k−1` level sets sharing their first `k−2`
+/// items, then prune candidates with any infrequent immediate subset.
+fn generate_candidates(
+    level: &[(Itemset, u64)],
+    prev_sets: &HashSet<&Itemset>,
+) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for i in 0..level.len() {
+        for (b, _) in &level[i + 1..] {
+            let a = &level[i].0;
+            let (a_items, b_items) = (a.items(), b.items());
+            let k1 = a_items.len();
+            // Sorted level + sorted items: the join condition is equal
+            // prefixes and a's last item < b's last item.
+            if a_items[..k1 - 1] != b_items[..k1 - 1] {
+                break; // sorted order: no further b shares the prefix
+            }
+            let last_a = a_items[k1 - 1];
+            let last_b = b_items[k1 - 1];
+            if last_a.attr == last_b.attr {
+                continue; // two codes on one attribute can never co-occur
+            }
+            let cand = a.union(b);
+            if cand.len() != k1 + 1 {
+                continue;
+            }
+            // Full subset pruning.
+            if cand
+                .immediate_subsets()
+                .iter()
+                .all(|s| prev_sets.contains(s))
+            {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10 transactions over 3 attributes:
+    /// attr0: 0 in 80% of rows; attr1: 0 in 60%; attr2: unique codes.
+    fn table() -> DiscreteTable {
+        DiscreteTable::new(vec![
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 2],
+            vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+        ])
+    }
+
+    fn iset(pairs: &[(usize, u32)]) -> Itemset {
+        Itemset::new(pairs.iter().map(|&(a, c)| Item::new(a, c)).collect())
+    }
+
+    fn frequent_sets(res: &AprioriResult) -> Vec<Itemset> {
+        res.frequent.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    #[test]
+    fn finds_expected_frequent_sets() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.5,
+                max_len: 3,
+                max_itemsets: usize::MAX,
+            },
+        );
+        let sets = frequent_sets(&res);
+        assert!(sets.contains(&iset(&[(0, 0)])), "{sets:?}");
+        assert!(sets.contains(&iset(&[(1, 0)])), "{sets:?}");
+        // {A0=0, A1=0} co-occurs in rows 0..=5: support 0.6.
+        assert!(sets.contains(&iset(&[(0, 0), (1, 0)])), "{sets:?}");
+        // Nothing from the unique attr 2.
+        assert!(sets.iter().all(|s| s.items().iter().all(|i| i.attr != 2)));
+    }
+
+    #[test]
+    fn support_counts_are_exact() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.5,
+                ..Default::default()
+            },
+        );
+        for (set, count) in &res.frequent {
+            // Recount by brute force.
+            let t = table();
+            let brute = (0..t.n_rows())
+                .filter(|&r| set.contained_in(&t.row(r)))
+                .count() as u64;
+            assert_eq!(*count, brute, "wrong count for {set}");
+        }
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.3,
+                ..Default::default()
+            },
+        );
+        let sets: HashSet<Itemset> = frequent_sets(&res).into_iter().collect();
+        for s in &sets {
+            for sub in s.immediate_subsets() {
+                if !sub.is_empty() {
+                    assert!(sets.contains(&sub), "{s} frequent but subset {sub} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_border_properties() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.5,
+                ..Default::default()
+            },
+        );
+        let freq: HashSet<Itemset> = frequent_sets(&res).into_iter().collect();
+        let min_count = 5;
+        let t = table();
+        for nb in &res.negative_border {
+            // Not frequent itself.
+            let count = (0..t.n_rows())
+                .filter(|&r| nb.contained_in(&t.row(r)))
+                .count() as u64;
+            assert!(count < min_count, "{nb} is actually frequent");
+            // All immediate non-empty subsets frequent.
+            for sub in nb.immediate_subsets() {
+                if !sub.is_empty() {
+                    assert!(freq.contains(&sub), "{nb}: subset {sub} not frequent");
+                }
+            }
+        }
+        // {A1=1} has support 0.4 < 0.5 and should sit on the border.
+        assert!(res.negative_border.contains(&iset(&[(1, 1)])));
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.3,
+                max_len: 1,
+                max_itemsets: usize::MAX,
+            },
+        );
+        assert!(res.frequent.iter().all(|(s, _)| s.len() == 1));
+    }
+
+    #[test]
+    fn max_itemsets_keeps_highest_support() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.3,
+                max_len: 2,
+                max_itemsets: 2,
+            },
+        );
+        assert_eq!(res.frequent.len(), 2);
+        // The two highest-support sets are A0=0 (0.8) and A1=0 (0.6).
+        assert_eq!(res.frequent[0].0, iset(&[(0, 0)]));
+        assert_eq!(res.frequent[0].1, 8);
+    }
+
+    #[test]
+    fn min_support_one_keeps_universal_items_only() {
+        let t = DiscreteTable::new(vec![vec![7, 7, 7], vec![0, 1, 0]]);
+        let res = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 1.0,
+                ..Default::default()
+            },
+        );
+        let sets = frequent_sets(&res);
+        assert_eq!(sets, vec![iset(&[(0, 7)])]);
+    }
+
+    #[test]
+    fn ordering_is_support_descending() {
+        let res = apriori(
+            &table(),
+            &AprioriParams {
+                min_support: 0.3,
+                ..Default::default()
+            },
+        );
+        for w in res.frequent.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

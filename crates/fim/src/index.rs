@@ -1,0 +1,175 @@
+//! Fast "which itemsets does this tuple contain?" lookups.
+
+use std::collections::HashMap;
+
+use crate::item::Itemset;
+
+/// A postings-list index over a fixed collection of itemsets.
+///
+/// For every item we store the ids of itemsets containing it. Given a
+/// tuple's discretized codes, we walk the postings of the tuple's own items
+/// and count hits per itemset; an itemset is contained iff its hit count
+/// equals its size. Cost is proportional to the number of matching postings
+/// rather than `|itemsets| · |tuple|`.
+#[derive(Clone, Debug)]
+pub struct ItemsetIndex {
+    /// item key → ids of itemsets containing that item.
+    postings: HashMap<u64, Vec<u32>>,
+    sizes: Vec<u8>,
+    n_itemsets: usize,
+}
+
+impl ItemsetIndex {
+    /// Builds the index. Itemset ids are positions in `itemsets`.
+    pub fn new(itemsets: &[Itemset]) -> ItemsetIndex {
+        let mut postings: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut sizes = Vec::with_capacity(itemsets.len());
+        for (id, set) in itemsets.iter().enumerate() {
+            assert!(!set.is_empty(), "empty itemset cannot be indexed");
+            sizes.push(u8::try_from(set.len()).expect("itemset length fits in u8"));
+            for item in set.items() {
+                postings
+                    .entry(item.key())
+                    .or_default()
+                    .push(id as u32);
+            }
+        }
+        ItemsetIndex {
+            postings,
+            sizes,
+            n_itemsets: itemsets.len(),
+        }
+    }
+
+    /// Number of indexed itemsets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_itemsets
+    }
+
+    /// True if no itemsets are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_itemsets == 0
+    }
+
+    /// Ids of all indexed itemsets fully contained in the tuple with the
+    /// given discretized `row_codes` (indexed by attribute). Ids are
+    /// returned in ascending order.
+    pub fn contained_in(&self, row_codes: &[u32]) -> Vec<u32> {
+        let mut hits: Vec<u8> = vec![0; self.n_itemsets];
+        let mut out = Vec::new();
+        for (attr, &code) in row_codes.iter().enumerate() {
+            let key = (attr as u64) << 32 | u64::from(code);
+            if let Some(ids) = self.postings.get(&key) {
+                for &id in ids {
+                    hits[id as usize] += 1;
+                    if hits[id as usize] == self.sizes[id as usize] {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Like [`Self::contained_in`] but reusing a caller-provided scratch
+    /// buffer, for hot loops. The buffer is resized and cleared internally.
+    pub fn contained_in_with(&self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        scratch.clear();
+        scratch.resize(self.n_itemsets, 0);
+        let mut out = Vec::new();
+        for (attr, &code) in row_codes.iter().enumerate() {
+            let key = (attr as u64) << 32 | u64::from(code);
+            if let Some(ids) = self.postings.get(&key) {
+                for &id in ids {
+                    scratch[id as usize] += 1;
+                    if scratch[id as usize] == self.sizes[id as usize] {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn iset(pairs: &[(usize, u32)]) -> Itemset {
+        Itemset::new(pairs.iter().map(|&(a, c)| Item::new(a, c)).collect())
+    }
+
+    fn index() -> (ItemsetIndex, Vec<Itemset>) {
+        let sets = vec![
+            iset(&[(0, 1)]),
+            iset(&[(1, 2)]),
+            iset(&[(0, 1), (1, 2)]),
+            iset(&[(0, 1), (2, 0)]),
+            iset(&[(0, 2), (1, 2), (2, 5)]),
+        ];
+        (ItemsetIndex::new(&sets), sets)
+    }
+
+    #[test]
+    fn finds_all_contained_sets() {
+        let (idx, sets) = index();
+        let row = vec![1, 2, 0];
+        let got = idx.contained_in(&row);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for &id in &got {
+            assert!(sets[id as usize].contained_in(&row));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (idx, sets) = index();
+        for row in [
+            vec![1, 2, 5],
+            vec![2, 2, 5],
+            vec![0, 0, 0],
+            vec![1, 0, 0],
+            vec![2, 2, 0],
+        ] {
+            let got = idx.contained_in(&row);
+            let brute: Vec<u32> = sets
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contained_in(&row))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, brute, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_agrees() {
+        let (idx, _) = index();
+        let mut scratch = Vec::new();
+        for row in [vec![1, 2, 5], vec![0, 0, 0], vec![2, 2, 5]] {
+            assert_eq!(
+                idx.contained_in(&row),
+                idx.contained_in_with(&row, &mut scratch)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ItemsetIndex::new(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.contained_in(&[1, 2, 3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn no_match_on_disjoint_row() {
+        let (idx, _) = index();
+        assert_eq!(idx.contained_in(&[9, 9, 9]), Vec::<u32>::new());
+    }
+}

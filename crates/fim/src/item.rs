@@ -1,0 +1,224 @@
+//! Items and itemsets over the discretized attribute space.
+
+use std::fmt;
+
+/// A single `attribute = code` pair in the discretized space.
+///
+/// Numeric attributes participate through their quartile bin code, exactly
+/// as the paper prescribes (§3.6: "Shahin computes the frequent itemset over
+/// the discretized data").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item {
+    /// Attribute index in the schema.
+    pub attr: u16,
+    /// Discretized value code.
+    pub code: u32,
+}
+
+impl Item {
+    /// Creates an item.
+    #[inline]
+    pub fn new(attr: usize, code: u32) -> Item {
+        Item {
+            attr: u16::try_from(attr).expect("attribute index fits in u16"),
+            code,
+        }
+    }
+
+    /// Packs the item into a single `u64` key (for hash maps).
+    #[inline]
+    pub fn key(self) -> u64 {
+        (u64::from(self.attr) << 32) | u64::from(self.code)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}={}", self.attr, self.code)
+    }
+}
+
+/// A sorted, duplicate-free set of [`Item`]s with at most one item per
+/// attribute.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Itemset {
+    items: Vec<Item>,
+}
+
+impl Itemset {
+    /// Builds an itemset, sorting and validating the items.
+    pub fn new(mut items: Vec<Item>) -> Itemset {
+        items.sort_unstable();
+        items.dedup();
+        debug_assert!(
+            items.windows(2).all(|w| w[0].attr != w[1].attr),
+            "itemset has two items on the same attribute: {items:?}"
+        );
+        Itemset { items }
+    }
+
+    /// The singleton itemset `{item}`.
+    pub fn singleton(item: Item) -> Itemset {
+        Itemset { items: vec![item] }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for the empty itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted by (attr, code).
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// True if every item of `self` matches `row_codes` (the tuple's
+    /// discretized codes, indexed by attribute).
+    #[inline]
+    pub fn contained_in(&self, row_codes: &[u32]) -> bool {
+        self.items
+            .iter()
+            .all(|it| row_codes[it.attr as usize] == it.code)
+    }
+
+    /// True if `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        // Both sorted: linear merge scan.
+        let mut oi = other.items.iter();
+        'outer: for it in &self.items {
+            for ot in oi.by_ref() {
+                if ot == it {
+                    continue 'outer;
+                }
+                if ot > it {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// The union of two itemsets. Panics (in debug) if the union would put
+    /// two different codes on the same attribute.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut items = self.items.clone();
+        items.extend_from_slice(&other.items);
+        Itemset::new(items)
+    }
+
+    /// All immediate subsets (each obtained by removing one item).
+    pub fn immediate_subsets(&self) -> Vec<Itemset> {
+        (0..self.items.len())
+            .map(|skip| {
+                let items = self
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &it)| (i != skip).then_some(it))
+                    .collect();
+                Itemset { items }
+            })
+            .collect()
+    }
+
+    /// Approximate resident bytes (for store budget accounting).
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Itemset>() + self.items.len() * std::mem::size_of::<Item>()
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{it}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(pairs: &[(usize, u32)]) -> Itemset {
+        Itemset::new(pairs.iter().map(|&(a, c)| Item::new(a, c)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedupes() {
+        let s = Itemset::new(vec![Item::new(3, 1), Item::new(1, 2), Item::new(3, 1)]);
+        assert_eq!(s.items(), &[Item::new(1, 2), Item::new(3, 1)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn containment_in_row() {
+        let s = iset(&[(0, 5), (2, 1)]);
+        assert!(s.contained_in(&[5, 9, 1, 0]));
+        assert!(!s.contained_in(&[5, 9, 2, 0]));
+        assert!(Itemset::new(vec![]).contained_in(&[1, 2]));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = iset(&[(1, 2)]);
+        let big = iset(&[(0, 1), (1, 2), (3, 4)]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(big.is_subset_of(&big));
+        assert!(Itemset::new(vec![]).is_subset_of(&small));
+        let other = iset(&[(1, 3)]);
+        assert!(!other.is_subset_of(&big));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = iset(&[(0, 1)]);
+        let b = iset(&[(2, 3)]);
+        assert_eq!(a.union(&b), iset(&[(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn immediate_subsets_cover_all_removals() {
+        let s = iset(&[(0, 1), (1, 2), (2, 3)]);
+        let subs = s.immediate_subsets();
+        assert_eq!(subs.len(), 3);
+        for sub in &subs {
+            assert_eq!(sub.len(), 2);
+            assert!(sub.is_subset_of(&s));
+        }
+        assert!(subs.contains(&iset(&[(1, 2), (2, 3)])));
+        assert!(subs.contains(&iset(&[(0, 1), (2, 3)])));
+        assert!(subs.contains(&iset(&[(0, 1), (1, 2)])));
+    }
+
+    #[test]
+    fn item_key_is_injective() {
+        let a = Item::new(1, 2).key();
+        let b = Item::new(2, 1).key();
+        let c = Item::new(1, 3).key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = iset(&[(0, 1), (2, 7)]);
+        assert_eq!(s.to_string(), "{A0=1, A2=7}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's batch sampling rule.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+use shahin_tabular::DiscreteTable;
+
+/// Shahin's sample-size heuristic (paper §3): mine frequent itemsets over a
+/// uniform sample of `max(1000, 1% of batch)` tuples, never exceeding the
+/// batch itself.
+#[inline]
+pub fn shahin_sample_size(batch_size: usize) -> usize {
+    (batch_size / 100).max(1000).min(batch_size)
+}
+
+/// Draws a uniform random sample of rows (without replacement) of the size
+/// given by [`shahin_sample_size`], as a new table.
+pub fn sample_rows(table: &DiscreteTable, rng: &mut impl Rng) -> DiscreteTable {
+    let k = shahin_sample_size(table.n_rows());
+    if k >= table.n_rows() {
+        return table.clone();
+    }
+    let idx: Vec<usize> = sample(rng, table.n_rows(), k).into_vec();
+    table.select(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_rule_matches_paper() {
+        assert_eq!(shahin_sample_size(10), 10);
+        assert_eq!(shahin_sample_size(1000), 1000);
+        assert_eq!(shahin_sample_size(50_000), 1000);
+        assert_eq!(shahin_sample_size(200_000), 2000);
+        assert_eq!(shahin_sample_size(1_000_000), 10_000);
+    }
+
+    #[test]
+    fn small_table_returned_whole() {
+        let t = DiscreteTable::new(vec![vec![1, 2, 3]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sample_rows(&t, &mut rng);
+        assert_eq!(s.n_rows(), 3);
+    }
+
+    #[test]
+    fn large_table_sampled_without_replacement() {
+        let t = DiscreteTable::new(vec![(0..150_000u32).collect()]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_rows(&t, &mut rng);
+        assert_eq!(s.n_rows(), 1500);
+        let mut codes: Vec<u32> = (0..s.n_rows()).map(|r| s.code(r, 0)).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 1500, "sample has duplicates");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let t = DiscreteTable::new(vec![(0..200_000u32).collect()]);
+        let a = sample_rows(&t, &mut StdRng::seed_from_u64(5));
+        let b = sample_rows(&t, &mut StdRng::seed_from_u64(5));
+        for r in 0..a.n_rows() {
+            assert_eq!(a.code(r, 0), b.code(r, 0));
+        }
+    }
+}

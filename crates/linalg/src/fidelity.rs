@@ -1,0 +1,120 @@
+//! Explanation fidelity metrics (paper §4.2, "Explanation Quality").
+
+/// Euclidean distance between two explanation weight vectors.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Feature indices ranked by decreasing absolute weight (ties broken by
+/// index for determinism). This is the "importance ranking" the paper
+/// compares with Kendall-τ.
+pub fn rank_by_magnitude(weights: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..weights.len()).collect();
+    idx.sort_by(|&i, &j| {
+        weights[j]
+            .abs()
+            .partial_cmp(&weights[i].abs())
+            .expect("no NaN weights")
+            .then(i.cmp(&j))
+    });
+    idx
+}
+
+/// Kendall rank correlation coefficient (τ-a) between the *rankings induced
+/// by* two weight vectors: +1 for identical orderings, −1 for reversed.
+///
+/// O(n²) pair counting — explanation vectors have tens of entries.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Positions of each feature in each ranking.
+    let pos = |ranking: Vec<usize>| {
+        let mut p = vec![0usize; n];
+        for (rank, &feat) in ranking.iter().enumerate() {
+            p[feat] = rank;
+        }
+        p
+    };
+    let pa = pos(rank_by_magnitude(a));
+    let pb = pos(rank_by_magnitude(b));
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = pa[i] as i64 - pa[j] as i64;
+            let db = pb[i] as i64 - pb[j] as i64;
+            if da * db > 0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ranking_by_magnitude() {
+        assert_eq!(rank_by_magnitude(&[0.1, -0.9, 0.5]), vec![1, 2, 0]);
+        // Ties break by index.
+        assert_eq!(rank_by_magnitude(&[0.5, -0.5]), vec![0, 1]);
+    }
+
+    #[test]
+    fn tau_identical_is_one() {
+        let w = [0.3, -0.7, 0.1, 0.9];
+        assert_eq!(kendall_tau(&w, &w), 1.0);
+        // Scaling preserves the ranking.
+        let scaled: Vec<f64> = w.iter().map(|x| x * 2.0).collect();
+        assert_eq!(kendall_tau(&w, &scaled), 1.0);
+    }
+
+    #[test]
+    fn tau_reversed_is_minus_one() {
+        let a = [4.0, 3.0, 2.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn tau_single_swap() {
+        // Rankings [0,1,2] vs [1,0,2]: one discordant pair of three.
+        let a = [3.0, 2.0, 1.0];
+        let b = [2.0, 3.0, 1.0];
+        let tau = kendall_tau(&a, &b);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12, "{tau}");
+    }
+
+    #[test]
+    fn tau_degenerate_lengths() {
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[1.0], &[5.0]), 1.0);
+    }
+
+    #[test]
+    fn sign_does_not_matter_only_magnitude() {
+        // |w| identical => same ranking even with flipped signs.
+        let a = [0.9, -0.5, 0.1];
+        let b = [-0.9, 0.5, -0.1];
+        assert_eq!(kendall_tau(&a, &b), 1.0);
+    }
+}

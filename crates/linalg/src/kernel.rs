@@ -1,0 +1,105 @@
+//! Proximity and coalition kernels.
+
+/// LIME's exponential proximity kernel:
+/// `exp(−d² / width²)`, where `d` is the distance between the instance and
+/// a perturbation in the interpretable (binary) space and `width` is the
+/// kernel width (LIME's default is `sqrt(n_features) · 0.75`).
+#[inline]
+pub fn exponential_kernel(distance: f64, width: f64) -> f64 {
+    assert!(width > 0.0, "kernel width must be positive");
+    (-(distance * distance) / (width * width)).exp()
+}
+
+/// The default LIME kernel width for `m` interpretable features.
+#[inline]
+pub fn default_kernel_width(m: usize) -> f64 {
+    (m as f64).sqrt() * 0.75
+}
+
+/// The SHAP kernel weight `π(m, s)` of Eq. 1 of the paper:
+///
+/// ```text
+/// π(m, s) = (m − 1) / (C(m, s) · s · (m − s))
+/// ```
+///
+/// for coalition size `s` of `m` features. The weight diverges at `s = 0`
+/// and `s = m`; those coalitions are handled by the efficiency constraints,
+/// so this function returns 0 for them (the reference implementation
+/// likewise excludes them from sampling).
+pub fn shap_kernel_weight(m: usize, s: usize) -> f64 {
+    if s == 0 || s >= m {
+        return 0.0;
+    }
+    let num = (m - 1) as f64;
+    let denom = binomial(m, s) * s as f64 * (m - s) as f64;
+    num / denom
+}
+
+/// `C(n, k)` as f64, computed multiplicatively to avoid overflow for the
+/// attribute counts seen in tabular data.
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_kernel_decreases_with_distance() {
+        let w = 1.0;
+        assert_eq!(exponential_kernel(0.0, w), 1.0);
+        let k1 = exponential_kernel(0.5, w);
+        let k2 = exponential_kernel(1.0, w);
+        assert!(k1 > k2 && k2 > 0.0);
+    }
+
+    #[test]
+    fn default_width_matches_lime() {
+        assert!((default_kernel_width(4) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 7), 0.0);
+        assert!((binomial(50, 25) - 1.2641060643775244e14).abs() / 1.26e14 < 1e-9);
+    }
+
+    #[test]
+    fn shap_kernel_is_symmetric_and_u_shaped() {
+        let m = 10;
+        for s in 1..m {
+            let w = shap_kernel_weight(m, s);
+            assert!(w > 0.0);
+            assert!((w - shap_kernel_weight(m, m - s)).abs() < 1e-15, "s={s}");
+        }
+        // Extremes are heavier than the middle (paper: "generating feature
+        // subsets that are either very small or very large is preferable").
+        assert!(shap_kernel_weight(m, 1) > shap_kernel_weight(m, 5));
+        assert!(shap_kernel_weight(m, 9) > shap_kernel_weight(m, 4));
+    }
+
+    #[test]
+    fn shap_kernel_boundaries_are_zero() {
+        assert_eq!(shap_kernel_weight(5, 0), 0.0);
+        assert_eq!(shap_kernel_weight(5, 5), 0.0);
+        assert_eq!(shap_kernel_weight(5, 6), 0.0);
+    }
+
+    #[test]
+    fn shap_kernel_known_value() {
+        // m=4, s=2: (4-1) / (6 * 2 * 2) = 0.125
+        assert!((shap_kernel_weight(4, 2) - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Row-major dense matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `Aᵀ · diag(w) · A`, the weighted Gram matrix (`cols × cols`).
+    ///
+    /// This is the only expensive product the normal equations need;
+    /// computed symmetrically (upper triangle mirrored).
+    pub fn weighted_gram(&self, weights: &[f64]) -> Matrix {
+        assert_eq!(weights.len(), self.rows, "one weight per row");
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for (r, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for i in 0..n {
+                let wi = w * row[i];
+                if wi == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += wi * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ · diag(w) · y` (`cols`-vector).
+    pub fn weighted_tx_vec(&self, weights: &[f64], y: &[f64]) -> Vec<f64> {
+        assert_eq!(weights.len(), self.rows, "one weight per row");
+        assert_eq!(y.len(), self.rows, "one target per row");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let wy = weights[r] * y[r];
+            if wy == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += wy * a;
+            }
+        }
+        out
+    }
+
+    /// `A · x` (`rows`-vector).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_gram_matches_manual() {
+        // A = [[1, 2], [3, 4]], w = [1, 2]
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let g = a.weighted_gram(&[1.0, 2.0]);
+        // AᵀWA = [[1+18, 2+24], [2+24, 4+32]]
+        assert_eq!(g[(0, 0)], 19.0);
+        assert_eq!(g[(0, 1)], 26.0);
+        assert_eq!(g[(1, 0)], 26.0);
+        assert_eq!(g[(1, 1)], 36.0);
+    }
+
+    #[test]
+    fn weighted_tx_vec_matches_manual() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v = a.weighted_tx_vec(&[1.0, 2.0], &[5.0, 6.0]);
+        // AᵀW y = [5 + 36, 10 + 48]
+        assert_eq!(v, vec![41.0, 58.0]);
+    }
+
+    #[test]
+    fn zero_weights_drop_rows() {
+        let a = Matrix::from_rows(2, 1, vec![3.0, 7.0]);
+        let g = a.weighted_gram(&[0.0, 1.0]);
+        assert_eq!(g[(0, 0)], 49.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_rejected() {
+        Matrix::from_rows(2, 2, vec![1.0]);
+    }
+}

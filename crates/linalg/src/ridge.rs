@@ -1,0 +1,169 @@
+//! Weighted ridge regression — LIME's interpretable surrogate.
+
+use crate::matrix::Matrix;
+use crate::solve::solve_spd;
+
+/// A fitted ridge model: `ŷ = intercept + x · coefficients`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RidgeFit {
+    /// Per-feature coefficients (the explanation weights).
+    pub coefficients: Vec<f64>,
+    /// Unpenalized intercept.
+    pub intercept: f64,
+}
+
+impl RidgeFit {
+    /// Predicts the target for a feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+}
+
+/// Fits weighted ridge regression by solving the normal equations
+/// `(Xᵀ W X + α I) β = Xᵀ W y` on *weighted-mean-centered* data, which
+/// leaves the intercept unpenalized (matching scikit-learn's `Ridge`, which
+/// LIME uses).
+///
+/// `alpha` is the L2 penalty (LIME's default is 1.0); `weights` are the
+/// proximity-kernel sample weights.
+pub fn ridge(x: &Matrix, y: &[f64], weights: &[f64], alpha: f64) -> RidgeFit {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(y.len(), n, "target length mismatch");
+    assert_eq!(weights.len(), n, "weight length mismatch");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    assert!(n > 0, "need at least one sample");
+    let w_sum: f64 = weights.iter().sum();
+    assert!(w_sum > 0.0, "weights must not all be zero");
+
+    // Weighted means.
+    let mut x_mean = vec![0.0; p];
+    let mut y_mean = 0.0;
+    for r in 0..n {
+        let w = weights[r];
+        y_mean += w * y[r];
+        for (m, &v) in x_mean.iter_mut().zip(x.row(r)) {
+            *m += w * v;
+        }
+    }
+    y_mean /= w_sum;
+    for m in &mut x_mean {
+        *m /= w_sum;
+    }
+
+    // Centered design and target.
+    let mut xc = Matrix::zeros(n, p);
+    let mut yc = vec![0.0; n];
+    for r in 0..n {
+        yc[r] = y[r] - y_mean;
+        let row = xc.row_mut(r);
+        for (j, &v) in x.row(r).iter().enumerate() {
+            row[j] = v - x_mean[j];
+        }
+    }
+
+    let mut gram = xc.weighted_gram(weights);
+    for j in 0..p {
+        gram[(j, j)] += alpha;
+    }
+    let rhs = xc.weighted_tx_vec(weights, &yc);
+    let coefficients = solve_spd(&gram, &rhs);
+    let intercept = y_mean
+        - coefficients
+            .iter()
+            .zip(&x_mean)
+            .map(|(c, m)| c * m)
+            .sum::<f64>();
+    RidgeFit {
+        coefficients,
+        intercept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows[0].len();
+        Matrix::from_rows(r, c, rows.iter().flat_map(|r| r.iter().copied()).collect())
+    }
+
+    #[test]
+    fn recovers_exact_linear_relation_at_zero_alpha() {
+        // y = 3 + 2*x0 - x1
+        let x = design(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..x.rows())
+            .map(|r| 3.0 + 2.0 * x.row(r)[0] - x.row(r)[1])
+            .collect();
+        let fit = ridge(&x, &y, &[1.0; 5], 0.0);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-8, "{fit:?}");
+        assert!((fit.coefficients[1] + 1.0).abs() < 1e-8, "{fit:?}");
+        assert!((fit.intercept - 3.0).abs() < 1e-8, "{fit:?}");
+    }
+
+    #[test]
+    fn alpha_shrinks_coefficients() {
+        let x = design(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = vec![0.0, 2.0, 4.0, 6.0];
+        let w = vec![1.0; 4];
+        let free = ridge(&x, &y, &w, 0.0);
+        let shrunk = ridge(&x, &y, &w, 10.0);
+        assert!((free.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!(shrunk.coefficients[0] < free.coefficients[0]);
+        assert!(shrunk.coefficients[0] > 0.0);
+    }
+
+    #[test]
+    fn weights_focus_the_fit() {
+        // Two regimes; weights select the first.
+        let x = design(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let y = vec![0.0, 1.0, 100.0, 90.0];
+        let fit = ridge(&x, &y, &[1.0, 1.0, 1e-9, 1e-9], 1e-6);
+        assert!((fit.coefficients[0] - 1.0).abs() < 1e-3, "{fit:?}");
+        assert!(fit.intercept.abs() < 1e-3, "{fit:?}");
+    }
+
+    #[test]
+    fn intercept_not_penalized() {
+        // Constant target far from zero: coefficients 0, intercept = mean.
+        let x = design(&[&[1.0], &[2.0], &[3.0]]);
+        let y = vec![100.0, 100.0, 100.0];
+        let fit = ridge(&x, &y, &[1.0; 3], 5.0);
+        assert!(fit.coefficients[0].abs() < 1e-8, "{fit:?}");
+        assert!((fit.intercept - 100.0).abs() < 1e-8, "{fit:?}");
+    }
+
+    #[test]
+    fn predict_roundtrip() {
+        let x = design(&[&[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0], &[0.5, 0.5]]);
+        let y = vec![1.0, 2.0, 3.0, 2.0];
+        let fit = ridge(&x, &y, &[1.0; 4], 0.01);
+        for (r, &target) in y.iter().enumerate() {
+            let p = fit.predict(x.row(r));
+            assert!((p - target).abs() < 1.0, "prediction way off: {p} vs {target}");
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_are_fine() {
+        let x = design(&[&[1.0], &[1.0], &[1.0]]);
+        let y = vec![2.0, 2.0, 2.0];
+        let fit = ridge(&x, &y, &[1.0; 3], 1.0);
+        assert!(fit.coefficients[0].is_finite());
+        assert!((fit.predict(&[1.0]) - 2.0).abs() < 1e-6);
+    }
+}

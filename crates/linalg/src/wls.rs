@@ -1,0 +1,141 @@
+//! Equality-constrained weighted least squares — KernelSHAP's surrogate.
+
+use crate::matrix::Matrix;
+use crate::solve::solve_spd;
+
+/// Solves KernelSHAP's regression: given binary coalition rows `z`
+/// (`n × m`), model outputs `y`, kernel `weights`, the base value
+/// `base = E[f]` and the full prediction `fx = f(x)`, finds Shapley value
+/// estimates `φ` minimizing
+///
+/// ```text
+/// Σ_i w_i (y_i − base − Σ_j z_ij φ_j)²
+/// subject to  Σ_j φ_j = fx − base          (efficiency)
+/// ```
+///
+/// The constraint is eliminated analytically by substituting
+/// `φ_m = (fx − base) − Σ_{j<m} φ_j`, exactly as the reference KernelSHAP
+/// implementation does, leaving an unconstrained `(m−1)`-dimensional WLS
+/// problem solved by the normal equations (with LDLᵀ + jitter).
+pub fn constrained_wls(
+    z: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+    base: f64,
+    fx: f64,
+) -> Vec<f64> {
+    let n = z.rows();
+    let m = z.cols();
+    assert_eq!(y.len(), n, "target length mismatch");
+    assert_eq!(weights.len(), n, "weight length mismatch");
+    assert!(m >= 1, "need at least one feature");
+    let total = fx - base;
+    if m == 1 {
+        // The constraint fully determines the single value.
+        return vec![total];
+    }
+
+    // Reduced design: columns j<m become (z_j − z_m); target becomes
+    // y − base − z_m · total.
+    let mut xr = Matrix::zeros(n, m - 1);
+    let mut yr = vec![0.0; n];
+    for r in 0..n {
+        let zrow = z.row(r);
+        let zm = zrow[m - 1];
+        yr[r] = y[r] - base - zm * total;
+        let dst = xr.row_mut(r);
+        for j in 0..m - 1 {
+            dst[j] = zrow[j] - zm;
+        }
+    }
+    let mut gram = xr.weighted_gram(weights);
+    // Tiny ridge jitter for degenerate coalition samples.
+    let jitter = 1e-10;
+    for j in 0..m - 1 {
+        gram[(j, j)] += jitter;
+    }
+    let rhs = xr.weighted_tx_vec(weights, &yr);
+    let mut phi = solve_spd(&gram, &rhs);
+    let sum_head: f64 = phi.iter().sum();
+    phi.push(total - sum_head);
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalition_matrix(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(
+            rows.len(),
+            rows[0].len(),
+            rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        )
+    }
+
+    #[test]
+    fn efficiency_constraint_always_holds() {
+        let z = coalition_matrix(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[1.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+        ]);
+        let y = vec![1.0, 2.0, 0.5, 3.3, 1.2, 2.9];
+        let w = vec![1.0, 0.5, 2.0, 1.0, 1.0, 0.1];
+        let phi = constrained_wls(&z, &y, &w, 0.4, 3.7);
+        let s: f64 = phi.iter().sum();
+        assert!((s - (3.7 - 0.4)).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn recovers_exactly_additive_model() {
+        // f(S) = base + Σ_{j∈S} v_j with v = [2, -1, 0.5] — the Shapley
+        // values of an additive game are the v_j themselves.
+        let v = [2.0, -1.0, 0.5];
+        let base = 1.0;
+        let all_coalitions: Vec<Vec<f64>> = (1..7u32) // skip empty and full
+            .map(|mask| (0..3).map(|j| f64::from(mask >> j & 1)).collect())
+            .collect();
+        let rows: Vec<&[f64]> = all_coalitions.iter().map(|r| r.as_slice()).collect();
+        let z = coalition_matrix(&rows);
+        let y: Vec<f64> = all_coalitions
+            .iter()
+            .map(|row| base + row.iter().zip(&v).map(|(z, v)| z * v).sum::<f64>())
+            .collect();
+        let fx = base + v.iter().sum::<f64>();
+        let phi = constrained_wls(&z, &y, &[1.0; 6], base, fx);
+        for (p, expect) in phi.iter().zip(&v) {
+            assert!((p - expect).abs() < 1e-6, "{phi:?}");
+        }
+    }
+
+    #[test]
+    fn single_feature_gets_full_credit() {
+        let z = coalition_matrix(&[&[1.0], &[0.0]]);
+        let phi = constrained_wls(&z, &[5.0, 2.0], &[1.0, 1.0], 2.0, 5.0);
+        assert_eq!(phi, vec![3.0]);
+    }
+
+    #[test]
+    fn weights_change_the_solution() {
+        let z = coalition_matrix(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y = vec![1.0, 3.0, 3.5];
+        let a = constrained_wls(&z, &y, &[1.0, 1.0, 1.0], 0.0, 3.5);
+        let b = constrained_wls(&z, &y, &[100.0, 1.0, 1.0], 0.0, 3.5);
+        assert!((a[0] - b[0]).abs() > 1e-6, "weights had no effect");
+        // Both still satisfy efficiency.
+        assert!((a.iter().sum::<f64>() - 3.5).abs() < 1e-9);
+        assert!((b.iter().sum::<f64>() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_duplicate_rows_stay_finite() {
+        let z = coalition_matrix(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]]);
+        let phi = constrained_wls(&z, &[1.0, 1.0, 1.0], &[1.0; 3], 0.0, 2.0);
+        assert!(phi.iter().all(|p| p.is_finite()), "{phi:?}");
+        assert!((phi.iter().sum::<f64>() - 2.0).abs() < 1e-6);
+    }
+}

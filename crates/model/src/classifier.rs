@@ -1,0 +1,99 @@
+//! The black-box classifier interface.
+
+use shahin_tabular::Feature;
+
+/// A binary black-box classifier over tabular instances.
+///
+/// Everything downstream — the explainers and Shahin itself — interacts
+/// with models exclusively through this trait, treating them as opaque
+/// functions. Implementations must be deterministic: the same instance
+/// always yields the same probability (Shahin's caching correctness
+/// argument relies on this, as does the reference implementations').
+pub trait Classifier: Send + Sync {
+    /// Probability of the positive class for one instance.
+    fn predict_proba(&self, instance: &[Feature]) -> f64;
+
+    /// Hard label at the 0.5 threshold.
+    fn predict(&self, instance: &[Feature]) -> u8 {
+        u8::from(self.predict_proba(instance) >= 0.5)
+    }
+
+    /// Probabilities for a batch of instances.
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        instances.iter().map(|i| self.predict_proba(i)).collect()
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for &C {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        (**self).predict_proba(instance)
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for std::sync::Arc<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        (**self).predict_proba(instance)
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        (**self).predict_proba(instance)
+    }
+}
+
+/// The trivial baseline: always predicts the majority class of the training
+/// labels (with its empirical probability).
+#[derive(Clone, Debug)]
+pub struct MajorityClass {
+    proba: f64,
+}
+
+impl MajorityClass {
+    /// Fits on training labels.
+    pub fn fit(labels: &[u8]) -> MajorityClass {
+        assert!(!labels.is_empty(), "need at least one label");
+        let pos: usize = labels.iter().map(|&l| usize::from(l)).sum();
+        MajorityClass {
+            proba: pos as f64 / labels.len() as f64,
+        }
+    }
+}
+
+impl Classifier for MajorityClass {
+    fn predict_proba(&self, _instance: &[Feature]) -> f64 {
+        self.proba
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_class_probability() {
+        let m = MajorityClass::fit(&[1, 1, 1, 0]);
+        assert_eq!(m.predict_proba(&[Feature::Num(0.0)]), 0.75);
+        assert_eq!(m.predict(&[Feature::Num(0.0)]), 1);
+        let m = MajorityClass::fit(&[0, 0, 0, 1]);
+        assert_eq!(m.predict(&[Feature::Num(0.0)]), 0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let m = MajorityClass::fit(&[1, 0]);
+        let batch = vec![vec![Feature::Cat(0)], vec![Feature::Cat(1)]];
+        assert_eq!(m.predict_proba_batch(&batch), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn trait_objects_and_wrappers_work() {
+        let m = MajorityClass::fit(&[1]);
+        let by_ref: &dyn Classifier = &m;
+        assert_eq!(by_ref.predict(&[]), 1);
+        let arced: std::sync::Arc<dyn Classifier> = std::sync::Arc::new(m.clone());
+        assert_eq!(arced.predict(&[]), 1);
+        let boxed: Box<dyn Classifier> = Box::new(m);
+        assert_eq!(boxed.predict(&[]), 1);
+    }
+}

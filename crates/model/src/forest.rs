@@ -1,0 +1,178 @@
+//! Random Forests: bagged CART trees with feature subsampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shahin_tabular::{Dataset, Feature};
+
+use crate::classifier::Classifier;
+use crate::tree::{DecisionTree, TreeParams};
+
+/// Random Forest hyperparameters.
+#[derive(Clone, Debug)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters. `max_features = 0` here means "use ⌊√m⌋".
+    pub tree: TreeParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 25,
+            tree: TreeParams {
+                max_depth: 10,
+                min_samples_split: 4,
+                max_features: 0, // replaced by ⌊√m⌋ at fit time
+                max_numeric_candidates: 16,
+                max_categorical_candidates: 32,
+            },
+        }
+    }
+}
+
+/// A trained Random Forest binary classifier. Probability is the mean of
+/// the trees' leaf probabilities.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Trains the forest: each tree sees a bootstrap sample (with
+    /// replacement, same size as the training set) and considers `⌊√m⌋`
+    /// attributes per split.
+    pub fn fit(
+        data: &Dataset,
+        labels: &[u8],
+        params: &ForestParams,
+        rng: &mut impl Rng,
+    ) -> RandomForest {
+        assert!(params.n_trees >= 1, "need at least one tree");
+        assert_eq!(data.n_rows(), labels.len(), "label count mismatch");
+        let n = data.n_rows();
+        let mut tree_params = params.tree.clone();
+        if tree_params.max_features == 0 {
+            tree_params.max_features = ((data.n_attrs() as f64).sqrt().floor() as usize).max(1);
+        }
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let mut tree_rng = StdRng::seed_from_u64(rng.gen());
+                let rows: Vec<u32> = (0..n)
+                    .map(|_| tree_rng.gen_range(0..n as u32))
+                    .collect();
+                DecisionTree::fit_on_rows(data, labels, rows, &tree_params, &mut tree_rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        let sum: f64 = self
+            .trees
+            .iter()
+            .map(|t| t.predict_proba(instance))
+            .sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_tabular::{train_test_split, DatasetPreset};
+
+    #[test]
+    fn beats_majority_on_planted_concept() {
+        let spec = DatasetPreset::Recidivism.spec(0.1);
+        let (data, labels) = spec.generate(17);
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let forest = RandomForest::fit(
+            &split.train,
+            &split.train_labels,
+            &ForestParams {
+                n_trees: 15,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let preds: Vec<u8> = (0..split.test.n_rows())
+            .map(|r| forest.predict(&split.test.instance(r)))
+            .collect();
+        let acc = accuracy(&preds, &split.test_labels);
+        assert!(acc > 0.70, "forest accuracy only {acc}");
+    }
+
+    #[test]
+    fn probability_is_tree_average() {
+        let spec = DatasetPreset::Covertype.spec(0.01);
+        let (data, labels) = spec.generate(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let forest = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let inst = data.instance(0);
+        let avg: f64 = forest
+            .trees
+            .iter()
+            .map(|t| t.predict_proba(&inst))
+            .sum::<f64>()
+            / 5.0;
+        assert!((forest.predict_proba(&inst) - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = DatasetPreset::Recidivism.spec(0.02);
+        let (data, labels) = spec.generate(2);
+        let f1 = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestParams::default(),
+            &mut StdRng::seed_from_u64(99),
+        );
+        let f2 = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestParams::default(),
+            &mut StdRng::seed_from_u64(99),
+        );
+        for r in 0..20.min(data.n_rows()) {
+            let inst = data.instance(r);
+            assert_eq!(f1.predict_proba(&inst), f2.predict_proba(&inst));
+        }
+    }
+
+    #[test]
+    fn prediction_is_pure() {
+        // Same instance, same answer, every time (Shahin's cache soundness
+        // depends on this).
+        let spec = DatasetPreset::Recidivism.spec(0.02);
+        let (data, labels) = spec.generate(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let forest = RandomForest::fit(&data, &labels, &ForestParams::default(), &mut rng);
+        let inst = data.instance(7);
+        let p = forest.predict_proba(&inst);
+        for _ in 0..10 {
+            assert_eq!(forest.predict_proba(&inst), p);
+        }
+    }
+}

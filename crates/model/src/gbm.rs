@@ -1,0 +1,459 @@
+//! Gradient-boosted trees for binary classification.
+//!
+//! A second non-trivial black box (beyond the Random Forest the paper
+//! evaluates) to exercise the model-agnostic claim: Shahin never looks
+//! inside the classifier, so its speedups must carry over unchanged.
+//! Standard logistic-loss boosting: each round fits a small regression
+//! tree to the negative gradient (residuals) of the current logits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use shahin_tabular::{Column, Dataset, Feature};
+
+use crate::classifier::Classifier;
+
+/// GBM hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GbmParams {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Maximum regression-tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Row subsample fraction per round (stochastic gradient boosting).
+    pub subsample: f64,
+}
+
+impl Default for GbmParams {
+    fn default() -> Self {
+        GbmParams {
+            n_rounds: 30,
+            learning_rate: 0.2,
+            max_depth: 3,
+            min_samples_split: 8,
+            subsample: 0.8,
+        }
+    }
+}
+
+/// Arena node of a regression tree over mixed features.
+#[derive(Clone, Debug)]
+enum RNode {
+    Leaf {
+        value: f64,
+    },
+    SplitNum {
+        attr: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    SplitCat {
+        attr: u32,
+        code: u32,
+        left: u32,
+        right: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct RegressionTree {
+    nodes: Vec<RNode>,
+}
+
+impl RegressionTree {
+    fn predict(&self, instance: &[Feature]) -> f64 {
+        let mut idx = 0u32;
+        loop {
+            match self.nodes[idx as usize] {
+                RNode::Leaf { value } => return value,
+                RNode::SplitNum {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if instance[attr as usize].num() < threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+                RNode::SplitCat {
+                    attr,
+                    code,
+                    left,
+                    right,
+                } => {
+                    idx = if instance[attr as usize].cat() == code {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+struct RtBuilder<'a> {
+    data: &'a Dataset,
+    targets: &'a [f64],
+    params: &'a GbmParams,
+    nodes: Vec<RNode>,
+}
+
+impl RtBuilder<'_> {
+    fn leaf(&mut self, rows: &[u32]) -> u32 {
+        let value = rows.iter().map(|&r| self.targets[r as usize]).sum::<f64>()
+            / rows.len() as f64;
+        self.nodes.push(RNode::Leaf { value });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn build(&mut self, rows: &mut Vec<u32>, depth: usize) -> u32 {
+        if depth >= self.params.max_depth || rows.len() < self.params.min_samples_split {
+            return self.leaf(rows);
+        }
+        // Best variance-reducing split across all attributes.
+        let mut best: Option<(f64, RSplit)> = None;
+        for attr in 0..self.data.n_attrs() {
+            if let Some((score, split)) = self.best_split_on(attr, rows) {
+                if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                    best = Some((score, split));
+                }
+            }
+        }
+        let total_sse = sse(rows.iter().map(|&r| self.targets[r as usize]));
+        let Some((score, split)) = best else {
+            return self.leaf(rows);
+        };
+        if score >= total_sse - 1e-12 {
+            return self.leaf(rows);
+        }
+        let (mut left, mut right): (Vec<u32>, Vec<u32>) = match split {
+            RSplit::Num { attr, threshold } => {
+                let Column::Num(col) = self.data.column(attr as usize) else {
+                    unreachable!()
+                };
+                rows.iter().partition(|&&r| col[r as usize] < threshold)
+            }
+            RSplit::Cat { attr, code } => {
+                let Column::Cat(col) = self.data.column(attr as usize) else {
+                    unreachable!()
+                };
+                rows.iter().partition(|&&r| col[r as usize] == code)
+            }
+        };
+        if left.is_empty() || right.is_empty() {
+            return self.leaf(rows);
+        }
+        rows.clear();
+        self.nodes.push(RNode::Leaf { value: 0.0 });
+        let idx = (self.nodes.len() - 1) as u32;
+        let l = self.build(&mut left, depth + 1);
+        let r = self.build(&mut right, depth + 1);
+        self.nodes[idx as usize] = match split {
+            RSplit::Num { attr, threshold } => RNode::SplitNum {
+                attr,
+                threshold,
+                left: l,
+                right: r,
+            },
+            RSplit::Cat { attr, code } => RNode::SplitCat {
+                attr,
+                code,
+                left: l,
+                right: r,
+            },
+        };
+        idx
+    }
+
+    fn best_split_on(&self, attr: usize, rows: &[u32]) -> Option<(f64, RSplit)> {
+        match self.data.column(attr) {
+            Column::Num(col) => {
+                let mut vals: Vec<(f64, f64)> = rows
+                    .iter()
+                    .map(|&r| (col[r as usize], self.targets[r as usize]))
+                    .collect();
+                vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+                let total_sum: f64 = vals.iter().map(|v| v.1).sum();
+                let total_sq: f64 = vals.iter().map(|v| v.1 * v.1).sum();
+                let n = vals.len() as f64;
+                let step = (vals.len() / 17).max(1);
+                let mut best: Option<(f64, RSplit)> = None;
+                let mut sum_l = 0.0;
+                let mut n_l = 0.0;
+                let mut next = step;
+                for i in 0..vals.len() - 1 {
+                    sum_l += vals[i].1;
+                    n_l += 1.0;
+                    if i + 1 < next {
+                        continue;
+                    }
+                    next += step;
+                    if vals[i].0 == vals[i + 1].0 {
+                        continue;
+                    }
+                    // SSE = Σy² − (Σy)²/n per side; Σy² is shared.
+                    let sum_r = total_sum - sum_l;
+                    let n_r = n - n_l;
+                    let score = total_sq - sum_l * sum_l / n_l - sum_r * sum_r / n_r;
+                    if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                        best = Some((
+                            score,
+                            RSplit::Num {
+                                attr: attr as u32,
+                                threshold: 0.5 * (vals[i].0 + vals[i + 1].0),
+                            },
+                        ));
+                    }
+                }
+                best
+            }
+            Column::Cat(col) => {
+                let mut stats: Vec<(u32, f64, f64)> = Vec::new(); // (code, n, sum)
+                let mut total_sum = 0.0;
+                let mut total_sq = 0.0;
+                for &r in rows {
+                    let code = col[r as usize];
+                    let t = self.targets[r as usize];
+                    total_sum += t;
+                    total_sq += t * t;
+                    match stats.iter_mut().find(|s| s.0 == code) {
+                        Some(s) => {
+                            s.1 += 1.0;
+                            s.2 += t;
+                        }
+                        None => stats.push((code, 1.0, t)),
+                    }
+                }
+                if stats.len() < 2 {
+                    return None;
+                }
+                let n = rows.len() as f64;
+                stats
+                    .iter()
+                    .filter(|&&(_, n_l, _)| n_l < n)
+                    .map(|&(code, n_l, sum_l)| {
+                        let sum_r = total_sum - sum_l;
+                        let n_r = n - n_l;
+                        let score = total_sq - sum_l * sum_l / n_l - sum_r * sum_r / n_r;
+                        (
+                            score,
+                            RSplit::Cat {
+                                attr: attr as u32,
+                                code,
+                            },
+                        )
+                    })
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RSplit {
+    Num { attr: u32, threshold: f64 },
+    Cat { attr: u32, code: u32 },
+}
+
+fn sse(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut n, mut sum, mut sq) = (0.0, 0.0, 0.0);
+    for v in values {
+        n += 1.0;
+        sum += v;
+        sq += v * v;
+    }
+    if n == 0.0 {
+        0.0
+    } else {
+        sq - sum * sum / n
+    }
+}
+
+/// A trained gradient-boosted trees classifier.
+#[derive(Clone, Debug)]
+pub struct GradientBoosting {
+    base_logit: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoosting {
+    /// Trains with logistic loss.
+    pub fn fit(
+        data: &Dataset,
+        labels: &[u8],
+        params: &GbmParams,
+        rng: &mut impl Rng,
+    ) -> GradientBoosting {
+        assert_eq!(data.n_rows(), labels.len(), "label count mismatch");
+        assert!(data.n_rows() > 0, "need training data");
+        assert!(
+            (0.0..=1.0).contains(&params.subsample) && params.subsample > 0.0,
+            "subsample must be in (0, 1]"
+        );
+        let n = data.n_rows();
+        let pos: f64 = labels.iter().map(|&l| f64::from(l)).sum();
+        let prior = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        let base_logit = (prior / (1.0 - prior)).ln();
+
+        let mut logits = vec![base_logit; n];
+        let mut residuals = vec![0.0; n];
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        let mut all_rows: Vec<u32> = (0..n as u32).collect();
+        let sub = ((params.subsample * n as f64).round() as usize).clamp(1, n);
+        for _ in 0..params.n_rounds {
+            for i in 0..n {
+                let p = 1.0 / (1.0 + (-logits[i]).exp());
+                residuals[i] = f64::from(labels[i]) - p;
+            }
+            all_rows.shuffle(rng);
+            let mut rows: Vec<u32> = all_rows[..sub].to_vec();
+            let mut builder = RtBuilder {
+                data,
+                targets: &residuals,
+                params,
+                nodes: Vec::new(),
+            };
+            builder.build(&mut rows, 0);
+            let tree = RegressionTree {
+                nodes: builder.nodes,
+            };
+            for i in 0..n {
+                logits[i] += params.learning_rate * tree.predict(&data.instance(i));
+            }
+            trees.push(tree);
+        }
+        GradientBoosting {
+            base_logit,
+            learning_rate: params.learning_rate,
+            trees,
+        }
+    }
+
+    /// Number of boosted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        let logit = self.base_logit
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(instance))
+                    .sum::<f64>();
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_tabular::{train_test_split, DatasetPreset};
+
+    #[test]
+    fn learns_the_planted_concept() {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.1).generate(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let gbm = GradientBoosting::fit(
+            &split.train,
+            &split.train_labels,
+            &GbmParams::default(),
+            &mut rng,
+        );
+        let preds: Vec<u8> = (0..split.test.n_rows())
+            .map(|r| gbm.predict(&split.test.instance(r)))
+            .collect();
+        let acc = accuracy(&preds, &split.test_labels);
+        assert!(acc > 0.70, "GBM accuracy only {acc}");
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let (data, labels) = DatasetPreset::Covertype.spec(0.01).generate(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gbm = GradientBoosting::fit(&data, &labels, &GbmParams::default(), &mut rng);
+        for r in 0..30.min(data.n_rows()) {
+            let p = gbm.predict_proba(&data.instance(r));
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_pure() {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.02).generate(3);
+        let g1 = GradientBoosting::fit(
+            &data,
+            &labels,
+            &GbmParams::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let g2 = GradientBoosting::fit(
+            &data,
+            &labels,
+            &GbmParams::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let inst = data.instance(0);
+        assert_eq!(g1.predict_proba(&inst), g2.predict_proba(&inst));
+        assert_eq!(g1.predict_proba(&inst), g1.predict_proba(&inst));
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let (data, _) = DatasetPreset::Recidivism.spec(0.01).generate(4);
+        let labels = vec![1u8; data.n_rows()];
+        let mut rng = StdRng::seed_from_u64(5);
+        let gbm = GradientBoosting::fit(&data, &labels, &GbmParams::default(), &mut rng);
+        let p = gbm.predict_proba(&data.instance(0));
+        assert!(p > 0.9, "constant-positive data should predict ~1, got {p}");
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.03).generate(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let short = GradientBoosting::fit(
+            &data,
+            &labels,
+            &GbmParams {
+                n_rounds: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let long = GradientBoosting::fit(
+            &data,
+            &labels,
+            &GbmParams {
+                n_rounds: 40,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let acc = |g: &GradientBoosting| {
+            let preds: Vec<u8> = (0..data.n_rows())
+                .map(|r| g.predict(&data.instance(r)))
+                .collect();
+            accuracy(&preds, &labels)
+        };
+        assert!(acc(&long) >= acc(&short) - 0.02, "boosting regressed");
+    }
+}

@@ -1,0 +1,150 @@
+//! Classifier instrumentation: invocation counting and simulated cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shahin_tabular::Feature;
+
+use crate::classifier::Classifier;
+
+/// Wraps a classifier and counts every `predict_proba` invocation.
+///
+/// Classifier invocations are the paper's cost driver (88% of LIME's and
+/// 92% of Anchor's runtime on Census-Income, §1), so they are the primary
+/// metric every experiment reports. The counter is shared across clones,
+/// letting baselines thread the same classifier through worker threads.
+#[derive(Clone)]
+pub struct CountingClassifier<C> {
+    inner: C,
+    count: Arc<AtomicU64>,
+}
+
+impl<C: Classifier> CountingClassifier<C> {
+    /// Wraps `inner` with a fresh counter.
+    pub fn new(inner: C) -> CountingClassifier<C> {
+        CountingClassifier {
+            inner,
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Classifier> Classifier for CountingClassifier<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.predict_proba(instance)
+    }
+}
+
+/// Wraps a classifier and busy-waits a fixed duration per invocation,
+/// emulating the per-call latency of the heavyweight Python models the
+/// paper measures. A busy-wait (not `sleep`) keeps a core occupied, so the
+/// Dist-k thread baseline contends for CPUs the way k machines would not —
+/// making the comparison conservative in Shahin's favor exactly where the
+/// paper's was.
+#[derive(Clone)]
+pub struct SimulatedCost<C> {
+    inner: C,
+    cost: Duration,
+}
+
+impl<C: Classifier> SimulatedCost<C> {
+    /// Adds `cost` of busy-wait per invocation.
+    pub fn new(inner: C, cost: Duration) -> SimulatedCost<C> {
+        SimulatedCost { inner, cost }
+    }
+
+    /// The configured per-invocation cost.
+    pub fn cost(&self) -> Duration {
+        self.cost
+    }
+}
+
+impl<C: Classifier> Classifier for SimulatedCost<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        let p = self.inner.predict_proba(instance);
+        if !self.cost.is_zero() {
+            let start = Instant::now();
+            while start.elapsed() < self.cost {
+                std::hint::spin_loop();
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::MajorityClass;
+
+    #[test]
+    fn counts_invocations() {
+        let c = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        assert_eq!(c.invocations(), 0);
+        c.predict_proba(&[Feature::Num(0.0)]);
+        c.predict(&[Feature::Num(0.0)]);
+        assert_eq!(c.invocations(), 2);
+        c.reset();
+        assert_eq!(c.invocations(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let c = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let c2 = c.clone();
+        c.predict_proba(&[]);
+        c2.predict_proba(&[]);
+        assert_eq!(c.invocations(), 2);
+        assert_eq!(c2.invocations(), 2);
+    }
+
+    #[test]
+    fn batch_counts_each_row() {
+        let c = CountingClassifier::new(MajorityClass::fit(&[1]));
+        c.predict_proba_batch(&[vec![], vec![], vec![]]);
+        assert_eq!(c.invocations(), 3);
+    }
+
+    #[test]
+    fn simulated_cost_takes_time() {
+        let c = SimulatedCost::new(MajorityClass::fit(&[1]), Duration::from_micros(200));
+        let start = Instant::now();
+        for _ in 0..10 {
+            c.predict_proba(&[]);
+        }
+        assert!(start.elapsed() >= Duration::from_micros(2000));
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        let c = SimulatedCost::new(MajorityClass::fit(&[1]), Duration::ZERO);
+        assert_eq!(c.predict_proba(&[]), 1.0);
+    }
+
+    #[test]
+    fn wrappers_compose() {
+        let c = CountingClassifier::new(SimulatedCost::new(
+            MajorityClass::fit(&[0]),
+            Duration::ZERO,
+        ));
+        assert_eq!(c.predict(&[]), 0);
+        assert_eq!(c.invocations(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Black-box classifiers for the Shahin reproduction.
+//!
+//! The paper explains predictions of a Random Forest trained on tabular
+//! data; the explainers only ever see the model through a narrow
+//! [`Classifier`] interface — that is the whole point of *model-agnostic*
+//! explanations, and it is also what lets Shahin count and minimize
+//! classifier invocations.
+//!
+//! Provided models:
+//!
+//! * [`DecisionTree`] — CART with Gini impurity, numeric threshold splits
+//!   and categorical one-vs-rest splits,
+//! * [`RandomForest`] — bagged trees with per-split feature subsampling
+//!   (the paper's model, §4.1),
+//! * [`LogisticRegression`] — a secondary black box over one-hot encoded
+//!   features,
+//! * [`MajorityClass`] — the trivial baseline.
+//!
+//! Instrumentation:
+//!
+//! * [`CountingClassifier`] counts invocations (the paper's cost driver:
+//!   88–92% of explanation time is classifier calls),
+//! * [`SimulatedCost`] adds a calibrated busy-wait per call so wall-clock
+//!   measurements reproduce the *shape* of the paper's Python timings.
+
+pub mod classifier;
+pub mod forest;
+pub mod gbm;
+pub mod instrument;
+pub mod logistic;
+pub mod metrics;
+pub mod tree;
+
+pub use classifier::{Classifier, MajorityClass};
+pub use forest::{ForestParams, RandomForest};
+pub use gbm::{GbmParams, GradientBoosting};
+pub use instrument::{CountingClassifier, SimulatedCost};
+pub use logistic::LogisticRegression;
+pub use metrics::{accuracy, confusion_matrix};
+pub use tree::{DecisionTree, TreeParams};

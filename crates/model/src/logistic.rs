@@ -1,0 +1,198 @@
+//! Logistic regression over one-hot encoded features.
+//!
+//! A secondary black box: the paper runs its experiments on a Random
+//! Forest but argues the conclusions transfer because Shahin's speedup
+//! comes from *fewer invocations* regardless of the model (§4.1). Having a
+//! second, very different model lets us test that claim.
+
+use rand::Rng;
+
+use shahin_tabular::{AttrKind, Column, Dataset, Feature, Schema};
+
+use crate::classifier::Classifier;
+
+/// One-hot + standardized-numeric encoder shared by fit and predict.
+#[derive(Clone, Debug)]
+struct Encoder {
+    /// Start offset of each attribute in the encoded vector.
+    offsets: Vec<usize>,
+    /// (mean, std) per numeric attribute index; dummy for categorical.
+    norms: Vec<(f64, f64)>,
+    width: usize,
+}
+
+impl Encoder {
+    fn fit(data: &Dataset) -> Encoder {
+        let schema: &Schema = data.schema();
+        let mut offsets = Vec::with_capacity(schema.len());
+        let mut norms = Vec::with_capacity(schema.len());
+        let mut width = 0usize;
+        for attr in 0..schema.len() {
+            offsets.push(width);
+            match &schema.attr(attr).kind {
+                AttrKind::Categorical { cardinality } => {
+                    width += *cardinality as usize;
+                    norms.push((0.0, 1.0));
+                }
+                AttrKind::Numeric => {
+                    let Column::Num(values) = data.column(attr) else {
+                        unreachable!()
+                    };
+                    let n = values.len() as f64;
+                    let mean = values.iter().sum::<f64>() / n;
+                    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                    norms.push((mean, var.sqrt().max(1e-9)));
+                    width += 1;
+                }
+            }
+        }
+        Encoder {
+            offsets,
+            norms,
+            width,
+        }
+    }
+
+    fn encode(&self, instance: &[Feature], out: &mut [f64]) {
+        out.fill(0.0);
+        for (attr, &feat) in instance.iter().enumerate() {
+            let off = self.offsets[attr];
+            match feat {
+                Feature::Cat(code) => out[off + code as usize] = 1.0,
+                Feature::Num(v) => {
+                    let (mean, std) = self.norms[attr];
+                    out[off] = (v - mean) / std;
+                }
+            }
+        }
+    }
+}
+
+/// L2-regularized logistic regression trained by mini-batch SGD.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    encoder: Encoder,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Trains with `epochs` passes of SGD at learning rate `lr` and L2
+    /// penalty `l2`.
+    pub fn fit(
+        data: &Dataset,
+        labels: &[u8],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        rng: &mut impl Rng,
+    ) -> LogisticRegression {
+        assert_eq!(data.n_rows(), labels.len(), "label count mismatch");
+        assert!(data.n_rows() > 0, "need training data");
+        let encoder = Encoder::fit(data);
+        let mut weights = vec![0.0; encoder.width];
+        let mut bias = 0.0;
+        let mut x = vec![0.0; encoder.width];
+        let n = data.n_rows();
+        for _ in 0..epochs {
+            for _ in 0..n {
+                let r = rng.gen_range(0..n);
+                encoder.encode(&data.instance(r), &mut x);
+                let z: f64 = bias
+                    + weights
+                        .iter()
+                        .zip(&x)
+                        .map(|(w, v)| w * v)
+                        .sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - f64::from(labels[r]);
+                for (w, &v) in weights.iter_mut().zip(&x) {
+                    *w -= lr * (err * v + l2 * *w);
+                }
+                bias -= lr * err;
+            }
+        }
+        LogisticRegression {
+            encoder,
+            weights,
+            bias,
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        let mut x = vec![0.0; self.encoder.width];
+        self.encoder.encode(instance, &mut x);
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(&x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn linear_concept(n: usize, seed: u64) -> (Dataset, Vec<u8>) {
+        // label = (x > 0) XOR-free linear concept plus a predictive category.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::categorical("c", 3),
+            Attribute::numeric("x"),
+        ]));
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let labels: Vec<u8> = codes
+            .iter()
+            .zip(&values)
+            .map(|(&c, &v)| u8::from(v + f64::from(c) - 1.0 > 0.0))
+            .collect();
+        (
+            Dataset::new(schema, vec![Column::Cat(codes), Column::Num(values)]),
+            labels,
+        )
+    }
+
+    #[test]
+    fn learns_linear_concept() {
+        let (data, labels) = linear_concept(2000, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = LogisticRegression::fit(&data, &labels, 5, 0.1, 1e-4, &mut rng);
+        let preds: Vec<u8> = (0..data.n_rows())
+            .map(|r| model.predict(&data.instance(r)))
+            .collect();
+        let acc = accuracy(&preds, &labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (data, labels) = linear_concept(500, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = LogisticRegression::fit(&data, &labels, 2, 0.1, 1e-4, &mut rng);
+        for r in 0..50 {
+            let p = model.predict_proba(&data.instance(r));
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_predictions() {
+        let (data, labels) = linear_concept(300, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = LogisticRegression::fit(&data, &labels, 2, 0.1, 1e-4, &mut rng);
+        let inst = data.instance(0);
+        assert_eq!(model.predict_proba(&inst), model.predict_proba(&inst));
+    }
+}

@@ -1,0 +1,49 @@
+//! Classification quality metrics.
+
+/// Fraction of predictions matching the labels.
+pub fn accuracy(predictions: &[u8], labels: &[u8]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "need at least one label");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// 2×2 confusion matrix `[[tn, fp], [fn, tp]]` indexed `[actual][predicted]`.
+pub fn confusion_matrix(predictions: &[u8], labels: &[u8]) -> [[u64; 2]; 2] {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = [[0u64; 2]; 2];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        m[usize::from(l != 0)][usize::from(p != 0)] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 0, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[1, 0, 1, 1], &[1, 0, 0, 1]);
+        assert_eq!(m[1][1], 2); // tp
+        assert_eq!(m[0][0], 1); // tn
+        assert_eq!(m[0][1], 1); // fp
+        assert_eq!(m[1][0], 0); // fn
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        accuracy(&[1], &[1, 0]);
+    }
+}

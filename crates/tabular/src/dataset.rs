@@ -1,0 +1,305 @@
+//! Column-oriented datasets and their discretized views.
+
+use std::sync::Arc;
+
+use crate::schema::{AttrKind, Schema};
+use crate::value::{Feature, Instance};
+
+/// A single column of data.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Categorical column: one domain code per row.
+    Cat(Vec<u32>),
+    /// Numeric column: one `f64` per row.
+    Num(Vec<f64>),
+}
+
+impl Column {
+    /// Number of rows in this column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Cat(v) => v.len(),
+            Column::Num(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The feature value at `row`.
+    #[inline]
+    pub fn feature(&self, row: usize) -> Feature {
+        match self {
+            Column::Cat(v) => Feature::Cat(v[row]),
+            Column::Num(v) => Feature::Num(v[row]),
+        }
+    }
+}
+
+/// A column-oriented dataset over a fixed [`Schema`].
+///
+/// The schema is shared (`Arc`) so derived datasets — splits, samples,
+/// perturbation batches — do not copy it.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating column kinds and lengths against the
+    /// schema.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Self {
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "column count must match schema"
+        );
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_rows, "ragged column {i}");
+            match (&schema.attr(i).kind, col) {
+                (AttrKind::Categorical { cardinality }, Column::Cat(codes)) => {
+                    debug_assert!(
+                        codes.iter().all(|&c| c < *cardinality),
+                        "code out of domain in column {i}"
+                    );
+                }
+                (AttrKind::Numeric, Column::Num(_)) => {}
+                _ => panic!("column {i} kind does not match schema"),
+            }
+        }
+        Dataset {
+            schema,
+            columns,
+            n_rows,
+        }
+    }
+
+    /// Builds a dataset from row-major instances.
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Instance]) -> Self {
+        let mut columns: Vec<Column> = schema
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Categorical { .. } => Column::Cat(Vec::with_capacity(rows.len())),
+                AttrKind::Numeric => Column::Num(Vec::with_capacity(rows.len())),
+            })
+            .collect();
+        for row in rows {
+            assert_eq!(row.len(), schema.len(), "row arity mismatch");
+            for (col, &feat) in columns.iter_mut().zip(row.iter()) {
+                match (col, feat) {
+                    (Column::Cat(v), Feature::Cat(c)) => v.push(c),
+                    (Column::Num(v), Feature::Num(x)) => v.push(x),
+                    _ => panic!("feature kind does not match schema"),
+                }
+            }
+        }
+        Dataset::new(schema, columns)
+    }
+
+    /// The dataset schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column for attribute `attr`.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &Column {
+        &self.columns[attr]
+    }
+
+    /// The feature at (`row`, `attr`).
+    #[inline]
+    pub fn feature(&self, row: usize, attr: usize) -> Feature {
+        self.columns[attr].feature(row)
+    }
+
+    /// Materializes row `row` as an [`Instance`].
+    pub fn instance(&self, row: usize) -> Instance {
+        assert!(row < self.n_rows, "row {row} out of bounds");
+        self.columns.iter().map(|c| c.feature(row)).collect()
+    }
+
+    /// Materializes all rows. Convenient for small batches; prefer columnar
+    /// access in hot loops.
+    pub fn instances(&self) -> Vec<Instance> {
+        (0..self.n_rows).map(|r| self.instance(r)).collect()
+    }
+
+    /// A new dataset containing only the given rows (in the given order).
+    pub fn select(&self, rows: &[usize]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Cat(v) => Column::Cat(rows.iter().map(|&r| v[r]).collect()),
+                Column::Num(v) => Column::Num(rows.iter().map(|&r| v[r]).collect()),
+            })
+            .collect();
+        Dataset {
+            schema: Arc::clone(&self.schema),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+}
+
+/// A fully discretized, columnar view of a dataset: every attribute —
+/// categorical or numeric — is reduced to a dense `u32` code.
+///
+/// This is the space in which frequent itemset mining, perturbation
+/// freezing, and cached-perturbation matching happen.
+#[derive(Clone, Debug)]
+pub struct DiscreteTable {
+    cols: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl DiscreteTable {
+    /// Builds a table from columnar codes.
+    pub fn new(cols: Vec<Vec<u32>>) -> Self {
+        let n_rows = cols.first().map_or(0, Vec::len);
+        assert!(cols.iter().all(|c| c.len() == n_rows), "ragged columns");
+        DiscreteTable { cols, n_rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Code at (`row`, `attr`).
+    #[inline]
+    pub fn code(&self, row: usize, attr: usize) -> u32 {
+        self.cols[attr][row]
+    }
+
+    /// The whole code column for `attr`.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[u32] {
+        &self.cols[attr]
+    }
+
+    /// Materializes row `row` as a code vector.
+    pub fn row(&self, row: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[row]).collect()
+    }
+
+    /// A new table with only the given rows.
+    pub fn select(&self, rows: &[usize]) -> DiscreteTable {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| rows.iter().map(|&r| c[r]).collect())
+            .collect();
+        DiscreteTable {
+            cols,
+            n_rows: rows.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Attribute::categorical("c", 3),
+            Attribute::numeric("x"),
+        ]))
+    }
+
+    fn data() -> Dataset {
+        Dataset::new(
+            schema(),
+            vec![
+                Column::Cat(vec![0, 1, 2, 1]),
+                Column::Num(vec![1.0, 2.0, 3.0, 4.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_materialization() {
+        let d = data();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.instance(1), vec![Feature::Cat(1), Feature::Num(2.0)]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let d = data();
+        let rows = d.instances();
+        let d2 = Dataset::from_rows(Arc::clone(d.schema()), &rows);
+        assert_eq!(d2.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() {
+            assert_eq!(d.instance(r), d2.instance(r));
+        }
+    }
+
+    #[test]
+    fn select_reorders() {
+        let d = data().select(&[3, 0]);
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.instance(0), vec![Feature::Cat(1), Feature::Num(4.0)]);
+        assert_eq!(d.instance(1), vec![Feature::Cat(0), Feature::Num(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind does not match")]
+    fn kind_mismatch_rejected() {
+        Dataset::new(
+            schema(),
+            vec![Column::Num(vec![0.0]), Column::Num(vec![0.0])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        Dataset::new(
+            schema(),
+            vec![Column::Cat(vec![0, 1]), Column::Num(vec![0.0])],
+        );
+    }
+
+    #[test]
+    fn discrete_table_access() {
+        let t = DiscreteTable::new(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_attrs(), 2);
+        assert_eq!(t.code(1, 1), 4);
+        assert_eq!(t.row(2), vec![2, 5]);
+        let s = t.select(&[2, 0]);
+        assert_eq!(s.row(0), vec![2, 5]);
+        assert_eq!(s.row(1), vec![0, 3]);
+    }
+}

@@ -1,0 +1,376 @@
+//! CSV ingestion with schema inference.
+//!
+//! Real deployments load UCI-style CSV files rather than synthetic data.
+//! [`read_csv`] parses a header + rows, infers each column's kind (numeric
+//! if every non-empty value parses as `f64`, categorical otherwise, with
+//! domain codes assigned in order of first appearance), and can split a
+//! label column off. A small hand-rolled parser handles quoted fields,
+//! escaped quotes, and CRLF line endings — no external dependency.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+use std::sync::Arc;
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Attribute, Schema};
+
+/// Errors surfaced while reading a CSV.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    Empty,
+    /// A row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based data-row number.
+        row: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// The configured label column is missing from the header.
+    NoLabelColumn(String),
+    /// A label value was neither of the two seen classes.
+    TooManyClasses {
+        /// The offending third class label.
+        value: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "empty CSV: no header row"),
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(f, "row {row} has {found} fields, expected {expected}"),
+            CsvError::NoLabelColumn(name) => write!(f, "label column '{name}' not found"),
+            CsvError::TooManyClasses { value } => {
+                write!(f, "binary label column has a third class '{value}'")
+            }
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// A parsed CSV: the dataset, per-column raw value dictionaries
+/// (categorical code → original string), and optional labels.
+#[derive(Debug)]
+pub struct CsvDataset {
+    /// The column-oriented dataset.
+    pub data: Dataset,
+    /// For each categorical attribute (by schema index): the code → string
+    /// dictionary. Numeric attributes map to an empty vec.
+    pub dictionaries: Vec<Vec<String>>,
+    /// Binary labels, if a label column was requested.
+    pub labels: Option<Vec<u8>>,
+    /// The two label class names (`[class0, class1]`), if labeled.
+    pub label_classes: Option<[String; 2]>,
+}
+
+/// Splits one CSV record into fields, honoring double quotes and `""`
+/// escapes.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Reads a CSV with a header row from any reader, inferring the schema.
+/// `label_column`, when given, is removed from the feature set and parsed
+/// as a binary label (first class seen = 0, second = 1).
+pub fn read_csv(reader: impl Read, label_column: Option<&str>) -> Result<CsvDataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = match lines.next() {
+        Some(Ok(h)) => h,
+        Some(Err(e)) => return Err(CsvError::Io(e.to_string())),
+        None => return Err(CsvError::Empty),
+    };
+    let names: Vec<String> = split_record(header.trim_end_matches('\r'))
+        .into_iter()
+        .map(|s| s.trim().to_string())
+        .collect();
+    let width = names.len();
+    let label_idx = match label_column {
+        Some(name) => Some(
+            names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| CsvError::NoLabelColumn(name.to_string()))?,
+        ),
+        None => None,
+    };
+
+    // Collect raw string fields column-wise.
+    let mut raw: Vec<Vec<String>> = vec![Vec::new(); width];
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| CsvError::Io(e.to_string()))?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(line);
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow {
+                row: i + 1,
+                found: fields.len(),
+                expected: width,
+            });
+        }
+        for (col, field) in raw.iter_mut().zip(fields) {
+            col.push(field.trim().to_string());
+        }
+    }
+
+    // Labels.
+    let (labels, label_classes) = match label_idx {
+        Some(idx) => {
+            let mut classes: Vec<String> = Vec::new();
+            let mut labels = Vec::with_capacity(raw[idx].len());
+            for v in &raw[idx] {
+                let code = match classes.iter().position(|c| c == v) {
+                    Some(p) => p,
+                    None => {
+                        if classes.len() == 2 {
+                            return Err(CsvError::TooManyClasses { value: v.clone() });
+                        }
+                        classes.push(v.clone());
+                        classes.len() - 1
+                    }
+                };
+                labels.push(code as u8);
+            }
+            while classes.len() < 2 {
+                classes.push(String::new());
+            }
+            (
+                Some(labels),
+                Some([classes[0].clone(), classes[1].clone()]),
+            )
+        }
+        None => (None, None),
+    };
+
+    // Infer column kinds and build the dataset.
+    let mut attrs = Vec::new();
+    let mut columns = Vec::new();
+    let mut dictionaries = Vec::new();
+    for (i, (name, col)) in names.iter().zip(&raw).enumerate() {
+        if Some(i) == label_idx {
+            continue;
+        }
+        let numeric = !col.is_empty() && col.iter().all(|v| v.parse::<f64>().is_ok());
+        if numeric {
+            attrs.push(Attribute::numeric(name.clone()));
+            columns.push(Column::Num(
+                col.iter()
+                    .map(|v| v.parse::<f64>().expect("checked numeric"))
+                    .collect(),
+            ));
+            dictionaries.push(Vec::new());
+        } else {
+            let mut dict: Vec<String> = Vec::new();
+            let mut index: HashMap<String, u32> = HashMap::new();
+            let codes: Vec<u32> = col
+                .iter()
+                .map(|v| match index.get(v) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(v.clone());
+                        index.insert(v.clone(), c);
+                        c
+                    }
+                })
+                .collect();
+            attrs.push(Attribute::categorical(name.clone(), dict.len().max(1) as u32));
+            columns.push(Column::Cat(codes));
+            dictionaries.push(dict);
+        }
+    }
+    let schema = Arc::new(Schema::new(attrs));
+    Ok(CsvDataset {
+        data: Dataset::new(schema, columns),
+        dictionaries,
+        labels,
+        label_classes,
+    })
+}
+
+/// Serializes a dataset (plus optional labels) back to CSV, using the
+/// given dictionaries to restore categorical strings. The inverse of
+/// [`read_csv`] up to numeric formatting.
+pub fn write_csv(
+    out: &mut impl std::io::Write,
+    data: &Dataset,
+    dictionaries: &[Vec<String>],
+    labels: Option<(&str, &[u8])>,
+) -> std::io::Result<()> {
+    let mut header: Vec<String> = data.schema().iter().map(|a| a.name.clone()).collect();
+    if let Some((name, _)) = labels {
+        header.push(name.to_string());
+    }
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..data.n_rows() {
+        let mut fields: Vec<String> = Vec::with_capacity(data.n_attrs() + 1);
+        for a in 0..data.n_attrs() {
+            match data.feature(r, a) {
+                crate::value::Feature::Cat(c) => {
+                    let dict = &dictionaries[a];
+                    fields.push(
+                        dict.get(c as usize)
+                            .cloned()
+                            .unwrap_or_else(|| c.to_string()),
+                    );
+                }
+                crate::value::Feature::Num(v) => fields.push(format!("{v}")),
+            }
+        }
+        if let Some((_, ls)) = labels {
+            fields.push(ls[r].to_string());
+        }
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Feature;
+
+    const SAMPLE: &str = "\
+age,workclass,hours,income
+39,State-gov,40,<=50K
+50,Self-emp,13,<=50K
+38,Private,40,>50K
+53,Private,40,<=50K
+";
+
+    #[test]
+    fn infers_kinds_and_parses() {
+        let csv = read_csv(SAMPLE.as_bytes(), Some("income")).expect("parses");
+        let d = &csv.data;
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_attrs(), 3);
+        assert!(d.schema().attr(1).kind.is_categorical());
+        assert!(!d.schema().attr(0).kind.is_categorical());
+        assert_eq!(d.schema().attr(0).name, "age");
+        assert_eq!(d.feature(0, 0), Feature::Num(39.0));
+        assert_eq!(d.feature(0, 1), Feature::Cat(0)); // State-gov
+        assert_eq!(d.feature(2, 1), Feature::Cat(2)); // Private
+        assert_eq!(d.feature(3, 1), Feature::Cat(2)); // Private again
+        assert_eq!(csv.dictionaries[1][2], "Private");
+    }
+
+    #[test]
+    fn labels_are_binary_coded_in_first_seen_order() {
+        let csv = read_csv(SAMPLE.as_bytes(), Some("income")).expect("parses");
+        assert_eq!(csv.labels, Some(vec![0, 0, 1, 0]));
+        let classes = csv.label_classes.expect("labeled");
+        assert_eq!(classes[0], "<=50K");
+        assert_eq!(classes[1], ">50K");
+    }
+
+    #[test]
+    fn no_label_column_keeps_all_features() {
+        let csv = read_csv(SAMPLE.as_bytes(), None).expect("parses");
+        assert_eq!(csv.data.n_attrs(), 4);
+        assert!(csv.labels.is_none());
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,score\n\"Smith, John\",1\n\"say \"\"hi\"\"\",2\n";
+        let csv = read_csv(text.as_bytes(), None).expect("parses");
+        assert_eq!(csv.dictionaries[0][0], "Smith, John");
+        assert_eq!(csv.dictionaries[0][1], "say \"hi\"");
+        assert_eq!(csv.data.feature(0, 1), Feature::Num(1.0));
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let text = "a,b\r\n1,x\r\n\r\n2,y\r\n";
+        let csv = read_csv(text.as_bytes(), None).expect("parses");
+        assert_eq!(csv.data.n_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let text = "a,b\n1,2\n3\n";
+        let err = read_csv(text.as_bytes(), None).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn missing_label_column_rejected() {
+        let err = read_csv(SAMPLE.as_bytes(), Some("target")).unwrap_err();
+        assert_eq!(err, CsvError::NoLabelColumn("target".into()));
+    }
+
+    #[test]
+    fn three_class_label_rejected() {
+        let text = "x,y\n1,a\n2,b\n3,c\n";
+        let err = read_csv(text.as_bytes(), Some("y")).unwrap_err();
+        assert!(matches!(err, CsvError::TooManyClasses { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(read_csv("".as_bytes(), None).unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn roundtrip_through_write_csv() {
+        let csv = read_csv(SAMPLE.as_bytes(), Some("income")).expect("parses");
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &csv.data,
+            &csv.dictionaries,
+            Some(("income", csv.labels.as_ref().expect("labeled"))),
+        )
+        .expect("writes");
+        let text = String::from_utf8(buf).expect("utf8");
+        let again = read_csv(text.as_bytes(), Some("income")).expect("reparses");
+        assert_eq!(again.data.n_rows(), csv.data.n_rows());
+        for r in 0..csv.data.n_rows() {
+            assert_eq!(again.data.instance(r), csv.data.instance(r));
+        }
+        assert_eq!(again.labels, csv.labels);
+    }
+}

@@ -1,0 +1,116 @@
+//! Train/test splitting.
+//!
+//! The paper partitions every dataset 1/3 : 2/3, training the model on the
+//! first part and explaining predictions on the second (§4.1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// The result of a train/test split.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training rows.
+    pub train: Dataset,
+    /// Training labels.
+    pub train_labels: Vec<u8>,
+    /// Held-out rows (the batch to explain).
+    pub test: Dataset,
+    /// Held-out labels.
+    pub test_labels: Vec<u8>,
+}
+
+/// Splits `(data, labels)` into a training fraction `train_frac` and a test
+/// remainder, after a seeded shuffle.
+pub fn train_test_split(
+    data: &Dataset,
+    labels: &[u8],
+    train_frac: f64,
+    rng: &mut impl Rng,
+) -> Split {
+    assert_eq!(data.n_rows(), labels.len(), "label count mismatch");
+    assert!(
+        (0.0..1.0).contains(&train_frac) && train_frac > 0.0,
+        "train_frac must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..data.n_rows()).collect();
+    idx.shuffle(rng);
+    let n_train = ((data.n_rows() as f64) * train_frac).round() as usize;
+    let n_train = n_train.clamp(1, data.n_rows().saturating_sub(1).max(1));
+    let (train_idx, test_idx) = idx.split_at(n_train);
+    Split {
+        train: data.select(train_idx),
+        train_labels: train_idx.iter().map(|&i| labels[i]).collect(),
+        test: data.select(test_idx),
+        test_labels: test_idx.iter().map(|&i| labels[i]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Column;
+    use crate::schema::{Attribute, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn data(n: usize) -> (Dataset, Vec<u8>) {
+        let schema = Arc::new(Schema::new(vec![Attribute::numeric("x")]));
+        let d = Dataset::new(schema, vec![Column::Num((0..n).map(|i| i as f64).collect())]);
+        let labels = (0..n).map(|i| (i % 2) as u8).collect();
+        (d, labels)
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let (d, l) = data(99);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = train_test_split(&d, &l, 1.0 / 3.0, &mut rng);
+        assert_eq!(s.train.n_rows() + s.test.n_rows(), 99);
+        assert_eq!(s.train.n_rows(), 33);
+        assert_eq!(s.train_labels.len(), 33);
+        assert_eq!(s.test_labels.len(), 66);
+    }
+
+    #[test]
+    fn rows_keep_their_labels() {
+        let (d, l) = data(50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = train_test_split(&d, &l, 0.5, &mut rng);
+        for r in 0..s.train.n_rows() {
+            let x = s.train.feature(r, 0).num() as usize;
+            assert_eq!(s.train_labels[r], (x % 2) as u8);
+        }
+        for r in 0..s.test.n_rows() {
+            let x = s.test.feature(r, 0).num() as usize;
+            assert_eq!(s.test_labels[r], (x % 2) as u8);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (d, l) = data(40);
+        let a = train_test_split(&d, &l, 0.25, &mut StdRng::seed_from_u64(11));
+        let b = train_test_split(&d, &l, 0.25, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a.train_labels, b.train_labels);
+        for r in 0..a.train.n_rows() {
+            assert_eq!(a.train.instance(r), b.train.instance(r));
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let (d, l) = data(30);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = train_test_split(&d, &l, 0.4, &mut rng);
+        let mut seen: Vec<f64> = (0..s.train.n_rows())
+            .map(|r| s.train.feature(r, 0).num())
+            .chain((0..s.test.n_rows()).map(|r| s.test.feature(r, 0).num()))
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+}

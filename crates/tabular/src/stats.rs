@@ -1,0 +1,170 @@
+//! Training-set frequency statistics: the perturbation distribution.
+//!
+//! LIME, Anchor, and KernelSHAP all replace an unfrozen attribute by
+//! sampling a value *according to its frequency distribution in the training
+//! data* (paper §3). [`TrainingStats`] captures those per-attribute
+//! distributions over the discretized code space and provides O(log k)
+//! sampling via cumulative sums.
+
+use rand::Rng;
+
+use crate::dataset::DiscreteTable;
+
+/// Per-attribute code-frequency tables fitted on training data.
+#[derive(Clone, Debug)]
+pub struct TrainingStats {
+    /// `counts[attr][code]` = occurrences of `code` in the training column.
+    counts: Vec<Vec<u64>>,
+    /// `cumulative[attr]` = exclusive prefix sums of `counts[attr]`,
+    /// normalized to `[0, 1)`, with an appended 1.0 sentinel.
+    cumulative: Vec<Vec<f64>>,
+    n_rows: u64,
+}
+
+impl TrainingStats {
+    /// Fits frequency tables over a discretized training table.
+    ///
+    /// `n_codes[attr]` bounds the code domain; codes never observed in
+    /// training get zero frequency (they will never be sampled, exactly like
+    /// the reference implementations).
+    pub fn fit(table: &DiscreteTable, n_codes: &[u32]) -> TrainingStats {
+        assert_eq!(table.n_attrs(), n_codes.len(), "arity mismatch");
+        assert!(table.n_rows() > 0, "cannot fit stats on an empty table");
+        let mut counts = Vec::with_capacity(n_codes.len());
+        for (attr, &domain) in n_codes.iter().enumerate() {
+            let mut c = vec![0u64; domain as usize];
+            for &code in table.column(attr) {
+                c[code as usize] += 1;
+            }
+            counts.push(c);
+        }
+        let n_rows = table.n_rows() as u64;
+        let cumulative = counts
+            .iter()
+            .map(|c| {
+                let total = n_rows as f64;
+                let mut acc = 0.0;
+                let mut cum: Vec<f64> = c
+                    .iter()
+                    .map(|&x| {
+                        let v = acc;
+                        acc += x as f64 / total;
+                        v
+                    })
+                    .collect();
+                cum.push(1.0);
+                cum
+            })
+            .collect();
+        TrainingStats {
+            counts,
+            cumulative,
+            n_rows,
+        }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of training rows the stats were fitted on.
+    #[inline]
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Relative frequency of `code` for attribute `attr` in training data.
+    #[inline]
+    pub fn frequency(&self, attr: usize, code: u32) -> f64 {
+        self.counts[attr][code as usize] as f64 / self.n_rows as f64
+    }
+
+    /// Raw occurrence count of `code` for attribute `attr`.
+    #[inline]
+    pub fn count(&self, attr: usize, code: u32) -> u64 {
+        self.counts[attr][code as usize]
+    }
+
+    /// Samples a code for `attr` proportionally to its training frequency.
+    ///
+    /// Binary search over the cumulative table: O(log |domain|).
+    pub fn sample_code(&self, attr: usize, rng: &mut impl Rng) -> u32 {
+        let cum = &self.cumulative[attr];
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cum[i] > u; the code
+        // is that index minus one. The appended sentinel guarantees a hit.
+        let idx = cum.partition_point(|&c| c <= u);
+        (idx - 1).min(self.counts[attr].len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> DiscreteTable {
+        // attr 0: 50% code 0, 30% code 1, 20% code 2 (over 10 rows)
+        // attr 1: all code 1 of domain {0,1,2}
+        DiscreteTable::new(vec![
+            vec![0, 0, 0, 0, 0, 1, 1, 1, 2, 2],
+            vec![1; 10],
+        ])
+    }
+
+    #[test]
+    fn frequencies() {
+        let s = TrainingStats::fit(&table(), &[3, 3]);
+        assert_eq!(s.frequency(0, 0), 0.5);
+        assert_eq!(s.frequency(0, 1), 0.3);
+        assert_eq!(s.frequency(0, 2), 0.2);
+        assert_eq!(s.frequency(1, 0), 0.0);
+        assert_eq!(s.frequency(1, 1), 1.0);
+        assert_eq!(s.count(0, 0), 5);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let s = TrainingStats::fit(&table(), &[3, 3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mut hist = [0u32; 3];
+        for _ in 0..n {
+            hist[s.sample_code(0, &mut rng) as usize] += 1;
+        }
+        let p0 = hist[0] as f64 / n as f64;
+        let p1 = hist[1] as f64 / n as f64;
+        let p2 = hist[2] as f64 / n as f64;
+        assert!((p0 - 0.5).abs() < 0.02, "p0={p0}");
+        assert!((p1 - 0.3).abs() < 0.02, "p1={p1}");
+        assert!((p2 - 0.2).abs() < 0.02, "p2={p2}");
+    }
+
+    #[test]
+    fn zero_frequency_codes_never_sampled() {
+        let s = TrainingStats::fit(&table(), &[3, 3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_eq!(s.sample_code(1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_row_table() {
+        let t = DiscreteTable::new(vec![vec![2]]);
+        let s = TrainingStats::fit(&t, &[4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.sample_code(0, &mut rng), 2);
+        assert_eq!(s.frequency(0, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_rejected() {
+        let t = DiscreteTable::new(vec![vec![]]);
+        TrainingStats::fit(&t, &[1]);
+    }
+}

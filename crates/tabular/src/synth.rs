@@ -1,0 +1,386 @@
+//! Synthetic dataset generators matching the paper's evaluation datasets.
+//!
+//! The paper evaluates on five UCI-style datasets (Table 1). Those exact
+//! files are not redistributable/downloadable here, so we generate synthetic
+//! datasets that reproduce the characteristics Shahin's performance actually
+//! depends on:
+//!
+//! * the number of categorical and numeric attributes (`#CatA`, `#NumA`),
+//! * the maximum categorical domain cardinality (`#MaxDC`),
+//! * heavy-tailed (Zipf) categorical value distributions — these drive how
+//!   many frequent itemsets exist and how much reuse is possible,
+//! * a planted, learnable label concept so the Random Forest is a
+//!   non-trivial black box and Anchors with high precision exist.
+//!
+//! Row counts are scaled down from the originals so the full experiment
+//! sweep runs on one machine; a `scale` knob restores larger sizes.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Attribute, Schema};
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank `r` has weight `1 / (r + 1)^s`; sampling is a binary search over
+/// the normalized cumulative weights.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed).
+    pub fn new(n: u32, s: f64) -> ZipfSampler {
+        assert!(n >= 1, "domain must be non-empty");
+        let mut cum = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0.0;
+        for r in 0..n {
+            cum.push(acc);
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+        }
+        for c in &mut cum {
+            *c /= acc;
+        }
+        cum.push(1.0);
+        ZipfSampler { cum }
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.gen();
+        let idx = self.cum.partition_point(|&c| c <= u);
+        (idx - 1).min(self.cum.len() - 2) as u32
+    }
+}
+
+/// Full description of a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct SynthSpec {
+    /// Dataset name (for reports).
+    pub name: &'static str,
+    /// Number of rows to generate.
+    pub n_rows: usize,
+    /// Domain cardinality of each categorical attribute.
+    pub cat_cards: Vec<u32>,
+    /// Number of numeric attributes.
+    pub n_num: usize,
+    /// Zipf exponent of the categorical value distributions.
+    pub zipf_exponent: f64,
+    /// Standard deviation of the Gaussian noise added to the label score.
+    pub label_noise: f64,
+}
+
+impl SynthSpec {
+    /// The schema this spec generates: categorical attributes first, then
+    /// numeric ones.
+    pub fn schema(&self) -> Schema {
+        let mut attrs = Vec::with_capacity(self.cat_cards.len() + self.n_num);
+        for (i, &card) in self.cat_cards.iter().enumerate() {
+            attrs.push(Attribute::categorical(format!("cat_{i}"), card));
+        }
+        for j in 0..self.n_num {
+            attrs.push(Attribute::numeric(format!("num_{j}")));
+        }
+        Schema::new(attrs)
+    }
+
+    /// Generates the dataset and binary labels, deterministically from
+    /// `seed`.
+    ///
+    /// Label concept: a handful of "signal" attributes contribute ±1 (per
+    /// categorical code, via a seeded sign table) or their standardized
+    /// value (numeric) to a score; Gaussian noise of [`Self::label_noise`]
+    /// is added and the score is thresholded at its empirical median, giving
+    /// balanced, learnable classes.
+    pub fn generate(&self, seed: u64) -> (Dataset, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.n_rows;
+        assert!(n >= 4, "need at least 4 rows");
+
+        // --- categorical columns: Zipf ranks through a per-attr code shuffle
+        let mut cat_cols: Vec<Vec<u32>> = Vec::with_capacity(self.cat_cards.len());
+        let mut code_maps: Vec<Vec<u32>> = Vec::with_capacity(self.cat_cards.len());
+        for &card in &self.cat_cards {
+            let sampler = ZipfSampler::new(card, self.zipf_exponent);
+            // Shuffled rank -> code map decorrelates "most frequent" codes
+            // across attributes.
+            let mut map: Vec<u32> = (0..card).collect();
+            for i in (1..map.len()).rev() {
+                map.swap(i, rng.gen_range(0..=i));
+            }
+            let col: Vec<u32> = (0..n)
+                .map(|_| map[sampler.sample(&mut rng) as usize])
+                .collect();
+            cat_cols.push(col);
+            code_maps.push(map);
+        }
+
+        // --- numeric columns: two-component Gaussian mixtures
+        let mut num_cols: Vec<Vec<f64>> = Vec::with_capacity(self.n_num);
+        for j in 0..self.n_num {
+            let m0 = j as f64;
+            let m1 = j as f64 + 3.0 + (j % 3) as f64;
+            let col: Vec<f64> = (0..n)
+                .map(|_| {
+                    let mean = if rng.gen_bool(0.6) { m0 } else { m1 };
+                    mean + gaussian(&mut rng)
+                })
+                .collect();
+            num_cols.push(col);
+        }
+
+        // --- planted label concept
+        let n_cat_signal = self.cat_cards.len().min(4);
+        let n_num_signal = self.n_num.min(3);
+        // Seeded ±1 sign per (signal attr, code).
+        let mut sign_rng = StdRng::seed_from_u64(seed ^ 0x5161_0d21);
+        let sign_tables: Vec<Vec<f64>> = (0..n_cat_signal)
+            .map(|a| {
+                (0..self.cat_cards[a])
+                    .map(|_| if sign_rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        let mut scores: Vec<f64> = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut score = 0.0;
+            for (a, table) in sign_tables.iter().enumerate() {
+                score += table[cat_cols[a][r] as usize];
+            }
+            for (j, col) in num_cols.iter().take(n_num_signal).enumerate() {
+                // Standardize roughly around the mixture midpoint.
+                let mid = j as f64 + 1.5;
+                score += (col[r] - mid) / 2.0;
+            }
+            score += self.label_noise * gaussian(&mut rng);
+            scores.push(score);
+        }
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+        let median = sorted[n / 2];
+        let labels: Vec<u8> = scores.iter().map(|&s| u8::from(s > median)).collect();
+
+        let schema = Arc::new(self.schema());
+        let mut columns: Vec<Column> = cat_cols.into_iter().map(Column::Cat).collect();
+        columns.extend(num_cols.into_iter().map(Column::Num));
+        (Dataset::new(schema, columns), labels)
+    }
+}
+
+/// A standard-normal draw via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The five evaluation datasets of the paper (Table 1), as synthetic specs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetPreset {
+    /// Census-Income (KDD): 27 categorical, 15 numeric, maxDC 18.
+    CensusIncome,
+    /// Recidivism: 14 categorical, 5 numeric, maxDC 20.
+    Recidivism,
+    /// LendingClub: 26 categorical, 24 numeric, maxDC 837.
+    LendingClub,
+    /// KDD Cup 1999: 13 categorical, 27 numeric, maxDC 490.
+    KddCup99,
+    /// Covertype: 44 categorical, 10 numeric, maxDC 7.
+    Covertype,
+}
+
+impl DatasetPreset {
+    /// All five presets, in Table 1 order.
+    pub fn all() -> [DatasetPreset; 5] {
+        [
+            DatasetPreset::CensusIncome,
+            DatasetPreset::Recidivism,
+            DatasetPreset::LendingClub,
+            DatasetPreset::KddCup99,
+            DatasetPreset::Covertype,
+        ]
+    }
+
+    /// Dataset name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::CensusIncome => "Census-Income (KDD)",
+            DatasetPreset::Recidivism => "Recidivism",
+            DatasetPreset::LendingClub => "lendingclub",
+            DatasetPreset::KddCup99 => "KDD Cup 1999",
+            DatasetPreset::Covertype => "Covertype",
+        }
+    }
+
+    /// The synthetic spec for this preset. `scale` multiplies the (already
+    /// reduced) default row count; `scale = 1.0` is the laptop-friendly
+    /// default.
+    pub fn spec(self, scale: f64) -> SynthSpec {
+        let (name, base_rows, n_cat, n_num, max_dc) = match self {
+            DatasetPreset::CensusIncome => ("Census-Income (KDD)", 20_000, 27, 15, 18),
+            DatasetPreset::Recidivism => ("Recidivism", 9_000, 14, 5, 20),
+            DatasetPreset::LendingClub => ("lendingclub", 16_000, 26, 24, 837),
+            DatasetPreset::KddCup99 => ("KDD Cup 1999", 24_000, 13, 27, 490),
+            DatasetPreset::Covertype => ("Covertype", 20_000, 44, 10, 7),
+        };
+        let n_rows = ((base_rows as f64) * scale).round().max(16.0) as usize;
+        SynthSpec {
+            name,
+            n_rows,
+            cat_cards: card_ramp(n_cat, max_dc),
+            n_num,
+            zipf_exponent: 1.1,
+            label_noise: 0.5,
+        }
+    }
+}
+
+/// Cardinalities ramping from 2 up to `max_dc` across `n_cat` attributes,
+/// guaranteeing the maximum is hit exactly once at the end of the ramp.
+fn card_ramp(n_cat: usize, max_dc: u32) -> Vec<u32> {
+    assert!(n_cat >= 1);
+    if n_cat == 1 {
+        return vec![max_dc];
+    }
+    (0..n_cat)
+        .map(|i| {
+            let t = i as f64 / (n_cat - 1) as f64;
+            let c = 2.0 + t * (max_dc as f64 - 2.0);
+            (c.round() as u32).clamp(2, max_dc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = ZipfSampler::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hist = [0u32; 10];
+        for _ in 0..100_000 {
+            hist[z.sample(&mut rng) as usize] += 1;
+        }
+        for w in hist.windows(2) {
+            assert!(w[0] >= w[1], "rank frequencies not decreasing: {hist:?}");
+        }
+        assert!(hist[0] > hist[9] * 5, "not skewed enough: {hist:?}");
+    }
+
+    #[test]
+    fn zipf_uniform_at_zero_exponent() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hist = [0u32; 4];
+        for _ in 0..40_000 {
+            hist[z.sample(&mut rng) as usize] += 1;
+        }
+        for &h in &hist {
+            assert!((h as f64 / 10_000.0 - 1.0).abs() < 0.05, "{hist:?}");
+        }
+    }
+
+    #[test]
+    fn presets_match_table1_shape() {
+        for (preset, n_cat, n_num, max_dc) in [
+            (DatasetPreset::CensusIncome, 27, 15, 18),
+            (DatasetPreset::Recidivism, 14, 5, 20),
+            (DatasetPreset::LendingClub, 26, 24, 837),
+            (DatasetPreset::KddCup99, 13, 27, 490),
+            (DatasetPreset::Covertype, 44, 10, 7),
+        ] {
+            let spec = preset.spec(1.0);
+            assert_eq!(spec.cat_cards.len(), n_cat, "{preset:?}");
+            assert_eq!(spec.n_num, n_num, "{preset:?}");
+            let schema = spec.schema();
+            assert_eq!(schema.max_domain_cardinality(), max_dc, "{preset:?}");
+            assert_eq!(schema.len(), n_cat + n_num, "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetPreset::Recidivism.spec(0.02);
+        let (d1, l1) = spec.generate(42);
+        let (d2, l2) = spec.generate(42);
+        assert_eq!(l1, l2);
+        for r in 0..d1.n_rows() {
+            assert_eq!(d1.instance(r), d2.instance(r));
+        }
+        let (_, l3) = spec.generate(43);
+        assert_ne!(l1, l3, "different seeds should differ");
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let spec = DatasetPreset::CensusIncome.spec(0.05);
+        let (d, labels) = spec.generate(7);
+        assert_eq!(d.n_rows(), labels.len());
+        let pos: usize = labels.iter().map(|&l| l as usize).sum();
+        let frac = pos as f64 / labels.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "class balance {frac}");
+    }
+
+    #[test]
+    fn labels_are_learnable_not_random() {
+        // The planted concept means tuples sharing all signal-attribute
+        // values should mostly share labels. Check the signal exists via a
+        // crude single-attribute association test.
+        let spec = DatasetPreset::Covertype.spec(0.1);
+        let (d, labels) = spec.generate(3);
+        // attr 0 is a signal attribute; measure label-rate spread per code.
+        let card = d.schema().cardinality(0).unwrap() as usize;
+        let mut pos = vec![0f64; card];
+        let mut tot = vec![0f64; card];
+        for (r, &label) in labels.iter().enumerate() {
+            let c = d.feature(r, 0).cat() as usize;
+            tot[c] += 1.0;
+            pos[c] += f64::from(label);
+        }
+        let rates: Vec<f64> = (0..card)
+            .filter(|&c| tot[c] >= 30.0)
+            .map(|c| pos[c] / tot[c])
+            .collect();
+        let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+            - rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.15, "no signal in attr 0: rates {rates:?}");
+    }
+
+    #[test]
+    fn card_ramp_hits_extremes() {
+        let ramp = card_ramp(10, 100);
+        assert_eq!(ramp[0], 2);
+        assert_eq!(*ramp.last().unwrap(), 100);
+        assert!(ramp.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(card_ramp(1, 7), vec![7]);
+    }
+
+    #[test]
+    fn heavy_tail_creates_frequent_values() {
+        // The point of Zipf skew: the most frequent code of a mid-size
+        // domain should cover a large fraction of rows, creating frequent
+        // itemsets for Shahin to exploit.
+        let spec = DatasetPreset::CensusIncome.spec(0.05);
+        let (d, _) = spec.generate(11);
+        let card = d.schema().cardinality(10).unwrap() as usize;
+        let mut hist = vec![0usize; card];
+        for r in 0..d.n_rows() {
+            hist[d.feature(r, 10).cat() as usize] += 1;
+        }
+        let max = *hist.iter().max().unwrap();
+        assert!(
+            max as f64 / d.n_rows() as f64 > 0.25,
+            "top value covers only {max}/{}",
+            d.n_rows()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Feature values and row instances.
+
+/// A single attribute value of a tuple.
+///
+/// Categorical values are stored as dense `u32` codes into the attribute's
+/// domain table (see [`crate::schema::AttrKind::Categorical`]); numeric values
+/// are raw `f64`s. Classifiers consume `Feature`s directly, while itemset
+/// mining and perturbation freezing operate on the discretized code space
+/// (see [`crate::discretize::Discretizer`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Feature {
+    /// Categorical value code.
+    Cat(u32),
+    /// Raw numeric value.
+    Num(f64),
+}
+
+impl Feature {
+    /// Returns the categorical code, panicking on numeric features.
+    #[inline]
+    pub fn cat(self) -> u32 {
+        match self {
+            Feature::Cat(c) => c,
+            Feature::Num(v) => panic!("expected categorical feature, got Num({v})"),
+        }
+    }
+
+    /// Returns the numeric value, panicking on categorical features.
+    #[inline]
+    pub fn num(self) -> f64 {
+        match self {
+            Feature::Num(v) => v,
+            Feature::Cat(c) => panic!("expected numeric feature, got Cat({c})"),
+        }
+    }
+
+    /// True if this is a categorical feature.
+    #[inline]
+    pub fn is_cat(self) -> bool {
+        matches!(self, Feature::Cat(_))
+    }
+}
+
+/// A full tuple: one [`Feature`] per schema attribute, in schema order.
+pub type Instance = Vec<Feature>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Feature::Cat(3).cat(), 3);
+        assert_eq!(Feature::Num(1.5).num(), 1.5);
+        assert!(Feature::Cat(0).is_cat());
+        assert!(!Feature::Num(0.0).is_cat());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected categorical")]
+    fn cat_on_num_panics() {
+        Feature::Num(2.0).cat();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric")]
+    fn num_on_cat_panics() {
+        Feature::Cat(2).num();
+    }
+}

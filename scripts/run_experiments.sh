@@ -1,0 +1,20 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+export SHAHIN_COST_US=10 SHAHIN_SEED=42
+run() {
+  local name=$1 scale=$2
+  echo "=== $name (scale $scale) start $(date +%T)"
+  SHAHIN_SCALE=$scale ./target/release/$name > results/$name.txt 2> results/$name.err
+  echo "=== $name done $(date +%T)"
+}
+run quality 0.5
+run fig6 0.5
+run fig7 0.5
+run fig5 1
+run fig2 1
+run fig3 0.5
+run fig4 0.5
+run table1 1
+echo ALL_DONE

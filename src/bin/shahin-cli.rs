@@ -1,0 +1,288 @@
+//! Command-line interface for the Shahin reproduction.
+//!
+//! ```text
+//! shahin-cli synth   --preset census --rows 5000 --out data.csv
+//! shahin-cli mine    --csv data.csv --label label --min-support 0.2
+//! shahin-cli explain --csv data.csv --label label --explainer lime \
+//!                    --method batch --batch-size 500 --summary
+//! ```
+//!
+//! Arguments are parsed by hand (no CLI dependency); run with `--help` for
+//! the full reference.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{
+    run, summarize_attributions, summarize_rules, ExplainerKind, Greedy, Method,
+};
+use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
+use shahin_fim::{apriori, shahin_sample_size, AprioriParams};
+use shahin_model::{CountingClassifier, ForestParams, RandomForest};
+use shahin_tabular::{read_csv, train_test_split, DatasetPreset, Discretizer};
+
+const HELP: &str = "\
+shahin-cli — batch explanation generation (SIGMOD'21 'Shahin' reproduction)
+
+USAGE:
+  shahin-cli synth   --preset <name> [--rows N] [--seed S] --out <file.csv>
+  shahin-cli mine    --csv <file> [--label COL] [--min-support F] [--max-len K]
+  shahin-cli explain --csv <file> --label COL [--explainer lime|anchor|shap]
+                     [--method sequential|batch|streaming|greedy|dist-K]
+                     [--batch-size N] [--seed S] [--summary] [--top K]
+
+PRESETS: census, recidivism, lendingclub, kddcup99, covertype
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        if key == "summary" || key == "help" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn get_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no subcommand".into());
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let flags = parse_flags(&args[1..])?;
+    if flags.contains_key("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    match cmd.as_str() {
+        "synth" => cmd_synth(&flags),
+        "mine" => cmd_mine(&flags),
+        "explain" => cmd_explain(&flags),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn preset_by_name(name: &str) -> Result<DatasetPreset, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "census" | "census-income" => DatasetPreset::CensusIncome,
+        "recidivism" => DatasetPreset::Recidivism,
+        "lendingclub" | "lending-club" => DatasetPreset::LendingClub,
+        "kddcup99" | "kdd" => DatasetPreset::KddCup99,
+        "covertype" => DatasetPreset::Covertype,
+        other => return Err(format!("unknown preset '{other}'")),
+    })
+}
+
+fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_by_name(get(flags, "preset")?)?;
+    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
+    let out_path = get(flags, "out")?;
+    let mut spec = preset.spec(1.0);
+    if let Some(rows) = flags.get("rows") {
+        spec.n_rows = parse_num(rows, "rows")?;
+    }
+    let (data, labels) = spec.generate(seed);
+    // Synthetic categorical codes have no string dictionary: emit codes.
+    let dictionaries = vec![Vec::new(); data.n_attrs()];
+    let mut out = File::create(out_path).map_err(|e| e.to_string())?;
+    shahin_tabular::write_csv(&mut out, &data, &dictionaries, Some(("label", &labels)))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows x {} attributes ({}) to {out_path}",
+        data.n_rows(),
+        data.n_attrs(),
+        preset.name()
+    );
+    Ok(())
+}
+
+fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "csv")?;
+    let min_support: f64 = parse_num(get_or(flags, "min-support", "0.2"), "min-support")?;
+    let max_len: usize = parse_num(get_or(flags, "max-len", "3"), "max-len")?;
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let csv = read_csv(file, flags.get("label").map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let disc = Discretizer::fit(&csv.data);
+    let table = disc.encode_dataset(&csv.data);
+    let mined = apriori(
+        &table,
+        &AprioriParams {
+            min_support,
+            max_len,
+            max_itemsets: 100,
+        },
+    );
+    println!(
+        "mined {} rows (sample rule would use {}): {} frequent itemsets, {} on the negative border",
+        table.n_rows(),
+        shahin_sample_size(table.n_rows()),
+        mined.frequent.len(),
+        mined.negative_border.len()
+    );
+    for (i, (set, count)) in mined.frequent.iter().take(25).enumerate() {
+        let pretty: Vec<String> = set
+            .items()
+            .iter()
+            .map(|it| {
+                let attr = it.attr as usize;
+                let name = &csv.data.schema().attr(attr).name;
+                match csv.dictionaries[attr].get(it.code as usize) {
+                    Some(v) if !v.is_empty() => format!("{name}={v}"),
+                    _ => format!("{name}#bin{}", it.code),
+                }
+            })
+            .collect();
+        println!(
+            "{:>3}. {{{}}}  support {:.1}%",
+            i + 1,
+            pretty.join(", "),
+            100.0 * *count as f64 / table.n_rows() as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "csv")?;
+    let label = get(flags, "label")?;
+    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
+    let batch_size: usize = parse_num(get_or(flags, "batch-size", "200"), "batch-size")?;
+    let top: usize = parse_num(get_or(flags, "top", "10"), "top")?;
+
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
+    let labels = csv.labels.expect("label column requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = train_test_split(&csv.data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    );
+    let clf = CountingClassifier::new(forest);
+    let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+    let n = batch_size.min(split.test.n_rows());
+    let batch = split.test.select(&(0..n).collect::<Vec<_>>());
+
+    let kind = match get_or(flags, "explainer", "lime") {
+        "lime" => ExplainerKind::Lime(LimeExplainer::default()),
+        "anchor" => ExplainerKind::Anchor(AnchorExplainer::default()),
+        "shap" => ExplainerKind::Shap(KernelShapExplainer::default()),
+        other => return Err(format!("unknown explainer '{other}'")),
+    };
+    let method_name = get_or(flags, "method", "batch");
+    let method = match method_name {
+        "sequential" => Method::Sequential,
+        "batch" => Method::Batch(Default::default()),
+        "streaming" => Method::Streaming(Default::default()),
+        "greedy" => Method::Greedy(Greedy::default_budget(&batch)),
+        other => match other.strip_prefix("dist-") {
+            Some(k) => Method::Dist(parse_num(k, "dist worker count")?),
+            None => return Err(format!("unknown method '{other}'")),
+        },
+    };
+
+    println!(
+        "explaining {n} predictions with {} / {method_name} ...",
+        kind.name()
+    );
+    let report = run(&method, &kind, &ctx, &clf, &batch, seed);
+    println!(
+        "done: {} classifier invocations ({:.1} per tuple), {:.2}s wall\n",
+        report.metrics.invocations,
+        report.metrics.invocations_per_tuple(),
+        report.metrics.wall.as_secs_f64()
+    );
+
+    if flags.contains_key("summary") {
+        match &kind {
+            ExplainerKind::Anchor(_) => {
+                let rules: Vec<_> = report
+                    .explanations
+                    .iter()
+                    .map(|e| e.rule().expect("anchor output").clone())
+                    .collect();
+                let summary = summarize_rules(&rules);
+                print!("{}", summary.report(batch.schema(), top));
+            }
+            _ => {
+                let weights: Vec<_> = report
+                    .explanations
+                    .iter()
+                    .map(|e| e.weights().expect("attribution output").clone())
+                    .collect();
+                let summary = summarize_attributions(&weights);
+                print!("{}", summary.report(batch.schema(), top));
+            }
+        }
+    } else {
+        // Print the first explanation as a sample.
+        match &report.explanations[0] {
+            shahin::Explanation::Weights(w) => {
+                println!("tuple 0 — top attributions:");
+                for &a in w.top_k(top.min(5)).iter() {
+                    println!(
+                        "  {:<20} {:+.4}",
+                        batch.schema().attr(a).name,
+                        w.weights[a]
+                    );
+                }
+            }
+            shahin::Explanation::Rule(r) => {
+                println!(
+                    "tuple 0 — anchor: {} (precision {:.2}, coverage {:.2})",
+                    r.rule, r.precision, r.coverage
+                );
+            }
+        }
+    }
+    Ok(())
+}

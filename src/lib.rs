@@ -1,0 +1,12 @@
+//! Umbrella crate for the Shahin reproduction: re-exports every subcrate.
+//!
+//! See the README for the repository layout; the interesting entry points
+//! are [`shahin::ShahinBatch`], [`shahin::ShahinStreaming`], and the
+//! experiment binaries in `crates/bench`.
+
+pub use shahin;
+pub use shahin_explain;
+pub use shahin_fim;
+pub use shahin_linalg;
+pub use shahin_model;
+pub use shahin_tabular;

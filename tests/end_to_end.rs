@@ -1,0 +1,189 @@
+//! End-to-end integration: data generation → forest training → all three
+//! explainers under every execution method, with sane outputs and real
+//! invocation savings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::metrics::speedup_invocations;
+use shahin::{run, ExplainerKind, Greedy, Method};
+use shahin_explain::{
+    AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer, LimeParams, ShapParams,
+};
+use shahin_model::{accuracy, Classifier, CountingClassifier, ForestParams, RandomForest};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+struct World {
+    ctx: ExplainContext,
+    clf: CountingClassifier<RandomForest>,
+    batch: Dataset,
+}
+
+fn world(preset: DatasetPreset, n_batch: usize, seed: u64) -> World {
+    let (data, labels) = preset.spec(0.05).generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams {
+            n_trees: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    // Sanity: the model actually learned something, otherwise the
+    // explanations are meaningless.
+    let preds: Vec<u8> = (0..split.test.n_rows())
+        .map(|r| forest.predict(&split.test.instance(r)))
+        .collect();
+    assert!(
+        accuracy(&preds, &split.test_labels) > 0.6,
+        "forest failed to learn the planted concept"
+    );
+    let ctx = ExplainContext::fit(&split.train, 500, &mut rng);
+    let clf = CountingClassifier::new(forest);
+    let rows: Vec<usize> = (0..n_batch.min(split.test.n_rows())).collect();
+    World {
+        ctx,
+        clf,
+        batch: split.test.select(&rows),
+    }
+}
+
+fn kinds() -> Vec<ExplainerKind> {
+    vec![
+        ExplainerKind::Lime(LimeExplainer::new(LimeParams {
+            n_samples: 120,
+            ..Default::default()
+        })),
+        ExplainerKind::Anchor(AnchorExplainer::default()),
+        ExplainerKind::Shap(KernelShapExplainer::new(ShapParams { n_samples: 64, ..Default::default() })),
+    ]
+}
+
+#[test]
+fn every_method_explains_every_tuple() {
+    let w = world(DatasetPreset::Recidivism, 25, 1);
+    for kind in kinds() {
+        for method in [
+            Method::Sequential,
+            Method::Dist(4),
+            Method::Greedy(Greedy::default_budget(&w.batch)),
+            Method::Batch(Default::default()),
+            Method::Streaming(Default::default()),
+        ] {
+            let r = run(&method, &kind, &w.ctx, &w.clf, &w.batch, 3);
+            assert_eq!(
+                r.explanations.len(),
+                w.batch.n_rows(),
+                "{} × {} lost tuples",
+                method.name(),
+                kind.name()
+            );
+            assert!(r.metrics.invocations > 0);
+            assert_eq!(r.metrics.n_tuples, w.batch.n_rows());
+        }
+    }
+}
+
+#[test]
+fn shahin_batch_saves_invocations_for_all_explainers() {
+    let w = world(DatasetPreset::CensusIncome, 60, 2);
+    for kind in kinds() {
+        let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &w.batch, 5);
+        let opt = run(
+            &Method::Batch(Default::default()),
+            &kind,
+            &w.ctx,
+            &w.clf,
+            &w.batch,
+            5,
+        );
+        let s = speedup_invocations(&seq.metrics, &opt.metrics);
+        assert!(
+            s > 1.2,
+            "{}: invocation speedup only {s:.2}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn lime_weight_vectors_have_schema_arity() {
+    let w = world(DatasetPreset::Covertype, 15, 3);
+    let kind = &kinds()[0];
+    let r = run(&Method::Batch(Default::default()), kind, &w.ctx, &w.clf, &w.batch, 7);
+    for e in &r.explanations {
+        let fw = e.weights().expect("lime returns weights");
+        assert_eq!(fw.weights.len(), w.batch.n_attrs());
+        assert!(fw.weights.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn shap_efficiency_holds_under_every_method() {
+    let w = world(DatasetPreset::Recidivism, 20, 4);
+    let kind = &kinds()[2];
+    for method in [
+        Method::Sequential,
+        Method::Greedy(Greedy::default_budget(&w.batch)),
+        Method::Batch(Default::default()),
+        Method::Streaming(Default::default()),
+    ] {
+        let r = run(&method, kind, &w.ctx, &w.clf, &w.batch, 9);
+        for e in &r.explanations {
+            let fw = e.weights().expect("shap returns weights");
+            let total: f64 = fw.weights.iter().sum();
+            assert!(
+                (total - (fw.local_prediction - fw.intercept)).abs() < 1e-6,
+                "{}: efficiency violated",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn anchor_rules_are_tuple_predicates_under_every_method() {
+    let w = world(DatasetPreset::Recidivism, 15, 5);
+    let kind = &kinds()[1];
+    let table = w.ctx.discretizer().encode_dataset(&w.batch);
+    for method in [
+        Method::Sequential,
+        Method::Batch(Default::default()),
+        Method::Streaming(Default::default()),
+    ] {
+        let r = run(&method, kind, &w.ctx, &w.clf, &w.batch, 11);
+        for (row, e) in r.explanations.iter().enumerate() {
+            let rule = e.rule().expect("anchor returns rules");
+            assert!(
+                rule.rule.contained_in(&table.row(row)),
+                "{}: rule not a predicate of its own tuple",
+                method.name()
+            );
+            assert!((0.0..=1.0).contains(&rule.precision));
+            assert!((0.0..=1.0).contains(&rule.coverage));
+        }
+    }
+}
+
+#[test]
+fn dist_k_reproduces_sequential_explanations_exactly() {
+    let w = world(DatasetPreset::Recidivism, 20, 6);
+    for kind in kinds() {
+        let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &w.batch, 13);
+        let dist = run(&Method::Dist(8), &kind, &w.ctx, &w.clf, &w.batch, 13);
+        for (a, b) in seq.explanations.iter().zip(&dist.explanations) {
+            match (a, b) {
+                (shahin::Explanation::Weights(x), shahin::Explanation::Weights(y)) => {
+                    assert_eq!(x, y)
+                }
+                (shahin::Explanation::Rule(x), shahin::Explanation::Rule(y)) => {
+                    assert_eq!(x.rule, y.rule)
+                }
+                _ => panic!("mismatched explanation kinds"),
+            }
+        }
+    }
+}
