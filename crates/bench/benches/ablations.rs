@@ -57,7 +57,16 @@ fn ablation_fim(c: &mut Criterion) {
     let kind = lime_kind();
     let mut g = c.benchmark_group("ablation/fim_materialization");
     g.bench_function("shahin_batch", |b| {
-        b.iter(|| run(&Method::Batch(Default::default()), &kind, &s.ctx, &s.clf, &s.batch, 3))
+        b.iter(|| {
+            run(
+                &Method::Batch(Default::default()),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &s.batch,
+                3,
+            )
+        })
     });
     g.bench_function("greedy_lru", |b| {
         b.iter(|| {
@@ -87,10 +96,28 @@ fn ablation_anchor_caches(c: &mut Criterion) {
     let batch = s.batch.select(&small);
     let mut g = c.benchmark_group("ablation/anchor_caches");
     g.bench_function("shahin_full", |b| {
-        b.iter(|| run(&Method::Batch(Default::default()), &kind, &s.ctx, &s.clf, &batch, 5))
+        b.iter(|| {
+            run(
+                &Method::Batch(Default::default()),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &batch,
+                5,
+            )
+        })
     });
     g.bench_function("counts_only", |b| {
-        b.iter(|| run(&Method::Greedy(usize::MAX), &kind, &s.ctx, &s.clf, &batch, 5))
+        b.iter(|| {
+            run(
+                &Method::Greedy(usize::MAX),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &batch,
+                5,
+            )
+        })
     });
     g.bench_function("no_cache", |b| {
         b.iter(|| run(&Method::Sequential, &kind, &s.ctx, &s.clf, &batch, 5))
@@ -114,10 +141,28 @@ fn ablation_shap_kernel(c: &mut Criterion) {
     }));
     let mut g = c.benchmark_group("ablation/shap_size_sampling");
     g.bench_function("kernel_proportional", |b| {
-        b.iter(|| run(&Method::Batch(Default::default()), &kernel, &s.ctx, &s.clf, &batch, 7))
+        b.iter(|| {
+            run(
+                &Method::Batch(Default::default()),
+                &kernel,
+                &s.ctx,
+                &s.clf,
+                &batch,
+                7,
+            )
+        })
     });
     g.bench_function("uniform_sizes", |b| {
-        b.iter(|| run(&Method::Batch(Default::default()), &uniform, &s.ctx, &s.clf, &batch, 7))
+        b.iter(|| {
+            run(
+                &Method::Batch(Default::default()),
+                &uniform,
+                &s.ctx,
+                &s.clf,
+                &batch,
+                7,
+            )
+        })
     });
     g.finish();
 }
@@ -138,10 +183,28 @@ fn ablation_negative_border(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("ablation/negative_border");
     g.bench_function("tracked", |b| {
-        b.iter(|| run(&Method::Streaming(on.clone()), &kind, &s.ctx, &s.clf, &s.batch, 9))
+        b.iter(|| {
+            run(
+                &Method::Streaming(on.clone()),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &s.batch,
+                9,
+            )
+        })
     });
     g.bench_function("untracked", |b| {
-        b.iter(|| run(&Method::Streaming(off.clone()), &kind, &s.ctx, &s.clf, &s.batch, 9))
+        b.iter(|| {
+            run(
+                &Method::Streaming(off.clone()),
+                &kind,
+                &s.ctx,
+                &s.clf,
+                &s.batch,
+                9,
+            )
+        })
     });
     g.finish();
 }

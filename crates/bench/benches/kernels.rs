@@ -21,7 +21,13 @@ fn synth_table(n_rows: usize, n_attrs: usize, seed: u64) -> DiscreteTable {
         (0..n_attrs)
             .map(|_| {
                 (0..n_rows)
-                    .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..8u32) })
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            0
+                        } else {
+                            rng.gen_range(0..8u32)
+                        }
+                    })
                     .collect()
             })
             .collect(),
@@ -35,7 +41,9 @@ fn bench_apriori(c: &mut Criterion) {
         max_len: 3,
         max_itemsets: 200,
     };
-    c.bench_function("fim/apriori_1000x30", |b| b.iter(|| apriori(&table, &params)));
+    c.bench_function("fim/apriori_1000x30", |b| {
+        b.iter(|| apriori(&table, &params))
+    });
 }
 
 fn bench_index(c: &mut Criterion) {
@@ -116,7 +124,9 @@ fn bench_forest(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
     let forest = RandomForest::fit(&data, &labels, &ForestParams::default(), &mut rng);
     let inst = data.instance(0);
-    c.bench_function("model/rf_predict", |b| b.iter(|| forest.predict_proba(&inst)));
+    c.bench_function("model/rf_predict", |b| {
+        b.iter(|| forest.predict_proba(&inst))
+    });
     c.bench_function("model/rf_train_25trees", |b| {
         b.iter_batched(
             || StdRng::seed_from_u64(9),

@@ -1,0 +1,155 @@
+//! Parallel-driver benchmark: sequential Shahin-Batch vs the multi-threaded
+//! drivers (`Method::BatchParallel`) at 2/4/8 worker threads, for each
+//! explainer, on Census-Income. Emits `BENCH_parallel.json`.
+//!
+//! The classifier is wrapped in [`LatencyCost`] (per-invocation *sleep*)
+//! rather than the busy-wait `SimulatedCost` the figure binaries use: a
+//! sleeping invocation models a round-trip to a model server, and sleeps
+//! from different worker threads overlap even when the bench machine has
+//! fewer cores than worker threads — which is exactly the deployment the
+//! multi-core pipeline targets.
+//!
+//! Environment knobs (on top of the shared `SHAHIN_SEED`):
+//!
+//! * `SHAHIN_PAR_BATCH` — tuples per batch (default 5000),
+//! * `SHAHIN_PAR_LATENCY_US` — sleep microseconds per classifier
+//!   invocation (default 100, a model-server round trip),
+//! * `SHAHIN_PAR_THREADS` — comma-separated thread counts (default 2,4,8),
+//! * `SHAHIN_PAR_OUT` — output path (default BENCH_parallel.json).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{run, BatchConfig, ExplainerKind, Method, RunReport};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, env_u64, f2, secs};
+use shahin_explain::ExplainContext;
+use shahin_model::{CountingClassifier, ForestParams, LatencyCost, RandomForest};
+use shahin_tabular::{train_test_split, DatasetPreset};
+
+struct Measurement {
+    wall_s: f64,
+    invocations: u64,
+}
+
+fn measure(
+    method: &Method,
+    kind: &ExplainerKind,
+    ctx: &ExplainContext,
+    clf: &CountingClassifier<LatencyCost<RandomForest>>,
+    batch: &shahin_tabular::Dataset,
+    seed: u64,
+) -> (Measurement, RunReport) {
+    clf.reset();
+    let start = Instant::now();
+    let report = run(method, kind, ctx, clf, batch, seed);
+    let wall_s = start.elapsed().as_secs_f64();
+    (
+        Measurement {
+            wall_s,
+            invocations: clf.invocations(),
+        },
+        report,
+    )
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"invocations\": {}}}",
+        m.wall_s, m.invocations
+    )
+}
+
+fn main() {
+    let seed = base_seed();
+    let batch_n = env_u64("SHAHIN_PAR_BATCH", 5000) as usize;
+    let latency = Duration::from_micros(env_u64("SHAHIN_PAR_LATENCY_US", 100));
+    let threads: Vec<usize> = std::env::var("SHAHIN_PAR_THREADS")
+        .unwrap_or_else(|_| "2,4,8".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let out_path = std::env::var("SHAHIN_PAR_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+
+    let preset = DatasetPreset::CensusIncome;
+    let (data, labels) = preset.spec(1.0).generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    );
+    let clf = CountingClassifier::new(LatencyCost::new(forest, latency));
+    let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+    let batch_n = batch_n.min(split.test.n_rows());
+    let batch = split.test.select(&(0..batch_n).collect::<Vec<_>>());
+
+    println!(
+        "# Parallel drivers: {} tuples of {}, {}µs classifier latency",
+        batch_n,
+        preset.name(),
+        latency.as_micros()
+    );
+
+    let sequential = Method::Batch(BatchConfig {
+        n_threads: Some(1),
+        ..Default::default()
+    });
+    let mut blocks: Vec<String> = Vec::new();
+    for kind in [
+        ExplainerKind::Lime(bench_lime()),
+        ExplainerKind::Shap(bench_shap()),
+        ExplainerKind::Anchor(bench_anchor()),
+    ] {
+        let (seq, _) = measure(&sequential, &kind, &ctx, &clf, &batch, seed);
+        println!(
+            "{}: sequential {} ({} invocations)",
+            kind.name(),
+            secs(seq.wall_s),
+            seq.invocations
+        );
+        let mut thread_entries: Vec<String> = Vec::new();
+        for &t in &threads {
+            let method = Method::BatchParallel(BatchConfig {
+                n_threads: Some(t),
+                ..Default::default()
+            });
+            let (par, _) = measure(&method, &kind, &ctx, &clf, &batch, seed);
+            println!(
+                "{}: {} threads {} ({} invocations, speedup {}x)",
+                kind.name(),
+                t,
+                secs(par.wall_s),
+                par.invocations,
+                f2(seq.wall_s / par.wall_s)
+            );
+            thread_entries.push(format!(
+                "\"{}\": {{\"wall_s\": {:.6}, \"invocations\": {}, \"speedup\": {:.3}}}",
+                t,
+                par.wall_s,
+                par.invocations,
+                seq.wall_s / par.wall_s
+            ));
+        }
+        blocks.push(format!(
+            "    \"{}\": {{\n      \"sequential\": {},\n      \"threads\": {{{}}}\n    }}",
+            kind.name(),
+            json_measurement(&seq),
+            thread_entries.join(", ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"batch\": {},\n  \"latency_us\": {},\n  \"seed\": {},\n  \"explainers\": {{\n{}\n  }}\n}}\n",
+        preset.name(),
+        batch_n,
+        latency.as_micros(),
+        seed,
+        blocks.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out_path}");
+}

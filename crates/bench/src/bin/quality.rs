@@ -47,7 +47,14 @@ fn main() {
         let seq = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed);
         // Seed-to-seed variation of the baseline itself — the paper's
         // yardstick for LIME's deviation.
-        let seq2 = run(&Method::Sequential, &kind, &w.ctx, &w.clf, &batch, seed ^ 0x1234);
+        let seq2 = run(
+            &Method::Sequential,
+            &kind,
+            &w.ctx,
+            &w.clf,
+            &batch,
+            seed ^ 0x1234,
+        );
         for (variant, r) in [
             ("self (reseeded)", &seq2),
             (

@@ -23,8 +23,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin_explain::{
-    AnchorExplainer, AnchorParams, ExplainContext, KernelShapExplainer, LimeExplainer,
-    LimeParams, ShapParams,
+    AnchorExplainer, AnchorParams, ExplainContext, KernelShapExplainer, LimeExplainer, LimeParams,
+    ShapParams,
 };
 use shahin_model::{CountingClassifier, ForestParams, RandomForest, SimulatedCost};
 use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
@@ -137,7 +137,10 @@ pub fn bench_anchor() -> AnchorExplainer {
 
 /// KernelSHAP with a reduced coalition budget.
 pub fn bench_shap() -> KernelShapExplainer {
-    KernelShapExplainer::new(ShapParams { n_samples: 128, ..Default::default() })
+    KernelShapExplainer::new(ShapParams {
+        n_samples: 128,
+        ..Default::default()
+    })
 }
 
 /// Prints a markdown-style table row.

@@ -13,9 +13,20 @@
 //!
 //! [`CachingRuleSampler`] plugs both into the unmodified Anchor search via
 //! the [`RuleSampler`] interface.
+//!
+//! The caches are **lock-striped**: rules hash to one of [`N_SHARDS`]
+//! independent [`parking_lot::Mutex`]-protected shards, so
+//! [`crate::ShahinBatch::explain_anchor_parallel`]'s worker threads share
+//! precision evidence and memoized coverage without serializing on a
+//! single lock. The sequential drivers use the same type through `&self` —
+//! an uncontended shard lock is a few nanoseconds, noise next to a
+//! classifier invocation.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,9 +37,13 @@ use shahin_model::Classifier;
 
 use crate::store::PerturbationStore;
 
-/// Caches shared across every tuple of a batch (or stream).
-#[derive(Clone, Debug, Default)]
-pub struct SharedAnchorCaches {
+/// Number of lock stripes. 16 keeps the worst-case contention of a full
+/// fleet of workers low while the per-shard memory overhead stays trivial.
+pub const N_SHARDS: usize = 16;
+
+/// One stripe of the shared caches.
+#[derive(Debug, Default)]
+struct CacheShard {
     /// Per-rule `(n, positive)` sample counts, where `positive` counts
     /// positive-*class* predictions (so both anchored classes can reuse the
     /// same entry).
@@ -40,40 +55,71 @@ pub struct SharedAnchorCaches {
     bootstrapped: HashSet<Itemset>,
 }
 
+/// Caches shared across every tuple of a batch (or stream), striped across
+/// [`N_SHARDS`] mutexes keyed by rule hash. All methods take `&self`; the
+/// type is `Sync` and is shared by reference across the parallel Anchor
+/// driver's worker threads.
+#[derive(Debug)]
+pub struct SharedAnchorCaches {
+    shards: [Mutex<CacheShard>; N_SHARDS],
+}
+
+impl Default for SharedAnchorCaches {
+    fn default() -> Self {
+        SharedAnchorCaches::new()
+    }
+}
+
 impl SharedAnchorCaches {
     /// Creates empty caches.
     pub fn new() -> SharedAnchorCaches {
-        SharedAnchorCaches::default()
+        SharedAnchorCaches {
+            shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
+        }
+    }
+
+    /// The stripe responsible for `rule`.
+    fn shard(&self, rule: &Itemset) -> &Mutex<CacheShard> {
+        let mut h = DefaultHasher::new();
+        rule.hash(&mut h);
+        &self.shards[h.finish() as usize % N_SHARDS]
     }
 
     /// Number of rules with cached precision counts.
     pub fn n_precision_entries(&self) -> usize {
-        self.precision.len()
+        self.shards.iter().map(|s| s.lock().precision.len()).sum()
     }
 
     /// Number of rules with memoized coverage.
     pub fn n_coverage_entries(&self) -> usize {
-        self.coverage.len()
+        self.shards.iter().map(|s| s.lock().coverage.len()).sum()
     }
 
     /// Approximate resident bytes (for budget-style reporting).
     pub fn approx_bytes(&self) -> usize {
         let per_rule = |s: &Itemset| s.approx_bytes() + 24;
-        self.precision.keys().map(&per_rule).sum::<usize>()
-            + self.coverage.keys().map(&per_rule).sum::<usize>()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock();
+                shard.precision.keys().map(per_rule).sum::<usize>()
+                    + shard.coverage.keys().map(per_rule).sum::<usize>()
+            })
+            .sum()
     }
 }
 
 /// A [`RuleSampler`] backed by the shared caches and the materialized
 /// perturbation store. Constructed per explained tuple (it needs the
-/// tuple's matched store entries) but mutating batch-wide state.
+/// tuple's matched store entries) but folding its evidence into the
+/// batch-wide [`SharedAnchorCaches`].
 pub struct CachingRuleSampler<'a, C> {
     ctx: &'a ExplainContext,
     clf: &'a C,
     store: &'a PerturbationStore,
     /// Store ids whose itemsets the current tuple contains.
     matched: &'a [u32],
-    caches: &'a mut SharedAnchorCaches,
+    caches: &'a SharedAnchorCaches,
     rng: StdRng,
 }
 
@@ -85,7 +131,7 @@ impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
         clf: &'a C,
         store: &'a PerturbationStore,
         matched: &'a [u32],
-        caches: &'a mut SharedAnchorCaches,
+        caches: &'a SharedAnchorCaches,
         seed: u64,
     ) -> Self {
         CachingRuleSampler {
@@ -102,7 +148,7 @@ impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
     /// every stored sample of a matched itemset `f ⊆ rule` whose codes also
     /// satisfy `rule \ f` is a valid rule-conditioned draw — its label came
     /// for free at materialization time.
-    fn bootstrap(&mut self, rule: &Itemset) -> (u64, u64) {
+    fn bootstrap(&self, rule: &Itemset) -> (u64, u64) {
         let mut n = 0u64;
         let mut pos = 0u64;
         for &id in self.matched {
@@ -129,32 +175,47 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
             pos += u64::from(s.proba >= 0.5);
         }
         // Fresh draws are invariant evidence: fold them into the shared
-        // cache so later tuples start ahead (Algorithm 2 line 12).
-        let e = self.caches.precision.entry(rule.clone()).or_insert((0, 0));
+        // cache so later tuples (on any thread) start ahead (Algorithm 2
+        // line 12).
+        let mut shard = self.caches.shard(rule).lock();
+        let e = shard.precision.entry(rule.clone()).or_insert((0, 0));
         e.0 += k as u64;
         e.1 += pos;
         (k as u64, pos)
     }
 
     fn prior(&mut self, rule: &Itemset) -> (u64, u64) {
-        if !self.caches.bootstrapped.contains(rule) {
-            let (n, pos) = self.bootstrap(rule);
-            self.caches.bootstrapped.insert(rule.clone());
-            if n > 0 {
-                let e = self.caches.precision.entry(rule.clone()).or_insert((0, 0));
-                e.0 += n;
-                e.1 += pos;
+        {
+            let shard = self.caches.shard(rule).lock();
+            if shard.bootstrapped.contains(rule) {
+                return shard.precision.get(rule).copied().unwrap_or((0, 0));
             }
         }
-        self.caches.precision.get(rule).copied().unwrap_or((0, 0))
+        // Scan the store outside the lock (it can be a long walk), then
+        // publish under the lock; `bootstrapped.insert` arbitrates racing
+        // threads so the seed counts are added at most once.
+        let (n, pos) = self.bootstrap(rule);
+        let mut shard = self.caches.shard(rule).lock();
+        if shard.bootstrapped.insert(rule.clone()) && n > 0 {
+            let e = shard.precision.entry(rule.clone()).or_insert((0, 0));
+            e.0 += n;
+            e.1 += pos;
+        }
+        shard.precision.get(rule).copied().unwrap_or((0, 0))
     }
 
     fn coverage(&mut self, rule: &Itemset) -> f64 {
-        if let Some(&c) = self.caches.coverage.get(rule) {
+        if let Some(&c) = self.caches.shard(rule).lock().coverage.get(rule) {
             return c;
         }
+        // Computed outside the lock; coverage is a pure function of the
+        // rule, so a racing double-computation inserts the same value.
         let c = rule_coverage(self.ctx.coverage_sample(), rule);
-        self.caches.coverage.insert(rule.clone(), c);
+        self.caches
+            .shard(rule)
+            .lock()
+            .coverage
+            .insert(rule.clone(), c);
         c
     }
 }
@@ -199,8 +260,8 @@ mod tests {
         let clf = MajorityClass::fit(&[1]);
         let store = materialized_store(&ctx, &clf);
         let matched = vec![0u32, 1];
-        let mut caches = SharedAnchorCaches::new();
-        let mut sampler = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 1);
+        let caches = SharedAnchorCaches::new();
+        let mut sampler = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 1);
         // Rule equal to a materialized itemset: all 50 samples count.
         let (n, pos) = sampler.prior(&Itemset::new(vec![Item::new(0, 1)]));
         assert_eq!(n, 50);
@@ -220,15 +281,15 @@ mod tests {
         let clf = MajorityClass::fit(&[1]);
         let store = materialized_store(&ctx, &clf);
         let matched = vec![0u32];
-        let mut caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::new();
         let rule = Itemset::new(vec![Item::new(0, 1)]);
         {
-            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 2);
+            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 2);
             assert_eq!(s.prior(&rule).0, 50);
             assert_eq!(s.prior(&rule).0, 50, "second prior must not double");
         }
         // A new sampler (next tuple) sees the same counts, not doubled.
-        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 3);
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 3);
         assert_eq!(s2.prior(&rule).0, 50);
     }
 
@@ -238,15 +299,15 @@ mod tests {
         let clf = CountingClassifier::new(MajorityClass::fit(&[1]));
         let store = PerturbationStore::new(vec![], usize::MAX);
         let matched = vec![];
-        let mut caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::new();
         let rule = Itemset::new(vec![Item::new(2, 0)]);
         {
-            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 4);
+            let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 4);
             assert_eq!(s.draw(&rule, 20), (20, 20));
         }
         assert_eq!(clf.invocations(), 20);
         // Next tuple: the 20 draws are already in the prior.
-        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 5);
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 5);
         assert_eq!(s2.prior(&rule), (20, 20));
         assert_eq!(clf.invocations(), 20, "prior must be free");
     }
@@ -257,13 +318,48 @@ mod tests {
         let clf = MajorityClass::fit(&[1]);
         let store = PerturbationStore::new(vec![], usize::MAX);
         let matched = vec![];
-        let mut caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::new();
         let rule = Itemset::new(vec![Item::new(0, 0)]);
-        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &mut caches, 6);
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 6);
         let c1 = s.coverage(&rule);
         let c2 = s.coverage(&rule);
         assert_eq!(c1, c2);
         assert!((0.2..0.5).contains(&c1), "coverage {c1}");
         assert_eq!(s.caches.n_coverage_entries(), 1);
+    }
+
+    #[test]
+    fn concurrent_draws_lose_no_evidence() {
+        // 8 threads hammer overlapping rules; every fresh draw must land in
+        // the shared precision counts exactly once.
+        let ctx = test_ctx(4);
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let store = PerturbationStore::new(vec![], usize::MAX);
+        let caches = SharedAnchorCaches::new();
+        let rules: Vec<Itemset> = (0..3)
+            .map(|a| Itemset::new(vec![Item::new(a, 0)]))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let caches = &caches;
+                let ctx = &ctx;
+                let clf = &clf;
+                let store = &store;
+                let rules = &rules;
+                scope.spawn(move || {
+                    let mut s = CachingRuleSampler::new(ctx, clf, store, &[], caches, 100 + t);
+                    for rule in rules {
+                        s.draw(rule, 5);
+                    }
+                });
+            }
+        });
+        assert_eq!(clf.invocations(), 8 * 3 * 5);
+        assert_eq!(caches.n_precision_entries(), 3);
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &[], &caches, 999);
+        for rule in &rules {
+            // 8 threads × 5 draws each, all positive under MajorityClass(1).
+            assert_eq!(s.prior(rule), (40, 40));
+        }
     }
 }

@@ -8,9 +8,8 @@ use rand::SeedableRng;
 
 use shahin_explain::anchor::RuleSampler;
 use shahin_explain::{
-    estimate_base_value, labeled_perturbation, AnchorExplainer, AnchorExplanation,
-    CoalitionSample, ExplainContext, FeatureWeights, KernelShapExplainer, LabeledSample,
-    LimeExplainer, NoSource,
+    estimate_base_value, labeled_perturbation, AnchorExplainer, AnchorExplanation, CoalitionSample,
+    ExplainContext, FeatureWeights, KernelShapExplainer, LabeledSample, LimeExplainer, NoSource,
 };
 use shahin_fim::Itemset;
 use shahin_model::{Classifier, CountingClassifier};
@@ -570,7 +569,10 @@ mod tests {
     #[test]
     fn greedy_shap_runs() {
         let (ctx, clf, batch) = setup(4);
-        let shap = KernelShapExplainer::new(shahin_explain::ShapParams { n_samples: 64, ..Default::default() });
+        let shap = KernelShapExplainer::new(shahin_explain::ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
         let greedy = Greedy::new(usize::MAX);
         let res = greedy.explain_shap(&ctx, &clf, &batch, &shap, 20, 11);
         assert_eq!(res.explanations.len(), batch.n_rows());

@@ -50,13 +50,16 @@ impl ShahinBatch {
 
     /// Lines 2–4 of each algorithm: sample, mine, materialize.
     /// `n_target` is the explainer's per-tuple sample budget, used by the
-    /// automatic τ selection.
+    /// automatic τ selection. Materialization runs on
+    /// [`BatchConfig::n_threads`] workers seeded per itemset from `seed`,
+    /// so the store is identical at every thread count.
     pub(crate) fn prepare<C: Classifier>(
         &self,
         ctx: &ExplainContext,
         clf: &C,
         batch: &Dataset,
         n_target: usize,
+        seed: u64,
         rng: &mut StdRng,
     ) -> Prepared {
         let table = ctx.discretizer().encode_dataset(batch);
@@ -95,7 +98,7 @@ impl ShahinBatch {
             let coverage_tau = (1.25 * n_target as f64 / expected_matched).ceil() as usize;
             tau = tau.min(coverage_tau.max(1));
         }
-        store.materialize(ctx, clf, tau, rng);
+        store.materialize_parallel(ctx, clf, tau, seed, self.config.resolved_n_threads());
         let materialization_time = t1.elapsed();
 
         Prepared {
@@ -118,7 +121,7 @@ impl ShahinBatch {
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut prep = self.prepare(ctx, clf, batch, lime.params.n_samples, &mut rng);
+        let mut prep = self.prepare(ctx, clf, batch, lime.params.n_samples, seed, &mut rng);
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
@@ -172,8 +175,8 @@ impl ShahinBatch {
         let mut rng = StdRng::seed_from_u64(seed);
         // Anchor has no fixed per-tuple sample count; 400 approximates the
         // bandit's typical rule-conditioned draw budget per tuple.
-        let mut prep = self.prepare(ctx, clf, batch, 400, &mut rng);
-        let mut caches = SharedAnchorCaches::new();
+        let mut prep = self.prepare(ctx, clf, batch, 400, seed, &mut rng);
+        let caches = SharedAnchorCaches::new();
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
@@ -190,7 +193,7 @@ impl ShahinBatch {
                 clf,
                 &prep.store,
                 &matched,
-                &mut caches,
+                &caches,
                 per_tuple_seed(seed, row),
             );
             explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
@@ -228,7 +231,7 @@ impl ShahinBatch {
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut prep = self.prepare(ctx, clf, batch, shap.params.n_samples, &mut rng);
+        let mut prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
         let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
 
         let mut retrieval = Duration::ZERO;
@@ -341,7 +344,10 @@ mod tests {
     #[test]
     fn shap_batch_runs_and_saves() {
         let (ctx, clf, batch) = setup(0.02, 3);
-        let shap = KernelShapExplainer::new(shahin_explain::ShapParams { n_samples: 128, ..Default::default() });
+        let shap = KernelShapExplainer::new(shahin_explain::ShapParams {
+            n_samples: 128,
+            ..Default::default()
+        });
         let shahin = ShahinBatch::new(BatchConfig {
             tau: 50,
             ..Default::default()

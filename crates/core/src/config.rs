@@ -37,6 +37,25 @@ pub struct BatchConfig {
     pub auto_tau: bool,
     /// Mining algorithm.
     pub miner: Miner,
+    /// Worker threads for the parallel phases (materialization in
+    /// `prepare`, and the per-tuple fan-out of the `explain_*_parallel`
+    /// drivers). `None` (the default) uses
+    /// [`std::thread::available_parallelism`]. All results are
+    /// thread-count invariant for LIME/SHAP (see DESIGN.md, "Threading
+    /// model & determinism").
+    pub n_threads: Option<usize>,
+}
+
+impl BatchConfig {
+    /// The effective worker-thread count: the configured override, or the
+    /// machine's available parallelism, never less than 1.
+    pub fn resolved_n_threads(&self) -> usize {
+        self.n_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .max(1)
+    }
 }
 
 impl Default for BatchConfig {
@@ -49,6 +68,7 @@ impl Default for BatchConfig {
             cache_budget_bytes: usize::MAX,
             auto_tau: true,
             miner: Miner::default(),
+            n_threads: None,
         }
     }
 }
@@ -101,5 +121,15 @@ mod tests {
         let s = StreamingConfig::default();
         assert_eq!(s.refresh_every, 100, "paper: threshold such as 100");
         assert_eq!(s.tau, 100);
+    }
+
+    #[test]
+    fn n_threads_resolution() {
+        let mut b = BatchConfig::default();
+        assert!(b.resolved_n_threads() >= 1, "must always have one worker");
+        b.n_threads = Some(3);
+        assert_eq!(b.resolved_n_threads(), 3);
+        b.n_threads = Some(0);
+        assert_eq!(b.resolved_n_threads(), 1, "zero clamps to one worker");
     }
 }

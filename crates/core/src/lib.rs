@@ -61,8 +61,8 @@ pub mod parallel;
 pub mod runner;
 pub mod shap_source;
 pub mod store;
-pub mod summarize;
 pub mod streaming;
+pub mod summarize;
 
 pub use anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 pub use baseline::{dist_k, Greedy};
@@ -70,8 +70,11 @@ pub use batch::ShahinBatch;
 pub use config::{BatchConfig, Miner, StreamingConfig};
 pub use greedy_cache::TaggedLruCache;
 pub use metrics::{BatchResult, OverheadBreakdown, RunMetrics};
-pub use runner::{per_tuple_seed, run, Explanation, ExplainerKind, Method, RunReport};
+pub use parallel::chunks;
+pub use runner::{per_tuple_seed, run, ExplainerKind, Explanation, Method, RunReport};
 pub use shap_source::StoreCoalitionSource;
-pub use store::PerturbationStore;
-pub use summarize::{summarize_attributions, summarize_rules, top_k_overlap, AttributionSummary, RuleSummary};
+pub use store::{per_itemset_seed, PerturbationStore};
 pub use streaming::ShahinStreaming;
+pub use summarize::{
+    summarize_attributions, summarize_rules, top_k_overlap, AttributionSummary, RuleSummary,
+};

@@ -2,74 +2,100 @@
 //!
 //! The paper disables Shahin's multiprocessing to show the speedup is
 //! algorithmic ("By default, Shahin runs only on a single core of a single
-//! machine", §4.1) — but a production deployment would use every core.
-//! After the (sequential) preparation phase, tuples are embarrassingly
-//! parallel: the materialized store is only *read*, per-tuple RNG streams
-//! are derived from the run seed, and the explainers are pure functions of
-//! their inputs. This module fans the per-tuple work out over scoped
-//! threads and is deterministic: it produces exactly the explanations the
-//! single-threaded driver does (tested below).
+//! machine", §4.1) — but a production deployment would use every core, in
+//! both phases:
 //!
-//! Anchor is deliberately not offered in parallel: its shared precision
-//! cache is what makes Shahin fast there, and sharing it across threads
-//! would either serialize on a lock or forfeit the reuse — the sequential
-//! driver is the right tool.
+//! * **Preparation** — [`crate::PerturbationStore::materialize_parallel`]
+//!   generates and labels the τ perturbations per frequent itemset across
+//!   worker threads, with each itemset's RNG stream derived from
+//!   `(run_seed, itemset_id)` and the per-itemset sample counts planned up
+//!   front, so the materialized store is bit-identical at every thread
+//!   count.
+//! * **Per-tuple** — the materialized store is only *read*, per-tuple RNG
+//!   streams are derived from the run seed, and the explainers are pure
+//!   functions of their inputs, so tuples are embarrassingly parallel.
+//!
+//! The LIME and SHAP drivers here produce exactly the explanations (and
+//! classifier invocation counts) of the single-threaded driver. Anchor
+//! shares its lock-striped invariant caches ([`SharedAnchorCaches`])
+//! across threads: reuse is kept and the found rules are stable for
+//! classifiers with crisp precision, but because threads race to publish
+//! precision evidence, *invocation counts* may vary slightly with the
+//! schedule (see DESIGN.md, "Threading model & determinism").
+//!
+//! The thread count comes from [`crate::BatchConfig::n_threads`]
+//! (machine parallelism by default) — one knob, not per-call arguments.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use shahin_explain::{ExplainContext, FeatureWeights, KernelShapExplainer, LimeExplainer};
+use shahin_explain::{
+    AnchorExplainer, AnchorExplanation, ExplainContext, FeatureWeights, KernelShapExplainer,
+    LimeExplainer,
+};
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::Dataset;
 
+use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::batch::ShahinBatch;
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 
-/// Splits `0..n` into at most `n_threads` contiguous chunks.
-fn chunks(n: usize, n_threads: usize) -> Vec<(usize, usize)> {
-    let n_threads = n_threads.clamp(1, n.max(1));
-    let size = n.div_ceil(n_threads);
-    (0..n)
-        .step_by(size.max(1))
-        .map(|start| (start, (start + size).min(n)))
-        .collect()
+/// Splits `0..n` into at most `n_threads` contiguous, balanced chunks
+/// (sizes differ by at most one). Returns no chunks for `n = 0`, never
+/// returns an empty chunk, and clamps `n_threads` into `1..=n`.
+pub fn chunks(n: usize, n_threads: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = n_threads.clamp(1, n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let end = start + base + usize::from(i < extra);
+        out.push((start, end));
+        start = end;
+    }
+    out
 }
 
 impl ShahinBatch {
-    /// Algorithm 1 with the per-tuple phase spread over `n_threads`
-    /// threads. Produces exactly the same explanations as
-    /// [`ShahinBatch::explain_lime`] for the same seed.
+    /// Algorithm 1 with the per-tuple phase spread over
+    /// [`crate::BatchConfig::n_threads`] threads. Produces exactly the same
+    /// explanations and invocation counts as [`ShahinBatch::explain_lime`]
+    /// for the same seed, at any thread count.
     pub fn explain_lime_parallel<C: Classifier>(
         &self,
         ctx: &ExplainContext,
         clf: &CountingClassifier<C>,
         batch: &Dataset,
         lime: &LimeExplainer,
-        n_threads: usize,
         seed: u64,
     ) -> BatchResult<FeatureWeights> {
+        let n_threads = self.config.resolved_n_threads();
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
-        let prep = self.prepare(ctx, clf, batch, lime.params.n_samples, &mut rng);
+        let prep = self.prepare(ctx, clf, batch, lime.params.n_samples, seed, &mut rng);
         let store = &prep.store;
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
-            for ((start, end), slot_chunk) in chunks(batch.n_rows(), n_threads)
-                .into_iter()
-                .zip(explanations.chunks_mut(batch.n_rows().div_ceil(n_threads.max(1)).max(1)))
-            {
+            let mut rest = explanations.as_mut_slice();
+            for (start, end) in chunks(batch.n_rows(), n_threads) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
                 let table = &prep.table;
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
-                    for (row, slot) in (start..end).zip(slot_chunk.iter_mut()) {
-                        let mut tuple_rng =
-                            StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        let row = start + offset;
+                        let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
                         // Read-only matching: no LRU bookkeeping races.
                         let matched = store.matching_all(&codes, &mut scratch);
@@ -110,9 +136,86 @@ impl ShahinBatch {
         }
     }
 
-    /// Algorithm 3 with the per-tuple phase spread over `n_threads`
-    /// threads; deterministic like the LIME variant.
-    #[allow(clippy::too_many_arguments)]
+    /// Algorithm 2 with the per-tuple phase spread over
+    /// [`crate::BatchConfig::n_threads`] threads, all sharing the lock-striped
+    /// [`SharedAnchorCaches`]. Precision evidence published by one thread
+    /// is immediately visible to the others, so cache reuse matches the
+    /// sequential driver's; because threads race to publish, invocation
+    /// counts (not the found rules, for classifiers with crisp precision)
+    /// can vary with the schedule.
+    pub fn explain_anchor_parallel<C: Classifier>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &CountingClassifier<C>,
+        batch: &Dataset,
+        anchor: &AnchorExplainer,
+        seed: u64,
+    ) -> BatchResult<AnchorExplanation> {
+        let n_threads = self.config.resolved_n_threads();
+        let start_inv = clf.invocations();
+        let wall0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prep = self.prepare(ctx, clf, batch, 400, seed, &mut rng);
+        let store = &prep.store;
+        let caches = SharedAnchorCaches::new();
+
+        let mut explanations: Vec<Option<AnchorExplanation>> = vec![None; batch.n_rows()];
+        std::thread::scope(|scope| {
+            let mut rest = explanations.as_mut_slice();
+            for (start, end) in chunks(batch.n_rows(), n_threads) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let table = &prep.table;
+                let caches = &caches;
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        let row = start + offset;
+                        let codes = table.row(row);
+                        let matched: Vec<u32> = store
+                            .matching_all(&codes, &mut scratch)
+                            .into_iter()
+                            .filter(|&id| !store.samples(id).is_empty())
+                            .collect();
+                        let instance = batch.instance(row);
+                        let target = clf.predict(&instance);
+                        let mut sampler = CachingRuleSampler::new(
+                            ctx,
+                            clf,
+                            store,
+                            &matched,
+                            caches,
+                            per_tuple_seed(seed, row),
+                        );
+                        *slot = Some(anchor.explain_with_sampler(&codes, target, &mut sampler));
+                    }
+                });
+            }
+        });
+
+        BatchResult {
+            explanations: explanations
+                .into_iter()
+                .map(|e| e.expect("every row explained"))
+                .collect(),
+            metrics: RunMetrics {
+                invocations: clf.invocations() - start_inv,
+                wall: wall0.elapsed(),
+                overhead: OverheadBreakdown {
+                    fim: prep.fim_time,
+                    materialization: prep.materialization_time,
+                    retrieval: std::time::Duration::ZERO,
+                },
+                store_bytes: prep.store.peak_bytes() + caches.approx_bytes(),
+                n_frequent: prep.store.len(),
+                n_tuples: batch.n_rows(),
+            },
+        }
+    }
+
+    /// Algorithm 3 with the per-tuple phase spread over
+    /// [`crate::BatchConfig::n_threads`] threads; deterministic like the LIME
+    /// variant.
     pub fn explain_shap_parallel<C: Classifier>(
         &self,
         ctx: &ExplainContext,
@@ -120,28 +223,28 @@ impl ShahinBatch {
         batch: &Dataset,
         shap: &KernelShapExplainer,
         base_samples: usize,
-        n_threads: usize,
         seed: u64,
     ) -> BatchResult<FeatureWeights> {
+        let n_threads = self.config.resolved_n_threads();
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
-        let prep = self.prepare(ctx, clf, batch, shap.params.n_samples, &mut rng);
+        let prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
         let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
         let store = &prep.store;
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
-            for ((start, end), slot_chunk) in chunks(batch.n_rows(), n_threads)
-                .into_iter()
-                .zip(explanations.chunks_mut(batch.n_rows().div_ceil(n_threads.max(1)).max(1)))
-            {
+            let mut rest = explanations.as_mut_slice();
+            for (start, end) in chunks(batch.n_rows(), n_threads) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
                 let table = &prep.table;
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
-                    for (row, slot) in (start..end).zip(slot_chunk.iter_mut()) {
-                        let mut tuple_rng =
-                            StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        let row = start + offset;
+                        let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
                         let matched: Vec<u32> = store
                             .matching_all(&codes, &mut scratch)
@@ -208,12 +311,22 @@ mod tests {
         (ctx, clf, split.test.select(&rows))
     }
 
+    fn with_threads(n: usize) -> ShahinBatch {
+        ShahinBatch::new(BatchConfig {
+            n_threads: Some(n),
+            ..Default::default()
+        })
+    }
+
     #[test]
     fn chunking_covers_all_rows() {
-        assert_eq!(chunks(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(chunks(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
         assert_eq!(chunks(2, 8), vec![(0, 1), (1, 2)]);
         assert_eq!(chunks(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(chunks(0, 0), Vec::<(usize, usize)>::new());
         assert_eq!(chunks(5, 1), vec![(0, 5)]);
+        assert_eq!(chunks(5, 0), vec![(0, 5)], "zero threads clamps to one");
+        assert_eq!(chunks(1, 64), vec![(0, 1)]);
     }
 
     #[test]
@@ -223,8 +336,7 @@ mod tests {
             n_samples: 80,
             ..Default::default()
         });
-        let shahin = ShahinBatch::new(BatchConfig::default());
-        let r = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 4, 7);
+        let r = with_threads(4).explain_lime_parallel(&ctx, &clf, &batch, &lime, 7);
         assert_eq!(r.explanations.len(), batch.n_rows());
         assert!(r.metrics.invocations > 0);
     }
@@ -236,8 +348,7 @@ mod tests {
             n_samples: 48,
             ..Default::default()
         });
-        let shahin = ShahinBatch::new(BatchConfig::default());
-        let r = shahin.explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 4, 9);
+        let r = with_threads(4).explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 9);
         assert_eq!(r.explanations.len(), batch.n_rows());
         for e in &r.explanations {
             let total: f64 = e.weights.iter().sum();
@@ -246,17 +357,65 @@ mod tests {
     }
 
     #[test]
-    fn parallel_lime_is_deterministic_across_thread_counts() {
+    fn parallel_lime_matches_sequential_driver_exactly() {
         let (ctx, clf, batch) = setup();
         let lime = LimeExplainer::new(LimeParams {
             n_samples: 60,
             ..Default::default()
         });
-        let shahin = ShahinBatch::new(BatchConfig::default());
-        let a = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 1, 11);
-        let b = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 4, 11);
-        let c = shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 7, 11);
-        assert_eq!(a.explanations, b.explanations);
-        assert_eq!(b.explanations, c.explanations);
+        let seq = with_threads(1).explain_lime(&ctx, &clf, &batch, &lime, 11);
+        for n in [1usize, 2, 4] {
+            let par = with_threads(n).explain_lime_parallel(&ctx, &clf, &batch, &lime, 11);
+            assert_eq!(seq.explanations, par.explanations, "{n} threads");
+            assert_eq!(
+                seq.metrics.invocations, par.metrics.invocations,
+                "{n} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_shap_matches_sequential_driver_exactly() {
+        let (ctx, clf, batch) = setup();
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 48,
+            ..Default::default()
+        });
+        let seq = with_threads(1).explain_shap(&ctx, &clf, &batch, &shap, 20, 13);
+        for n in [1usize, 2, 4] {
+            let par = with_threads(n).explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 13);
+            assert_eq!(seq.explanations, par.explanations, "{n} threads");
+            assert_eq!(
+                seq.metrics.invocations, par.metrics.invocations,
+                "{n} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_anchor_rules_match_sequential_driver() {
+        let (ctx, _clf, batch) = setup();
+        // A classifier keyed on one attribute: rule precisions are crisp
+        // (≈0 or 1), so the beam search lands on the same rules regardless
+        // of how the shared cache's evidence interleaves across threads.
+        // Invocation counts are schedule-dependent — the documented
+        // Anchor-race tolerance — and are not compared.
+        struct Key;
+        impl Classifier for Key {
+            fn predict_proba(&self, inst: &[shahin_tabular::Feature]) -> f64 {
+                f64::from(inst[0].cat().is_multiple_of(2))
+            }
+        }
+        let anchor = AnchorExplainer::default();
+        let clf = CountingClassifier::new(Key);
+        let seq = with_threads(1).explain_anchor(&ctx, &clf, &batch, &anchor, 13);
+        for n in [1usize, 2, 4] {
+            let par = with_threads(n).explain_anchor_parallel(&ctx, &clf, &batch, &anchor, 13);
+            assert_eq!(par.explanations.len(), batch.n_rows());
+            for (row, (s, p)) in seq.explanations.iter().zip(&par.explanations).enumerate() {
+                assert_eq!(s.rule, p.rule, "row {row}, {n} threads");
+                assert_eq!(s.anchored_class, p.anchored_class, "row {row}, {n} threads");
+            }
+        }
     }
 }

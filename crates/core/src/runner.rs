@@ -10,8 +10,8 @@ use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::Dataset;
 
 use crate::baseline::{
-    dist_k_anchor, dist_k_lime, dist_k_shap, sequential_anchor, sequential_lime,
-    sequential_shap, Greedy,
+    dist_k_anchor, dist_k_lime, dist_k_shap, sequential_anchor, sequential_lime, sequential_shap,
+    Greedy,
 };
 use crate::batch::ShahinBatch;
 use crate::config::{BatchConfig, StreamingConfig};
@@ -65,6 +65,11 @@ pub enum Method {
     Greedy(usize),
     /// Shahin-Batch.
     Batch(BatchConfig),
+    /// Shahin-Batch with preparation *and* the per-tuple phase fanned out
+    /// over [`BatchConfig::n_threads`] worker threads (LIME/SHAP results
+    /// are identical to [`Method::Batch`]; Anchor rules match for crisp
+    /// classifiers, invocation counts race within tolerance).
+    BatchParallel(BatchConfig),
     /// Shahin-Streaming.
     Streaming(StreamingConfig),
 }
@@ -77,6 +82,9 @@ impl Method {
             Method::Dist(k) => format!("Dist-{k}"),
             Method::Greedy(_) => "Greedy".into(),
             Method::Batch(_) => "Shahin-Batch".into(),
+            Method::BatchParallel(cfg) => {
+                format!("Shahin-Batch-Par{}", cfg.resolved_n_threads())
+            }
             Method::Streaming(_) => "Shahin-Streaming".into(),
         }
     }
@@ -121,7 +129,11 @@ pub struct RunReport {
 fn wrap_weights(r: BatchResult<FeatureWeights>) -> RunReport {
     RunReport {
         metrics: r.metrics,
-        explanations: r.explanations.into_iter().map(Explanation::Weights).collect(),
+        explanations: r
+            .explanations
+            .into_iter()
+            .map(Explanation::Weights)
+            .collect(),
     }
 }
 
@@ -157,15 +169,9 @@ pub fn run<C: Classifier>(
         (Method::Dist(k), ExplainerKind::Anchor(e)) => {
             wrap_rules(dist_k_anchor(ctx, clf, batch, e, *k, seed))
         }
-        (Method::Dist(k), ExplainerKind::Shap(e)) => wrap_weights(dist_k_shap(
-            ctx,
-            clf,
-            batch,
-            e,
-            SHAP_BASE_SAMPLES,
-            *k,
-            seed,
-        )),
+        (Method::Dist(k), ExplainerKind::Shap(e)) => {
+            wrap_weights(dist_k_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, *k, seed))
+        }
         (Method::Greedy(budget), ExplainerKind::Lime(e)) => {
             wrap_weights(Greedy::new(*budget).explain_lime(ctx, clf, batch, e, seed))
         }
@@ -184,12 +190,28 @@ pub fn run<C: Classifier>(
         (Method::Batch(cfg), ExplainerKind::Shap(e)) => wrap_weights(
             ShahinBatch::new(cfg.clone()).explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
         ),
-        (Method::Streaming(cfg), ExplainerKind::Lime(e)) => wrap_weights(
-            ShahinStreaming::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed),
+        (Method::BatchParallel(cfg), ExplainerKind::Lime(e)) => wrap_weights(
+            ShahinBatch::new(cfg.clone()).explain_lime_parallel(ctx, clf, batch, e, seed),
         ),
-        (Method::Streaming(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
-            ShahinStreaming::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed),
+        (Method::BatchParallel(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
+            ShahinBatch::new(cfg.clone()).explain_anchor_parallel(ctx, clf, batch, e, seed),
         ),
+        (Method::BatchParallel(cfg), ExplainerKind::Shap(e)) => {
+            wrap_weights(ShahinBatch::new(cfg.clone()).explain_shap_parallel(
+                ctx,
+                clf,
+                batch,
+                e,
+                SHAP_BASE_SAMPLES,
+                seed,
+            ))
+        }
+        (Method::Streaming(cfg), ExplainerKind::Lime(e)) => {
+            wrap_weights(ShahinStreaming::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed))
+        }
+        (Method::Streaming(cfg), ExplainerKind::Anchor(e)) => {
+            wrap_rules(ShahinStreaming::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed))
+        }
         (Method::Streaming(cfg), ExplainerKind::Shap(e)) => {
             wrap_weights(ShahinStreaming::new(cfg.clone()).explain_shap(
                 ctx,
@@ -279,9 +301,6 @@ mod tests {
     fn method_and_kind_names() {
         assert_eq!(Method::Dist(8).name(), "Dist-8");
         assert_eq!(Method::Sequential.name(), "Sequential");
-        assert_eq!(
-            ExplainerKind::Lime(LimeExplainer::default()).name(),
-            "LIME"
-        );
+        assert_eq!(ExplainerKind::Lime(LimeExplainer::default()).name(), "LIME");
     }
 }

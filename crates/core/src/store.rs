@@ -10,11 +10,27 @@
 //! and the streaming variant's memory budget (§3.5) are meaningful, and it
 //! supports LRU eviction.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use shahin_explain::{labeled_perturbation, ExplainContext, LabeledSample};
+use shahin_explain::{
+    labeled_perturbation, labeled_perturbations_batch, ExplainContext, LabeledSample,
+};
 use shahin_fim::{Itemset, ItemsetIndex};
 use shahin_model::Classifier;
+
+use crate::parallel::chunks;
+
+/// Derives the RNG seed of itemset `id`'s materialization stream from the
+/// run seed (SplitMix64 finalizer). The stream constant differs from
+/// [`crate::runner::per_tuple_seed`]'s so itemset and tuple streams never
+/// collide for the same index.
+pub fn per_itemset_seed(base: u64, id: usize) -> u64 {
+    let mut z = base ^ 0xA076_1D64_78BD_642F ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One itemset's materialized samples.
 #[derive(Clone, Debug, Default)]
@@ -112,6 +128,92 @@ impl PerturbationStore {
             }
         }
         created
+    }
+
+    /// How many samples a materialization pass with this `tau` will create
+    /// per itemset, computed up front. This is possible because every
+    /// labeled sample of one dataset costs the same `sample_bytes`
+    /// ([`LabeledSample::approx_bytes`] is `size_of + n_attrs * 4`), so the
+    /// budget cutoff does not depend on the samples themselves. Mirrors the
+    /// sequential loop in [`PerturbationStore::materialize`] exactly:
+    /// budget checked before each sample, lowest id first.
+    fn fill_plan(&self, tau: usize, sample_bytes: usize) -> Vec<usize> {
+        let mut plan = vec![0usize; self.entries.len()];
+        let mut used = self.used_bytes;
+        for (id, entry) in self.entries.iter().enumerate() {
+            for _ in entry.samples.len()..tau {
+                if used >= self.budget {
+                    return plan;
+                }
+                plan[id] += 1;
+                used += sample_bytes;
+            }
+        }
+        plan
+    }
+
+    /// [`PerturbationStore::materialize`] spread over `n_threads` scoped
+    /// worker threads, deterministically: itemset `id`'s samples come from
+    /// an RNG stream seeded by `(seed, id)` ([`per_itemset_seed`]), the
+    /// per-itemset sample counts are fixed up front by [`Self::fill_plan`],
+    /// and workers' results are merged in itemset order — so the resulting
+    /// store (samples, byte accounting, classifier invocation count) is
+    /// bit-identical for every thread count, including 1.
+    ///
+    /// Each itemset's perturbations are labeled through one
+    /// [`Classifier::predict_proba_batch`] dispatch.
+    pub fn materialize_parallel(
+        &mut self,
+        ctx: &ExplainContext,
+        clf: &impl Classifier,
+        tau: usize,
+        seed: u64,
+        n_threads: usize,
+    ) -> usize {
+        let sample_bytes =
+            std::mem::size_of::<LabeledSample>() + ctx.n_attrs() * std::mem::size_of::<u32>();
+        let plan = self.fill_plan(tau, sample_bytes);
+        let total: usize = plan.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+
+        let itemsets = &self.itemsets;
+        let mut produced: Vec<Vec<LabeledSample>> = vec![Vec::new(); plan.len()];
+        std::thread::scope(|scope| {
+            let mut rest = produced.as_mut_slice();
+            for (start, end) in chunks(plan.len(), n_threads) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let plan = &plan;
+                scope.spawn(move || {
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        let id = start + offset;
+                        if plan[id] == 0 {
+                            continue;
+                        }
+                        let mut rng = StdRng::seed_from_u64(per_itemset_seed(seed, id));
+                        *slot = labeled_perturbations_batch(
+                            ctx,
+                            clf,
+                            &itemsets[id],
+                            plan[id],
+                            &mut rng,
+                        );
+                    }
+                });
+            }
+        });
+
+        // Merge in itemset order, not thread completion order, so the byte
+        // accounting (used/peak) replays the sequential fill exactly.
+        for (id, samples) in produced.into_iter().enumerate() {
+            for sample in samples {
+                debug_assert!(sample.approx_bytes() == sample_bytes);
+                self.push_sample(id, sample);
+            }
+        }
+        total
     }
 
     /// Inserts an already-labeled sample under itemset `id`, evicting LRU
@@ -320,6 +422,109 @@ mod tests {
         };
         store.insert(0, sample);
         assert_eq!(store.n_samples(), 0);
+    }
+
+    #[test]
+    fn parallel_fill_is_thread_count_invariant() {
+        let ctx = ctx();
+        let reference = {
+            let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+            let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+            let created = store.materialize_parallel(&ctx, &clf, 8, 42, 1);
+            (store, created, clf.invocations())
+        };
+        for n_threads in [2usize, 4, 8] {
+            let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+            let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+            let created = store.materialize_parallel(&ctx, &clf, 8, 42, n_threads);
+            assert_eq!(created, reference.1, "created @ {n_threads} threads");
+            assert_eq!(clf.invocations(), reference.2);
+            assert_eq!(store.n_samples(), reference.0.n_samples());
+            assert_eq!(store.used_bytes(), reference.0.used_bytes());
+            assert_eq!(store.peak_bytes(), reference.0.peak_bytes());
+            for id in 0..3u32 {
+                assert_eq!(
+                    store.samples(id),
+                    reference.0.samples(id),
+                    "samples of itemset {id} differ at {n_threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budget_accounting_matches_sequential() {
+        // Samples differ between the single-stream sequential fill and the
+        // per-itemset-stream parallel fill, but every sample costs the same
+        // bytes, so counts and byte accounting must agree exactly.
+        let ctx = ctx();
+        let base = PerturbationStore::new(itemsets(), usize::MAX).used_bytes();
+        let sample_bytes =
+            std::mem::size_of::<LabeledSample>() + ctx.n_attrs() * std::mem::size_of::<u32>();
+        for extra in [0usize, 1, 5, 12, 100] {
+            let budget = base + extra * sample_bytes;
+            let clf = MajorityClass::fit(&[1]);
+            let mut seq = PerturbationStore::new(itemsets(), budget);
+            let mut rng = StdRng::seed_from_u64(6);
+            let created_seq = seq.materialize(&ctx, &clf, 20, &mut rng);
+            let mut par = PerturbationStore::new(itemsets(), budget);
+            let created_par = par.materialize_parallel(&ctx, &clf, 20, 6, 4);
+            assert_eq!(created_par, created_seq, "budget {extra} samples");
+            assert_eq!(par.n_samples(), seq.n_samples());
+            assert_eq!(par.used_bytes(), seq.used_bytes());
+            assert_eq!(par.peak_bytes(), seq.peak_bytes());
+            for id in 0..3u32 {
+                assert_eq!(par.samples(id).len(), seq.samples(id).len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_tops_up_existing_entries() {
+        // A second pass with a larger tau only generates the missing
+        // samples, and the already-resident prefix is untouched.
+        let ctx = ctx();
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        store.materialize_parallel(&ctx, &clf, 4, 9, 2);
+        let before: Vec<Vec<LabeledSample>> =
+            (0..3u32).map(|id| store.samples(id).to_vec()).collect();
+        assert_eq!(clf.invocations(), 12);
+        let created = store.materialize_parallel(&ctx, &clf, 7, 9, 2);
+        assert_eq!(created, 9);
+        assert_eq!(clf.invocations(), 21);
+        for id in 0..3u32 {
+            assert_eq!(store.samples(id).len(), 7);
+            assert_eq!(&store.samples(id)[..4], &before[id as usize][..]);
+        }
+    }
+
+    #[test]
+    fn lru_eviction_behaves_after_parallel_fill() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        store.materialize_parallel(&ctx, &clf, 5, 11, 4);
+        // Touch entries 0 and 2 so entry 1 becomes the LRU victim.
+        let mut scratch = Vec::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        store.matching(&row, &mut scratch);
+        store.budget = store.used_bytes();
+        let sample = store.samples(0)[0].clone();
+        store.insert(0, sample);
+        assert!(store.used_bytes() <= store.budget);
+        assert_eq!(store.samples(0).len(), 6);
+        assert!(store.samples(1).is_empty(), "LRU entry 1 should be evicted");
+    }
+
+    #[test]
+    fn per_itemset_seed_is_deterministic_and_spread() {
+        assert_eq!(per_itemset_seed(7, 3), per_itemset_seed(7, 3));
+        assert_ne!(per_itemset_seed(7, 3), per_itemset_seed(7, 4));
+        assert_ne!(per_itemset_seed(7, 3), per_itemset_seed(8, 3));
+        // Distinct from the per-tuple stream at the same (base, index).
+        assert_ne!(per_itemset_seed(7, 3), crate::runner::per_tuple_seed(7, 3));
     }
 
     #[test]

@@ -111,12 +111,7 @@ impl StreamState {
     }
 
     /// Mines the window and rebuilds the repository when due.
-    fn maybe_refresh<C: Classifier>(
-        &mut self,
-        ctx: &ExplainContext,
-        clf: &C,
-        rng: &mut StdRng,
-    ) {
+    fn maybe_refresh<C: Classifier>(&mut self, ctx: &ExplainContext, clf: &C, rng: &mut StdRng) {
         if self.window.len() < self.config.refresh_every {
             return;
         }
@@ -137,8 +132,7 @@ impl StreamState {
         let mut tracked: Vec<Itemset> = mined.frequent.into_iter().map(|(s, _)| s).collect();
         // Promote negative-border itemsets that turned frequent in this
         // window even if the miner's cap dropped them.
-        let min_count =
-            (self.config.min_support * self.window.len() as f64).ceil() as usize;
+        let min_count = (self.config.min_support * self.window.len() as f64).ceil() as usize;
         for nb in self
             .negative_border
             .iter()
@@ -166,8 +160,7 @@ impl StreamState {
         self.fim_time += t0.elapsed();
 
         let t1 = Instant::now();
-        let mut new_store =
-            PerturbationStore::new(tracked, self.config.memory_budget_bytes);
+        let mut new_store = PerturbationStore::new(tracked, self.config.memory_budget_bytes);
         // Carry over every sample that still serves a tracked itemset
         // ("If not, we purge that perturbation", §3.5).
         let mut old: Vec<LabeledSample> = self.early.drain_samples();
@@ -187,8 +180,7 @@ impl StreamState {
         // "...use the obtained savings to generate perturbations of f ∈ F".
         // τ is auto-capped at the coverage point (see ShahinBatch::prepare)
         // and by what one refresh window can amortize.
-        let coverage_tau =
-            (1.25 * self.n_target as f64 / expected_matched).ceil() as usize;
+        let coverage_tau = (1.25 * self.n_target as f64 / expected_matched).ceil() as usize;
         let tau = self
             .config
             .tau
@@ -332,7 +324,7 @@ impl ShahinStreaming {
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
         let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), 400);
-        let mut caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::new();
         let empty_store = PerturbationStore::new(vec![], 0);
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
@@ -355,7 +347,7 @@ impl ShahinStreaming {
                 clf,
                 store_ref,
                 &matched,
-                &mut caches,
+                &caches,
                 per_tuple_seed(seed, row),
             );
             explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
@@ -545,7 +537,10 @@ mod tests {
     #[test]
     fn streaming_shap_runs_and_keeps_efficiency() {
         let (ctx, clf, stream) = setup(2, 60);
-        let shap = KernelShapExplainer::new(shahin_explain::ShapParams { n_samples: 64, ..Default::default() });
+        let shap = KernelShapExplainer::new(shahin_explain::ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
         let streaming = ShahinStreaming::new(small_config());
         let res = streaming.explain_shap(&ctx, &clf, &stream, &shap, 30, 7);
         assert_eq!(res.explanations.len(), stream.n_rows());

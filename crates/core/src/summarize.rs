@@ -122,7 +122,8 @@ impl RuleSummary {
     /// A human-readable report of the top `k` rules, resolving attribute
     /// names through the schema.
     pub fn report(&self, schema: &Schema, k: usize) -> String {
-        let mut out = String::from("class  rule                                  tuples  prec   cov\n");
+        let mut out =
+            String::from("class  rule                                  tuples  prec   cov\n");
         for r in self.top(k) {
             let pred = if r.rule.is_empty() {
                 "(no anchor)".to_string()
@@ -212,10 +213,7 @@ mod tests {
 
     #[test]
     fn attribution_summary_aggregates() {
-        let es = vec![
-            weights(vec![1.0, -0.5, 0.0]),
-            weights(vec![0.5, 0.5, 0.0]),
-        ];
+        let es = vec![weights(vec![1.0, -0.5, 0.0]), weights(vec![0.5, 0.5, 0.0])];
         let s = summarize_attributions(&es);
         assert_eq!(s.n, 2);
         assert_eq!(s.mean_abs_weight, vec![0.75, 0.5, 0.0]);

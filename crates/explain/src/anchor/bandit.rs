@@ -206,7 +206,10 @@ mod tests {
         let (lo_t, hi_t) = (kl_lower_bound(&tight, b), kl_upper_bound(&tight, b));
         assert!(lo_l <= 0.7 && 0.7 <= hi_l);
         assert!(lo_t <= 0.7 && 0.7 <= hi_t);
-        assert!(hi_t - lo_t < hi_l - lo_l, "more samples must tighten bounds");
+        assert!(
+            hi_t - lo_t < hi_l - lo_l,
+            "more samples must tighten bounds"
+        );
     }
 
     #[test]
@@ -223,23 +226,15 @@ mod tests {
         let truth = [0.3, 0.5, 0.95, 0.4];
         let mut arms = vec![ArmState::default(); truth.len()];
         let mut rng = StdRng::seed_from_u64(0);
-        let top = kl_lucb(
-            &mut arms,
-            1,
-            0.1,
-            0.05,
-            16,
-            100_000,
-            |idx, batch, arm| {
-                for _ in 0..batch {
-                    arm.n += 1;
-                    if rng.gen_bool(truth[idx]) {
-                        arm.successes += 1;
-                    }
+        let top = kl_lucb(&mut arms, 1, 0.1, 0.05, 16, 100_000, |idx, batch, arm| {
+            for _ in 0..batch {
+                arm.n += 1;
+                if rng.gen_bool(truth[idx]) {
+                    arm.successes += 1;
                 }
-                batch
-            },
-        );
+            }
+            batch
+        });
         assert_eq!(top, vec![2]);
     }
 
@@ -248,23 +243,15 @@ mod tests {
         let truth = [0.9, 0.1, 0.85, 0.2];
         let mut arms = vec![ArmState::default(); truth.len()];
         let mut rng = StdRng::seed_from_u64(1);
-        let mut top = kl_lucb(
-            &mut arms,
-            2,
-            0.15,
-            0.05,
-            16,
-            100_000,
-            |idx, batch, arm| {
-                for _ in 0..batch {
-                    arm.n += 1;
-                    if rng.gen_bool(truth[idx]) {
-                        arm.successes += 1;
-                    }
+        let mut top = kl_lucb(&mut arms, 2, 0.15, 0.05, 16, 100_000, |idx, batch, arm| {
+            for _ in 0..batch {
+                arm.n += 1;
+                if rng.gen_bool(truth[idx]) {
+                    arm.successes += 1;
                 }
-                batch
-            },
-        );
+            }
+            batch
+        });
         top.sort_unstable();
         assert_eq!(top, vec![0, 2]);
     }

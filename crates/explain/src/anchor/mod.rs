@@ -156,10 +156,7 @@ impl AnchorExplainer {
         for level in 1..=p.max_rule_len {
             // --- candidate generation
             let mut rules: Vec<Itemset> = if level == 1 {
-                items
-                    .iter()
-                    .map(|&it| Itemset::singleton(it))
-                    .collect()
+                items.iter().map(|&it| Itemset::singleton(it)).collect()
             } else {
                 let mut ext = Vec::new();
                 for cand in &beam {
@@ -236,8 +233,7 @@ impl AnchorExplainer {
                     verified.push(i);
                 }
             }
-            let mut valid: Vec<&Candidate> =
-                verified.iter().map(|&i| &candidates[i]).collect();
+            let mut valid: Vec<&Candidate> = verified.iter().map(|&i| &candidates[i]).collect();
             if !valid.is_empty() {
                 // Highest coverage among valid anchors of this (minimal)
                 // length.
@@ -351,7 +347,11 @@ mod tests {
         assert_eq!(e.rule.len(), 1, "rule {}", e.rule);
         assert_eq!(e.rule.items()[0], Item::new(2, 1));
         assert!(e.precision >= 0.95, "precision {}", e.precision);
-        assert!((e.coverage - 1.0 / 3.0).abs() < 0.1, "coverage {}", e.coverage);
+        assert!(
+            (e.coverage - 1.0 / 3.0).abs() < 0.1,
+            "coverage {}",
+            e.coverage
+        );
     }
 
     #[test]
@@ -426,7 +426,12 @@ mod tests {
         let ctx = uniform_ctx(4, 3, 10);
         let clf = KeyAttr { attr: 1, code: 0 };
         let anchor = AnchorExplainer::default();
-        let inst = vec![Feature::Cat(0), Feature::Cat(0), Feature::Cat(1), Feature::Cat(2)];
+        let inst = vec![
+            Feature::Cat(0),
+            Feature::Cat(0),
+            Feature::Cat(1),
+            Feature::Cat(2),
+        ];
         let e1 = anchor.explain(&ctx, &clf, &inst, &mut StdRng::seed_from_u64(11));
         let e2 = anchor.explain(&ctx, &clf, &inst, &mut StdRng::seed_from_u64(11));
         assert_eq!(e1.rule, e2.rule);

@@ -48,8 +48,8 @@ pub fn local_fidelity(
         let s = labeled_perturbation(ctx, clf, &empty, rng);
         let mut zeros = 0usize;
         let mut surrogate = explanation.intercept;
-        for j in 0..m {
-            if s.codes[j] == inst_codes[j] {
+        for (j, &code) in inst_codes.iter().enumerate() {
+            if s.codes[j] == code {
                 surrogate += explanation.weights[j];
             } else {
                 zeros += 1;

@@ -29,5 +29,8 @@ pub use context::ExplainContext;
 pub use eval::local_fidelity;
 pub use explanation::{AnchorExplanation, FeatureWeights};
 pub use lime::{LimeExplainer, LimeParams};
-pub use perturb::{estimate_base_value, labeled_perturbation, perturb_codes, LabeledSample};
+pub use perturb::{
+    estimate_base_value, labeled_perturbation, labeled_perturbations_batch, perturb_codes,
+    LabeledSample,
+};
 pub use shap::{CoalitionSample, CoalitionSource, KernelShapExplainer, NoSource, ShapParams};

@@ -194,11 +194,7 @@ impl LimeExplainer {
                 y.push(s.proba);
                 w.push(exponential_kernel((zeros as f64).sqrt(), width));
             }
-            let z = Matrix::from_rows(
-                z_rows.len(),
-                m,
-                z_rows.iter().flatten().copied().collect(),
-            );
+            let z = Matrix::from_rows(z_rows.len(), m, z_rows.iter().flatten().copied().collect());
             let f = ridge(&z, &y, &w, self.params.alpha);
             let converged = prev.as_ref().is_some_and(|p| {
                 f.coefficients

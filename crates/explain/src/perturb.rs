@@ -71,6 +71,39 @@ pub fn labeled_perturbation(
     label_codes(ctx, clf, codes, rng)
 }
 
+/// Generates `count` perturbations with `frozen` held fixed and labels them
+/// through a **single** [`Classifier::predict_proba_batch`] dispatch.
+///
+/// The RNG is consumed in exactly the order of `count` calls to
+/// [`labeled_perturbation`] (perturb then undiscretize, per sample), so the
+/// returned samples are bit-identical to the one-at-a-time path — only the
+/// classifier dispatch is batched. An invocation-counting wrapper still
+/// observes `count` invocations.
+pub fn labeled_perturbations_batch(
+    ctx: &ExplainContext,
+    clf: &impl Classifier,
+    frozen: &Itemset,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<LabeledSample> {
+    let mut codes_list = Vec::with_capacity(count);
+    let mut instances = Vec::with_capacity(count);
+    for _ in 0..count {
+        let codes = perturb_codes(ctx, frozen, rng);
+        instances.push(ctx.discretizer().undiscretize_instance(&codes, rng));
+        codes_list.push(codes);
+    }
+    let probas = clf.predict_proba_batch(&instances);
+    codes_list
+        .into_iter()
+        .zip(probas)
+        .map(|(codes, proba)| LabeledSample {
+            codes: codes.into_boxed_slice(),
+            proba,
+        })
+        .collect()
+}
+
 /// Estimates the base value `E[f]` (KernelSHAP's null prediction) by
 /// averaging the classifier over `n` fully random perturbations. Costs `n`
 /// classifier invocations — done once per batch, which is how the
@@ -126,8 +159,7 @@ mod tests {
             .map(|_| perturb_codes(&ctx, &frozen, &mut rng))
             .collect();
         // At least one attribute takes multiple values across draws.
-        let varies = (0..ctx.n_attrs())
-            .any(|a| draws.iter().any(|d| d[a] != draws[0][a]));
+        let varies = (0..ctx.n_attrs()).any(|a| draws.iter().any(|d| d[a] != draws[0][a]));
         assert!(varies, "perturbations are all identical");
     }
 

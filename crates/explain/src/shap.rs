@@ -283,7 +283,10 @@ mod tests {
     fn key_attribute_dominates() {
         let ctx = uniform_cat_ctx(4, 2, 600, 2);
         let clf = KeyAttr { attr: 3, code: 1 };
-        let shap = KernelShapExplainer::new(ShapParams { n_samples: 400, ..Default::default() });
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 400,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(3);
         let inst = vec![
             Feature::Cat(0),
@@ -300,7 +303,10 @@ mod tests {
     fn invocation_count_is_one_plus_samples() {
         let ctx = uniform_cat_ctx(4, 3, 300, 4);
         let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
-        let shap = KernelShapExplainer::new(ShapParams { n_samples: 64, ..Default::default() });
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(5);
         let inst = vec![Feature::Cat(0); 4];
         shap.explain(&ctx, &clf, &inst, 0.5, &mut rng);
@@ -311,7 +317,10 @@ mod tests {
     fn pooled_samples_reduce_invocations() {
         let ctx = uniform_cat_ctx(4, 3, 300, 6);
         let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
-        let shap = KernelShapExplainer::new(ShapParams { n_samples: 64, ..Default::default() });
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(7);
         let pooled: Vec<CoalitionSample> = (0..30)
             .map(|i| CoalitionSample {
@@ -335,7 +344,10 @@ mod tests {
         }
         let ctx = uniform_cat_ctx(4, 3, 300, 8);
         let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
-        let shap = KernelShapExplainer::new(ShapParams { n_samples: 64, ..Default::default() });
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(9);
         let inst = vec![Feature::Cat(0); 4];
         shap.explain_with(
@@ -374,7 +386,12 @@ mod tests {
         let ctx = uniform_cat_ctx(4, 3, 300, 11);
         let clf = KeyAttr { attr: 0, code: 1 };
         let shap = KernelShapExplainer::default();
-        let inst = vec![Feature::Cat(1), Feature::Cat(0), Feature::Cat(2), Feature::Cat(0)];
+        let inst = vec![
+            Feature::Cat(1),
+            Feature::Cat(0),
+            Feature::Cat(2),
+            Feature::Cat(0),
+        ];
         let e1 = shap.explain(&ctx, &clf, &inst, 0.3, &mut StdRng::seed_from_u64(12));
         let e2 = shap.explain(&ctx, &clf, &inst, 0.3, &mut StdRng::seed_from_u64(12));
         assert_eq!(e1, e2);

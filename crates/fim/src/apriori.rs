@@ -158,10 +158,7 @@ fn sort_level(level: &mut [(Itemset, u64)]) {
 
 /// Classic Apriori-gen: join `k−1` level sets sharing their first `k−2`
 /// items, then prune candidates with any infrequent immediate subset.
-fn generate_candidates(
-    level: &[(Itemset, u64)],
-    prev_sets: &HashSet<&Itemset>,
-) -> Vec<Itemset> {
+fn generate_candidates(level: &[(Itemset, u64)], prev_sets: &HashSet<&Itemset>) -> Vec<Itemset> {
     let mut out = Vec::new();
     for i in 0..level.len() {
         for (b, _) in &level[i + 1..] {

@@ -28,10 +28,7 @@ impl ItemsetIndex {
             assert!(!set.is_empty(), "empty itemset cannot be indexed");
             sizes.push(u8::try_from(set.len()).expect("itemset length fits in u8"));
             for item in set.items() {
-                postings
-                    .entry(item.key())
-                    .or_default()
-                    .push(id as u32);
+                postings.entry(item.key()).or_default().push(id as u32);
             }
         }
         ItemsetIndex {

@@ -154,7 +154,10 @@ mod tests {
         let fit = ridge(&x, &y, &[1.0; 4], 0.01);
         for (r, &target) in y.iter().enumerate() {
             let p = fit.predict(x.row(r));
-            assert!((p - target).abs() < 1.0, "prediction way off: {p} vs {target}");
+            assert!(
+                (p - target).abs() < 1.0,
+                "prediction way off: {p} vs {target}"
+            );
         }
     }
 

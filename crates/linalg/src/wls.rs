@@ -17,13 +17,7 @@ use crate::solve::solve_spd;
 /// `φ_m = (fx − base) − Σ_{j<m} φ_j`, exactly as the reference KernelSHAP
 /// implementation does, leaving an unconstrained `(m−1)`-dimensional WLS
 /// problem solved by the normal equations (with LDLᵀ + jitter).
-pub fn constrained_wls(
-    z: &Matrix,
-    y: &[f64],
-    weights: &[f64],
-    base: f64,
-    fx: f64,
-) -> Vec<f64> {
+pub fn constrained_wls(z: &Matrix, y: &[f64], weights: &[f64], base: f64, fx: f64) -> Vec<f64> {
     let n = z.rows();
     let m = z.cols();
     assert_eq!(y.len(), n, "target length mismatch");
@@ -96,9 +90,10 @@ mod tests {
         // values of an additive game are the v_j themselves.
         let v = [2.0, -1.0, 0.5];
         let base = 1.0;
-        let all_coalitions: Vec<Vec<f64>> = (1..7u32) // skip empty and full
-            .map(|mask| (0..3).map(|j| f64::from(mask >> j & 1)).collect())
-            .collect();
+        let all_coalitions: Vec<Vec<f64>> =
+            (1..7u32) // skip empty and full
+                .map(|mask| (0..3).map(|j| f64::from(mask >> j & 1)).collect())
+                .collect();
         let rows: Vec<&[f64]> = all_coalitions.iter().map(|r| r.as_slice()).collect();
         let z = coalition_matrix(&rows);
         let y: Vec<f64> = all_coalitions

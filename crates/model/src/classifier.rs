@@ -24,9 +24,20 @@ pub trait Classifier: Send + Sync {
     }
 }
 
+// The wrapper impls forward every method (not just `predict_proba`) so
+// that batched fast paths like `RandomForest::predict_proba_batch` survive
+// being called through `&C`, `Arc<C>`, or `Box<C>`.
 impl<C: Classifier + ?Sized> Classifier for &C {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
         (**self).predict_proba(instance)
+    }
+
+    fn predict(&self, instance: &[Feature]) -> u8 {
+        (**self).predict(instance)
+    }
+
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        (**self).predict_proba_batch(instances)
     }
 }
 
@@ -34,11 +45,27 @@ impl<C: Classifier + ?Sized> Classifier for std::sync::Arc<C> {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
         (**self).predict_proba(instance)
     }
+
+    fn predict(&self, instance: &[Feature]) -> u8 {
+        (**self).predict(instance)
+    }
+
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        (**self).predict_proba_batch(instances)
+    }
 }
 
 impl<C: Classifier + ?Sized> Classifier for Box<C> {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
         (**self).predict_proba(instance)
+    }
+
+    fn predict(&self, instance: &[Feature]) -> u8 {
+        (**self).predict(instance)
+    }
+
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        (**self).predict_proba_batch(instances)
     }
 }
 

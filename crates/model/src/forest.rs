@@ -59,9 +59,7 @@ impl RandomForest {
         let trees = (0..params.n_trees)
             .map(|_| {
                 let mut tree_rng = StdRng::seed_from_u64(rng.gen());
-                let rows: Vec<u32> = (0..n)
-                    .map(|_| tree_rng.gen_range(0..n as u32))
-                    .collect();
+                let rows: Vec<u32> = (0..n).map(|_| tree_rng.gen_range(0..n as u32)).collect();
                 DecisionTree::fit_on_rows(data, labels, rows, &tree_params, &mut tree_rng)
             })
             .collect();
@@ -72,16 +70,63 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Rows per worker below which batched prediction stays on one thread
+    /// (tree traversal is cheap; spawning threads for small batches costs
+    /// more than it saves).
+    const MIN_ROWS_PER_WORKER: usize = 256;
+
+    /// Sums every tree's probability into `out[i]` for `rows[i]` and
+    /// divides by the tree count. The outer loop is over trees so one
+    /// tree's nodes stay hot in cache across the whole row chunk.
+    fn predict_chunk(&self, rows: &[Vec<Feature>], out: &mut [f64]) {
+        for tree in &self.trees {
+            for (sum, inst) in out.iter_mut().zip(rows) {
+                *sum += tree.predict_proba(inst);
+            }
+        }
+        // Divide (not multiply by a reciprocal) so each row's result is
+        // bit-identical to `predict_proba`'s `sum / n`.
+        let n = self.trees.len() as f64;
+        for sum in out.iter_mut() {
+            *sum /= n;
+        }
+    }
+
+    /// [`Classifier::predict_proba_batch`] with an explicit worker count
+    /// (clamped so each worker gets at least
+    /// [`Self::MIN_ROWS_PER_WORKER`] rows). Row order — and hence the
+    /// output — is independent of the worker count.
+    fn predict_batch_with(&self, instances: &[Vec<Feature>], workers: usize) -> Vec<f64> {
+        let mut out = vec![0.0; instances.len()];
+        let workers = workers.min(instances.len() / Self::MIN_ROWS_PER_WORKER);
+        if workers < 2 {
+            self.predict_chunk(instances, &mut out);
+            return out;
+        }
+        let chunk = instances.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (rows, sums) in instances.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || self.predict_chunk(rows, sums));
+            }
+        });
+        out
+    }
 }
 
 impl Classifier for RandomForest {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
-        let sum: f64 = self
-            .trees
-            .iter()
-            .map(|t| t.predict_proba(instance))
-            .sum();
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(instance)).sum();
         sum / self.trees.len() as f64
+    }
+
+    /// Single-dispatch batch evaluation: per-tree inner loop over the rows,
+    /// chunk-parallel across worker threads when the batch is large enough
+    /// to amortize the spawns. Row order (and hence the output) is
+    /// independent of the thread count.
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.predict_batch_with(instances, workers)
     }
 }
 
@@ -159,6 +204,53 @@ mod tests {
             let inst = data.instance(r);
             assert_eq!(f1.predict_proba(&inst), f2.predict_proba(&inst));
         }
+    }
+
+    #[test]
+    fn batch_matches_per_row_predictions_at_any_worker_count() {
+        // Large enough (> 2 * MIN_ROWS_PER_WORKER) that the multi-worker
+        // path actually splits, regardless of this machine's core count.
+        let spec = DatasetPreset::Recidivism.spec(0.06);
+        let (data, labels) = spec.generate(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let forest = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let rows: Vec<Vec<_>> = (0..data.n_rows()).map(|r| data.instance(r)).collect();
+        assert!(rows.len() > 2 * RandomForest::MIN_ROWS_PER_WORKER);
+        let singles: Vec<f64> = rows.iter().map(|r| forest.predict_proba(r)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let batch = forest.predict_batch_with(&rows, workers);
+            assert_eq!(batch.len(), singles.len());
+            for (b, s) in batch.iter().zip(&singles) {
+                assert!((b - s).abs() < 1e-12, "workers={workers}: {b} vs {s}");
+            }
+        }
+        // The default entry point agrees too.
+        assert_eq!(
+            forest.predict_proba_batch(&rows),
+            forest.predict_batch_with(&rows, 1)
+        );
+    }
+
+    #[test]
+    fn small_batches_stay_single_threaded_but_exact() {
+        let spec = DatasetPreset::Covertype.spec(0.01);
+        let (data, labels) = spec.generate(9);
+        let mut rng = StdRng::seed_from_u64(6);
+        let forest = RandomForest::fit(&data, &labels, &ForestParams::default(), &mut rng);
+        let rows: Vec<Vec<_>> = (0..10).map(|r| data.instance(r)).collect();
+        let batch = forest.predict_batch_with(&rows, 16);
+        for (r, b) in rows.iter().zip(&batch) {
+            assert_eq!(*b, forest.predict_proba(r));
+        }
+        assert_eq!(forest.predict_batch_with(&[], 4), Vec::<f64>::new());
     }
 
     #[test]

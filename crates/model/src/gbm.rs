@@ -109,8 +109,7 @@ struct RtBuilder<'a> {
 
 impl RtBuilder<'_> {
     fn leaf(&mut self, rows: &[u32]) -> u32 {
-        let value = rows.iter().map(|&r| self.targets[r as usize]).sum::<f64>()
-            / rows.len() as f64;
+        let value = rows.iter().map(|&r| self.targets[r as usize]).sum::<f64>() / rows.len() as f64;
         self.nodes.push(RNode::Leaf { value });
         (self.nodes.len() - 1) as u32
     }
@@ -327,8 +326,8 @@ impl GradientBoosting {
             let tree = RegressionTree {
                 nodes: builder.nodes,
             };
-            for i in 0..n {
-                logits[i] += params.learning_rate * tree.predict(&data.instance(i));
+            for (i, logit) in logits.iter_mut().enumerate() {
+                *logit += params.learning_rate * tree.predict(&data.instance(i));
             }
             trees.push(tree);
         }
@@ -348,12 +347,7 @@ impl GradientBoosting {
 impl Classifier for GradientBoosting {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
         let logit = self.base_logit
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(instance))
-                    .sum::<f64>();
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(instance)).sum::<f64>();
         1.0 / (1.0 + (-logit).exp())
     }
 }

@@ -50,6 +50,15 @@ impl<C: Classifier> Classifier for CountingClassifier<C> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.predict_proba(instance)
     }
+
+    /// Counts the whole batch with one atomic add (a batch of `n` rows is
+    /// `n` invocations, same as `n` single calls) and forwards to the
+    /// wrapped classifier's batch path.
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        self.count
+            .fetch_add(instances.len() as u64, Ordering::Relaxed);
+        self.inner.predict_proba_batch(instances)
+    }
 }
 
 /// Wraps a classifier and busy-waits a fixed duration per invocation,
@@ -86,6 +95,67 @@ impl<C: Classifier> Classifier for SimulatedCost<C> {
             }
         }
         p
+    }
+
+    /// Charges the full per-row cost for every batched row (no batching
+    /// discount — the simulated model is pay-per-invocation), as one
+    /// busy-wait after the inner batch dispatch.
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        let out = self.inner.predict_proba_batch(instances);
+        if !self.cost.is_zero() && !instances.is_empty() {
+            let total = self.cost * instances.len() as u32;
+            let start = Instant::now();
+            while start.elapsed() < total {
+                std::hint::spin_loop();
+            }
+        }
+        out
+    }
+}
+
+/// Wraps a classifier and *sleeps* a fixed duration per invocation,
+/// emulating the round-trip latency of a remote classifier service.
+///
+/// The difference from [`SimulatedCost`] matters for the parallel bench:
+/// a busy-wait occupies a core, so on a machine with few cores concurrent
+/// explanation threads cannot overlap it. A sleeping thread yields the
+/// CPU, so in-flight "requests" from different worker threads overlap the
+/// way they would against a real model server — which is the deployment
+/// the multi-core pipeline targets.
+#[derive(Clone)]
+pub struct LatencyCost<C> {
+    inner: C,
+    latency: Duration,
+}
+
+impl<C: Classifier> LatencyCost<C> {
+    /// Adds `latency` of sleep per invocation.
+    pub fn new(inner: C, latency: Duration) -> LatencyCost<C> {
+        LatencyCost { inner, latency }
+    }
+
+    /// The configured per-invocation latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+impl<C: Classifier> Classifier for LatencyCost<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.inner.predict_proba(instance)
+    }
+
+    /// Charges the full per-row latency for every batched row with a single
+    /// sleep (the conservative no-pipelining model: `n` requests in flight
+    /// back to back, no batch endpoint).
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        if !self.latency.is_zero() && !instances.is_empty() {
+            std::thread::sleep(self.latency * instances.len() as u32);
+        }
+        self.inner.predict_proba_batch(instances)
     }
 }
 
@@ -139,11 +209,47 @@ mod tests {
     }
 
     #[test]
+    fn latency_cost_sleeps_per_row_and_forwards() {
+        let c = LatencyCost::new(MajorityClass::fit(&[1]), Duration::from_micros(500));
+        let start = Instant::now();
+        let out = c.predict_proba_batch(&[vec![], vec![], vec![], vec![]]);
+        assert!(start.elapsed() >= Duration::from_micros(2000));
+        assert_eq!(out, vec![1.0; 4]);
+        assert_eq!(c.latency(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn latency_cost_zero_is_free() {
+        let c = LatencyCost::new(MajorityClass::fit(&[0]), Duration::ZERO);
+        assert_eq!(c.predict_proba(&[]), 0.0);
+        assert_eq!(c.predict_proba_batch(&[vec![]]), vec![0.0]);
+    }
+
+    #[test]
+    fn latency_sleeps_overlap_across_threads() {
+        // The property the parallel bench relies on: unlike a busy-wait,
+        // sleeping invocations from different threads overlap even on a
+        // single core.
+        let c = LatencyCost::new(MajorityClass::fit(&[1]), Duration::from_millis(20));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = &c;
+                scope.spawn(move || c.predict_proba(&[]));
+            }
+        });
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(20));
+        assert!(
+            elapsed < Duration::from_millis(70),
+            "sleeps serialized: {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn wrappers_compose() {
-        let c = CountingClassifier::new(SimulatedCost::new(
-            MajorityClass::fit(&[0]),
-            Duration::ZERO,
-        ));
+        let c =
+            CountingClassifier::new(SimulatedCost::new(MajorityClass::fit(&[0]), Duration::ZERO));
         assert_eq!(c.predict(&[]), 0);
         assert_eq!(c.invocations(), 1);
     }

@@ -34,7 +34,7 @@ pub mod tree;
 pub use classifier::{Classifier, MajorityClass};
 pub use forest::{ForestParams, RandomForest};
 pub use gbm::{GbmParams, GradientBoosting};
-pub use instrument::{CountingClassifier, SimulatedCost};
+pub use instrument::{CountingClassifier, LatencyCost, SimulatedCost};
 pub use logistic::LogisticRegression;
 pub use metrics::{accuracy, confusion_matrix};
 pub use tree::{DecisionTree, TreeParams};

@@ -98,12 +98,7 @@ impl LogisticRegression {
             for _ in 0..n {
                 let r = rng.gen_range(0..n);
                 encoder.encode(&data.instance(r), &mut x);
-                let z: f64 = bias
-                    + weights
-                        .iter()
-                        .zip(&x)
-                        .map(|(w, v)| w * v)
-                        .sum::<f64>();
+                let z: f64 = bias + weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - f64::from(labels[r]);
                 for (w, &v) in weights.iter_mut().zip(&x) {
@@ -124,13 +119,7 @@ impl Classifier for LogisticRegression {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
         let mut x = vec![0.0; self.encoder.width];
         self.encoder.encode(instance, &mut x);
-        let z: f64 = self.bias
-            + self
-                .weights
-                .iter()
-                .zip(&x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>();
+        let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 }

@@ -88,14 +88,20 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     fn leaf(&mut self, rows: &[u32]) -> u32 {
-        let pos: u32 = rows.iter().map(|&r| u32::from(self.labels[r as usize])).sum();
+        let pos: u32 = rows
+            .iter()
+            .map(|&r| u32::from(self.labels[r as usize]))
+            .sum();
         let proba = pos as f64 / rows.len() as f64;
         self.nodes.push(Node::Leaf { proba });
         (self.nodes.len() - 1) as u32
     }
 
     fn build(&mut self, rows: &mut Vec<u32>, depth: usize, rng: &mut impl Rng) -> u32 {
-        let pos: usize = rows.iter().map(|&r| usize::from(self.labels[r as usize])).sum();
+        let pos: usize = rows
+            .iter()
+            .map(|&r| usize::from(self.labels[r as usize]))
+            .sum();
         if depth >= self.params.max_depth
             || rows.len() < self.params.min_samples_split
             || pos == 0
@@ -139,8 +145,7 @@ impl Builder<'_> {
                 let Column::Num(col) = self.data.column(attr as usize) else {
                     unreachable!()
                 };
-                rows.iter()
-                    .partition(|&&r| col[r as usize] < threshold)
+                rows.iter().partition(|&&r| col[r as usize] < threshold)
             }
             Split::Cat { attr, code } => {
                 let Column::Cat(col) = self.data.column(attr as usize) else {
@@ -206,8 +211,7 @@ impl Builder<'_> {
                     if vals[i].0 == vals[i + 1].0 {
                         continue; // not a valid cut
                     }
-                    let score =
-                        weighted_gini(pos_l, n_l, total_pos - pos_l, n - n_l);
+                    let score = weighted_gini(pos_l, n_l, total_pos - pos_l, n - n_l);
                     if best.as_ref().is_none_or(|(b, _)| score < *b) {
                         let threshold = 0.5 * (vals[i].0 + vals[i + 1].0);
                         best = Some((
@@ -231,11 +235,7 @@ impl Builder<'_> {
                             c.1 += 1.0;
                             c.2 += f64::from(self.labels[r as usize]);
                         }
-                        None => counts.push((
-                            code,
-                            1.0,
-                            f64::from(self.labels[r as usize]),
-                        )),
+                        None => counts.push((code, 1.0, f64::from(self.labels[r as usize]))),
                     }
                 }
                 if counts.len() < 2 {
@@ -251,8 +251,7 @@ impl Builder<'_> {
                 counts
                     .iter()
                     .map(|&(code, n_l, pos_l)| {
-                        let score =
-                            weighted_gini(pos_l, n_l, total_pos - pos_l, n - n_l);
+                        let score = weighted_gini(pos_l, n_l, total_pos - pos_l, n - n_l);
                         (
                             score,
                             Split::Cat {
@@ -374,10 +373,7 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Attribute::numeric("x")]));
         let values: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
         let labels: Vec<u8> = values.iter().map(|&v| u8::from(v > 0.5)).collect();
-        (
-            Dataset::new(schema, vec![Column::Num(values)]),
-            labels,
-        )
+        (Dataset::new(schema, vec![Column::Num(values)]), labels)
     }
 
     fn categorical_concept() -> (Dataset, Vec<u8>) {
@@ -455,8 +451,18 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (d, l) = categorical_concept();
-        let t1 = DecisionTree::fit(&d, &l, &TreeParams::default(), &mut StdRng::seed_from_u64(7));
-        let t2 = DecisionTree::fit(&d, &l, &TreeParams::default(), &mut StdRng::seed_from_u64(7));
+        let t1 = DecisionTree::fit(
+            &d,
+            &l,
+            &TreeParams::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let t2 = DecisionTree::fit(
+            &d,
+            &l,
+            &TreeParams::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         for c in 0..4u32 {
             assert_eq!(
                 t1.predict_proba(&[Feature::Cat(c)]),

@@ -209,9 +209,7 @@ impl Discretizer {
         let cols = (0..data.n_attrs())
             .map(|attr| match (self.bins[attr].as_ref(), data.column(attr)) {
                 (None, Column::Cat(codes)) => codes.clone(),
-                (Some(spec), Column::Num(values)) => {
-                    values.iter().map(|&v| spec.bin(v)).collect()
-                }
+                (Some(spec), Column::Num(values)) => values.iter().map(|&v| spec.bin(v)).collect(),
                 _ => unreachable!("dataset validated against schema"),
             })
             .collect();
@@ -283,7 +281,11 @@ mod tests {
             for _ in 0..200 {
                 let f = disc.undiscretize(0, bin, &mut rng);
                 let v = f.num();
-                assert_eq!(disc.code(0, Feature::Num(v)), bin, "value {v} left bin {bin}");
+                assert_eq!(
+                    disc.code(0, Feature::Num(v)),
+                    bin,
+                    "value {v} left bin {bin}"
+                );
             }
         }
     }

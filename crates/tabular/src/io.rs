@@ -170,10 +170,7 @@ pub fn read_csv(reader: impl Read, label_column: Option<&str>) -> Result<CsvData
             while classes.len() < 2 {
                 classes.push(String::new());
             }
-            (
-                Some(labels),
-                Some([classes[0].clone(), classes[1].clone()]),
-            )
+            (Some(labels), Some([classes[0].clone(), classes[1].clone()]))
         }
         None => (None, None),
     };
@@ -210,7 +207,10 @@ pub fn read_csv(reader: impl Read, label_column: Option<&str>) -> Result<CsvData
                     }
                 })
                 .collect();
-            attrs.push(Attribute::categorical(name.clone(), dict.len().max(1) as u32));
+            attrs.push(Attribute::categorical(
+                name.clone(),
+                dict.len().max(1) as u32,
+            ));
             columns.push(Column::Cat(codes));
             dictionaries.push(dict);
         }
@@ -233,6 +233,11 @@ pub fn write_csv(
     dictionaries: &[Vec<String>],
     labels: Option<(&str, &[u8])>,
 ) -> std::io::Result<()> {
+    assert_eq!(
+        dictionaries.len(),
+        data.n_attrs(),
+        "one dictionary per attribute"
+    );
     let mut header: Vec<String> = data.schema().iter().map(|a| a.name.clone()).collect();
     if let Some((name, _)) = labels {
         header.push(name.to_string());
@@ -240,10 +245,9 @@ pub fn write_csv(
     writeln!(out, "{}", header.join(","))?;
     for r in 0..data.n_rows() {
         let mut fields: Vec<String> = Vec::with_capacity(data.n_attrs() + 1);
-        for a in 0..data.n_attrs() {
+        for (a, dict) in dictionaries.iter().enumerate() {
             match data.feature(r, a) {
                 crate::value::Feature::Cat(c) => {
-                    let dict = &dictionaries[a];
                     fields.push(
                         dict.get(c as usize)
                             .cloned()

@@ -83,8 +83,7 @@ fn split(pairs: &[(f64, u8)], depth: usize, budget: usize, cuts: &mut Vec<f64>) 
     // Fayyad–Irani MDL acceptance criterion.
     let (l, r) = pairs.split_at(idx + 1);
     let (k, k1, k2) = (k_classes(pairs), k_classes(l), k_classes(r));
-    let delta = (3f64.powf(k) - 2.0).log2()
-        - (k * h_all - k1 * entropy(l) - k2 * entropy(r));
+    let delta = (3f64.powf(k) - 2.0).log2() - (k * h_all - k1 * entropy(l) - k2 * entropy(r));
     let threshold = ((n - 1.0).log2() + delta) / n;
     if gain <= threshold {
         return;

@@ -58,7 +58,10 @@ mod tests {
 
     fn data(n: usize) -> (Dataset, Vec<u8>) {
         let schema = Arc::new(Schema::new(vec![Attribute::numeric("x")]));
-        let d = Dataset::new(schema, vec![Column::Num((0..n).map(|i| i as f64).collect())]);
+        let d = Dataset::new(
+            schema,
+            vec![Column::Num((0..n).map(|i| i as f64).collect())],
+        );
         let labels = (0..n).map(|i| (i % 2) as u8).collect();
         (d, labels)
     }

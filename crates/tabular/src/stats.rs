@@ -109,10 +109,7 @@ mod tests {
     fn table() -> DiscreteTable {
         // attr 0: 50% code 0, 30% code 1, 20% code 2 (over 10 rows)
         // attr 1: all code 1 of domain {0,1,2}
-        DiscreteTable::new(vec![
-            vec![0, 0, 0, 0, 0, 1, 1, 1, 2, 2],
-            vec![1; 10],
-        ])
+        DiscreteTable::new(vec![vec![0, 0, 0, 0, 0, 1, 1, 1, 2, 2], vec![1; 10]])
     }
 
     #[test]

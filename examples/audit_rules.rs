@@ -36,7 +36,9 @@ fn main() {
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
 
     // Audit the first 400 held-out predictions.
-    let batch = split.test.select(&(0..400.min(split.test.n_rows())).collect::<Vec<_>>());
+    let batch = split
+        .test
+        .select(&(0..400.min(split.test.n_rows())).collect::<Vec<_>>());
     let shahin = ShahinBatch::new(BatchConfig::default());
     let res = shahin.explain_anchor(&ctx, &clf, &batch, &AnchorExplainer::default(), seed);
 

@@ -35,8 +35,13 @@ fn main() {
     let clf = CountingClassifier::new(forest);
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
 
-    let stream = split.test.select(&(0..600.min(split.test.n_rows())).collect::<Vec<_>>());
-    let shap = KernelShapExplainer::new(ShapParams { n_samples: 128, ..Default::default() });
+    let stream = split
+        .test
+        .select(&(0..600.min(split.test.n_rows())).collect::<Vec<_>>());
+    let shap = KernelShapExplainer::new(ShapParams {
+        n_samples: 128,
+        ..Default::default()
+    });
 
     // Baseline: every request handled from scratch.
     let seq = sequential_shap(&ctx, &clf, &stream, &shap, 64, seed);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Benchmarks the multi-threaded Shahin-Batch drivers against the
+# sequential driver (LIME / SHAP / Anchor, 2/4/8 worker threads) and
+# writes BENCH_parallel.json to the repo root.
+#
+# Knobs (all optional):
+#   SHAHIN_PAR_BATCH       tuples per batch        (default 5000)
+#   SHAHIN_PAR_LATENCY_US  classifier latency, µs  (default 100)
+#   SHAHIN_PAR_THREADS     thread counts           (default 2,4,8)
+#   SHAHIN_SEED            base RNG seed           (default 42)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p shahin-bench --bin bench_parallel
+exec cargo run --release -q -p shahin-bench --bin bench_parallel

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin::{
-    run, summarize_attributions, summarize_rules, ExplainerKind, Greedy, Method,
+    run, summarize_attributions, summarize_rules, BatchConfig, ExplainerKind, Greedy, Method,
 };
 use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
 use shahin_fim::{apriori, shahin_sample_size, AprioriParams};
@@ -32,7 +32,7 @@ USAGE:
   shahin-cli synth   --preset <name> [--rows N] [--seed S] --out <file.csv>
   shahin-cli mine    --csv <file> [--label COL] [--min-support F] [--max-len K]
   shahin-cli explain --csv <file> --label COL [--explainer lime|anchor|shap]
-                     [--method sequential|batch|streaming|greedy|dist-K]
+                     [--method sequential|batch|par[-K]|streaming|greedy|dist-K]
                      [--batch-size N] [--seed S] [--summary] [--top K]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
@@ -147,8 +147,7 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
     let min_support: f64 = parse_num(get_or(flags, "min-support", "0.2"), "min-support")?;
     let max_len: usize = parse_num(get_or(flags, "max-len", "3"), "max-len")?;
     let file = File::open(path).map_err(|e| e.to_string())?;
-    let csv = read_csv(file, flags.get("label").map(String::as_str))
-        .map_err(|e| e.to_string())?;
+    let csv = read_csv(file, flags.get("label").map(String::as_str)).map_err(|e| e.to_string())?;
     let disc = Discretizer::fit(&csv.data);
     let table = disc.encode_dataset(&csv.data);
     let mined = apriori(
@@ -222,11 +221,19 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     let method = match method_name {
         "sequential" => Method::Sequential,
         "batch" => Method::Batch(Default::default()),
+        // All available cores; "par-K" pins the worker thread count.
+        "par" => Method::BatchParallel(Default::default()),
         "streaming" => Method::Streaming(Default::default()),
         "greedy" => Method::Greedy(Greedy::default_budget(&batch)),
         other => match other.strip_prefix("dist-") {
             Some(k) => Method::Dist(parse_num(k, "dist worker count")?),
-            None => return Err(format!("unknown method '{other}'")),
+            None => match other.strip_prefix("par-") {
+                Some(k) => Method::BatchParallel(BatchConfig {
+                    n_threads: Some(parse_num(k, "worker thread count")?),
+                    ..Default::default()
+                }),
+                None => return Err(format!("unknown method '{other}'")),
+            },
         },
     };
 
@@ -269,11 +276,7 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
             shahin::Explanation::Weights(w) => {
                 println!("tuple 0 — top attributions:");
                 for &a in w.top_k(top.min(5)).iter() {
-                    println!(
-                        "  {:<20} {:+.4}",
-                        batch.schema().attr(a).name,
-                        w.weights[a]
-                    );
+                    println!("  {:<20} {:+.4}", batch.schema().attr(a).name, w.weights[a]);
                 }
             }
             shahin::Explanation::Rule(r) => {

@@ -58,7 +58,10 @@ fn kinds() -> Vec<ExplainerKind> {
             ..Default::default()
         })),
         ExplainerKind::Anchor(AnchorExplainer::default()),
-        ExplainerKind::Shap(KernelShapExplainer::new(ShapParams { n_samples: 64, ..Default::default() })),
+        ExplainerKind::Shap(KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        })),
     ]
 }
 
@@ -101,11 +104,7 @@ fn shahin_batch_saves_invocations_for_all_explainers() {
             5,
         );
         let s = speedup_invocations(&seq.metrics, &opt.metrics);
-        assert!(
-            s > 1.2,
-            "{}: invocation speedup only {s:.2}",
-            kind.name()
-        );
+        assert!(s > 1.2, "{}: invocation speedup only {s:.2}", kind.name());
     }
 }
 
@@ -113,7 +112,14 @@ fn shahin_batch_saves_invocations_for_all_explainers() {
 fn lime_weight_vectors_have_schema_arity() {
     let w = world(DatasetPreset::Covertype, 15, 3);
     let kind = &kinds()[0];
-    let r = run(&Method::Batch(Default::default()), kind, &w.ctx, &w.clf, &w.batch, 7);
+    let r = run(
+        &Method::Batch(Default::default()),
+        kind,
+        &w.ctx,
+        &w.clf,
+        &w.batch,
+        7,
+    );
     for e in &r.explanations {
         let fw = e.weights().expect("lime returns weights");
         assert_eq!(fw.weights.len(), w.batch.n_attrs());

@@ -17,7 +17,13 @@ use shahin_explain::{
 use shahin_model::{CountingClassifier, GbmParams, GradientBoosting};
 use shahin_tabular::{read_csv, train_test_split, Dataset, DatasetPreset};
 
-fn gbm_world(seed: u64) -> (ExplainContext, CountingClassifier<GradientBoosting>, Dataset) {
+fn gbm_world(
+    seed: u64,
+) -> (
+    ExplainContext,
+    CountingClassifier<GradientBoosting>,
+    Dataset,
+) {
     let (data, labels) = DatasetPreset::CensusIncome.spec(0.04).generate(seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
@@ -46,7 +52,14 @@ fn shahin_is_model_agnostic_gbm_black_box() {
         ..Default::default()
     }));
     let seq = run(&Method::Sequential, &kind, &ctx, &clf, &batch, 3);
-    let opt = run(&Method::Batch(Default::default()), &kind, &ctx, &clf, &batch, 3);
+    let opt = run(
+        &Method::Batch(Default::default()),
+        &kind,
+        &ctx,
+        &clf,
+        &batch,
+        3,
+    );
     let s = speedup_invocations(&seq.metrics, &opt.metrics);
     assert!(s > 1.5, "GBM black box broke the speedup: {s:.2}");
 }
@@ -105,7 +118,14 @@ fn reuse_does_not_degrade_local_fidelity() {
         ..Default::default()
     }));
     let seq = run(&Method::Sequential, &kind, &ctx, &clf, &batch, 9);
-    let opt = run(&Method::Batch(Default::default()), &kind, &ctx, &clf, &batch, 9);
+    let opt = run(
+        &Method::Batch(Default::default()),
+        &kind,
+        &ctx,
+        &clf,
+        &batch,
+        9,
+    );
     let mut rng = StdRng::seed_from_u64(11);
     let mut seq_r2 = 0.0;
     let mut opt_r2 = 0.0;
@@ -144,9 +164,14 @@ fn parallel_batch_equals_serial_reference() {
         n_samples: 64,
         ..Default::default()
     });
-    let shahin = ShahinBatch::new(BatchConfig::default());
-    let par1 = shahin.explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 1, 13);
-    let par4 = shahin.explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 4, 13);
+    let with_threads = |n: usize| {
+        ShahinBatch::new(BatchConfig {
+            n_threads: Some(n),
+            ..Default::default()
+        })
+    };
+    let par1 = with_threads(1).explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 13);
+    let par4 = with_threads(4).explain_shap_parallel(&ctx, &clf, &batch, &shap, 20, 13);
     assert_eq!(par1.explanations, par4.explanations);
 }
 

@@ -1,0 +1,81 @@
+//! Property-based tests for the threading primitives: `chunks` partitioning
+//! invariants and the determinism of the per-tuple / per-itemset seed
+//! streams that make parallel runs reproducible.
+
+use proptest::prelude::*;
+
+use shahin::{chunks, per_itemset_seed, per_tuple_seed};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunks_partition_the_range_exactly(n in 0usize..10_000, k in 0usize..64) {
+        let parts = chunks(n, k);
+        if n == 0 {
+            prop_assert!(parts.is_empty());
+            return Ok(());
+        }
+        // Contiguous, in-order, gap-free cover of 0..n.
+        prop_assert_eq!(parts[0].0, 0);
+        prop_assert_eq!(parts[parts.len() - 1].1, n);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "gap or overlap between chunks");
+        }
+        for &(start, end) in &parts {
+            prop_assert!(start < end, "empty chunk ({start}, {end})");
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced_and_clamped(n in 1usize..10_000, k in 0usize..64) {
+        let parts = chunks(n, k);
+        // Thread count is clamped to 1..=n: never more chunks than items,
+        // never zero chunks for non-empty input.
+        prop_assert_eq!(parts.len(), k.clamp(1, n));
+        // Balanced: sizes differ by at most one.
+        let sizes: Vec<usize> = parts.iter().map(|&(s, e)| e - s).collect();
+        let min = *sizes.iter().min().expect("non-empty");
+        let max = *sizes.iter().max().expect("non-empty");
+        prop_assert!(max - min <= 1, "unbalanced: min {min}, max {max}");
+    }
+
+    #[test]
+    fn per_tuple_seed_is_deterministic_and_collision_free(
+        base in 0u64..=u64::MAX, idx in 0usize..4096
+    ) {
+        prop_assert_eq!(per_tuple_seed(base, idx), per_tuple_seed(base, idx));
+        // Neighbouring tuples of the same run never share a stream.
+        prop_assert_ne!(per_tuple_seed(base, idx), per_tuple_seed(base, idx + 1));
+    }
+
+    #[test]
+    fn per_itemset_seed_is_deterministic_and_distinct_from_tuples(
+        base in 0u64..=u64::MAX, id in 0usize..4096
+    ) {
+        prop_assert_eq!(per_itemset_seed(base, id), per_itemset_seed(base, id));
+        prop_assert_ne!(per_itemset_seed(base, id), per_itemset_seed(base, id + 1));
+        // The materialization streams and the per-tuple explanation streams
+        // are domain-separated: same (base, index) must not collide.
+        prop_assert_ne!(per_itemset_seed(base, id), per_tuple_seed(base, id));
+    }
+
+    #[test]
+    fn seed_streams_differ_across_runs(idx in 0usize..1024, a in 0u64..1u64 << 48) {
+        // Different run seeds give different per-index streams (SplitMix64
+        // finalizer mixes the base thoroughly).
+        let b = a.wrapping_add(1);
+        prop_assert_ne!(per_tuple_seed(a, idx), per_tuple_seed(b, idx));
+        prop_assert_ne!(per_itemset_seed(a, idx), per_itemset_seed(b, idx));
+    }
+}
+
+#[test]
+fn chunks_edge_cases() {
+    assert_eq!(chunks(0, 0), vec![]);
+    assert_eq!(chunks(0, 8), vec![]);
+    assert_eq!(chunks(5, 0), vec![(0, 5)]);
+    assert_eq!(chunks(5, 1), vec![(0, 5)]);
+    assert_eq!(chunks(1, 64), vec![(0, 1)]);
+    assert_eq!(chunks(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+}

@@ -9,11 +9,8 @@ use shahin_tabular::DiscreteTable;
 /// Strategy: a small discrete table with bounded code domains.
 fn table_strategy() -> impl Strategy<Value = DiscreteTable> {
     (2usize..6, 4usize..40).prop_flat_map(|(n_attrs, n_rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..4, n_rows),
-            n_attrs,
-        )
-        .prop_map(DiscreteTable::new)
+        proptest::collection::vec(proptest::collection::vec(0u32..4, n_rows), n_attrs)
+            .prop_map(DiscreteTable::new)
     })
 }
 

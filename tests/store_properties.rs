@@ -11,14 +11,12 @@ use shahin_fim::{Item, Itemset};
 const N_ATTRS: usize = 5;
 
 fn sample_strategy() -> impl Strategy<Value = LabeledSample> {
-    (
-        proptest::collection::vec(0u32..4, N_ATTRS),
-        0.0f64..=1.0,
-    )
-        .prop_map(|(codes, proba)| LabeledSample {
+    (proptest::collection::vec(0u32..4, N_ATTRS), 0.0f64..=1.0).prop_map(|(codes, proba)| {
+        LabeledSample {
             codes: codes.into_boxed_slice(),
             proba,
-        })
+        }
+    })
 }
 
 fn itemsets() -> Vec<Itemset> {

@@ -1,0 +1,200 @@
+//! Vendored, self-contained subset of the `criterion` 0.5 API.
+//!
+//! Provides the types and macros the workspace's benches compile against
+//! (`Criterion`, `Bencher`, `BenchmarkGroup`, `BatchSize`, the
+//! `criterion_group!`/`criterion_main!` macros) with a deliberately simple
+//! measurement loop: warm up, then run until the measurement-time budget or
+//! sample count is exhausted, and print mean time per iteration. No
+//! statistics, plots, or baselines — wall-clock medians from
+//! `scripts/bench_parallel.sh` are this repository's tracked perf numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, not used, by the vendored
+/// measurement loop).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Benchmark driver configuration + runner.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) if iters > 0 => {
+                let per = total.as_secs_f64() / iters as f64;
+                println!(
+                    "bench: {name:<40} {:>12.3} µs/iter ({iters} iters)",
+                    per * 1e6
+                );
+            }
+            _ => println!("bench: {name:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the vendored runner).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let w0 = Instant::now();
+        while w0.elapsed() < self.warm_up {
+            black_box(routine());
+            if self.warm_up.is_zero() {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let t0 = Instant::now();
+        while iters < self.samples as u64 && t0.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), t0.elapsed()));
+    }
+
+    /// Times `routine` with untimed per-call `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let w0 = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if w0.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        while iters < self.samples as u64 && timed < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), timed));
+    }
+}
+
+/// Declares a benchmark group (both the simple and the configured form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

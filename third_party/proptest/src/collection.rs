@@ -1,0 +1,20 @@
+//! Collection strategies (`vec`, `btree_map`).
+
+use crate::{btree_map_strategy, vec_strategy, BTreeMapStrategy, SizeRange, Strategy, VecStrategy};
+
+/// Strategy producing `Vec`s of `element` values with a length drawn from
+/// `size` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    vec_strategy(element, size)
+}
+
+/// Strategy producing `BTreeMap`s with up to `size` entries (duplicate keys
+/// collapse, as in upstream proptest's minimum-size-0 behaviour).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    btree_map_strategy(key, value, size)
+}

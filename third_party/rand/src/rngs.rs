@@ -1,0 +1,50 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ (Blackman & Vigna).
+/// Small, fast, passes BigCrush; not cryptographic — which matches how the
+/// workspace uses it (synthetic data, perturbation sampling, tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(b);
+        }
+        // An all-zero state would be a fixed point; remix defensively.
+        if s == [0; 4] {
+            let mut sm = 0xDEAD_BEEF_u64;
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}

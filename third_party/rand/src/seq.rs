@@ -1,0 +1,77 @@
+//! Sequence utilities: in-place shuffling and index sampling.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+pub mod index {
+    use crate::Rng;
+
+    /// Sampled indices (upstream rand returns u32 or usize variants; only
+    /// the `usize` view is used here).
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The indices as a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly and
+    /// without replacement, via a partial Fisher–Yates over the index
+    /// vector. O(length) memory — fine at this repository's scales.
+    pub fn sample<R: Rng>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} of {length} without replacement"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
