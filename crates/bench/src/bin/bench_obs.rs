@@ -1,0 +1,141 @@
+//! Observability overhead benchmark: the same Shahin-Batch LIME workload
+//! run against a **disabled** registry (every handle a no-op behind one
+//! branch) and against an **enabled** one recording all spans, counters
+//! and classifier latency histograms. Emits `BENCH_obs.json` with the
+//! median walls and the relative overhead, which must stay under the 3%
+//! budget instrumentation is allowed to cost.
+//!
+//! The classifier is the raw Random Forest — no simulated latency — so
+//! the measured run is bookkeeping-dense and the overhead bound is
+//! conservative: against a model-server round trip the relative cost only
+//! shrinks.
+//!
+//! Environment knobs (on top of the shared `SHAHIN_SEED`):
+//!
+//! * `SHAHIN_OBS_BATCH` — tuples per batch (default 400),
+//! * `SHAHIN_OBS_REPS` — repetitions per arm (default 5, median reported),
+//! * `SHAHIN_OBS_OUT` — output path (default BENCH_obs.json).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{run_with_obs, ExplainerKind, Method, MetricsRegistry};
+use shahin_bench::{base_seed, bench_lime, env_u64, secs};
+use shahin_explain::ExplainContext;
+use shahin_model::{CountingClassifier, ForestParams, RandomForest, TracedClassifier};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+const BUDGET_PCT: f64 = 3.0;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn run_arm(
+    registry: &MetricsRegistry,
+    ctx: &ExplainContext,
+    forest: &RandomForest,
+    batch: &Dataset,
+    seed: u64,
+) -> f64 {
+    let clf = CountingClassifier::new(TracedClassifier::new(forest.clone(), registry));
+    let kind = ExplainerKind::Lime(bench_lime());
+    let start = Instant::now();
+    run_with_obs(
+        &Method::Batch(Default::default()),
+        &kind,
+        ctx,
+        &clf,
+        batch,
+        seed,
+        registry,
+    );
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let seed = base_seed();
+    let batch_n = env_u64("SHAHIN_OBS_BATCH", 400) as usize;
+    let reps = env_u64("SHAHIN_OBS_REPS", 5) as usize;
+    let out_path = std::env::var("SHAHIN_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+
+    let preset = DatasetPreset::CensusIncome;
+    let (data, labels) = preset.spec(0.3).generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    );
+    let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+    let batch_n = batch_n.min(split.test.n_rows());
+    let batch = split.test.select(&(0..batch_n).collect::<Vec<_>>());
+
+    println!(
+        "# Observability overhead: {} tuples of {}, LIME, {} reps per arm",
+        batch_n,
+        preset.name(),
+        reps
+    );
+
+    // Warm-up (page in code and data, stabilize allocator) then interleave
+    // the arms so clock drift hits both equally.
+    run_arm(&MetricsRegistry::disabled(), &ctx, &forest, &batch, seed);
+    let mut noop_samples = Vec::with_capacity(reps);
+    let mut instr_samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        noop_samples.push(run_arm(
+            &MetricsRegistry::disabled(),
+            &ctx,
+            &forest,
+            &batch,
+            seed,
+        ));
+        // A fresh registry per rep: steady-state recording cost, not
+        // accumulation across reps.
+        instr_samples.push(run_arm(
+            &MetricsRegistry::new(),
+            &ctx,
+            &forest,
+            &batch,
+            seed,
+        ));
+        println!(
+            "rep {}: noop {}, instrumented {}",
+            rep + 1,
+            secs(noop_samples[rep]),
+            secs(instr_samples[rep])
+        );
+    }
+
+    let noop_s = median(&mut noop_samples);
+    let instrumented_s = median(&mut instr_samples);
+    let overhead_pct = 100.0 * (instrumented_s - noop_s) / noop_s;
+    let within_budget = overhead_pct < BUDGET_PCT;
+    println!(
+        "median: noop {}, instrumented {} → overhead {:.2}% (budget {BUDGET_PCT}%)",
+        secs(noop_s),
+        secs(instrumented_s),
+        overhead_pct
+    );
+
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"explainer\": \"LIME\",\n  \"batch\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"noop_s\": {:.6},\n  \"instrumented_s\": {:.6},\n  \"overhead_pct\": {:.3},\n  \"budget_pct\": {:.1},\n  \"within_budget\": {}\n}}\n",
+        preset.name(),
+        batch_n,
+        reps,
+        seed,
+        noop_s,
+        instrumented_s,
+        overhead_pct,
+        BUDGET_PCT,
+        within_budget
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_obs.json");
+    println!("wrote {out_path}");
+}

@@ -15,17 +15,20 @@
 //! * `SHAHIN_PAR_LATENCY_US` — sleep microseconds per classifier
 //!   invocation (default 100, a model-server round trip),
 //! * `SHAHIN_PAR_THREADS` — comma-separated thread counts (default 2,4,8),
-//! * `SHAHIN_PAR_OUT` — output path (default BENCH_parallel.json).
+//! * `SHAHIN_PAR_OUT` — output path (default BENCH_parallel.json),
+//! * `SHAHIN_PAR_METRICS_OUT` — if set, record spans/counters/latency
+//!   histograms across the whole sweep and write the snapshot there as
+//!   JSON (recording stays disabled otherwise).
 
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use shahin::{run, BatchConfig, ExplainerKind, Method, RunReport};
+use shahin::{run_with_obs, BatchConfig, ExplainerKind, Method, MetricsRegistry, RunReport};
 use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, env_u64, f2, secs};
 use shahin_explain::ExplainContext;
-use shahin_model::{CountingClassifier, ForestParams, LatencyCost, RandomForest};
+use shahin_model::{CountingClassifier, ForestParams, LatencyCost, RandomForest, TracedClassifier};
 use shahin_tabular::{train_test_split, DatasetPreset};
 
 struct Measurement {
@@ -37,13 +40,14 @@ fn measure(
     method: &Method,
     kind: &ExplainerKind,
     ctx: &ExplainContext,
-    clf: &CountingClassifier<LatencyCost<RandomForest>>,
+    clf: &CountingClassifier<TracedClassifier<LatencyCost<RandomForest>>>,
     batch: &shahin_tabular::Dataset,
     seed: u64,
+    obs: &MetricsRegistry,
 ) -> (Measurement, RunReport) {
     clf.reset();
     let start = Instant::now();
-    let report = run(method, kind, ctx, clf, batch, seed);
+    let report = run_with_obs(method, kind, ctx, clf, batch, seed, obs);
     let wall_s = start.elapsed().as_secs_f64();
     (
         Measurement {
@@ -71,6 +75,12 @@ fn main() {
         .filter_map(|t| t.trim().parse().ok())
         .collect();
     let out_path = std::env::var("SHAHIN_PAR_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    let metrics_out = std::env::var("SHAHIN_PAR_METRICS_OUT").ok();
+    let obs = if metrics_out.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
 
     let preset = DatasetPreset::CensusIncome;
     let (data, labels) = preset.spec(1.0).generate(seed);
@@ -82,7 +92,10 @@ fn main() {
         &ForestParams::default(),
         &mut rng,
     );
-    let clf = CountingClassifier::new(LatencyCost::new(forest, latency));
+    let clf = CountingClassifier::new(TracedClassifier::new(
+        LatencyCost::new(forest, latency),
+        &obs,
+    ));
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
     let batch_n = batch_n.min(split.test.n_rows());
     let batch = split.test.select(&(0..batch_n).collect::<Vec<_>>());
@@ -104,7 +117,7 @@ fn main() {
         ExplainerKind::Shap(bench_shap()),
         ExplainerKind::Anchor(bench_anchor()),
     ] {
-        let (seq, _) = measure(&sequential, &kind, &ctx, &clf, &batch, seed);
+        let (seq, _) = measure(&sequential, &kind, &ctx, &clf, &batch, seed, &obs);
         println!(
             "{}: sequential {} ({} invocations)",
             kind.name(),
@@ -117,7 +130,7 @@ fn main() {
                 n_threads: Some(t),
                 ..Default::default()
             });
-            let (par, _) = measure(&method, &kind, &ctx, &clf, &batch, seed);
+            let (par, _) = measure(&method, &kind, &ctx, &clf, &batch, seed, &obs);
             println!(
                 "{}: {} threads {} ({} invocations, speedup {}x)",
                 kind.name(),
@@ -152,4 +165,9 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
     println!("wrote {out_path}");
+
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, obs.snapshot().to_json()).expect("write metrics JSON");
+        println!("metrics written to {path}");
+    }
 }

@@ -26,7 +26,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,9 @@ use shahin_explain::anchor::{rule_coverage, RuleSampler};
 use shahin_explain::{labeled_perturbation, ExplainContext};
 use shahin_fim::Itemset;
 use shahin_model::Classifier;
+use shahin_obs::{Counter, MetricsRegistry};
 
+use crate::obs::names;
 use crate::store::PerturbationStore;
 
 /// Number of lock stripes. 16 keeps the worst-case contention of a full
@@ -55,6 +57,18 @@ struct CacheShard {
     bootstrapped: HashSet<Itemset>,
 }
 
+/// Per-shard observability handles (all detached no-ops unless the caches
+/// were built with [`SharedAnchorCaches::with_obs`]).
+#[derive(Clone, Debug, Default)]
+struct ShardObs {
+    /// Cache hits: memoized coverage or already-bootstrapped precision.
+    hits: Counter,
+    /// Cache misses: the shard had to bootstrap or compute.
+    misses: Counter,
+    /// Lock acquisitions that found the shard already held.
+    contention: Counter,
+}
+
 /// Caches shared across every tuple of a batch (or stream), striped across
 /// [`N_SHARDS`] mutexes keyed by rule hash. All methods take `&self`; the
 /// type is `Sync` and is shared by reference across the parallel Anchor
@@ -62,6 +76,7 @@ struct CacheShard {
 #[derive(Debug)]
 pub struct SharedAnchorCaches {
     shards: [Mutex<CacheShard>; N_SHARDS],
+    obs: [ShardObs; N_SHARDS],
 }
 
 impl Default for SharedAnchorCaches {
@@ -75,14 +90,38 @@ impl SharedAnchorCaches {
     pub fn new() -> SharedAnchorCaches {
         SharedAnchorCaches {
             shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
+            obs: std::array::from_fn(|_| ShardObs::default()),
         }
     }
 
-    /// The stripe responsible for `rule`.
-    fn shard(&self, rule: &Itemset) -> &Mutex<CacheShard> {
+    /// Creates empty caches whose per-shard hit/miss/contention counters
+    /// record into `registry` (as `anchor.shardNN.{hits,misses,contention}`).
+    pub fn with_obs(registry: &MetricsRegistry) -> SharedAnchorCaches {
+        SharedAnchorCaches {
+            shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
+            obs: std::array::from_fn(|idx| ShardObs {
+                hits: registry.counter(&names::anchor_shard(idx, "hits")),
+                misses: registry.counter(&names::anchor_shard(idx, "misses")),
+                contention: registry.counter(&names::anchor_shard(idx, "contention")),
+            }),
+        }
+    }
+
+    /// The stripe index responsible for `rule`.
+    fn shard_index(rule: &Itemset) -> usize {
         let mut h = DefaultHasher::new();
         rule.hash(&mut h);
-        &self.shards[h.finish() as usize % N_SHARDS]
+        h.finish() as usize % N_SHARDS
+    }
+
+    /// Locks stripe `idx`, counting the acquisition as contended if another
+    /// thread already holds it (the fast path is one uncontended `try_lock`).
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, CacheShard> {
+        if let Some(guard) = self.shards[idx].try_lock() {
+            return guard;
+        }
+        self.obs[idx].contention.inc();
+        self.shards[idx].lock()
     }
 
     /// Number of rules with cached precision counts.
@@ -177,7 +216,8 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
         // Fresh draws are invariant evidence: fold them into the shared
         // cache so later tuples (on any thread) start ahead (Algorithm 2
         // line 12).
-        let mut shard = self.caches.shard(rule).lock();
+        let idx = SharedAnchorCaches::shard_index(rule);
+        let mut shard = self.caches.lock_shard(idx);
         let e = shard.precision.entry(rule.clone()).or_insert((0, 0));
         e.0 += k as u64;
         e.1 += pos;
@@ -185,17 +225,20 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
     }
 
     fn prior(&mut self, rule: &Itemset) -> (u64, u64) {
+        let idx = SharedAnchorCaches::shard_index(rule);
         {
-            let shard = self.caches.shard(rule).lock();
+            let shard = self.caches.lock_shard(idx);
             if shard.bootstrapped.contains(rule) {
+                self.caches.obs[idx].hits.inc();
                 return shard.precision.get(rule).copied().unwrap_or((0, 0));
             }
         }
+        self.caches.obs[idx].misses.inc();
         // Scan the store outside the lock (it can be a long walk), then
         // publish under the lock; `bootstrapped.insert` arbitrates racing
         // threads so the seed counts are added at most once.
         let (n, pos) = self.bootstrap(rule);
-        let mut shard = self.caches.shard(rule).lock();
+        let mut shard = self.caches.lock_shard(idx);
         if shard.bootstrapped.insert(rule.clone()) && n > 0 {
             let e = shard.precision.entry(rule.clone()).or_insert((0, 0));
             e.0 += n;
@@ -205,17 +248,16 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
     }
 
     fn coverage(&mut self, rule: &Itemset) -> f64 {
-        if let Some(&c) = self.caches.shard(rule).lock().coverage.get(rule) {
+        let idx = SharedAnchorCaches::shard_index(rule);
+        if let Some(&c) = self.caches.lock_shard(idx).coverage.get(rule) {
+            self.caches.obs[idx].hits.inc();
             return c;
         }
+        self.caches.obs[idx].misses.inc();
         // Computed outside the lock; coverage is a pure function of the
         // rule, so a racing double-computation inserts the same value.
         let c = rule_coverage(self.ctx.coverage_sample(), rule);
-        self.caches
-            .shard(rule)
-            .lock()
-            .coverage
-            .insert(rule.clone(), c);
+        self.caches.lock_shard(idx).coverage.insert(rule.clone(), c);
         c
     }
 }
@@ -326,6 +368,27 @@ mod tests {
         assert_eq!(c1, c2);
         assert!((0.2..0.5).contains(&c1), "coverage {c1}");
         assert_eq!(s.caches.n_coverage_entries(), 1);
+    }
+
+    #[test]
+    fn obs_counts_shard_hits_and_misses() {
+        let ctx = test_ctx(5);
+        let clf = MajorityClass::fit(&[1]);
+        let store = PerturbationStore::new(vec![], usize::MAX);
+        let reg = MetricsRegistry::new();
+        let caches = SharedAnchorCaches::with_obs(&reg);
+        let rule = Itemset::new(vec![Item::new(0, 0)]);
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &[], &caches, 7);
+        s.coverage(&rule); // miss
+        s.coverage(&rule); // hit
+        s.prior(&rule); // miss (bootstrap)
+        s.prior(&rule); // hit
+        let snap = reg.snapshot();
+        let idx = SharedAnchorCaches::shard_index(&rule);
+        assert_eq!(snap.counter(&names::anchor_shard(idx, "hits")), 2);
+        assert_eq!(snap.counter(&names::anchor_shard(idx, "misses")), 2);
+        // Single-threaded use never contends.
+        assert_eq!(snap.counter(&names::anchor_shard(idx, "contention")), 0);
     }
 
     #[test]

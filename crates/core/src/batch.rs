@@ -23,15 +23,26 @@ use shahin_tabular::{Dataset, DiscreteTable};
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::config::{BatchConfig, Miner};
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::obs::names;
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 use crate::store::PerturbationStore;
+use shahin_obs::MetricsRegistry;
 
 /// The batch-mode optimizer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ShahinBatch {
     /// Configuration.
     pub config: BatchConfig,
+    /// Metrics registry the drivers record into. Disabled (all handles
+    /// no-ops) unless set via [`ShahinBatch::with_obs`].
+    pub(crate) obs: MetricsRegistry,
+}
+
+impl Default for ShahinBatch {
+    fn default() -> Self {
+        ShahinBatch::new(BatchConfig::default())
+    }
 }
 
 /// Output of the shared preparation phase.
@@ -43,9 +54,19 @@ pub(crate) struct Prepared {
 }
 
 impl ShahinBatch {
-    /// Creates a batch optimizer.
+    /// Creates a batch optimizer (with observability disabled).
     pub fn new(config: BatchConfig) -> ShahinBatch {
-        ShahinBatch { config }
+        ShahinBatch {
+            config,
+            obs: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Records spans, counters and gauges into `registry` during every
+    /// subsequent run (see [`crate::obs`] for the name schema).
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> ShahinBatch {
+        self.obs = registry.clone();
+        self
     }
 
     /// Lines 2–4 of each algorithm: sample, mine, materialize.
@@ -64,7 +85,7 @@ impl ShahinBatch {
     ) -> Prepared {
         let table = ctx.discretizer().encode_dataset(batch);
 
-        let t0 = Instant::now();
+        let fim_span = self.obs.span(names::SPAN_FIM_MINE);
         let sample = sample_rows(&table, rng);
         let fim_params = AprioriParams {
             min_support: self.config.min_support,
@@ -84,10 +105,11 @@ impl ShahinBatch {
             .sum::<f64>()
             .max(1e-9);
         let itemsets: Vec<Itemset> = frequent.into_iter().map(|(s, _)| s).collect();
-        let fim_time = t0.elapsed();
+        let fim_time = fim_span.stop();
 
-        let t1 = Instant::now();
+        let fill_span = self.obs.span(names::SPAN_MATERIALIZE_FILL);
         let mut store = PerturbationStore::new(itemsets, self.config.cache_budget_bytes);
+        store.attach_obs(&self.obs);
         // "The parameter τ is set automatically by Shahin based on the
         // resource constraints" (§3.1): τ only pays off up to the point
         // where pooled samples cover the explainer's per-tuple budget
@@ -99,7 +121,7 @@ impl ShahinBatch {
             tau = tau.min(coverage_tau.max(1));
         }
         store.materialize_parallel(ctx, clf, tau, seed, self.config.resolved_n_threads());
-        let materialization_time = t1.elapsed();
+        let materialization_time = fill_span.stop();
 
         Prepared {
             table,
@@ -122,6 +144,8 @@ impl ShahinBatch {
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut prep = self.prepare(ctx, clf, batch, lime.params.n_samples, seed, &mut rng);
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
@@ -129,12 +153,13 @@ impl ShahinBatch {
         for row in 0..batch.n_rows() {
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let codes = prep.table.row(row);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let matched = prep.store.matching(&codes, &mut scratch);
-            retrieval += t.elapsed();
+            retrieval += retrieve.stop();
             let store = &prep.store;
             let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
             let instance = batch.instance(row);
+            let _fit = surrogate_hist.start();
             explanations.push(lime.explain_with_reused(
                 ctx,
                 clf,
@@ -176,16 +201,18 @@ impl ShahinBatch {
         // Anchor has no fixed per-tuple sample count; 400 approximates the
         // bandit's typical rule-conditioned draw budget per tuple.
         let mut prep = self.prepare(ctx, clf, batch, 400, seed, &mut rng);
-        let caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::with_obs(&self.obs);
+        let anchor = anchor.clone().with_obs(&self.obs);
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         for row in 0..batch.n_rows() {
             let codes = prep.table.row(row);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let matched = prep.store.matching(&codes, &mut scratch);
-            retrieval += t.elapsed();
+            retrieval += retrieve.stop();
             let instance = batch.instance(row);
             let target = clf.predict(&instance);
             let mut sampler = CachingRuleSampler::new(
@@ -233,6 +260,8 @@ impl ShahinBatch {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
         let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
@@ -240,7 +269,7 @@ impl ShahinBatch {
         for row in 0..batch.n_rows() {
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let codes = prep.table.row(row);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let matched = prep.store.matching(&codes, &mut scratch);
             // Line 7–8: pool the perturbations of contained frequent
             // itemsets as coalitions over their attributes (round-robin
@@ -251,8 +280,9 @@ impl ShahinBatch {
                 shap.params.n_samples / 2,
             );
             let mut source = StoreCoalitionSource::new(&prep.store, matched);
-            retrieval += t.elapsed();
+            retrieval += retrieve.stop();
             let instance = batch.instance(row);
+            let _fit = surrogate_hist.start();
             explanations.push(shap.explain_with(
                 ctx,
                 clf,
@@ -428,6 +458,46 @@ mod tests {
             "store grew past budget: {}",
             res.metrics.store_bytes
         );
+    }
+
+    #[test]
+    fn obs_registry_sees_every_phase() {
+        let (ctx, clf, batch) = setup(0.02, 7);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 100,
+            ..Default::default()
+        });
+        let reg = MetricsRegistry::new();
+        let shahin = ShahinBatch::default().with_obs(&reg);
+        let res = shahin.explain_lime(&ctx, &clf, &batch, &lime, 23);
+        let snap = reg.snapshot();
+        // One span per phase, one retrieve + one fit per tuple.
+        assert_eq!(snap.histograms["span.fim.mine"].count, 1);
+        assert_eq!(snap.histograms["span.materialize.fill"].count, 1);
+        let n = batch.n_rows() as u64;
+        assert_eq!(snap.histograms["span.retrieve.match"].count, n);
+        assert_eq!(snap.histograms["span.surrogate.fit"].count, n);
+        // The recorded spans agree with the RunMetrics durations.
+        assert_eq!(
+            snap.histograms["span.fim.mine"].sum_ns,
+            res.metrics.overhead.fim.as_nanos() as u64
+        );
+        assert_eq!(snap.counter("store.lookups"), n);
+        assert!(snap.gauge("store.peak_bytes") > 0);
+    }
+
+    #[test]
+    fn obs_is_inert_by_default() {
+        let (ctx, clf, batch) = setup(0.02, 8);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 50,
+            ..Default::default()
+        });
+        let shahin = ShahinBatch::default();
+        assert!(!shahin.obs.is_enabled());
+        // Phase durations still flow into RunMetrics through detached spans.
+        let res = shahin.explain_lime(&ctx, &clf, &batch, &lime, 29);
+        assert!(res.metrics.overhead.materialization > Duration::ZERO);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub struct TaggedLruCache {
     budget: usize,
     used_bytes: usize,
     clock: u64,
+    evictions: u64,
 }
 
 impl TaggedLruCache {
@@ -63,6 +64,7 @@ impl TaggedLruCache {
             budget: budget_bytes,
             used_bytes: 0,
             clock: 0,
+            evictions: 0,
         }
     }
 
@@ -70,6 +72,12 @@ impl TaggedLruCache {
     #[inline]
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
+    }
+
+    /// Buckets evicted under byte pressure over the cache's lifetime.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Total cached samples.
@@ -148,6 +156,7 @@ impl TaggedLruCache {
             Some(k) => {
                 let b = self.buckets.remove(&k).expect("victim exists");
                 self.used_bytes -= b.bytes;
+                self.evictions += 1;
                 true
             }
             None => false,
@@ -220,6 +229,7 @@ mod tests {
         // Inserting a fifth bucket evicts the least recently used (A0=2).
         cache.insert(&[5, 9], sample(&[5, 0], 0.5));
         assert_eq!(cache.n_samples(), 4);
+        assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.lookup(&[2, 5], 10).len(), 0, "A0=2 should be gone");
         assert_eq!(cache.lookup(&[1, 5], 10).len(), 1, "A0=1 should survive");
     }

@@ -57,6 +57,7 @@ pub mod batch;
 pub mod config;
 pub mod greedy_cache;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod runner;
 pub mod shap_source;
@@ -70,8 +71,11 @@ pub use batch::ShahinBatch;
 pub use config::{BatchConfig, Miner, StreamingConfig};
 pub use greedy_cache::TaggedLruCache;
 pub use metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+pub use obs::{register_standard, MetricsRegistry, MetricsSnapshot};
 pub use parallel::chunks;
-pub use runner::{per_tuple_seed, run, ExplainerKind, Explanation, Method, RunReport};
+pub use runner::{
+    per_tuple_seed, run, run_with_obs, ExplainerKind, Explanation, Method, RunReport,
+};
 pub use shap_source::StoreCoalitionSource;
 pub use store::{per_itemset_seed, PerturbationStore};
 pub use streaming::ShahinStreaming;

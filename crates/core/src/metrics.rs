@@ -141,5 +141,20 @@ mod tests {
         assert_eq!(m.per_tuple_secs(), 0.0);
         assert_eq!(m.invocations_per_tuple(), 0.0);
         assert_eq!(m.overhead_fraction(), 0.0);
+        assert!(!m.per_tuple_secs().is_nan());
+        assert!(!m.invocations_per_tuple().is_nan());
+        assert!(!m.overhead_fraction().is_nan());
+        // Non-zero wall with zero tuples (an empty batch still spends
+        // preparation time) must also divide cleanly.
+        let m = RunMetrics {
+            wall: Duration::from_secs(1),
+            invocations: 10,
+            n_tuples: 0,
+            ..Default::default()
+        };
+        assert_eq!(m.per_tuple_secs(), 0.0);
+        assert_eq!(m.invocations_per_tuple(), 0.0);
+        assert!(!m.per_tuple_secs().is_nan());
+        assert!(m.per_tuple_secs().is_finite());
     }
 }

@@ -1,0 +1,164 @@
+//! Observability wiring for the Shahin drivers.
+//!
+//! The primitives live in the dependency-free `shahin-obs` crate
+//! (re-exported here); this module owns the *metric name schema* every
+//! driver records into, so a `--metrics-out` dump always carries the same
+//! keys regardless of which (method, explainer) combination ran.
+
+pub use shahin_obs::{
+    bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, Span, N_BUCKETS, SPAN_PREFIX,
+};
+
+use crate::anchor_cache::N_SHARDS;
+
+/// Canonical metric names recorded by the instrumented drivers.
+pub mod names {
+    /// Frequent itemset mining over the batch sample (span).
+    pub const SPAN_FIM_MINE: &str = "fim.mine";
+    /// Materializing τ labeled perturbations per itemset (span).
+    pub const SPAN_MATERIALIZE_FILL: &str = "materialize.fill";
+    /// Generating + undiscretizing perturbations, excluding the classifier
+    /// (span; summed over materialization workers).
+    pub const SPAN_PERTURB_GENERATE: &str = "perturb.generate";
+    /// Per-tuple store lookup (span; summed over workers when parallel).
+    pub const SPAN_RETRIEVE_MATCH: &str = "retrieve.match";
+    /// Per-tuple explainer time: sample top-up + surrogate fit (span).
+    pub const SPAN_SURROGATE_FIT: &str = "surrogate.fit";
+    /// One Anchor beam search (span).
+    pub const SPAN_ANCHOR_SEARCH: &str = "anchor.search";
+
+    /// Store lookups ([`crate::PerturbationStore::matching`] calls).
+    pub const STORE_LOOKUPS: &str = "store.lookups";
+    /// Matched itemsets that had materialized samples.
+    pub const STORE_HITS: &str = "store.hits";
+    /// Matched itemsets whose entries were empty (evicted or never filled).
+    pub const STORE_MISSES: &str = "store.misses";
+    /// Lookups that found no reusable samples at all.
+    pub const STORE_EMPTY_LOOKUPS: &str = "store.empty_lookups";
+    /// Materialized samples pooled into explanations (partial-reuse
+    /// volume: `samples_reused / lookups` is the per-tuple reuse rate).
+    pub const STORE_SAMPLES_REUSED: &str = "store.samples_reused";
+    /// LRU entries evicted under byte pressure.
+    pub const STORE_EVICTIONS: &str = "store.evictions";
+    /// Bytes currently resident in the store (gauge).
+    pub const STORE_RESIDENT_BYTES: &str = "store.resident_bytes";
+    /// Peak resident bytes (gauge, high-watermark).
+    pub const STORE_PEAK_BYTES: &str = "store.peak_bytes";
+
+    /// Streaming re-mining rounds.
+    pub const STREAMING_REFRESH_ROUNDS: &str = "streaming.refresh_rounds";
+    /// Warm-up LRU cache bucket evictions.
+    pub const STREAMING_EARLY_EVICTIONS: &str = "streaming.early_evictions";
+    /// Samples carried into a rebuilt store at refresh.
+    pub const STREAMING_CARRIED_SAMPLES: &str = "streaming.carried_samples";
+
+    /// Rows pushed through the classifier (TracedClassifier).
+    pub const CLASSIFIER_INVOCATIONS: &str = "classifier.invocations";
+    /// Batch dispatches (TracedClassifier).
+    pub const CLASSIFIER_BATCH_CALLS: &str = "classifier.batch_calls";
+    /// Per-row classifier latency histogram.
+    pub const CLASSIFIER_PREDICT: &str = "classifier.predict";
+    /// Whole-batch classifier latency histogram.
+    pub const CLASSIFIER_PREDICT_BATCH: &str = "classifier.predict_batch";
+
+    /// Anchor beam-search levels entered.
+    pub const ANCHOR_LEVELS: &str = "anchor.levels";
+    /// Anchor candidates surviving coverage pruning.
+    pub const ANCHOR_CANDIDATES: &str = "anchor.candidates";
+    /// Searches returning a precision-verified anchor.
+    pub const ANCHOR_VERIFIED: &str = "anchor.verified";
+    /// Searches falling back to a best-effort rule.
+    pub const ANCHOR_FALLBACKS: &str = "anchor.fallbacks";
+
+    /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
+    /// with `kind` one of `hits`, `misses`, `contention`.
+    pub fn anchor_shard(idx: usize, kind: &str) -> String {
+        format!("anchor.shard{idx:02}.{kind}")
+    }
+}
+
+/// Pre-registers the full metric schema in `reg`, so a snapshot taken
+/// after any run contains every key (with zero values for phases that
+/// never fired — e.g. `span.surrogate.fit` stays zero on an Anchor run).
+/// Idempotent; a disabled registry is left untouched.
+pub fn register_standard(reg: &MetricsRegistry) {
+    if !reg.is_enabled() {
+        return;
+    }
+    for span in [
+        names::SPAN_FIM_MINE,
+        names::SPAN_MATERIALIZE_FILL,
+        names::SPAN_PERTURB_GENERATE,
+        names::SPAN_RETRIEVE_MATCH,
+        names::SPAN_SURROGATE_FIT,
+        names::SPAN_ANCHOR_SEARCH,
+    ] {
+        reg.span_histogram(span);
+    }
+    for counter in [
+        names::STORE_LOOKUPS,
+        names::STORE_HITS,
+        names::STORE_MISSES,
+        names::STORE_EMPTY_LOOKUPS,
+        names::STORE_SAMPLES_REUSED,
+        names::STORE_EVICTIONS,
+        names::STREAMING_REFRESH_ROUNDS,
+        names::STREAMING_EARLY_EVICTIONS,
+        names::STREAMING_CARRIED_SAMPLES,
+        names::CLASSIFIER_INVOCATIONS,
+        names::CLASSIFIER_BATCH_CALLS,
+        names::ANCHOR_LEVELS,
+        names::ANCHOR_CANDIDATES,
+        names::ANCHOR_VERIFIED,
+        names::ANCHOR_FALLBACKS,
+    ] {
+        reg.counter(counter);
+    }
+    for gauge in [names::STORE_RESIDENT_BYTES, names::STORE_PEAK_BYTES] {
+        reg.gauge(gauge);
+    }
+    for hist in [names::CLASSIFIER_PREDICT, names::CLASSIFIER_PREDICT_BATCH] {
+        reg.histogram(hist);
+    }
+    for shard in 0..N_SHARDS {
+        for kind in ["hits", "misses", "contention"] {
+            reg.counter(&names::anchor_shard(shard, kind));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_schema_is_complete_and_idempotent() {
+        let reg = MetricsRegistry::new();
+        register_standard(&reg);
+        register_standard(&reg);
+        let snap = reg.snapshot();
+        for key in [
+            names::STORE_HITS,
+            names::STORE_MISSES,
+            names::STREAMING_REFRESH_ROUNDS,
+            names::CLASSIFIER_INVOCATIONS,
+            &names::anchor_shard(0, "hits"),
+            &names::anchor_shard(N_SHARDS - 1, "contention"),
+        ] {
+            assert!(snap.counters.contains_key(key), "missing counter {key}");
+        }
+        for key in ["span.fim.mine", "span.surrogate.fit", "span.anchor.search"] {
+            assert!(snap.histograms.contains_key(key), "missing span {key}");
+        }
+        assert!(snap.gauges.contains_key(names::STORE_RESIDENT_BYTES));
+        assert!(snap.histograms.contains_key(names::CLASSIFIER_PREDICT));
+    }
+
+    #[test]
+    fn disabled_registry_stays_empty() {
+        let reg = MetricsRegistry::disabled();
+        register_standard(&reg);
+        assert!(reg.snapshot().counters.is_empty());
+    }
+}

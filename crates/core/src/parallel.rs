@@ -41,6 +41,7 @@ use shahin_tabular::Dataset;
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::batch::ShahinBatch;
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::obs::names;
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 
@@ -83,6 +84,10 @@ impl ShahinBatch {
         let mut rng = StdRng::seed_from_u64(seed);
         let prep = self.prepare(ctx, clf, batch, lime.params.n_samples, seed, &mut rng);
         let store = &prep.store;
+        // Handles created once, before the scope: workers record through
+        // shared atomics without touching the registry's stripe locks.
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -91,6 +96,8 @@ impl ShahinBatch {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
                 let table = &prep.table;
+                let retrieve_hist = retrieve_hist.clone();
+                let surrogate_hist = surrogate_hist.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
@@ -98,12 +105,12 @@ impl ShahinBatch {
                         let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
                         // Read-only matching: no LRU bookkeeping races.
-                        let matched = store.matching_all(&codes, &mut scratch);
-                        let pooled = matched
-                            .iter()
-                            .filter(|&&id| !store.samples(id).is_empty())
-                            .flat_map(|&id| store.samples(id).iter());
+                        let retrieve = retrieve_hist.start();
+                        let matched = store.matching_read(&codes, &mut scratch);
+                        drop(retrieve);
+                        let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
                         let instance = batch.instance(row);
+                        let _fit = surrogate_hist.start();
                         *slot = Some(lime.explain_with_reused(
                             ctx,
                             clf,
@@ -157,7 +164,10 @@ impl ShahinBatch {
         let mut rng = StdRng::seed_from_u64(seed);
         let prep = self.prepare(ctx, clf, batch, 400, seed, &mut rng);
         let store = &prep.store;
-        let caches = SharedAnchorCaches::new();
+        let caches = SharedAnchorCaches::with_obs(&self.obs);
+        let anchor = anchor.clone().with_obs(&self.obs);
+        let anchor = &anchor;
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
 
         let mut explanations: Vec<Option<AnchorExplanation>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -167,16 +177,15 @@ impl ShahinBatch {
                 rest = tail;
                 let table = &prep.table;
                 let caches = &caches;
+                let retrieve_hist = retrieve_hist.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
                         let codes = table.row(row);
-                        let matched: Vec<u32> = store
-                            .matching_all(&codes, &mut scratch)
-                            .into_iter()
-                            .filter(|&id| !store.samples(id).is_empty())
-                            .collect();
+                        let retrieve = retrieve_hist.start();
+                        let matched = store.matching_read(&codes, &mut scratch);
+                        drop(retrieve);
                         let instance = batch.instance(row);
                         let target = clf.predict(&instance);
                         let mut sampler = CachingRuleSampler::new(
@@ -232,6 +241,8 @@ impl ShahinBatch {
         let prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
         let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
         let store = &prep.store;
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -240,24 +251,25 @@ impl ShahinBatch {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
                 let table = &prep.table;
+                let retrieve_hist = retrieve_hist.clone();
+                let surrogate_hist = surrogate_hist.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
                         let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
-                        let matched: Vec<u32> = store
-                            .matching_all(&codes, &mut scratch)
-                            .into_iter()
-                            .filter(|&id| !store.samples(id).is_empty())
-                            .collect();
+                        let retrieve = retrieve_hist.start();
+                        let matched = store.matching_read(&codes, &mut scratch);
                         let pooled = crate::shap_source::pool_coalitions(
                             store,
                             &matched,
                             shap.params.n_samples / 2,
                         );
                         let mut source = StoreCoalitionSource::new(store, matched);
+                        drop(retrieve);
                         let instance = batch.instance(row);
+                        let _fit = surrogate_hist.start();
                         *slot = Some(shap.explain_with(
                             ctx,
                             clf,
@@ -390,6 +402,24 @@ mod tests {
                 "{n} threads"
             );
         }
+    }
+
+    #[test]
+    fn parallel_workers_share_one_registry() {
+        let (ctx, clf, batch) = setup();
+        let lime = LimeExplainer::new(LimeParams {
+            n_samples: 60,
+            ..Default::default()
+        });
+        let reg = crate::obs::MetricsRegistry::new();
+        let shahin = with_threads(4).with_obs(&reg);
+        shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 31);
+        let snap = reg.snapshot();
+        let n = batch.n_rows() as u64;
+        // Every worker recorded into the same histograms: no lost rows.
+        assert_eq!(snap.histograms["span.retrieve.match"].count, n);
+        assert_eq!(snap.histograms["span.surrogate.fit"].count, n);
+        assert_eq!(snap.counter("store.lookups"), n);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::baseline::{
 use crate::batch::ShahinBatch;
 use crate::config::{BatchConfig, StreamingConfig};
 use crate::metrics::{BatchResult, RunMetrics};
+use crate::obs::{register_standard, MetricsRegistry};
 use crate::streaming::ShahinStreaming;
 
 /// Classifier invocations spent estimating KernelSHAP's base value, once
@@ -153,6 +154,36 @@ pub fn run<C: Classifier>(
     batch: &Dataset,
     seed: u64,
 ) -> RunReport {
+    run_with_obs(
+        method,
+        kind,
+        ctx,
+        clf,
+        batch,
+        seed,
+        &MetricsRegistry::disabled(),
+    )
+}
+
+/// [`run`], recording spans, counters and gauges into `obs` (see
+/// [`crate::obs`] for the name schema). The full standard schema is
+/// pre-registered, so a snapshot taken afterwards carries every key even
+/// for phases this (method, explainer) combination never enters. Baseline
+/// methods (Sequential/Dist/Greedy) have no instrumented phases; only the
+/// pre-registered zero values appear for them. To also capture classifier
+/// latency histograms, wrap the model in a
+/// [`shahin_model::TracedClassifier`] bound to the same registry.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_obs<C: Classifier>(
+    method: &Method,
+    kind: &ExplainerKind,
+    ctx: &ExplainContext,
+    clf: &CountingClassifier<C>,
+    batch: &Dataset,
+    seed: u64,
+    obs: &MetricsRegistry,
+) -> RunReport {
+    register_standard(obs);
     match (method, kind) {
         (Method::Sequential, ExplainerKind::Lime(e)) => {
             wrap_weights(sequential_lime(ctx, clf, batch, e, seed))
@@ -181,47 +212,56 @@ pub fn run<C: Classifier>(
         (Method::Greedy(budget), ExplainerKind::Shap(e)) => wrap_weights(
             Greedy::new(*budget).explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
         ),
-        (Method::Batch(cfg), ExplainerKind::Lime(e)) => {
-            wrap_weights(ShahinBatch::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed))
-        }
-        (Method::Batch(cfg), ExplainerKind::Anchor(e)) => {
-            wrap_rules(ShahinBatch::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed))
-        }
-        (Method::Batch(cfg), ExplainerKind::Shap(e)) => wrap_weights(
-            ShahinBatch::new(cfg.clone()).explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
+        (Method::Batch(cfg), ExplainerKind::Lime(e)) => wrap_weights(
+            ShahinBatch::new(cfg.clone())
+                .with_obs(obs)
+                .explain_lime(ctx, clf, batch, e, seed),
         ),
+        (Method::Batch(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
+            ShahinBatch::new(cfg.clone())
+                .with_obs(obs)
+                .explain_anchor(ctx, clf, batch, e, seed),
+        ),
+        (Method::Batch(cfg), ExplainerKind::Shap(e)) => {
+            wrap_weights(ShahinBatch::new(cfg.clone()).with_obs(obs).explain_shap(
+                ctx,
+                clf,
+                batch,
+                e,
+                SHAP_BASE_SAMPLES,
+                seed,
+            ))
+        }
         (Method::BatchParallel(cfg), ExplainerKind::Lime(e)) => wrap_weights(
-            ShahinBatch::new(cfg.clone()).explain_lime_parallel(ctx, clf, batch, e, seed),
+            ShahinBatch::new(cfg.clone())
+                .with_obs(obs)
+                .explain_lime_parallel(ctx, clf, batch, e, seed),
         ),
         (Method::BatchParallel(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
-            ShahinBatch::new(cfg.clone()).explain_anchor_parallel(ctx, clf, batch, e, seed),
+            ShahinBatch::new(cfg.clone())
+                .with_obs(obs)
+                .explain_anchor_parallel(ctx, clf, batch, e, seed),
         ),
-        (Method::BatchParallel(cfg), ExplainerKind::Shap(e)) => {
-            wrap_weights(ShahinBatch::new(cfg.clone()).explain_shap_parallel(
-                ctx,
-                clf,
-                batch,
-                e,
-                SHAP_BASE_SAMPLES,
-                seed,
-            ))
-        }
-        (Method::Streaming(cfg), ExplainerKind::Lime(e)) => {
-            wrap_weights(ShahinStreaming::new(cfg.clone()).explain_lime(ctx, clf, batch, e, seed))
-        }
-        (Method::Streaming(cfg), ExplainerKind::Anchor(e)) => {
-            wrap_rules(ShahinStreaming::new(cfg.clone()).explain_anchor(ctx, clf, batch, e, seed))
-        }
-        (Method::Streaming(cfg), ExplainerKind::Shap(e)) => {
-            wrap_weights(ShahinStreaming::new(cfg.clone()).explain_shap(
-                ctx,
-                clf,
-                batch,
-                e,
-                SHAP_BASE_SAMPLES,
-                seed,
-            ))
-        }
+        (Method::BatchParallel(cfg), ExplainerKind::Shap(e)) => wrap_weights(
+            ShahinBatch::new(cfg.clone())
+                .with_obs(obs)
+                .explain_shap_parallel(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Lime(e)) => wrap_weights(
+            ShahinStreaming::new(cfg.clone())
+                .with_obs(obs)
+                .explain_lime(ctx, clf, batch, e, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Anchor(e)) => wrap_rules(
+            ShahinStreaming::new(cfg.clone())
+                .with_obs(obs)
+                .explain_anchor(ctx, clf, batch, e, seed),
+        ),
+        (Method::Streaming(cfg), ExplainerKind::Shap(e)) => wrap_weights(
+            ShahinStreaming::new(cfg.clone())
+                .with_obs(obs)
+                .explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
+        ),
     }
 }
 

@@ -14,11 +14,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use shahin_explain::{
-    labeled_perturbation, labeled_perturbations_batch, ExplainContext, LabeledSample,
+    labeled_perturbation, labeled_perturbations_batch_timed, ExplainContext, LabeledSample,
 };
 use shahin_fim::{Itemset, ItemsetIndex};
 use shahin_model::Classifier;
+use shahin_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
+use crate::obs::names;
 use crate::parallel::chunks;
 
 /// Derives the RNG seed of itemset `id`'s materialization stream from the
@@ -40,6 +42,25 @@ struct StoreEntry {
     last_used: u64,
 }
 
+/// Observability handles of one store. Detached no-ops by default;
+/// [`PerturbationStore::attach_obs`] wires them to a registry. Counters
+/// are relaxed atomics, so the read-only lookup path
+/// ([`PerturbationStore::matching_read`]) can record through `&self`.
+#[derive(Clone, Debug, Default)]
+struct StoreObs {
+    lookups: Counter,
+    hits: Counter,
+    misses: Counter,
+    empty_lookups: Counter,
+    samples_reused: Counter,
+    evictions: Counter,
+    resident_bytes: Gauge,
+    peak_bytes: Gauge,
+    /// Perturbation generation time during materialization, excluding the
+    /// classifier (`span.perturb.generate`, summed over workers).
+    perturb_generate: Histogram,
+}
+
 /// Itemset-indexed, byte-budgeted repository of labeled perturbations.
 #[derive(Clone, Debug)]
 pub struct PerturbationStore {
@@ -50,6 +71,7 @@ pub struct PerturbationStore {
     used_bytes: usize,
     peak_bytes: usize,
     clock: u64,
+    obs: StoreObs,
 }
 
 impl PerturbationStore {
@@ -67,7 +89,26 @@ impl PerturbationStore {
             used_bytes: base,
             peak_bytes: base,
             clock: 0,
+            obs: StoreObs::default(),
         }
+    }
+
+    /// Wires the store's metrics (`store.*` counters and gauges, the
+    /// `span.perturb.generate` histogram) to `registry`.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = StoreObs {
+            lookups: registry.counter(names::STORE_LOOKUPS),
+            hits: registry.counter(names::STORE_HITS),
+            misses: registry.counter(names::STORE_MISSES),
+            empty_lookups: registry.counter(names::STORE_EMPTY_LOOKUPS),
+            samples_reused: registry.counter(names::STORE_SAMPLES_REUSED),
+            evictions: registry.counter(names::STORE_EVICTIONS),
+            resident_bytes: registry.gauge(names::STORE_RESIDENT_BYTES),
+            peak_bytes: registry.gauge(names::STORE_PEAK_BYTES),
+            perturb_generate: registry.span_histogram(names::SPAN_PERTURB_GENERATE),
+        };
+        self.obs.resident_bytes.set(self.used_bytes as u64);
+        self.obs.peak_bytes.max(self.peak_bytes as u64);
     }
 
     /// Number of itemsets tracked.
@@ -186,20 +227,30 @@ impl PerturbationStore {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
                 let plan = &plan;
+                let gen_hist = self.obs.perturb_generate.clone();
                 scope.spawn(move || {
+                    let mut gen_time = std::time::Duration::ZERO;
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let id = start + offset;
                         if plan[id] == 0 {
                             continue;
                         }
                         let mut rng = StdRng::seed_from_u64(per_itemset_seed(seed, id));
-                        *slot = labeled_perturbations_batch(
+                        let (samples, generated) = labeled_perturbations_batch_timed(
                             ctx,
                             clf,
                             &itemsets[id],
                             plan[id],
                             &mut rng,
                         );
+                        *slot = samples;
+                        gen_time += generated;
+                    }
+                    // One sample per worker: the histogram's sum is the
+                    // CPU time spent generating, its count the worker
+                    // fan-out.
+                    if !gen_time.is_zero() {
+                        gen_hist.record(gen_time);
                     }
                 });
             }
@@ -238,6 +289,8 @@ impl PerturbationStore {
         e.bytes += bytes;
         self.used_bytes += bytes;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        self.obs.resident_bytes.set(self.used_bytes as u64);
+        self.obs.peak_bytes.max(self.peak_bytes as u64);
     }
 
     /// Evicts the least-recently-used non-empty entry other than `keep`.
@@ -256,6 +309,8 @@ impl PerturbationStore {
                 self.used_bytes -= e.bytes;
                 e.samples = Vec::new();
                 e.bytes = 0;
+                self.obs.evictions.inc();
+                self.obs.resident_bytes.set(self.used_bytes as u64);
                 true
             }
             None => false,
@@ -267,16 +322,60 @@ impl PerturbationStore {
     pub fn matching(&mut self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
         self.clock += 1;
         let ids = self.index.contained_in_with(row_codes, scratch);
-        ids.into_iter()
+        let mut reused = 0u64;
+        let mut misses = 0u64;
+        let out: Vec<u32> = ids
+            .into_iter()
             .filter(|&id| {
                 let e = &mut self.entries[id as usize];
                 let hit = !e.samples.is_empty();
                 if hit {
                     e.last_used = self.clock;
+                    reused += e.samples.len() as u64;
+                } else {
+                    misses += 1;
                 }
                 hit
             })
-            .collect()
+            .collect();
+        self.record_lookup(out.len() as u64, misses, reused);
+        out
+    }
+
+    /// [`PerturbationStore::matching`] without the LRU bookkeeping: only
+    /// itemsets with materialized samples are returned, nothing is marked
+    /// used, and the store is not mutated — the lookup the parallel
+    /// drivers' worker threads use against a shared `&store`. Hit/miss
+    /// counters still record (they are atomics).
+    pub fn matching_read(&self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        let ids = self.index.contained_in_with(row_codes, scratch);
+        let mut reused = 0u64;
+        let mut misses = 0u64;
+        let out: Vec<u32> = ids
+            .into_iter()
+            .filter(|&id| {
+                let e = &self.entries[id as usize];
+                let hit = !e.samples.is_empty();
+                if hit {
+                    reused += e.samples.len() as u64;
+                } else {
+                    misses += 1;
+                }
+                hit
+            })
+            .collect();
+        self.record_lookup(out.len() as u64, misses, reused);
+        out
+    }
+
+    fn record_lookup(&self, hits: u64, misses: u64, reused: u64) {
+        self.obs.lookups.inc();
+        self.obs.hits.add(hits);
+        self.obs.misses.add(misses);
+        self.obs.samples_reused.add(reused);
+        if hits == 0 {
+            self.obs.empty_lookups.inc();
+        }
     }
 
     /// The materialized samples of itemset `id`.
@@ -301,6 +400,7 @@ impl PerturbationStore {
             e.bytes = 0;
             out.append(&mut e.samples);
         }
+        self.obs.resident_bytes.set(self.used_bytes as u64);
         out
     }
 }
@@ -525,6 +625,63 @@ mod tests {
         assert_ne!(per_itemset_seed(7, 3), per_itemset_seed(8, 3));
         // Distinct from the per-tuple stream at the same (base, index).
         assert_ne!(per_itemset_seed(7, 3), crate::runner::per_tuple_seed(7, 3));
+    }
+
+    #[test]
+    fn attached_obs_records_lookups_and_bytes() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let reg = shahin_obs::MetricsRegistry::new();
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        store.attach_obs(&reg);
+        store.materialize_parallel(&ctx, &clf, 5, 21, 2);
+        let mut scratch = Vec::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        row[1] = 1;
+        // Mutable and read-only lookups both count: 3 hits each.
+        let a = store.matching(&row, &mut scratch);
+        let b = store.matching_read(&row, &mut scratch);
+        assert_eq!(a, b);
+        // An all-miss lookup.
+        store.matching(&vec![9999u32; ctx.n_attrs()], &mut scratch);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("store.lookups"), 3);
+        assert_eq!(snap.counter("store.hits"), 6);
+        assert_eq!(snap.counter("store.empty_lookups"), 1);
+        assert_eq!(snap.counter("store.samples_reused"), 2 * 3 * 5);
+        assert_eq!(
+            snap.gauge("store.resident_bytes"),
+            store.used_bytes() as u64
+        );
+        assert_eq!(snap.gauge("store.peak_bytes"), store.peak_bytes() as u64);
+        // Materialization recorded generation time under the span prefix.
+        assert!(snap.histograms["span.perturb.generate"].count >= 1);
+        // Forced eviction is counted.
+        store.budget = store.used_bytes();
+        let sample = store.samples(0)[0].clone();
+        store.insert(0, sample);
+        assert!(reg.snapshot().counter("store.evictions") >= 1);
+    }
+
+    #[test]
+    fn matching_read_leaves_lru_untouched() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let mut rng = StdRng::seed_from_u64(8);
+        store.materialize(&ctx, &clf, 3, &mut rng);
+        let clock_before = store.clock;
+        let lru_before: Vec<u64> = store.entries.iter().map(|e| e.last_used).collect();
+        let mut scratch = Vec::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        row[1] = 1;
+        let ids = store.matching_read(&row, &mut scratch);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(store.clock, clock_before);
+        let lru_after: Vec<u64> = store.entries.iter().map(|e| e.last_used).collect();
+        assert_eq!(lru_before, lru_after);
     }
 
     #[test]

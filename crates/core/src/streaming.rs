@@ -29,20 +29,59 @@ use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::config::StreamingConfig;
 use crate::greedy_cache::TaggedLruCache;
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::obs::names;
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 use crate::store::PerturbationStore;
+use shahin_obs::{Counter, Histogram, MetricsRegistry};
 
 /// The streaming-mode optimizer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ShahinStreaming {
     /// Configuration.
     pub config: StreamingConfig,
+    /// Metrics registry the drivers record into. Disabled (all handles
+    /// no-ops) unless set via [`ShahinStreaming::with_obs`].
+    obs: MetricsRegistry,
+}
+
+impl Default for ShahinStreaming {
+    fn default() -> Self {
+        ShahinStreaming::new(StreamingConfig::default())
+    }
+}
+
+/// Observability handles of one stream run (all no-ops on a disabled
+/// registry).
+struct StreamObs {
+    /// Registry kept around so rebuilt stores can attach their own handles.
+    registry: MetricsRegistry,
+    fim: Histogram,
+    fill: Histogram,
+    refresh_rounds: Counter,
+    carried_samples: Counter,
+    early_evictions: Counter,
+}
+
+impl StreamObs {
+    fn new(registry: &MetricsRegistry) -> StreamObs {
+        StreamObs {
+            registry: registry.clone(),
+            fim: registry.span_histogram(names::SPAN_FIM_MINE),
+            fill: registry.span_histogram(names::SPAN_MATERIALIZE_FILL),
+            refresh_rounds: registry.counter(names::STREAMING_REFRESH_ROUNDS),
+            carried_samples: registry.counter(names::STREAMING_CARRIED_SAMPLES),
+            early_evictions: registry.counter(names::STREAMING_EARLY_EVICTIONS),
+        }
+    }
 }
 
 /// Evolving stream state.
 struct StreamState {
     config: StreamingConfig,
+    obs: StreamObs,
+    /// Warm-up evictions already forwarded to the counter.
+    reported_evictions: u64,
     /// Warm-up cache (before the first refresh).
     early: TaggedLruCache,
     /// Itemset-keyed repository (after the first refresh).
@@ -63,11 +102,18 @@ struct StreamState {
 }
 
 impl StreamState {
-    fn new(config: StreamingConfig, n_attrs: usize, n_target: usize) -> StreamState {
+    fn new(
+        config: StreamingConfig,
+        n_attrs: usize,
+        n_target: usize,
+        registry: &MetricsRegistry,
+    ) -> StreamState {
         let early = TaggedLruCache::new(config.memory_budget_bytes);
         let tau = config.tau;
         StreamState {
             config,
+            obs: StreamObs::new(registry),
+            reported_evictions: 0,
             early,
             store: None,
             negative_border: Vec::new(),
@@ -106,6 +152,13 @@ impl StreamState {
                     self.early.insert(tuple_codes, s);
                 }
                 self.peak_bytes = self.peak_bytes.max(self.early.used_bytes());
+                let evictions = self.early.evictions();
+                if evictions > self.reported_evictions {
+                    self.obs
+                        .early_evictions
+                        .add(evictions - self.reported_evictions);
+                    self.reported_evictions = evictions;
+                }
             }
         }
     }
@@ -115,7 +168,8 @@ impl StreamState {
         if self.window.len() < self.config.refresh_every {
             return;
         }
-        let t0 = Instant::now();
+        self.obs.refresh_rounds.inc();
+        let fim_span = self.obs.fim.start();
         let table = window_table(&self.window, self.n_attrs);
         let mined = apriori(
             &table,
@@ -157,10 +211,11 @@ impl StreamState {
             Vec::new()
         };
         self.negative_border.truncate(4 * self.config.max_itemsets);
-        self.fim_time += t0.elapsed();
+        self.fim_time += fim_span.stop();
 
-        let t1 = Instant::now();
+        let fill_span = self.obs.fill.start();
         let mut new_store = PerturbationStore::new(tracked, self.config.memory_budget_bytes);
+        new_store.attach_obs(&self.obs.registry);
         // Carry over every sample that still serves a tracked itemset
         // ("If not, we purge that perturbation", §3.5).
         let mut old: Vec<LabeledSample> = self.early.drain_samples();
@@ -175,6 +230,7 @@ impl StreamState {
                 .min_by_key(|&&id| new_store.samples(id).len())
             {
                 new_store.insert(id, s);
+                self.obs.carried_samples.inc();
             }
         }
         // "...use the obtained savings to generate perturbations of f ∈ F".
@@ -190,7 +246,7 @@ impl StreamState {
         new_store.materialize(ctx, clf, tau, rng);
         self.peak_bytes = self.peak_bytes.max(new_store.peak_bytes());
         self.store = Some(new_store);
-        self.materialization_time += t1.elapsed();
+        self.materialization_time += fill_span.stop();
         self.window.clear();
     }
 }
@@ -240,9 +296,19 @@ impl<C: Classifier> Classifier for Recorder<'_, C> {
 }
 
 impl ShahinStreaming {
-    /// Creates a streaming optimizer.
+    /// Creates a streaming optimizer (with observability disabled).
     pub fn new(config: StreamingConfig) -> ShahinStreaming {
-        ShahinStreaming { config }
+        ShahinStreaming {
+            config,
+            obs: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Records spans, counters and gauges into `registry` during every
+    /// subsequent run (see [`crate::obs`] for the name schema).
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> ShahinStreaming {
+        self.obs = registry.clone();
+        self
     }
 
     /// Streaming LIME: tuples of `stream` are explained strictly in order,
@@ -258,7 +324,14 @@ impl ShahinStreaming {
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
-        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), lime.params.n_samples);
+        let mut st = StreamState::new(
+            self.config.clone(),
+            ctx.n_attrs(),
+            lime.params.n_samples,
+            &self.obs,
+        );
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
@@ -267,13 +340,14 @@ impl ShahinStreaming {
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let e = match &mut st.store {
                 Some(store) => {
                     let matched = store.matching(&codes, &mut st.scratch);
-                    retrieval += t.elapsed();
+                    retrieval += retrieve.stop();
                     let store = &*store;
                     let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                    let _fit = surrogate_hist.start();
                     lime.explain_with_reused(ctx, &recorder, &instance, pooled, &mut tuple_rng)
                 }
                 None => {
@@ -283,7 +357,8 @@ impl ShahinStreaming {
                         .into_iter()
                         .cloned()
                         .collect();
-                    retrieval += t.elapsed();
+                    retrieval += retrieve.stop();
+                    let _fit = surrogate_hist.start();
                     lime.explain_with_reused(ctx, &recorder, &instance, hits.iter(), &mut tuple_rng)
                 }
             };
@@ -323,9 +398,11 @@ impl ShahinStreaming {
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
-        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), 400);
-        let caches = SharedAnchorCaches::new();
+        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), 400, &self.obs);
+        let caches = SharedAnchorCaches::with_obs(&self.obs);
+        let anchor = anchor.clone().with_obs(&self.obs);
         let empty_store = PerturbationStore::new(vec![], 0);
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
@@ -333,7 +410,7 @@ impl ShahinStreaming {
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let target = clf.predict(&instance);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let (store_ref, matched): (&PerturbationStore, Vec<u32>) = match &mut st.store {
                 Some(store) => {
                     let m = store.matching(&codes, &mut st.scratch);
@@ -341,7 +418,7 @@ impl ShahinStreaming {
                 }
                 None => (&empty_store, Vec::new()),
             };
-            retrieval += t.elapsed();
+            retrieval += retrieve.stop();
             let mut sampler = CachingRuleSampler::new(
                 ctx,
                 clf,
@@ -386,7 +463,14 @@ impl ShahinStreaming {
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
         let base = estimate_base_value(ctx, clf, base_samples, &mut rng);
-        let mut st = StreamState::new(self.config.clone(), ctx.n_attrs(), shap.params.n_samples);
+        let mut st = StreamState::new(
+            self.config.clone(),
+            ctx.n_attrs(),
+            shap.params.n_samples,
+            &self.obs,
+        );
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
@@ -395,7 +479,7 @@ impl ShahinStreaming {
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
-            let t = Instant::now();
+            let retrieve = retrieve_hist.start();
             let e = match &mut st.store {
                 Some(store) => {
                     let matched = store.matching(&codes, &mut st.scratch);
@@ -406,7 +490,8 @@ impl ShahinStreaming {
                         shap.params.n_samples / 2,
                     );
                     let mut source = StoreCoalitionSource::new(store, matched);
-                    retrieval += t.elapsed();
+                    retrieval += retrieve.stop();
+                    let _fit = surrogate_hist.start();
                     shap.explain_with(
                         ctx,
                         &recorder,
@@ -433,7 +518,8 @@ impl ShahinStreaming {
                             proba: s.proba,
                         })
                         .collect();
-                    retrieval += t.elapsed();
+                    retrieval += retrieve.stop();
+                    let _fit = surrogate_hist.start();
                     shap.explain_with(
                         ctx,
                         &recorder,
@@ -568,6 +654,34 @@ mod tests {
         for (row, e) in res.explanations.iter().enumerate() {
             assert!(e.rule.contained_in(&table.row(row)));
         }
+    }
+
+    #[test]
+    fn obs_counts_refresh_rounds_and_carried_samples() {
+        let (ctx, clf, stream) = setup(4, 80);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 80,
+            ..Default::default()
+        });
+        let reg = MetricsRegistry::new();
+        let streaming = ShahinStreaming::new(small_config()).with_obs(&reg);
+        let res = streaming.explain_lime(&ctx, &clf, &stream, &lime, 11);
+        let snap = reg.snapshot();
+        // 80 tuples / refresh_every=25 → 3 refresh rounds.
+        assert_eq!(snap.counter("streaming.refresh_rounds"), 3);
+        assert_eq!(snap.histograms["span.fim.mine"].count, 3);
+        assert_eq!(snap.histograms["span.materialize.fill"].count, 3);
+        assert_eq!(
+            snap.histograms["span.retrieve.match"].count,
+            stream.n_rows() as u64
+        );
+        // Warm-up samples get carried into the first rebuilt store.
+        assert!(snap.counter("streaming.carried_samples") > 0);
+        // Spans and RunMetrics agree on the aggregated phase times.
+        assert_eq!(
+            snap.histograms["span.fim.mine"].sum_ns,
+            res.metrics.overhead.fim.as_nanos() as u64
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use rand::Rng;
 
 use shahin_fim::{Item, Itemset};
 use shahin_model::Classifier;
+use shahin_obs::{Counter, Histogram, MetricsRegistry};
 use shahin_tabular::Feature;
 
 use crate::context::ExplainContext;
@@ -68,11 +69,28 @@ impl Default for AnchorParams {
     }
 }
 
+/// Observability handles for the beam search. Defaults to detached
+/// no-ops; [`AnchorExplainer::with_obs`] wires them to a registry.
+#[derive(Clone, Debug, Default)]
+struct AnchorObs {
+    /// Wall time of one `explain_with_sampler` call (`span.anchor.search`).
+    search: Histogram,
+    /// Beam-search levels entered.
+    levels: Counter,
+    /// Candidate rules that survived coverage pruning.
+    candidates: Counter,
+    /// Searches that returned a precision-verified anchor.
+    verified: Counter,
+    /// Searches that fell back to a best-effort (unverified) rule.
+    fallbacks: Counter,
+}
+
 /// The Anchor explainer.
 #[derive(Clone, Debug, Default)]
 pub struct AnchorExplainer {
     /// Hyperparameters.
     pub params: AnchorParams,
+    obs: AnchorObs,
 }
 
 /// One candidate rule with its bandit state.
@@ -115,7 +133,24 @@ fn verify_precision(
 impl AnchorExplainer {
     /// Creates an explainer with the given parameters.
     pub fn new(params: AnchorParams) -> AnchorExplainer {
-        AnchorExplainer { params }
+        AnchorExplainer {
+            params,
+            obs: AnchorObs::default(),
+        }
+    }
+
+    /// Wires the explainer's search metrics (`span.anchor.search`,
+    /// `anchor.levels`, `anchor.candidates`, `anchor.verified`,
+    /// `anchor.fallbacks`) to `registry`.
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> AnchorExplainer {
+        self.obs = AnchorObs {
+            search: registry.span_histogram("anchor.search"),
+            levels: registry.counter("anchor.levels"),
+            candidates: registry.counter("anchor.candidates"),
+            verified: registry.counter("anchor.verified"),
+            fallbacks: registry.counter("anchor.fallbacks"),
+        };
+        self
     }
 
     /// Explains one prediction with fresh sampling (the sequential
@@ -143,6 +178,8 @@ impl AnchorExplainer {
         target: u8,
         sampler: &mut dyn RuleSampler,
     ) -> AnchorExplanation {
+        // RAII: records into span.anchor.search on every exit path.
+        let _search = self.obs.search.start();
         let p = &self.params;
         let items: Vec<Item> = inst_codes
             .iter()
@@ -154,6 +191,7 @@ impl AnchorExplainer {
         let mut best_fallback: Option<Candidate> = None;
 
         for level in 1..=p.max_rule_len {
+            self.obs.levels.inc();
             // --- candidate generation
             let mut rules: Vec<Itemset> = if level == 1 {
                 items.iter().map(|&it| Itemset::singleton(it)).collect()
@@ -190,6 +228,7 @@ impl AnchorExplainer {
             if candidates.is_empty() {
                 break;
             }
+            self.obs.candidates.add(candidates.len() as u64);
 
             // --- initial pulls
             for cand in &mut candidates {
@@ -243,6 +282,7 @@ impl AnchorExplainer {
                         .expect("finite coverage")
                 });
                 let chosen = valid[0];
+                self.obs.verified.inc();
                 return AnchorExplanation {
                     rule: chosen.rule.clone(),
                     precision: chosen.arm.mean(),
@@ -278,6 +318,7 @@ impl AnchorExplainer {
 
         // No rule cleared the threshold: return the best we saw (the
         // reference implementation likewise returns the best-effort anchor).
+        self.obs.fallbacks.inc();
         match best_fallback {
             Some(c) => AnchorExplanation {
                 rule: c.rule,
@@ -418,6 +459,30 @@ mod tests {
             clf.invocations() < worst_case / 3,
             "bandit not adaptive: {} invocations",
             clf.invocations()
+        );
+    }
+
+    #[test]
+    fn obs_records_search_span_and_counters() {
+        let reg = shahin_obs::MetricsRegistry::new();
+        let ctx = uniform_ctx(4, 3, 0);
+        let clf = KeyAttr { attr: 2, code: 1 };
+        let anchor = AnchorExplainer::default().with_obs(&reg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = vec![
+            Feature::Cat(0),
+            Feature::Cat(2),
+            Feature::Cat(1),
+            Feature::Cat(0),
+        ];
+        anchor.explain(&ctx, &clf, &inst, &mut rng);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["span.anchor.search"].count, 1);
+        assert!(snap.counter("anchor.levels") >= 1);
+        assert!(snap.counter("anchor.candidates") >= 1);
+        assert_eq!(
+            snap.counter("anchor.verified") + snap.counter("anchor.fallbacks"),
+            1
         );
     }
 

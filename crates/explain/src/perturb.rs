@@ -86,6 +86,22 @@ pub fn labeled_perturbations_batch(
     count: usize,
     rng: &mut impl Rng,
 ) -> Vec<LabeledSample> {
+    labeled_perturbations_batch_timed(ctx, clf, frozen, count, rng).0
+}
+
+/// [`labeled_perturbations_batch`], also reporting the time spent
+/// *generating* perturbations (sampling codes + undiscretizing), excluding
+/// the classifier dispatch. This is the bookkeeping-vs-model split the
+/// observability layer records as `span.perturb.generate`: the classifier
+/// portion already has its own latency histogram via `TracedClassifier`.
+pub fn labeled_perturbations_batch_timed(
+    ctx: &ExplainContext,
+    clf: &impl Classifier,
+    frozen: &Itemset,
+    count: usize,
+    rng: &mut impl Rng,
+) -> (Vec<LabeledSample>, std::time::Duration) {
+    let gen_start = std::time::Instant::now();
     let mut codes_list = Vec::with_capacity(count);
     let mut instances = Vec::with_capacity(count);
     for _ in 0..count {
@@ -93,15 +109,17 @@ pub fn labeled_perturbations_batch(
         instances.push(ctx.discretizer().undiscretize_instance(&codes, rng));
         codes_list.push(codes);
     }
+    let generate_time = gen_start.elapsed();
     let probas = clf.predict_proba_batch(&instances);
-    codes_list
+    let samples = codes_list
         .into_iter()
         .zip(probas)
         .map(|(codes, proba)| LabeledSample {
             codes: codes.into_boxed_slice(),
             proba,
         })
-        .collect()
+        .collect();
+    (samples, generate_time)
 }
 
 /// Estimates the base value `E[f]` (KernelSHAP's null prediction) by

@@ -1,12 +1,25 @@
-//! Classifier instrumentation: invocation counting and simulated cost.
+//! Classifier instrumentation: invocation counting, latency tracing and
+//! simulated cost.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use shahin_obs::{Counter, Histogram, MetricsRegistry};
 use shahin_tabular::Feature;
 
 use crate::classifier::Classifier;
+
+/// A consistent reading of a [`CountingClassifier`]: invocation count and
+/// time elapsed since the same epoch (construction or the last
+/// [`CountingClassifier::reset`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvocationSnapshot {
+    /// Invocations observed since the epoch.
+    pub invocations: u64,
+    /// Wall time since the epoch.
+    pub elapsed: Duration,
+}
 
 /// Wraps a classifier and counts every `predict_proba` invocation.
 ///
@@ -14,10 +27,23 @@ use crate::classifier::Classifier;
 /// 92% of Anchor's runtime on Census-Income, §1), so they are the primary
 /// metric every experiment reports. The counter is shared across clones,
 /// letting baselines thread the same classifier through worker threads.
+///
+/// # Ordering semantics
+///
+/// The count is a relaxed atomic on the hot path. [`Self::reset`] and
+/// [`Self::snapshot`] serialize against *each other* through the epoch
+/// lock, so a snapshot never mixes a pre-reset count with a post-reset
+/// epoch (or vice versa). They do **not** serialize against in-flight
+/// predictions: a worker mid-batch when `reset` fires lands its increment
+/// in the *new* epoch. Callers who need an exact figure must quiesce the
+/// workers first (every driver in this repo joins its threads before
+/// reading), and callers who only report rates get a consistent
+/// count/elapsed pair either way.
 #[derive(Clone)]
 pub struct CountingClassifier<C> {
     inner: C,
     count: Arc<AtomicU64>,
+    epoch: Arc<Mutex<Instant>>,
 }
 
 impl<C: Classifier> CountingClassifier<C> {
@@ -26,6 +52,7 @@ impl<C: Classifier> CountingClassifier<C> {
         CountingClassifier {
             inner,
             count: Arc::new(AtomicU64::new(0)),
+            epoch: Arc::new(Mutex::new(Instant::now())),
         }
     }
 
@@ -34,9 +61,28 @@ impl<C: Classifier> CountingClassifier<C> {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Resets the counter to zero.
+    /// Resets the counter to zero and starts a new timing epoch. See the
+    /// type-level docs for what happens to increments in flight.
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
+        let mut epoch = self.epoch.lock().expect("epoch lock poisoned");
+        // Release pairs with the Acquire in snapshot(): anything counted
+        // before the reset is either observed by an earlier snapshot or
+        // discarded here, never attributed to the new epoch.
+        self.count.store(0, Ordering::Release);
+        *epoch = Instant::now();
+    }
+
+    /// Reads count and elapsed-since-epoch as one consistent pair: the
+    /// epoch lock is held across both reads, so a concurrent [`reset`]
+    /// cannot slip between them.
+    ///
+    /// [`reset`]: Self::reset
+    pub fn snapshot(&self) -> InvocationSnapshot {
+        let epoch = self.epoch.lock().expect("epoch lock poisoned");
+        InvocationSnapshot {
+            invocations: self.count.load(Ordering::Acquire),
+            elapsed: epoch.elapsed(),
+        }
     }
 
     /// The wrapped classifier.
@@ -159,6 +205,67 @@ impl<C: Classifier> Classifier for LatencyCost<C> {
     }
 }
 
+/// Wraps a classifier and records every invocation's latency into a
+/// [`MetricsRegistry`]: per-row latency under `classifier.predict`,
+/// whole-batch latency under `classifier.predict_batch`, plus the
+/// counters `classifier.invocations` (rows) and `classifier.batch_calls`
+/// (batch dispatches).
+///
+/// When the registry is disabled the wrapper skips even the
+/// `Instant::now` calls, so a no-op registry measures genuine
+/// instrumentation overhead (the `bench_obs` comparison).
+#[derive(Clone)]
+pub struct TracedClassifier<C> {
+    inner: C,
+    latency: Histogram,
+    batch_latency: Histogram,
+    invocations: Counter,
+    batch_calls: Counter,
+}
+
+impl<C: Classifier> TracedClassifier<C> {
+    /// Wraps `inner`, registering its metrics in `registry`.
+    pub fn new(inner: C, registry: &MetricsRegistry) -> TracedClassifier<C> {
+        TracedClassifier {
+            inner,
+            latency: registry.histogram("classifier.predict"),
+            batch_latency: registry.histogram("classifier.predict_batch"),
+            invocations: registry.counter("classifier.invocations"),
+            batch_calls: registry.counter("classifier.batch_calls"),
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Classifier> Classifier for TracedClassifier<C> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        self.invocations.inc();
+        if !self.latency.is_enabled() {
+            return self.inner.predict_proba(instance);
+        }
+        let span = self.latency.start();
+        let p = self.inner.predict_proba(instance);
+        span.stop();
+        p
+    }
+
+    fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
+        self.invocations.add(instances.len() as u64);
+        self.batch_calls.inc();
+        if !self.batch_latency.is_enabled() {
+            return self.inner.predict_proba_batch(instances);
+        }
+        let span = self.batch_latency.start();
+        let out = self.inner.predict_proba_batch(instances);
+        span.stop();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +359,72 @@ mod tests {
             CountingClassifier::new(SimulatedCost::new(MajorityClass::fit(&[0]), Duration::ZERO));
         assert_eq!(c.predict(&[]), 0);
         assert_eq!(c.invocations(), 1);
+    }
+
+    #[test]
+    fn snapshot_reads_count_and_elapsed_together() {
+        let c = CountingClassifier::new(MajorityClass::fit(&[1]));
+        c.predict_proba(&[]);
+        c.predict_proba(&[]);
+        let snap = c.snapshot();
+        assert_eq!(snap.invocations, 2);
+        assert!(snap.elapsed > Duration::ZERO);
+        c.reset();
+        let snap = c.snapshot();
+        assert_eq!(snap.invocations, 0);
+    }
+
+    #[test]
+    fn reset_and_snapshot_stay_consistent_under_races() {
+        // Hammer reset/snapshot/predict from three threads: every snapshot
+        // must be internally consistent (count from the epoch its elapsed
+        // was measured against — concretely, no snapshot taken right after
+        // a reset may see a large stale count with a tiny elapsed).
+        let c = CountingClassifier::new(MajorityClass::fit(&[1]));
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                for _ in 0..2000 {
+                    c.predict_proba(&[]);
+                }
+            });
+            for _ in 0..200 {
+                c.reset();
+                let snap = c.snapshot();
+                assert!(snap.invocations <= 2000);
+            }
+            worker.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn traced_classifier_records_latency_and_counts() {
+        let reg = MetricsRegistry::new();
+        let c = TracedClassifier::new(MajorityClass::fit(&[1]), &reg);
+        c.predict_proba(&[]);
+        c.predict_proba_batch(&[vec![], vec![], vec![]]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("classifier.invocations"), 4);
+        assert_eq!(snap.counter("classifier.batch_calls"), 1);
+        let h = &snap.histograms["classifier.predict"];
+        assert_eq!(h.count, 1);
+        assert_eq!(snap.histograms["classifier.predict_batch"].count, 1);
+    }
+
+    #[test]
+    fn traced_classifier_noop_registry_still_predicts() {
+        let reg = MetricsRegistry::disabled();
+        let c = TracedClassifier::new(MajorityClass::fit(&[1]), &reg);
+        assert_eq!(c.predict_proba(&[]), 1.0);
+        assert_eq!(c.predict_proba_batch(&[vec![]]), vec![1.0]);
+        assert!(reg.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn traced_and_counting_compose() {
+        let reg = MetricsRegistry::new();
+        let c = TracedClassifier::new(CountingClassifier::new(MajorityClass::fit(&[1])), &reg);
+        c.predict_proba_batch(&[vec![], vec![]]);
+        assert_eq!(c.inner().invocations(), 2);
+        assert_eq!(reg.snapshot().counter("classifier.invocations"), 2);
     }
 }

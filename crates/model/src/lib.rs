@@ -20,6 +20,8 @@
 //!
 //! * [`CountingClassifier`] counts invocations (the paper's cost driver:
 //!   88–92% of explanation time is classifier calls),
+//! * [`TracedClassifier`] records per-call and per-batch latency
+//!   histograms into a `shahin_obs::MetricsRegistry`,
 //! * [`SimulatedCost`] adds a calibrated busy-wait per call so wall-clock
 //!   measurements reproduce the *shape* of the paper's Python timings.
 
@@ -34,7 +36,9 @@ pub mod tree;
 pub use classifier::{Classifier, MajorityClass};
 pub use forest::{ForestParams, RandomForest};
 pub use gbm::{GbmParams, GradientBoosting};
-pub use instrument::{CountingClassifier, LatencyCost, SimulatedCost};
+pub use instrument::{
+    CountingClassifier, InvocationSnapshot, LatencyCost, SimulatedCost, TracedClassifier,
+};
 pub use logistic::LogisticRegression;
 pub use metrics::{accuracy, confusion_matrix};
 pub use tree::{DecisionTree, TreeParams};

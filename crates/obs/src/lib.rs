@@ -1,0 +1,53 @@
+//! Observability for the Shahin reproduction: see where every classifier
+//! invocation and millisecond goes.
+//!
+//! The paper's whole value proposition is *accounting* — Figure 5 reports
+//! bookkeeping overhead as a percentage of runtime and every experiment is
+//! judged by classifier-invocation counts — so the repository carries a
+//! first-class, zero-external-dependency metrics layer:
+//!
+//! * [`MetricsRegistry`] — a lock-striped, thread-safe registry of named
+//!   [`Counter`]s, [`Gauge`]s and log2-bucketed latency [`Histogram`]s.
+//!   Registration takes a stripe lock once; every subsequent update is a
+//!   single relaxed atomic, so the hot paths never serialize on the
+//!   registry.
+//! * [`Span`] — a lightweight RAII timer ([`span!`]) recording wall time
+//!   into a histogram when dropped (or explicitly [`Span::stop`]ped).
+//!   Spans taken by parallel workers aggregate into the same histogram,
+//!   so per-phase time is the *sum over workers*, the "where did the CPU
+//!   go" number.
+//! * [`MetricsSnapshot`] — a point-in-time copy of every metric, exported
+//!   as a pretty console table ([`MetricsSnapshot::render_table`]) or
+//!   machine-readable JSON ([`MetricsSnapshot::to_json`], the
+//!   `--metrics-out` format of `shahin-cli` and the bench binaries).
+//!
+//! A registry can also be created [`MetricsRegistry::disabled`]: every
+//! handle it vends is a no-op (a `None` inside, checked by one predictable
+//! branch), which is how the `bench_obs` binary demonstrates that the
+//! instrumentation stays inside the paper's <3% overhead budget.
+//!
+//! # Naming convention
+//!
+//! Metric names are dot-separated `phase.subphase` paths. Span histograms
+//! are registered under a `span.` prefix (`span!(reg, "fim.mine")` records
+//! into the histogram `span.fim.mine`), so exports can tell phase timers
+//! from value histograms like `classifier.predict`.
+
+pub mod registry;
+pub mod snapshot;
+
+pub use registry::{
+    bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, MetricsRegistry, Span, N_BUCKETS,
+    N_STRIPES, SPAN_PREFIX,
+};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Starts an RAII span timer on a registry: `span!(reg, "fim.mine")`
+/// records elapsed wall time into the histogram `span.fim.mine` when the
+/// returned [`Span`] is dropped or [`Span::stop`]ped.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $registry.span($name)
+    };
+}

@@ -1,0 +1,550 @@
+//! The lock-striped metrics registry and its metric handles.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! of the registered cell: callers resolve a name once (one stripe lock)
+//! and update lock-free afterwards. Handles from a
+//! [`MetricsRegistry::disabled`] registry carry no cell and every update
+//! is a no-op behind a single predictable branch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Number of name-keyed stripes. Registration is rare (handles are cached
+/// by the instrumented structures), so this only needs to keep concurrent
+/// *registration* bursts from serializing.
+pub const N_STRIPES: usize = 16;
+
+/// Number of log2 histogram buckets. Bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)` nanoseconds; bucket 0 counts zeros; the last bucket is
+/// a catch-all for everything at or above `2^(N_BUCKETS-2)`.
+pub const N_BUCKETS: usize = 64;
+
+/// Prefix under which [`MetricsRegistry::span`] registers its histograms.
+pub const SPAN_PREFIX: &str = "span.";
+
+/// The bucket a value falls into: its bit length, clamped to the catch-all.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, in nanoseconds.
+#[inline]
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i >= N_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The shared cell behind a [`Histogram`] handle.
+pub(crate) struct HistogramCell {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum_ns: AtomicU64,
+    pub(crate) buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl HistogramCell {
+    fn new() -> HistogramCell {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A monotonically increasing counter. No-op when detached.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached handle: every update is a no-op, `get` returns 0.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// True when updates actually land somewhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Counter({})", self.get()),
+            None => write!(f, "Counter(noop)"),
+        }
+    }
+}
+
+/// A last-value / high-watermark gauge. No-op when detached.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A detached handle.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// True when updates actually land somewhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is below (high-watermark semantics).
+    #[inline]
+    pub fn max(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Gauge({})", self.get()),
+            None => write!(f, "Gauge(noop)"),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of nanosecond values. No-op when detached.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A detached handle.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// True when samples actually land somewhere. Hot paths use this to
+    /// skip even the `Instant::now` calls when observability is off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if let Some(cell) = &self.0 {
+            cell.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts an RAII span recording into this histogram when dropped.
+    /// Pre-resolving the histogram and calling `start()` per iteration
+    /// avoids re-hashing the name on hot loops.
+    #[inline]
+    pub fn start(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.sum_ns.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Histogram(n={}, sum_ns={})", self.count(), self.sum_ns()),
+            None => write!(f, "Histogram(noop)"),
+        }
+    }
+}
+
+/// An RAII wall-time span. Records its elapsed time into the backing
+/// histogram on drop; [`Span::stop`] records eagerly and returns the
+/// elapsed duration (which is measured even for a detached histogram, so
+/// callers can reuse the span as their local timer).
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Elapsed time so far, without stopping the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the span, records the sample, and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.armed = false;
+        self.hist.record(d);
+        d
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed());
+        }
+    }
+}
+
+/// What a name is registered as. Mixing kinds under one name is a
+/// programming error and panics at registration time.
+#[derive(Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    stripes: [Mutex<HashMap<String, Slot>>; N_STRIPES],
+}
+
+/// A lock-striped, thread-safe registry of named metrics. Cloning shares
+/// the underlying storage (`Arc` semantics), so one registry can be handed
+/// to every phase of a run and snapshotted at the end.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n: usize = self.inner.stripes.iter().map(|s| s.lock().len()).sum();
+        write!(
+            f,
+            "MetricsRegistry(enabled={}, metrics={n})",
+            self.inner.enabled
+        )
+    }
+}
+
+impl MetricsRegistry {
+    fn with_enabled(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled,
+                stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            }),
+        }
+    }
+
+    /// A live registry: handles record, snapshots see everything.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_enabled(true)
+    }
+
+    /// A no-op registry: every handle it vends is detached, snapshots are
+    /// empty. This is the "instrumentation compiled out" arm of the
+    /// `bench_obs` overhead comparison.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::with_enabled(false)
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    fn stripe(&self, name: &str) -> &Mutex<HashMap<String, Slot>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.inner.stripes[h.finish() as usize % N_STRIPES]
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Option<Slot> {
+        if !self.inner.enabled {
+            return None;
+        }
+        let mut stripe = self.stripe(name).lock();
+        let slot = stripe.entry(name.to_string()).or_insert_with(make);
+        Some(slot.clone())
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.slot(name, || Slot::Counter(Arc::new(AtomicU64::new(0)))) {
+            Some(Slot::Counter(cell)) => Counter(Some(cell)),
+            Some(other) => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+            None => Counter::noop(),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.slot(name, || Slot::Gauge(Arc::new(AtomicU64::new(0)))) {
+            Some(Slot::Gauge(cell)) => Gauge(Some(cell)),
+            Some(other) => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.slot(name, || Slot::Histogram(Arc::new(HistogramCell::new()))) {
+            Some(Slot::Histogram(cell)) => Histogram(Some(cell)),
+            Some(other) => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// The histogram backing span `name` (registered as `span.{name}`,
+    /// the `phase.subphase` convention). Resolve once outside hot loops,
+    /// then [`Histogram::start`] per iteration.
+    pub fn span_histogram(&self, name: &str) -> Histogram {
+        self.histogram(&format!("{SPAN_PREFIX}{name}"))
+    }
+
+    /// Starts an RAII span recording into `span.{name}` when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_histogram(name).start()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> crate::MetricsSnapshot {
+        let mut snap = crate::MetricsSnapshot::default();
+        for stripe in &self.inner.stripes {
+            let stripe = stripe.lock();
+            for (name, slot) in stripe.iter() {
+                match slot {
+                    Slot::Counter(c) => {
+                        snap.counters
+                            .insert(name.clone(), c.load(Ordering::Relaxed));
+                    }
+                    Slot::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.load(Ordering::Relaxed));
+                    }
+                    Slot::Histogram(h) => {
+                        let buckets: Vec<(usize, u64)> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                (n > 0).then_some((i, n))
+                            })
+                            .collect();
+                        snap.histograms.insert(
+                            name.clone(),
+                            crate::HistogramSnapshot {
+                                count: h.count.load(Ordering::Relaxed),
+                                sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                                buckets,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same cell.
+        assert_eq!(reg.counter("a.b").get(), 5);
+        assert!(c.is_enabled());
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z");
+        c.add(10);
+        g.set(3);
+        h.record_ns(100);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert!(!c.is_enabled() && !g.is_enabled() && !h.is_enabled());
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn gauge_set_and_watermark() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("bytes");
+        g.set(10);
+        g.max(5);
+        assert_eq!(g.get(), 10);
+        g.max(20);
+        assert_eq!(g.get(), 20);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper_ns(0), 0);
+        assert_eq!(bucket_upper_ns(10), 1023);
+        assert_eq!(bucket_upper_ns(N_BUCKETS - 1), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 7, 1000, 123_456_789, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_ns(i), "{v} above bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_ns(i - 1), "{v} below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for ns in [3u64, 100, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 100_103);
+        let snap = reg.snapshot();
+        let hs = snap.histograms.get("lat").expect("registered");
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn spans_record_on_drop_and_stop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("phase.sub");
+        }
+        let d = reg.span("phase.sub").stop();
+        assert!(d >= Duration::ZERO);
+        assert_eq!(reg.span_histogram("phase.sub").count(), 2);
+        // Spans live under the span. prefix.
+        assert_eq!(reg.histogram("span.phase.sub").count(), 2);
+    }
+
+    #[test]
+    fn span_stop_measures_even_when_detached() {
+        let h = Histogram::noop();
+        let s = h.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(s.stop() >= Duration::from_millis(2));
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dual");
+        reg.gauge("dual");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let reg = MetricsRegistry::new();
+        let reg2 = reg.clone();
+        reg.counter("shared").add(7);
+        assert_eq!(reg2.counter("shared").get(), 7);
+        assert_eq!(reg2.snapshot().counter("shared"), 7);
+    }
+}

@@ -1,0 +1,309 @@
+//! Point-in-time exports of a [`crate::MetricsRegistry`]: JSON for
+//! machines (`--metrics-out`), a console table for humans.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{bucket_upper_ns, SPAN_PREFIX};
+
+/// Frozen state of one histogram. `buckets` holds only the non-empty
+/// buckets as `(bucket_index, count)` pairs; the upper bound of bucket `i`
+/// is [`bucket_upper_ns`]`(i)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile `q` in [0, 1]: the upper bound of the bucket
+    /// containing the q-th sample. Log2 buckets make this exact to within
+    /// a factor of 2, which is plenty for latency tails.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_ns(i);
+            }
+        }
+        self.buckets.last().map_or(0, |&(i, _)| bucket_upper_ns(i))
+    }
+}
+
+/// A point-in-time copy of every metric in a registry. Maps are ordered
+/// so exports are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total wall seconds recorded under span `name` (summed over
+    /// workers; 0 when the span never fired).
+    pub fn span_secs(&self, name: &str) -> f64 {
+        self.histograms
+            .get(&format!("{SPAN_PREFIX}{name}"))
+            .map_or(0.0, |h| h.sum_ns as f64 / 1e9)
+    }
+
+    /// Serializes the snapshot as JSON. Hand-rolled — metric names are
+    /// dot-separated identifiers, never in need of escaping, and the repo
+    /// carries no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(&mut out, self.counters.iter().map(|(k, v)| (k, *v)));
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, self.gauges.iter().map(|(k, v)| (k, *v)));
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \"buckets\": [",
+                escape(name),
+                h.count,
+                h.sum_ns,
+                h.mean_ns()
+            )
+            .unwrap();
+            for (j, &(i, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let le = bucket_upper_ns(i);
+                if le == u64::MAX {
+                    write!(out, "{{\"le_ns\": null, \"count\": {n}}}").unwrap();
+                } else {
+                    write!(out, "{{\"le_ns\": {le}, \"count\": {n}}}").unwrap();
+                }
+            }
+            out.push_str("]}");
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as aligned console tables: spans (phase wall
+    /// time), counters, gauges, then value histograms.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+
+        let spans: Vec<(&String, &HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with(SPAN_PREFIX))
+            .collect();
+        if !spans.is_empty() {
+            out.push_str("spans (wall time summed over workers)\n");
+            out.push_str(&format!(
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}\n",
+                "phase", "count", "total", "mean", "~p99"
+            ));
+            for (name, h) in &spans {
+                out.push_str(&format!(
+                    "  {:<28} {:>8} {:>12} {:>12} {:>12}\n",
+                    &name[SPAN_PREFIX.len()..],
+                    h.count,
+                    fmt_ns(h.sum_ns),
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.quantile_ns(0.99)),
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+
+        let values: Vec<(&String, &HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .filter(|(k, _)| !k.starts_with(SPAN_PREFIX))
+            .collect();
+        if !values.is_empty() {
+            out.push_str("latency histograms\n");
+            out.push_str(&format!(
+                "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "count", "total", "mean", "~p50", "~p99"
+            ));
+            for (name, h) in &values {
+                out.push_str(&format!(
+                    "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                    name,
+                    h.count,
+                    fmt_ns(h.sum_ns),
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.quantile_ns(0.5)),
+                    fmt_ns(h.quantile_ns(0.99)),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, u64)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write!(out, "\n    \"{}\": {}", escape(k), v).unwrap();
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Metric names are plain identifiers, but escape defensively anyway.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Human-scaled duration: ns → µs → ms → s.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        n if n == u64::MAX => "inf".to_string(),
+        n if n < 1_000 => format!("{n}ns"),
+        n if n < 1_000_000 => format!("{:.1}us", n as f64 / 1e3),
+        n if n < 1_000_000_000 => format!("{:.1}ms", n as f64 / 1e6),
+        n => format!("{:.2}s", n as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.hits").add(7);
+        reg.counter("store.misses").add(3);
+        reg.gauge("store.resident_bytes").set(4096);
+        let h = reg.histogram("classifier.predict");
+        h.record_ns(900);
+        h.record_ns(1_500);
+        h.record_ns(1_500_000);
+        reg.span_histogram("fim.mine").record_ns(2_000_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_sections_and_parses_shapewise() {
+        let json = sample_snapshot().to_json();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"store.hits\": 7",
+            "\"store.misses\": 3",
+            "\"store.resident_bytes\": 4096",
+            "\"classifier.predict\"",
+            "\"span.fim.mine\"",
+            "\"count\": 3",
+            "\"le_ns\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets — cheap structural sanity without a parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let json = MetricsSnapshot::default().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("store.hits"), 7);
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("nope"), 0);
+        assert_eq!(snap.span_secs("nope"), 0.0);
+        assert!((snap.span_secs("fim.mine") - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let snap = sample_snapshot();
+        let h = &snap.histograms["classifier.predict"];
+        assert_eq!(h.count, 3);
+        assert!(h.quantile_ns(0.0) >= 900);
+        assert!(h.quantile_ns(1.0) >= 1_500_000);
+        assert!(h.quantile_ns(0.5) >= 1_500 && h.quantile_ns(0.5) < 1_500_000);
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let table = sample_snapshot().render_table();
+        assert!(table.contains("spans"));
+        assert!(table.contains("fim.mine"));
+        assert!(table.contains("counters"));
+        assert!(table.contains("store.hits"));
+        assert!(table.contains("gauges"));
+        assert!(table.contains("latency histograms"));
+        assert!(table.contains("classifier.predict"));
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("plain.name"), "plain.name");
+    }
+}

@@ -3,13 +3,20 @@
 # sequential driver (LIME / SHAP / Anchor, 2/4/8 worker threads) and
 # writes BENCH_parallel.json to the repo root.
 #
+# Also measures the observability overhead (disabled vs enabled metrics
+# registry on the same workload) and writes BENCH_obs.json, which must
+# report <3% overhead.
+#
 # Knobs (all optional):
 #   SHAHIN_PAR_BATCH       tuples per batch        (default 5000)
 #   SHAHIN_PAR_LATENCY_US  classifier latency, µs  (default 100)
 #   SHAHIN_PAR_THREADS     thread counts           (default 2,4,8)
 #   SHAHIN_SEED            base RNG seed           (default 42)
+#   SHAHIN_OBS_BATCH       overhead-bench tuples   (default 400)
+#   SHAHIN_OBS_REPS        overhead-bench reps     (default 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p shahin-bench --bin bench_parallel
-exec cargo run --release -q -p shahin-bench --bin bench_parallel
+cargo build --release -p shahin-bench --bin bench_parallel --bin bench_obs
+cargo run --release -q -p shahin-bench --bin bench_parallel
+cargo run --release -q -p shahin-bench --bin bench_obs

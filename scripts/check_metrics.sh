@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Smoke-checks the observability pipeline end to end: runs a small
+# explanation batch through shahin-cli with --metrics-out and validates
+# that the JSON dump carries every metric family the instrumentation
+# promises (store hits/misses, per-shard Anchor cache counters, per-phase
+# span durations, classifier latency histogram buckets).
+#
+# Knobs (all optional):
+#   SHAHIN_CHECK_ROWS   synthetic dataset rows   (default 2000)
+#   SHAHIN_CHECK_BATCH  tuples to explain        (default 60)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROWS="${SHAHIN_CHECK_ROWS:-2000}"
+BATCH="${SHAHIN_CHECK_BATCH:-60}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cargo build --release --bin shahin-cli
+CLI=target/release/shahin-cli
+
+"$CLI" synth --preset census --rows "$ROWS" --out "$WORKDIR/census.csv"
+
+# LIME exercises the perturbation store + fim/materialize/retrieve/surrogate
+# spans and the classifier histogram; Anchor exercises the sharded caches.
+"$CLI" explain --csv "$WORKDIR/census.csv" --label label --explainer lime \
+    --method batch --batch-size "$BATCH" --metrics-out "$WORKDIR/lime.json"
+"$CLI" explain --csv "$WORKDIR/census.csv" --label label --explainer anchor \
+    --method batch --batch-size "$BATCH" --metrics-out "$WORKDIR/anchor.json"
+
+python3 - "$WORKDIR/lime.json" "$WORKDIR/anchor.json" <<'PY'
+import json, sys
+
+def require(snap, path, kind, where):
+    section = snap[kind]
+    if path not in section:
+        raise SystemExit(f"FAIL: {where}: missing {kind[:-1]} '{path}'")
+    return section[path]
+
+lime = json.load(open(sys.argv[1]))
+anchor = json.load(open(sys.argv[2]))
+
+for snap, where in ((lime, "lime"), (anchor, "anchor")):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            raise SystemExit(f"FAIL: {where}: no '{section}' section")
+    # Perturbation store traffic and footprint.
+    for c in ("store.lookups", "store.hits", "store.misses", "store.samples_reused"):
+        require(snap, c, "counters", where)
+    if require(snap, "store.peak_bytes", "gauges", where) <= 0:
+        raise SystemExit(f"FAIL: {where}: store.peak_bytes is zero")
+    # Per-phase wall time: preparation spans must have fired exactly once,
+    # retrieval once per tuple.
+    for span in ("span.fim.mine", "span.materialize.fill", "span.retrieve.match"):
+        h = require(snap, span, "histograms", where)
+        if h["count"] == 0 or h["sum_ns"] == 0:
+            raise SystemExit(f"FAIL: {where}: span '{span}' recorded nothing")
+        if sum(b["count"] for b in h["buckets"]) != h["count"]:
+            raise SystemExit(f"FAIL: {where}: '{span}' bucket counts != count")
+    # Classifier invocation latency histogram with populated buckets.
+    clf = require(snap, "classifier.predict", "histograms", where)
+    if clf["count"] == 0 or not clf["buckets"]:
+        raise SystemExit(f"FAIL: {where}: classifier.predict histogram empty")
+
+# Explainer-specific families.
+require(lime, "span.surrogate.fit", "histograms", "lime")
+shard_hits = sum(
+    v for k, v in anchor["counters"].items()
+    if k.startswith("anchor.shard") and k.endswith(".hits")
+)
+shard_misses = sum(
+    v for k, v in anchor["counters"].items()
+    if k.startswith("anchor.shard") and k.endswith(".misses")
+)
+if "anchor.shard00.hits" not in anchor["counters"]:
+    raise SystemExit("FAIL: anchor: per-shard counters not registered")
+if shard_hits + shard_misses == 0:
+    raise SystemExit("FAIL: anchor: shard caches saw no traffic")
+require(anchor, "span.anchor.search", "histograms", "anchor")
+
+print(f"OK: lime dump has {len(lime['counters'])} counters, "
+      f"{len(lime['histograms'])} histograms")
+print(f"OK: anchor shard caches: {shard_hits} hits / {shard_misses} misses")
+print("metrics dump schema check passed")
+PY

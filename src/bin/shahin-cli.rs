@@ -18,11 +18,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin::{
-    run, summarize_attributions, summarize_rules, BatchConfig, ExplainerKind, Greedy, Method,
+    run_with_obs, summarize_attributions, summarize_rules, BatchConfig, ExplainerKind, Greedy,
+    Method, MetricsRegistry,
 };
 use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
 use shahin_fim::{apriori, shahin_sample_size, AprioriParams};
-use shahin_model::{CountingClassifier, ForestParams, RandomForest};
+use shahin_model::{CountingClassifier, ForestParams, RandomForest, TracedClassifier};
 use shahin_tabular::{read_csv, train_test_split, DatasetPreset, Discretizer};
 
 const HELP: &str = "\
@@ -34,8 +35,13 @@ USAGE:
   shahin-cli explain --csv <file> --label COL [--explainer lime|anchor|shap]
                      [--method sequential|batch|par[-K]|streaming|greedy|dist-K]
                      [--batch-size N] [--seed S] [--summary] [--top K]
+                     [--metrics] [--metrics-out <file.json>]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
+
+OBSERVABILITY:
+  --metrics           print the metrics table (spans, counters, histograms)
+  --metrics-out FILE  write the full metrics snapshot as JSON
 ";
 
 fn main() -> ExitCode {
@@ -58,7 +64,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
-        if key == "summary" || key == "help" {
+        if key == "summary" || key == "help" || key == "metrics" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -206,7 +212,15 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         &ForestParams::default(),
         &mut rng,
     );
-    let clf = CountingClassifier::new(forest);
+    // An enabled registry only when metrics were asked for: the traced
+    // wrapper skips its timestamping entirely against a disabled one.
+    let want_metrics = flags.contains_key("metrics") || flags.contains_key("metrics-out");
+    let obs = if want_metrics {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let clf = CountingClassifier::new(TracedClassifier::new(forest, &obs));
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
     let n = batch_size.min(split.test.n_rows());
     let batch = split.test.select(&(0..n).collect::<Vec<_>>());
@@ -241,13 +255,24 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         "explaining {n} predictions with {} / {method_name} ...",
         kind.name()
     );
-    let report = run(&method, &kind, &ctx, &clf, &batch, seed);
+    let report = run_with_obs(&method, &kind, &ctx, &clf, &batch, seed, &obs);
     println!(
         "done: {} classifier invocations ({:.1} per tuple), {:.2}s wall\n",
         report.metrics.invocations,
         report.metrics.invocations_per_tuple(),
         report.metrics.wall.as_secs_f64()
     );
+
+    if want_metrics {
+        let snapshot = obs.snapshot();
+        if flags.contains_key("metrics") {
+            print!("{}", snapshot.render_table());
+        }
+        if let Some(out_path) = flags.get("metrics-out") {
+            std::fs::write(out_path, snapshot.to_json()).map_err(|e| e.to_string())?;
+            println!("metrics written to {out_path}");
+        }
+    }
 
     if flags.contains_key("summary") {
         match &kind {

@@ -1,0 +1,127 @@
+//! Property-based tests for the observability primitives: concurrent
+//! counter increments and histogram recordings must never lose updates,
+//! and a histogram's bucket counts must always sum to its sample count.
+
+use proptest::prelude::*;
+
+use shahin_obs::{bucket_index, bucket_upper_ns, MetricsRegistry};
+
+/// Recorded samples all land in their bucket and nowhere else.
+fn bucket_totals(reg: &MetricsRegistry, name: &str) -> (u64, u64, u64) {
+    let snap = reg.snapshot();
+    let h = &snap.histograms[name];
+    let bucket_sum: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+    (h.count, bucket_sum, h.sum_ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_counter_increments_lose_no_updates(
+        n_threads in 1usize..8,
+        per_thread in 1u64..500,
+    ) {
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("test.hits");
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.get(), n_threads as u64 * per_thread);
+        prop_assert_eq!(reg.snapshot().counter("test.hits"), n_threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_lose_no_samples(
+        n_threads in 1usize..8,
+        samples in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        let reg = MetricsRegistry::new();
+        let hist = reg.histogram("test.latency");
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let hist = hist.clone();
+                let samples = &samples;
+                scope.spawn(move || {
+                    for &ns in samples {
+                        hist.record_ns(ns);
+                    }
+                });
+            }
+        });
+        let n = (n_threads * samples.len()) as u64;
+        let expected_sum: u64 = samples.iter().sum::<u64>() * n_threads as u64;
+        let (count, bucket_sum, sum_ns) = bucket_totals(&reg, "test.latency");
+        prop_assert_eq!(count, n, "samples lost");
+        prop_assert_eq!(bucket_sum, n, "bucket counts disagree with sample count");
+        prop_assert_eq!(sum_ns, expected_sum, "sum of recorded values drifted");
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_containing_it(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(v <= bucket_upper_ns(idx), "value above its bucket bound");
+        if idx > 0 {
+            prop_assert!(v > bucket_upper_ns(idx - 1), "value fits a lower bucket");
+        }
+    }
+
+    #[test]
+    fn gauge_max_is_a_watermark(values in proptest::collection::vec(0u64..u64::MAX, 1..50)) {
+        let reg = MetricsRegistry::new();
+        let gauge = reg.gauge("test.bytes");
+        for &v in &values {
+            gauge.max(v);
+        }
+        prop_assert_eq!(gauge.get(), *values.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn mixed_concurrent_metrics_stay_consistent(
+        per_thread in 1u64..200,
+    ) {
+        // Counters and histograms hammered together through one registry:
+        // the snapshot must be internally consistent for both.
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("mixed.count");
+        let hist = reg.histogram("mixed.latency");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.add(2);
+                        hist.record_ns(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counter("mixed.count"), 4 * 2 * per_thread);
+        let h = &snap.histograms["mixed.latency"];
+        prop_assert_eq!(h.count, 4 * per_thread);
+        prop_assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4 * per_thread);
+    }
+}
+
+#[test]
+fn json_dump_contains_every_metric_kind() {
+    let reg = MetricsRegistry::new();
+    reg.counter("a.hits").add(3);
+    reg.gauge("a.bytes").set(17);
+    reg.histogram("a.latency").record_ns(1000);
+    let json = reg.snapshot().to_json();
+    assert!(json.contains("\"a.hits\": 3"), "counter missing: {json}");
+    assert!(json.contains("\"a.bytes\": 17"), "gauge missing: {json}");
+    assert!(json.contains("\"a.latency\""), "histogram missing: {json}");
+    assert!(json.contains("\"count\": 1"), "histogram count missing");
+    assert!(json.contains("\"buckets\""), "buckets missing");
+}
