@@ -1,0 +1,244 @@
+//! Perf-regression gate: diffs a freshly produced benchmark artifact
+//! against a committed baseline and exits non-zero when the run regressed.
+//!
+//! ```text
+//! bench_compare parallel baselines/ci/BENCH_parallel.json BENCH_parallel.json
+//! bench_compare obs      baselines/ci/BENCH_obs.json      BENCH_obs.json
+//! ```
+//!
+//! Checks, per artifact kind:
+//!
+//! * `parallel` — workload knobs (dataset, batch, latency, seed) must match
+//!   the baseline exactly, sequential invocation counts must match exactly
+//!   for every explainer (the single-threaded drivers are deterministic),
+//!   parallel LIME/SHAP invocations must match exactly, parallel Anchor
+//!   invocations may drift within `SHAHIN_CMP_TOL_ANCHOR_PCT` (threads race
+//!   to publish precision evidence), wall times may grow at most
+//!   `SHAHIN_CMP_TOL_WALL_PCT` and speedups shrink at most
+//!   `SHAHIN_CMP_TOL_SPEEDUP_PCT`.
+//! * `obs` — the fresh run's `overhead_pct` and `traced_overhead_pct` must
+//!   stay under `budget_pct` plus `SHAHIN_CMP_TOL_OVERHEAD_PCT` extra
+//!   points of slack, and the no-op wall may grow at most the wall
+//!   tolerance over the baseline.
+//!
+//! Tolerances are percentages read from the environment so CI can tighten
+//! or relax them without a rebuild. Defaults are generous on wall time
+//! (shared CI runners are noisy) and exact on everything deterministic.
+
+use std::process::ExitCode;
+
+use shahin_bench::env_f64;
+use shahin_bench::json::Json;
+
+/// Collected failures; the gate reports all of them before exiting.
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn check(&mut self, ok: bool, msg: String) {
+        self.checks += 1;
+        if ok {
+            println!("  ok: {msg}");
+        } else {
+            println!("  REGRESSION: {msg}");
+            self.failures.push(msg);
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read benchmark artifact '{path}': {e}"))?;
+    Json::parse(&text).map_err(|e| format!("'{path}' is not valid JSON: {e}"))
+}
+
+fn num(doc: &Json, path: &[&str], file: &str) -> Result<f64, String> {
+    doc.at(path)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("'{file}' is missing numeric field {}", path.join(".")))
+}
+
+/// The workload knobs must match or every other comparison is meaningless.
+fn check_same_workload(
+    gate: &mut Gate,
+    base: &Json,
+    fresh: &Json,
+    keys: &[&str],
+) -> Result<(), String> {
+    for key in keys {
+        let (b, f) = (base.get(key), fresh.get(key));
+        if b != f {
+            return Err(format!(
+                "workload mismatch on '{key}' (baseline {b:?} vs fresh {f:?}); \
+                 regenerate the baseline with the gate's knobs"
+            ));
+        }
+        gate.check(true, format!("workload '{key}' matches ({f:?})"));
+    }
+    Ok(())
+}
+
+fn compare_parallel(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    let tol_speedup = env_f64("SHAHIN_CMP_TOL_SPEEDUP_PCT", 40.0);
+    let tol_anchor = env_f64("SHAHIN_CMP_TOL_ANCHOR_PCT", 15.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &["dataset", "batch", "latency_us", "seed"],
+    )?;
+
+    let explainers = base
+        .get("explainers")
+        .and_then(Json::as_obj)
+        .ok_or("baseline has no 'explainers' object")?;
+    for (name, base_e) in explainers {
+        let fresh_e = fresh
+            .at(&["explainers", name])
+            .ok_or_else(|| format!("fresh run is missing explainer '{name}'"))?;
+        let deterministic = name != "Anchor";
+
+        let b_inv = num(base_e, &["sequential", "invocations"], "baseline")?;
+        let f_inv = num(fresh_e, &["sequential", "invocations"], "fresh")?;
+        gate.check(
+            b_inv == f_inv,
+            format!("{name} sequential invocations {f_inv} (baseline {b_inv})"),
+        );
+        let b_wall = num(base_e, &["sequential", "wall_s"], "baseline")?;
+        let f_wall = num(fresh_e, &["sequential", "wall_s"], "fresh")?;
+        gate.check(
+            f_wall <= b_wall * (1.0 + tol_wall / 100.0),
+            format!(
+                "{name} sequential wall {f_wall:.3}s within {tol_wall}% of baseline {b_wall:.3}s"
+            ),
+        );
+
+        let threads = base_e
+            .get("threads")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("baseline '{name}' has no 'threads' object"))?;
+        for (t, base_t) in threads {
+            let fresh_t = fresh_e
+                .at(&["threads", t])
+                .ok_or_else(|| format!("fresh '{name}' is missing thread count {t}"))?;
+            let b_inv = num(base_t, &["invocations"], "baseline")?;
+            let f_inv = num(fresh_t, &["invocations"], "fresh")?;
+            if deterministic {
+                gate.check(
+                    b_inv == f_inv,
+                    format!("{name} x{t} invocations {f_inv} (baseline {b_inv}, exact)"),
+                );
+            } else {
+                let drift = 100.0 * (f_inv - b_inv).abs() / b_inv.max(1.0);
+                gate.check(
+                    drift <= tol_anchor,
+                    format!(
+                        "{name} x{t} invocations {f_inv} within {tol_anchor}% of \
+                         baseline {b_inv} (drift {drift:.1}%)"
+                    ),
+                );
+            }
+            let b_wall = num(base_t, &["wall_s"], "baseline")?;
+            let f_wall = num(fresh_t, &["wall_s"], "fresh")?;
+            gate.check(
+                f_wall <= b_wall * (1.0 + tol_wall / 100.0),
+                format!(
+                    "{name} x{t} wall {f_wall:.3}s within {tol_wall}% of baseline {b_wall:.3}s"
+                ),
+            );
+            let b_speedup = num(base_t, &["speedup"], "baseline")?;
+            let f_speedup = num(fresh_t, &["speedup"], "fresh")?;
+            gate.check(
+                f_speedup >= b_speedup * (1.0 - tol_speedup / 100.0),
+                format!(
+                    "{name} x{t} speedup {f_speedup:.2}x within {tol_speedup}% of \
+                     baseline {b_speedup:.2}x"
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn compare_obs(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    // Extra percentage points of slack on top of the bench's own budget:
+    // the budget is a target measured on quiet hardware, and a shared CI
+    // runner can add a point or two of scheduler noise to runs this short.
+    let tol_overhead = env_f64("SHAHIN_CMP_TOL_OVERHEAD_PCT", 0.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &["dataset", "explainer", "batch", "seed"],
+    )?;
+
+    let budget = num(fresh, &["budget_pct"], "fresh")? + tol_overhead;
+    let overhead = num(fresh, &["overhead_pct"], "fresh")?;
+    gate.check(
+        overhead < budget,
+        format!("instrumentation overhead {overhead:.2}% within the {budget}% budget"),
+    );
+    if let Some(traced) = fresh.get("traced_overhead_pct").and_then(Json::as_f64) {
+        gate.check(
+            traced < budget,
+            format!("tracing-enabled overhead {traced:.2}% within the {budget}% budget"),
+        );
+    }
+    let b_noop = num(base, &["noop_s"], "baseline")?;
+    let f_noop = num(fresh, &["noop_s"], "fresh")?;
+    gate.check(
+        f_noop <= b_noop * (1.0 + tol_wall / 100.0),
+        format!("no-op wall {f_noop:.3}s within {tol_wall}% of baseline {b_noop:.3}s"),
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let [kind, base_path, fresh_path] = args else {
+        return Err("usage: bench_compare <parallel|obs> <baseline.json> <fresh.json>".into());
+    };
+    let base = load(base_path)?;
+    let fresh = load(fresh_path)?;
+    println!("comparing {fresh_path} against baseline {base_path} ({kind})");
+    let mut gate = Gate::new();
+    match kind.as_str() {
+        "parallel" => compare_parallel(&mut gate, &base, &fresh)?,
+        "obs" => compare_obs(&mut gate, &base, &fresh)?,
+        other => return Err(format!("unknown artifact kind '{other}'")),
+    }
+    println!(
+        "{} checks, {} regression(s)",
+        gate.checks,
+        gate.failures.len()
+    );
+    Ok(gate.failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(failures) if failures.is_empty() => ExitCode::SUCCESS,
+        Ok(failures) => {
+            eprintln!("bench_compare: {} regression(s):", failures.len());
+            for f in failures {
+                eprintln!("  - {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //!   (default 10),
 //! * `SHAHIN_SEED` — base RNG seed (default 42).
 
+pub mod json;
+
 use std::time::Duration;
 
 use rand::rngs::StdRng;

@@ -148,6 +148,24 @@ impl SharedAnchorCaches {
     }
 }
 
+/// Per-tuple accounting of one [`CachingRuleSampler`]'s work: where the
+/// Anchor search's precision evidence came from while explaining a single
+/// tuple. Shard counters aggregate over the whole batch; these stay local
+/// so provenance can attribute reuse to the tuple.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Evidence samples obtained without classifier calls: cached prior
+    /// counts (earlier tuples' draws plus store bootstraps) retrieved for
+    /// this tuple's candidate rules.
+    pub reused: u64,
+    /// Fresh rule-conditioned draws, one classifier invocation each.
+    pub fresh: u64,
+    /// Shard-cache hits (memoized coverage or bootstrapped precision).
+    pub cache_hits: u64,
+    /// Shard-cache misses (bootstrap scans or coverage computations).
+    pub cache_misses: u64,
+}
+
 /// A [`RuleSampler`] backed by the shared caches and the materialized
 /// perturbation store. Constructed per explained tuple (it needs the
 /// tuple's matched store entries) but folding its evidence into the
@@ -160,6 +178,7 @@ pub struct CachingRuleSampler<'a, C> {
     matched: &'a [u32],
     caches: &'a SharedAnchorCaches,
     rng: StdRng,
+    stats: SamplerStats,
 }
 
 impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
@@ -180,7 +199,14 @@ impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
             matched,
             caches,
             rng: StdRng::seed_from_u64(seed),
+            stats: SamplerStats::default(),
         }
+    }
+
+    /// The per-tuple accounting accumulated so far (reused vs fresh
+    /// evidence, shard-cache hits/misses for this tuple only).
+    pub fn stats(&self) -> SamplerStats {
+        self.stats
     }
 
     /// Seeds the precision counts of `rule` from the materialized store:
@@ -208,6 +234,7 @@ impl<'a, C: Classifier> CachingRuleSampler<'a, C> {
 
 impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
     fn draw(&mut self, rule: &Itemset, k: usize) -> (u64, u64) {
+        self.stats.fresh += k as u64;
         let mut pos = 0u64;
         for _ in 0..k {
             let s = labeled_perturbation(self.ctx, self.clf, rule, &mut self.rng);
@@ -230,10 +257,14 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
             let shard = self.caches.lock_shard(idx);
             if shard.bootstrapped.contains(rule) {
                 self.caches.obs[idx].hits.inc();
-                return shard.precision.get(rule).copied().unwrap_or((0, 0));
+                self.stats.cache_hits += 1;
+                let prior = shard.precision.get(rule).copied().unwrap_or((0, 0));
+                self.stats.reused += prior.0;
+                return prior;
             }
         }
         self.caches.obs[idx].misses.inc();
+        self.stats.cache_misses += 1;
         // Scan the store outside the lock (it can be a long walk), then
         // publish under the lock; `bootstrapped.insert` arbitrates racing
         // threads so the seed counts are added at most once.
@@ -244,16 +275,20 @@ impl<C: Classifier> RuleSampler for CachingRuleSampler<'_, C> {
             e.0 += n;
             e.1 += pos;
         }
-        shard.precision.get(rule).copied().unwrap_or((0, 0))
+        let prior = shard.precision.get(rule).copied().unwrap_or((0, 0));
+        self.stats.reused += prior.0;
+        prior
     }
 
     fn coverage(&mut self, rule: &Itemset) -> f64 {
         let idx = SharedAnchorCaches::shard_index(rule);
         if let Some(&c) = self.caches.lock_shard(idx).coverage.get(rule) {
             self.caches.obs[idx].hits.inc();
+            self.stats.cache_hits += 1;
             return c;
         }
         self.caches.obs[idx].misses.inc();
+        self.stats.cache_misses += 1;
         // Computed outside the lock; coverage is a pure function of the
         // rule, so a racing double-computation inserts the same value.
         let c = rule_coverage(self.ctx.coverage_sample(), rule);
@@ -389,6 +424,36 @@ mod tests {
         assert_eq!(snap.counter(&names::anchor_shard(idx, "misses")), 2);
         // Single-threaded use never contends.
         assert_eq!(snap.counter(&names::anchor_shard(idx, "contention")), 0);
+    }
+
+    #[test]
+    fn sampler_stats_track_per_tuple_reuse_and_cache_traffic() {
+        let ctx = test_ctx(6);
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let store = materialized_store(&ctx, &clf);
+        clf.reset();
+        let matched = vec![0u32, 1];
+        let caches = SharedAnchorCaches::new();
+        let rule = Itemset::new(vec![Item::new(0, 1)]);
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 8);
+        s.prior(&rule); // miss → bootstrap seeds 50 reused samples
+        s.draw(&rule, 7); // 7 fresh classifier draws
+        s.coverage(&rule); // miss → compute
+        s.coverage(&rule); // hit
+        let stats = s.stats();
+        assert_eq!(stats.reused, 50);
+        assert_eq!(stats.fresh, 7);
+        assert_eq!(stats.fresh, clf.invocations());
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        // A second sampler (next tuple) starts from zero but sees the
+        // shared prior (50 bootstrap + 7 draws) as reused evidence.
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 9);
+        s2.prior(&rule);
+        let stats2 = s2.stats();
+        assert_eq!(stats2.reused, 57);
+        assert_eq!(stats2.fresh, 0);
+        assert_eq!(stats2.cache_hits, 1);
     }
 
     #[test]

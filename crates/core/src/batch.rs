@@ -23,7 +23,7 @@ use shahin_tabular::{Dataset, DiscreteTable};
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::config::{BatchConfig, Miner};
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
-use crate::obs::names;
+use crate::obs::{names, ProvenanceCtx};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 use crate::store::PerturbationStore;
@@ -146,27 +146,36 @@ impl ShahinBatch {
         let mut prep = self.prepare(ctx, clf, batch, lime.params.n_samples, seed, &mut rng);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "LIME");
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         for row in 0..batch.n_rows() {
+            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let codes = prep.table.row(row);
             let retrieve = retrieve_hist.start();
-            let matched = prep.store.matching(&codes, &mut scratch);
+            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
             retrieval += retrieve.stop();
             let store = &prep.store;
             let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
             let instance = batch.instance(row);
             let _fit = surrogate_hist.start();
-            explanations.push(lime.explain_with_reused(
-                ctx,
-                clf,
-                &instance,
-                pooled,
-                &mut tuple_rng,
-            ));
+            let (weights, reuse) =
+                lime.explain_with_reused_counted(ctx, clf, &instance, pooled, &mut tuple_rng);
+            explanations.push(weights);
+            prov.record(
+                row as u32,
+                0,
+                &matched,
+                lookup,
+                reuse.reused,
+                reuse.fresh,
+                reuse.invocations,
+                (0, 0),
+                t0,
+            );
         }
 
         BatchResult {
@@ -204,16 +213,19 @@ impl ShahinBatch {
         let caches = SharedAnchorCaches::with_obs(&self.obs);
         let anchor = anchor.clone().with_obs(&self.obs);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "Anchor");
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         for row in 0..batch.n_rows() {
+            let t0 = prov.start();
             let codes = prep.table.row(row);
             let retrieve = retrieve_hist.start();
-            let matched = prep.store.matching(&codes, &mut scratch);
+            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
             retrieval += retrieve.stop();
             let instance = batch.instance(row);
+            let inv0 = clf.invocations();
             let target = clf.predict(&instance);
             let mut sampler = CachingRuleSampler::new(
                 ctx,
@@ -224,6 +236,18 @@ impl ShahinBatch {
                 per_tuple_seed(seed, row),
             );
             explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
+            let stats = sampler.stats();
+            prov.record(
+                row as u32,
+                0,
+                &matched,
+                lookup,
+                stats.reused,
+                stats.fresh,
+                clf.invocations() - inv0,
+                (stats.cache_hits, stats.cache_misses),
+                t0,
+            );
         }
 
         BatchResult {
@@ -262,15 +286,17 @@ impl ShahinBatch {
         let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "SHAP");
 
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         for row in 0..batch.n_rows() {
+            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let codes = prep.table.row(row);
             let retrieve = retrieve_hist.start();
-            let matched = prep.store.matching(&codes, &mut scratch);
+            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
             // Line 7–8: pool the perturbations of contained frequent
             // itemsets as coalitions over their attributes (round-robin
             // for mask diversity, half of the budget).
@@ -279,11 +305,11 @@ impl ShahinBatch {
                 &matched,
                 shap.params.n_samples / 2,
             );
-            let mut source = StoreCoalitionSource::new(&prep.store, matched);
+            let mut source = StoreCoalitionSource::new(&prep.store, matched.clone());
             retrieval += retrieve.stop();
             let instance = batch.instance(row);
             let _fit = surrogate_hist.start();
-            explanations.push(shap.explain_with(
+            let (weights, reuse) = shap.explain_with_counted(
                 ctx,
                 clf,
                 &instance,
@@ -291,7 +317,19 @@ impl ShahinBatch {
                 pooled,
                 &mut source,
                 &mut tuple_rng,
-            ));
+            );
+            explanations.push(weights);
+            prov.record(
+                row as u32,
+                0,
+                &matched,
+                lookup,
+                reuse.reused,
+                reuse.fresh,
+                reuse.invocations,
+                (0, 0),
+                t0,
+            );
         }
 
         BatchResult {
@@ -484,6 +522,52 @@ mod tests {
         );
         assert_eq!(snap.counter("store.lookups"), n);
         assert!(snap.gauge("store.peak_bytes") > 0);
+    }
+
+    #[test]
+    fn provenance_records_one_per_tuple_and_reconcile_with_counters() {
+        use crate::obs::fold_provenance;
+        use shahin_obs::ProvenanceSink;
+        use std::sync::Arc;
+
+        let (ctx, clf, batch) = setup(0.02, 9);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 100,
+            ..Default::default()
+        });
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let shahin = ShahinBatch::default().with_obs(&reg);
+        let res = shahin.explain_lime(&ctx, &clf, &batch, &lime, 31);
+
+        let recs = sink.records();
+        assert_eq!(recs.len(), batch.n_rows(), "one record per tuple");
+        for (row, r) in recs.iter().enumerate() {
+            assert_eq!(r.tuple, row as u32);
+            assert_eq!(&*r.method, "Shahin-Batch");
+            assert_eq!(&*r.explainer, "LIME");
+            assert_eq!(r.epoch, 0);
+            assert_eq!(r.samples_reused + r.samples_fresh, r.tau);
+        }
+
+        fold_provenance(&reg);
+        let snap = reg.snapshot();
+        let totals = sink.totals();
+        assert_eq!(totals.records, batch.n_rows() as u64);
+        assert_eq!(snap.counter("store.lookups"), totals.records);
+        assert_eq!(snap.counter("store.hits"), totals.matched_itemsets);
+        assert_eq!(snap.counter("store.misses"), totals.store_misses);
+        assert_eq!(
+            snap.counter("store.samples_reused"),
+            totals.samples_available
+        );
+        assert_eq!(snap.gauge("provenance.records"), totals.records);
+        assert_eq!(snap.gauge("provenance.samples_fresh"), totals.samples_fresh);
+        // The per-tuple invocation counts sum to the classifier's measured
+        // delta for the explanation loop (prep invocations excluded).
+        assert!(totals.invocations <= res.metrics.invocations);
+        assert!(totals.samples_fresh > 0 && totals.samples_reused > 0);
     }
 
     #[test]

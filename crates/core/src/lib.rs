@@ -65,19 +65,22 @@ pub mod store;
 pub mod streaming;
 pub mod summarize;
 
-pub use anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
+pub use anchor_cache::{CachingRuleSampler, SamplerStats, SharedAnchorCaches};
 pub use baseline::{dist_k, Greedy};
 pub use batch::ShahinBatch;
 pub use config::{BatchConfig, Miner, StreamingConfig};
 pub use greedy_cache::TaggedLruCache;
 pub use metrics::{BatchResult, OverheadBreakdown, RunMetrics};
-pub use obs::{register_standard, MetricsRegistry, MetricsSnapshot};
+pub use obs::{
+    fold_provenance, register_standard, EventSink, MetricsRegistry, MetricsSnapshot,
+    ProvenanceRecord, ProvenanceSink,
+};
 pub use parallel::chunks;
 pub use runner::{
     per_tuple_seed, run, run_with_obs, ExplainerKind, Explanation, Method, RunReport,
 };
 pub use shap_source::StoreCoalitionSource;
-pub use store::{per_itemset_seed, PerturbationStore};
+pub use store::{per_itemset_seed, LookupStats, PerturbationStore};
 pub use streaming::ShahinStreaming;
 pub use summarize::{
     summarize_attributions, summarize_rules, top_k_overlap, AttributionSummary, RuleSummary,

@@ -6,11 +6,16 @@
 //! keys regardless of which (method, explainer) combination ran.
 
 pub use shahin_obs::{
-    bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, Span, N_BUCKETS, SPAN_PREFIX,
+    bucket_index, bucket_upper_ns, current_thread_id, Counter, EventRecord, EventSink, Gauge,
+    Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ProvenanceRecord,
+    ProvenanceSink, ProvenanceTotals, Span, N_BUCKETS, SPAN_PREFIX,
 };
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::anchor_cache::N_SHARDS;
+use crate::store::LookupStats;
 
 /// Canonical metric names recorded by the instrumented drivers.
 pub mod names {
@@ -71,6 +76,28 @@ pub mod names {
     /// Searches falling back to a best-effort rule.
     pub const ANCHOR_FALLBACKS: &str = "anchor.fallbacks";
 
+    /// Provenance records collected (gauge; set from the sink's totals so
+    /// repeated runs against one registry stay idempotent).
+    pub const PROVENANCE_RECORDS: &str = "provenance.records";
+    /// Σ matched itemsets over all provenance records (gauge).
+    pub const PROVENANCE_MATCHED_ITEMSETS: &str = "provenance.matched_itemsets";
+    /// Σ per-tuple store misses (gauge).
+    pub const PROVENANCE_STORE_MISSES: &str = "provenance.store_misses";
+    /// Σ materialized samples available to explained tuples (gauge).
+    pub const PROVENANCE_SAMPLES_AVAILABLE: &str = "provenance.samples_available";
+    /// Σ samples served from the store (gauge).
+    pub const PROVENANCE_SAMPLES_REUSED: &str = "provenance.samples_reused";
+    /// Σ samples generated fresh (gauge).
+    pub const PROVENANCE_SAMPLES_FRESH: &str = "provenance.samples_fresh";
+    /// Σ classifier invocations attributed to explained tuples (gauge).
+    pub const PROVENANCE_INVOCATIONS: &str = "provenance.invocations";
+    /// Σ Anchor shard-cache hits attributed to tuples (gauge).
+    pub const PROVENANCE_CACHE_HITS: &str = "provenance.cache_hits";
+    /// Σ Anchor shard-cache misses attributed to tuples (gauge).
+    pub const PROVENANCE_CACHE_MISSES: &str = "provenance.cache_misses";
+    /// Records discarded by the bounded sink (gauge).
+    pub const PROVENANCE_DROPPED: &str = "provenance.dropped";
+
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
     pub fn anchor_shard(idx: usize, kind: &str) -> String {
@@ -115,7 +142,20 @@ pub fn register_standard(reg: &MetricsRegistry) {
     ] {
         reg.counter(counter);
     }
-    for gauge in [names::STORE_RESIDENT_BYTES, names::STORE_PEAK_BYTES] {
+    for gauge in [
+        names::STORE_RESIDENT_BYTES,
+        names::STORE_PEAK_BYTES,
+        names::PROVENANCE_RECORDS,
+        names::PROVENANCE_MATCHED_ITEMSETS,
+        names::PROVENANCE_STORE_MISSES,
+        names::PROVENANCE_SAMPLES_AVAILABLE,
+        names::PROVENANCE_SAMPLES_REUSED,
+        names::PROVENANCE_SAMPLES_FRESH,
+        names::PROVENANCE_INVOCATIONS,
+        names::PROVENANCE_CACHE_HITS,
+        names::PROVENANCE_CACHE_MISSES,
+        names::PROVENANCE_DROPPED,
+    ] {
         reg.gauge(gauge);
     }
     for hist in [names::CLASSIFIER_PREDICT, names::CLASSIFIER_PREDICT_BATCH] {
@@ -128,9 +168,142 @@ pub fn register_standard(reg: &MetricsRegistry) {
     }
 }
 
+/// Folds the attached provenance sink's totals into the registry as
+/// `provenance.*` gauges (set, not added, so re-folding is idempotent).
+/// No-op when no sink is attached. Called by [`crate::run_with_obs`] after
+/// every instrumented run, so `--metrics-out` summarizes the lineage next
+/// to the aggregate counters it must reconcile with.
+pub fn fold_provenance(reg: &MetricsRegistry) {
+    let Some(sink) = reg.provenance_sink() else {
+        return;
+    };
+    let t = sink.totals();
+    reg.gauge(names::PROVENANCE_RECORDS).set(t.records);
+    reg.gauge(names::PROVENANCE_MATCHED_ITEMSETS)
+        .set(t.matched_itemsets);
+    reg.gauge(names::PROVENANCE_STORE_MISSES)
+        .set(t.store_misses);
+    reg.gauge(names::PROVENANCE_SAMPLES_AVAILABLE)
+        .set(t.samples_available);
+    reg.gauge(names::PROVENANCE_SAMPLES_REUSED)
+        .set(t.samples_reused);
+    reg.gauge(names::PROVENANCE_SAMPLES_FRESH)
+        .set(t.samples_fresh);
+    reg.gauge(names::PROVENANCE_INVOCATIONS).set(t.invocations);
+    reg.gauge(names::PROVENANCE_CACHE_HITS).set(t.cache_hits);
+    reg.gauge(names::PROVENANCE_CACHE_MISSES)
+        .set(t.cache_misses);
+    reg.gauge(names::PROVENANCE_DROPPED).set(sink.dropped());
+}
+
+/// The per-driver provenance context: the attached sink (if any) plus the
+/// interned method/explainer names, resolved once per run so the per-tuple
+/// hot path pays one `Option` check when collection is disabled.
+#[derive(Clone)]
+pub(crate) struct ProvenanceCtx {
+    sink: Option<Arc<ProvenanceSink>>,
+    method: Arc<str>,
+    explainer: Arc<str>,
+}
+
+impl ProvenanceCtx {
+    /// Resolves the registry's sink for one `(method, explainer)` run.
+    pub(crate) fn new(reg: &MetricsRegistry, method: &str, explainer: &str) -> ProvenanceCtx {
+        ProvenanceCtx {
+            sink: reg.provenance_sink(),
+            method: Arc::from(method),
+            explainer: Arc::from(explainer),
+        }
+    }
+
+    /// Starts the per-tuple wall clock — `None` (free) when disabled.
+    #[inline]
+    pub(crate) fn start(&self) -> Option<Instant> {
+        self.sink.is_some().then(Instant::now)
+    }
+
+    /// Emits one tuple's record. `reused`/`fresh`/`invocations` come from
+    /// the explainer's counted variant, `lookup` from the store's stats
+    /// lookup, `cache` is the Anchor sampler's per-tuple (hits, misses).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &self,
+        tuple: u32,
+        epoch: u64,
+        matched: &[u32],
+        lookup: LookupStats,
+        reused: u64,
+        fresh: u64,
+        invocations: u64,
+        cache: (u64, u64),
+        t0: Option<Instant>,
+    ) {
+        let Some(sink) = &self.sink else {
+            return;
+        };
+        sink.push(ProvenanceRecord {
+            tuple,
+            method: Arc::clone(&self.method),
+            explainer: Arc::clone(&self.explainer),
+            epoch,
+            thread: current_thread_id(),
+            matched_itemsets: matched.to_vec(),
+            store_misses: lookup.misses,
+            samples_available: lookup.samples_available,
+            samples_reused: reused,
+            samples_fresh: fresh,
+            tau: reused + fresh,
+            invocations,
+            cache_hits: cache.0,
+            cache_misses: cache.1,
+            wall_ns: t0.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn provenance_ctx_is_free_without_a_sink_and_records_with_one() {
+        let reg = MetricsRegistry::new();
+        let ctx = ProvenanceCtx::new(&reg, "Shahin-Batch", "LIME");
+        assert!(ctx.start().is_none());
+        ctx.record(0, 0, &[], LookupStats::default(), 1, 2, 3, (0, 0), None);
+
+        let sink = Arc::new(ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let ctx = ProvenanceCtx::new(&reg, "Shahin-Batch", "LIME");
+        let t0 = ctx.start();
+        assert!(t0.is_some());
+        let lookup = LookupStats {
+            hits: 2,
+            misses: 1,
+            samples_available: 40,
+        };
+        ctx.record(7, 0, &[3, 9], lookup, 40, 59, 60, (0, 0), t0);
+        let recs = sink.records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.tuple, 7);
+        assert_eq!(&*r.method, "Shahin-Batch");
+        assert_eq!(&*r.explainer, "LIME");
+        assert_eq!(r.matched_itemsets, vec![3, 9]);
+        assert_eq!(r.samples_reused + r.samples_fresh, r.tau);
+        assert_eq!(r.store_misses, 1);
+
+        fold_provenance(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge(names::PROVENANCE_RECORDS), 1);
+        assert_eq!(snap.gauge(names::PROVENANCE_SAMPLES_REUSED), 40);
+        assert_eq!(snap.gauge(names::PROVENANCE_INVOCATIONS), 60);
+        // Re-folding is idempotent.
+        fold_provenance(&reg);
+        assert_eq!(reg.snapshot().gauge(names::PROVENANCE_RECORDS), 1);
+    }
 
     #[test]
     fn standard_schema_is_complete_and_idempotent() {
@@ -152,6 +325,8 @@ mod tests {
             assert!(snap.histograms.contains_key(key), "missing span {key}");
         }
         assert!(snap.gauges.contains_key(names::STORE_RESIDENT_BYTES));
+        assert!(snap.gauges.contains_key(names::PROVENANCE_RECORDS));
+        assert!(snap.gauges.contains_key(names::PROVENANCE_DROPPED));
         assert!(snap.histograms.contains_key(names::CLASSIFIER_PREDICT));
     }
 

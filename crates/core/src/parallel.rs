@@ -41,7 +41,7 @@ use shahin_tabular::Dataset;
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::batch::ShahinBatch;
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
-use crate::obs::names;
+use crate::obs::{names, ProvenanceCtx};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 
@@ -88,6 +88,7 @@ impl ShahinBatch {
         // shared atomics without touching the registry's stripe locks.
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "LIME");
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -98,26 +99,40 @@ impl ShahinBatch {
                 let table = &prep.table;
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
+                let prov = prov.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
+                        let t0 = prov.start();
                         let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
                         // Read-only matching: no LRU bookkeeping races.
                         let retrieve = retrieve_hist.start();
-                        let matched = store.matching_read(&codes, &mut scratch);
+                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
                         drop(retrieve);
                         let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
                         let instance = batch.instance(row);
                         let _fit = surrogate_hist.start();
-                        *slot = Some(lime.explain_with_reused(
+                        let (weights, reuse) = lime.explain_with_reused_counted(
                             ctx,
                             clf,
                             &instance,
                             pooled,
                             &mut tuple_rng,
-                        ));
+                        );
+                        *slot = Some(weights);
+                        prov.record(
+                            row as u32,
+                            0,
+                            &matched,
+                            lookup,
+                            reuse.reused,
+                            reuse.fresh,
+                            reuse.invocations,
+                            (0, 0),
+                            t0,
+                        );
                     }
                 });
             }
@@ -168,6 +183,7 @@ impl ShahinBatch {
         let anchor = anchor.clone().with_obs(&self.obs);
         let anchor = &anchor;
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "Anchor");
 
         let mut explanations: Vec<Option<AnchorExplanation>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -178,13 +194,15 @@ impl ShahinBatch {
                 let table = &prep.table;
                 let caches = &caches;
                 let retrieve_hist = retrieve_hist.clone();
+                let prov = prov.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
+                        let t0 = prov.start();
                         let codes = table.row(row);
                         let retrieve = retrieve_hist.start();
-                        let matched = store.matching_read(&codes, &mut scratch);
+                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
                         drop(retrieve);
                         let instance = batch.instance(row);
                         let target = clf.predict(&instance);
@@ -197,6 +215,21 @@ impl ShahinBatch {
                             per_tuple_seed(seed, row),
                         );
                         *slot = Some(anchor.explain_with_sampler(&codes, target, &mut sampler));
+                        // The shared CountingClassifier is racy per tuple
+                        // here, so invocations are attributed from the
+                        // sampler's fresh draws plus the target probe.
+                        let stats = sampler.stats();
+                        prov.record(
+                            row as u32,
+                            0,
+                            &matched,
+                            lookup,
+                            stats.reused,
+                            stats.fresh,
+                            stats.fresh + 1,
+                            (stats.cache_hits, stats.cache_misses),
+                            t0,
+                        );
                     }
                 });
             }
@@ -243,6 +276,7 @@ impl ShahinBatch {
         let store = &prep.store;
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "SHAP");
 
         let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
         std::thread::scope(|scope| {
@@ -253,24 +287,26 @@ impl ShahinBatch {
                 let table = &prep.table;
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
+                let prov = prov.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
+                        let t0 = prov.start();
                         let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
                         let codes = table.row(row);
                         let retrieve = retrieve_hist.start();
-                        let matched = store.matching_read(&codes, &mut scratch);
+                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
                         let pooled = crate::shap_source::pool_coalitions(
                             store,
                             &matched,
                             shap.params.n_samples / 2,
                         );
-                        let mut source = StoreCoalitionSource::new(store, matched);
+                        let mut source = StoreCoalitionSource::new(store, matched.clone());
                         drop(retrieve);
                         let instance = batch.instance(row);
                         let _fit = surrogate_hist.start();
-                        *slot = Some(shap.explain_with(
+                        let (weights, reuse) = shap.explain_with_counted(
                             ctx,
                             clf,
                             &instance,
@@ -278,7 +314,19 @@ impl ShahinBatch {
                             pooled,
                             &mut source,
                             &mut tuple_rng,
-                        ));
+                        );
+                        *slot = Some(weights);
+                        prov.record(
+                            row as u32,
+                            0,
+                            &matched,
+                            lookup,
+                            reuse.reused,
+                            reuse.fresh,
+                            reuse.invocations,
+                            (0, 0),
+                            t0,
+                        );
                     }
                 });
             }
@@ -420,6 +468,52 @@ mod tests {
         assert_eq!(snap.histograms["span.retrieve.match"].count, n);
         assert_eq!(snap.histograms["span.surrogate.fit"].count, n);
         assert_eq!(snap.counter("store.lookups"), n);
+    }
+
+    #[test]
+    fn parallel_provenance_is_thread_count_invariant() {
+        use shahin_obs::ProvenanceSink;
+        use std::sync::Arc;
+
+        let (ctx, clf, batch) = setup();
+        let lime = LimeExplainer::new(LimeParams {
+            n_samples: 60,
+            ..Default::default()
+        });
+        type LineageKey = (u32, Vec<u32>, u64, u64, u64, u64);
+        let mut baseline: Option<Vec<LineageKey>> = None;
+        for n in [1usize, 2, 4] {
+            let reg = crate::obs::MetricsRegistry::new();
+            let sink = Arc::new(ProvenanceSink::new());
+            reg.attach_provenance_sink(Arc::clone(&sink));
+            let shahin = with_threads(n).with_obs(&reg);
+            shahin.explain_lime_parallel(&ctx, &clf, &batch, &lime, 11);
+            let recs = sink.records();
+            assert_eq!(recs.len(), batch.n_rows(), "{n} threads");
+            if n > 1 {
+                let tids: std::collections::HashSet<u64> = recs.iter().map(|r| r.thread).collect();
+                assert!(tids.len() > 1, "expected records from several workers");
+            }
+            // Everything but thread id and wall time is schedule-invariant.
+            let key: Vec<_> = recs
+                .iter()
+                .map(|r| {
+                    assert_eq!(&*r.method, &format!("Shahin-Batch-Par{n}"));
+                    (
+                        r.tuple,
+                        r.matched_itemsets.clone(),
+                        r.samples_reused,
+                        r.samples_fresh,
+                        r.tau,
+                        r.invocations,
+                    )
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(b, &key, "{n} threads"),
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::baseline::{
 use crate::batch::ShahinBatch;
 use crate::config::{BatchConfig, StreamingConfig};
 use crate::metrics::{BatchResult, RunMetrics};
-use crate::obs::{register_standard, MetricsRegistry};
+use crate::obs::{fold_provenance, register_standard, MetricsRegistry};
 use crate::streaming::ShahinStreaming;
 
 /// Classifier invocations spent estimating KernelSHAP's base value, once
@@ -184,7 +184,7 @@ pub fn run_with_obs<C: Classifier>(
     obs: &MetricsRegistry,
 ) -> RunReport {
     register_standard(obs);
-    match (method, kind) {
+    let report = match (method, kind) {
         (Method::Sequential, ExplainerKind::Lime(e)) => {
             wrap_weights(sequential_lime(ctx, clf, batch, e, seed))
         }
@@ -262,7 +262,11 @@ pub fn run_with_obs<C: Classifier>(
                 .with_obs(obs)
                 .explain_shap(ctx, clf, batch, e, SHAP_BASE_SAMPLES, seed),
         ),
-    }
+    };
+    // Summarize any collected lineage as provenance.* gauges, so a metrics
+    // snapshot taken after the run reconciles against the JSONL export.
+    fold_provenance(obs);
+    report
 }
 
 /// Explanation fidelity between two runs of attribution explainers:

@@ -34,6 +34,18 @@ pub fn per_itemset_seed(base: u64, id: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Accounting of one store lookup, as returned by the `_stats` lookup
+/// variants and folded into the per-tuple provenance record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Matched itemsets that had materialized samples.
+    pub hits: u64,
+    /// Matched itemsets whose entries were empty (index hit, store miss).
+    pub misses: u64,
+    /// Materialized samples available across the hit entries.
+    pub samples_available: u64,
+}
+
 /// One itemset's materialized samples.
 #[derive(Clone, Debug, Default)]
 struct StoreEntry {
@@ -320,26 +332,38 @@ impl PerturbationStore {
     /// Ids of itemsets contained in the tuple (by discretized codes) that
     /// currently have materialized samples, marking them as recently used.
     pub fn matching(&mut self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        self.matching_stats(row_codes, scratch).0
+    }
+
+    /// [`PerturbationStore::matching`] that also reports the lookup's
+    /// accounting ([`LookupStats`]) so drivers can attribute hits, misses
+    /// and available samples to the tuple being explained.
+    pub fn matching_stats(
+        &mut self,
+        row_codes: &[u32],
+        scratch: &mut Vec<u8>,
+    ) -> (Vec<u32>, LookupStats) {
         self.clock += 1;
         let ids = self.index.contained_in_with(row_codes, scratch);
-        let mut reused = 0u64;
-        let mut misses = 0u64;
+        let mut stats = LookupStats::default();
+        let clock = self.clock;
         let out: Vec<u32> = ids
             .into_iter()
             .filter(|&id| {
                 let e = &mut self.entries[id as usize];
                 let hit = !e.samples.is_empty();
                 if hit {
-                    e.last_used = self.clock;
-                    reused += e.samples.len() as u64;
+                    e.last_used = clock;
+                    stats.hits += 1;
+                    stats.samples_available += e.samples.len() as u64;
                 } else {
-                    misses += 1;
+                    stats.misses += 1;
                 }
                 hit
             })
             .collect();
-        self.record_lookup(out.len() as u64, misses, reused);
-        out
+        self.record_lookup(stats.hits, stats.misses, stats.samples_available);
+        (out, stats)
     }
 
     /// [`PerturbationStore::matching`] without the LRU bookkeeping: only
@@ -348,24 +372,34 @@ impl PerturbationStore {
     /// drivers' worker threads use against a shared `&store`. Hit/miss
     /// counters still record (they are atomics).
     pub fn matching_read(&self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+        self.matching_read_stats(row_codes, scratch).0
+    }
+
+    /// [`PerturbationStore::matching_read`] that also reports the lookup's
+    /// accounting ([`LookupStats`]).
+    pub fn matching_read_stats(
+        &self,
+        row_codes: &[u32],
+        scratch: &mut Vec<u8>,
+    ) -> (Vec<u32>, LookupStats) {
         let ids = self.index.contained_in_with(row_codes, scratch);
-        let mut reused = 0u64;
-        let mut misses = 0u64;
+        let mut stats = LookupStats::default();
         let out: Vec<u32> = ids
             .into_iter()
             .filter(|&id| {
                 let e = &self.entries[id as usize];
                 let hit = !e.samples.is_empty();
                 if hit {
-                    reused += e.samples.len() as u64;
+                    stats.hits += 1;
+                    stats.samples_available += e.samples.len() as u64;
                 } else {
-                    misses += 1;
+                    stats.misses += 1;
                 }
                 hit
             })
             .collect();
-        self.record_lookup(out.len() as u64, misses, reused);
-        out
+        self.record_lookup(stats.hits, stats.misses, stats.samples_available);
+        (out, stats)
     }
 
     fn record_lookup(&self, hits: u64, misses: u64, reused: u64) {
@@ -662,6 +696,31 @@ mod tests {
         let sample = store.samples(0)[0].clone();
         store.insert(0, sample);
         assert!(reg.snapshot().counter("store.evictions") >= 1);
+    }
+
+    #[test]
+    fn stats_variants_report_hits_misses_and_availability() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        let mut rng = StdRng::seed_from_u64(9);
+        store.materialize(&ctx, &clf, 5, &mut rng);
+        // Empty out entry 1 so the lookup sees a store miss.
+        store.entries[1].samples.clear();
+        let mut scratch = Vec::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        row[1] = 1;
+        let (ids, stats) = store.matching_stats(&row, &mut scratch);
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.samples_available, 10);
+        let (ids_r, stats_r) = store.matching_read_stats(&row, &mut scratch);
+        assert_eq!(ids_r, ids);
+        assert_eq!(stats_r, stats);
+        // Delegating variants agree.
+        assert_eq!(store.matching(&row, &mut scratch), ids);
     }
 
     #[test]

@@ -29,11 +29,11 @@ use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::config::StreamingConfig;
 use crate::greedy_cache::TaggedLruCache;
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
-use crate::obs::names;
+use crate::obs::{names, ProvenanceCtx};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
-use crate::store::PerturbationStore;
-use shahin_obs::{Counter, Histogram, MetricsRegistry};
+use crate::store::{LookupStats, PerturbationStore};
+use shahin_obs::{Counter, EventSink, Histogram, MetricsRegistry};
 
 /// The streaming-mode optimizer.
 #[derive(Clone, Debug)]
@@ -61,6 +61,8 @@ struct StreamObs {
     refresh_rounds: Counter,
     carried_samples: Counter,
     early_evictions: Counter,
+    /// Event sink (if attached) for refresh-boundary instant events.
+    events: Option<std::sync::Arc<EventSink>>,
 }
 
 impl StreamObs {
@@ -72,6 +74,7 @@ impl StreamObs {
             refresh_rounds: registry.counter(names::STREAMING_REFRESH_ROUNDS),
             carried_samples: registry.counter(names::STREAMING_CARRIED_SAMPLES),
             early_evictions: registry.counter(names::STREAMING_EARLY_EVICTIONS),
+            events: registry.event_sink(),
         }
     }
 }
@@ -95,6 +98,8 @@ struct StreamState {
     n_target: usize,
     /// τ chosen at the last refresh.
     effective_tau: usize,
+    /// Completed refresh rounds — the provenance epoch of the next tuple.
+    epoch: u64,
     fim_time: Duration,
     materialization_time: Duration,
     peak_bytes: usize,
@@ -121,6 +126,7 @@ impl StreamState {
             n_attrs,
             n_target,
             effective_tau: tau,
+            epoch: 0,
             fim_time: Duration::ZERO,
             materialization_time: Duration::ZERO,
             peak_bytes: 0,
@@ -245,9 +251,21 @@ impl StreamState {
         self.effective_tau = tau;
         new_store.materialize(ctx, clf, tau, rng);
         self.peak_bytes = self.peak_bytes.max(new_store.peak_bytes());
+        let tracked_itemsets = new_store.len();
         self.store = Some(new_store);
         self.materialization_time += fill_span.stop();
         self.window.clear();
+        self.epoch += 1;
+        if let Some(sink) = &self.obs.events {
+            sink.instant(
+                "streaming.refresh",
+                &[
+                    ("epoch", self.epoch.to_string()),
+                    ("tracked_itemsets", tracked_itemsets.to_string()),
+                    ("tau", tau.to_string()),
+                ],
+            );
+        }
     }
 }
 
@@ -332,23 +350,32 @@ impl ShahinStreaming {
         );
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "LIME");
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
+            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
             let retrieve = retrieve_hist.start();
-            let e = match &mut st.store {
+            let (e, matched, lookup, reuse) = match &mut st.store {
                 Some(store) => {
-                    let matched = store.matching(&codes, &mut st.scratch);
+                    let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
                     retrieval += retrieve.stop();
                     let store = &*store;
                     let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
                     let _fit = surrogate_hist.start();
-                    lime.explain_with_reused(ctx, &recorder, &instance, pooled, &mut tuple_rng)
+                    let (w, reuse) = lime.explain_with_reused_counted(
+                        ctx,
+                        &recorder,
+                        &instance,
+                        pooled,
+                        &mut tuple_rng,
+                    );
+                    (w, matched, lookup, reuse)
                 }
                 None => {
                     let hits: Vec<LabeledSample> = st
@@ -357,15 +384,40 @@ impl ShahinStreaming {
                         .into_iter()
                         .cloned()
                         .collect();
+                    // Warm-up lookups bypass the itemset store; only the
+                    // opportunistically reusable sample count is known.
+                    let lookup = LookupStats {
+                        samples_available: hits.len() as u64,
+                        ..LookupStats::default()
+                    };
                     retrieval += retrieve.stop();
                     let _fit = surrogate_hist.start();
-                    lime.explain_with_reused(ctx, &recorder, &instance, hits.iter(), &mut tuple_rng)
+                    let (w, reuse) = lime.explain_with_reused_counted(
+                        ctx,
+                        &recorder,
+                        &instance,
+                        hits.iter(),
+                        &mut tuple_rng,
+                    );
+                    (w, Vec::new(), lookup, reuse)
                 }
             };
+            let epoch = st.epoch;
             st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
             explanations.push(e);
+            prov.record(
+                row as u32,
+                epoch,
+                &matched,
+                lookup,
+                reuse.reused,
+                reuse.fresh,
+                reuse.invocations,
+                (0, 0),
+                t0,
+            );
         }
 
         BatchResult {
@@ -403,21 +455,25 @@ impl ShahinStreaming {
         let anchor = anchor.clone().with_obs(&self.obs);
         let empty_store = PerturbationStore::new(vec![], 0);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "Anchor");
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
+            let t0 = prov.start();
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
+            let inv0 = clf.invocations();
             let target = clf.predict(&instance);
             let retrieve = retrieve_hist.start();
-            let (store_ref, matched): (&PerturbationStore, Vec<u32>) = match &mut st.store {
-                Some(store) => {
-                    let m = store.matching(&codes, &mut st.scratch);
-                    (&*store, m)
-                }
-                None => (&empty_store, Vec::new()),
-            };
+            let (store_ref, matched, lookup): (&PerturbationStore, Vec<u32>, LookupStats) =
+                match &mut st.store {
+                    Some(store) => {
+                        let (m, lookup) = store.matching_stats(&codes, &mut st.scratch);
+                        (&*store, m, lookup)
+                    }
+                    None => (&empty_store, Vec::new(), LookupStats::default()),
+                };
             retrieval += retrieve.stop();
             let mut sampler = CachingRuleSampler::new(
                 ctx,
@@ -428,8 +484,22 @@ impl ShahinStreaming {
                 per_tuple_seed(seed, row),
             );
             explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
+            let stats = sampler.stats();
+            let invocations = clf.invocations() - inv0;
+            let epoch = st.epoch;
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
+            prov.record(
+                row as u32,
+                epoch,
+                &matched,
+                lookup,
+                stats.reused,
+                stats.fresh,
+                invocations,
+                (stats.cache_hits, stats.cache_misses),
+                t0,
+            );
         }
 
         BatchResult {
@@ -471,28 +541,30 @@ impl ShahinStreaming {
         );
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "SHAP");
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
+            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
             let retrieve = retrieve_hist.start();
-            let e = match &mut st.store {
+            let (e, matched, lookup, reuse) = match &mut st.store {
                 Some(store) => {
-                    let matched = store.matching(&codes, &mut st.scratch);
+                    let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
                     let store = &*store;
                     let pooled = crate::shap_source::pool_coalitions(
                         store,
                         &matched,
                         shap.params.n_samples / 2,
                     );
-                    let mut source = StoreCoalitionSource::new(store, matched);
+                    let mut source = StoreCoalitionSource::new(store, matched.clone());
                     retrieval += retrieve.stop();
                     let _fit = surrogate_hist.start();
-                    shap.explain_with(
+                    let (w, reuse) = shap.explain_with_counted(
                         ctx,
                         &recorder,
                         &instance,
@@ -500,7 +572,8 @@ impl ShahinStreaming {
                         pooled,
                         &mut source,
                         &mut tuple_rng,
-                    )
+                    );
+                    (w, matched, lookup, reuse)
                 }
                 None => {
                     let pooled: Vec<CoalitionSample> = st
@@ -518,9 +591,13 @@ impl ShahinStreaming {
                             proba: s.proba,
                         })
                         .collect();
+                    let lookup = LookupStats {
+                        samples_available: pooled.len() as u64,
+                        ..LookupStats::default()
+                    };
                     retrieval += retrieve.stop();
                     let _fit = surrogate_hist.start();
-                    shap.explain_with(
+                    let (w, reuse) = shap.explain_with_counted(
                         ctx,
                         &recorder,
                         &instance,
@@ -528,13 +605,26 @@ impl ShahinStreaming {
                         pooled,
                         &mut NoSource,
                         &mut tuple_rng,
-                    )
+                    );
+                    (w, Vec::new(), lookup, reuse)
                 }
             };
+            let epoch = st.epoch;
             st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
             explanations.push(e);
+            prov.record(
+                row as u32,
+                epoch,
+                &matched,
+                lookup,
+                reuse.reused,
+                reuse.fresh,
+                reuse.invocations,
+                (0, 0),
+                t0,
+            );
         }
 
         BatchResult {
@@ -682,6 +772,45 @@ mod tests {
             snap.histograms["span.fim.mine"].sum_ns,
             res.metrics.overhead.fim.as_nanos() as u64
         );
+    }
+
+    #[test]
+    fn provenance_epochs_follow_refresh_rounds_and_refreshes_emit_instants() {
+        use shahin_obs::{EventSink, ProvenanceSink};
+        use std::sync::Arc;
+
+        let (ctx, clf, stream) = setup(5, 80);
+        let lime = LimeExplainer::new(shahin_explain::LimeParams {
+            n_samples: 80,
+            ..Default::default()
+        });
+        let reg = MetricsRegistry::new();
+        let prov = Arc::new(ProvenanceSink::new());
+        let events = Arc::new(EventSink::new());
+        reg.attach_provenance_sink(Arc::clone(&prov));
+        reg.attach_event_sink(Arc::clone(&events));
+        let streaming = ShahinStreaming::new(small_config()).with_obs(&reg);
+        streaming.explain_lime(&ctx, &clf, &stream, &lime, 11);
+
+        let recs = prov.records();
+        assert_eq!(recs.len(), stream.n_rows());
+        // refresh_every=25 over 80 tuples: epochs 0,0..,1,..,2,..,3.
+        for (row, r) in recs.iter().enumerate() {
+            assert_eq!(r.epoch, (row / 25) as u64, "row {row}");
+            assert_eq!(&*r.method, "Shahin-Streaming");
+            assert_eq!(r.samples_reused + r.samples_fresh, r.tau);
+        }
+        let refreshes: Vec<_> = events
+            .records()
+            .into_iter()
+            .filter(|e| &*e.phase == "streaming.refresh")
+            .collect();
+        assert_eq!(refreshes.len(), 3);
+        for (i, e) in refreshes.iter().enumerate() {
+            assert!(e.dur_ns.is_none(), "refresh markers are instants");
+            let epoch = e.args.iter().find(|(k, _)| k == "epoch").unwrap();
+            assert_eq!(epoch.1, (i + 1).to_string());
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use shahin_tabular::Feature;
 
 use crate::context::ExplainContext;
 use crate::explanation::FeatureWeights;
-use crate::perturb::{labeled_perturbation, LabeledSample};
+use crate::perturb::{labeled_perturbation, LabeledSample, ReuseStats};
 
 /// LIME hyperparameters.
 #[derive(Clone, Debug)]
@@ -86,6 +86,23 @@ impl LimeExplainer {
         reused: impl IntoIterator<Item = &'a LabeledSample>,
         rng: &mut impl Rng,
     ) -> FeatureWeights {
+        self.explain_with_reused_counted(ctx, clf, instance, reused, rng)
+            .0
+    }
+
+    /// [`LimeExplainer::explain_with_reused`], additionally reporting the
+    /// reuse accounting ([`ReuseStats`]): how many of the `N − 1`
+    /// perturbation rows came from `reused` versus fresh generation, and
+    /// the classifier invocations consumed. Drivers turn this into the
+    /// per-tuple provenance record.
+    pub fn explain_with_reused_counted<'a>(
+        &self,
+        ctx: &ExplainContext,
+        clf: &impl Classifier,
+        instance: &[Feature],
+        reused: impl IntoIterator<Item = &'a LabeledSample>,
+        rng: &mut impl Rng,
+    ) -> (FeatureWeights, ReuseStats) {
         let m = ctx.n_attrs();
         assert_eq!(instance.len(), m, "instance arity mismatch");
         assert!(self.params.n_samples >= 2, "need at least 2 samples");
@@ -106,14 +123,23 @@ impl LimeExplainer {
         y[0] = fx;
         w[0] = 1.0;
 
+        let mut stats = ReuseStats {
+            invocations: 1, // the instance probe above
+            ..ReuseStats::default()
+        };
         let mut reused = reused.into_iter();
         let empty = Itemset::new(vec![]);
         for row in 1..n {
             let fresh;
             let (codes, proba): (&[u32], f64) = match reused.next() {
-                Some(s) => (&s.codes, s.proba),
+                Some(s) => {
+                    stats.reused += 1;
+                    (&s.codes, s.proba)
+                }
                 None => {
                     fresh = labeled_perturbation(ctx, clf, &empty, rng);
+                    stats.fresh += 1;
+                    stats.invocations += 1;
                     (&fresh.codes, fresh.proba)
                 }
             };
@@ -134,11 +160,14 @@ impl LimeExplainer {
 
         let fit = ridge(&z, &y, &w, self.params.alpha);
         let local_prediction = fit.predict(&vec![1.0; m]);
-        FeatureWeights {
-            weights: fit.coefficients,
-            intercept: fit.intercept,
-            local_prediction,
-        }
+        (
+            FeatureWeights {
+                weights: fit.coefficients,
+                intercept: fit.intercept,
+                local_prediction,
+            },
+            stats,
+        )
     }
 
     /// Approximate LIME with adaptive early stopping (the paper's §6
@@ -283,6 +312,29 @@ mod tests {
         lime.explain_with_reused(&ctx, &clf, &data.instance(0), &reused, &mut rng);
         // 1 (instance) + 59 fresh.
         assert_eq!(clf.invocations(), 60);
+    }
+
+    #[test]
+    fn counted_variant_reports_exact_reuse_stats() {
+        let (ctx, data) = small_ctx();
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        let lime = LimeExplainer::new(LimeParams {
+            n_samples: 100,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty = Itemset::new(vec![]);
+        let reused: Vec<LabeledSample> = (0..40)
+            .map(|_| labeled_perturbation(&ctx, &clf, &empty, &mut rng))
+            .collect();
+        clf.reset();
+        let (_, stats) =
+            lime.explain_with_reused_counted(&ctx, &clf, &data.instance(0), &reused, &mut rng);
+        assert_eq!(stats.reused, 40);
+        assert_eq!(stats.fresh, 59);
+        assert_eq!(stats.tau(), 99); // n_samples − 1 perturbation rows
+        assert_eq!(stats.invocations, 60);
+        assert_eq!(stats.invocations, clf.invocations());
     }
 
     #[test]

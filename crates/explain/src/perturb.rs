@@ -29,6 +29,30 @@ impl LabeledSample {
     }
 }
 
+/// Reuse accounting for one explanation: how the explainer's perturbation
+/// budget was served. `reused + fresh` is the number of perturbation rows
+/// the surrogate saw (the tuple's effective τ); `invocations` counts every
+/// classifier call made on the tuple's behalf (fresh rows plus the probe
+/// on the instance itself).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Perturbation rows served from pre-labeled samples (no classifier
+    /// call).
+    pub reused: u64,
+    /// Perturbation rows generated and labeled fresh.
+    pub fresh: u64,
+    /// Classifier invocations consumed.
+    pub invocations: u64,
+}
+
+impl ReuseStats {
+    /// The explanation's perturbation budget: `reused + fresh`.
+    #[inline]
+    pub fn tau(&self) -> u64 {
+        self.reused + self.fresh
+    }
+}
+
 /// Draws the discretized codes of one perturbation: attributes in `frozen`
 /// keep their dictated codes, every other attribute samples a code from the
 /// training frequency distribution. Passing an empty itemset yields the

@@ -25,7 +25,7 @@ use shahin_tabular::Feature;
 
 use crate::context::ExplainContext;
 use crate::explanation::FeatureWeights;
-use crate::perturb::labeled_perturbation;
+use crate::perturb::{labeled_perturbation, ReuseStats};
 
 /// KernelSHAP hyperparameters.
 #[derive(Clone, Debug)]
@@ -116,6 +116,25 @@ impl KernelShapExplainer {
         source: &mut dyn CoalitionSource,
         rng: &mut impl Rng,
     ) -> FeatureWeights {
+        self.explain_with_counted(ctx, clf, instance, base, pooled, source, rng)
+            .0
+    }
+
+    /// [`KernelShapExplainer::explain_with`], additionally reporting the
+    /// reuse accounting ([`ReuseStats`]): coalition rows served from
+    /// `pooled`/`source` count as reused, classifier-labeled rows as
+    /// fresh. Drivers turn this into the per-tuple provenance record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_with_counted(
+        &self,
+        ctx: &ExplainContext,
+        clf: &impl Classifier,
+        instance: &[Feature],
+        base: f64,
+        pooled: Vec<CoalitionSample>,
+        source: &mut dyn CoalitionSource,
+        rng: &mut impl Rng,
+    ) -> (FeatureWeights, ReuseStats) {
         let m = ctx.n_attrs();
         assert_eq!(instance.len(), m, "instance arity mismatch");
         assert!(m >= 2, "KernelSHAP needs at least two attributes");
@@ -127,6 +146,10 @@ impl KernelShapExplainer {
         // are drawn by their *total* kernel mass, as the reference does).
         let size_cum = coalition_size_cdf(m);
 
+        let mut stats = ReuseStats {
+            invocations: 1, // the instance probe above
+            ..ReuseStats::default()
+        };
         let n = self.params.n_samples.max(4);
         let mut samples: Vec<CoalitionSample> = Vec::with_capacity(n);
         for s in pooled {
@@ -135,6 +158,7 @@ impl KernelShapExplainer {
             }
             debug_assert!(s.coalition.windows(2).all(|w| w[0] < w[1]));
             samples.push(s);
+            stats.reused += 1;
         }
 
         let mut attrs: Vec<u16> = (0..m as u16).collect();
@@ -152,7 +176,10 @@ impl KernelShapExplainer {
             coalition.sort_unstable();
 
             let proba = match source.fetch(&inst_codes, &coalition) {
-                Some(p) => p,
+                Some(p) => {
+                    stats.reused += 1;
+                    p
+                }
                 None => {
                     let frozen = Itemset::new(
                         coalition
@@ -160,6 +187,8 @@ impl KernelShapExplainer {
                             .map(|&a| Item::new(a as usize, inst_codes[a as usize]))
                             .collect(),
                     );
+                    stats.fresh += 1;
+                    stats.invocations += 1;
                     labeled_perturbation(ctx, clf, &frozen, rng).proba
                 }
             };
@@ -192,11 +221,14 @@ impl KernelShapExplainer {
             vec![1.0; rows]
         };
         let phi = constrained_wls(&z, &y, &weights, base, fx);
-        FeatureWeights {
-            weights: phi,
-            intercept: base,
-            local_prediction: fx,
-        }
+        (
+            FeatureWeights {
+                weights: phi,
+                intercept: base,
+                local_prediction: fx,
+            },
+            stats,
+        )
     }
 }
 
@@ -332,6 +364,31 @@ mod tests {
         shap.explain_with(&ctx, &clf, &inst, 0.5, pooled, &mut NoSource, &mut rng);
         // 1 (instance) + 34 fresh.
         assert_eq!(clf.invocations(), 35);
+    }
+
+    #[test]
+    fn counted_variant_reports_exact_reuse_stats() {
+        let ctx = uniform_cat_ctx(4, 3, 300, 6);
+        let clf = CountingClassifier::new(MajorityClass::fit(&[1, 0]));
+        let shap = KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let pooled: Vec<CoalitionSample> = (0..30)
+            .map(|i| CoalitionSample {
+                coalition: vec![(i % 4) as u16],
+                proba: 0.5,
+            })
+            .collect();
+        let inst = vec![Feature::Cat(0); 4];
+        let (_, stats) =
+            shap.explain_with_counted(&ctx, &clf, &inst, 0.5, pooled, &mut NoSource, &mut rng);
+        assert_eq!(stats.reused, 30);
+        assert_eq!(stats.fresh, 34);
+        assert_eq!(stats.tau(), 64); // the coalition budget
+        assert_eq!(stats.invocations, 35);
+        assert_eq!(stats.invocations, clf.invocations());
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Bounded event-timeline collection and Chrome trace-event export.
+//!
+//! An [`EventSink`] is a lock-striped, bounded buffer of timeline events.
+//! Phase spans ([`crate::Span`]) push one *complete* record at drop time —
+//! phase name, worker thread id, start offset, duration — and drivers can
+//! mark point-in-time occurrences (store refresh, eviction bursts) with
+//! [`EventSink::instant`]. Buffering complete records rather than separate
+//! begin/end pairs means the bounded drop policy can never strand an
+//! unbalanced begin: either both ends of a span survive or neither does.
+//!
+//! [`EventSink::to_chrome_trace`] renders everything as Chrome
+//! trace-event JSON (the `{"traceEvents": [...]}` dialect understood by
+//! Perfetto and `chrome://tracing`), reconstructing balanced `B`/`E`
+//! event pairs per thread and emitting `M` metadata records naming each
+//! worker lane.
+//!
+//! The sink is deliberately decoupled from the metrics registry: a
+//! registry without an attached sink costs the hot path exactly one
+//! `Option` branch per span (see [`crate::MetricsRegistry::attach_event_sink`]).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Stripe count for the event buffers. Events are striped by the worker's
+/// thread id, so parallel drivers mostly touch distinct stripes.
+pub const N_EVENT_STRIPES: usize = 16;
+
+/// Default per-stripe capacity. 16 stripes × 65 536 records ≈ 1M events,
+/// ~48 bytes each — a hard ~50 MB ceiling on trace memory.
+pub const DEFAULT_EVENTS_PER_STRIPE: usize = 1 << 16;
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A small, stable, process-wide id for the calling thread (1-based,
+/// assigned on first use). Used as the `tid` lane in exported traces and
+/// as the `thread` field of provenance records.
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// One buffered timeline event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Phase name, e.g. `fim.mine` (span) or `streaming.refresh` (instant).
+    pub phase: Arc<str>,
+    /// Worker lane ([`current_thread_id`]).
+    pub tid: u64,
+    /// Start offset from the sink's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration; `None` marks an instant event.
+    pub dur_ns: Option<u64>,
+    /// Global admission order, tie-breaker for equal timestamps.
+    pub seq: u64,
+    /// Free-form `key=value` annotations (instants only in practice).
+    pub args: Vec<(String, String)>,
+}
+
+/// A lock-striped, bounded buffer of timeline events with a Chrome
+/// trace-event exporter. See the module docs for the design.
+pub struct EventSink {
+    epoch: Instant,
+    stripes: [Mutex<Vec<EventRecord>>; N_EVENT_STRIPES],
+    per_stripe_capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        EventSink::new()
+    }
+}
+
+impl EventSink {
+    /// A sink with the default capacity ([`DEFAULT_EVENTS_PER_STRIPE`]).
+    pub fn new() -> EventSink {
+        EventSink::with_capacity(DEFAULT_EVENTS_PER_STRIPE)
+    }
+
+    /// A sink holding at most `per_stripe_capacity` events per stripe.
+    /// Once a stripe is full further events on it are counted in
+    /// [`EventSink::dropped`] and discarded (drop-newest policy: the
+    /// preserved prefix keeps its balanced spans, and the exporter reports
+    /// the loss in `otherData`).
+    pub fn with_capacity(per_stripe_capacity: usize) -> EventSink {
+        EventSink {
+            epoch: Instant::now(),
+            stripes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            per_stripe_capacity: per_stripe_capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds from the sink's creation to `t` (0 if `t` predates it).
+    pub fn ns_since_epoch(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Nanoseconds from the sink's creation to now.
+    pub fn now_ns(&self) -> u64 {
+        self.ns_since_epoch(Instant::now())
+    }
+
+    fn push(&self, rec: EventRecord) {
+        let stripe = &self.stripes[(rec.tid as usize) % N_EVENT_STRIPES];
+        let mut buf = stripe.lock();
+        if buf.len() >= self.per_stripe_capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(rec);
+        }
+    }
+
+    /// Records a completed span (`phase` ran on the calling thread from
+    /// `start_ns` for `dur_ns`). Called by [`crate::Span`] on drop.
+    pub fn complete(&self, phase: &Arc<str>, start_ns: u64, dur_ns: u64) {
+        self.push(EventRecord {
+            phase: Arc::clone(phase),
+            tid: current_thread_id(),
+            start_ns,
+            dur_ns: Some(dur_ns),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            args: Vec::new(),
+        });
+    }
+
+    /// Records a point-in-time event with `key=value` annotations.
+    pub fn instant(&self, name: &str, args: &[(&str, String)]) {
+        self.push(EventRecord {
+            phase: Arc::from(name),
+            tid: current_thread_id(),
+            start_ns: self.now_ns(),
+            dur_ns: None,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Events currently buffered (across all stripes).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because their stripe was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every buffered event, ordered by `(start_ns, seq)`.
+    pub fn records(&self) -> Vec<EventRecord> {
+        let mut out: Vec<EventRecord> = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            out.extend(stripe.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| (r.start_ns, r.seq));
+        out
+    }
+
+    /// Renders the buffer as Chrome trace-event JSON, loadable in
+    /// Perfetto or `chrome://tracing`.
+    ///
+    /// Buffered complete spans are re-expanded into balanced `B`/`E`
+    /// pairs: per thread, spans are sorted by start (outermost first) and
+    /// walked with an open-span stack, which yields a begin/end stream
+    /// that is properly nested and timestamp-monotonic within the lane.
+    /// The per-lane streams are then merged with a stable sort on
+    /// timestamp, preserving each lane's internal order, so the whole
+    /// `traceEvents` array has non-decreasing `ts` *and* balanced pairs.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace(&self.records(), self.dropped())
+    }
+}
+
+/// One flattened trace-event line, pre-JSON.
+struct TraceLine {
+    ts_ns: u64,
+    tid: u64,
+    json: String,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn args_json(args: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // Values that look numeric are emitted as numbers for Perfetto's
+        // aggregation panes; everything else is a string.
+        if v.parse::<i64>().is_ok() || v.parse::<f64>().is_ok() {
+            write!(out, "\"{}\": {}", json_escape(k), v).unwrap();
+        } else {
+            write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v)).unwrap();
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Builds the Chrome trace JSON from a set of records (see
+/// [`EventSink::to_chrome_trace`]).
+fn chrome_trace(records: &[EventRecord], dropped: u64) -> String {
+    let mut tids: Vec<u64> = records.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut lines: Vec<TraceLine> = Vec::with_capacity(records.len() * 2);
+    for &tid in &tids {
+        let mut spans: Vec<&EventRecord> = records
+            .iter()
+            .filter(|r| r.tid == tid && r.dur_ns.is_some())
+            .collect();
+        // Outermost-first at equal starts: longer spans open earlier.
+        spans.sort_by_key(|r| {
+            (
+                r.start_ns,
+                std::cmp::Reverse(r.start_ns.saturating_add(r.dur_ns.unwrap_or(0))),
+                r.seq,
+            )
+        });
+        // Open-span stack of end timestamps; clamping a child's end to its
+        // parent's guarantees proper nesting even if clock reads raced.
+        let mut open: Vec<u64> = Vec::new();
+        for r in spans {
+            let start = r.start_ns;
+            let mut end = start.saturating_add(r.dur_ns.unwrap_or(0));
+            while open.last().is_some_and(|&e| e <= start) {
+                let e = open.pop().unwrap();
+                lines.push(TraceLine {
+                    ts_ns: e,
+                    tid,
+                    json: format!(
+                        "{{\"ph\": \"E\", \"ts\": {}, \"pid\": 1, \"tid\": {tid}}}",
+                        ts_us(e)
+                    ),
+                });
+            }
+            if let Some(&parent_end) = open.last() {
+                end = end.min(parent_end);
+            }
+            lines.push(TraceLine {
+                ts_ns: start,
+                tid,
+                json: format!(
+                    "{{\"name\": \"{}\", \"cat\": \"shahin\", \"ph\": \"B\", \"ts\": {}, \"pid\": 1, \"tid\": {tid}}}",
+                    json_escape(&r.phase),
+                    ts_us(start)
+                ),
+            });
+            open.push(end);
+        }
+        while let Some(e) = open.pop() {
+            lines.push(TraceLine {
+                ts_ns: e,
+                tid,
+                json: format!(
+                    "{{\"ph\": \"E\", \"ts\": {}, \"pid\": 1, \"tid\": {tid}}}",
+                    ts_us(e)
+                ),
+            });
+        }
+        for r in records
+            .iter()
+            .filter(|r| r.tid == tid && r.dur_ns.is_none())
+        {
+            lines.push(TraceLine {
+                ts_ns: r.start_ns,
+                tid,
+                json: format!(
+                    "{{\"name\": \"{}\", \"cat\": \"shahin\", \"ph\": \"i\", \"ts\": {}, \"pid\": 1, \"tid\": {tid}, \"s\": \"t\", \"args\": {}}}",
+                    json_escape(&r.phase),
+                    ts_us(r.start_ns),
+                    args_json(&r.args)
+                ),
+            });
+        }
+        // Instants were appended after the span stream; restore lane-local
+        // timestamp order without disturbing B/E relative order.
+        let lane_start = lines
+            .iter()
+            .position(|l| l.tid == tid)
+            .unwrap_or(lines.len());
+        lines[lane_start..].sort_by_key(|l| l.ts_ns);
+    }
+
+    // Stable merge across lanes: global ts is non-decreasing, each lane's
+    // balanced order survives.
+    lines.sort_by_key(|l| l.ts_ns);
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for &tid in &tids {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": \"worker-{tid}\"}}}}"
+        )
+        .unwrap();
+    }
+    for line in &lines {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line.json);
+    }
+    write!(
+        out,
+        "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {{\"dropped_events\": {dropped}}}}}\n"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(phase: &str, tid: u64, start: u64, dur: u64, seq: u64) -> EventRecord {
+        EventRecord {
+            phase: Arc::from(phase),
+            tid,
+            start_ns: start,
+            dur_ns: Some(dur),
+            seq,
+            args: Vec::new(),
+        }
+    }
+
+    fn count(hay: &str, needle: &str) -> usize {
+        hay.matches(needle).count()
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let a = current_thread_id();
+        assert_eq!(a, current_thread_id());
+        let b = std::thread::spawn(current_thread_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn complete_and_instant_buffer_and_count() {
+        let sink = EventSink::new();
+        let phase: Arc<str> = Arc::from("fim.mine");
+        sink.complete(&phase, 10, 5);
+        sink.instant("refresh", &[("epoch", "3".to_string())]);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 0);
+        let recs = sink.records();
+        assert_eq!(&*recs[0].phase, "fim.mine");
+        assert_eq!(recs[0].dur_ns, Some(5));
+        assert!(recs[1].dur_ns.is_none());
+    }
+
+    #[test]
+    fn bounded_capacity_drops_newest_and_counts() {
+        let sink = EventSink::with_capacity(2);
+        let phase: Arc<str> = Arc::from("p");
+        for i in 0..5 {
+            sink.complete(&phase, i, 1);
+        }
+        // All from one thread → one stripe → capacity 2.
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let trace = sink.to_chrome_trace();
+        assert!(trace.contains("\"dropped_events\": 3"));
+        // Drops never unbalance: pairs still match.
+        assert_eq!(
+            count(&trace, "\"ph\": \"B\""),
+            count(&trace, "\"ph\": \"E\"")
+        );
+    }
+
+    #[test]
+    fn nested_spans_export_balanced_and_nested() {
+        // parent [0, 100], child [10, 40], sibling [50, 90] — all one tid.
+        let recs = vec![
+            span("parent", 1, 0, 100, 0),
+            span("child", 1, 10, 30, 1),
+            span("sibling", 1, 50, 40, 2),
+        ];
+        let trace = chrome_trace(&recs, 0);
+        assert_eq!(count(&trace, "\"ph\": \"B\""), 3);
+        assert_eq!(count(&trace, "\"ph\": \"E\""), 3);
+        // Balance check: running depth never goes negative and ends at 0.
+        let mut depth = 0i64;
+        for line in trace.lines() {
+            if line.contains("\"ph\": \"B\"") {
+                depth += 1;
+            }
+            if line.contains("\"ph\": \"E\"") {
+                depth -= 1;
+                assert!(depth >= 0, "E before B in:\n{trace}");
+            }
+        }
+        assert_eq!(depth, 0);
+        // Parent opens before child.
+        assert!(trace.find("parent").unwrap() < trace.find("child").unwrap());
+    }
+
+    #[test]
+    fn multi_thread_merge_keeps_ts_monotonic() {
+        let recs = vec![
+            span("a", 1, 0, 50, 0),
+            span("b", 2, 5, 10, 1),
+            span("c", 1, 10, 20, 2),
+            span("d", 2, 40, 10, 3),
+        ];
+        let trace = chrome_trace(&recs, 0);
+        let mut last_ts = -1.0f64;
+        for line in trace.lines() {
+            if line.contains("\"ph\": \"M\"") || !line.contains("\"ts\": ") {
+                continue;
+            }
+            let ts: f64 = line
+                .split("\"ts\": ")
+                .nth(1)
+                .unwrap()
+                .split(&[',', '}'][..])
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(ts >= last_ts, "ts went backwards in:\n{trace}");
+            last_ts = ts;
+        }
+        // Both lanes got named.
+        assert!(trace.contains("worker-1") && trace.contains("worker-2"));
+    }
+
+    #[test]
+    fn child_end_clamps_to_parent() {
+        // Child claims to outlive the parent (raced clock reads): clamp.
+        let recs = vec![span("parent", 1, 0, 50, 0), span("child", 1, 10, 100, 1)];
+        let trace = chrome_trace(&recs, 0);
+        let mut depth = 0i64;
+        for line in trace.lines() {
+            if line.contains("\"ph\": \"B\"") {
+                depth += 1;
+            }
+            if line.contains("\"ph\": \"E\"") {
+                depth -= 1;
+                assert!(depth >= 0);
+            }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn instant_args_render_numeric_and_string() {
+        let sink = EventSink::new();
+        sink.instant(
+            "streaming.refresh",
+            &[("epoch", "2".to_string()), ("mode", "full".to_string())],
+        );
+        let trace = sink.to_chrome_trace();
+        assert!(trace.contains("\"epoch\": 2"));
+        assert!(trace.contains("\"mode\": \"full\""));
+        assert!(trace.contains("\"ph\": \"i\""));
+    }
+
+    #[test]
+    fn ts_renders_microseconds_with_ns_precision() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(1_234), "1.234");
+        assert_eq!(ts_us(1_000_007), "1000.007");
+    }
+
+    #[test]
+    fn empty_sink_exports_valid_shape() {
+        let trace = EventSink::new().to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\": ["));
+        assert!(trace.contains("\"dropped_events\": 0"));
+        assert_eq!(count(&trace, "{"), count(&trace, "}"));
+    }
+}

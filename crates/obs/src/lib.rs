@@ -21,6 +21,16 @@
 //!   machine-readable JSON ([`MetricsSnapshot::to_json`], the
 //!   `--metrics-out` format of `shahin-cli` and the bench binaries).
 //!
+//! * [`EventSink`] — a bounded, lock-striped timeline-event buffer.
+//!   Attach one with [`MetricsRegistry::attach_event_sink`] and every
+//!   span also lands on a per-worker timeline, exported as Chrome
+//!   trace-event JSON ([`EventSink::to_chrome_trace`], the `--trace-out`
+//!   format, loadable in Perfetto).
+//! * [`ProvenanceSink`] — per-explanation lineage: one
+//!   [`ProvenanceRecord`] per tuple (matched itemsets, reused vs fresh
+//!   samples, invocations, wall time), exported as JSONL
+//!   (`--provenance-out`).
+//!
 //! A registry can also be created [`MetricsRegistry::disabled`]: every
 //! handle it vends is a no-op (a `None` inside, checked by one predictable
 //! branch), which is how the `bench_obs` binary demonstrates that the
@@ -33,9 +43,13 @@
 //! into the histogram `span.fim.mine`), so exports can tell phase timers
 //! from value histograms like `classifier.predict`.
 
+pub mod events;
+pub mod provenance;
 pub mod registry;
 pub mod snapshot;
 
+pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
+pub use provenance::{ProvenanceRecord, ProvenanceSink, ProvenanceTotals, N_PROVENANCE_STRIPES};
 pub use registry::{
     bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, MetricsRegistry, Span, N_BUCKETS,
     N_STRIPES, SPAN_PREFIX,

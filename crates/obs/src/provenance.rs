@@ -1,0 +1,320 @@
+//! Per-explanation provenance: which materialized itemsets served each
+//! tuple, how many samples were reused versus freshly generated, and what
+//! the explanation cost.
+//!
+//! Shahin's claim is an *accounting* claim — explanations get cheaper
+//! because perturbations are reused — so every driver can emit one
+//! [`ProvenanceRecord`] per explained tuple into a shared, lock-striped
+//! [`ProvenanceSink`]. The sink exports JSONL (one record per line, the
+//! `--provenance-out` format of `shahin-cli`) and folds totals back into
+//! the metrics snapshot as `provenance.*` gauges, so the aggregate
+//! counters and the per-tuple lineage can be reconciled against each
+//! other (the `tests/obs_properties.rs` invariants).
+//!
+//! Collection is disabled by default: a registry without an attached sink
+//! costs drivers one `Option` check per tuple.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::events::current_thread_id;
+
+/// Stripe count; records are striped by the recording thread.
+pub const N_PROVENANCE_STRIPES: usize = 16;
+
+/// Default per-stripe record capacity (16 stripes × 65 536 ≈ 1M tuples).
+pub const DEFAULT_RECORDS_PER_STRIPE: usize = 1 << 16;
+
+/// Lineage of one explained tuple.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    /// Batch row index of the explained tuple.
+    pub tuple: u32,
+    /// Driver name, e.g. `Shahin-Batch` or `Shahin-Batch-Par4`.
+    pub method: Arc<str>,
+    /// Explainer name: `LIME`, `Anchor`, or `SHAP`.
+    pub explainer: Arc<str>,
+    /// Streaming refresh epoch the tuple was explained in (0 for batch).
+    pub epoch: u64,
+    /// Worker thread id ([`current_thread_id`]).
+    pub thread: u64,
+    /// Ids of the materialized frequent itemsets the tuple matched.
+    pub matched_itemsets: Vec<u32>,
+    /// Store index probes that found no materialized entry.
+    pub store_misses: u64,
+    /// Materialized samples available across the matched itemsets.
+    pub samples_available: u64,
+    /// Perturbations served from the store (no classifier call).
+    pub samples_reused: u64,
+    /// Perturbations generated and labeled for this tuple.
+    pub samples_fresh: u64,
+    /// The tuple's perturbation budget: `samples_reused + samples_fresh`.
+    pub tau: u64,
+    /// Classifier invocations consumed by this tuple (fresh samples plus
+    /// the probe on the instance itself).
+    pub invocations: u64,
+    /// Anchor shard-cache hits while explaining this tuple (0 for
+    /// LIME/SHAP).
+    pub cache_hits: u64,
+    /// Anchor shard-cache misses (bootstraps) for this tuple.
+    pub cache_misses: u64,
+    /// Wall time spent explaining this tuple, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ProvenanceRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        write!(
+            out,
+            "\"tuple\": {}, \"method\": \"{}\", \"explainer\": \"{}\", \"epoch\": {}, \"thread\": {}",
+            self.tuple,
+            escape(&self.method),
+            escape(&self.explainer),
+            self.epoch,
+            self.thread
+        )
+        .unwrap();
+        out.push_str(", \"matched_itemsets\": [");
+        for (i, id) in self.matched_itemsets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{id}").unwrap();
+        }
+        write!(
+            out,
+            "], \"store_misses\": {}, \"samples_available\": {}, \"samples_reused\": {}, \
+             \"samples_fresh\": {}, \"tau\": {}, \"invocations\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"wall_ns\": {}}}",
+            self.store_misses,
+            self.samples_available,
+            self.samples_reused,
+            self.samples_fresh,
+            self.tau,
+            self.invocations,
+            self.cache_hits,
+            self.cache_misses,
+            self.wall_ns
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// Aggregate of every record in a sink; the numbers folded into the
+/// metrics snapshot as `provenance.*` gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceTotals {
+    pub records: u64,
+    pub matched_itemsets: u64,
+    pub store_misses: u64,
+    pub samples_available: u64,
+    pub samples_reused: u64,
+    pub samples_fresh: u64,
+    pub invocations: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl ProvenanceTotals {
+    fn absorb(&mut self, r: &ProvenanceRecord) {
+        self.records += 1;
+        self.matched_itemsets += r.matched_itemsets.len() as u64;
+        self.store_misses += r.store_misses;
+        self.samples_available += r.samples_available;
+        self.samples_reused += r.samples_reused;
+        self.samples_fresh += r.samples_fresh;
+        self.invocations += r.invocations;
+        self.cache_hits += r.cache_hits;
+        self.cache_misses += r.cache_misses;
+    }
+}
+
+/// A bounded, lock-striped collector of [`ProvenanceRecord`]s.
+pub struct ProvenanceSink {
+    stripes: [Mutex<Vec<ProvenanceRecord>>; N_PROVENANCE_STRIPES],
+    per_stripe_capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for ProvenanceSink {
+    fn default() -> Self {
+        ProvenanceSink::new()
+    }
+}
+
+impl ProvenanceSink {
+    /// A sink with the default capacity ([`DEFAULT_RECORDS_PER_STRIPE`]).
+    pub fn new() -> ProvenanceSink {
+        ProvenanceSink::with_capacity(DEFAULT_RECORDS_PER_STRIPE)
+    }
+
+    /// A sink holding at most `per_stripe_capacity` records per stripe;
+    /// overflow is counted in [`ProvenanceSink::dropped`] and discarded.
+    pub fn with_capacity(per_stripe_capacity: usize) -> ProvenanceSink {
+        ProvenanceSink {
+            stripes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            per_stripe_capacity: per_stripe_capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one tuple's lineage. Striped by the calling thread, so
+    /// parallel workers rarely contend.
+    pub fn push(&self, record: ProvenanceRecord) {
+        let stripe = &self.stripes[(current_thread_id() as usize) % N_PROVENANCE_STRIPES];
+        let mut buf = stripe.lock();
+        if buf.len() >= self.per_stripe_capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(record);
+        }
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records discarded because their stripe was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every record, sorted by `(tuple, epoch)` so exports are
+    /// deterministic regardless of worker interleaving.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        let mut out: Vec<ProvenanceRecord> = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            out.extend(stripe.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| (r.tuple, r.epoch));
+        out
+    }
+
+    /// Aggregate totals over every buffered record.
+    pub fn totals(&self) -> ProvenanceTotals {
+        let mut t = ProvenanceTotals::default();
+        for stripe in &self.stripes {
+            for r in stripe.lock().iter() {
+                t.absorb(r);
+            }
+        }
+        t
+    }
+
+    /// Renders every record as JSON Lines (one object per line, sorted by
+    /// tuple), the `--provenance-out` file format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tuple: u32, reused: u64, fresh: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            tuple,
+            method: Arc::from("Shahin-Batch"),
+            explainer: Arc::from("LIME"),
+            matched_itemsets: vec![1, 4],
+            samples_available: reused,
+            samples_reused: reused,
+            samples_fresh: fresh,
+            tau: reused + fresh,
+            invocations: fresh + 1,
+            wall_ns: 42,
+            ..ProvenanceRecord::default()
+        }
+    }
+
+    #[test]
+    fn records_sort_by_tuple_and_totals_add_up() {
+        let sink = ProvenanceSink::new();
+        sink.push(record(5, 10, 20));
+        sink.push(record(2, 7, 3));
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].tuple, 2);
+        assert_eq!(recs[1].tuple, 5);
+        let t = sink.totals();
+        assert_eq!(t.records, 2);
+        assert_eq!(t.samples_reused, 17);
+        assert_eq!(t.samples_fresh, 23);
+        assert_eq!(t.invocations, 25);
+        assert_eq!(t.matched_itemsets, 4);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record_with_required_keys() {
+        let sink = ProvenanceSink::new();
+        sink.push(record(0, 1, 2));
+        sink.push(record(1, 3, 4));
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            for key in [
+                "\"tuple\"",
+                "\"method\"",
+                "\"explainer\"",
+                "\"epoch\"",
+                "\"thread\"",
+                "\"matched_itemsets\"",
+                "\"store_misses\"",
+                "\"samples_available\"",
+                "\"samples_reused\"",
+                "\"samples_fresh\"",
+                "\"tau\"",
+                "\"invocations\"",
+                "\"cache_hits\"",
+                "\"cache_misses\"",
+                "\"wall_ns\"",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_counts_drops() {
+        let sink = ProvenanceSink::with_capacity(1);
+        sink.push(record(0, 0, 1));
+        sink.push(record(1, 0, 1));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn reuse_invariant_holds_by_construction() {
+        let r = record(9, 12, 30);
+        assert_eq!(r.samples_reused + r.samples_fresh, r.tau);
+    }
+}

@@ -14,7 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+
+use crate::events::EventSink;
+use crate::provenance::ProvenanceSink;
 
 /// Number of name-keyed stripes. Registration is rare (handles are cached
 /// by the instrumented structures), so this only needs to keep concurrent
@@ -154,27 +157,45 @@ impl fmt::Debug for Gauge {
     }
 }
 
+/// The timeline-event context a span histogram carries when an
+/// [`EventSink`] is attached to its registry: the sink plus the interned
+/// phase name, resolved once at registration so span drops on the hot
+/// path never touch the registry again.
+#[derive(Clone)]
+pub(crate) struct EventContext {
+    pub(crate) sink: Arc<EventSink>,
+    pub(crate) phase: Arc<str>,
+}
+
 /// A log2-bucketed histogram of nanosecond values. No-op when detached.
 #[derive(Clone, Default)]
-pub struct Histogram(Option<Arc<HistogramCell>>);
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+    /// Present only for span histograms from a registry with an attached
+    /// [`EventSink`]; spans then also emit timeline events on drop.
+    pub(crate) events: Option<EventContext>,
+}
 
 impl Histogram {
     /// A detached handle.
     pub fn noop() -> Histogram {
-        Histogram(None)
+        Histogram {
+            cell: None,
+            events: None,
+        }
     }
 
     /// True when samples actually land somewhere. Hot paths use this to
     /// skip even the `Instant::now` calls when observability is off.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.cell.is_some()
     }
 
     /// Records one sample of `ns` nanoseconds.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
-        if let Some(cell) = &self.0 {
+        if let Some(cell) = &self.cell {
             cell.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
             cell.count.fetch_add(1, Ordering::Relaxed);
             cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -201,22 +222,62 @@ impl Histogram {
 
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
-        self.0
+        self.cell
             .as_ref()
             .map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
     /// Sum of all samples, in nanoseconds.
     pub fn sum_ns(&self) -> u64 {
-        self.0
+        self.cell
             .as_ref()
             .map_or(0, |c| c.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample value in nanoseconds. An empty (or detached) histogram
+    /// reports 0, never NaN — summaries must stay finite for JSON export.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the log2
+    /// bucket holding the q-th sample, or `None` when the histogram is
+    /// empty or detached (callers must not conjure a percentile out of
+    /// zero samples). A non-finite `q` is treated as 0; samples in the
+    /// saturating catch-all bucket report `u64::MAX` ("inf").
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let cell = self.cell.as_ref()?;
+        let count = cell.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, b) in cell.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                last_nonempty = i;
+            }
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_ns(i));
+            }
+        }
+        // Racing writers may have bumped `count` before their bucket:
+        // fall back to the highest populated bucket.
+        Some(bucket_upper_ns(last_nonempty))
     }
 }
 
 impl fmt::Debug for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.0 {
+        match &self.cell {
             Some(_) => write!(f, "Histogram(n={}, sum_ns={})", self.count(), self.sum_ns()),
             None => write!(f, "Histogram(noop)"),
         }
@@ -241,9 +302,23 @@ impl Span {
 
     /// Stops the span, records the sample, and returns the elapsed time.
     pub fn stop(mut self) -> Duration {
-        let d = self.start.elapsed();
         self.armed = false;
+        self.finish()
+    }
+
+    /// Records into the histogram and, when the backing registry has an
+    /// attached [`EventSink`], pushes one complete timeline event. With no
+    /// sink attached this is the same single-branch cost as before.
+    fn finish(&mut self) -> Duration {
+        let d = self.start.elapsed();
         self.hist.record(d);
+        if let Some(ev) = &self.hist.events {
+            ev.sink.complete(
+                &ev.phase,
+                ev.sink.ns_since_epoch(self.start),
+                u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         d
     }
 }
@@ -251,7 +326,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if self.armed {
-            self.hist.record(self.start.elapsed());
+            self.finish();
         }
     }
 }
@@ -278,6 +353,11 @@ impl Slot {
 struct Inner {
     enabled: bool,
     stripes: [Mutex<HashMap<String, Slot>>; N_STRIPES],
+    /// Timeline-event sink; spans emit trace events only while attached.
+    events: RwLock<Option<Arc<EventSink>>>,
+    /// Per-tuple provenance sink; drivers record lineage only while
+    /// attached.
+    provenance: RwLock<Option<Arc<ProvenanceSink>>>,
 }
 
 /// A lock-striped, thread-safe registry of named metrics. Cloning shares
@@ -311,6 +391,8 @@ impl MetricsRegistry {
             inner: Arc::new(Inner {
                 enabled,
                 stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+                events: RwLock::new(None),
+                provenance: RwLock::new(None),
             }),
         }
     }
@@ -369,7 +451,10 @@ impl MetricsRegistry {
     /// The histogram registered under `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         match self.slot(name, || Slot::Histogram(Arc::new(HistogramCell::new()))) {
-            Some(Slot::Histogram(cell)) => Histogram(Some(cell)),
+            Some(Slot::Histogram(cell)) => Histogram {
+                cell: Some(cell),
+                events: None,
+            },
             Some(other) => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
             None => Histogram::noop(),
         }
@@ -377,9 +462,56 @@ impl MetricsRegistry {
 
     /// The histogram backing span `name` (registered as `span.{name}`,
     /// the `phase.subphase` convention). Resolve once outside hot loops,
-    /// then [`Histogram::start`] per iteration.
+    /// then [`Histogram::start`] per iteration. When an [`EventSink`] is
+    /// attached, the handle also carries the timeline-event context, so
+    /// every span started from it lands on the trace with no further
+    /// registry traffic.
     pub fn span_histogram(&self, name: &str) -> Histogram {
-        self.histogram(&format!("{SPAN_PREFIX}{name}"))
+        let mut h = self.histogram(&format!("{SPAN_PREFIX}{name}"));
+        if h.is_enabled() {
+            if let Some(sink) = self.event_sink() {
+                h.events = Some(EventContext {
+                    sink,
+                    phase: Arc::from(name),
+                });
+            }
+        }
+        h
+    }
+
+    /// Attaches a timeline-event sink: from now on, span histograms
+    /// resolved from this registry emit trace events (see
+    /// [`EventSink::to_chrome_trace`]). Attach *before* drivers resolve
+    /// their span handles; ignored on a disabled registry.
+    pub fn attach_event_sink(&self, sink: Arc<EventSink>) {
+        if self.inner.enabled {
+            *self.inner.events.write() = Some(sink);
+        }
+    }
+
+    /// The attached event sink, if any (always `None` when disabled).
+    pub fn event_sink(&self) -> Option<Arc<EventSink>> {
+        if !self.inner.enabled {
+            return None;
+        }
+        self.inner.events.read().clone()
+    }
+
+    /// Attaches a provenance sink: drivers that see it record one
+    /// [`crate::ProvenanceRecord`] per explained tuple. Ignored on a
+    /// disabled registry.
+    pub fn attach_provenance_sink(&self, sink: Arc<ProvenanceSink>) {
+        if self.inner.enabled {
+            *self.inner.provenance.write() = Some(sink);
+        }
+    }
+
+    /// The attached provenance sink, if any (always `None` when disabled).
+    pub fn provenance_sink(&self) -> Option<Arc<ProvenanceSink>> {
+        if !self.inner.enabled {
+            return None;
+        }
+        self.inner.provenance.read().clone()
     }
 
     /// Starts an RAII span recording into `span.{name}` when dropped.
@@ -537,6 +669,96 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("dual");
         reg.gauge("dual");
+    }
+
+    #[test]
+    fn empty_histogram_summaries_are_zero_and_none_not_nan() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("never.recorded");
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert_eq!(h.quantile_ns(0.99), None);
+        // Detached handles behave identically.
+        let noop = Histogram::noop();
+        assert_eq!(noop.mean_ns(), 0);
+        assert_eq!(noop.quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_histogram_summaries() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("one");
+        h.record_ns(1000);
+        assert_eq!(h.mean_ns(), 1000);
+        // Every quantile of one sample is that sample's bucket bound.
+        let expected = bucket_upper_ns(bucket_index(1000));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), Some(expected));
+        }
+        // Degenerate q values must not panic or go non-finite.
+        assert_eq!(h.quantile_ns(f64::NAN), Some(expected));
+        assert_eq!(h.quantile_ns(f64::INFINITY), Some(expected));
+        assert_eq!(h.quantile_ns(-3.0), Some(expected));
+    }
+
+    #[test]
+    fn saturating_bucket_quantile_reports_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("sat");
+        h.record_ns(10);
+        h.record_ns(u64::MAX); // lands in the catch-all bucket
+        assert_eq!(h.quantile_ns(1.0), Some(u64::MAX));
+        assert!(h.quantile_ns(0.25).unwrap() < u64::MAX);
+        // Sum saturates gracefully rather than being meaningful here;
+        // mean must still be finite.
+        let _ = h.mean_ns();
+    }
+
+    #[test]
+    fn spans_emit_complete_events_when_sink_attached() {
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(crate::EventSink::new());
+        reg.attach_event_sink(Arc::clone(&sink));
+        {
+            let _s = reg.span("fim.mine");
+        }
+        reg.span("retrieve.match").stop();
+        assert_eq!(sink.len(), 2);
+        let recs = sink.records();
+        let phases: Vec<&str> = recs.iter().map(|r| &*r.phase).collect();
+        assert!(phases.contains(&"fim.mine"));
+        assert!(phases.contains(&"retrieve.match"));
+        // Histograms recorded too — events ride along, they don't replace.
+        assert_eq!(reg.span_histogram("fim.mine").count(), 1);
+    }
+
+    #[test]
+    fn no_sink_means_no_events_and_disabled_ignores_attach() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("quiet.phase");
+        }
+        assert!(reg.event_sink().is_none());
+        assert!(reg.provenance_sink().is_none());
+
+        let off = MetricsRegistry::disabled();
+        off.attach_event_sink(Arc::new(crate::EventSink::new()));
+        off.attach_provenance_sink(Arc::new(crate::ProvenanceSink::new()));
+        assert!(off.event_sink().is_none());
+        assert!(off.provenance_sink().is_none());
+    }
+
+    #[test]
+    fn provenance_sink_round_trips_through_registry() {
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(crate::ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let got = reg.provenance_sink().expect("attached");
+        got.push(crate::ProvenanceRecord {
+            tuple: 3,
+            ..Default::default()
+        });
+        assert_eq!(sink.len(), 1);
     }
 
     #[test]

@@ -3,7 +3,12 @@
 # explanation batch through shahin-cli with --metrics-out and validates
 # that the JSON dump carries every metric family the instrumentation
 # promises (store hits/misses, per-shard Anchor cache counters, per-phase
-# span durations, classifier latency histogram buckets).
+# span durations, classifier latency histogram buckets). A second,
+# parallel run with --trace-out/--provenance-out validates the Chrome
+# trace-event export (required keys, monotonic timestamps, balanced B/E
+# pairs per thread lane) and the provenance JSONL (required keys, one
+# record per tuple, reused + fresh == tau, totals reconciling with the
+# metrics snapshot).
 #
 # Knobs (all optional):
 #   SHAHIN_CHECK_ROWS   synthetic dataset rows   (default 2000)
@@ -82,4 +87,101 @@ print(f"OK: lime dump has {len(lime['counters'])} counters, "
       f"{len(lime['histograms'])} histograms")
 print(f"OK: anchor shard caches: {shard_hits} hits / {shard_misses} misses")
 print("metrics dump schema check passed")
+PY
+
+# Parallel run (two workers) with the full collection pipeline: the trace
+# must show at least two worker lanes, the provenance exactly one record
+# per explained tuple.
+"$CLI" explain --csv "$WORKDIR/census.csv" --label label --explainer lime \
+    --method par-2 --batch-size "$BATCH" \
+    --metrics-out "$WORKDIR/par.json" \
+    --trace-out "$WORKDIR/trace.json" \
+    --provenance-out "$WORKDIR/prov.jsonl"
+
+python3 - "$WORKDIR/trace.json" "$WORKDIR/prov.jsonl" "$WORKDIR/par.json" "$BATCH" <<'PY'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+prov_lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+metrics = json.load(open(sys.argv[3]))
+batch = int(sys.argv[4])
+
+# --- Chrome trace-event schema ---------------------------------------
+events = trace.get("traceEvents")
+if not isinstance(events, list) or not events:
+    raise SystemExit("FAIL: trace: no 'traceEvents' array")
+for e in events:
+    for key in ("ph", "pid", "tid"):
+        if key not in e:
+            raise SystemExit(f"FAIL: trace: event missing '{key}': {e}")
+    # E events close the innermost open B by nesting and carry no name.
+    if e["ph"] in ("B", "i", "M") and "name" not in e:
+        raise SystemExit(f"FAIL: trace: event missing 'name': {e}")
+    if e["ph"] in ("B", "E", "i") and "ts" not in e:
+        raise SystemExit(f"FAIL: trace: timed event missing 'ts': {e}")
+
+# Exported timestamps are globally sorted and per-lane B/E pairs balance
+# (every span that begins on a lane also ends on it, properly nested).
+ts = [e["ts"] for e in events if e["ph"] in ("B", "E", "i")]
+if ts != sorted(ts):
+    raise SystemExit("FAIL: trace: timestamps are not monotonic")
+depth = {}
+for e in events:
+    if e["ph"] == "B":
+        depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+    elif e["ph"] == "E":
+        depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+        if depth[e["tid"]] < 0:
+            raise SystemExit(f"FAIL: trace: E without B on tid {e['tid']}")
+if any(d != 0 for d in depth.values()):
+    raise SystemExit(f"FAIL: trace: unbalanced B/E pairs: {depth}")
+lanes = {e["tid"] for e in events if e["ph"] == "B"}
+if len(lanes) < 2:
+    raise SystemExit(f"FAIL: trace: expected >=2 worker lanes, got {lanes}")
+named = {e["tid"] for e in events
+         if e["ph"] == "M" and e.get("name") == "thread_name"}
+if not lanes <= named:
+    raise SystemExit(f"FAIL: trace: lanes without thread_name: {lanes - named}")
+
+# --- Provenance JSONL -------------------------------------------------
+REQUIRED = ("tuple", "method", "explainer", "epoch", "thread",
+            "matched_itemsets", "store_misses", "samples_available",
+            "samples_reused", "samples_fresh", "tau", "invocations",
+            "cache_hits", "cache_misses", "wall_ns")
+for r in prov_lines:
+    for key in REQUIRED:
+        if key not in r:
+            raise SystemExit(f"FAIL: provenance: record missing '{key}': {r}")
+    if r["samples_reused"] + r["samples_fresh"] != r["tau"]:
+        raise SystemExit(f"FAIL: provenance: reused+fresh != tau: {r}")
+tuples = sorted(r["tuple"] for r in prov_lines)
+if tuples != list(range(batch)):
+    raise SystemExit(f"FAIL: provenance: expected one record per tuple "
+                     f"0..{batch - 1}, got {len(tuples)} records")
+if {r["method"] for r in prov_lines} != {"Shahin-Batch-Par2"}:
+    raise SystemExit("FAIL: provenance: unexpected method strings")
+
+# --- Reconciliation with the metrics snapshot -------------------------
+gauges = metrics["gauges"]
+if gauges.get("provenance.records") != len(prov_lines):
+    raise SystemExit(f"FAIL: provenance.records gauge "
+                     f"{gauges.get('provenance.records')} != "
+                     f"{len(prov_lines)} JSONL records")
+for gauge, field in (("provenance.samples_reused", "samples_reused"),
+                     ("provenance.samples_fresh", "samples_fresh")):
+    total = sum(r[field] for r in prov_lines)
+    if gauges.get(gauge) != total:
+        raise SystemExit(f"FAIL: {gauge} gauge {gauges.get(gauge)} != "
+                         f"JSONL total {total}")
+matched = sum(len(r["matched_itemsets"]) for r in prov_lines)
+if gauges.get("provenance.matched_itemsets") != matched:
+    raise SystemExit(f"FAIL: provenance.matched_itemsets gauge "
+                     f"{gauges.get('provenance.matched_itemsets')} != "
+                     f"JSONL total {matched}")
+
+print(f"OK: trace has {len(events)} events across {len(lanes)} worker lanes, "
+      f"balanced and monotonic")
+print(f"OK: provenance has {len(prov_lines)} records, one per tuple, "
+      f"reconciling with the snapshot")
+print("trace + provenance schema check passed")
 PY

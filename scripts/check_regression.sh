@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf-regression gate: reruns the parallel-driver and observability-overhead
+# benchmarks at CI scale and diffs the fresh artifacts against the committed
+# baselines under baselines/ci/ with bench_compare. Exits non-zero when a
+# deterministic count changed or a wall-time/speedup tolerance was exceeded.
+#
+#   scripts/check_regression.sh                     # gate against baselines
+#   scripts/check_regression.sh --update-baselines  # regenerate baselines
+#
+# Knobs (all optional; the baselines were generated with these defaults, and
+# bench_compare refuses to diff mismatched workloads):
+#   SHAHIN_REG_BATCH       tuples per parallel-bench batch   (default 300)
+#   SHAHIN_REG_LATENCY_US  simulated classifier latency, µs  (default 20)
+#   SHAHIN_REG_THREADS     thread counts swept               (default 2,4)
+#   SHAHIN_REG_OBS_BATCH   tuples per obs-bench batch        (default 400)
+#   SHAHIN_REG_OBS_REPS    obs-bench repetitions per arm     (default 7)
+#   SHAHIN_REG_OUT         where fresh artifacts land        (default mktemp)
+# Comparison tolerances: see bench_compare (SHAHIN_CMP_TOL_*).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR=baselines/ci
+BATCH="${SHAHIN_REG_BATCH:-300}"
+LATENCY="${SHAHIN_REG_LATENCY_US:-20}"
+THREADS="${SHAHIN_REG_THREADS:-2,4}"
+OBS_BATCH="${SHAHIN_REG_OBS_BATCH:-400}"
+OBS_REPS="${SHAHIN_REG_OBS_REPS:-7}"
+
+if [[ "${1:-}" == "--update-baselines" ]]; then
+    OUT="$BASELINE_DIR"
+    mkdir -p "$OUT"
+else
+    OUT="${SHAHIN_REG_OUT:-$(mktemp -d)}"
+    mkdir -p "$OUT"
+fi
+
+cargo build --release -p shahin-bench --bin bench_parallel --bin bench_obs --bin bench_compare
+
+# The obs bench runs first: its arms are short (~100ms) and timing-
+# sensitive, and running them on a machine still recovering from the
+# parallel bench's minute of all-core busy-wait skews the overheads.
+echo "== observability-overhead benchmark (batch=$OBS_BATCH, reps=$OBS_REPS)"
+SHAHIN_OBS_BATCH="$OBS_BATCH" SHAHIN_OBS_REPS="$OBS_REPS" \
+    SHAHIN_OBS_OUT="$OUT/BENCH_obs.json" \
+    target/release/bench_obs
+
+echo "== parallel-driver benchmark (batch=$BATCH, latency=${LATENCY}us, threads=$THREADS)"
+SHAHIN_PAR_BATCH="$BATCH" SHAHIN_PAR_LATENCY_US="$LATENCY" \
+    SHAHIN_PAR_THREADS="$THREADS" SHAHIN_PAR_OUT="$OUT/BENCH_parallel.json" \
+    target/release/bench_parallel
+
+if [[ "${1:-}" == "--update-baselines" ]]; then
+    echo "baselines regenerated under $BASELINE_DIR/ — review and commit them"
+    exit 0
+fi
+
+echo "== gating against $BASELINE_DIR/"
+target/release/bench_compare parallel "$BASELINE_DIR/BENCH_parallel.json" "$OUT/BENCH_parallel.json"
+target/release/bench_compare obs "$BASELINE_DIR/BENCH_obs.json" "$OUT/BENCH_obs.json"
+echo "perf-regression gate passed (fresh artifacts in $OUT)"

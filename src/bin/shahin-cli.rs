@@ -36,12 +36,19 @@ USAGE:
                      [--method sequential|batch|par[-K]|streaming|greedy|dist-K]
                      [--batch-size N] [--seed S] [--summary] [--top K]
                      [--metrics] [--metrics-out <file.json>]
+                     [--trace-out <file.json>] [--provenance-out <file.jsonl>]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
 
 OBSERVABILITY:
-  --metrics           print the metrics table (spans, counters, histograms)
-  --metrics-out FILE  write the full metrics snapshot as JSON
+  --metrics              print the metrics table (spans, counters, histograms)
+  --metrics-out FILE     write the full metrics snapshot as JSON
+  --trace-out FILE       write a Chrome trace-event timeline (load in Perfetto
+                         or chrome://tracing) of every instrumented phase
+  --provenance-out FILE  write one JSON line per explained tuple: matched
+                         itemsets, samples reused/fresh, invocations, timing
+
+Output files are created along with any missing parent directories.
 ";
 
 fn main() -> ExitCode {
@@ -91,6 +98,24 @@ fn get_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+/// Writes `contents` to `path`, creating any missing parent directories.
+/// Errors name the file, the failing operation, and the underlying cause
+/// instead of surfacing a bare `io::Error`.
+fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "cannot create directory '{}' for the {what} output: {e}",
+                    parent.display()
+                )
+            })?;
+        }
+    }
+    std::fs::write(p, contents).map_err(|e| format!("cannot write {what} output '{path}': {e}"))
 }
 
 fn run_cli(args: &[String]) -> Result<(), String> {
@@ -215,11 +240,22 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     // An enabled registry only when metrics were asked for: the traced
     // wrapper skips its timestamping entirely against a disabled one.
     let want_metrics = flags.contains_key("metrics") || flags.contains_key("metrics-out");
-    let obs = if want_metrics {
+    let want_trace = flags.contains_key("trace-out");
+    let want_provenance = flags.contains_key("provenance-out");
+    let obs = if want_metrics || want_trace || want_provenance {
         MetricsRegistry::new()
     } else {
         MetricsRegistry::disabled()
     };
+    let event_sink = want_trace.then(|| std::sync::Arc::new(shahin::EventSink::new()));
+    if let Some(sink) = &event_sink {
+        obs.attach_event_sink(std::sync::Arc::clone(sink));
+    }
+    let provenance_sink =
+        want_provenance.then(|| std::sync::Arc::new(shahin::ProvenanceSink::new()));
+    if let Some(sink) = &provenance_sink {
+        obs.attach_provenance_sink(std::sync::Arc::clone(sink));
+    }
     let clf = CountingClassifier::new(TracedClassifier::new(forest, &obs));
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
     let n = batch_size.min(split.test.n_rows());
@@ -269,9 +305,31 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
             print!("{}", snapshot.render_table());
         }
         if let Some(out_path) = flags.get("metrics-out") {
-            std::fs::write(out_path, snapshot.to_json()).map_err(|e| e.to_string())?;
+            write_output(out_path, &snapshot.to_json(), "metrics")?;
             println!("metrics written to {out_path}");
         }
+    }
+    if let (Some(sink), Some(out_path)) = (&event_sink, flags.get("trace-out")) {
+        write_output(out_path, &sink.to_chrome_trace(), "trace")?;
+        println!(
+            "trace written to {out_path} ({} events{}) — open in Perfetto or chrome://tracing",
+            sink.len(),
+            match sink.dropped() {
+                0 => String::new(),
+                d => format!(", {d} dropped"),
+            }
+        );
+    }
+    if let (Some(sink), Some(out_path)) = (&provenance_sink, flags.get("provenance-out")) {
+        write_output(out_path, &sink.to_jsonl(), "provenance")?;
+        println!(
+            "provenance written to {out_path} ({} records{})",
+            sink.len(),
+            match sink.dropped() {
+                0 => String::new(),
+                d => format!(", {d} dropped"),
+            }
+        );
     }
 
     if flags.contains_key("summary") {

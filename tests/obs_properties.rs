@@ -1,10 +1,21 @@
 //! Property-based tests for the observability primitives: concurrent
 //! counter increments and histogram recordings must never lose updates,
-//! and a histogram's bucket counts must always sum to its sample count.
+//! a histogram's bucket counts must always sum to its sample count, and
+//! the per-tuple provenance records emitted by a real Shahin-Batch run
+//! must reconcile exactly with the registry's store counters — at any
+//! thread count.
+
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use shahin_obs::{bucket_index, bucket_upper_ns, MetricsRegistry};
+use shahin::{run_with_obs, BatchConfig, ExplainerKind, Method, ProvenanceSink};
+use shahin_explain::{ExplainContext, LimeExplainer, LimeParams};
+use shahin_model::{CountingClassifier, ForestParams, RandomForest};
+use shahin_obs::{bucket_index, bucket_upper_ns, MetricsRegistry, ProvenanceRecord};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
 
 /// Recorded samples all land in their bucket and nowhere else.
 fn bucket_totals(reg: &MetricsRegistry, name: &str) -> (u64, u64, u64) {
@@ -109,6 +120,128 @@ proptest! {
         let h = &snap.histograms["mixed.latency"];
         prop_assert_eq!(h.count, 4 * per_thread);
         prop_assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4 * per_thread);
+    }
+}
+
+struct World {
+    ctx: ExplainContext,
+    clf: CountingClassifier<RandomForest>,
+    test: Dataset,
+}
+
+/// One shared small workload: forest training dominates the cost of these
+/// properties, so build it once and vary only batch size and threads.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.05).generate(11);
+        let mut rng = StdRng::seed_from_u64(11);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let forest = RandomForest::fit(
+            &split.train,
+            &split.train_labels,
+            &ForestParams {
+                n_trees: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        World {
+            ctx: ExplainContext::fit(&split.train, 500, &mut rng),
+            clf: CountingClassifier::new(forest),
+            test: split.test,
+        }
+    })
+}
+
+/// Runs a Shahin-Batch LIME batch with a provenance sink attached and
+/// returns the records plus the registry they must reconcile with.
+fn run_traced(n_threads: usize, batch_n: usize) -> (Vec<ProvenanceRecord>, MetricsRegistry) {
+    let w = world();
+    let rows: Vec<usize> = (0..batch_n.min(w.test.n_rows())).collect();
+    let batch = w.test.select(&rows);
+    let cfg = BatchConfig {
+        n_threads: Some(n_threads),
+        ..Default::default()
+    };
+    let method = if n_threads == 1 {
+        Method::Batch(cfg)
+    } else {
+        Method::BatchParallel(cfg)
+    };
+    let kind = ExplainerKind::Lime(LimeExplainer::new(LimeParams {
+        n_samples: 80,
+        ..Default::default()
+    }));
+    let reg = MetricsRegistry::new();
+    let sink = Arc::new(ProvenanceSink::new());
+    reg.attach_provenance_sink(sink.clone());
+    run_with_obs(&method, &kind, &w.ctx, &w.clf, &batch, 5, &reg);
+    (sink.records(), reg)
+}
+
+proptest! {
+    // Every case is a full batch run; keep the case count low and the
+    // batches small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn provenance_reconciles_with_counters_at_any_thread_count(
+        n_threads in 1usize..5,
+        batch_n in 8usize..32,
+    ) {
+        let (records, reg) = run_traced(n_threads, batch_n);
+        let snap = reg.snapshot();
+
+        // One record per explained tuple, each internally consistent:
+        // the reuse split must account for every surrogate sample.
+        prop_assert_eq!(records.len(), batch_n);
+        let mut tuples: Vec<u32> = records.iter().map(|r| r.tuple).collect();
+        tuples.sort_unstable();
+        prop_assert_eq!(tuples, (0..batch_n as u32).collect::<Vec<_>>());
+        for r in &records {
+            prop_assert_eq!(
+                r.samples_reused + r.samples_fresh, r.tau,
+                "tuple {}: reused {} + fresh {} != tau {}",
+                r.tuple, r.samples_reused, r.samples_fresh, r.tau
+            );
+        }
+
+        // The JSONL totals and the registry's store counters are two
+        // independent tallies of the same traffic.
+        let reused: u64 = records.iter().map(|r| r.samples_reused).sum();
+        let matched: u64 = records.iter().map(|r| r.matched_itemsets.len() as u64).sum();
+        let misses: u64 = records.iter().map(|r| r.store_misses).sum();
+        let available: u64 = records.iter().map(|r| r.samples_available).sum();
+        prop_assert_eq!(records.len() as u64, snap.counter("store.lookups"));
+        prop_assert_eq!(matched, snap.counter("store.hits"));
+        prop_assert_eq!(misses, snap.counter("store.misses"));
+        prop_assert_eq!(available, snap.counter("store.samples_reused"));
+        prop_assert_eq!(reused, snap.gauge("provenance.samples_reused"));
+        prop_assert_eq!(records.len() as u64, snap.gauge("provenance.records"));
+    }
+
+    #[test]
+    fn provenance_is_thread_count_invariant(batch_n in 8usize..24) {
+        // The reuse lineage is a statement about the algorithm, not the
+        // schedule: modulo which worker ran the tuple (thread, wall_ns),
+        // every field must be identical at any thread count.
+        let strip = |records: Vec<ProvenanceRecord>| {
+            let mut r: Vec<_> = records
+                .into_iter()
+                .map(|r| (r.tuple, r.matched_itemsets, r.store_misses,
+                          r.samples_available, r.samples_reused,
+                          r.samples_fresh, r.tau, r.invocations))
+                .collect();
+            r.sort_unstable();
+            r
+        };
+        let (seq, _) = run_traced(1, batch_n);
+        let baseline = strip(seq);
+        for n_threads in [2usize, 4] {
+            let (par, _) = run_traced(n_threads, batch_n);
+            prop_assert_eq!(&baseline, &strip(par), "diverged at {} threads", n_threads);
+        }
     }
 }
 
