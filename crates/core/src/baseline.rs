@@ -16,7 +16,7 @@ use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::{Dataset, Feature};
 
 use crate::greedy_cache::TaggedLruCache;
-use crate::metrics::{BatchResult, RunMetrics};
+use crate::metrics::{BatchReport, BatchResult, RunMetrics};
 use crate::runner::per_tuple_seed;
 
 // ---------------------------------------------------------------------------
@@ -41,6 +41,7 @@ pub fn sequential_lime<C: Classifier>(
         .collect();
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: wall0.elapsed(),
@@ -68,6 +69,7 @@ pub fn sequential_anchor<C: Classifier>(
         .collect();
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: wall0.elapsed(),
@@ -100,6 +102,7 @@ pub fn sequential_shap<C: Classifier>(
         .collect();
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: wall0.elapsed(),
@@ -167,6 +170,7 @@ pub fn dist_k_lime<C: Classifier>(
     });
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: avg,
@@ -192,6 +196,7 @@ pub fn dist_k_anchor<C: Classifier>(
     });
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: avg,
@@ -220,6 +225,7 @@ pub fn dist_k_shap<C: Classifier>(
     });
     BatchResult {
         explanations,
+        report: BatchReport::default(),
         metrics: RunMetrics {
             invocations: clf.invocations() - start_inv,
             wall: avg,
@@ -325,6 +331,7 @@ impl Greedy {
         }
         BatchResult {
             explanations,
+            report: BatchReport::default(),
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -389,6 +396,7 @@ impl Greedy {
         }
         BatchResult {
             explanations,
+            report: BatchReport::default(),
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -430,6 +438,7 @@ impl Greedy {
         }
         BatchResult {
             explanations,
+            report: BatchReport::default(),
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),

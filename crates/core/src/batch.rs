@@ -22,8 +22,9 @@ use shahin_tabular::{Dataset, DiscreteTable};
 
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::config::{BatchConfig, Miner};
-use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::metrics::{BatchReport, BatchResult, OverheadBreakdown, RunMetrics};
 use crate::obs::{names, ProvenanceCtx};
+use crate::quarantine::{guard_tuple, QuarantineObs, TupleOutcome};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 use crate::store::PerturbationStore;
@@ -148,34 +149,48 @@ impl ShahinBatch {
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "LIME");
 
+        let quarantine = QuarantineObs::new(&self.obs);
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
+        let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {
-            let t0 = prov.start();
-            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
-            let codes = prep.table.row(row);
-            let retrieve = retrieve_hist.start();
-            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
-            retrieval += retrieve.stop();
-            let store = &prep.store;
-            let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
-            let instance = batch.instance(row);
-            let _fit = surrogate_hist.start();
-            let (weights, reuse) =
-                lime.explain_with_reused_counted(ctx, clf, &instance, pooled, &mut tuple_rng);
-            explanations.push(weights);
-            prov.record(
-                row as u32,
-                0,
-                &matched,
-                lookup,
-                reuse.reused,
-                reuse.fresh,
-                reuse.invocations,
-                (0, 0),
-                t0,
-            );
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                let codes = prep.table.row(row);
+                let retrieve = retrieve_hist.start();
+                let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
+                retrieval += retrieve.stop();
+                let store = &prep.store;
+                let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                let instance = batch.instance(row);
+                let _fit = surrogate_hist.start();
+                let (weights, reuse) =
+                    lime.explain_with_reused_counted(ctx, clf, &instance, pooled, &mut tuple_rng);
+                let degraded = reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    0,
+                    &matched,
+                    lookup,
+                    reuse.reused,
+                    reuse.fresh,
+                    reuse.invocations,
+                    (0, 0),
+                    degraded,
+                    t0,
+                );
+                (weights, degraded)
+            });
+            match outcome {
+                TupleOutcome::Ok(weights) => explanations.push(weights),
+                TupleOutcome::Degraded(weights) => {
+                    explanations.push(weights);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(failure) => report.failures.push(failure),
+            }
         }
 
         BatchResult {
@@ -192,6 +207,7 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
         }
     }
 
@@ -215,39 +231,54 @@ impl ShahinBatch {
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "Anchor");
 
+        let quarantine = QuarantineObs::new(&self.obs);
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
+        let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {
-            let t0 = prov.start();
-            let codes = prep.table.row(row);
-            let retrieve = retrieve_hist.start();
-            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
-            retrieval += retrieve.stop();
-            let instance = batch.instance(row);
-            let inv0 = clf.invocations();
-            let target = clf.predict(&instance);
-            let mut sampler = CachingRuleSampler::new(
-                ctx,
-                clf,
-                &prep.store,
-                &matched,
-                &caches,
-                per_tuple_seed(seed, row),
-            );
-            explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
-            let stats = sampler.stats();
-            prov.record(
-                row as u32,
-                0,
-                &matched,
-                lookup,
-                stats.reused,
-                stats.fresh,
-                clf.invocations() - inv0,
-                (stats.cache_hits, stats.cache_misses),
-                t0,
-            );
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let codes = prep.table.row(row);
+                let retrieve = retrieve_hist.start();
+                let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
+                retrieval += retrieve.stop();
+                let instance = batch.instance(row);
+                let inv0 = clf.invocations();
+                let target = clf.predict(&instance);
+                let mut sampler = CachingRuleSampler::new(
+                    ctx,
+                    clf,
+                    &prep.store,
+                    &matched,
+                    &caches,
+                    per_tuple_seed(seed, row),
+                );
+                let explanation = anchor.explain_with_sampler(&codes, target, &mut sampler);
+                let stats = sampler.stats();
+                let degraded = shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    0,
+                    &matched,
+                    lookup,
+                    stats.reused,
+                    stats.fresh,
+                    clf.invocations() - inv0,
+                    (stats.cache_hits, stats.cache_misses),
+                    degraded,
+                    t0,
+                );
+                (explanation, degraded)
+            });
+            match outcome {
+                TupleOutcome::Ok(explanation) => explanations.push(explanation),
+                TupleOutcome::Degraded(explanation) => {
+                    explanations.push(explanation);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(failure) => report.failures.push(failure),
+            }
         }
 
         BatchResult {
@@ -264,6 +295,7 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
         }
     }
 
@@ -283,7 +315,8 @@ impl ShahinBatch {
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
-        let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let quarantine = QuarantineObs::new(&self.obs);
+        let base = estimate_base_value_guarded(ctx, clf, base_samples, &mut rng, &quarantine);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "SHAP");
@@ -291,45 +324,58 @@ impl ShahinBatch {
         let mut retrieval = Duration::ZERO;
         let mut scratch = Vec::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
+        let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {
-            let t0 = prov.start();
-            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
-            let codes = prep.table.row(row);
-            let retrieve = retrieve_hist.start();
-            let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
-            // Line 7–8: pool the perturbations of contained frequent
-            // itemsets as coalitions over their attributes (round-robin
-            // for mask diversity, half of the budget).
-            let pooled = crate::shap_source::pool_coalitions(
-                &prep.store,
-                &matched,
-                shap.params.n_samples / 2,
-            );
-            let mut source = StoreCoalitionSource::new(&prep.store, matched.clone());
-            retrieval += retrieve.stop();
-            let instance = batch.instance(row);
-            let _fit = surrogate_hist.start();
-            let (weights, reuse) = shap.explain_with_counted(
-                ctx,
-                clf,
-                &instance,
-                base,
-                pooled,
-                &mut source,
-                &mut tuple_rng,
-            );
-            explanations.push(weights);
-            prov.record(
-                row as u32,
-                0,
-                &matched,
-                lookup,
-                reuse.reused,
-                reuse.fresh,
-                reuse.invocations,
-                (0, 0),
-                t0,
-            );
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                let codes = prep.table.row(row);
+                let retrieve = retrieve_hist.start();
+                let (matched, lookup) = prep.store.matching_stats(&codes, &mut scratch);
+                // Line 7–8: pool the perturbations of contained frequent
+                // itemsets as coalitions over their attributes (round-robin
+                // for mask diversity, half of the budget).
+                let pooled = crate::shap_source::pool_coalitions(
+                    &prep.store,
+                    &matched,
+                    shap.params.n_samples / 2,
+                );
+                let mut source = StoreCoalitionSource::new(&prep.store, matched.clone());
+                retrieval += retrieve.stop();
+                let instance = batch.instance(row);
+                let _fit = surrogate_hist.start();
+                let (weights, reuse) = shap.explain_with_counted(
+                    ctx,
+                    clf,
+                    &instance,
+                    base,
+                    pooled,
+                    &mut source,
+                    &mut tuple_rng,
+                );
+                let degraded = reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    0,
+                    &matched,
+                    lookup,
+                    reuse.reused,
+                    reuse.fresh,
+                    reuse.invocations,
+                    (0, 0),
+                    degraded,
+                    t0,
+                );
+                (weights, degraded)
+            });
+            match outcome {
+                TupleOutcome::Ok(weights) => explanations.push(weights),
+                TupleOutcome::Degraded(weights) => {
+                    explanations.push(weights);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(failure) => report.failures.push(failure),
+            }
         }
 
         BatchResult {
@@ -346,6 +392,34 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
+        }
+    }
+}
+
+/// Estimates the SHAP base value, falling back to `0.5` when a classifier
+/// panic unwinds out of the estimation loop. The base value is shared by
+/// the whole batch, so losing it must not kill every tuple — the fallback
+/// keeps the efficiency constraint intact (the surrogate re-anchors on
+/// it) and the contained panic is counted in
+/// `resilience.panics_isolated`.
+pub(crate) fn estimate_base_value_guarded<C: Classifier>(
+    ctx: &ExplainContext,
+    clf: &C,
+    n_samples: usize,
+    rng: &mut StdRng,
+    quarantine: &QuarantineObs,
+) -> f64 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| {
+        shahin_explain::estimate_base_value(ctx, clf, n_samples, rng)
+    })) {
+        // `estimate_base_value` clamps non-finite model outputs itself, so
+        // an Ok value is always usable.
+        Ok(base) => base,
+        Err(_) => {
+            quarantine.note_contained_panic();
+            0.5
         }
     }
 }

@@ -110,6 +110,17 @@ impl TaggedLruCache {
         self.used_bytes += need;
     }
 
+    /// Clones every cached sample without disturbing the cache. The
+    /// streaming refresh carries samples from clones so the warm-up cache
+    /// keeps serving if the rebuild fails partway.
+    pub fn samples_cloned(&self) -> Vec<LabeledSample> {
+        let mut out = Vec::with_capacity(self.n_samples());
+        for b in self.buckets.values() {
+            out.extend(b.samples.iter().cloned());
+        }
+        out
+    }
+
     /// Removes and returns every cached sample (used when the streaming
     /// variant graduates from the warm-up cache to the itemset store).
     pub fn drain_samples(&mut self) -> Vec<LabeledSample> {

@@ -59,6 +59,7 @@ pub mod greedy_cache;
 pub mod metrics;
 pub mod obs;
 pub mod parallel;
+pub(crate) mod quarantine;
 pub mod runner;
 pub mod shap_source;
 pub mod store;
@@ -70,7 +71,9 @@ pub use baseline::{dist_k, Greedy};
 pub use batch::ShahinBatch;
 pub use config::{BatchConfig, Miner, StreamingConfig};
 pub use greedy_cache::TaggedLruCache;
-pub use metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+pub use metrics::{
+    BatchReport, BatchResult, FailureKind, OverheadBreakdown, RunMetrics, TupleFailure,
+};
 pub use obs::{
     fold_provenance, register_standard, EventSink, MetricsRegistry, MetricsSnapshot,
     ProvenanceRecord, ProvenanceSink,

@@ -73,13 +73,98 @@ impl RunMetrics {
     }
 }
 
+/// The failure taxonomy of a quarantined tuple (mirrors
+/// `shahin_model::PredictError`, plus `Panic` for unwinds that carry no
+/// typed error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A retryable transient failure survived the retry budget.
+    Transient,
+    /// A per-call deadline overran past the retry budget.
+    Timeout,
+    /// The model output was not a probability and could not be sanitized.
+    InvalidOutput,
+    /// An unrecoverable classifier failure (breaker open, exhausted
+    /// budget, model panic converted by the resilient wrapper).
+    Fatal,
+    /// An unclassified panic unwound out of the tuple's explanation.
+    Panic,
+}
+
+impl FailureKind {
+    /// Stable lowercase name (used in reports and CLI summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Transient => "transient",
+            FailureKind::Timeout => "timeout",
+            FailureKind::InvalidOutput => "invalid_output",
+            FailureKind::Fatal => "fatal",
+            FailureKind::Panic => "panic",
+        }
+    }
+}
+
+/// One quarantined tuple: the batch finished without it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleFailure {
+    /// Batch row index of the tuple.
+    pub row: u32,
+    /// Failure taxonomy bucket.
+    pub kind: FailureKind,
+    /// Human-readable cause (panic message or error display).
+    pub message: String,
+}
+
+/// Degraded-mode outcome of a batch: which tuples failed (quarantined, no
+/// explanation produced) and which degraded (explained, but the resilient
+/// boundary absorbed retries or sanitized garbage along the way).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Quarantined tuples, in row order.
+    pub failures: Vec<TupleFailure>,
+    /// Rows explained in degraded mode, in row order.
+    pub degraded: Vec<u32>,
+}
+
+impl BatchReport {
+    /// Whether every tuple was explained cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.degraded.is_empty()
+    }
+
+    /// One-line summary, e.g. `"2 failed (1 panic, 1 fatal), 3 degraded"`.
+    pub fn summary(&self) -> String {
+        if self.failures.is_empty() && self.degraded.is_empty() {
+            return "all tuples explained cleanly".into();
+        }
+        let mut by_kind: Vec<(&'static str, usize)> = Vec::new();
+        for f in &self.failures {
+            match by_kind.iter_mut().find(|(k, _)| *k == f.kind.name()) {
+                Some((_, n)) => *n += 1,
+                None => by_kind.push((f.kind.name(), 1)),
+            }
+        }
+        let kinds: Vec<String> = by_kind.iter().map(|(k, n)| format!("{n} {k}")).collect();
+        let failed = if self.failures.is_empty() {
+            "0 failed".to_string()
+        } else {
+            format!("{} failed ({})", self.failures.len(), kinds.join(", "))
+        };
+        format!("{failed}, {} degraded", self.degraded.len())
+    }
+}
+
 /// Explanations plus the metrics of producing them.
 #[derive(Clone, Debug)]
 pub struct BatchResult<T> {
-    /// One explanation per batch tuple, in batch order.
+    /// One explanation per *surviving* batch tuple, in batch order
+    /// (quarantined rows are absent; see [`BatchResult::report`]).
     pub explanations: Vec<T>,
     /// Run metrics.
     pub metrics: RunMetrics,
+    /// Failed/degraded tuple accounting. Empty (`is_clean`) for every
+    /// run whose classifier never misbehaves.
+    pub report: BatchReport,
 }
 
 /// Speedup of `ours` relative to `baseline` by wall-clock time.
@@ -133,6 +218,36 @@ mod tests {
         };
         assert!((speedup_wall(&base, &ours) - 10.0).abs() < 1e-9);
         assert!((speedup_invocations(&base, &ours) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_report_summary_counts_by_kind() {
+        let clean = BatchReport::default();
+        assert!(clean.is_clean());
+        assert_eq!(clean.summary(), "all tuples explained cleanly");
+
+        let report = BatchReport {
+            failures: vec![
+                TupleFailure {
+                    row: 3,
+                    kind: FailureKind::Panic,
+                    message: "boom".into(),
+                },
+                TupleFailure {
+                    row: 7,
+                    kind: FailureKind::Fatal,
+                    message: "budget".into(),
+                },
+                TupleFailure {
+                    row: 9,
+                    kind: FailureKind::Panic,
+                    message: "boom again".into(),
+                },
+            ],
+            degraded: vec![1, 4],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.summary(), "3 failed (2 panic, 1 fatal), 2 degraded");
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub mod names {
     pub const STREAMING_EARLY_EVICTIONS: &str = "streaming.early_evictions";
     /// Samples carried into a rebuilt store at refresh.
     pub const STREAMING_CARRIED_SAMPLES: &str = "streaming.carried_samples";
+    /// Refresh rounds that failed (panic mid-rebuild); the stream keeps
+    /// serving from the stale store and retries next window.
+    pub const STREAMING_REFRESH_FAILURES: &str = "streaming.refresh_failures";
 
     /// Rows pushed through the classifier (TracedClassifier).
     pub const CLASSIFIER_INVOCATIONS: &str = "classifier.invocations";
@@ -97,6 +100,32 @@ pub mod names {
     pub const PROVENANCE_CACHE_MISSES: &str = "provenance.cache_misses";
     /// Records discarded by the bounded sink (gauge).
     pub const PROVENANCE_DROPPED: &str = "provenance.dropped";
+    /// Records flagged degraded (gauge).
+    pub const PROVENANCE_DEGRADED: &str = "provenance.degraded";
+
+    /// Retry attempts performed by the resilient classifier boundary.
+    pub const RESILIENCE_RETRIES: &str = "resilience.retries";
+    /// Transient classifier errors observed (retried or not).
+    pub const RESILIENCE_TRANSIENT_ERRORS: &str = "resilience.transient_errors";
+    /// Per-call deadline overruns observed.
+    pub const RESILIENCE_TIMEOUTS: &str = "resilience.timeouts";
+    /// Non-probability outputs sanitized before surrogate fitting.
+    pub const RESILIENCE_INVALID_PROBA: &str = "resilience.invalid_proba";
+    /// Calls that exhausted the retry budget or failed fatally.
+    pub const RESILIENCE_GIVEUPS: &str = "resilience.giveups";
+    /// Circuit-breaker trips.
+    pub const RESILIENCE_BREAKER_OPENS: &str = "resilience.breaker_opens";
+    /// Calls short-circuited by an open breaker.
+    pub const RESILIENCE_BREAKER_SHORT_CIRCUITS: &str = "resilience.breaker_short_circuits";
+    /// Unwinds caught and contained by any driver (per-tuple quarantine,
+    /// per-itemset materialization isolation, refresh isolation).
+    pub const RESILIENCE_PANICS_ISOLATED: &str = "resilience.panics_isolated";
+    /// Tuples quarantined by a batch (equals the `BatchReport` failure
+    /// count of the run).
+    pub const RESILIENCE_TUPLES_FAILED: &str = "resilience.tuples_failed";
+    /// Tuples explained in degraded mode (equals the `BatchReport`
+    /// degraded count of the run).
+    pub const RESILIENCE_TUPLES_DEGRADED: &str = "resilience.tuples_degraded";
 
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
@@ -133,12 +162,23 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::STREAMING_REFRESH_ROUNDS,
         names::STREAMING_EARLY_EVICTIONS,
         names::STREAMING_CARRIED_SAMPLES,
+        names::STREAMING_REFRESH_FAILURES,
         names::CLASSIFIER_INVOCATIONS,
         names::CLASSIFIER_BATCH_CALLS,
         names::ANCHOR_LEVELS,
         names::ANCHOR_CANDIDATES,
         names::ANCHOR_VERIFIED,
         names::ANCHOR_FALLBACKS,
+        names::RESILIENCE_RETRIES,
+        names::RESILIENCE_TRANSIENT_ERRORS,
+        names::RESILIENCE_TIMEOUTS,
+        names::RESILIENCE_INVALID_PROBA,
+        names::RESILIENCE_GIVEUPS,
+        names::RESILIENCE_BREAKER_OPENS,
+        names::RESILIENCE_BREAKER_SHORT_CIRCUITS,
+        names::RESILIENCE_PANICS_ISOLATED,
+        names::RESILIENCE_TUPLES_FAILED,
+        names::RESILIENCE_TUPLES_DEGRADED,
     ] {
         reg.counter(counter);
     }
@@ -155,6 +195,7 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::PROVENANCE_CACHE_HITS,
         names::PROVENANCE_CACHE_MISSES,
         names::PROVENANCE_DROPPED,
+        names::PROVENANCE_DEGRADED,
     ] {
         reg.gauge(gauge);
     }
@@ -194,6 +235,7 @@ pub fn fold_provenance(reg: &MetricsRegistry) {
     reg.gauge(names::PROVENANCE_CACHE_MISSES)
         .set(t.cache_misses);
     reg.gauge(names::PROVENANCE_DROPPED).set(sink.dropped());
+    reg.gauge(names::PROVENANCE_DEGRADED).set(t.degraded);
 }
 
 /// The per-driver provenance context: the attached sink (if any) plus the
@@ -224,7 +266,9 @@ impl ProvenanceCtx {
 
     /// Emits one tuple's record. `reused`/`fresh`/`invocations` come from
     /// the explainer's counted variant, `lookup` from the store's stats
-    /// lookup, `cache` is the Anchor sampler's per-tuple (hits, misses).
+    /// lookup, `cache` is the Anchor sampler's per-tuple (hits, misses),
+    /// `degraded` whether the resilient boundary absorbed incidents while
+    /// explaining this tuple.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &self,
@@ -236,6 +280,7 @@ impl ProvenanceCtx {
         fresh: u64,
         invocations: u64,
         cache: (u64, u64),
+        degraded: bool,
         t0: Option<Instant>,
     ) {
         let Some(sink) = &self.sink else {
@@ -259,6 +304,7 @@ impl ProvenanceCtx {
             wall_ns: t0.map_or(0, |t| {
                 u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
             }),
+            degraded,
         });
     }
 }
@@ -272,7 +318,18 @@ mod tests {
         let reg = MetricsRegistry::new();
         let ctx = ProvenanceCtx::new(&reg, "Shahin-Batch", "LIME");
         assert!(ctx.start().is_none());
-        ctx.record(0, 0, &[], LookupStats::default(), 1, 2, 3, (0, 0), None);
+        ctx.record(
+            0,
+            0,
+            &[],
+            LookupStats::default(),
+            1,
+            2,
+            3,
+            (0, 0),
+            false,
+            None,
+        );
 
         let sink = Arc::new(ProvenanceSink::new());
         reg.attach_provenance_sink(Arc::clone(&sink));
@@ -284,7 +341,7 @@ mod tests {
             misses: 1,
             samples_available: 40,
         };
-        ctx.record(7, 0, &[3, 9], lookup, 40, 59, 60, (0, 0), t0);
+        ctx.record(7, 0, &[3, 9], lookup, 40, 59, 60, (0, 0), true, t0);
         let recs = sink.records();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
@@ -300,6 +357,7 @@ mod tests {
         assert_eq!(snap.gauge(names::PROVENANCE_RECORDS), 1);
         assert_eq!(snap.gauge(names::PROVENANCE_SAMPLES_REUSED), 40);
         assert_eq!(snap.gauge(names::PROVENANCE_INVOCATIONS), 60);
+        assert_eq!(snap.gauge(names::PROVENANCE_DEGRADED), 1);
         // Re-folding is idempotent.
         fold_provenance(&reg);
         assert_eq!(reg.snapshot().gauge(names::PROVENANCE_RECORDS), 1);
@@ -315,7 +373,13 @@ mod tests {
             names::STORE_HITS,
             names::STORE_MISSES,
             names::STREAMING_REFRESH_ROUNDS,
+            names::STREAMING_REFRESH_FAILURES,
             names::CLASSIFIER_INVOCATIONS,
+            names::RESILIENCE_RETRIES,
+            names::RESILIENCE_INVALID_PROBA,
+            names::RESILIENCE_PANICS_ISOLATED,
+            names::RESILIENCE_TUPLES_FAILED,
+            names::RESILIENCE_TUPLES_DEGRADED,
             &names::anchor_shard(0, "hits"),
             &names::anchor_shard(N_SHARDS - 1, "contention"),
         ] {

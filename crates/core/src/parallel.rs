@@ -39,9 +39,10 @@ use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::Dataset;
 
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
-use crate::batch::ShahinBatch;
+use crate::batch::{estimate_base_value_guarded, ShahinBatch};
 use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
 use crate::obs::{names, ProvenanceCtx};
+use crate::quarantine::{collect_outcomes, guard_tuple, QuarantineObs, TupleOutcome};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 
@@ -89,10 +90,12 @@ impl ShahinBatch {
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "LIME");
+        let quarantine = QuarantineObs::new(&self.obs);
 
-        let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
+        let mut slots: Vec<Option<TupleOutcome<FeatureWeights>>> =
+            (0..batch.n_rows()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut rest = explanations.as_mut_slice();
+            let mut rest = slots.as_mut_slice();
             for (start, end) in chunks(batch.n_rows(), n_threads) {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
@@ -100,49 +103,56 @@ impl ShahinBatch {
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
                 let prov = prov.clone();
+                let quarantine = quarantine.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
-                        let t0 = prov.start();
-                        let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
-                        let codes = table.row(row);
-                        // Read-only matching: no LRU bookkeeping races.
-                        let retrieve = retrieve_hist.start();
-                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
-                        drop(retrieve);
-                        let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
-                        let instance = batch.instance(row);
-                        let _fit = surrogate_hist.start();
-                        let (weights, reuse) = lime.explain_with_reused_counted(
-                            ctx,
-                            clf,
-                            &instance,
-                            pooled,
-                            &mut tuple_rng,
-                        );
-                        *slot = Some(weights);
-                        prov.record(
-                            row as u32,
-                            0,
-                            &matched,
-                            lookup,
-                            reuse.reused,
-                            reuse.fresh,
-                            reuse.invocations,
-                            (0, 0),
-                            t0,
-                        );
+                        // Panic isolation per tuple: a classifier panic
+                        // quarantines this row only; the store is read-only
+                        // here so shared state cannot be left inconsistent.
+                        *slot = Some(guard_tuple(row as u32, &quarantine, |incidents0| {
+                            let t0 = prov.start();
+                            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                            let codes = table.row(row);
+                            // Read-only matching: no LRU bookkeeping races.
+                            let retrieve = retrieve_hist.start();
+                            let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
+                            drop(retrieve);
+                            let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                            let instance = batch.instance(row);
+                            let _fit = surrogate_hist.start();
+                            let (weights, reuse) = lime.explain_with_reused_counted(
+                                ctx,
+                                clf,
+                                &instance,
+                                pooled,
+                                &mut tuple_rng,
+                            );
+                            let degraded = reuse.clamped > 0
+                                || shahin_model::degraded_incidents() > incidents0;
+                            prov.record(
+                                row as u32,
+                                0,
+                                &matched,
+                                lookup,
+                                reuse.reused,
+                                reuse.fresh,
+                                reuse.invocations,
+                                (0, 0),
+                                degraded,
+                                t0,
+                            );
+                            (weights, degraded)
+                        }));
                     }
                 });
             }
         });
 
+        let (explanations, report) = collect_outcomes(slots);
         BatchResult {
-            explanations: explanations
-                .into_iter()
-                .map(|e| e.expect("every row explained"))
-                .collect(),
+            explanations,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -155,6 +165,7 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
         }
     }
 
@@ -184,10 +195,12 @@ impl ShahinBatch {
         let anchor = &anchor;
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "Anchor");
+        let quarantine = QuarantineObs::new(&self.obs);
 
-        let mut explanations: Vec<Option<AnchorExplanation>> = vec![None; batch.n_rows()];
+        let mut slots: Vec<Option<TupleOutcome<AnchorExplanation>>> =
+            (0..batch.n_rows()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut rest = explanations.as_mut_slice();
+            let mut rest = slots.as_mut_slice();
             for (start, end) in chunks(batch.n_rows(), n_threads) {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
@@ -195,51 +208,61 @@ impl ShahinBatch {
                 let caches = &caches;
                 let retrieve_hist = retrieve_hist.clone();
                 let prov = prov.clone();
+                let quarantine = quarantine.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
-                        let t0 = prov.start();
-                        let codes = table.row(row);
-                        let retrieve = retrieve_hist.start();
-                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
-                        drop(retrieve);
-                        let instance = batch.instance(row);
-                        let target = clf.predict(&instance);
-                        let mut sampler = CachingRuleSampler::new(
-                            ctx,
-                            clf,
-                            store,
-                            &matched,
-                            caches,
-                            per_tuple_seed(seed, row),
-                        );
-                        *slot = Some(anchor.explain_with_sampler(&codes, target, &mut sampler));
-                        // The shared CountingClassifier is racy per tuple
-                        // here, so invocations are attributed from the
-                        // sampler's fresh draws plus the target probe.
-                        let stats = sampler.stats();
-                        prov.record(
-                            row as u32,
-                            0,
-                            &matched,
-                            lookup,
-                            stats.reused,
-                            stats.fresh,
-                            stats.fresh + 1,
-                            (stats.cache_hits, stats.cache_misses),
-                            t0,
-                        );
+                        // The shared anchor caches are lock-striped with
+                        // non-poisoning locks and only publish completed
+                        // evidence, so quarantining this row mid-bandit
+                        // leaves them consistent for the other workers.
+                        *slot = Some(guard_tuple(row as u32, &quarantine, |incidents0| {
+                            let t0 = prov.start();
+                            let codes = table.row(row);
+                            let retrieve = retrieve_hist.start();
+                            let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
+                            drop(retrieve);
+                            let instance = batch.instance(row);
+                            let target = clf.predict(&instance);
+                            let mut sampler = CachingRuleSampler::new(
+                                ctx,
+                                clf,
+                                store,
+                                &matched,
+                                caches,
+                                per_tuple_seed(seed, row),
+                            );
+                            let explanation =
+                                anchor.explain_with_sampler(&codes, target, &mut sampler);
+                            // The shared CountingClassifier is racy per
+                            // tuple here, so invocations are attributed
+                            // from the sampler's fresh draws plus the
+                            // target probe.
+                            let stats = sampler.stats();
+                            let degraded = shahin_model::degraded_incidents() > incidents0;
+                            prov.record(
+                                row as u32,
+                                0,
+                                &matched,
+                                lookup,
+                                stats.reused,
+                                stats.fresh,
+                                stats.fresh + 1,
+                                (stats.cache_hits, stats.cache_misses),
+                                degraded,
+                                t0,
+                            );
+                            (explanation, degraded)
+                        }));
                     }
                 });
             }
         });
 
+        let (explanations, report) = collect_outcomes(slots);
         BatchResult {
-            explanations: explanations
-                .into_iter()
-                .map(|e| e.expect("every row explained"))
-                .collect(),
+            explanations,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -252,6 +275,7 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
         }
     }
 
@@ -272,15 +296,17 @@ impl ShahinBatch {
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let prep = self.prepare(ctx, clf, batch, shap.params.n_samples, seed, &mut rng);
-        let base = shahin_explain::estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let quarantine = QuarantineObs::new(&self.obs);
+        let base = estimate_base_value_guarded(ctx, clf, base_samples, &mut rng, &quarantine);
         let store = &prep.store;
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, &format!("Shahin-Batch-Par{n_threads}"), "SHAP");
 
-        let mut explanations: Vec<Option<FeatureWeights>> = vec![None; batch.n_rows()];
+        let mut slots: Vec<Option<TupleOutcome<FeatureWeights>>> =
+            (0..batch.n_rows()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut rest = explanations.as_mut_slice();
+            let mut rest = slots.as_mut_slice();
             for (start, end) in chunks(batch.n_rows(), n_threads) {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
@@ -288,55 +314,59 @@ impl ShahinBatch {
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
                 let prov = prov.clone();
+                let quarantine = quarantine.clone();
                 scope.spawn(move || {
                     let mut scratch = Vec::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
-                        let t0 = prov.start();
-                        let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
-                        let codes = table.row(row);
-                        let retrieve = retrieve_hist.start();
-                        let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
-                        let pooled = crate::shap_source::pool_coalitions(
-                            store,
-                            &matched,
-                            shap.params.n_samples / 2,
-                        );
-                        let mut source = StoreCoalitionSource::new(store, matched.clone());
-                        drop(retrieve);
-                        let instance = batch.instance(row);
-                        let _fit = surrogate_hist.start();
-                        let (weights, reuse) = shap.explain_with_counted(
-                            ctx,
-                            clf,
-                            &instance,
-                            base,
-                            pooled,
-                            &mut source,
-                            &mut tuple_rng,
-                        );
-                        *slot = Some(weights);
-                        prov.record(
-                            row as u32,
-                            0,
-                            &matched,
-                            lookup,
-                            reuse.reused,
-                            reuse.fresh,
-                            reuse.invocations,
-                            (0, 0),
-                            t0,
-                        );
+                        *slot = Some(guard_tuple(row as u32, &quarantine, |incidents0| {
+                            let t0 = prov.start();
+                            let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
+                            let codes = table.row(row);
+                            let retrieve = retrieve_hist.start();
+                            let (matched, lookup) = store.matching_read_stats(&codes, &mut scratch);
+                            let pooled = crate::shap_source::pool_coalitions(
+                                store,
+                                &matched,
+                                shap.params.n_samples / 2,
+                            );
+                            let mut source = StoreCoalitionSource::new(store, matched.clone());
+                            drop(retrieve);
+                            let instance = batch.instance(row);
+                            let _fit = surrogate_hist.start();
+                            let (weights, reuse) = shap.explain_with_counted(
+                                ctx,
+                                clf,
+                                &instance,
+                                base,
+                                pooled,
+                                &mut source,
+                                &mut tuple_rng,
+                            );
+                            let degraded = reuse.clamped > 0
+                                || shahin_model::degraded_incidents() > incidents0;
+                            prov.record(
+                                row as u32,
+                                0,
+                                &matched,
+                                lookup,
+                                reuse.reused,
+                                reuse.fresh,
+                                reuse.invocations,
+                                (0, 0),
+                                degraded,
+                                t0,
+                            );
+                            (weights, degraded)
+                        }));
                     }
                 });
             }
         });
 
+        let (explanations, report) = collect_outcomes(slots);
         BatchResult {
-            explanations: explanations
-                .into_iter()
-                .map(|e| e.expect("every row explained"))
-                .collect(),
+            explanations,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -349,6 +379,7 @@ impl ShahinBatch {
                 n_frequent: prep.store.len(),
                 n_tuples: batch.n_rows(),
             },
+            report,
         }
     }
 }

@@ -15,7 +15,7 @@ use crate::baseline::{
 };
 use crate::batch::ShahinBatch;
 use crate::config::{BatchConfig, StreamingConfig};
-use crate::metrics::{BatchResult, RunMetrics};
+use crate::metrics::{BatchReport, BatchResult, RunMetrics};
 use crate::obs::{fold_provenance, register_standard, MetricsRegistry};
 use crate::streaming::ShahinStreaming;
 
@@ -123,8 +123,11 @@ impl Explanation {
 pub struct RunReport {
     /// Metrics of the run.
     pub metrics: RunMetrics,
-    /// One explanation per tuple.
+    /// One explanation per *surviving* tuple (quarantined tuples are
+    /// listed in [`RunReport::report`] instead).
     pub explanations: Vec<Explanation>,
+    /// Quarantined and degraded tuples of the run.
+    pub report: BatchReport,
 }
 
 fn wrap_weights(r: BatchResult<FeatureWeights>) -> RunReport {
@@ -135,6 +138,7 @@ fn wrap_weights(r: BatchResult<FeatureWeights>) -> RunReport {
             .into_iter()
             .map(Explanation::Weights)
             .collect(),
+        report: r.report,
     }
 }
 
@@ -142,6 +146,7 @@ fn wrap_rules(r: BatchResult<AnchorExplanation>) -> RunReport {
     RunReport {
         metrics: r.metrics,
         explanations: r.explanations.into_iter().map(Explanation::Rule).collect(),
+        report: r.report,
     }
 }
 

@@ -71,6 +71,9 @@ struct StoreObs {
     /// Perturbation generation time during materialization, excluding the
     /// classifier (`span.perturb.generate`, summed over workers).
     perturb_generate: Histogram,
+    /// Classifier panics contained during materialization (the itemset's
+    /// slot stays empty; the run continues).
+    panics_isolated: Counter,
 }
 
 /// Itemset-indexed, byte-budgeted repository of labeled perturbations.
@@ -118,6 +121,7 @@ impl PerturbationStore {
             resident_bytes: registry.gauge(names::STORE_RESIDENT_BYTES),
             peak_bytes: registry.gauge(names::STORE_PEAK_BYTES),
             perturb_generate: registry.span_histogram(names::SPAN_PERTURB_GENERATE),
+            panics_isolated: registry.counter(names::RESILIENCE_PANICS_ISOLATED),
         };
         self.obs.resident_bytes.set(self.used_bytes as u64);
         self.obs.peak_bytes.max(self.peak_bytes as u64);
@@ -240,6 +244,7 @@ impl PerturbationStore {
                 rest = tail;
                 let plan = &plan;
                 let gen_hist = self.obs.perturb_generate.clone();
+                let panics = self.obs.panics_isolated.clone();
                 scope.spawn(move || {
                     let mut gen_time = std::time::Duration::ZERO;
                     for (offset, slot) in head.iter_mut().enumerate() {
@@ -248,15 +253,27 @@ impl PerturbationStore {
                             continue;
                         }
                         let mut rng = StdRng::seed_from_u64(per_itemset_seed(seed, id));
-                        let (samples, generated) = labeled_perturbations_batch_timed(
-                            ctx,
-                            clf,
-                            &itemsets[id],
-                            plan[id],
-                            &mut rng,
-                        );
-                        *slot = samples;
-                        gen_time += generated;
+                        // A classifier panic while labeling this itemset's
+                        // samples only costs this itemset: the slot stays
+                        // empty (tuples fall back to fresh perturbations)
+                        // and the other workers keep filling. Fault
+                        // schedules hash the perturbation content, so the
+                        // same itemset fails at every thread count.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            labeled_perturbations_batch_timed(
+                                ctx,
+                                clf,
+                                &itemsets[id],
+                                plan[id],
+                                &mut rng,
+                            )
+                        })) {
+                            Ok((samples, generated)) => {
+                                *slot = samples;
+                                gen_time += generated;
+                            }
+                            Err(_) => panics.inc(),
+                        }
                     }
                     // One sample per worker: the histogram's sum is the
                     // CPU time spent generating, its count the worker
@@ -270,13 +287,16 @@ impl PerturbationStore {
 
         // Merge in itemset order, not thread completion order, so the byte
         // accounting (used/peak) replays the sequential fill exactly.
+        // `created` can fall short of the plan when an itemset's labeling
+        // panicked and was contained above.
+        let created: usize = produced.iter().map(Vec::len).sum();
         for (id, samples) in produced.into_iter().enumerate() {
             for sample in samples {
                 debug_assert!(sample.approx_bytes() == sample_bytes);
                 self.push_sample(id, sample);
             }
         }
-        total
+        created
     }
 
     /// Inserts an already-labeled sample under itemset `id`, evicting LRU

@@ -18,18 +18,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin_explain::{
-    estimate_base_value, AnchorExplainer, AnchorExplanation, CoalitionSample, ExplainContext,
-    FeatureWeights, KernelShapExplainer, LabeledSample, LimeExplainer, NoSource,
+    AnchorExplainer, AnchorExplanation, CoalitionSample, ExplainContext, FeatureWeights,
+    KernelShapExplainer, LabeledSample, LimeExplainer, NoSource,
 };
 use shahin_fim::{apriori, AprioriParams, Itemset};
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::{Dataset, DiscreteTable, Feature};
 
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
+use crate::batch::estimate_base_value_guarded;
 use crate::config::StreamingConfig;
 use crate::greedy_cache::TaggedLruCache;
-use crate::metrics::{BatchResult, OverheadBreakdown, RunMetrics};
+use crate::metrics::{BatchReport, BatchResult, OverheadBreakdown, RunMetrics};
 use crate::obs::{names, ProvenanceCtx};
+use crate::quarantine::{guard_tuple, QuarantineObs, TupleOutcome};
 use crate::runner::per_tuple_seed;
 use crate::shap_source::StoreCoalitionSource;
 use crate::store::{LookupStats, PerturbationStore};
@@ -59,6 +61,7 @@ struct StreamObs {
     fim: Histogram,
     fill: Histogram,
     refresh_rounds: Counter,
+    refresh_failures: Counter,
     carried_samples: Counter,
     early_evictions: Counter,
     /// Event sink (if attached) for refresh-boundary instant events.
@@ -72,6 +75,7 @@ impl StreamObs {
             fim: registry.span_histogram(names::SPAN_FIM_MINE),
             fill: registry.span_histogram(names::SPAN_MATERIALIZE_FILL),
             refresh_rounds: registry.counter(names::STREAMING_REFRESH_ROUNDS),
+            refresh_failures: registry.counter(names::STREAMING_REFRESH_FAILURES),
             carried_samples: registry.counter(names::STREAMING_CARRIED_SAMPLES),
             early_evictions: registry.counter(names::STREAMING_EARLY_EVICTIONS),
             events: registry.event_sink(),
@@ -223,11 +227,16 @@ impl StreamState {
         let mut new_store = PerturbationStore::new(tracked, self.config.memory_budget_bytes);
         new_store.attach_obs(&self.obs.registry);
         // Carry over every sample that still serves a tracked itemset
-        // ("If not, we purge that perturbation", §3.5).
-        let mut old: Vec<LabeledSample> = self.early.drain_samples();
-        if let Some(mut prev) = self.store.take() {
-            old.append(&mut prev.drain_samples());
+        // ("If not, we purge that perturbation", §3.5). The carry works on
+        // *clones* so the live repository and warm-up cache keep serving
+        // unchanged if materialization fails below.
+        let mut old: Vec<LabeledSample> = self.early.samples_cloned();
+        if let Some(prev) = &self.store {
+            for id in 0..prev.len() as u32 {
+                old.extend(prev.samples(id).iter().cloned());
+            }
         }
+        let mut carried = 0u64;
         for s in old {
             let ids = new_store.matching_all(&s.codes, &mut self.scratch);
             if let Some(&id) = ids
@@ -236,7 +245,7 @@ impl StreamState {
                 .min_by_key(|&&id| new_store.samples(id).len())
             {
                 new_store.insert(id, s);
-                self.obs.carried_samples.inc();
+                carried += 1;
             }
         }
         // "...use the obtained savings to generate perturbations of f ∈ F".
@@ -248,23 +257,45 @@ impl StreamState {
             .tau
             .min(coverage_tau.max(1))
             .min((self.config.refresh_every / 2).max(1));
-        self.effective_tau = tau;
-        new_store.materialize(ctx, clf, tau, rng);
-        self.peak_bytes = self.peak_bytes.max(new_store.peak_bytes());
-        let tracked_itemsets = new_store.len();
-        self.store = Some(new_store);
+        // Materialization drives the classifier, so it can panic. The old
+        // state is only replaced once the rebuild succeeded; on failure we
+        // keep serving the stale repository and retry at the next window.
+        let refreshed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut store = new_store;
+            store.materialize(ctx, clf, tau, rng);
+            store
+        }));
         self.materialization_time += fill_span.stop();
         self.window.clear();
-        self.epoch += 1;
-        if let Some(sink) = &self.obs.events {
-            sink.instant(
-                "streaming.refresh",
-                &[
-                    ("epoch", self.epoch.to_string()),
-                    ("tracked_itemsets", tracked_itemsets.to_string()),
-                    ("tau", tau.to_string()),
-                ],
-            );
+        match refreshed {
+            Ok(store) => {
+                self.obs.carried_samples.add(carried);
+                self.effective_tau = tau;
+                self.peak_bytes = self.peak_bytes.max(store.peak_bytes());
+                let tracked_itemsets = store.len();
+                self.early.drain_samples();
+                self.store = Some(store);
+                self.epoch += 1;
+                if let Some(sink) = &self.obs.events {
+                    sink.instant(
+                        "streaming.refresh",
+                        &[
+                            ("epoch", self.epoch.to_string()),
+                            ("tracked_itemsets", tracked_itemsets.to_string()),
+                            ("tau", tau.to_string()),
+                        ],
+                    );
+                }
+            }
+            Err(_) => {
+                self.obs.refresh_failures.inc();
+                if let Some(sink) = &self.obs.events {
+                    sink.instant(
+                        "streaming.refresh_failed",
+                        &[("epoch", self.epoch.to_string())],
+                    );
+                }
+            }
         }
     }
 }
@@ -351,77 +382,94 @@ impl ShahinStreaming {
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "LIME");
+        let quarantine = QuarantineObs::new(&self.obs);
+        let mut report = BatchReport::default();
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
-            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
-            let retrieve = retrieve_hist.start();
-            let (e, matched, lookup, reuse) = match &mut st.store {
-                Some(store) => {
-                    let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
-                    retrieval += retrieve.stop();
-                    let store = &*store;
-                    let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
-                    let _fit = surrogate_hist.start();
-                    let (w, reuse) = lime.explain_with_reused_counted(
-                        ctx,
-                        &recorder,
-                        &instance,
-                        pooled,
-                        &mut tuple_rng,
-                    );
-                    (w, matched, lookup, reuse)
-                }
-                None => {
-                    let hits: Vec<LabeledSample> = st
-                        .early
-                        .lookup(&codes, lime.params.n_samples.saturating_sub(1))
-                        .into_iter()
-                        .cloned()
-                        .collect();
-                    // Warm-up lookups bypass the itemset store; only the
-                    // opportunistically reusable sample count is known.
-                    let lookup = LookupStats {
-                        samples_available: hits.len() as u64,
-                        ..LookupStats::default()
-                    };
-                    retrieval += retrieve.stop();
-                    let _fit = surrogate_hist.start();
-                    let (w, reuse) = lime.explain_with_reused_counted(
-                        ctx,
-                        &recorder,
-                        &instance,
-                        hits.iter(),
-                        &mut tuple_rng,
-                    );
-                    (w, Vec::new(), lookup, reuse)
-                }
-            };
-            let epoch = st.epoch;
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let retrieve = retrieve_hist.start();
+                let (e, matched, lookup, reuse) = match &mut st.store {
+                    Some(store) => {
+                        let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
+                        retrieval += retrieve.stop();
+                        let store = &*store;
+                        let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                        let _fit = surrogate_hist.start();
+                        let (w, reuse) = lime.explain_with_reused_counted(
+                            ctx,
+                            &recorder,
+                            &instance,
+                            pooled,
+                            &mut tuple_rng,
+                        );
+                        (w, matched, lookup, reuse)
+                    }
+                    None => {
+                        let hits: Vec<LabeledSample> = st
+                            .early
+                            .lookup(&codes, lime.params.n_samples.saturating_sub(1))
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        // Warm-up lookups bypass the itemset store; only the
+                        // opportunistically reusable sample count is known.
+                        let lookup = LookupStats {
+                            samples_available: hits.len() as u64,
+                            ..LookupStats::default()
+                        };
+                        retrieval += retrieve.stop();
+                        let _fit = surrogate_hist.start();
+                        let (w, reuse) = lime.explain_with_reused_counted(
+                            ctx,
+                            &recorder,
+                            &instance,
+                            hits.iter(),
+                            &mut tuple_rng,
+                        );
+                        (w, Vec::new(), lookup, reuse)
+                    }
+                };
+                let degraded = reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    st.epoch,
+                    &matched,
+                    lookup,
+                    reuse.reused,
+                    reuse.fresh,
+                    reuse.invocations,
+                    (0, 0),
+                    degraded,
+                    t0,
+                );
+                (e, degraded)
+            });
+            // Labels captured before a mid-tuple panic were still paid
+            // for, and the tuple was still *seen* — absorb what exists
+            // and keep it in the mining window either way.
             st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
-            explanations.push(e);
-            prov.record(
-                row as u32,
-                epoch,
-                &matched,
-                lookup,
-                reuse.reused,
-                reuse.fresh,
-                reuse.invocations,
-                (0, 0),
-                t0,
-            );
+            match outcome {
+                TupleOutcome::Ok(e) => explanations.push(e),
+                TupleOutcome::Degraded(e) => {
+                    explanations.push(e);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(f) => report.failures.push(f),
+            }
         }
 
         BatchResult {
             explanations,
+            report,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -456,54 +504,71 @@ impl ShahinStreaming {
         let empty_store = PerturbationStore::new(vec![], 0);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "Anchor");
+        let quarantine = QuarantineObs::new(&self.obs);
+        let mut report = BatchReport::default();
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
-            let t0 = prov.start();
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
-            let inv0 = clf.invocations();
-            let target = clf.predict(&instance);
-            let retrieve = retrieve_hist.start();
-            let (store_ref, matched, lookup): (&PerturbationStore, Vec<u32>, LookupStats) =
-                match &mut st.store {
-                    Some(store) => {
-                        let (m, lookup) = store.matching_stats(&codes, &mut st.scratch);
-                        (&*store, m, lookup)
-                    }
-                    None => (&empty_store, Vec::new(), LookupStats::default()),
-                };
-            retrieval += retrieve.stop();
-            let mut sampler = CachingRuleSampler::new(
-                ctx,
-                clf,
-                store_ref,
-                &matched,
-                &caches,
-                per_tuple_seed(seed, row),
-            );
-            explanations.push(anchor.explain_with_sampler(&codes, target, &mut sampler));
-            let stats = sampler.stats();
-            let invocations = clf.invocations() - inv0;
-            let epoch = st.epoch;
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let inv0 = clf.invocations();
+                let target = clf.predict(&instance);
+                let retrieve = retrieve_hist.start();
+                let (store_ref, matched, lookup): (&PerturbationStore, Vec<u32>, LookupStats) =
+                    match &mut st.store {
+                        Some(store) => {
+                            let (m, lookup) = store.matching_stats(&codes, &mut st.scratch);
+                            (&*store, m, lookup)
+                        }
+                        None => (&empty_store, Vec::new(), LookupStats::default()),
+                    };
+                retrieval += retrieve.stop();
+                let mut sampler = CachingRuleSampler::new(
+                    ctx,
+                    clf,
+                    store_ref,
+                    &matched,
+                    &caches,
+                    per_tuple_seed(seed, row),
+                );
+                let e = anchor.explain_with_sampler(&codes, target, &mut sampler);
+                let stats = sampler.stats();
+                let invocations = clf.invocations() - inv0;
+                // Anchor consumes boolean verdicts, so degradation only
+                // shows up as absorbed incidents at the resilient boundary.
+                let degraded = shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    st.epoch,
+                    &matched,
+                    lookup,
+                    stats.reused,
+                    stats.fresh,
+                    invocations,
+                    (stats.cache_hits, stats.cache_misses),
+                    degraded,
+                    t0,
+                );
+                (e, degraded)
+            });
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
-            prov.record(
-                row as u32,
-                epoch,
-                &matched,
-                lookup,
-                stats.reused,
-                stats.fresh,
-                invocations,
-                (stats.cache_hits, stats.cache_misses),
-                t0,
-            );
+            match outcome {
+                TupleOutcome::Ok(e) => explanations.push(e),
+                TupleOutcome::Degraded(e) => {
+                    explanations.push(e);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(f) => report.failures.push(f),
+            }
         }
 
         BatchResult {
             explanations,
+            report,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),
@@ -532,7 +597,8 @@ impl ShahinStreaming {
         let start_inv = clf.invocations();
         let wall0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
-        let base = estimate_base_value(ctx, clf, base_samples, &mut rng);
+        let quarantine = QuarantineObs::new(&self.obs);
+        let base = estimate_base_value_guarded(ctx, clf, base_samples, &mut rng, &quarantine);
         let mut st = StreamState::new(
             self.config.clone(),
             ctx.n_attrs(),
@@ -542,93 +608,106 @@ impl ShahinStreaming {
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Streaming", "SHAP");
+        let mut report = BatchReport::default();
         let mut retrieval = Duration::ZERO;
         let mut explanations = Vec::with_capacity(stream.n_rows());
 
         for row in 0..stream.n_rows() {
-            let t0 = prov.start();
             let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(seed, row));
             let instance = stream.instance(row);
             let codes = ctx.discretizer().encode_instance(&instance);
             let recorder = Recorder::new(clf, ctx);
-            let retrieve = retrieve_hist.start();
-            let (e, matched, lookup, reuse) = match &mut st.store {
-                Some(store) => {
-                    let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
-                    let store = &*store;
-                    let pooled = crate::shap_source::pool_coalitions(
-                        store,
-                        &matched,
-                        shap.params.n_samples / 2,
-                    );
-                    let mut source = StoreCoalitionSource::new(store, matched.clone());
-                    retrieval += retrieve.stop();
-                    let _fit = surrogate_hist.start();
-                    let (w, reuse) = shap.explain_with_counted(
-                        ctx,
-                        &recorder,
-                        &instance,
-                        base,
-                        pooled,
-                        &mut source,
-                        &mut tuple_rng,
-                    );
-                    (w, matched, lookup, reuse)
-                }
-                None => {
-                    let pooled: Vec<CoalitionSample> = st
-                        .early
-                        .lookup(&codes, shap.params.n_samples / 2)
-                        .into_iter()
-                        .map(|s| CoalitionSample {
-                            coalition: s
-                                .codes
-                                .iter()
-                                .enumerate()
-                                .filter(|&(a, &c)| codes[a] == c)
-                                .map(|(a, _)| a as u16)
-                                .collect(),
-                            proba: s.proba,
-                        })
-                        .collect();
-                    let lookup = LookupStats {
-                        samples_available: pooled.len() as u64,
-                        ..LookupStats::default()
-                    };
-                    retrieval += retrieve.stop();
-                    let _fit = surrogate_hist.start();
-                    let (w, reuse) = shap.explain_with_counted(
-                        ctx,
-                        &recorder,
-                        &instance,
-                        base,
-                        pooled,
-                        &mut NoSource,
-                        &mut tuple_rng,
-                    );
-                    (w, Vec::new(), lookup, reuse)
-                }
-            };
-            let epoch = st.epoch;
+            let outcome = guard_tuple(row as u32, &quarantine, |incidents0| {
+                let t0 = prov.start();
+                let retrieve = retrieve_hist.start();
+                let (e, matched, lookup, reuse) = match &mut st.store {
+                    Some(store) => {
+                        let (matched, lookup) = store.matching_stats(&codes, &mut st.scratch);
+                        let store = &*store;
+                        let pooled = crate::shap_source::pool_coalitions(
+                            store,
+                            &matched,
+                            shap.params.n_samples / 2,
+                        );
+                        let mut source = StoreCoalitionSource::new(store, matched.clone());
+                        retrieval += retrieve.stop();
+                        let _fit = surrogate_hist.start();
+                        let (w, reuse) = shap.explain_with_counted(
+                            ctx,
+                            &recorder,
+                            &instance,
+                            base,
+                            pooled,
+                            &mut source,
+                            &mut tuple_rng,
+                        );
+                        (w, matched, lookup, reuse)
+                    }
+                    None => {
+                        let pooled: Vec<CoalitionSample> = st
+                            .early
+                            .lookup(&codes, shap.params.n_samples / 2)
+                            .into_iter()
+                            .map(|s| CoalitionSample {
+                                coalition: s
+                                    .codes
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(a, &c)| codes[a] == c)
+                                    .map(|(a, _)| a as u16)
+                                    .collect(),
+                                proba: s.proba,
+                            })
+                            .collect();
+                        let lookup = LookupStats {
+                            samples_available: pooled.len() as u64,
+                            ..LookupStats::default()
+                        };
+                        retrieval += retrieve.stop();
+                        let _fit = surrogate_hist.start();
+                        let (w, reuse) = shap.explain_with_counted(
+                            ctx,
+                            &recorder,
+                            &instance,
+                            base,
+                            pooled,
+                            &mut NoSource,
+                            &mut tuple_rng,
+                        );
+                        (w, Vec::new(), lookup, reuse)
+                    }
+                };
+                let degraded = reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                prov.record(
+                    row as u32,
+                    st.epoch,
+                    &matched,
+                    lookup,
+                    reuse.reused,
+                    reuse.fresh,
+                    reuse.invocations,
+                    (0, 0),
+                    degraded,
+                    t0,
+                );
+                (e, degraded)
+            });
             st.absorb(&codes, recorder.take_log().into_iter().skip(1).collect());
             st.window.push(codes);
             st.maybe_refresh(ctx, clf, &mut rng);
-            explanations.push(e);
-            prov.record(
-                row as u32,
-                epoch,
-                &matched,
-                lookup,
-                reuse.reused,
-                reuse.fresh,
-                reuse.invocations,
-                (0, 0),
-                t0,
-            );
+            match outcome {
+                TupleOutcome::Ok(e) => explanations.push(e),
+                TupleOutcome::Degraded(e) => {
+                    explanations.push(e);
+                    report.degraded.push(row as u32);
+                }
+                TupleOutcome::Failed(f) => report.failures.push(f),
+            }
         }
 
         BatchResult {
             explanations,
+            report,
             metrics: RunMetrics {
                 invocations: clf.invocations() - start_inv,
                 wall: wall0.elapsed(),

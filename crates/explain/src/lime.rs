@@ -23,7 +23,7 @@ use shahin_tabular::Feature;
 
 use crate::context::ExplainContext;
 use crate::explanation::FeatureWeights;
-use crate::perturb::{labeled_perturbation, LabeledSample, ReuseStats};
+use crate::perturb::{labeled_perturbation, sanitize_proba, LabeledSample, ReuseStats};
 
 /// LIME hyperparameters.
 #[derive(Clone, Debug)]
@@ -117,16 +117,16 @@ impl LimeExplainer {
         let mut y = vec![0.0; n];
         let mut w = vec![0.0; n];
 
+        let mut stats = ReuseStats {
+            invocations: 1, // the instance probe below
+            ..ReuseStats::default()
+        };
+
         // Row 0: the instance itself (all-ones interpretable vector).
-        let fx = clf.predict_proba(instance);
+        let fx = sanitize_proba(clf.predict_proba(instance), &mut stats);
         z.row_mut(0).fill(1.0);
         y[0] = fx;
         w[0] = 1.0;
-
-        let mut stats = ReuseStats {
-            invocations: 1, // the instance probe above
-            ..ReuseStats::default()
-        };
         let mut reused = reused.into_iter();
         let empty = Itemset::new(vec![]);
         for row in 1..n {
@@ -153,7 +153,7 @@ impl LimeExplainer {
                     zeros += 1;
                 }
             }
-            y[row] = proba;
+            y[row] = sanitize_proba(proba, &mut stats);
             let distance = (zeros as f64).sqrt();
             w[row] = exponential_kernel(distance, width);
         }

@@ -43,6 +43,10 @@ pub struct ReuseStats {
     pub fresh: u64,
     /// Classifier invocations consumed.
     pub invocations: u64,
+    /// Classifier outputs that were not valid probabilities (NaN, ±∞, or
+    /// outside `[0, 1]`) and were sanitized by [`sanitize_proba`] before
+    /// the surrogate saw them. Non-zero marks the explanation degraded.
+    pub clamped: u64,
 }
 
 impl ReuseStats {
@@ -50,6 +54,25 @@ impl ReuseStats {
     #[inline]
     pub fn tau(&self) -> u64 {
         self.reused + self.fresh
+    }
+}
+
+/// Clamps a classifier output into a valid probability before a surrogate
+/// model sees it: finite out-of-range values clamp to `[0, 1]`, non-finite
+/// values (NaN, ±∞) become the uninformative `0.5`. Every correction is
+/// counted in [`ReuseStats::clamped`] so drivers can flag the explanation
+/// as degraded. A well-behaved classifier never trips this.
+#[inline]
+pub fn sanitize_proba(p: f64, stats: &mut ReuseStats) -> f64 {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        p
+    } else {
+        stats.clamped += 1;
+        if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
     }
 }
 
@@ -159,7 +182,16 @@ pub fn estimate_base_value(
     assert!(n > 0, "need at least one sample");
     let empty = Itemset::new(vec![]);
     let sum: f64 = (0..n)
-        .map(|_| labeled_perturbation(ctx, clf, &empty, rng).proba)
+        .map(|_| {
+            // A single NaN here would poison the base value for the whole
+            // batch; sanitize per sample like the surrogate inputs.
+            let p = labeled_perturbation(ctx, clf, &empty, rng).proba;
+            if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        })
         .sum();
     sum / n as f64
 }

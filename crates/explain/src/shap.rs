@@ -25,7 +25,7 @@ use shahin_tabular::Feature;
 
 use crate::context::ExplainContext;
 use crate::explanation::FeatureWeights;
-use crate::perturb::{labeled_perturbation, ReuseStats};
+use crate::perturb::{labeled_perturbation, sanitize_proba, ReuseStats};
 
 /// KernelSHAP hyperparameters.
 #[derive(Clone, Debug)]
@@ -139,17 +139,16 @@ impl KernelShapExplainer {
         assert_eq!(instance.len(), m, "instance arity mismatch");
         assert!(m >= 2, "KernelSHAP needs at least two attributes");
         let inst_codes = ctx.discretizer().encode_instance(instance);
-        let fx = clf.predict_proba(instance);
+        let mut stats = ReuseStats {
+            invocations: 1, // the instance probe below
+            ..ReuseStats::default()
+        };
+        let fx = sanitize_proba(clf.predict_proba(instance), &mut stats);
 
         // Cumulative distribution over coalition sizes 1..m−1 from Eq. 1
         // (size weights absorb the count of subsets of that size so sizes
         // are drawn by their *total* kernel mass, as the reference does).
         let size_cum = coalition_size_cdf(m);
-
-        let mut stats = ReuseStats {
-            invocations: 1, // the instance probe above
-            ..ReuseStats::default()
-        };
         let n = self.params.n_samples.max(4);
         let mut samples: Vec<CoalitionSample> = Vec::with_capacity(n);
         for s in pooled {
@@ -207,7 +206,9 @@ impl KernelShapExplainer {
             for &a in &s.coalition {
                 zrow[a as usize] = 1.0;
             }
-            y[r] = s.proba;
+            // Sanitizing here covers pooled, source-fetched, and fresh
+            // labels uniformly (each bad value counted once).
+            y[r] = sanitize_proba(s.proba, &mut stats);
         }
         let weights: Vec<f64> = if self.params.uniform_sizes {
             samples

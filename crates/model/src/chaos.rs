@@ -1,0 +1,345 @@
+//! Deterministic fault injection at the classifier boundary.
+//!
+//! [`ChaosClassifier`] wraps a real classifier and injects failures —
+//! transient errors, latency spikes, NaN outputs, panics — from a seeded,
+//! reproducible schedule so every failure path in the pipeline is
+//! testable in CI.
+//!
+//! # Reproducibility
+//!
+//! Fault decisions hash the *instance content* (plus the chaos seed),
+//! never the call order: the same instance draws the same fault at any
+//! thread count and in any interleaving. Retryable faults (transient,
+//! latency) additionally consult a per-instance attempt counter so the
+//! k-th retry of an instance deterministically succeeds — without it, a
+//! content-hashed transient would fail forever and "retryable" would be a
+//! lie. Panic and NaN faults are sticky: the same instance always panics
+//! (or always yields NaN), which keeps the set of quarantined tuples
+//! schedule-invariant.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use shahin_tabular::Feature;
+
+use crate::classifier::Classifier;
+use crate::error::PredictError;
+use crate::resilient::{instance_hash, splitmix64, FallibleClassifier};
+
+/// Fault rates and shapes of a [`ChaosClassifier`]. Rates are
+/// probabilities in `[0, 1]` evaluated per *instance* (not per call) in
+/// priority order: panic, then transient, then NaN, then latency.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule. Same seed + same instances ⇒ same
+    /// faults, at any thread count.
+    pub seed: u64,
+    /// Fraction of instances whose first call(s) fail with
+    /// [`PredictError::Transient`] before succeeding.
+    pub transient_rate: f64,
+    /// Fraction of instances that always return NaN (exercises the
+    /// sanitizer).
+    pub nan_rate: f64,
+    /// Fraction of instances that always panic (exercises per-tuple
+    /// quarantine).
+    pub panic_rate: f64,
+    /// Fraction of instances whose first call(s) sleep for
+    /// [`ChaosConfig::latency_spike`] before succeeding.
+    pub latency_rate: f64,
+    /// Duration of an injected latency spike.
+    pub latency_spike: Duration,
+    /// Maximum consecutive failures a retryable fault injects before the
+    /// instance succeeds (the actual burst is hash-derived in
+    /// `1..=max_burst`).
+    pub max_burst: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            transient_rate: 0.05,
+            nan_rate: 0.01,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            latency_spike: Duration::from_millis(5),
+            max_burst: 2,
+        }
+    }
+}
+
+/// What the schedule assigns to one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    None,
+    Panic,
+    Transient { burst: u32 },
+    Nan,
+    Latency { burst: u32 },
+}
+
+/// Counts of injected faults, for reconciliation in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    /// Transient errors injected.
+    pub transient: u64,
+    /// NaN outputs injected.
+    pub nan: u64,
+    /// Panics injected.
+    pub panics: u64,
+    /// Latency spikes injected.
+    pub latency: u64,
+}
+
+/// A classifier wrapper injecting faults from a seeded schedule.
+///
+/// Implements only [`FallibleClassifier`] (never [`Classifier`]): the
+/// type system forces a [`crate::ResilientClassifier`] — or an explicitly
+/// fault-aware caller — between injected chaos and the explainers.
+pub struct ChaosClassifier<C> {
+    inner: C,
+    config: ChaosConfig,
+    /// Attempts seen per instance hash; gates retryable faults so the
+    /// burst eventually passes.
+    attempts: Mutex<HashMap<u64, u32>>,
+    injected_transient: AtomicU64,
+    injected_nan: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_latency: AtomicU64,
+}
+
+impl<C: Classifier> ChaosClassifier<C> {
+    /// Wraps `inner` under the given fault schedule.
+    pub fn new(inner: C, config: ChaosConfig) -> ChaosClassifier<C> {
+        ChaosClassifier {
+            inner,
+            config,
+            attempts: Mutex::new(HashMap::new()),
+            injected_transient: AtomicU64::new(0),
+            injected_nan: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+            injected_latency: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Counts of injected faults so far.
+    pub fn snapshot(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            transient: self.injected_transient.load(Ordering::Acquire),
+            nan: self.injected_nan.load(Ordering::Acquire),
+            panics: self.injected_panics.load(Ordering::Acquire),
+            latency: self.injected_latency.load(Ordering::Acquire),
+        }
+    }
+
+    /// The schedule: maps an instance hash to its fault, by carving the
+    /// unit interval into rate-sized bands (priority order).
+    fn fault_for(&self, h: u64) -> Fault {
+        let u = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+        let c = &self.config;
+        let burst = 1 + (splitmix64(h ^ 0xB1A5) % u64::from(c.max_burst.max(1))) as u32;
+        let mut edge = c.panic_rate;
+        if u < edge {
+            return Fault::Panic;
+        }
+        edge += c.transient_rate;
+        if u < edge {
+            return Fault::Transient { burst };
+        }
+        edge += c.nan_rate;
+        if u < edge {
+            return Fault::Nan;
+        }
+        edge += c.latency_rate;
+        if u < edge {
+            return Fault::Latency { burst };
+        }
+        Fault::None
+    }
+
+    /// Bumps and returns the previous attempt count for an instance.
+    fn record_attempt(&self, h: u64) -> u32 {
+        let mut attempts = self.attempts.lock();
+        let n = attempts.entry(h).or_insert(0);
+        let prev = *n;
+        *n += 1;
+        prev
+    }
+}
+
+impl<C: Classifier> FallibleClassifier for ChaosClassifier<C> {
+    fn try_predict_proba(&self, instance: &[Feature]) -> Result<f64, PredictError> {
+        let h = instance_hash(instance, self.config.seed);
+        match self.fault_for(h) {
+            Fault::None => Ok(self.inner.predict_proba(instance)),
+            Fault::Panic => {
+                self.injected_panics.fetch_add(1, Ordering::Relaxed);
+                panic!("chaos: injected panic for instance {h:016x}");
+            }
+            Fault::Nan => {
+                self.injected_nan.fetch_add(1, Ordering::Relaxed);
+                Ok(f64::NAN)
+            }
+            Fault::Transient { burst } => {
+                if self.record_attempt(h) < burst {
+                    self.injected_transient.fetch_add(1, Ordering::Relaxed);
+                    Err(PredictError::Transient {
+                        message: format!("chaos: injected transient for instance {h:016x}"),
+                    })
+                } else {
+                    Ok(self.inner.predict_proba(instance))
+                }
+            }
+            Fault::Latency { burst } => {
+                if self.record_attempt(h) < burst {
+                    self.injected_latency.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.config.latency_spike);
+                }
+                Ok(self.inner.predict_proba(instance))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorityClass;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn inst(x: u32) -> Vec<Feature> {
+        vec![Feature::Cat(x), Feature::Cat(x / 3)]
+    }
+
+    fn chaos(config: ChaosConfig) -> ChaosClassifier<MajorityClass> {
+        ChaosClassifier::new(MajorityClass::fit(&[1, 1, 1, 0]), config)
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let clf = chaos(ChaosConfig {
+            transient_rate: 0.0,
+            nan_rate: 0.0,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            ..ChaosConfig::default()
+        });
+        for x in 0..200 {
+            assert_eq!(clf.try_predict_proba(&inst(x)), Ok(0.75));
+        }
+        assert_eq!(clf.snapshot(), ChaosSnapshot::default());
+    }
+
+    #[test]
+    fn fault_schedule_is_content_deterministic() {
+        let a = chaos(ChaosConfig::default());
+        let b = chaos(ChaosConfig::default());
+        // NaN != NaN, so compare through bit patterns.
+        let canon = |r: Result<f64, PredictError>| r.map(f64::to_bits);
+        for x in 0..500 {
+            let ra = canon(a.try_predict_proba(&inst(x)));
+            let rb = canon(b.try_predict_proba(&inst(x)));
+            assert_eq!(ra, rb, "instance {x} diverged");
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn transient_bursts_pass_after_bounded_retries() {
+        let clf = chaos(ChaosConfig {
+            transient_rate: 1.0,
+            max_burst: 3,
+            ..ChaosConfig::default()
+        });
+        let instance = inst(7);
+        let mut failures = 0;
+        let value = loop {
+            match clf.try_predict_proba(&instance) {
+                Ok(p) => break p,
+                Err(e) => {
+                    assert!(e.is_retryable());
+                    failures += 1;
+                    assert!(failures <= 3, "burst must be bounded by max_burst");
+                }
+            }
+        };
+        assert_eq!(value, 0.75);
+        assert!(failures >= 1);
+        // Once passed, the instance stays healthy.
+        assert_eq!(clf.try_predict_proba(&instance), Ok(0.75));
+    }
+
+    #[test]
+    fn nan_faults_are_sticky() {
+        let clf = chaos(ChaosConfig {
+            nan_rate: 1.0,
+            transient_rate: 0.0,
+            ..ChaosConfig::default()
+        });
+        for _ in 0..3 {
+            let p = clf.try_predict_proba(&inst(1)).expect("nan is an Ok value");
+            assert!(p.is_nan());
+        }
+        assert_eq!(clf.snapshot().nan, 3);
+    }
+
+    #[test]
+    fn panic_faults_are_sticky_and_counted() {
+        let clf = chaos(ChaosConfig {
+            panic_rate: 1.0,
+            transient_rate: 0.0,
+            nan_rate: 0.0,
+            ..ChaosConfig::default()
+        });
+        for _ in 0..2 {
+            let r = catch_unwind(AssertUnwindSafe(|| clf.try_predict_proba(&inst(2))));
+            assert!(r.is_err());
+        }
+        assert_eq!(clf.snapshot().panics, 2);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let clf = chaos(ChaosConfig {
+            transient_rate: 0.2,
+            nan_rate: 0.0,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            ..ChaosConfig::default()
+        });
+        let n = 2000;
+        let mut faulted = 0;
+        for x in 0..n {
+            if clf.try_predict_proba(&inst(x)).is_err() {
+                faulted += 1;
+            }
+        }
+        let rate = f64::from(faulted) / f64::from(n);
+        assert!((0.1..0.3).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_draw_different_schedules() {
+        let a = chaos(ChaosConfig {
+            transient_rate: 0.5,
+            seed: 1,
+            ..ChaosConfig::default()
+        });
+        let b = chaos(ChaosConfig {
+            transient_rate: 0.5,
+            seed: 2,
+            ..ChaosConfig::default()
+        });
+        let diverged = (0..200).any(|x| {
+            a.try_predict_proba(&inst(x)).is_ok() != b.try_predict_proba(&inst(x)).is_ok()
+        });
+        assert!(diverged, "seeds 1 and 2 drew identical schedules");
+    }
+}

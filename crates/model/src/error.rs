@@ -1,0 +1,131 @@
+//! Typed errors at the classifier boundary.
+//!
+//! The explainers assume an infallible black box, but in production the
+//! model server is the one component the pipeline does not control. A
+//! failed call falls into one of four buckets with different handling:
+//! transient and timeout failures are retryable, invalid output is
+//! sanitizable, and fatal failures must quarantine the tuple without
+//! taking the batch down with it.
+
+use std::fmt;
+
+/// A classified failure of a single `predict_proba` call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PredictError {
+    /// A transient failure (connection reset, 5xx, queue-full): safe to
+    /// retry after a backoff.
+    Transient {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The call exceeded its deadline. Retryable: the next attempt may
+    /// land on a healthy replica.
+    Timeout {
+        /// Elapsed time in milliseconds when the deadline fired.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The model returned a value that is not a probability (NaN, ±inf,
+    /// outside `[0, 1]`). Not retryable — the same input yields the same
+    /// garbage — but sanitizable.
+    InvalidOutput {
+        /// The offending raw value, formatted (NaN survives formatting).
+        raw: String,
+    },
+    /// An unrecoverable failure (panic inside the model, circuit breaker
+    /// open, retry budget exhausted). Never retried.
+    Fatal {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl PredictError {
+    /// Whether a retry can plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PredictError::Transient { .. } | PredictError::Timeout { .. }
+        )
+    }
+
+    /// The taxonomy bucket as a stable lowercase name (used in metrics
+    /// and failure reports).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PredictError::Transient { .. } => "transient",
+            PredictError::Timeout { .. } => "timeout",
+            PredictError::InvalidOutput { .. } => "invalid_output",
+            PredictError::Fatal { .. } => "fatal",
+        }
+    }
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Transient { message } => write!(f, "transient failure: {message}"),
+            PredictError::Timeout {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "call exceeded deadline: {elapsed_ms}ms > {deadline_ms}ms"
+            ),
+            PredictError::InvalidOutput { raw } => {
+                write!(f, "model returned a non-probability: {raw}")
+            }
+            PredictError::Fatal { message } => write!(f, "fatal failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_the_taxonomy() {
+        assert!(PredictError::Transient {
+            message: "reset".into()
+        }
+        .is_retryable());
+        assert!(PredictError::Timeout {
+            elapsed_ms: 120,
+            deadline_ms: 100
+        }
+        .is_retryable());
+        assert!(!PredictError::InvalidOutput { raw: "NaN".into() }.is_retryable());
+        assert!(!PredictError::Fatal {
+            message: "panic".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let errs = [
+            PredictError::Transient { message: "".into() },
+            PredictError::Timeout {
+                elapsed_ms: 0,
+                deadline_ms: 0,
+            },
+            PredictError::InvalidOutput { raw: "".into() },
+            PredictError::Fatal { message: "".into() },
+        ];
+        let names: Vec<_> = errs.iter().map(PredictError::kind_name).collect();
+        assert_eq!(names, ["transient", "timeout", "invalid_output", "fatal"]);
+    }
+
+    #[test]
+    fn display_mentions_the_cause() {
+        let e = PredictError::Timeout {
+            elapsed_ms: 250,
+            deadline_ms: 100,
+        };
+        assert!(e.to_string().contains("250ms"));
+    }
+}

@@ -24,16 +24,31 @@
 //!   histograms into a `shahin_obs::MetricsRegistry`,
 //! * [`SimulatedCost`] adds a calibrated busy-wait per call so wall-clock
 //!   measurements reproduce the *shape* of the paper's Python timings.
+//!
+//! Fault tolerance (DESIGN.md §5e):
+//!
+//! * [`PredictError`] — the typed error taxonomy at the boundary,
+//! * [`FallibleClassifier`] — the fallible face of [`Classifier`] (every
+//!   infallible classifier implements it for free),
+//! * [`ResilientClassifier`] — bounded retries, deadlines, a circuit
+//!   breaker and output sanitization over any fallible classifier,
+//! * [`ChaosClassifier`] — seeded, reproducible fault injection for
+//!   exercising every failure path in CI.
 
+pub mod chaos;
 pub mod classifier;
+pub mod error;
 pub mod forest;
 pub mod gbm;
 pub mod instrument;
 pub mod logistic;
 pub mod metrics;
+pub mod resilient;
 pub mod tree;
 
+pub use chaos::{ChaosClassifier, ChaosConfig, ChaosSnapshot};
 pub use classifier::{Classifier, MajorityClass};
+pub use error::PredictError;
 pub use forest::{ForestParams, RandomForest};
 pub use gbm::{GbmParams, GradientBoosting};
 pub use instrument::{
@@ -41,4 +56,8 @@ pub use instrument::{
 };
 pub use logistic::LogisticRegression;
 pub use metrics::{accuracy, confusion_matrix};
+pub use resilient::{
+    degraded_incidents, payload_message, FallibleClassifier, ResilienceSnapshot,
+    ResilientClassifier, RetryPolicy,
+};
 pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,627 @@
+//! The fault-tolerant classifier boundary.
+//!
+//! [`FallibleClassifier`] is the fallible face of [`Classifier`]: a call
+//! may fail with a typed [`PredictError`] instead of returning a bare
+//! probability. Every infallible classifier is trivially fallible (the
+//! blanket impl), and fault-injecting wrappers like
+//! [`crate::ChaosClassifier`] implement only the fallible trait.
+//!
+//! [`ResilientClassifier`] closes the loop: it wraps any fallible
+//! classifier and re-exposes the infallible [`Classifier`] interface the
+//! explainers expect, absorbing failures with bounded retries
+//! (exponential backoff + seeded jitter), per-call deadlines, a simple
+//! circuit breaker, and NaN/out-of-range sanitization. Failures that
+//! survive the retry budget escalate as a [`PredictError`] panic payload
+//! which the batch drivers catch per tuple (quarantine, not abort).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use shahin_obs::{Counter, MetricsRegistry};
+use shahin_tabular::Feature;
+
+use crate::classifier::Classifier;
+use crate::error::PredictError;
+
+/// A classifier whose calls can fail with a typed error.
+pub trait FallibleClassifier {
+    /// Probability of the positive class, or a classified failure.
+    fn try_predict_proba(&self, instance: &[Feature]) -> Result<f64, PredictError>;
+
+    /// Batch form; the default stops at the first failure.
+    fn try_predict_proba_batch(
+        &self,
+        instances: &[Vec<Feature>],
+    ) -> Result<Vec<f64>, PredictError> {
+        instances
+            .iter()
+            .map(|i| self.try_predict_proba(i))
+            .collect()
+    }
+}
+
+/// Every infallible classifier is a fallible one that never fails.
+impl<C: Classifier> FallibleClassifier for C {
+    fn try_predict_proba(&self, instance: &[Feature]) -> Result<f64, PredictError> {
+        Ok(self.predict_proba(instance))
+    }
+
+    fn try_predict_proba_batch(
+        &self,
+        instances: &[Vec<Feature>],
+    ) -> Result<Vec<f64>, PredictError> {
+        Ok(self.predict_proba_batch(instances))
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Content hash of an instance: depends only on the feature values (and
+/// `seed`), never on call order or thread — the anchor of every
+/// reproducibility guarantee at this boundary.
+pub(crate) fn instance_hash(instance: &[Feature], seed: u64) -> u64 {
+    let mut h = splitmix64(seed ^ 0x7368_6168_696E_2121);
+    for f in instance {
+        let bits = match f {
+            Feature::Cat(c) => 0x4341_5400_0000_0000 | u64::from(*c),
+            Feature::Num(v) => v.to_bits(),
+        };
+        h = splitmix64(h ^ bits);
+    }
+    h
+}
+
+thread_local! {
+    /// Incidents (sanitized outputs, retried calls) absorbed on this
+    /// thread. Each tuple's explanation runs entirely on one worker
+    /// thread, so drivers snapshot the delta around a tuple to derive its
+    /// `degraded` provenance flag without any cross-thread plumbing.
+    static DEGRADED_INCIDENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Incidents absorbed on the current thread so far (monotonic).
+pub fn degraded_incidents() -> u64 {
+    DEGRADED_INCIDENTS.with(Cell::get)
+}
+
+fn note_incident() {
+    DEGRADED_INCIDENTS.with(|c| c.set(c.get() + 1));
+}
+
+/// Retry, deadline and circuit-breaker policy of a
+/// [`ResilientClassifier`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries`
+    /// + 1).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_backoff · 2^k` plus jitter,
+    /// capped at [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-call deadline. The boundary is synchronous, so an in-flight
+    /// call cannot be cancelled: the deadline is checked *after* the call
+    /// returns, classifying slow successes as retryable
+    /// [`PredictError::Timeout`]s. `None` disables the check (the
+    /// default — wall-clock classification is inherently nondeterministic
+    /// and must be opted into).
+    pub call_timeout: Option<Duration>,
+    /// Consecutive failed *calls* (all attempts exhausted) that trip the
+    /// breaker. `0` disables the breaker (the default: an open breaker
+    /// makes outcomes order-dependent, which the determinism tests
+    /// forbid).
+    pub breaker_threshold: u32,
+    /// Calls short-circuited while the breaker is open before a trial
+    /// call is let through.
+    pub breaker_cooldown: u32,
+    /// Seed of the backoff jitter (mixed with the instance hash and the
+    /// attempt number, so jitter is reproducible).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            call_timeout: None,
+            breaker_threshold: 0,
+            breaker_cooldown: 64,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff for retry `attempt` (0-based) of the instance with content
+    /// hash `h`: exponential base plus up to one base-unit of seeded
+    /// jitter, capped.
+    fn backoff(&self, h: u64, attempt: u32) -> Duration {
+        let base = self.base_backoff.saturating_mul(1 << attempt.min(16));
+        let jitter_unit = self.base_backoff.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jitter = if jitter_unit == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ h ^ u64::from(attempt)) % jitter_unit
+        };
+        (base + Duration::from_nanos(jitter)).min(self.max_backoff)
+    }
+}
+
+/// Totals of everything a [`ResilientClassifier`] absorbed, for test
+/// assertions and CLI summaries (mirrored into `resilience.*` counters
+/// when a registry is attached).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceSnapshot {
+    /// Retry attempts performed (beyond first attempts).
+    pub retries: u64,
+    /// Transient errors observed (including ones later retried away).
+    pub transient_errors: u64,
+    /// Deadline overruns observed.
+    pub timeouts: u64,
+    /// Non-probability outputs sanitized (NaN/±inf → 0.5, out-of-range
+    /// clamped).
+    pub invalid_proba: u64,
+    /// Calls that exhausted the retry budget or hit a fatal error.
+    pub giveups: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Calls short-circuited by an open breaker.
+    pub breaker_short_circuits: u64,
+}
+
+#[derive(Default)]
+struct ResilienceStats {
+    retries: AtomicU64,
+    transient_errors: AtomicU64,
+    timeouts: AtomicU64,
+    invalid_proba: AtomicU64,
+    giveups: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_short_circuits: AtomicU64,
+}
+
+/// `resilience.*` counter handles, resolved once at attach time (the
+/// [`crate::TracedClassifier`] pattern).
+struct ResilienceObs {
+    retries: Counter,
+    transient_errors: Counter,
+    timeouts: Counter,
+    invalid_proba: Counter,
+    giveups: Counter,
+    breaker_opens: Counter,
+    breaker_short_circuits: Counter,
+}
+
+#[derive(Default)]
+struct BreakerState {
+    /// Consecutive calls (not attempts) that ended in failure.
+    consecutive_failures: u32,
+    /// Short-circuits remaining before a trial call is admitted.
+    open_for: u32,
+}
+
+/// Wraps a [`FallibleClassifier`] and re-exposes the infallible
+/// [`Classifier`] interface, absorbing failures per the [`RetryPolicy`].
+///
+/// Failures that cannot be absorbed (fatal errors, exhausted retry
+/// budgets, open breaker) escalate via [`std::panic::panic_any`] with the
+/// [`PredictError`] as payload; the batch drivers catch this per tuple
+/// and quarantine the tuple instead of aborting the batch.
+pub struct ResilientClassifier<F> {
+    inner: F,
+    policy: RetryPolicy,
+    stats: ResilienceStats,
+    obs: Option<ResilienceObs>,
+    breaker: Mutex<BreakerState>,
+}
+
+impl<F: FallibleClassifier> ResilientClassifier<F> {
+    /// Wraps `inner` under `policy`, with no metrics attached.
+    pub fn new(inner: F, policy: RetryPolicy) -> ResilientClassifier<F> {
+        ResilientClassifier {
+            inner,
+            policy,
+            stats: ResilienceStats::default(),
+            obs: None,
+            breaker: Mutex::new(BreakerState::default()),
+        }
+    }
+
+    /// Attaches a metrics registry: every absorbed event is mirrored into
+    /// the `resilience.*` counters. Handles are resolved once, here.
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> ResilientClassifier<F> {
+        self.obs = Some(ResilienceObs {
+            retries: registry.counter("resilience.retries"),
+            transient_errors: registry.counter("resilience.transient_errors"),
+            timeouts: registry.counter("resilience.timeouts"),
+            invalid_proba: registry.counter("resilience.invalid_proba"),
+            giveups: registry.counter("resilience.giveups"),
+            breaker_opens: registry.counter("resilience.breaker_opens"),
+            breaker_short_circuits: registry.counter("resilience.breaker_short_circuits"),
+        });
+        self
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// A consistent reading of everything absorbed so far.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            retries: self.stats.retries.load(Ordering::Acquire),
+            transient_errors: self.stats.transient_errors.load(Ordering::Acquire),
+            timeouts: self.stats.timeouts.load(Ordering::Acquire),
+            invalid_proba: self.stats.invalid_proba.load(Ordering::Acquire),
+            giveups: self.stats.giveups.load(Ordering::Acquire),
+            breaker_opens: self.stats.breaker_opens.load(Ordering::Acquire),
+            breaker_short_circuits: self.stats.breaker_short_circuits.load(Ordering::Acquire),
+        }
+    }
+
+    fn count(&self, stat: &AtomicU64, handle: impl Fn(&ResilienceObs) -> &Counter) {
+        stat.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            handle(obs).inc();
+        }
+    }
+
+    /// One guarded attempt: catch panics out of the inner classifier
+    /// (→ fatal), then classify a deadline overrun (→ timeout).
+    fn attempt(&self, instance: &[Feature]) -> Result<f64, PredictError> {
+        let t0 = self.policy.call_timeout.map(|_| Instant::now());
+        let result = catch_unwind(AssertUnwindSafe(|| self.inner.try_predict_proba(instance)))
+            .unwrap_or_else(|payload| {
+                // `&*payload`: pass the payload itself, not the Box-as-Any.
+                let message = payload_message(&*payload);
+                Err(PredictError::Fatal {
+                    message: format!("model panicked: {message}"),
+                })
+            })?;
+        if let (Some(deadline), Some(t0)) = (self.policy.call_timeout, t0) {
+            let elapsed = t0.elapsed();
+            if elapsed > deadline {
+                return Err(PredictError::Timeout {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    deadline_ms: deadline.as_millis() as u64,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    /// The full resilient call: breaker check, bounded retries with
+    /// backoff, sanitization, breaker accounting.
+    fn call(&self, instance: &[Feature]) -> Result<f64, PredictError> {
+        if self.policy.breaker_threshold > 0 {
+            let mut breaker = self.breaker.lock();
+            if breaker.open_for > 0 {
+                breaker.open_for -= 1;
+                drop(breaker);
+                self.count(&self.stats.breaker_short_circuits, |o| {
+                    &o.breaker_short_circuits
+                });
+                return Err(PredictError::Fatal {
+                    message: "circuit breaker open".into(),
+                });
+            }
+        }
+        let h = instance_hash(instance, self.policy.seed);
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match self.attempt(instance) {
+                Ok(p) => break Ok(self.sanitize(p)),
+                Err(e) => {
+                    match &e {
+                        PredictError::Transient { .. } => {
+                            self.count(&self.stats.transient_errors, |o| &o.transient_errors);
+                        }
+                        PredictError::Timeout { .. } => {
+                            self.count(&self.stats.timeouts, |o| &o.timeouts);
+                        }
+                        PredictError::InvalidOutput { .. } => {
+                            // Inner layers that pre-classify garbage output
+                            // get the same treatment as a raw NaN.
+                            self.count(&self.stats.invalid_proba, |o| &o.invalid_proba);
+                            note_incident();
+                            break Ok(0.5);
+                        }
+                        PredictError::Fatal { .. } => {}
+                    }
+                    if !e.is_retryable() || attempt >= self.policy.max_retries {
+                        self.count(&self.stats.giveups, |o| &o.giveups);
+                        break Err(e);
+                    }
+                    std::thread::sleep(self.policy.backoff(h, attempt));
+                    self.count(&self.stats.retries, |o| &o.retries);
+                    note_incident();
+                    attempt += 1;
+                }
+            }
+        };
+        if self.policy.breaker_threshold > 0 {
+            let mut breaker = self.breaker.lock();
+            match &outcome {
+                Ok(_) => breaker.consecutive_failures = 0,
+                Err(_) => {
+                    breaker.consecutive_failures += 1;
+                    if breaker.consecutive_failures >= self.policy.breaker_threshold {
+                        breaker.consecutive_failures = 0;
+                        breaker.open_for = self.policy.breaker_cooldown;
+                        drop(breaker);
+                        self.count(&self.stats.breaker_opens, |o| &o.breaker_opens);
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Maps garbage outputs into valid probabilities: NaN/±inf → 0.5,
+    /// out-of-range values clamped into `[0, 1]`. Either counts as a
+    /// degraded incident.
+    fn sanitize(&self, p: f64) -> f64 {
+        if !p.is_finite() {
+            self.count(&self.stats.invalid_proba, |o| &o.invalid_proba);
+            note_incident();
+            0.5
+        } else if !(0.0..=1.0).contains(&p) {
+            self.count(&self.stats.invalid_proba, |o| &o.invalid_proba);
+            note_incident();
+            p.clamp(0.0, 1.0)
+        } else {
+            p
+        }
+    }
+}
+
+/// Extracts a displayable message from a panic payload.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<PredictError>() {
+        e.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+impl<F: FallibleClassifier + Send + Sync> Classifier for ResilientClassifier<F> {
+    fn predict_proba(&self, instance: &[Feature]) -> f64 {
+        match self.call(instance) {
+            Ok(p) => p,
+            // Escalate with the typed error as payload; the drivers'
+            // per-tuple catch_unwind recovers it for the BatchReport.
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorityClass;
+    use std::sync::atomic::AtomicU32;
+
+    /// Fails with `errs[n]` on the n-th call until the script runs out,
+    /// then returns `value`.
+    struct Scripted {
+        calls: AtomicU32,
+        script: Vec<PredictError>,
+        value: f64,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<PredictError>, value: f64) -> Scripted {
+            Scripted {
+                calls: AtomicU32::new(0),
+                script,
+                value,
+            }
+        }
+    }
+
+    impl FallibleClassifier for Scripted {
+        fn try_predict_proba(&self, _instance: &[Feature]) -> Result<f64, PredictError> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst) as usize;
+            match self.script.get(n) {
+                Some(e) => Err(e.clone()),
+                None => Ok(self.value),
+            }
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn infallible_classifiers_are_blanket_fallible() {
+        let clf = MajorityClass::fit(&[1, 1, 0]);
+        let p = clf
+            .try_predict_proba(&[Feature::Cat(0)])
+            .expect("never fails");
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_away() {
+        let script = vec![
+            PredictError::Transient {
+                message: "1".into(),
+            },
+            PredictError::Transient {
+                message: "2".into(),
+            },
+        ];
+        let clf = ResilientClassifier::new(Scripted::new(script, 0.75), fast_policy());
+        assert_eq!(clf.predict_proba(&[Feature::Cat(0)]), 0.75);
+        let snap = clf.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.transient_errors, 2);
+        assert_eq!(snap.giveups, 0);
+    }
+
+    #[test]
+    fn retries_never_exceed_the_bound() {
+        let script = vec![
+            PredictError::Transient {
+                message: "x".into()
+            };
+            100
+        ];
+        let inner = Scripted::new(script, 0.5);
+        let clf = ResilientClassifier::new(
+            inner,
+            RetryPolicy {
+                max_retries: 4,
+                ..fast_policy()
+            },
+        );
+        let result = catch_unwind(AssertUnwindSafe(|| clf.predict_proba(&[Feature::Cat(0)])));
+        assert!(result.is_err(), "budget exhausted must escalate");
+        // 1 first attempt + 4 retries.
+        assert_eq!(clf.inner().calls.load(Ordering::SeqCst), 5);
+        let snap = clf.snapshot();
+        assert_eq!(snap.retries, 4);
+        assert_eq!(snap.giveups, 1);
+    }
+
+    #[test]
+    fn fatal_errors_are_never_retried() {
+        let script = vec![PredictError::Fatal {
+            message: "model gone".into(),
+        }];
+        let clf = ResilientClassifier::new(Scripted::new(script, 0.5), fast_policy());
+        let result = catch_unwind(AssertUnwindSafe(|| clf.predict_proba(&[Feature::Cat(0)])));
+        let payload = result.expect_err("fatal escalates");
+        let err = payload
+            .downcast_ref::<PredictError>()
+            .expect("typed payload");
+        assert_eq!(err.kind_name(), "fatal");
+        assert_eq!(clf.inner().calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nan_and_out_of_range_outputs_are_sanitized() {
+        struct Garbage(f64);
+        impl FallibleClassifier for Garbage {
+            fn try_predict_proba(&self, _i: &[Feature]) -> Result<f64, PredictError> {
+                Ok(self.0)
+            }
+        }
+        let nan = ResilientClassifier::new(Garbage(f64::NAN), fast_policy());
+        assert_eq!(nan.predict_proba(&[Feature::Cat(0)]), 0.5);
+        assert_eq!(nan.snapshot().invalid_proba, 1);
+
+        let hot = ResilientClassifier::new(Garbage(1.7), fast_policy());
+        assert_eq!(hot.predict_proba(&[Feature::Cat(0)]), 1.0);
+        assert_eq!(hot.snapshot().invalid_proba, 1);
+
+        let cold = ResilientClassifier::new(Garbage(-0.2), fast_policy());
+        assert_eq!(cold.predict_proba(&[Feature::Cat(0)]), 0.0);
+    }
+
+    #[test]
+    fn inner_panics_become_fatal_without_retry() {
+        struct Bomb;
+        impl FallibleClassifier for Bomb {
+            fn try_predict_proba(&self, _i: &[Feature]) -> Result<f64, PredictError> {
+                panic!("inner model blew up");
+            }
+        }
+        let clf = ResilientClassifier::new(Bomb, fast_policy());
+        let payload = catch_unwind(AssertUnwindSafe(|| clf.predict_proba(&[Feature::Cat(0)])))
+            .expect_err("escalates");
+        let err = payload
+            .downcast_ref::<PredictError>()
+            .expect("typed payload");
+        assert_eq!(err.kind_name(), "fatal");
+        assert!(err.to_string().contains("inner model blew up"));
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_short_circuits() {
+        struct AlwaysDown;
+        impl FallibleClassifier for AlwaysDown {
+            fn try_predict_proba(&self, _i: &[Feature]) -> Result<f64, PredictError> {
+                Err(PredictError::Fatal {
+                    message: "down".into(),
+                })
+            }
+        }
+        let clf = ResilientClassifier::new(
+            AlwaysDown,
+            RetryPolicy {
+                breaker_threshold: 2,
+                breaker_cooldown: 3,
+                ..fast_policy()
+            },
+        );
+        for _ in 0..6 {
+            let _ = catch_unwind(AssertUnwindSafe(|| clf.predict_proba(&[Feature::Cat(0)])));
+        }
+        let snap = clf.snapshot();
+        assert_eq!(snap.breaker_opens, 1);
+        assert_eq!(snap.breaker_short_circuits, 3);
+        // Short-circuited calls never reach the inner model: 6 calls, 3
+        // short-circuited, 3 real.
+        assert_eq!(snap.giveups, 3);
+    }
+
+    #[test]
+    fn degraded_incidents_advance_on_sanitization_and_retries() {
+        struct Nan;
+        impl FallibleClassifier for Nan {
+            fn try_predict_proba(&self, _i: &[Feature]) -> Result<f64, PredictError> {
+                Ok(f64::NAN)
+            }
+        }
+        let before = degraded_incidents();
+        let clf = ResilientClassifier::new(Nan, fast_policy());
+        clf.predict_proba(&[Feature::Cat(0)]);
+        assert_eq!(degraded_incidents(), before + 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_reproducible() {
+        let policy = fast_policy();
+        let a = policy.backoff(42, 3);
+        let b = policy.backoff(42, 3);
+        assert_eq!(a, b, "same hash + attempt ⇒ same jitter");
+        assert!(a <= policy.max_backoff);
+    }
+
+    #[test]
+    fn obs_mirrors_counters() {
+        let reg = MetricsRegistry::new();
+        let script = vec![PredictError::Transient {
+            message: "x".into(),
+        }];
+        let clf =
+            ResilientClassifier::new(Scripted::new(script, 0.5), fast_policy()).with_obs(&reg);
+        clf.predict_proba(&[Feature::Cat(0)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("resilience.retries"), Some(&1));
+        assert_eq!(snap.counters.get("resilience.transient_errors"), Some(&1));
+    }
+}

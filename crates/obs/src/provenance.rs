@@ -63,6 +63,11 @@ pub struct ProvenanceRecord {
     pub cache_misses: u64,
     /// Wall time spent explaining this tuple, nanoseconds.
     pub wall_ns: u64,
+    /// Whether the resilient classifier boundary degraded this tuple's
+    /// explanation (absorbed retries, sanitized a non-probability
+    /// output). The explanation is still deterministic for a fixed fault
+    /// schedule, but it was produced under duress.
+    pub degraded: bool,
 }
 
 impl ProvenanceRecord {
@@ -90,7 +95,7 @@ impl ProvenanceRecord {
             out,
             "], \"store_misses\": {}, \"samples_available\": {}, \"samples_reused\": {}, \
              \"samples_fresh\": {}, \"tau\": {}, \"invocations\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"wall_ns\": {}}}",
+             \"cache_misses\": {}, \"wall_ns\": {}, \"degraded\": {}}}",
             self.store_misses,
             self.samples_available,
             self.samples_reused,
@@ -99,7 +104,8 @@ impl ProvenanceRecord {
             self.invocations,
             self.cache_hits,
             self.cache_misses,
-            self.wall_ns
+            self.wall_ns,
+            self.degraded
         )
         .unwrap();
         out
@@ -119,6 +125,8 @@ pub struct ProvenanceTotals {
     pub invocations: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Records with the `degraded` flag set.
+    pub degraded: u64,
 }
 
 impl ProvenanceTotals {
@@ -132,6 +140,7 @@ impl ProvenanceTotals {
         self.invocations += r.invocations;
         self.cache_hits += r.cache_hits;
         self.cache_misses += r.cache_misses;
+        self.degraded += u64::from(r.degraded);
     }
 }
 
@@ -296,6 +305,7 @@ mod tests {
                 "\"cache_hits\"",
                 "\"cache_misses\"",
                 "\"wall_ns\"",
+                "\"degraded\"",
             ] {
                 assert!(line.contains(key), "missing {key} in {line}");
             }

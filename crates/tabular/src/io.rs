@@ -183,14 +183,17 @@ pub fn read_csv(reader: impl Read, label_column: Option<&str>) -> Result<CsvData
         if Some(i) == label_idx {
             continue;
         }
-        let numeric = !col.is_empty() && col.iter().all(|v| v.parse::<f64>().is_ok());
-        if numeric {
+        // Parse once: the column is numeric iff every value parses, and the
+        // parsed values are reused directly rather than re-parsed under an
+        // "already checked" assumption.
+        let parsed: Option<Vec<f64>> = if col.is_empty() {
+            None
+        } else {
+            col.iter().map(|v| v.parse::<f64>().ok()).collect()
+        };
+        if let Some(nums) = parsed {
             attrs.push(Attribute::numeric(name.clone()));
-            columns.push(Column::Num(
-                col.iter()
-                    .map(|v| v.parse::<f64>().expect("checked numeric"))
-                    .collect(),
-            ));
+            columns.push(Column::Num(nums));
             dictionaries.push(Vec::new());
         } else {
             let mut dict: Vec<String> = Vec::new();

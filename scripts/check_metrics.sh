@@ -66,6 +66,15 @@ for snap, where in ((lime, "lime"), (anchor, "anchor")):
     clf = require(snap, "classifier.predict", "histograms", where)
     if clf["count"] == 0 or not clf["buckets"]:
         raise SystemExit(f"FAIL: {where}: classifier.predict histogram empty")
+    # The resilience family is pre-registered (all zero on a clean run).
+    for c in ("resilience.retries", "resilience.transient_errors",
+              "resilience.timeouts", "resilience.invalid_proba",
+              "resilience.giveups", "resilience.breaker_opens",
+              "resilience.breaker_short_circuits",
+              "resilience.panics_isolated", "resilience.tuples_failed",
+              "resilience.tuples_degraded"):
+        if require(snap, c, "counters", where) != 0:
+            raise SystemExit(f"FAIL: {where}: '{c}' nonzero without chaos")
 
 # Explainer-specific families.
 require(lime, "span.surrogate.fit", "histograms", "lime")
@@ -147,7 +156,7 @@ if not lanes <= named:
 REQUIRED = ("tuple", "method", "explainer", "epoch", "thread",
             "matched_itemsets", "store_misses", "samples_available",
             "samples_reused", "samples_fresh", "tau", "invocations",
-            "cache_hits", "cache_misses", "wall_ns")
+            "cache_hits", "cache_misses", "wall_ns", "degraded")
 for r in prov_lines:
     for key in REQUIRED:
         if key not in r:
@@ -184,4 +193,62 @@ print(f"OK: trace has {len(events)} events across {len(lanes)} worker lanes, "
 print(f"OK: provenance has {len(prov_lines)} records, one per tuple, "
       f"reconciling with the snapshot")
 print("trace + provenance schema check passed")
+PY
+
+# Chaos run: inject faults through the resilient boundary and check the
+# resilience.* counters fire and reconcile with the provenance export.
+# Exit code 2 (some tuples quarantined) is an expected outcome here.
+chaos_status=0
+"$CLI" explain --csv "$WORKDIR/census.csv" --label label --explainer lime \
+    --method par-2 --batch-size "$BATCH" \
+    --chaos --chaos-transient 0.05 --chaos-nan 0.02 --chaos-panic 0.005 \
+    --metrics-out "$WORKDIR/chaos.json" \
+    --provenance-out "$WORKDIR/chaos_prov.jsonl" 2>/dev/null || chaos_status=$?
+if [ "$chaos_status" -ne 0 ] && [ "$chaos_status" -ne 2 ]; then
+    echo "FAIL: chaos run exited with unexpected status $chaos_status"
+    exit 1
+fi
+
+python3 - "$WORKDIR/chaos.json" "$WORKDIR/chaos_prov.jsonl" "$BATCH" "$chaos_status" <<'PY'
+import json, sys
+
+metrics = json.load(open(sys.argv[1]))
+prov_lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+batch = int(sys.argv[3])
+status = int(sys.argv[4])
+counters = metrics["counters"]
+gauges = metrics["gauges"]
+
+# Injected transient errors must have been retried and NaN outputs
+# sanitized — the boundary was actually exercised.
+if counters.get("resilience.transient_errors", 0) == 0:
+    raise SystemExit("FAIL: chaos: no transient errors injected")
+if counters.get("resilience.retries", 0) == 0:
+    raise SystemExit("FAIL: chaos: transient errors were not retried")
+if counters.get("resilience.invalid_proba", 0) == 0:
+    raise SystemExit("FAIL: chaos: NaN outputs were not sanitized")
+
+# Degraded-mode completion: every tuple either has a provenance record
+# (survived) or counts as failed — and the exit code says which happened.
+failed = counters.get("resilience.tuples_failed", 0)
+if len(prov_lines) + failed != batch:
+    raise SystemExit(f"FAIL: chaos: {len(prov_lines)} records + {failed} "
+                     f"failed != {batch} tuples")
+if (failed > 0) != (status == 2):
+    raise SystemExit(f"FAIL: chaos: {failed} failures but exit status {status}")
+
+# Degraded tuples reconcile across counter, gauge, and JSONL.
+degraded = sum(1 for r in prov_lines if r["degraded"])
+if counters.get("resilience.tuples_degraded") != degraded:
+    raise SystemExit(f"FAIL: chaos: resilience.tuples_degraded "
+                     f"{counters.get('resilience.tuples_degraded')} != "
+                     f"{degraded} degraded JSONL records")
+if gauges.get("provenance.degraded") != degraded:
+    raise SystemExit(f"FAIL: chaos: provenance.degraded gauge "
+                     f"{gauges.get('provenance.degraded')} != {degraded}")
+
+print(f"OK: chaos run injected {counters['resilience.transient_errors']} "
+      f"transient errors ({counters['resilience.retries']} retries), "
+      f"{failed} tuples quarantined, {degraded} degraded — all reconciled")
+print("resilience schema check passed")
 PY

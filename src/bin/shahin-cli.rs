@@ -23,8 +23,11 @@ use shahin::{
 };
 use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
 use shahin_fim::{apriori, shahin_sample_size, AprioriParams};
-use shahin_model::{CountingClassifier, ForestParams, RandomForest, TracedClassifier};
-use shahin_tabular::{read_csv, train_test_split, DatasetPreset, Discretizer};
+use shahin_model::{
+    ChaosClassifier, ChaosConfig, Classifier, CountingClassifier, ForestParams, RandomForest,
+    ResilientClassifier, RetryPolicy, TracedClassifier,
+};
+use shahin_tabular::{read_csv, train_test_split, Dataset, DatasetPreset, Discretizer};
 
 const HELP: &str = "\
 shahin-cli — batch explanation generation (SIGMOD'21 'Shahin' reproduction)
@@ -37,6 +40,9 @@ USAGE:
                      [--batch-size N] [--seed S] [--summary] [--top K]
                      [--metrics] [--metrics-out <file.json>]
                      [--trace-out <file.json>] [--provenance-out <file.jsonl>]
+                     [--max-retries N] [--call-timeout-ms MS]
+                     [--chaos] [--chaos-transient F] [--chaos-nan F]
+                     [--chaos-panic F] [--chaos-seed S]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
 
@@ -48,13 +54,28 @@ OBSERVABILITY:
   --provenance-out FILE  write one JSON line per explained tuple: matched
                          itemsets, samples reused/fresh, invocations, timing
 
+RESILIENCE:
+  --max-retries N        retry budget per classifier call (default 3; putting
+                         this or --call-timeout-ms on the command line wraps
+                         the model in the resilient boundary)
+  --call-timeout-ms MS   per-call deadline; slower calls count as timeouts
+  --chaos                inject faults from a seeded schedule (5% transient
+                         errors, 1% NaN outputs by default) to exercise the
+                         retry/quarantine machinery end to end
+  --chaos-transient F    transient-error rate in [0,1]
+  --chaos-nan F          NaN-output rate in [0,1]
+  --chaos-panic F        panic rate in [0,1] (quarantines the tuple)
+  --chaos-seed S         fault-schedule seed (default 0xC4A05EED)
+
+Tuples whose classifier calls exhaust the retry budget are quarantined, the
+rest of the batch completes; the exit code is 2 when any tuple failed.
 Output files are created along with any missing parent directories.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_cli(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{HELP}");
@@ -71,7 +92,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
-        if key == "summary" || key == "help" || key == "metrics" {
+        if key == "summary" || key == "help" || key == "metrics" || key == "chaos" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -118,22 +139,22 @@ fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
     std::fs::write(p, contents).map_err(|e| format!("cannot write {what} output '{path}': {e}"))
 }
 
-fn run_cli(args: &[String]) -> Result<(), String> {
+fn run_cli(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!("{HELP}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let flags = parse_flags(&args[1..])?;
     if flags.contains_key("help") {
         println!("{HELP}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     match cmd.as_str() {
-        "synth" => cmd_synth(&flags),
-        "mine" => cmd_mine(&flags),
+        "synth" => cmd_synth(&flags).map(|()| ExitCode::SUCCESS),
+        "mine" => cmd_mine(&flags).map(|()| ExitCode::SUCCESS),
         "explain" => cmd_explain(&flags),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -219,7 +240,7 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let path = get(flags, "csv")?;
     let label = get(flags, "label")?;
     let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
@@ -228,7 +249,9 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let file = File::open(path).map_err(|e| e.to_string())?;
     let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
-    let labels = csv.labels.expect("label column requested");
+    let labels = csv
+        .labels
+        .ok_or_else(|| format!("label column '{label}' produced no labels"))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let split = train_test_split(&csv.data, &labels, 1.0 / 3.0, &mut rng);
     let forest = RandomForest::fit(
@@ -256,7 +279,6 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(sink) = &provenance_sink {
         obs.attach_provenance_sink(std::sync::Arc::clone(sink));
     }
-    let clf = CountingClassifier::new(TracedClassifier::new(forest, &obs));
     let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
     let n = batch_size.min(split.test.n_rows());
     let batch = split.test.select(&(0..n).collect::<Vec<_>>());
@@ -287,17 +309,133 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         },
     };
 
+    // Resilience boundary: retry-policy flags wrap the model in the
+    // resilient classifier; chaos flags additionally inject faults between
+    // the model and that boundary. The stacks have different types, so the
+    // generic tail runs the batch for whichever stack was assembled.
+    let mut policy = RetryPolicy::default();
+    let mut want_resilient = false;
+    if let Some(v) = flags.get("max-retries") {
+        policy.max_retries = parse_num(v, "max-retries")?;
+        want_resilient = true;
+    }
+    if let Some(v) = flags.get("call-timeout-ms") {
+        let ms: u64 = parse_num(v, "call-timeout-ms")?;
+        policy.call_timeout = Some(std::time::Duration::from_millis(ms));
+        want_resilient = true;
+    }
+    let want_chaos = ["chaos", "chaos-transient", "chaos-nan", "chaos-panic"]
+        .iter()
+        .any(|k| flags.contains_key(*k));
+
     println!(
         "explaining {n} predictions with {} / {method_name} ...",
         kind.name()
     );
-    let report = run_with_obs(&method, &kind, &ctx, &clf, &batch, seed, &obs);
+    if want_chaos {
+        let mut cfg = ChaosConfig::default();
+        if let Some(v) = flags.get("chaos-transient") {
+            cfg.transient_rate = parse_num(v, "chaos-transient")?;
+        }
+        if let Some(v) = flags.get("chaos-nan") {
+            cfg.nan_rate = parse_num(v, "chaos-nan")?;
+        }
+        if let Some(v) = flags.get("chaos-panic") {
+            cfg.panic_rate = parse_num(v, "chaos-panic")?;
+        }
+        if let Some(v) = flags.get("chaos-seed") {
+            cfg.seed = parse_num(v, "chaos-seed")?;
+        }
+        println!(
+            "chaos: transient {:.1}%, nan {:.1}%, panic {:.1}%, seed {:#x}",
+            100.0 * cfg.transient_rate,
+            100.0 * cfg.nan_rate,
+            100.0 * cfg.panic_rate,
+            cfg.seed
+        );
+        let chaos = ChaosClassifier::new(TracedClassifier::new(forest, &obs), cfg);
+        let clf = CountingClassifier::new(ResilientClassifier::new(chaos, policy).with_obs(&obs));
+        explain_tail(
+            flags,
+            &obs,
+            &event_sink,
+            &provenance_sink,
+            &ctx,
+            &clf,
+            &batch,
+            &method,
+            &kind,
+            seed,
+            top,
+        )
+    } else if want_resilient {
+        let resilient =
+            ResilientClassifier::new(TracedClassifier::new(forest, &obs), policy).with_obs(&obs);
+        let clf = CountingClassifier::new(resilient);
+        explain_tail(
+            flags,
+            &obs,
+            &event_sink,
+            &provenance_sink,
+            &ctx,
+            &clf,
+            &batch,
+            &method,
+            &kind,
+            seed,
+            top,
+        )
+    } else {
+        let clf = CountingClassifier::new(TracedClassifier::new(forest, &obs));
+        explain_tail(
+            flags,
+            &obs,
+            &event_sink,
+            &provenance_sink,
+            &ctx,
+            &clf,
+            &batch,
+            &method,
+            &kind,
+            seed,
+            top,
+        )
+    }
+}
+
+/// Runs the batch with the assembled classifier stack, writes the
+/// requested outputs, and maps quarantined tuples to exit code 2.
+#[allow(clippy::too_many_arguments)]
+fn explain_tail<C: Classifier>(
+    flags: &HashMap<String, String>,
+    obs: &MetricsRegistry,
+    event_sink: &Option<std::sync::Arc<shahin::EventSink>>,
+    provenance_sink: &Option<std::sync::Arc<shahin::ProvenanceSink>>,
+    ctx: &ExplainContext,
+    clf: &CountingClassifier<C>,
+    batch: &Dataset,
+    method: &Method,
+    kind: &ExplainerKind,
+    seed: u64,
+    top: usize,
+) -> Result<ExitCode, String> {
+    let want_metrics = flags.contains_key("metrics") || flags.contains_key("metrics-out");
+    let report = run_with_obs(method, kind, ctx, clf, batch, seed, obs);
     println!(
-        "done: {} classifier invocations ({:.1} per tuple), {:.2}s wall\n",
+        "done: {} classifier invocations ({:.1} per tuple), {:.2}s wall",
         report.metrics.invocations,
         report.metrics.invocations_per_tuple(),
         report.metrics.wall.as_secs_f64()
     );
+    println!("batch report: {}\n", report.report.summary());
+    for f in &report.report.failures {
+        eprintln!(
+            "  tuple {} failed ({}): {}",
+            f.row,
+            f.kind.name(),
+            f.message
+        );
+    }
 
     if want_metrics {
         let snapshot = obs.snapshot();
@@ -333,6 +471,10 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     if flags.contains_key("summary") {
+        if report.explanations.is_empty() {
+            println!("no surviving explanations to summarize");
+            return Ok(ExitCode::from(2));
+        }
         match &kind {
             ExplainerKind::Anchor(_) => {
                 let rules: Vec<_> = report
@@ -354,21 +496,26 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     } else {
-        // Print the first explanation as a sample.
-        match &report.explanations[0] {
-            shahin::Explanation::Weights(w) => {
+        // Print the first surviving explanation as a sample.
+        match report.explanations.first() {
+            Some(shahin::Explanation::Weights(w)) => {
                 println!("tuple 0 — top attributions:");
                 for &a in w.top_k(top.min(5)).iter() {
                     println!("  {:<20} {:+.4}", batch.schema().attr(a).name, w.weights[a]);
                 }
             }
-            shahin::Explanation::Rule(r) => {
+            Some(shahin::Explanation::Rule(r)) => {
                 println!(
                     "tuple 0 — anchor: {} (precision {:.2}, coverage {:.2})",
                     r.rule, r.precision, r.coverage
                 );
             }
+            None => println!("no tuple survived to sample an explanation from"),
         }
     }
-    Ok(())
+    Ok(if report.report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }

@@ -1,0 +1,184 @@
+//! Property-based tests for the fault-tolerant classifier boundary: the
+//! retry budget is a hard bound, a seeded fault schedule yields the same
+//! survivors with bit-identical explanations at any thread count, and
+//! quarantined tuples leave no trace in the reuse accounting.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{run_with_obs, BatchConfig, ExplainerKind, Method, MetricsRegistry, RunReport};
+use shahin_explain::{ExplainContext, LimeExplainer, LimeParams};
+use shahin_model::{
+    ChaosClassifier, ChaosConfig, Classifier, CountingClassifier, FallibleClassifier, ForestParams,
+    PredictError, RandomForest, ResilientClassifier, RetryPolicy,
+};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset, Feature};
+
+/// A model that fails every call with a retryable error, counting calls.
+struct AlwaysTransient {
+    calls: AtomicU64,
+}
+
+impl FallibleClassifier for AlwaysTransient {
+    fn try_predict_proba(&self, _instance: &[Feature]) -> Result<f64, PredictError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        Err(PredictError::Transient {
+            message: "injected".into(),
+        })
+    }
+}
+
+/// Instant-backoff policy so exhaustion tests don't sleep.
+fn fast_policy(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        ..RetryPolicy::default()
+    }
+}
+
+/// A fresh chaos world: trained forest behind a seeded fault injector
+/// behind the resilient boundary. Rebuilding from the same seed yields an
+/// identical model and therefore an identical (content-hashed) fault
+/// schedule with pristine burst state.
+#[allow(clippy::type_complexity)]
+fn chaos_world(
+    seed: u64,
+    n_batch: usize,
+    cfg: &ChaosConfig,
+) -> (
+    ExplainContext,
+    CountingClassifier<ResilientClassifier<ChaosClassifier<RandomForest>>>,
+    Dataset,
+) {
+    let (data, labels) = DatasetPreset::CensusIncome.spec(0.03).generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams {
+            n_trees: 5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let ctx = ExplainContext::fit(&split.train, 300, &mut rng);
+    let chaos = ChaosClassifier::new(forest, cfg.clone());
+    let clf = CountingClassifier::new(ResilientClassifier::new(chaos, fast_policy(3)));
+    let rows: Vec<usize> = (0..split.test.n_rows().min(n_batch)).collect();
+    (ctx, clf, split.test.select(&rows))
+}
+
+fn lime_kind() -> ExplainerKind {
+    ExplainerKind::Lime(LimeExplainer::new(LimeParams {
+        n_samples: 60,
+        ..Default::default()
+    }))
+}
+
+fn run_chaos(seed: u64, cfg: &ChaosConfig, n_threads: usize, reg: &MetricsRegistry) -> RunReport {
+    let (ctx, clf, batch) = chaos_world(seed, 24, cfg);
+    let method = Method::BatchParallel(BatchConfig {
+        n_threads: Some(n_threads),
+        ..Default::default()
+    });
+    run_with_obs(&method, &lime_kind(), &ctx, &clf, &batch, seed, reg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn retry_budget_is_a_hard_bound(max_retries in 0u32..6) {
+        let inner = AlwaysTransient { calls: AtomicU64::new(0) };
+        let clf = ResilientClassifier::new(inner, fast_policy(max_retries));
+        let escalated = catch_unwind(AssertUnwindSafe(|| {
+            clf.predict_proba(&[Feature::Cat(0)])
+        }));
+        prop_assert!(escalated.is_err(), "exhaustion must escalate");
+        // One initial attempt plus at most `max_retries` retries.
+        let calls = clf.inner().calls.load(Ordering::SeqCst);
+        prop_assert_eq!(calls, u64::from(max_retries) + 1);
+        let snap = clf.snapshot();
+        prop_assert_eq!(snap.retries, u64::from(max_retries));
+        prop_assert_eq!(snap.giveups, 1);
+    }
+
+    #[test]
+    fn survivors_are_bit_identical_across_thread_counts(seed in 0u64..64) {
+        let cfg = ChaosConfig {
+            seed: seed ^ 0xFA17,
+            transient_rate: 0.05,
+            nan_rate: 0.02,
+            panic_rate: 0.01,
+            ..Default::default()
+        };
+        let baseline = run_chaos(seed, &cfg, 1, &MetricsRegistry::disabled());
+        for threads in [2usize, 8] {
+            let run = run_chaos(seed, &cfg, threads, &MetricsRegistry::disabled());
+            // The sticky fault schedule is content-hashed, so the same
+            // tuples fail no matter how the batch is carved up...
+            let rows = |r: &RunReport| -> Vec<u32> {
+                r.report.failures.iter().map(|f| f.row).collect()
+            };
+            prop_assert_eq!(rows(&baseline), rows(&run), "{} threads", threads);
+            prop_assert_eq!(&baseline.report.degraded, &run.report.degraded);
+            // ...and the survivors' explanations are bit-identical.
+            prop_assert_eq!(baseline.explanations.len(), run.explanations.len());
+            for (a, b) in baseline.explanations.iter().zip(&run.explanations) {
+                prop_assert_eq!(
+                    a.weights().expect("lime output").weights.clone(),
+                    b.weights().expect("lime output").weights.clone()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quarantined_tuples_are_absent_from_reuse_accounting(seed in 0u64..64) {
+        use std::sync::Arc;
+        let cfg = ChaosConfig {
+            seed: seed ^ 0x0DD5,
+            transient_rate: 0.05,
+            nan_rate: 0.0,
+            panic_rate: 0.02,
+            ..Default::default()
+        };
+        let reg = MetricsRegistry::new();
+        let prov = Arc::new(shahin::ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&prov));
+        let report = run_chaos(seed, &cfg, 4, &reg);
+
+        let records = prov.records();
+        let failed: Vec<u32> = report.report.failures.iter().map(|f| f.row).collect();
+        // Every tuple either survived (one provenance record) or was
+        // quarantined (no record) — nothing is double-counted or lost.
+        prop_assert_eq!(records.len() + failed.len(), 24);
+        for r in &records {
+            prop_assert!(
+                !failed.contains(&r.tuple),
+                "quarantined tuple {} has a provenance record",
+                r.tuple
+            );
+        }
+        // The metrics registry reconciles with the report.
+        let snap = reg.snapshot();
+        prop_assert_eq!(
+            snap.counter("resilience.tuples_failed"),
+            failed.len() as u64
+        );
+        prop_assert_eq!(
+            snap.counter("resilience.tuples_degraded"),
+            report.report.degraded.len() as u64
+        );
+        let degraded_records = records.iter().filter(|r| r.degraded).count();
+        prop_assert_eq!(degraded_records, report.report.degraded.len());
+    }
+}
