@@ -20,6 +20,12 @@
 //!   stay under `budget_pct` plus `SHAHIN_CMP_TOL_OVERHEAD_PCT` extra
 //!   points of slack, and the no-op wall may grow at most the wall
 //!   tolerance over the baseline.
+//! * `serve` — the warm server must beat the cold per-request arm within
+//!   the fresh artifact itself (lower mean latency, higher store-hit
+//!   rate, fewer invocations per request); hit rates and invocation
+//!   counts must match the baseline exactly (the warm engine and the
+//!   request schedule are deterministic), and warm mean latency /
+//!   throughput may drift at most the wall tolerance.
 //!
 //! Tolerances are percentages read from the environment so CI can tighten
 //! or relax them without a rebuild. Defaults are generous on wall time
@@ -204,9 +210,69 @@ fn compare_obs(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String>
     Ok(())
 }
 
+fn compare_serve(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &["dataset", "requests", "concurrency", "warm_rows", "seed"],
+    )?;
+
+    // The headline claim, gated inside the fresh run itself: a warm
+    // server beats cold per-request batch invocation.
+    let warm_mean = num(fresh, &["warm", "mean_ms"], "fresh")?;
+    let cold_mean = num(fresh, &["cold", "mean_ms"], "fresh")?;
+    gate.check(
+        warm_mean < cold_mean,
+        format!("warm mean latency {warm_mean:.2}ms beats cold {cold_mean:.2}ms"),
+    );
+    let warm_hits = num(fresh, &["warm", "store_hit_rate"], "fresh")?;
+    let cold_hits = num(fresh, &["cold", "store_hit_rate"], "fresh")?;
+    gate.check(
+        warm_hits > cold_hits,
+        format!("warm store-hit rate {warm_hits:.3} beats cold {cold_hits:.3}"),
+    );
+    let warm_inv = num(fresh, &["warm", "invocations_per_request"], "fresh")?;
+    let cold_inv = num(fresh, &["cold", "invocations_per_request"], "fresh")?;
+    gate.check(
+        warm_inv < cold_inv,
+        format!("warm {warm_inv:.1} invocations/request beats cold {cold_inv:.1}"),
+    );
+
+    // Deterministic quantities must match the baseline exactly: the warm
+    // store contents and the request schedule are seed-derived.
+    for (arm, field) in [
+        ("warm", "store_hit_rate"),
+        ("warm", "invocations_per_request"),
+        ("cold", "store_hit_rate"),
+        ("cold", "invocations_per_request"),
+    ] {
+        let b = num(base, &[arm, field], "baseline")?;
+        let f = num(fresh, &[arm, field], "fresh")?;
+        gate.check(b == f, format!("{arm} {field} {f} (baseline {b}, exact)"));
+    }
+
+    // Latency and throughput are hardware-dependent: wall tolerance.
+    let b_mean = num(base, &["warm", "mean_ms"], "baseline")?;
+    gate.check(
+        warm_mean <= b_mean * (1.0 + tol_wall / 100.0),
+        format!("warm mean {warm_mean:.2}ms within {tol_wall}% of baseline {b_mean:.2}ms"),
+    );
+    let b_rps = num(base, &["warm", "throughput_rps"], "baseline")?;
+    let f_rps = num(fresh, &["warm", "throughput_rps"], "fresh")?;
+    gate.check(
+        f_rps >= b_rps * (1.0 - tol_wall / 100.0),
+        format!("warm throughput {f_rps:.1} req/s within {tol_wall}% of baseline {b_rps:.1}"),
+    );
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let [kind, base_path, fresh_path] = args else {
-        return Err("usage: bench_compare <parallel|obs> <baseline.json> <fresh.json>".into());
+        return Err(
+            "usage: bench_compare <parallel|obs|serve> <baseline.json> <fresh.json>".into(),
+        );
     };
     let base = load(base_path)?;
     let fresh = load(fresh_path)?;
@@ -215,6 +281,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     match kind.as_str() {
         "parallel" => compare_parallel(&mut gate, &base, &fresh)?,
         "obs" => compare_obs(&mut gate, &base, &fresh)?,
+        "serve" => compare_serve(&mut gate, &base, &fresh)?,
         other => return Err(format!("unknown artifact kind '{other}'")),
     }
     println!(

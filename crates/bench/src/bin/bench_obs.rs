@@ -29,7 +29,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 use shahin::{run_with_obs, EventSink, ExplainerKind, Method, MetricsRegistry, ProvenanceSink};
-use shahin_bench::{base_seed, bench_lime, env_u64, secs};
+use shahin_bench::{base_seed, bench_lime, env_u64, secs, write_artifact};
 use shahin_explain::ExplainContext;
 use shahin_model::{CountingClassifier, ForestParams, RandomForest, TracedClassifier};
 use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
@@ -167,6 +167,6 @@ fn main() {
         BUDGET_PCT,
         within_budget
     );
-    std::fs::write(&out_path, &json).expect("write BENCH_obs.json");
+    write_artifact(&out_path, &json);
     println!("wrote {out_path}");
 }

@@ -26,7 +26,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin::{run_with_obs, BatchConfig, ExplainerKind, Method, MetricsRegistry, RunReport};
-use shahin_bench::{base_seed, bench_anchor, bench_lime, bench_shap, env_u64, f2, secs};
+use shahin_bench::{
+    base_seed, bench_anchor, bench_lime, bench_shap, env_u64, f2, secs, write_artifact,
+};
 use shahin_explain::ExplainContext;
 use shahin_model::{CountingClassifier, ForestParams, LatencyCost, RandomForest, TracedClassifier};
 use shahin_tabular::{train_test_split, DatasetPreset};
@@ -163,11 +165,11 @@ fn main() {
         seed,
         blocks.join(",\n")
     );
-    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    write_artifact(&out_path, &json);
     println!("wrote {out_path}");
 
     if let Some(path) = metrics_out {
-        std::fs::write(&path, obs.snapshot().to_json()).expect("write metrics JSON");
+        write_artifact(&path, &obs.snapshot().to_json());
         println!("metrics written to {path}");
     }
 }

@@ -1,0 +1,320 @@
+//! Serving load generator: warm micro-batching server vs cold
+//! per-request batch invocation. Emits `BENCH_serve.json`.
+//!
+//! The **warm** arm primes a [`shahin::WarmEngine`] over the warm set,
+//! starts a `shahin-serve` TCP server on an ephemeral loopback port, and
+//! drives it with closed-loop clients (each sends a request, waits for
+//! the response, repeats). Concurrent clients get coalesced into
+//! micro-batches that share the resident perturbation store.
+//!
+//! The **cold** arm answers the *same* request sequence the way the
+//! offline drivers would: one `ShahinBatch::explain_lime` per request
+//! over a 1-tuple batch — which re-mines and re-materializes per
+//! request, and degenerates automatic τ selection to τ=1, so almost
+//! every perturbation is generated (and paid for) fresh.
+//!
+//! Environment knobs (on top of the shared `SHAHIN_SEED`,
+//! `SHAHIN_COST_US`):
+//!
+//! * `SHAHIN_SERVE_REQUESTS` — total requests per arm (default 120),
+//! * `SHAHIN_SERVE_CONCURRENCY` — closed-loop clients (default 4),
+//! * `SHAHIN_SERVE_WARM_ROWS` — warm-set size (default 200),
+//! * `SHAHIN_SERVE_OUT` — artifact path (default BENCH_serve.json),
+//! * `SHAHIN_SERVE_ADDR` — external mode: skip the in-process server and
+//!   cold arm, drive an already-running server at this address instead
+//!   (used by the CI smoke script against `shahin-cli serve`),
+//! * `SHAHIN_SERVE_SHUTDOWN` — external mode: send an admin `shutdown`
+//!   frame after the run when set to 1.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shahin::{
+    BatchConfig, MetricsRegistry, ProvenanceSink, ShahinBatch, WarmEngine, WarmExplainer,
+};
+use shahin_bench::json::Json;
+use shahin_bench::{base_seed, bench_lime, env_u64, f2, workload, write_artifact};
+use shahin_serve::{ServeConfig, Server};
+use shahin_tabular::DatasetPreset;
+
+/// Deterministic request row for client `c`'s `i`-th request: the same
+/// sequence drives both arms, so their work is identical tuple-for-tuple.
+fn request_row(c: usize, i: usize, seed: u64, warm_rows: usize) -> usize {
+    (c * 7919 + i * 104_729 + seed as usize) % warm_rows
+}
+
+/// One arm's latency profile.
+struct ArmStats {
+    wall_s: f64,
+    latencies_ms: Vec<f64>,
+    store_hit_rate: f64,
+    invocations_per_request: f64,
+}
+
+impl ArmStats {
+    fn mean_ms(&self) -> f64 {
+        self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len().max(1) as f64
+    }
+
+    fn percentile_ms(&self, q: f64) -> f64 {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.latencies_ms.len() as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput_rps\": {:.3}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \
+             \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"store_hit_rate\": {:.6}, \
+             \"invocations_per_request\": {:.3}}}",
+            self.throughput_rps(),
+            self.mean_ms(),
+            self.percentile_ms(0.50),
+            self.percentile_ms(0.95),
+            self.percentile_ms(0.99),
+            self.store_hit_rate,
+            self.invocations_per_request
+        )
+    }
+}
+
+/// Closed-loop clients against a live server; returns per-request
+/// latencies (ms) in completion order and the arm wall time.
+fn drive_clients(
+    addr: &str,
+    concurrency: usize,
+    requests: usize,
+    seed: u64,
+    warm_rows: usize,
+) -> (f64, Vec<f64>) {
+    let per_client = requests / concurrency.max(1);
+    let t0 = Instant::now();
+    let mut all: Vec<f64> = Vec::with_capacity(requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to serve endpoint");
+                    stream.set_nodelay(true).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut line = String::new();
+                    for i in 0..per_client {
+                        let row = request_row(c, i, seed, warm_rows);
+                        let frame =
+                            format!("{{\"id\": {i}, \"method\": \"explain\", \"row\": {row}}}\n");
+                        let t = Instant::now();
+                        reader.get_mut().write_all(frame.as_bytes()).unwrap();
+                        line.clear();
+                        reader.read_line(&mut line).unwrap();
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        let v = Json::parse(&line).expect("response frame parses");
+                        assert_eq!(
+                            v.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "explain failed: {line}"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+    });
+    (t0.elapsed().as_secs_f64(), all)
+}
+
+fn hit_rate(sink: &ProvenanceSink) -> f64 {
+    let t = sink.totals();
+    let denom = (t.samples_reused + t.samples_fresh) as f64;
+    if denom == 0.0 {
+        0.0
+    } else {
+        t.samples_reused as f64 / denom
+    }
+}
+
+fn main() {
+    let seed = base_seed();
+    let concurrency = (env_u64("SHAHIN_SERVE_CONCURRENCY", 4) as usize).max(1);
+    // Rounded down to a multiple of the client count (closed-loop clients
+    // send equal shares).
+    let requests =
+        (env_u64("SHAHIN_SERVE_REQUESTS", 120) as usize / concurrency).max(1) * concurrency;
+    let warm_rows = env_u64("SHAHIN_SERVE_WARM_ROWS", 200) as usize;
+    let out_path = std::env::var("SHAHIN_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    // External mode: measure a server someone else started (CI smoke).
+    if let Ok(addr) = std::env::var("SHAHIN_SERVE_ADDR") {
+        println!("# Serving load (external): {requests} requests, {concurrency} clients -> {addr}");
+        let (wall_s, latencies_ms) = drive_clients(&addr, concurrency, requests, seed, warm_rows);
+        let stats = ArmStats {
+            wall_s,
+            latencies_ms,
+            store_hit_rate: 0.0,
+            invocations_per_request: 0.0,
+        };
+        println!(
+            "external: {:.1} req/s, mean {} ms, p95 {} ms",
+            stats.throughput_rps(),
+            f2(stats.mean_ms()),
+            f2(stats.percentile_ms(0.95))
+        );
+        if env_u64("SHAHIN_SERVE_SHUTDOWN", 0) == 1 {
+            let mut stream = TcpStream::connect(&addr).expect("connect for shutdown");
+            stream
+                .write_all(b"{\"id\": 0, \"method\": \"shutdown\"}\n")
+                .expect("send shutdown frame");
+            println!("sent shutdown frame");
+        }
+        let json = format!(
+            "{{\n  \"mode\": \"external\",\n  \"requests\": {requests},\n  \"concurrency\": {concurrency},\n  \"warm_rows\": {warm_rows},\n  \"seed\": {seed},\n  \"warm\": {}\n}}\n",
+            stats.to_json()
+        );
+        write_artifact(&out_path, &json);
+        println!("wrote {out_path}");
+        return;
+    }
+
+    let preset = DatasetPreset::Recidivism;
+    println!(
+        "# Serving load: {requests} requests, {concurrency} clients, {warm_rows} warm rows of {}",
+        preset.name()
+    );
+
+    // ---- Warm arm: micro-batching server over a primed repository. ----
+    let warm_stats = {
+        let w = workload(preset, 0.2, seed);
+        let warm_rows = warm_rows.min(w.max_batch());
+        let warm = w.batch(warm_rows);
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let engine = Arc::new(WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(bench_lime()),
+            w.ctx,
+            w.clf,
+            warm,
+            seed,
+            &reg,
+        ));
+        let prime_invocations = engine.invocations();
+        println!("warm: primed ({prime_invocations} invocations)");
+        let engine_for_stats = Arc::clone(&engine);
+        let handle = Server::start(
+            engine,
+            ServeConfig {
+                max_delay: Duration::from_millis(2),
+                ..Default::default()
+            },
+        )
+        .expect("server binds");
+        let addr = handle.addr().to_string();
+        let (wall_s, latencies_ms) = drive_clients(&addr, concurrency, requests, seed, warm_rows);
+        handle.shutdown();
+        let served = handle.wait();
+        let stats = ArmStats {
+            wall_s,
+            latencies_ms,
+            store_hit_rate: hit_rate(&sink),
+            invocations_per_request: (engine_for_stats.invocations() - prime_invocations) as f64
+                / served.max(1) as f64,
+        };
+        println!(
+            "warm: {:.1} req/s, mean {} ms, p95 {} ms, store hit rate {}, {} invocations/request",
+            stats.throughput_rps(),
+            f2(stats.mean_ms()),
+            f2(stats.percentile_ms(0.95)),
+            f2(stats.store_hit_rate),
+            f2(stats.invocations_per_request)
+        );
+        stats
+    };
+
+    // ---- Cold arm: one offline batch invocation per request. ----
+    let cold_stats = {
+        let w = workload(preset, 0.2, seed);
+        let warm_rows = warm_rows.min(w.max_batch());
+        let warm = w.batch(warm_rows);
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let shahin = ShahinBatch::new(BatchConfig::default()).with_obs(&reg);
+        let lime = bench_lime();
+        let (ctx, clf) = (&w.ctx, &w.clf);
+        let invocations0 = clf.invocations();
+        let per_client = requests / concurrency.max(1);
+        let t0 = Instant::now();
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(requests);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|c| {
+                    let (warm, shahin, lime) = (&warm, &shahin, &lime);
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let row = request_row(c, i, seed, warm_rows);
+                            let one = warm.select(&[row]);
+                            let t = Instant::now();
+                            let result = shahin.explain_lime(ctx, clf, &one, lime, seed);
+                            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            assert_eq!(result.explanations.len(), 1);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            for h in handles {
+                latencies_ms.extend(h.join().expect("cold client thread"));
+            }
+        });
+        let stats = ArmStats {
+            wall_s: t0.elapsed().as_secs_f64(),
+            latencies_ms,
+            store_hit_rate: hit_rate(&sink),
+            invocations_per_request: (clf.invocations() - invocations0) as f64
+                / requests.max(1) as f64,
+        };
+        println!(
+            "cold: {:.1} req/s, mean {} ms, p95 {} ms, store hit rate {}, {} invocations/request",
+            stats.throughput_rps(),
+            f2(stats.mean_ms()),
+            f2(stats.percentile_ms(0.95)),
+            f2(stats.store_hit_rate),
+            f2(stats.invocations_per_request)
+        );
+        stats
+    };
+
+    println!(
+        "warm vs cold: {}x mean latency, {}x throughput",
+        f2(cold_stats.mean_ms() / warm_stats.mean_ms().max(1e-9)),
+        f2(warm_stats.throughput_rps() / cold_stats.throughput_rps().max(1e-9))
+    );
+
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"requests\": {requests},\n  \"concurrency\": {concurrency},\n  \"warm_rows\": {warm_rows},\n  \"seed\": {seed},\n  \"warm\": {},\n  \"cold\": {},\n  \"mean_speedup\": {:.3}\n}}\n",
+        preset.name(),
+        warm_stats.to_json(),
+        cold_stats.to_json(),
+        cold_stats.mean_ms() / warm_stats.mean_ms().max(1e-9)
+    );
+    write_artifact(&out_path, &json);
+    println!("wrote {out_path}");
+}

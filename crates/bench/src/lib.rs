@@ -145,6 +145,25 @@ pub fn bench_shap() -> KernelShapExplainer {
     })
 }
 
+/// Writes a benchmark artifact, creating any missing parent directories
+/// first (so `SHAHIN_*_OUT=artifacts/ci/BENCH_x.json` works without a
+/// manual mkdir). Panics with the path and cause on failure — an
+/// unwritable artifact is fatal to a bench run.
+pub fn write_artifact(path: &str, contents: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                panic!(
+                    "cannot create directory '{}' for artifact '{path}': {e}",
+                    parent.display()
+                )
+            });
+        }
+    }
+    std::fs::write(p, contents).unwrap_or_else(|e| panic!("cannot write artifact '{path}': {e}"));
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
@@ -186,6 +205,16 @@ mod tests {
         assert_eq!(secs(0.0025), "2.50ms");
         assert_eq!(secs(2.5e-5), "25µs");
         assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+
+    #[test]
+    fn write_artifact_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("shahin_artifact_{}", std::process::id()));
+        let path = dir.join("nested/deep/BENCH_x.json");
+        let path_str = path.to_str().unwrap();
+        write_artifact(path_str, "{}\n");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

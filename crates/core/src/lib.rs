@@ -65,6 +65,7 @@ pub mod shap_source;
 pub mod store;
 pub mod streaming;
 pub mod summarize;
+pub mod warm;
 
 pub use anchor_cache::{CachingRuleSampler, SamplerStats, SharedAnchorCaches};
 pub use baseline::{dist_k, Greedy};
@@ -88,3 +89,4 @@ pub use streaming::ShahinStreaming;
 pub use summarize::{
     summarize_attributions, summarize_rules, top_k_overlap, AttributionSummary, RuleSummary,
 };
+pub use warm::{WarmEngine, WarmExplainer, WarmOutcome, WarmRequest};

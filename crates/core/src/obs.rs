@@ -127,6 +127,41 @@ pub mod names {
     /// degraded count of the run).
     pub const RESILIENCE_TUPLES_DEGRADED: &str = "resilience.tuples_degraded";
 
+    /// Explain requests admitted by the serve front end.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Micro-batches flushed by the batcher thread.
+    pub const SERVE_BATCHES: &str = "serve.batches";
+    /// Requests rejected with a 429-style frame because the admission
+    /// queue was full.
+    pub const SERVE_REJECTED_OVERLOAD: &str = "serve.rejected_overload";
+    /// Frames rejected with a 400-style frame (bad JSON, unknown method,
+    /// wrong arity, out-of-range row).
+    pub const SERVE_REJECTED_MALFORMED: &str = "serve.rejected_malformed";
+    /// Requests rejected with a 503-style frame during shutdown drain.
+    pub const SERVE_REJECTED_SHUTDOWN: &str = "serve.rejected_shutdown";
+    /// Requests whose deadline expired while queued (408-style frame).
+    pub const SERVE_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
+    /// Requests answered with a 422-style frame because the tuple was
+    /// quarantined by the resilience boundary.
+    pub const SERVE_QUARANTINED: &str = "serve.quarantined";
+    /// Connections accepted over the lifetime of the server.
+    pub const SERVE_CONNECTIONS: &str = "serve.connections";
+    /// Warm-store refresh rounds triggered by the serve batcher.
+    pub const SERVE_REFRESHES: &str = "serve.refreshes";
+    /// Requests waiting in the admission queue right now (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Requests drained (still answered) after shutdown began (gauge).
+    pub const SERVE_DRAINED: &str = "serve.drained";
+    /// Micro-batch size distribution (recorded as a value histogram:
+    /// one sample per flush, value = batch size in "ns" units).
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// Time a request spent in the admission queue before its batch was
+    /// flushed (histogram, ns).
+    pub const SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+    /// End-to-end per-request latency, admission to response write
+    /// (histogram, ns).
+    pub const SERVE_REQUEST_LATENCY: &str = "serve.request_latency";
+
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
     pub fn anchor_shard(idx: usize, kind: &str) -> String {
@@ -179,12 +214,23 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::RESILIENCE_PANICS_ISOLATED,
         names::RESILIENCE_TUPLES_FAILED,
         names::RESILIENCE_TUPLES_DEGRADED,
+        names::SERVE_REQUESTS,
+        names::SERVE_BATCHES,
+        names::SERVE_REJECTED_OVERLOAD,
+        names::SERVE_REJECTED_MALFORMED,
+        names::SERVE_REJECTED_SHUTDOWN,
+        names::SERVE_DEADLINE_EXPIRED,
+        names::SERVE_QUARANTINED,
+        names::SERVE_CONNECTIONS,
+        names::SERVE_REFRESHES,
     ] {
         reg.counter(counter);
     }
     for gauge in [
         names::STORE_RESIDENT_BYTES,
         names::STORE_PEAK_BYTES,
+        names::SERVE_QUEUE_DEPTH,
+        names::SERVE_DRAINED,
         names::PROVENANCE_RECORDS,
         names::PROVENANCE_MATCHED_ITEMSETS,
         names::PROVENANCE_STORE_MISSES,
@@ -199,7 +245,13 @@ pub fn register_standard(reg: &MetricsRegistry) {
     ] {
         reg.gauge(gauge);
     }
-    for hist in [names::CLASSIFIER_PREDICT, names::CLASSIFIER_PREDICT_BATCH] {
+    for hist in [
+        names::CLASSIFIER_PREDICT,
+        names::CLASSIFIER_PREDICT_BATCH,
+        names::SERVE_BATCH_SIZE,
+        names::SERVE_QUEUE_WAIT,
+        names::SERVE_REQUEST_LATENCY,
+    ] {
         reg.histogram(hist);
     }
     for shard in 0..N_SHARDS {
@@ -246,6 +298,9 @@ pub(crate) struct ProvenanceCtx {
     sink: Option<Arc<ProvenanceSink>>,
     method: Arc<str>,
     explainer: Arc<str>,
+    /// Serving request id stamped on every record this context emits
+    /// (`None` for the offline drivers).
+    request: Option<u64>,
 }
 
 impl ProvenanceCtx {
@@ -255,6 +310,16 @@ impl ProvenanceCtx {
             sink: reg.provenance_sink(),
             method: Arc::from(method),
             explainer: Arc::from(explainer),
+            request: None,
+        }
+    }
+
+    /// A copy of this context that stamps `request` on its records — the
+    /// serve engine tags each tuple with the request that asked for it.
+    pub(crate) fn tagged(&self, request: u64) -> ProvenanceCtx {
+        ProvenanceCtx {
+            request: Some(request),
+            ..self.clone()
         }
     }
 
@@ -305,6 +370,7 @@ impl ProvenanceCtx {
                 u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
             }),
             degraded,
+            request: self.request,
         });
     }
 }

@@ -1,0 +1,621 @@
+//! A long-lived, warm explanation engine for online serving.
+//!
+//! Every offline driver in this crate rebuilds the perturbation
+//! repository per invocation and throws it away — exactly backwards for a
+//! service answering a stream of explain requests. [`WarmEngine`] primes
+//! the repository once over a *warm set* (the rows the service can be
+//! asked about), then explains arbitrary micro-batches of those rows
+//! against the resident [`PerturbationStore`] and lock-striped
+//! [`SharedAnchorCaches`], so the materialization cost amortizes across
+//! requests instead of within one batch.
+//!
+//! # Determinism
+//!
+//! The engine reproduces the offline [`crate::ShahinBatch`] parallel
+//! drivers bit-for-bit: the store is materialized by the same
+//! `prepare(..)` with the same `(config, seed)`, and each tuple's RNG
+//! stream is derived from its *global* warm-set row index via
+//! [`per_tuple_seed`] — never from its position inside a micro-batch. A
+//! row therefore gets the same LIME/SHAP explanation no matter how
+//! requests are coalesced, how many worker threads run, or when the
+//! request arrives (Anchor rules are stable for crisp classifiers; its
+//! invocation counts race, as in the offline parallel driver).
+//!
+//! # Refresh epochs
+//!
+//! [`WarmEngine::refresh`] rebuilds the store (same seed — bit-identical
+//! contents) and bumps the provenance epoch, mirroring the streaming
+//! driver's refresh rounds; the serve batcher calls it every
+//! `refresh_every` micro-batches to bound staleness once warm sets become
+//! mutable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
+use shahin_model::{Classifier, CountingClassifier};
+use shahin_tabular::{Dataset, DiscreteTable};
+
+use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
+use crate::batch::{estimate_base_value_guarded, ShahinBatch};
+use crate::config::BatchConfig;
+use crate::metrics::TupleFailure;
+use crate::obs::{names, register_standard, MetricsRegistry, ProvenanceCtx};
+use crate::parallel::chunks;
+use crate::quarantine::{guard_tuple, QuarantineObs, TupleOutcome};
+use crate::runner::{per_tuple_seed, Explanation, SHAP_BASE_SAMPLES};
+use crate::shap_source::{pool_coalitions, StoreCoalitionSource};
+use crate::store::PerturbationStore;
+
+/// The explainer a [`WarmEngine`] serves (one per engine; a service that
+/// offers several runs several engines over the same warm set).
+#[derive(Clone, Debug)]
+pub enum WarmExplainer {
+    /// LIME feature attributions.
+    Lime(LimeExplainer),
+    /// Anchor rules.
+    Anchor(AnchorExplainer),
+    /// KernelSHAP feature attributions.
+    Shap(KernelShapExplainer),
+}
+
+impl WarmExplainer {
+    /// Canonical explainer name (matches [`crate::ExplainerKind::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarmExplainer::Lime(_) => "LIME",
+            WarmExplainer::Anchor(_) => "Anchor",
+            WarmExplainer::Shap(_) => "SHAP",
+        }
+    }
+
+    /// The per-tuple sample budget used by automatic τ selection (the same
+    /// `n_target` the offline drivers pass to `prepare`).
+    fn n_target(&self) -> usize {
+        match self {
+            WarmExplainer::Lime(l) => l.params.n_samples,
+            // Anchor has no fixed per-tuple count; 400 approximates the
+            // bandit's typical draw budget (as in the offline driver).
+            WarmExplainer::Anchor(_) => 400,
+            WarmExplainer::Shap(s) => s.params.n_samples,
+        }
+    }
+}
+
+/// One explain request addressed to a warm engine: a *global* row index
+/// into the warm set, plus the serving request id stamped onto the
+/// tuple's provenance record.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmRequest {
+    /// Row index into the engine's warm set (`0..n_rows()`).
+    pub row: usize,
+    /// Serving request id for provenance tagging.
+    pub request_id: u64,
+}
+
+/// Outcome of one warm-served request.
+#[derive(Clone, Debug)]
+pub enum WarmOutcome {
+    /// Explained; `degraded` mirrors the offline drivers' degraded flag
+    /// (the resilience boundary absorbed incidents for this tuple).
+    Ok {
+        /// The explanation.
+        explanation: Explanation,
+        /// Explained under duress (retries absorbed, outputs sanitized).
+        degraded: bool,
+    },
+    /// A panic unwound out of the tuple; it is quarantined and the other
+    /// requests in the micro-batch are unaffected.
+    Failed(TupleFailure),
+}
+
+/// Store + dictionary that a refresh swaps atomically.
+struct WarmState {
+    table: DiscreteTable,
+    store: PerturbationStore,
+}
+
+/// A primed, resident explanation engine (see the module docs).
+pub struct WarmEngine<C: Classifier> {
+    shahin: ShahinBatch,
+    ctx: ExplainContext,
+    clf: CountingClassifier<C>,
+    warm: Dataset,
+    explainer: WarmExplainer,
+    /// Obs-wired Anchor clone (the offline driver wires it per run).
+    anchor: Option<AnchorExplainer>,
+    caches: SharedAnchorCaches,
+    seed: u64,
+    /// SHAP base value, estimated once at prime time (0.5 otherwise).
+    base: f64,
+    state: RwLock<WarmState>,
+    epoch: AtomicU64,
+    obs: MetricsRegistry,
+}
+
+impl<C: Classifier> WarmEngine<C> {
+    /// Builds the engine and materializes the repository over `warm` —
+    /// the same preparation the offline drivers run per batch, paid once.
+    pub fn prime(
+        config: BatchConfig,
+        explainer: WarmExplainer,
+        ctx: ExplainContext,
+        clf: CountingClassifier<C>,
+        warm: Dataset,
+        seed: u64,
+        reg: &MetricsRegistry,
+    ) -> WarmEngine<C> {
+        register_standard(reg);
+        let shahin = ShahinBatch::new(config).with_obs(reg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prep = shahin.prepare(&ctx, &clf, &warm, explainer.n_target(), seed, &mut rng);
+        let quarantine = QuarantineObs::new(reg);
+        let base = match &explainer {
+            WarmExplainer::Shap(_) => {
+                estimate_base_value_guarded(&ctx, &clf, SHAP_BASE_SAMPLES, &mut rng, &quarantine)
+            }
+            _ => 0.5,
+        };
+        let caches = SharedAnchorCaches::with_obs(reg);
+        let anchor = match &explainer {
+            WarmExplainer::Anchor(a) => Some(a.clone().with_obs(reg)),
+            _ => None,
+        };
+        WarmEngine {
+            shahin,
+            ctx,
+            clf,
+            warm,
+            explainer,
+            anchor,
+            caches,
+            seed,
+            base,
+            state: RwLock::new(WarmState {
+                table: prep.table,
+                store: prep.store,
+            }),
+            epoch: AtomicU64::new(0),
+            obs: reg.clone(),
+        }
+    }
+
+    /// Rows in the warm set; valid request rows are `0..n_rows()`.
+    pub fn n_rows(&self) -> usize {
+        self.warm.n_rows()
+    }
+
+    /// Completed refresh rounds (the provenance epoch of the next tuple).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The explainer this engine serves.
+    pub fn explainer_name(&self) -> &'static str {
+        self.explainer.name()
+    }
+
+    /// Total classifier invocations through this engine's classifier
+    /// (materialization + explanations).
+    pub fn invocations(&self) -> u64 {
+        self.clf.invocations()
+    }
+
+    /// The registry this engine records into (the serve layer shares it
+    /// for its `serve.*` metrics).
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// Rebuilds the store with the prime seed (bit-identical contents,
+    /// so served explanations are epoch-invariant) and bumps the epoch.
+    pub fn refresh(&self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let prep = self.shahin.prepare(
+            &self.ctx,
+            &self.clf,
+            &self.warm,
+            self.explainer.n_target(),
+            self.seed,
+            &mut rng,
+        );
+        {
+            let mut state = self.state.write();
+            state.table = prep.table;
+            state.store = prep.store;
+        }
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter(names::SERVE_REFRESHES).inc();
+    }
+
+    /// Explains one micro-batch against the warm repository, spreading
+    /// the requests over [`BatchConfig::n_threads`] workers. Outcomes are
+    /// returned in request order; a quarantined tuple fails only its own
+    /// slot. Rows must be `< n_rows()` (the serve layer validates before
+    /// admission; this panics on out-of-range rows).
+    pub fn explain(&self, requests: &[WarmRequest]) -> Vec<WarmOutcome> {
+        let n_threads = self.shahin.config.resolved_n_threads();
+        let state = self.state.read();
+        let table = &state.table;
+        let store = &state.store;
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
+        let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Serve", self.explainer.name());
+        let quarantine = QuarantineObs::new(&self.obs);
+
+        let mut slots: Vec<Option<TupleOutcome<Explanation>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut rest = slots.as_mut_slice();
+            for (start, end) in chunks(requests.len(), n_threads) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let retrieve_hist = retrieve_hist.clone();
+                let surrogate_hist = surrogate_hist.clone();
+                let prov = prov.clone();
+                let quarantine = quarantine.clone();
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        let req = requests[start + offset];
+                        *slot = Some(self.explain_one(
+                            req,
+                            epoch,
+                            table,
+                            store,
+                            &retrieve_hist,
+                            &surrogate_hist,
+                            &prov,
+                            &quarantine,
+                            &mut scratch,
+                        ));
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("every request visited") {
+                TupleOutcome::Ok(explanation) => WarmOutcome::Ok {
+                    explanation,
+                    degraded: false,
+                },
+                TupleOutcome::Degraded(explanation) => WarmOutcome::Ok {
+                    explanation,
+                    degraded: true,
+                },
+                TupleOutcome::Failed(failure) => WarmOutcome::Failed(failure),
+            })
+            .collect()
+    }
+
+    /// One guarded tuple: the offline parallel drivers' worker body,
+    /// keyed on the *global* warm-set row so the explanation is identical
+    /// to the offline run regardless of micro-batch composition.
+    #[allow(clippy::too_many_arguments)]
+    fn explain_one(
+        &self,
+        req: WarmRequest,
+        epoch: u64,
+        table: &DiscreteTable,
+        store: &PerturbationStore,
+        retrieve_hist: &crate::obs::Histogram,
+        surrogate_hist: &crate::obs::Histogram,
+        prov: &ProvenanceCtx,
+        quarantine: &QuarantineObs,
+        scratch: &mut Vec<u8>,
+    ) -> TupleOutcome<Explanation> {
+        let row = req.row;
+        let prov = prov.tagged(req.request_id);
+        let (ctx, clf) = (&self.ctx, &self.clf);
+        guard_tuple(row as u32, quarantine, |incidents0| {
+            let t0 = prov.start();
+            let codes = table.row(row);
+            let retrieve = retrieve_hist.start();
+            let (matched, lookup) = store.matching_read_stats(&codes, scratch);
+            drop(retrieve);
+            let instance = self.warm.instance(row);
+            match &self.explainer {
+                WarmExplainer::Lime(lime) => {
+                    let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(self.seed, row));
+                    let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
+                    let _fit = surrogate_hist.start();
+                    let (weights, reuse) = lime.explain_with_reused_counted(
+                        ctx,
+                        clf,
+                        &instance,
+                        pooled,
+                        &mut tuple_rng,
+                    );
+                    let degraded =
+                        reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                    prov.record(
+                        row as u32,
+                        epoch,
+                        &matched,
+                        lookup,
+                        reuse.reused,
+                        reuse.fresh,
+                        reuse.invocations,
+                        (0, 0),
+                        degraded,
+                        t0,
+                    );
+                    (Explanation::Weights(weights), degraded)
+                }
+                WarmExplainer::Anchor(_) => {
+                    let anchor = self
+                        .anchor
+                        .as_ref()
+                        .expect("anchor engine has a wired clone");
+                    let target = clf.predict(&instance);
+                    let mut sampler = CachingRuleSampler::new(
+                        ctx,
+                        clf,
+                        store,
+                        &matched,
+                        &self.caches,
+                        per_tuple_seed(self.seed, row),
+                    );
+                    let explanation = anchor.explain_with_sampler(&codes, target, &mut sampler);
+                    let stats = sampler.stats();
+                    let degraded = shahin_model::degraded_incidents() > incidents0;
+                    prov.record(
+                        row as u32,
+                        epoch,
+                        &matched,
+                        lookup,
+                        stats.reused,
+                        stats.fresh,
+                        stats.fresh + 1,
+                        (stats.cache_hits, stats.cache_misses),
+                        degraded,
+                        t0,
+                    );
+                    (Explanation::Rule(explanation), degraded)
+                }
+                WarmExplainer::Shap(shap) => {
+                    let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(self.seed, row));
+                    let pooled = pool_coalitions(store, &matched, shap.params.n_samples / 2);
+                    let mut source = StoreCoalitionSource::new(store, matched.clone());
+                    let _fit = surrogate_hist.start();
+                    let (weights, reuse) = shap.explain_with_counted(
+                        ctx,
+                        clf,
+                        &instance,
+                        self.base,
+                        pooled,
+                        &mut source,
+                        &mut tuple_rng,
+                    );
+                    let degraded =
+                        reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
+                    prov.record(
+                        row as u32,
+                        epoch,
+                        &matched,
+                        lookup,
+                        reuse.reused,
+                        reuse.fresh,
+                        reuse.invocations,
+                        (0, 0),
+                        degraded,
+                        t0,
+                    );
+                    (Explanation::Weights(weights), degraded)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shahin_explain::LimeParams;
+    use shahin_model::MajorityClass;
+    use shahin_tabular::{train_test_split, DatasetPreset};
+
+    fn setup() -> (ExplainContext, CountingClassifier<MajorityClass>, Dataset) {
+        let (data, labels) = DatasetPreset::Recidivism.spec(0.05).generate(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+        let ctx = ExplainContext::fit(&split.train, 300, &mut rng);
+        let clf = CountingClassifier::new(MajorityClass::fit(&split.train_labels));
+        let rows: Vec<usize> = (0..30.min(split.test.n_rows())).collect();
+        (ctx, clf, split.test.select(&rows))
+    }
+
+    fn lime() -> LimeExplainer {
+        LimeExplainer::new(LimeParams {
+            n_samples: 60,
+            ..Default::default()
+        })
+    }
+
+    fn engine(n_threads: usize) -> (WarmEngine<MajorityClass>, Dataset, ExplainContext) {
+        let (ctx, clf, warm) = setup();
+        let cfg = BatchConfig {
+            n_threads: Some(n_threads),
+            ..Default::default()
+        };
+        let reg = MetricsRegistry::new();
+        let eng = WarmEngine::prime(
+            cfg,
+            WarmExplainer::Lime(lime()),
+            ctx.clone(),
+            clf,
+            warm.clone(),
+            11,
+            &reg,
+        );
+        (eng, warm, ctx)
+    }
+
+    #[test]
+    fn warm_engine_matches_offline_batch_parallel_for_any_micro_batching() {
+        let (ctx, clf, warm) = setup();
+        let offline = ShahinBatch::new(BatchConfig {
+            n_threads: Some(2),
+            ..Default::default()
+        })
+        .explain_lime_parallel(&ctx, &clf, &warm, &lime(), 11);
+
+        for n_threads in [1usize, 4] {
+            let (eng, _, _) = engine(n_threads);
+            // Shuffled rows, ragged micro-batches: results must only
+            // depend on the global row index.
+            let order: Vec<usize> = (0..warm.n_rows()).rev().collect();
+            let mut served: Vec<Option<Explanation>> = vec![None; warm.n_rows()];
+            for chunk in order.chunks(7) {
+                let reqs: Vec<WarmRequest> = chunk
+                    .iter()
+                    .map(|&row| WarmRequest {
+                        row,
+                        request_id: row as u64,
+                    })
+                    .collect();
+                for (req, out) in reqs.iter().zip(eng.explain(&reqs)) {
+                    match out {
+                        WarmOutcome::Ok { explanation, .. } => served[req.row] = Some(explanation),
+                        WarmOutcome::Failed(f) => panic!("unexpected failure: {f:?}"),
+                    }
+                }
+            }
+            for (row, offline_w) in offline.explanations.iter().enumerate() {
+                let w = served[row].as_ref().unwrap().weights().unwrap();
+                assert_eq!(w, offline_w, "row {row}, {n_threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_requests_for_one_row_are_identical_and_refresh_preserves_results() {
+        let (eng, _, _) = engine(2);
+        let req = [WarmRequest {
+            row: 3,
+            request_id: 1,
+        }];
+        let first = match &eng.explain(&req)[0] {
+            WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+            WarmOutcome::Failed(f) => panic!("{f:?}"),
+        };
+        eng.refresh();
+        assert_eq!(eng.epoch(), 1);
+        let second = match &eng.explain(&req)[0] {
+            WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+            WarmOutcome::Failed(f) => panic!("{f:?}"),
+        };
+        assert_eq!(first, second, "refresh must not change served results");
+    }
+
+    #[test]
+    fn provenance_records_carry_request_ids_and_epochs() {
+        use shahin_obs::ProvenanceSink;
+        use std::sync::Arc;
+
+        let (ctx, clf, warm) = setup();
+        let reg = MetricsRegistry::new();
+        let sink = Arc::new(ProvenanceSink::new());
+        reg.attach_provenance_sink(Arc::clone(&sink));
+        let eng = WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(lime()),
+            ctx,
+            clf,
+            warm,
+            11,
+            &reg,
+        );
+        eng.explain(&[
+            WarmRequest {
+                row: 0,
+                request_id: 100,
+            },
+            WarmRequest {
+                row: 1,
+                request_id: 101,
+            },
+        ]);
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        let requests: Vec<Option<u64>> = recs.iter().map(|r| r.request).collect();
+        assert!(requests.contains(&Some(100)) && requests.contains(&Some(101)));
+        for r in &recs {
+            assert_eq!(&*r.method, "Shahin-Serve");
+            assert_eq!(r.epoch, 0);
+            assert!(r.to_json().contains("\"request\": "));
+        }
+    }
+
+    #[test]
+    fn quarantined_rows_fail_only_their_own_slot() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        // Healthy while the store is primed; panics for a window of calls
+        // armed afterwards, so a prefix of the micro-batch's rows is
+        // quarantined while later rows explain normally.
+        struct TrapAfter {
+            calls: AtomicU64,
+            trap_at: AtomicU64,
+        }
+        impl Classifier for TrapAfter {
+            fn predict_proba(&self, _inst: &[shahin_tabular::Feature]) -> f64 {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                let trap_at = self.trap_at.load(Ordering::Relaxed);
+                // A panic unwinds out on a row's first call, so each
+                // quarantined row consumes one call of this window.
+                if n >= trap_at && n < trap_at + 3 {
+                    panic!("trap sprung");
+                }
+                0.7
+            }
+        }
+
+        let (ctx, _clf, warm) = setup();
+        let trap = Arc::new(TrapAfter {
+            calls: AtomicU64::new(0),
+            trap_at: AtomicU64::new(u64::MAX),
+        });
+        let reg = MetricsRegistry::new();
+        let eng = WarmEngine::prime(
+            BatchConfig {
+                n_threads: Some(1),
+                ..Default::default()
+            },
+            WarmExplainer::Lime(lime()),
+            ctx,
+            CountingClassifier::new(Arc::clone(&trap)),
+            warm.clone(),
+            11,
+            &reg,
+        );
+        trap.trap_at
+            .store(trap.calls.load(Ordering::Relaxed), Ordering::Relaxed);
+        let reqs: Vec<WarmRequest> = (0..6)
+            .map(|row| WarmRequest {
+                row,
+                request_id: row as u64,
+            })
+            .collect();
+        let outs = eng.explain(&reqs);
+        assert_eq!(outs.len(), reqs.len());
+        let failed = outs
+            .iter()
+            .filter(|o| matches!(o, WarmOutcome::Failed(_)))
+            .count();
+        assert!(failed >= 1, "the armed trap must quarantine a row");
+        assert!(
+            failed < reqs.len(),
+            "rows after the trap window must survive"
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::RESILIENCE_TUPLES_FAILED), failed as u64);
+    }
+}

@@ -196,15 +196,7 @@ struct TraceLine {
     json: String,
 }
 
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+use crate::json::escape as json_escape;
 
 fn args_json(args: &[(String, String)]) -> String {
     let mut out = String::from("{");

@@ -1,0 +1,383 @@
+//! Shared hand-rolled JSON helpers: one escape/serialize implementation
+//! and one minimal reader for every machine-written artifact in the
+//! workspace (metrics snapshots, Chrome traces, provenance JSONL,
+//! `BENCH_*.json`, and the serve wire protocol).
+//!
+//! The workspace deliberately carries no serde; the artifacts are small,
+//! machine-written and schema-stable, so a recursive-descent parser over a
+//! few hundred bytes plus a string escaper is all the exporters, the
+//! `bench_compare` gate and the `shahin-serve` protocol need. Before this
+//! module, `snapshot.rs`, `events.rs` and `provenance.rs` each carried a
+//! private copy of the escaper — they now share this one.
+
+use std::collections::BTreeMap;
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+pub fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders an `f64` as a JSON value. Rust's shortest round-trip `Display`
+/// is already valid JSON for finite values; non-finite values (which JSON
+/// cannot carry) become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for whole numbers; keep that
+        // (still valid JSON) but make -0.0 deterministic.
+        if s == "-0" {
+            "0".to_string()
+        } else {
+            s
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always carried as f64; the artifacts stay well inside
+    /// the 2^53 exact-integer range).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. BTreeMap: deterministic iteration for stable reports.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Walks a path of object keys.
+    pub fn at(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, if this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object's map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let len = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or("invalid UTF-8 in string")?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+        assert_eq!(escape("dé"), "dé");
+    }
+
+    #[test]
+    fn fmt_f64_round_trips_and_maps_nonfinite_to_null() {
+        for v in [0.0, -0.0, 1.5, -3.25e-7, 1e18, f64::MIN_POSITIVE] {
+            let s = fmt_f64(v);
+            let parsed = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), if v == 0.0 { 0 } else { v.to_bits() });
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        let original = "he said \"hi\\\" \n\t<done>";
+        let doc = format!("{{\"s\": \"{}\"}}", escape(original));
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn parses_bench_shaped_document() {
+        let doc = r#"{
+  "dataset": "Census-Income (KDD)",
+  "batch": 400,
+  "overhead_pct": -0.123,
+  "within_budget": true,
+  "explainers": {
+    "LIME": {"sequential": {"wall_s": 1.5, "invocations": 42},
+             "threads": {"2": {"speedup": 1.9e0}}}
+  },
+  "empty_arr": [], "arr": [1, "two", null, false]
+}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("batch").unwrap().as_u64(), Some(400));
+        assert_eq!(v.get("overhead_pct").unwrap().as_f64(), Some(-0.123));
+        assert_eq!(v.get("within_budget").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("dataset").unwrap().as_str(),
+            Some("Census-Income (KDD)")
+        );
+        assert_eq!(
+            v.at(&["explainers", "LIME", "sequential", "invocations"])
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            v.at(&["explainers", "LIME", "threads", "2", "speedup"])
+                .unwrap()
+                .as_f64(),
+            Some(1.9)
+        );
+        assert_eq!(v.get("empty_arr").unwrap().as_arr(), Some(&[][..]));
+        let arr = v.get("arr").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[2], Json::Null);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let v = Json::parse(r#"{"s": "a\"b\\c\ndé"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndé"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("tru").is_err());
+    }
+}

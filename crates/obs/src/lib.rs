@@ -44,11 +44,13 @@
 //! from value histograms like `classifier.predict`.
 
 pub mod events;
+pub mod json;
 pub mod provenance;
 pub mod registry;
 pub mod snapshot;
 
 pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
+pub use json::Json;
 pub use provenance::{ProvenanceRecord, ProvenanceSink, ProvenanceTotals, N_PROVENANCE_STRIPES};
 pub use registry::{
     bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, MetricsRegistry, Span, N_BUCKETS,

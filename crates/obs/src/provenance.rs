@@ -68,6 +68,9 @@ pub struct ProvenanceRecord {
     /// output). The explanation is still deterministic for a fixed fault
     /// schedule, but it was produced under duress.
     pub degraded: bool,
+    /// Serving request id that asked for this explanation (`shahin-serve`
+    /// only; `None` — and omitted from the JSONL — for offline drivers).
+    pub request: Option<u64>,
 }
 
 impl ProvenanceRecord {
@@ -108,6 +111,11 @@ impl ProvenanceRecord {
             self.degraded
         )
         .unwrap();
+        if let Some(request) = self.request {
+            // Truncate the closing brace, append the optional key, re-close.
+            out.pop();
+            write!(out, ", \"request\": {request}}}").unwrap();
+        }
         out
     }
 }
@@ -234,15 +242,7 @@ impl ProvenanceSink {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+use crate::json::escape;
 
 #[cfg(test)]
 mod tests {
@@ -326,5 +326,16 @@ mod tests {
     fn reuse_invariant_holds_by_construction() {
         let r = record(9, 12, 30);
         assert_eq!(r.samples_reused + r.samples_fresh, r.tau);
+    }
+
+    #[test]
+    fn request_id_is_serialized_only_when_present() {
+        let offline = record(0, 1, 2);
+        assert!(!offline.to_json().contains("\"request\""));
+        let mut served = record(1, 3, 4);
+        served.request = Some(97);
+        let line = served.to_json();
+        assert!(line.ends_with(", \"request\": 97}"), "got {line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 }

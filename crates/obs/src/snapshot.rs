@@ -195,16 +195,8 @@ fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, u64
     }
 }
 
-/// Metric names are plain identifiers, but escape defensively anyway.
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+// Metric names are plain identifiers, but escape defensively anyway.
+use crate::json::escape;
 
 /// Human-scaled duration: ns → µs → ms → s.
 fn fmt_ns(ns: u64) -> String {

@@ -1,0 +1,54 @@
+//! `shahin-serve`: an online explanation service over a warm
+//! perturbation repository.
+//!
+//! The offline drivers in `shahin` amortize explanation cost *within* a
+//! batch; a service answering a stream of explain requests wants to
+//! amortize it *across* requests. This crate puts a std-only TCP front
+//! end — newline-delimited JSON, no external dependencies — over a
+//! [`shahin::WarmEngine`]:
+//!
+//! - [`protocol`]: the wire format — request parsing with typed error
+//!   frames (bad frames never kill the connection),
+//! - [`queue`]: the bounded admission queue with 429-style backpressure,
+//! - [`server`]: acceptor + per-connection readers + the batcher thread
+//!   that coalesces concurrent requests into dynamic micro-batches
+//!   (flush on `max_batch` or `max_delay`) so co-batched tuples share
+//!   the warm [`shahin::PerturbationStore`] and Anchor caches,
+//! - [`signal`]: SIGINT/SIGTERM watching for graceful drains.
+//!
+//! Served explanations are bit-identical to the offline
+//! `ShahinBatch::explain_*_parallel` drivers for the same seed and warm
+//! set — see the determinism notes on [`shahin::WarmEngine`].
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use shahin::{BatchConfig, MetricsRegistry, WarmEngine, WarmExplainer};
+//! use shahin_serve::{ServeConfig, Server};
+//! # let (ctx, clf, warm): (shahin_explain::ExplainContext,
+//! #     shahin_model::CountingClassifier<shahin_model::MajorityClass>,
+//! #     shahin_tabular::Dataset) = unimplemented!();
+//!
+//! let reg = MetricsRegistry::new();
+//! let engine = Arc::new(WarmEngine::prime(
+//!     BatchConfig::default(),
+//!     WarmExplainer::Lime(Default::default()),
+//!     ctx, clf, warm, 7, &reg,
+//! ));
+//! let handle = Server::start(engine, ServeConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // ... clients connect, send {"id":1,"method":"explain","row":0} ...
+//! handle.shutdown();
+//! let served = handle.wait();
+//! println!("drained cleanly ({served} requests served)");
+//! ```
+
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use protocol::{parse_request, Request, WireError};
+pub use queue::{Admission, PushError};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,395 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response frame per request, in any order
+//! (frames carry the client's `id`). Malformed frames — bad JSON, an
+//! unknown method, wrong arity or types — yield a typed error frame and
+//! leave the connection open; only EOF or shutdown closes it.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "method": "explain", "row": 17}
+//! {"id": 2, "method": "explain", "row": 3, "deadline_ms": 250}
+//! {"id": 3, "method": "ping"}
+//! {"id": 4, "method": "shutdown"}
+//! ```
+//!
+//! ## Responses
+//!
+//! Success frames carry `"ok": true` plus the explainer-shaped payload
+//! (weights/intercept/local_prediction for LIME and SHAP, a rule string
+//! plus precision/coverage for Anchor). Error frames carry `"ok": false`,
+//! an HTTP-flavored `code`, a machine-readable `error` kind, and a
+//! human-readable `message`:
+//!
+//! | code | error              | meaning                                    |
+//! |------|--------------------|--------------------------------------------|
+//! | 400  | `bad_request`      | unparseable JSON, unknown method, bad arity|
+//! | 404  | `row_out_of_range` | row is not in the warm set                 |
+//! | 408  | `deadline_expired` | queued past the request's `deadline_ms`    |
+//! | 422  | `quarantined`      | tuple failed inside the resilience boundary|
+//! | 429  | `overloaded`       | admission queue full — back off and retry  |
+//! | 503  | `shutting_down`    | server is draining; no new work accepted   |
+
+use shahin::{Explanation, FailureKind};
+use shahin_obs::json::{escape, fmt_f64, Json};
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Explain one warm-set row.
+    Explain {
+        /// Client-chosen frame id, echoed on the response.
+        id: u64,
+        /// Global row index into the warm set.
+        row: usize,
+        /// Optional queue deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen frame id.
+        id: u64,
+    },
+    /// Admin: drain the queue and exit.
+    Shutdown {
+        /// Client-chosen frame id.
+        id: u64,
+    },
+}
+
+/// A typed error, rendered as an error frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// HTTP-flavored status code.
+    pub code: u16,
+    /// Machine-readable kind (stable identifier, e.g. `overloaded`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// 400: unparseable or structurally invalid frame.
+    pub fn bad_request(message: impl Into<String>) -> WireError {
+        WireError {
+            code: 400,
+            kind: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// 404: the requested row is outside the warm set.
+    pub fn row_out_of_range(row: usize, n_rows: usize) -> WireError {
+        WireError {
+            code: 404,
+            kind: "row_out_of_range",
+            message: format!("row {row} is outside the warm set (0..{n_rows})"),
+        }
+    }
+
+    /// 408: the request's deadline expired while it was queued.
+    pub fn deadline_expired() -> WireError {
+        WireError {
+            code: 408,
+            kind: "deadline_expired",
+            message: "deadline expired while queued".into(),
+        }
+    }
+
+    /// 422: the tuple was quarantined by the resilience boundary.
+    pub fn quarantined(kind: FailureKind, message: &str) -> WireError {
+        WireError {
+            code: 422,
+            kind: "quarantined",
+            message: format!("{}: {message}", kind.name()),
+        }
+    }
+
+    /// 429: the admission queue is full.
+    pub fn overloaded(capacity: usize) -> WireError {
+        WireError {
+            code: 429,
+            kind: "overloaded",
+            message: format!("admission queue full ({capacity} requests)"),
+        }
+    }
+
+    /// 503: the server is draining.
+    pub fn shutting_down() -> WireError {
+        WireError {
+            code: 503,
+            kind: "shutting_down",
+            message: "server is draining; connection will close".into(),
+        }
+    }
+}
+
+/// Parses one request line. `Err` carries the typed error frame to send
+/// back — the connection stays alive either way.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let value =
+        Json::parse(line.trim()).map_err(|e| WireError::bad_request(format!("bad JSON: {e}")))?;
+    let obj = value
+        .as_obj()
+        .ok_or_else(|| WireError::bad_request("request frame must be a JSON object"))?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "id" | "method" | "row" | "deadline_ms") {
+            return Err(WireError::bad_request(format!("unknown key \"{key}\"")));
+        }
+    }
+    let id = match value.get("id") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| WireError::bad_request("\"id\" must be a non-negative integer"))?,
+    };
+    let method = value
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::bad_request("missing \"method\" string"))?;
+    match method {
+        "explain" => {
+            let row = value
+                .get("row")
+                .ok_or_else(|| WireError::bad_request("explain needs a \"row\" integer"))?
+                .as_u64()
+                .ok_or_else(|| WireError::bad_request("\"row\" must be a non-negative integer"))?;
+            let deadline_ms = match value.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    WireError::bad_request("\"deadline_ms\" must be a non-negative integer")
+                })?),
+            };
+            Ok(Request::Explain {
+                id,
+                row: row as usize,
+                deadline_ms,
+            })
+        }
+        "ping" | "shutdown" => {
+            if value.get("row").is_some() || value.get("deadline_ms").is_some() {
+                return Err(WireError::bad_request(format!(
+                    "\"{method}\" takes no parameters"
+                )));
+            }
+            Ok(if method == "ping" {
+                Request::Ping { id }
+            } else {
+                Request::Shutdown { id }
+            })
+        }
+        other => Err(WireError::bad_request(format!(
+            "unknown method \"{other}\""
+        ))),
+    }
+}
+
+/// Best-effort extraction of a frame's `id` so an error frame can echo
+/// it even when the frame is otherwise invalid; 0 when unparseable.
+pub fn parse_frame_id(line: &str) -> u64 {
+    Json::parse(line.trim())
+        .ok()
+        .and_then(|v| v.get("id").and_then(Json::as_u64))
+        .unwrap_or(0)
+}
+
+/// Renders an error frame (no trailing newline).
+pub fn error_frame(id: u64, err: &WireError) -> String {
+    format!(
+        "{{\"id\": {id}, \"ok\": false, \"code\": {}, \"error\": \"{}\", \"message\": \"{}\"}}",
+        err.code,
+        escape(err.kind),
+        escape(&err.message)
+    )
+}
+
+/// Renders a success frame for one served explanation (no trailing
+/// newline). `epoch` is the refresh epoch the tuple was explained in.
+pub fn explanation_frame(
+    id: u64,
+    row: usize,
+    explanation: &Explanation,
+    degraded: bool,
+    epoch: u64,
+) -> String {
+    let mut out = format!("{{\"id\": {id}, \"ok\": true, \"row\": {row}, ");
+    match explanation {
+        Explanation::Weights(w) => {
+            out.push_str("\"weights\": [");
+            for (i, v) in w.weights.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&fmt_f64(*v));
+            }
+            out.push_str(&format!(
+                "], \"intercept\": {}, \"local_prediction\": {}",
+                fmt_f64(w.intercept),
+                fmt_f64(w.local_prediction)
+            ));
+        }
+        Explanation::Rule(r) => {
+            out.push_str(&format!(
+                "\"rule\": \"{}\", \"precision\": {}, \"coverage\": {}, \"anchored_class\": {}",
+                escape(&r.rule.to_string()),
+                fmt_f64(r.precision),
+                fmt_f64(r.coverage),
+                r.anchored_class
+            ));
+        }
+    }
+    out.push_str(&format!(", \"degraded\": {degraded}, \"epoch\": {epoch}}}"));
+    out
+}
+
+/// Renders the pong frame.
+pub fn pong_frame(id: u64) -> String {
+    format!("{{\"id\": {id}, \"ok\": true, \"pong\": true}}")
+}
+
+/// Renders the shutdown acknowledgement frame.
+pub fn shutdown_frame(id: u64) -> String {
+    format!("{{\"id\": {id}, \"ok\": true, \"shutting_down\": true}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_requests() {
+        assert_eq!(
+            parse_request("{\"id\": 7, \"method\": \"explain\", \"row\": 12}").unwrap(),
+            Request::Explain {
+                id: 7,
+                row: 12,
+                deadline_ms: None
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\":1,\"method\":\"explain\",\"row\":0,\"deadline_ms\":250}")
+                .unwrap(),
+            Request::Explain {
+                id: 1,
+                row: 0,
+                deadline_ms: Some(250)
+            }
+        );
+        assert_eq!(
+            parse_request("{\"method\": \"ping\"}").unwrap(),
+            Request::Ping { id: 0 }
+        );
+        assert_eq!(
+            parse_request("  {\"id\": 3, \"method\": \"shutdown\"}\n").unwrap(),
+            Request::Shutdown { id: 3 }
+        );
+    }
+
+    #[test]
+    fn bad_json_yields_a_400_frame() {
+        for line in ["", "{", "not json", "[1, 2", "{\"id\": } "] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, 400, "line {line:?}");
+            assert_eq!(err.kind, "bad_request");
+        }
+    }
+
+    #[test]
+    fn unknown_method_yields_a_400_frame() {
+        let err = parse_request("{\"id\": 1, \"method\": \"explode\"}").unwrap_err();
+        assert_eq!(err.code, 400);
+        assert!(err.message.contains("unknown method"));
+        assert!(err.message.contains("explode"));
+    }
+
+    #[test]
+    fn wrong_arity_and_types_yield_400_frames() {
+        // Missing required parameter.
+        let err = parse_request("{\"id\": 1, \"method\": \"explain\"}").unwrap_err();
+        assert!(err.message.contains("row"));
+        // Wrong parameter type.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": \"five\"}").unwrap_err();
+        assert_eq!(err.code, 400);
+        // Negative row.
+        let err = parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": -3}").unwrap_err();
+        assert_eq!(err.code, 400);
+        // Extra parameters on a nullary method.
+        let err = parse_request("{\"id\": 1, \"method\": \"ping\", \"row\": 2}").unwrap_err();
+        assert!(err.message.contains("takes no parameters"));
+        // Unknown keys are rejected rather than silently dropped.
+        let err = parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": 1, \"rwo\": 2}")
+            .unwrap_err();
+        assert!(err.message.contains("rwo"));
+        // Non-object frames.
+        let err = parse_request("[1, 2, 3]").unwrap_err();
+        assert!(err.message.contains("object"));
+        // Non-integer id.
+        let err = parse_request("{\"id\": \"x\", \"method\": \"ping\"}").unwrap_err();
+        assert!(err.message.contains("id"));
+    }
+
+    #[test]
+    fn error_frames_are_valid_json_with_the_taxonomy_fields() {
+        let frames = [
+            error_frame(1, &WireError::bad_request("broken \"quote\"")),
+            error_frame(2, &WireError::row_out_of_range(9, 5)),
+            error_frame(3, &WireError::deadline_expired()),
+            error_frame(4, &WireError::quarantined(FailureKind::Panic, "boom")),
+            error_frame(5, &WireError::overloaded(64)),
+            error_frame(6, &WireError::shutting_down()),
+        ];
+        let codes = [400, 404, 408, 422, 429, 503];
+        for (frame, code) in frames.iter().zip(codes) {
+            let v = Json::parse(frame).expect("error frame parses");
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+            assert_eq!(v.get("code").unwrap().as_u64(), Some(code));
+            assert!(v.get("error").unwrap().as_str().is_some());
+            assert!(v.get("message").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn explanation_frames_round_trip_weights_exactly() {
+        use shahin_explain::FeatureWeights;
+        let w = FeatureWeights {
+            weights: vec![0.1, -2.5e-7, 3.0],
+            intercept: 0.25,
+            local_prediction: 0.75,
+        };
+        let frame = explanation_frame(9, 4, &Explanation::Weights(w.clone()), false, 2);
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("row").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(false));
+        let parsed: Vec<f64> = v
+            .get("weights")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        for (a, b) in parsed.iter().zip(&w.weights) {
+            assert_eq!(a.to_bits(), b.to_bits(), "weights must be bit-identical");
+        }
+        assert_eq!(v.get("intercept").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn control_frames_parse() {
+        assert_eq!(
+            Json::parse(&pong_frame(5)).unwrap().get("pong").unwrap(),
+            &Json::Bool(true)
+        );
+        assert_eq!(
+            Json::parse(&shutdown_frame(6))
+                .unwrap()
+                .get("shutting_down")
+                .unwrap(),
+            &Json::Bool(true)
+        );
+    }
+}

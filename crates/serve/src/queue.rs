@@ -1,0 +1,203 @@
+//! The bounded admission queue between reader threads and the batcher.
+//!
+//! Readers [`push`](Admission::push) parsed explain requests; a full
+//! queue rejects at admission time (the caller answers with a 429-style
+//! frame) instead of queueing unbounded work. The batcher side
+//! [`pop_batch`](Admission::pop_batch)es: it blocks for the first
+//! request, then coalesces follow-ups until the micro-batch is full or
+//! the flush delay elapses — the dynamic micro-batching that lets
+//! co-batched tuples share one pass over the warm store.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a [`Admission::push`] was refused; the rejected item rides along
+/// so the caller can answer it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — answer 429 and let the client retry.
+    Full,
+    /// The queue is closed for shutdown — answer 503.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with batch-coalescing consumption.
+pub struct Admission<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Admission<T> {
+    /// An empty queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Admission<T> {
+        Admission {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits one request, or hands it back with the rejection reason.
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is queued, then keeps collecting
+    /// until the batch holds `max_batch` requests or `max_delay` has
+    /// passed since the first one was taken. Returns `None` once the
+    /// queue is closed *and* drained — the batcher's exit signal.
+    pub fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(first) = inner.items.pop_front() {
+                let mut batch = Vec::with_capacity(max_batch.min(16));
+                batch.push(first);
+                let deadline = Instant::now() + max_delay;
+                while batch.len() < max_batch {
+                    if let Some(item) = inner.items.pop_front() {
+                        batch.push(item);
+                        continue;
+                    }
+                    if inner.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = self.ready.wait_timeout(inner, deadline - now).unwrap();
+                    inner = guard;
+                    if timeout.timed_out() && inner.items.is_empty() {
+                        break;
+                    }
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and `pop_batch` returns `None` once the backlog drains.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_hands_the_item_back() {
+        let q = Admission::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn rejects_after_close_and_drains_the_backlog() {
+        let q = Admission::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Closed));
+        // The backlog is still served...
+        assert_eq!(q.pop_batch(10, Duration::from_millis(1)), Some(vec![1, 2]));
+        // ...then the consumer learns the queue is done.
+        assert_eq!(q.pop_batch(10, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn flushes_on_max_batch_without_waiting_out_the_delay() {
+        let q = Admission::new(16);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let t0 = Instant::now();
+        // A long delay must not matter: the batch fills instantly.
+        let batch = q.pop_batch(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(
+            q.pop_batch(3, Duration::from_millis(1)).unwrap(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn flushes_a_partial_batch_when_the_delay_elapses() {
+        let q = Admission::new(16);
+        q.push(42).unwrap();
+        let batch = q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![42]);
+    }
+
+    #[test]
+    fn coalesces_requests_arriving_during_the_delay_window() {
+        let q = Arc::new(Admission::new(16));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.push(1).unwrap();
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(2).unwrap();
+            })
+        };
+        let batch = q.pop_batch(2, Duration::from_secs(2)).unwrap();
+        assert_eq!(batch, vec![1, 2], "late arrival joins the open batch");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(Admission::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,476 @@
+//! The TCP front end: acceptor, per-connection readers, and the batcher.
+//!
+//! Threading model (see DESIGN.md §5f):
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (one per connection)
+//!                        │ parse + validate + admit
+//!                        ▼
+//!                 Admission queue (bounded)
+//!                        │ pop_batch(max_batch, max_delay)
+//!                        ▼
+//!                     batcher ──▶ WarmEngine::explain ──▶ response frames
+//! ```
+//!
+//! Readers never touch the engine; the batcher never touches sockets
+//! except through each request's [`Conn`] handle (a mutex-wrapped writer
+//! shared with the reader, so pong/error frames and served explanations
+//! interleave without tearing). Shutdown — admin frame, watched signal,
+//! or [`ServerHandle::shutdown`] — closes the queue; the batcher drains
+//! the backlog (every admitted request is still answered), the acceptor
+//! stops accepting, and readers notice within one read-timeout tick.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shahin::obs::names;
+use shahin::{MetricsRegistry, WarmEngine, WarmOutcome, WarmRequest};
+use shahin_model::Classifier;
+
+use crate::protocol::{
+    error_frame, explanation_frame, parse_frame_id, parse_request, pong_frame, shutdown_frame,
+    Request, WireError,
+};
+use crate::queue::{Admission, PushError};
+use crate::signal;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Admission queue bound; pushes beyond it get 429 frames.
+    pub queue_capacity: usize,
+    /// Micro-batch flush threshold.
+    pub max_batch: usize,
+    /// Micro-batch flush delay: how long the batcher holds an open batch
+    /// waiting for co-batchable requests.
+    pub max_delay: Duration,
+    /// Refresh the warm store every this many micro-batches (0 = never).
+    pub refresh_every: u64,
+    /// How often idle readers and the acceptor poll the shutdown flag.
+    pub poll_interval: Duration,
+    /// Watch SIGINT/SIGTERM and drain when one arrives.
+    pub watch_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 1024,
+            max_batch: 32,
+            max_delay: Duration::from_millis(5),
+            refresh_every: 0,
+            poll_interval: Duration::from_millis(50),
+            watch_signals: false,
+        }
+    }
+}
+
+/// One client connection's write half, shared by its reader thread (pong
+/// and error frames) and the batcher (served explanations).
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Writes one frame plus the line terminator. Write errors mean the
+    /// client hung up; the response is dropped on the floor (its reader
+    /// thread will see EOF and clean up).
+    fn send(&self, frame: &str) {
+        let mut stream = self.stream.lock().unwrap();
+        let _ = stream.write_all(frame.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+/// An admitted explain request waiting for the batcher.
+struct Pending {
+    conn: Arc<Conn>,
+    /// Client frame id, echoed on the response.
+    frame_id: u64,
+    /// Warm-set row to explain.
+    row: usize,
+    /// Server-assigned id stamped on provenance records.
+    request_id: u64,
+    /// Admission time (queue-wait + end-to-end latency histograms).
+    enqueued: Instant,
+    /// Absolute queue deadline, from the request's `deadline_ms`.
+    deadline: Option<Instant>,
+}
+
+struct Shared<C: Classifier> {
+    engine: Arc<WarmEngine<C>>,
+    queue: Admission<Pending>,
+    shutdown: AtomicBool,
+    /// Set by the batcher once the backlog is fully answered; readers
+    /// hold connections open (answering 503s) until then.
+    drained: AtomicBool,
+    next_request_id: AtomicU64,
+    /// Requests answered by the batcher (the drain report).
+    served: AtomicU64,
+    config: ServeConfig,
+}
+
+impl<C: Classifier> Shared<C> {
+    fn obs(&self) -> &MetricsRegistry {
+        self.engine.obs()
+    }
+
+    /// Begins the graceful drain: stop admitting, let the batcher finish
+    /// the backlog, wake everything that polls.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn drained(&self) -> bool {
+        self.drained.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`shutdown`](ServerHandle::shutdown) (or send an admin `shutdown`
+/// frame) and then [`wait`](ServerHandle::wait).
+pub struct Server;
+
+/// Handle to a started server.
+pub struct ServerHandle<C: Classifier + 'static> {
+    addr: SocketAddr,
+    shared: Arc<Shared<C>>,
+    acceptor: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+}
+
+impl<C: Classifier + 'static> ServerHandle<C> {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Blocks until the drain completes and all server threads exit;
+    /// returns the number of requests the batcher answered.
+    pub fn wait(self) -> u64 {
+        self.acceptor.join().expect("acceptor thread panicked");
+        self.batcher.join().expect("batcher thread panicked");
+        self.shared.served.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor and batcher threads
+    /// over a primed engine.
+    pub fn start<C: Classifier + 'static>(
+        engine: Arc<WarmEngine<C>>,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle<C>> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        if config.watch_signals {
+            signal::install();
+        }
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Admission::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            next_request_id: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            config,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batch_loop(shared))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+            batcher,
+        })
+    }
+}
+
+/// Accepts connections until shutdown, spawning one reader thread each,
+/// then joins the readers (they exit within one poll tick of the flag).
+fn accept_loop<C: Classifier + 'static>(listener: TcpListener, shared: Arc<Shared<C>>) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.config.watch_signals && signal::requested() {
+            shared.trigger_shutdown();
+        }
+        if shared.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Response frames are small; Nagle + delayed ACK would
+                // add ~40ms per round trip.
+                let _ = stream.set_nodelay(true);
+                shared.obs().counter(names::SERVE_CONNECTIONS).inc();
+                let shared = Arc::clone(&shared);
+                readers.push(std::thread::spawn(move || read_loop(stream, shared)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+}
+
+/// Reads newline-delimited frames off one connection until EOF or
+/// shutdown. Every malformed frame is answered in place and the
+/// connection kept open; only explain frames cross into the queue.
+fn read_loop<C: Classifier + 'static>(stream: TcpStream, shared: Arc<Shared<C>>) {
+    // Blocking socket with a read timeout: the reader wakes every tick
+    // to notice a drain even when the client sends nothing.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream.try_clone().expect("tcp stream clones")),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed.
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_frame(&line, &conn, &shared);
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                // Read timeout tick. Connections stay open through the
+                // drain (in-flight frames still get typed 503s) and close
+                // once the batcher has answered the whole backlog.
+                if shared.drained() && line.is_empty() {
+                    break;
+                }
+                // NOTE: read_line may have appended a partial line before
+                // timing out; loop back and keep reading into it.
+                if !line.is_empty() {
+                    if let Some(rest) = read_rest_of_line(&mut reader, &mut line, &shared) {
+                        if rest {
+                            handle_frame(&line, &conn, &shared);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Finishes a partially read line across timeout ticks. Returns
+/// `Some(true)` when the line completed, `Some(false)` on EOF mid-line,
+/// `None` when shutdown interrupted the wait.
+fn read_rest_of_line<C: Classifier>(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shared: &Shared<C>,
+) -> Option<bool> {
+    loop {
+        if line.ends_with('\n') {
+            return Some(true);
+        }
+        match reader.read_line(line) {
+            Ok(0) => return Some(!line.is_empty()), // EOF: flush what we have.
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    return Some(true);
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                if shared.drained() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Parses and dispatches one frame.
+fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>) {
+    let obs = shared.obs();
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(err) => {
+            obs.counter(names::SERVE_REJECTED_MALFORMED).inc();
+            conn.send(&error_frame(parse_frame_id(line), &err));
+            return;
+        }
+    };
+    match request {
+        Request::Ping { id } => conn.send(&pong_frame(id)),
+        Request::Shutdown { id } => {
+            conn.send(&shutdown_frame(id));
+            shared.trigger_shutdown();
+        }
+        Request::Explain {
+            id,
+            row,
+            deadline_ms,
+        } => {
+            if shared.shutting_down() {
+                obs.counter(names::SERVE_REJECTED_SHUTDOWN).inc();
+                conn.send(&error_frame(id, &WireError::shutting_down()));
+                return;
+            }
+            let n_rows = shared.engine.n_rows();
+            if row >= n_rows {
+                obs.counter(names::SERVE_REJECTED_MALFORMED).inc();
+                conn.send(&error_frame(id, &WireError::row_out_of_range(row, n_rows)));
+                return;
+            }
+            let enqueued = Instant::now();
+            let pending = Pending {
+                conn: Arc::clone(conn),
+                frame_id: id,
+                row,
+                request_id: shared.next_request_id.fetch_add(1, Ordering::Relaxed),
+                enqueued,
+                deadline: deadline_ms.map(|ms| enqueued + Duration::from_millis(ms)),
+            };
+            match shared.queue.push(pending) {
+                Ok(()) => {
+                    obs.counter(names::SERVE_REQUESTS).inc();
+                    obs.gauge(names::SERVE_QUEUE_DEPTH)
+                        .set(shared.queue.len() as u64);
+                }
+                Err((rejected, PushError::Full)) => {
+                    obs.counter(names::SERVE_REJECTED_OVERLOAD).inc();
+                    rejected.conn.send(&error_frame(
+                        rejected.frame_id,
+                        &WireError::overloaded(shared.config.queue_capacity),
+                    ));
+                }
+                Err((rejected, PushError::Closed)) => {
+                    obs.counter(names::SERVE_REJECTED_SHUTDOWN).inc();
+                    rejected
+                        .conn
+                        .send(&error_frame(rejected.frame_id, &WireError::shutting_down()));
+                }
+            }
+        }
+    }
+}
+
+/// Pops micro-batches until the queue closes and drains, explaining each
+/// against the warm engine and answering every request.
+fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
+    let obs = shared.obs().clone();
+    let batch_size = obs.histogram(names::SERVE_BATCH_SIZE);
+    let queue_wait = obs.histogram(names::SERVE_QUEUE_WAIT);
+    let latency = obs.histogram(names::SERVE_REQUEST_LATENCY);
+    let mut batches: u64 = 0;
+    while let Some(batch) = shared
+        .queue
+        .pop_batch(shared.config.max_batch, shared.config.max_delay)
+    {
+        obs.gauge(names::SERVE_QUEUE_DEPTH)
+            .set(shared.queue.len() as u64);
+        batch_size.record_ns(batch.len() as u64);
+        obs.counter(names::SERVE_BATCHES).inc();
+
+        // Requests whose deadline passed while queued get 408 frames and
+        // never reach the engine; the rest form the micro-batch.
+        let now = Instant::now();
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        for pending in batch {
+            queue_wait.record(now.duration_since(pending.enqueued));
+            if pending.deadline.is_some_and(|d| d < now) {
+                obs.counter(names::SERVE_DEADLINE_EXPIRED).inc();
+                pending.conn.send(&error_frame(
+                    pending.frame_id,
+                    &WireError::deadline_expired(),
+                ));
+                shared.served.fetch_add(1, Ordering::SeqCst);
+            } else {
+                live.push(pending);
+            }
+        }
+        if !live.is_empty() {
+            let requests: Vec<WarmRequest> = live
+                .iter()
+                .map(|p| WarmRequest {
+                    row: p.row,
+                    request_id: p.request_id,
+                })
+                .collect();
+            let epoch = shared.engine.epoch();
+            let outcomes = shared.engine.explain(&requests);
+            for (pending, outcome) in live.iter().zip(outcomes) {
+                match outcome {
+                    WarmOutcome::Ok {
+                        explanation,
+                        degraded,
+                    } => pending.conn.send(&explanation_frame(
+                        pending.frame_id,
+                        pending.row,
+                        &explanation,
+                        degraded,
+                        epoch,
+                    )),
+                    WarmOutcome::Failed(failure) => {
+                        obs.counter(names::SERVE_QUARANTINED).inc();
+                        pending.conn.send(&error_frame(
+                            pending.frame_id,
+                            &WireError::quarantined(failure.kind, &failure.message),
+                        ));
+                    }
+                }
+                latency.record(pending.enqueued.elapsed());
+                shared.served.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        batches += 1;
+        let every = shared.config.refresh_every;
+        if every > 0 && batches.is_multiple_of(every) {
+            shared.engine.refresh();
+        }
+    }
+    // Queue closed and fully drained: every admitted request has been
+    // answered. Flag it for the smoke test's clean-drain assertion.
+    obs.gauge(names::SERVE_QUEUE_DEPTH).set(0);
+    obs.gauge(names::SERVE_DRAINED).set(1);
+    shared.drained.store(true, Ordering::SeqCst);
+}

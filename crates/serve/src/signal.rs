@@ -1,0 +1,61 @@
+//! Minimal SIGINT/SIGTERM watching without a signal-handling crate.
+//!
+//! The handler only flips a process-global atomic; the acceptor loop
+//! polls [`requested`] and starts a graceful drain when it trips. This
+//! keeps the handler trivially async-signal-safe (a relaxed store) and
+//! the crate std-only.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a watched signal has been delivered.
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Test hook: arm the flag as if a signal had arrived.
+pub fn raise() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: nothing but an atomic store.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGINT and SIGTERM handlers (idempotent; unix only — a
+/// no-op elsewhere, where only [`raise`] or an admin `shutdown` frame can
+/// trigger a drain).
+pub fn install() {
+    #[cfg(unix)]
+    {
+        // libc's `signal` entry point, declared directly so the crate
+        // stays dependency-free. Handler slot is a plain function
+        // pointer (usize) per the C ABI.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_trips_the_flag_and_install_is_idempotent() {
+        install();
+        install();
+        raise();
+        assert!(requested());
+    }
+}

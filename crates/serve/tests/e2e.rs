@@ -1,0 +1,309 @@
+//! End-to-end tests over a real TCP connection: warm-served explanations
+//! must be bit-identical to the offline parallel driver, malformed
+//! frames must not kill connections, and shutdown must drain cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shahin::obs::names;
+use shahin::{BatchConfig, MetricsRegistry, ShahinBatch, WarmEngine, WarmExplainer};
+use shahin_explain::{ExplainContext, FeatureWeights, LimeExplainer, LimeParams};
+use shahin_model::{CountingClassifier, MajorityClass};
+use shahin_obs::json::Json;
+use shahin_serve::{ServeConfig, Server, ServerHandle};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+const SEED: u64 = 11;
+
+fn setup() -> (ExplainContext, CountingClassifier<MajorityClass>, Dataset) {
+    let (data, labels) = DatasetPreset::Recidivism.spec(0.05).generate(5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let ctx = ExplainContext::fit(&split.train, 300, &mut rng);
+    let clf = CountingClassifier::new(MajorityClass::fit(&split.train_labels));
+    let rows: Vec<usize> = (0..24.min(split.test.n_rows())).collect();
+    (ctx, clf, split.test.select(&rows))
+}
+
+fn lime() -> LimeExplainer {
+    LimeExplainer::new(LimeParams {
+        n_samples: 60,
+        ..Default::default()
+    })
+}
+
+fn start_server(n_workers: usize) -> (ServerHandle<MajorityClass>, MetricsRegistry, usize) {
+    let (ctx, clf, warm) = setup();
+    let n_rows = warm.n_rows();
+    let reg = MetricsRegistry::new();
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig {
+            n_threads: Some(n_workers),
+            ..Default::default()
+        },
+        WarmExplainer::Lime(lime()),
+        ctx,
+        clf,
+        warm,
+        SEED,
+        &reg,
+    ));
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(10),
+            ..Default::default()
+        },
+    )
+    .expect("server binds an ephemeral port");
+    (handle, reg, n_rows)
+}
+
+/// One request/response round trip on an established connection.
+fn round_trip(reader: &mut BufReader<TcpStream>, frame: &str) -> Json {
+    reader
+        .get_mut()
+        .write_all(format!("{frame}\n").as_bytes())
+        .expect("request writes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response arrives");
+    Json::parse(&line).expect("response frame is valid JSON")
+}
+
+fn connect<C: shahin_model::Classifier + 'static>(
+    handle: &ServerHandle<C>,
+) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    BufReader::new(stream)
+}
+
+fn weights_of(frame: &Json) -> FeatureWeights {
+    assert_eq!(
+        frame.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected a success frame, got {frame:?}"
+    );
+    FeatureWeights {
+        weights: frame
+            .get("weights")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect(),
+        intercept: frame.get("intercept").unwrap().as_f64().unwrap(),
+        local_prediction: frame.get("local_prediction").unwrap().as_f64().unwrap(),
+    }
+}
+
+#[test]
+fn warm_server_matches_offline_batch_parallel_at_1_and_4_workers() {
+    let (ctx, clf, warm) = setup();
+    let offline = ShahinBatch::new(BatchConfig {
+        n_threads: Some(2),
+        ..Default::default()
+    })
+    .explain_lime_parallel(&ctx, &clf, &warm, &lime(), SEED);
+
+    for n_workers in [1usize, 4] {
+        let (handle, _reg, n_rows) = start_server(n_workers);
+        assert_eq!(n_rows, warm.n_rows());
+
+        // Two clients interleaving rows (even/odd, served in reverse) so
+        // micro-batch composition differs from the offline row order.
+        let mut clients: Vec<BufReader<TcpStream>> = (0..2).map(|_| connect(&handle)).collect();
+        for row in (0..n_rows).rev() {
+            let client = &mut clients[row % 2];
+            let frame = round_trip(
+                client,
+                &format!("{{\"id\": {row}, \"method\": \"explain\", \"row\": {row}}}"),
+            );
+            assert_eq!(frame.get("row").unwrap().as_u64(), Some(row as u64));
+            let served = weights_of(&frame);
+            assert_eq!(
+                &served, &offline.explanations[row],
+                "row {row} must be bit-identical to offline at {n_workers} workers"
+            );
+        }
+        handle.shutdown();
+        handle.wait();
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let (handle, reg, n_rows) = start_server(1);
+    let mut client = connect(&handle);
+
+    // Bad JSON → 400, connection stays up.
+    let frame = round_trip(&mut client, "{not json");
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(400));
+    assert_eq!(frame.get("error").unwrap().as_str(), Some("bad_request"));
+
+    // Unknown method → 400, and the echoed id survives the rejection.
+    let frame = round_trip(&mut client, "{\"id\": 9, \"method\": \"explode\"}");
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(400));
+    assert_eq!(frame.get("id").unwrap().as_u64(), Some(9));
+
+    // Wrong arity → 400.
+    let frame = round_trip(&mut client, "{\"id\": 10, \"method\": \"explain\"}");
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(400));
+
+    // Out-of-range row → 404.
+    let frame = round_trip(
+        &mut client,
+        &format!("{{\"id\": 11, \"method\": \"explain\", \"row\": {n_rows}}}"),
+    );
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(404));
+
+    // The same connection still serves pings and real work.
+    let frame = round_trip(&mut client, "{\"id\": 12, \"method\": \"ping\"}");
+    assert_eq!(frame.get("pong").unwrap().as_bool(), Some(true));
+    let frame = round_trip(
+        &mut client,
+        "{\"id\": 13, \"method\": \"explain\", \"row\": 0}",
+    );
+    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+
+    handle.shutdown();
+    handle.wait();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(names::SERVE_REJECTED_MALFORMED), 4);
+    assert_eq!(snap.counter(names::SERVE_REQUESTS), 1);
+}
+
+#[test]
+fn admin_shutdown_frame_drains_and_reports_served_requests() {
+    let (handle, reg, _) = start_server(2);
+    let mut client = connect(&handle);
+    for row in 0..5 {
+        let frame = round_trip(
+            &mut client,
+            &format!("{{\"id\": {row}, \"method\": \"explain\", \"row\": {row}}}"),
+        );
+        assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+    }
+    let frame = round_trip(&mut client, "{\"id\": 99, \"method\": \"shutdown\"}");
+    assert_eq!(frame.get("shutting_down").unwrap().as_bool(), Some(true));
+    let served = handle.wait();
+    assert_eq!(served, 5);
+    let snap = reg.snapshot();
+    assert_eq!(snap.gauge(names::SERVE_DRAINED), 1);
+    assert!(snap.counter(names::SERVE_BATCHES) > 0);
+    assert_eq!(snap.counter(names::SERVE_CONNECTIONS), 1);
+}
+
+#[test]
+fn explains_arriving_mid_drain_are_rejected_with_503() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A classifier that can be frozen after priming, so the batcher is
+    // provably still draining when the late frames arrive.
+    struct Gated {
+        hold: Arc<AtomicBool>,
+    }
+    impl shahin_model::Classifier for Gated {
+        fn predict_proba(&self, _inst: &[shahin_tabular::Feature]) -> f64 {
+            while self.hold.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            0.7
+        }
+    }
+
+    let (ctx, _clf, warm) = setup();
+    let hold = Arc::new(AtomicBool::new(false));
+    let reg = MetricsRegistry::new();
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig {
+            n_threads: Some(1),
+            ..Default::default()
+        },
+        // A sample budget far beyond what the warm store can pool, so
+        // explaining row 0 must generate fresh samples — and block on
+        // the frozen classifier.
+        WarmExplainer::Lime(LimeExplainer::new(LimeParams {
+            n_samples: 400,
+            ..Default::default()
+        })),
+        ctx,
+        CountingClassifier::new(Gated {
+            hold: Arc::clone(&hold),
+        }),
+        warm,
+        SEED,
+        &reg,
+    ));
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            max_delay: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(10),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    hold.store(true, Ordering::Relaxed);
+    let mut client = connect(&handle);
+    client
+        .get_mut()
+        .write_all(b"{\"id\": 1, \"method\": \"explain\", \"row\": 0}\n")
+        .unwrap();
+    // Let the batcher pick it up and block inside the engine.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut admin = connect(&handle);
+    let frame = round_trip(&mut admin, "{\"id\": 90, \"method\": \"shutdown\"}");
+    assert_eq!(frame.get("shutting_down").unwrap().as_bool(), Some(true));
+
+    // The drain cannot finish while the classifier is frozen, so this
+    // explain deterministically lands mid-drain.
+    let frame = round_trip(
+        &mut client,
+        "{\"id\": 2, \"method\": \"explain\", \"row\": 1}",
+    );
+    assert_eq!(frame.get("id").unwrap().as_u64(), Some(2));
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(503));
+    assert_eq!(frame.get("error").unwrap().as_str(), Some("shutting_down"));
+
+    // Unfreeze: the in-flight request still completes (the drain answers
+    // every admitted request) and the server exits cleanly.
+    hold.store(false, Ordering::Relaxed);
+    let mut line = String::new();
+    client.read_line(&mut line).unwrap();
+    let frame = Json::parse(&line).unwrap();
+    assert_eq!(frame.get("id").unwrap().as_u64(), Some(1));
+    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(handle.wait(), 1);
+    assert_eq!(reg.snapshot().counter(names::SERVE_REJECTED_SHUTDOWN), 1);
+}
+
+#[test]
+fn queued_deadline_expiry_yields_408() {
+    // deadline_ms: 0 expires by the time the batcher dequeues it.
+    let (handle, reg, _) = start_server(1);
+    let mut client = connect(&handle);
+    let frame = round_trip(
+        &mut client,
+        "{\"id\": 1, \"method\": \"explain\", \"row\": 0, \"deadline_ms\": 0}",
+    );
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(408));
+    assert_eq!(
+        frame.get("error").unwrap().as_str(),
+        Some("deadline_expired")
+    );
+    handle.shutdown();
+    handle.wait();
+    assert_eq!(reg.snapshot().counter(names::SERVE_DEADLINE_EXPIRED), 1);
+}

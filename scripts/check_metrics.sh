@@ -10,18 +10,27 @@
 # record per tuple, reused + fresh == tau, totals reconciling with the
 # metrics snapshot).
 #
+# The final section smoke-tests the serving path: it starts
+# `shahin-cli serve` in the background, drives it with bench_serve in
+# external mode (which ends by sending an admin shutdown frame), asserts
+# the server drains cleanly, and validates the serve.* metric families
+# in the server's metrics dump.
+#
 # Knobs (all optional):
-#   SHAHIN_CHECK_ROWS   synthetic dataset rows   (default 2000)
-#   SHAHIN_CHECK_BATCH  tuples to explain        (default 60)
+#   SHAHIN_CHECK_ROWS        synthetic dataset rows    (default 2000)
+#   SHAHIN_CHECK_BATCH       tuples to explain         (default 60)
+#   SHAHIN_CHECK_SERVE_REQS  serve smoke requests      (default 40)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ROWS="${SHAHIN_CHECK_ROWS:-2000}"
 BATCH="${SHAHIN_CHECK_BATCH:-60}"
+SERVE_REQS="${SHAHIN_CHECK_SERVE_REQS:-40}"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 cargo build --release --bin shahin-cli
+cargo build --release -p shahin-bench --bin bench_serve
 CLI=target/release/shahin-cli
 
 "$CLI" synth --preset census --rows "$ROWS" --out "$WORKDIR/census.csv"
@@ -251,4 +260,96 @@ print(f"OK: chaos run injected {counters['resilience.transient_errors']} "
       f"transient errors ({counters['resilience.retries']} retries), "
       f"{failed} tuples quarantined, {degraded} degraded — all reconciled")
 print("resilience schema check passed")
+PY
+
+# Serving smoke: start the server in the background over the same synthetic
+# dataset, drive it with bench_serve in external mode (ends with an admin
+# shutdown frame), and require a clean drain plus a serve.* metrics dump.
+echo "== serve smoke ($SERVE_REQS requests)"
+"$CLI" serve --csv "$WORKDIR/census.csv" --label label --explainer lime \
+    --warm-rows 150 --addr 127.0.0.1:0 \
+    --port-file "$WORKDIR/serve.port" \
+    --metrics-out "$WORKDIR/serve.json" \
+    >"$WORKDIR/serve.log" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORKDIR/serve.port" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "FAIL: serve: server died before listening"
+        cat "$WORKDIR/serve.log"
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ ! -s "$WORKDIR/serve.port" ]; then
+    echo "FAIL: serve: no port file after 20s"
+    cat "$WORKDIR/serve.log"
+    exit 1
+fi
+port="$(tr -d '[:space:]' < "$WORKDIR/serve.port")"
+
+SHAHIN_SERVE_ADDR="127.0.0.1:$port" SHAHIN_SERVE_SHUTDOWN=1 \
+    SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_WARM_ROWS=150 \
+    SHAHIN_SERVE_OUT="$WORKDIR/BENCH_serve_smoke.json" \
+    target/release/bench_serve
+
+serve_status=0
+wait "$serve_pid" || serve_status=$?
+if [ "$serve_status" -ne 0 ]; then
+    echo "FAIL: serve: server exited with status $serve_status"
+    cat "$WORKDIR/serve.log"
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$WORKDIR/serve.log"; then
+    echo "FAIL: serve: no clean-drain message in server output"
+    cat "$WORKDIR/serve.log"
+    exit 1
+fi
+
+python3 - "$WORKDIR/serve.json" "$SERVE_REQS" <<'PY'
+import json, sys
+
+snap = json.load(open(sys.argv[1]))
+requests = int(sys.argv[2])
+counters, gauges, hists = snap["counters"], snap["gauges"], snap["histograms"]
+
+if counters.get("serve.requests") != requests:
+    raise SystemExit(f"FAIL: serve: serve.requests "
+                     f"{counters.get('serve.requests')} != {requests}")
+if counters.get("serve.batches", 0) == 0:
+    raise SystemExit("FAIL: serve: no micro-batches recorded")
+if counters.get("serve.connections", 0) < 4:
+    raise SystemExit(f"FAIL: serve: expected >=4 connections, got "
+                     f"{counters.get('serve.connections')}")
+# Clean run: nothing rejected, expired, or quarantined.
+for c in ("serve.rejected_overload", "serve.rejected_malformed",
+          "serve.rejected_shutdown", "serve.deadline_expired",
+          "serve.quarantined"):
+    if counters.get(c, -1) != 0:
+        raise SystemExit(f"FAIL: serve: '{c}' is {counters.get(c)} "
+                         f"on a clean run")
+# Drain semantics: the backlog was fully answered and the flag raised.
+if gauges.get("serve.drained") != 1:
+    raise SystemExit("FAIL: serve: serve.drained gauge != 1")
+if gauges.get("serve.queue_depth") != 0:
+    raise SystemExit("FAIL: serve: serve.queue_depth != 0 after drain")
+# Per-request and per-batch distributions populated consistently.
+for h in ("serve.batch_size", "serve.queue_wait", "serve.request_latency"):
+    if h not in hists:
+        raise SystemExit(f"FAIL: serve: missing histogram '{h}'")
+if hists["serve.request_latency"]["count"] != requests:
+    raise SystemExit(f"FAIL: serve: request_latency count "
+                     f"{hists['serve.request_latency']['count']} != {requests}")
+if hists["serve.batch_size"]["count"] != counters["serve.batches"]:
+    raise SystemExit("FAIL: serve: batch_size samples != serve.batches")
+# The warm repository actually served the traffic.
+for c in ("store.lookups", "store.hits"):
+    if counters.get(c, 0) == 0:
+        raise SystemExit(f"FAIL: serve: '{c}' saw no traffic")
+
+batches = counters["serve.batches"]
+print(f"OK: serve smoke answered {requests} requests in {batches} "
+      f"micro-batches and drained cleanly")
+print("serve smoke check passed")
 PY

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Perf-regression gate: reruns the parallel-driver and observability-overhead
-# benchmarks at CI scale and diffs the fresh artifacts against the committed
-# baselines under baselines/ci/ with bench_compare. Exits non-zero when a
-# deterministic count changed or a wall-time/speedup tolerance was exceeded.
+# Perf-regression gate: reruns the parallel-driver, observability-overhead,
+# and serving benchmarks at CI scale and diffs the fresh artifacts against
+# the committed baselines under baselines/ci/ with bench_compare. Exits
+# non-zero when a deterministic count changed or a wall-time/speedup
+# tolerance was exceeded.
 #
 #   scripts/check_regression.sh                     # gate against baselines
 #   scripts/check_regression.sh --update-baselines  # regenerate baselines
@@ -14,6 +15,8 @@
 #   SHAHIN_REG_THREADS     thread counts swept               (default 2,4)
 #   SHAHIN_REG_OBS_BATCH   tuples per obs-bench batch        (default 400)
 #   SHAHIN_REG_OBS_REPS    obs-bench repetitions per arm     (default 7)
+#   SHAHIN_REG_SERVE_REQS  serve-bench requests per arm      (default 80)
+#   SHAHIN_REG_SERVE_CONC  serve-bench closed-loop clients   (default 4)
 #   SHAHIN_REG_OUT         where fresh artifacts land        (default mktemp)
 # Comparison tolerances: see bench_compare (SHAHIN_CMP_TOL_*).
 set -euo pipefail
@@ -25,6 +28,8 @@ LATENCY="${SHAHIN_REG_LATENCY_US:-20}"
 THREADS="${SHAHIN_REG_THREADS:-2,4}"
 OBS_BATCH="${SHAHIN_REG_OBS_BATCH:-400}"
 OBS_REPS="${SHAHIN_REG_OBS_REPS:-7}"
+SERVE_REQS="${SHAHIN_REG_SERVE_REQS:-80}"
+SERVE_CONC="${SHAHIN_REG_SERVE_CONC:-4}"
 
 if [[ "${1:-}" == "--update-baselines" ]]; then
     OUT="$BASELINE_DIR"
@@ -34,7 +39,8 @@ else
     mkdir -p "$OUT"
 fi
 
-cargo build --release -p shahin-bench --bin bench_parallel --bin bench_obs --bin bench_compare
+cargo build --release -p shahin-bench \
+    --bin bench_parallel --bin bench_obs --bin bench_serve --bin bench_compare
 
 # The obs bench runs first: its arms are short (~100ms) and timing-
 # sensitive, and running them on a machine still recovering from the
@@ -43,6 +49,11 @@ echo "== observability-overhead benchmark (batch=$OBS_BATCH, reps=$OBS_REPS)"
 SHAHIN_OBS_BATCH="$OBS_BATCH" SHAHIN_OBS_REPS="$OBS_REPS" \
     SHAHIN_OBS_OUT="$OUT/BENCH_obs.json" \
     target/release/bench_obs
+
+echo "== serving benchmark (requests=$SERVE_REQS, concurrency=$SERVE_CONC)"
+SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_CONCURRENCY="$SERVE_CONC" \
+    SHAHIN_SERVE_OUT="$OUT/BENCH_serve.json" \
+    target/release/bench_serve
 
 echo "== parallel-driver benchmark (batch=$BATCH, latency=${LATENCY}us, threads=$THREADS)"
 SHAHIN_PAR_BATCH="$BATCH" SHAHIN_PAR_LATENCY_US="$LATENCY" \
@@ -57,4 +68,5 @@ fi
 echo "== gating against $BASELINE_DIR/"
 target/release/bench_compare parallel "$BASELINE_DIR/BENCH_parallel.json" "$OUT/BENCH_parallel.json"
 target/release/bench_compare obs "$BASELINE_DIR/BENCH_obs.json" "$OUT/BENCH_obs.json"
+target/release/bench_compare serve "$BASELINE_DIR/BENCH_serve.json" "$OUT/BENCH_serve.json"
 echo "perf-regression gate passed (fresh artifacts in $OUT)"

@@ -5,6 +5,8 @@
 //! shahin-cli mine    --csv data.csv --label label --min-support 0.2
 //! shahin-cli explain --csv data.csv --label label --explainer lime \
 //!                    --method batch --batch-size 500 --summary
+//! shahin-cli serve   --csv data.csv --label label --warm-rows 200 \
+//!                    --addr 127.0.0.1:7878
 //! ```
 //!
 //! Arguments are parsed by hand (no CLI dependency); run with `--help` for
@@ -43,8 +45,32 @@ USAGE:
                      [--max-retries N] [--call-timeout-ms MS]
                      [--chaos] [--chaos-transient F] [--chaos-nan F]
                      [--chaos-panic F] [--chaos-seed S]
+  shahin-cli serve   --csv <file> --label COL [--explainer lime|anchor|shap]
+                     [--addr HOST:PORT] [--warm-rows N] [--seed S]
+                     [--max-batch N] [--max-delay-ms MS] [--queue-capacity N]
+                     [--threads K] [--refresh-every N] [--port-file <file>]
+                     [--metrics] [--metrics-out <file.json>]
+                     [--provenance-out <file.jsonl>]
+                     [resilience/chaos flags as for explain]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
+
+SERVING:
+  `serve` primes a warm perturbation repository over the first
+  --warm-rows test tuples, then listens for newline-delimited JSON
+  explain requests (one object per line):
+      {\"id\": 1, \"method\": \"explain\", \"row\": 17}
+      {\"id\": 2, \"method\": \"explain\", \"row\": 3, \"deadline_ms\": 250}
+      {\"id\": 3, \"method\": \"ping\"}      {\"id\": 4, \"method\": \"shutdown\"}
+  Concurrent requests are coalesced into micro-batches (flush at
+  --max-batch requests or after --max-delay-ms) that share the warm
+  store and Anchor caches. A full admission queue answers 429-style
+  frames; malformed frames get 400-style frames and keep the
+  connection open. SIGINT/SIGTERM or an admin shutdown frame drains
+  the queue — every admitted request is answered — then exits.
+  --addr with port 0 picks an ephemeral port; --port-file writes the
+  bound port for scripts. --refresh-every N rebuilds the warm store
+  every N micro-batches (0 = never).
 
 OBSERVABILITY:
   --metrics              print the metrics table (spans, counters, histograms)
@@ -121,10 +147,9 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
 }
 
-/// Writes `contents` to `path`, creating any missing parent directories.
-/// Errors name the file, the failing operation, and the underlying cause
-/// instead of surfacing a bare `io::Error`.
-fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
+/// Creates `path`'s parent directories if missing, with an error naming
+/// the directory, the output it was for, and the underlying cause.
+fn ensure_parent_dir(path: &str, what: &str) -> Result<(), String> {
     let p = std::path::Path::new(path);
     if let Some(parent) = p.parent() {
         if !parent.as_os_str().is_empty() && !parent.exists() {
@@ -136,7 +161,15 @@ fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
             })?;
         }
     }
-    std::fs::write(p, contents).map_err(|e| format!("cannot write {what} output '{path}': {e}"))
+    Ok(())
+}
+
+/// Writes `contents` to `path`, creating any missing parent directories.
+/// Errors name the file, the failing operation, and the underlying cause
+/// instead of surfacing a bare `io::Error`.
+fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    ensure_parent_dir(path, what)?;
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {what} output '{path}': {e}"))
 }
 
 fn run_cli(args: &[String]) -> Result<ExitCode, String> {
@@ -156,6 +189,7 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
         "synth" => cmd_synth(&flags).map(|()| ExitCode::SUCCESS),
         "mine" => cmd_mine(&flags).map(|()| ExitCode::SUCCESS),
         "explain" => cmd_explain(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -182,7 +216,9 @@ fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
     let (data, labels) = spec.generate(seed);
     // Synthetic categorical codes have no string dictionary: emit codes.
     let dictionaries = vec![Vec::new(); data.n_attrs()];
-    let mut out = File::create(out_path).map_err(|e| e.to_string())?;
+    ensure_parent_dir(out_path, "synth")?;
+    let mut out = File::create(out_path)
+        .map_err(|e| format!("cannot write synth output '{out_path}': {e}"))?;
     shahin_tabular::write_csv(&mut out, &data, &dictionaries, Some(("label", &labels)))
         .map_err(|e| e.to_string())?;
     println!(
@@ -518,4 +554,159 @@ fn explain_tail<C: Classifier>(
     } else {
         ExitCode::from(2)
     })
+}
+
+/// Starts the online explanation service over a warm repository primed
+/// from the CSV's test split, and blocks until a graceful drain.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    use shahin::{fold_provenance, WarmEngine, WarmExplainer};
+    use shahin_serve::{ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let path = get(flags, "csv")?;
+    let label = get(flags, "label")?;
+    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
+    let warm_rows: usize = parse_num(get_or(flags, "warm-rows", "200"), "warm-rows")?;
+    let addr = get_or(flags, "addr", "127.0.0.1:0");
+    let max_batch: usize = parse_num(get_or(flags, "max-batch", "32"), "max-batch")?;
+    let max_delay_ms: u64 = parse_num(get_or(flags, "max-delay-ms", "5"), "max-delay-ms")?;
+    let queue_capacity: usize =
+        parse_num(get_or(flags, "queue-capacity", "1024"), "queue-capacity")?;
+    let refresh_every: u64 = parse_num(get_or(flags, "refresh-every", "0"), "refresh-every")?;
+
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
+    let labels = csv
+        .labels
+        .ok_or_else(|| format!("label column '{label}' produced no labels"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = train_test_split(&csv.data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams::default(),
+        &mut rng,
+    );
+
+    // A server always records: the smoke harness and load generator read
+    // serve.* metrics back, and the cost is a few relaxed atomics.
+    let obs = MetricsRegistry::new();
+    let provenance_sink = flags
+        .contains_key("provenance-out")
+        .then(|| Arc::new(shahin::ProvenanceSink::new()));
+    if let Some(sink) = &provenance_sink {
+        obs.attach_provenance_sink(Arc::clone(sink));
+    }
+
+    let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+    let n = warm_rows.min(split.test.n_rows());
+    let warm = split.test.select(&(0..n).collect::<Vec<_>>());
+
+    let explainer = match get_or(flags, "explainer", "lime") {
+        "lime" => WarmExplainer::Lime(LimeExplainer::default()),
+        "anchor" => WarmExplainer::Anchor(AnchorExplainer::default()),
+        "shap" => WarmExplainer::Shap(KernelShapExplainer::default()),
+        other => return Err(format!("unknown explainer '{other}'")),
+    };
+
+    // The same resilience/chaos stack as `explain`, type-erased so one
+    // engine type serves every combination.
+    let mut policy = RetryPolicy::default();
+    let mut want_resilient = false;
+    if let Some(v) = flags.get("max-retries") {
+        policy.max_retries = parse_num(v, "max-retries")?;
+        want_resilient = true;
+    }
+    if let Some(v) = flags.get("call-timeout-ms") {
+        let ms: u64 = parse_num(v, "call-timeout-ms")?;
+        policy.call_timeout = Some(Duration::from_millis(ms));
+        want_resilient = true;
+    }
+    let want_chaos = ["chaos", "chaos-transient", "chaos-nan", "chaos-panic"]
+        .iter()
+        .any(|k| flags.contains_key(*k));
+    let model: Box<dyn Classifier> = if want_chaos {
+        let mut cfg = ChaosConfig::default();
+        if let Some(v) = flags.get("chaos-transient") {
+            cfg.transient_rate = parse_num(v, "chaos-transient")?;
+        }
+        if let Some(v) = flags.get("chaos-nan") {
+            cfg.nan_rate = parse_num(v, "chaos-nan")?;
+        }
+        if let Some(v) = flags.get("chaos-panic") {
+            cfg.panic_rate = parse_num(v, "chaos-panic")?;
+        }
+        if let Some(v) = flags.get("chaos-seed") {
+            cfg.seed = parse_num(v, "chaos-seed")?;
+        }
+        let chaos = ChaosClassifier::new(TracedClassifier::new(forest, &obs), cfg);
+        Box::new(ResilientClassifier::new(chaos, policy).with_obs(&obs))
+    } else if want_resilient {
+        Box::new(
+            ResilientClassifier::new(TracedClassifier::new(forest, &obs), policy).with_obs(&obs),
+        )
+    } else {
+        Box::new(TracedClassifier::new(forest, &obs))
+    };
+    let clf = CountingClassifier::new(model);
+
+    let mut config = BatchConfig::default();
+    if let Some(t) = flags.get("threads") {
+        config.n_threads = Some(parse_num(t, "threads")?);
+    }
+    println!(
+        "priming warm repository over {n} rows ({}) ...",
+        explainer.name()
+    );
+    let engine = Arc::new(WarmEngine::prime(
+        config, explainer, ctx, clf, warm, seed, &obs,
+    ));
+    println!(
+        "primed: {} invocations spent on materialization",
+        engine.invocations()
+    );
+
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            addr: addr.to_string(),
+            queue_capacity,
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+            refresh_every,
+            watch_signals: true,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    println!("listening on {}", handle.addr());
+    if let Some(port_file) = flags.get("port-file") {
+        write_output(port_file, &format!("{}\n", handle.addr().port()), "port")?;
+    }
+
+    let served = handle.wait();
+
+    if let Some(out_path) = flags.get("metrics-out") {
+        fold_provenance(&obs);
+        write_output(out_path, &obs.snapshot().to_json(), "metrics")?;
+        println!("metrics written to {out_path}");
+    }
+    if flags.contains_key("metrics") {
+        fold_provenance(&obs);
+        print!("{}", obs.snapshot().render_table());
+    }
+    if let (Some(sink), Some(out_path)) = (&provenance_sink, flags.get("provenance-out")) {
+        write_output(out_path, &sink.to_jsonl(), "provenance")?;
+        println!(
+            "provenance written to {out_path} ({} records{})",
+            sink.len(),
+            match sink.dropped() {
+                0 => String::new(),
+                d => format!(", {d} dropped"),
+            }
+        );
+    }
+    println!("drained cleanly ({served} requests served)");
+    Ok(ExitCode::SUCCESS)
 }
