@@ -8,7 +8,7 @@
 pub use shahin_obs::{
     bucket_index, bucket_upper_ns, current_thread_id, Counter, EventRecord, EventSink, Gauge,
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ProvenanceRecord,
-    ProvenanceSink, ProvenanceTotals, Span, N_BUCKETS, SPAN_PREFIX,
+    ProvenanceSink, ProvenanceTotals, Span, ValueHistogram, N_BUCKETS, SPAN_PREFIX,
 };
 
 use std::sync::Arc;
@@ -139,6 +139,9 @@ pub mod names {
     pub const SERVE_REJECTED_MALFORMED: &str = "serve.rejected_malformed";
     /// Requests rejected with a 503-style frame during shutdown drain.
     pub const SERVE_REJECTED_SHUTDOWN: &str = "serve.rejected_shutdown";
+    /// Admin `shutdown` frames refused with a 403 frame because the
+    /// peer is not loopback and remote shutdown is not enabled.
+    pub const SERVE_REJECTED_FORBIDDEN: &str = "serve.rejected_forbidden";
     /// Requests whose deadline expired while queued (408-style frame).
     pub const SERVE_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
     /// Requests answered with a 422-style frame because the tuple was
@@ -152,8 +155,8 @@ pub mod names {
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
     /// Requests drained (still answered) after shutdown began (gauge).
     pub const SERVE_DRAINED: &str = "serve.drained";
-    /// Micro-batch size distribution (recorded as a value histogram:
-    /// one sample per flush, value = batch size in "ns" units).
+    /// Micro-batch size distribution (unitless value histogram: one
+    /// sample per flush, value = number of requests in the batch).
     pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
     /// Time a request spent in the admission queue before its batch was
     /// flushed (histogram, ns).
@@ -219,6 +222,7 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::SERVE_REJECTED_OVERLOAD,
         names::SERVE_REJECTED_MALFORMED,
         names::SERVE_REJECTED_SHUTDOWN,
+        names::SERVE_REJECTED_FORBIDDEN,
         names::SERVE_DEADLINE_EXPIRED,
         names::SERVE_QUARANTINED,
         names::SERVE_CONNECTIONS,
@@ -248,12 +252,12 @@ pub fn register_standard(reg: &MetricsRegistry) {
     for hist in [
         names::CLASSIFIER_PREDICT,
         names::CLASSIFIER_PREDICT_BATCH,
-        names::SERVE_BATCH_SIZE,
         names::SERVE_QUEUE_WAIT,
         names::SERVE_REQUEST_LATENCY,
     ] {
         reg.histogram(hist);
     }
+    reg.value_histogram(names::SERVE_BATCH_SIZE);
     for shard in 0..N_SHARDS {
         for kind in ["hits", "misses", "contention"] {
             reg.counter(&names::anchor_shard(shard, kind));

@@ -12,6 +12,13 @@
 
 use std::collections::BTreeMap;
 
+/// Maximum container nesting [`Json::parse`] accepts. The parser is
+/// recursive-descent and now reads untrusted socket input (the serve
+/// wire protocol), so unbounded nesting would overflow the thread
+/// stack; every artifact and request frame in this workspace nests a
+/// handful of levels at most.
+pub const MAX_DEPTH: usize = 64;
+
 /// Escapes a string for embedding inside a JSON string literal (quotes,
 /// backslashes, and control characters; everything else passes through).
 pub fn escape(s: &str) -> String {
@@ -65,7 +72,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -155,12 +162,12 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -246,7 +253,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    check_depth(depth, *pos)?;
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -255,7 +263,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -268,7 +276,18 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn check_depth(depth: usize, pos: usize) -> Result<(), String> {
+    if depth >= MAX_DEPTH {
+        Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {pos}"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    check_depth(depth, *pos)?;
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -281,7 +300,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -370,6 +389,22 @@ mod tests {
     fn decodes_escapes() {
         let v = Json::parse(r#"{"s": "a\"b\\c\ndé"}"#).unwrap();
         assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndé"));
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // A hostile frame of deeply nested containers must come back as
+        // a parse error, not abort the process.
+        for open in ["[", "{\"k\":"] {
+            let doc = open.repeat(100_000);
+            let err = Json::parse(&doc).unwrap_err();
+            assert!(err.contains("nesting"), "got: {err}");
+        }
+        // The boundary: MAX_DEPTH containers parse, one more does not.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&too_deep).unwrap_err().contains("nesting"));
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
 pub use json::Json;
 pub use provenance::{ProvenanceRecord, ProvenanceSink, ProvenanceTotals, N_PROVENANCE_STRIPES};
 pub use registry::{
-    bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, MetricsRegistry, Span, N_BUCKETS,
-    N_STRIPES, SPAN_PREFIX,
+    bucket_index, bucket_upper_ns, Counter, Gauge, Histogram, MetricsRegistry, Span,
+    ValueHistogram, N_BUCKETS, N_STRIPES, SPAN_PREFIX,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 

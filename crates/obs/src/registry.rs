@@ -284,6 +284,59 @@ impl fmt::Debug for Histogram {
     }
 }
 
+/// A log2-bucketed histogram of *unitless* values (counts, sizes) — the
+/// same cell layout as [`Histogram`] but exported without nanosecond
+/// semantics, so e.g. a batch-size distribution never renders with time
+/// units. No-op when detached.
+#[derive(Clone, Default)]
+pub struct ValueHistogram(Option<Arc<HistogramCell>>);
+
+impl ValueHistogram {
+    /// A detached handle.
+    pub fn noop() -> ValueHistogram {
+        ValueHistogram(None)
+    }
+
+    /// True when samples actually land somewhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum_ns.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.sum_ns.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for ValueHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "ValueHistogram(n={}, sum={})", self.count(), self.sum()),
+            None => write!(f, "ValueHistogram(noop)"),
+        }
+    }
+}
+
 /// An RAII wall-time span. Records its elapsed time into the backing
 /// histogram on drop; [`Span::stop`] records eagerly and returns the
 /// elapsed duration (which is measured even for a detached histogram, so
@@ -338,6 +391,7 @@ enum Slot {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicU64>),
     Histogram(Arc<HistogramCell>),
+    ValueHistogram(Arc<HistogramCell>),
 }
 
 impl Slot {
@@ -346,6 +400,7 @@ impl Slot {
             Slot::Counter(_) => "counter",
             Slot::Gauge(_) => "gauge",
             Slot::Histogram(_) => "histogram",
+            Slot::ValueHistogram(_) => "value histogram",
         }
     }
 }
@@ -460,6 +515,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// The unitless value histogram registered under `name`, creating it
+    /// on first use. Distinct from [`MetricsRegistry::histogram`]: its
+    /// samples are plain values (batch sizes, counts), and snapshots
+    /// export it without nanosecond semantics.
+    pub fn value_histogram(&self, name: &str) -> ValueHistogram {
+        match self.slot(name, || {
+            Slot::ValueHistogram(Arc::new(HistogramCell::new()))
+        }) {
+            Some(Slot::ValueHistogram(cell)) => ValueHistogram(Some(cell)),
+            Some(other) => panic!(
+                "metric '{name}' is a {}, not a value histogram",
+                other.kind()
+            ),
+            None => ValueHistogram::noop(),
+        }
+    }
+
     /// The histogram backing span `name` (registered as `span.{name}`,
     /// the `phase.subphase` convention). Resolve once outside hot loops,
     /// then [`Histogram::start`] per iteration. When an [`EventSink`] is
@@ -534,28 +606,36 @@ impl MetricsRegistry {
                         snap.gauges.insert(name.clone(), g.load(Ordering::Relaxed));
                     }
                     Slot::Histogram(h) => {
-                        let buckets: Vec<(usize, u64)> = h
-                            .buckets
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(i, b)| {
-                                let n = b.load(Ordering::Relaxed);
-                                (n > 0).then_some((i, n))
-                            })
-                            .collect();
-                        snap.histograms.insert(
-                            name.clone(),
-                            crate::HistogramSnapshot {
-                                count: h.count.load(Ordering::Relaxed),
-                                sum_ns: h.sum_ns.load(Ordering::Relaxed),
-                                buckets,
-                            },
-                        );
+                        snap.histograms.insert(name.clone(), freeze_histogram(h));
+                    }
+                    Slot::ValueHistogram(h) => {
+                        snap.value_histograms
+                            .insert(name.clone(), freeze_histogram(h));
                     }
                 }
             }
         }
         snap
+    }
+}
+
+/// Point-in-time copy of one histogram cell (shared by the ns and the
+/// unitless kinds; the snapshot's field names stay ns-flavored, the
+/// exporters attach the right units).
+fn freeze_histogram(h: &HistogramCell) -> crate::HistogramSnapshot {
+    let buckets: Vec<(usize, u64)> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| {
+            let n = b.load(Ordering::Relaxed);
+            (n > 0).then_some((i, n))
+        })
+        .collect();
+    crate::HistogramSnapshot {
+        count: h.count.load(Ordering::Relaxed),
+        sum_ns: h.sum_ns.load(Ordering::Relaxed),
+        buckets,
     }
 }
 
@@ -669,6 +749,38 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("dual");
         reg.gauge("dual");
+    }
+
+    #[test]
+    fn value_histograms_record_and_snapshot_separately() {
+        let reg = MetricsRegistry::new();
+        let v = reg.value_histogram("serve.batch_size");
+        for size in [1u64, 8, 32] {
+            v.record(size);
+        }
+        assert_eq!(v.count(), 3);
+        assert_eq!(v.sum(), 41);
+        let snap = reg.snapshot();
+        let hs = snap
+            .value_histograms
+            .get("serve.batch_size")
+            .expect("snapshots into the value_histograms section");
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum_ns, 41);
+        assert!(!snap.histograms.contains_key("serve.batch_size"));
+        // Detached handles are no-ops.
+        let off = MetricsRegistry::disabled().value_histogram("x");
+        off.record(5);
+        assert_eq!(off.count(), 0);
+        assert!(!off.is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram, not a value histogram")]
+    fn value_histogram_kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("dual");
+        reg.value_histogram("dual");
     }
 
     #[test]

@@ -8,7 +8,9 @@ use crate::registry::{bucket_upper_ns, SPAN_PREFIX};
 
 /// Frozen state of one histogram. `buckets` holds only the non-empty
 /// buckets as `(bucket_index, count)` pairs; the upper bound of bucket `i`
-/// is [`bucket_upper_ns`]`(i)`.
+/// is [`bucket_upper_ns`]`(i)`. The same shape freezes both kinds of
+/// histogram: for a unitless value histogram the `_ns`-suffixed fields
+/// carry plain values, and the exporters label them accordingly.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
@@ -47,7 +49,11 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, u64>,
+    /// Nanosecond-valued histograms (latency, wall time).
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Unitless value histograms (batch sizes, counts); exported without
+    /// time semantics.
+    pub value_histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -78,37 +84,9 @@ impl MetricsSnapshot {
         out.push_str("},\n  \"gauges\": {");
         push_map(&mut out, self.gauges.iter().map(|(k, v)| (k, *v)));
         out.push_str("},\n  \"histograms\": {");
-        let mut first = true;
-        for (name, h) in &self.histograms {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            write!(
-                out,
-                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \"buckets\": [",
-                escape(name),
-                h.count,
-                h.sum_ns,
-                h.mean_ns()
-            )
-            .unwrap();
-            for (j, &(i, n)) in h.buckets.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                let le = bucket_upper_ns(i);
-                if le == u64::MAX {
-                    write!(out, "{{\"le_ns\": null, \"count\": {n}}}").unwrap();
-                } else {
-                    write!(out, "{{\"le_ns\": {le}, \"count\": {n}}}").unwrap();
-                }
-            }
-            out.push_str("]}");
-        }
-        if !first {
-            out.push_str("\n  ");
-        }
+        push_histograms(&mut out, &self.histograms, "ns");
+        out.push_str("},\n  \"value_histograms\": {");
+        push_histograms(&mut out, &self.value_histograms, "");
         out.push_str("}\n}\n");
         out
     }
@@ -177,7 +155,68 @@ impl MetricsSnapshot {
                 ));
             }
         }
+
+        if !self.value_histograms.is_empty() {
+            out.push_str("value histograms (unitless)\n");
+            out.push_str(&format!(
+                "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "count", "total", "mean", "~p50", "~p99"
+            ));
+            for (name, h) in &self.value_histograms {
+                out.push_str(&format!(
+                    "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                    name,
+                    h.count,
+                    h.sum_ns,
+                    h.mean_ns(),
+                    fmt_plain(h.quantile_ns(0.5)),
+                    fmt_plain(h.quantile_ns(0.99)),
+                ));
+            }
+        }
         out
+    }
+}
+
+/// Serializes one histogram map. `unit` suffixes the field names:
+/// `"ns"` yields `sum_ns`/`mean_ns`/`le_ns` for time histograms, `""`
+/// yields `sum`/`mean`/`le` for unitless value histograms.
+fn push_histograms(out: &mut String, hists: &BTreeMap<String, HistogramSnapshot>, unit: &str) {
+    let suffix = if unit.is_empty() {
+        String::new()
+    } else {
+        format!("_{unit}")
+    };
+    let mut first = true;
+    for (name, h) in hists {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum{suffix}\": {}, \"mean{suffix}\": {}, \"buckets\": [",
+            escape(name),
+            h.count,
+            h.sum_ns,
+            h.mean_ns()
+        )
+        .unwrap();
+        for (j, &(i, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let le = bucket_upper_ns(i);
+            if le == u64::MAX {
+                write!(out, "{{\"le{suffix}\": null, \"count\": {n}}}").unwrap();
+            } else {
+                write!(out, "{{\"le{suffix}\": {le}, \"count\": {n}}}").unwrap();
+            }
+        }
+        out.push_str("]}");
+    }
+    if !first {
+        out.push_str("\n  ");
     }
 }
 
@@ -197,6 +236,16 @@ fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, u64
 
 // Metric names are plain identifiers, but escape defensively anyway.
 use crate::json::escape;
+
+/// Plain value rendering for unitless histograms (the catch-all bucket
+/// still reads "inf").
+fn fmt_plain(v: u64) -> String {
+    if v == u64::MAX {
+        "inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
 
 /// Human-scaled duration: ns → µs → ms → s.
 fn fmt_ns(ns: u64) -> String {
@@ -224,6 +273,9 @@ mod tests {
         h.record_ns(1_500);
         h.record_ns(1_500_000);
         reg.span_histogram("fim.mine").record_ns(2_000_000);
+        let v = reg.value_histogram("serve.batch_size");
+        v.record(4);
+        v.record(32);
         reg.snapshot()
     }
 
@@ -241,6 +293,9 @@ mod tests {
             "\"span.fim.mine\"",
             "\"count\": 3",
             "\"le_ns\":",
+            "\"value_histograms\"",
+            "\"serve.batch_size\": {\"count\": 2, \"sum\": 36, \"mean\": 18",
+            "\"le\": 7",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -258,6 +313,7 @@ mod tests {
         let json = MetricsSnapshot::default().to_json();
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"value_histograms\": {}"));
     }
 
     #[test]
@@ -291,6 +347,15 @@ mod tests {
         assert!(table.contains("gauges"));
         assert!(table.contains("latency histograms"));
         assert!(table.contains("classifier.predict"));
+        // Value histograms render unit-free: a batch size of 32 must not
+        // pick up a nanosecond suffix.
+        assert!(table.contains("value histograms (unitless)"));
+        assert!(table.contains("serve.batch_size"));
+        let batch_line = table
+            .lines()
+            .find(|l| l.contains("serve.batch_size"))
+            .unwrap();
+        assert!(!batch_line.contains("ns") && !batch_line.contains("us"));
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub mod signal;
 
 pub use protocol::{parse_request, Request, WireError};
 pub use queue::{Admission, PushError};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, MAX_FRAME_LEN};

@@ -25,6 +25,7 @@
 //! | code | error              | meaning                                    |
 //! |------|--------------------|--------------------------------------------|
 //! | 400  | `bad_request`      | unparseable JSON, unknown method, bad arity|
+//! | 403  | `forbidden`        | admin frame from a non-loopback peer       |
 //! | 404  | `row_out_of_range` | row is not in the warm set                 |
 //! | 408  | `deadline_expired` | queued past the request's `deadline_ms`    |
 //! | 422  | `quarantined`      | tuple failed inside the resilience boundary|
@@ -76,6 +77,16 @@ impl WireError {
             code: 400,
             kind: "bad_request",
             message: message.into(),
+        }
+    }
+
+    /// 403: an admin frame from a peer that may not send one (remote
+    /// shutdown is off by default; see `ServeConfig::allow_remote_shutdown`).
+    pub fn forbidden() -> WireError {
+        WireError {
+            code: 403,
+            kind: "forbidden",
+            message: "shutdown is only accepted from loopback peers".into(),
         }
     }
 
@@ -296,6 +307,21 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_frames_yield_a_400_frame_not_a_crash() {
+        // The parser runs on untrusted socket bytes: pathological
+        // nesting must come back as a typed error, never overflow the
+        // reader thread's stack.
+        let line = format!("{}{}", "[".repeat(50_000), "]".repeat(50_000));
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code, 400);
+        assert_eq!(err.kind, "bad_request");
+        let line = format!("{}1{}", "{\"k\":".repeat(50_000), "}".repeat(50_000));
+        assert_eq!(parse_request(&line).unwrap_err().code, 400);
+        // parse_frame_id on the same garbage stays total too.
+        assert_eq!(parse_frame_id(&line), 0);
+    }
+
+    #[test]
     fn unknown_method_yields_a_400_frame() {
         let err = parse_request("{\"id\": 1, \"method\": \"explode\"}").unwrap_err();
         assert_eq!(err.code, 400);
@@ -334,13 +360,14 @@ mod tests {
     fn error_frames_are_valid_json_with_the_taxonomy_fields() {
         let frames = [
             error_frame(1, &WireError::bad_request("broken \"quote\"")),
-            error_frame(2, &WireError::row_out_of_range(9, 5)),
-            error_frame(3, &WireError::deadline_expired()),
-            error_frame(4, &WireError::quarantined(FailureKind::Panic, "boom")),
-            error_frame(5, &WireError::overloaded(64)),
-            error_frame(6, &WireError::shutting_down()),
+            error_frame(2, &WireError::forbidden()),
+            error_frame(3, &WireError::row_out_of_range(9, 5)),
+            error_frame(4, &WireError::deadline_expired()),
+            error_frame(5, &WireError::quarantined(FailureKind::Panic, "boom")),
+            error_frame(6, &WireError::overloaded(64)),
+            error_frame(7, &WireError::shutting_down()),
         ];
-        let codes = [400, 404, 408, 422, 429, 503];
+        let codes = [400, 403, 404, 408, 422, 429, 503];
         for (frame, code) in frames.iter().zip(codes) {
             let v = Json::parse(frame).expect("error frame parses");
             assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));

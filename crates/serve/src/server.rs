@@ -21,7 +21,7 @@
 //! stops accepting, and readers notice within one read-timeout tick.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,6 +37,13 @@ use crate::protocol::{
 };
 use crate::queue::{Admission, PushError};
 use crate::signal;
+
+/// Upper bound on one request line, newline included. Well-formed
+/// request frames are tens of bytes; a longer line is hostile or broken
+/// and must not grow the reader's buffer without limit. Overlong lines
+/// are answered with a 400 frame and discarded up to the next newline —
+/// the connection survives.
+pub const MAX_FRAME_LEN: usize = 8 * 1024;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -55,6 +62,15 @@ pub struct ServeConfig {
     pub refresh_every: u64,
     /// How often idle readers and the acceptor poll the shutdown flag.
     pub poll_interval: Duration,
+    /// Per-frame write timeout. A client that stops reading (full TCP
+    /// window) past this is treated as hung up: its connection is marked
+    /// dead and further responses for it are dropped, so a stalled
+    /// socket never blocks the batcher for other requests.
+    pub write_timeout: Duration,
+    /// Accept admin `shutdown` frames from non-loopback peers. Off by
+    /// default: when `addr` binds a non-loopback interface, remote
+    /// clients get a 403 frame instead of draining the server.
+    pub allow_remote_shutdown: bool,
     /// Watch SIGINT/SIGTERM and drain when one arrives.
     pub watch_signals: bool,
 }
@@ -68,6 +84,8 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(5),
             refresh_every: 0,
             poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(1),
+            allow_remote_shutdown: false,
             watch_signals: false,
         }
     }
@@ -77,17 +95,38 @@ impl Default for ServeConfig {
 /// and error frames) and the batcher (served explanations).
 struct Conn {
     stream: Mutex<TcpStream>,
+    /// Whether the peer is a loopback address (gates admin frames).
+    peer_loopback: bool,
+    /// Flipped on the first failed or timed-out write. A timed-out
+    /// `write_all` may have written a partial frame, so the byte stream
+    /// is torn: nothing further may be sent on this connection.
+    dead: AtomicBool,
 }
 
 impl Conn {
-    /// Writes one frame plus the line terminator. Write errors mean the
-    /// client hung up; the response is dropped on the floor (its reader
-    /// thread will see EOF and clean up).
+    /// Writes one frame plus the line terminator, bounded by the
+    /// stream's write timeout. Errors (including the timeout a stalled
+    /// client causes) mean the client is gone or not reading: the
+    /// connection is marked dead, the socket shut down so its reader
+    /// unblocks and cleans up, and this and all further responses for
+    /// it are dropped on the floor.
     fn send(&self, frame: &str) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
         let mut stream = self.stream.lock().unwrap();
-        let _ = stream.write_all(frame.as_bytes());
-        let _ = stream.write_all(b"\n");
-        let _ = stream.flush();
+        let wrote = stream
+            .write_all(frame.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush());
+        if wrote.is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
     }
 }
 
@@ -245,27 +284,43 @@ fn accept_loop<C: Classifier + 'static>(listener: TcpListener, shared: Arc<Share
 
 /// Reads newline-delimited frames off one connection until EOF or
 /// shutdown. Every malformed frame is answered in place and the
-/// connection kept open; only explain frames cross into the queue.
+/// connection kept open; only explain frames cross into the queue. The
+/// partial-line buffer is bounded by [`MAX_FRAME_LEN`]: an overlong
+/// line gets one 400 frame and its remaining bytes are discarded up to
+/// the next newline, so a client streaming without newlines can never
+/// grow server memory.
 fn read_loop<C: Classifier + 'static>(stream: TcpStream, shared: Arc<Shared<C>>) {
     // Blocking socket with a read timeout: the reader wakes every tick
-    // to notice a drain even when the client sends nothing.
+    // to notice a drain even when the client sends nothing. The write
+    // timeout bounds how long a response frame can stall the batcher on
+    // a client that stopped reading.
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|peer| peer.ip().is_loopback())
+        .unwrap_or(false);
     let conn = Arc::new(Conn {
         stream: Mutex::new(stream.try_clone().expect("tcp stream clones")),
+        peer_loopback,
+        dead: AtomicBool::new(false),
     });
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    // True while discarding the tail of an overlong line; the 400 frame
+    // was already sent when the overflow was detected.
+    let mut discarding = false;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF: client closed.
-            Ok(_) => {
-                if line.trim().is_empty() {
-                    continue;
+        let buf = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF with an unterminated final frame: flush it.
+                if !discarding && !line.is_empty() {
+                    handle_frame(&String::from_utf8_lossy(&line), &conn, &shared);
                 }
-                handle_frame(&line, &conn, &shared);
+                break;
             }
+            Ok(buf) => buf,
             Err(e)
                 if e.kind() == ErrorKind::WouldBlock
                     || e.kind() == ErrorKind::TimedOut
@@ -274,55 +329,41 @@ fn read_loop<C: Classifier + 'static>(stream: TcpStream, shared: Arc<Shared<C>>)
                 // Read timeout tick. Connections stay open through the
                 // drain (in-flight frames still get typed 503s) and close
                 // once the batcher has answered the whole backlog.
-                if shared.drained() && line.is_empty() {
+                if shared.drained() || conn.is_dead() {
                     break;
                 }
-                // NOTE: read_line may have appended a partial line before
-                // timing out; loop back and keep reading into it.
-                if !line.is_empty() {
-                    if let Some(rest) = read_rest_of_line(&mut reader, &mut line, &shared) {
-                        if rest {
-                            handle_frame(&line, &conn, &shared);
-                        }
-                    } else {
-                        break;
-                    }
-                }
+                continue;
             }
             Err(_) => break,
+        };
+        let (chunk_len, terminated) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i, true),
+            None => (buf.len(), false),
+        };
+        if !discarding {
+            if line.len() + chunk_len > MAX_FRAME_LEN {
+                shared.obs().counter(names::SERVE_REJECTED_MALFORMED).inc();
+                conn.send(&error_frame(
+                    0,
+                    &WireError::bad_request(format!("frame exceeds {MAX_FRAME_LEN} bytes")),
+                ));
+                line.clear();
+                discarding = true;
+            } else {
+                line.extend_from_slice(&buf[..chunk_len]);
+            }
         }
-    }
-}
-
-/// Finishes a partially read line across timeout ticks. Returns
-/// `Some(true)` when the line completed, `Some(false)` on EOF mid-line,
-/// `None` when shutdown interrupted the wait.
-fn read_rest_of_line<C: Classifier>(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    shared: &Shared<C>,
-) -> Option<bool> {
-    loop {
-        if line.ends_with('\n') {
-            return Some(true);
-        }
-        match reader.read_line(line) {
-            Ok(0) => return Some(!line.is_empty()), // EOF: flush what we have.
-            Ok(_) => {
-                if line.ends_with('\n') {
-                    return Some(true);
+        reader.consume(chunk_len + usize::from(terminated));
+        if terminated {
+            if discarding {
+                discarding = false;
+            } else {
+                let text = String::from_utf8_lossy(&line).into_owned();
+                if !text.trim().is_empty() {
+                    handle_frame(&text, &conn, &shared);
                 }
             }
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted =>
-            {
-                if shared.drained() {
-                    return None;
-                }
-            }
-            Err(_) => return None,
+            line.clear();
         }
     }
 }
@@ -341,6 +382,11 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
     match request {
         Request::Ping { id } => conn.send(&pong_frame(id)),
         Request::Shutdown { id } => {
+            if !shutdown_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+                obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
+                conn.send(&error_frame(id, &WireError::forbidden()));
+                return;
+            }
             conn.send(&shutdown_frame(id));
             shared.trigger_shutdown();
         }
@@ -393,11 +439,17 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
     }
 }
 
+/// Whether an admin `shutdown` frame may drain the server: always from
+/// loopback peers, from remote ones only when the operator opted in.
+fn shutdown_permitted(peer_loopback: bool, allow_remote_shutdown: bool) -> bool {
+    peer_loopback || allow_remote_shutdown
+}
+
 /// Pops micro-batches until the queue closes and drains, explaining each
 /// against the warm engine and answering every request.
 fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
     let obs = shared.obs().clone();
-    let batch_size = obs.histogram(names::SERVE_BATCH_SIZE);
+    let batch_size = obs.value_histogram(names::SERVE_BATCH_SIZE);
     let queue_wait = obs.histogram(names::SERVE_QUEUE_WAIT);
     let latency = obs.histogram(names::SERVE_REQUEST_LATENCY);
     let mut batches: u64 = 0;
@@ -407,7 +459,7 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
     {
         obs.gauge(names::SERVE_QUEUE_DEPTH)
             .set(shared.queue.len() as u64);
-        batch_size.record_ns(batch.len() as u64);
+        batch_size.record(batch.len() as u64);
         obs.counter(names::SERVE_BATCHES).inc();
 
         // Requests whose deadline passed while queued get 408 frames and
@@ -473,4 +525,17 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
     obs.gauge(names::SERVE_QUEUE_DEPTH).set(0);
     obs.gauge(names::SERVE_DRAINED).set(1);
     shared.drained.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_is_loopback_only_unless_opted_in() {
+        assert!(shutdown_permitted(true, false));
+        assert!(shutdown_permitted(true, true));
+        assert!(!shutdown_permitted(false, false));
+        assert!(shutdown_permitted(false, true));
+    }
 }

@@ -184,6 +184,46 @@ fn malformed_frames_get_typed_errors_and_the_connection_survives() {
 }
 
 #[test]
+fn overlong_frames_get_one_400_and_the_connection_survives() {
+    use shahin_serve::MAX_FRAME_LEN;
+    let (handle, reg, _) = start_server(1);
+    let mut client = connect(&handle);
+
+    // A single line more than twice the cap, streamed in two writes so
+    // part of it sits in the reader's partial-line buffer across reads.
+    let garbage = "x".repeat(MAX_FRAME_LEN + 100);
+    client.get_mut().write_all(garbage.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    client.get_mut().write_all(garbage.as_bytes()).unwrap();
+    client.get_mut().write_all(b"\n").unwrap();
+
+    // Exactly one 400 for the whole overlong line.
+    let mut line = String::new();
+    client.read_line(&mut line).expect("400 frame arrives");
+    let frame = Json::parse(&line).expect("valid error frame");
+    assert_eq!(frame.get("code").unwrap().as_u64(), Some(400));
+    assert!(frame
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("exceeds"));
+
+    // The connection still serves real work afterwards.
+    let frame = round_trip(&mut client, "{\"id\": 5, \"method\": \"ping\"}");
+    assert_eq!(frame.get("pong").unwrap().as_bool(), Some(true));
+    let frame = round_trip(
+        &mut client,
+        "{\"id\": 6, \"method\": \"explain\", \"row\": 0}",
+    );
+    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+
+    handle.shutdown();
+    handle.wait();
+    assert_eq!(reg.snapshot().counter(names::SERVE_REJECTED_MALFORMED), 1);
+}
+
+#[test]
 fn admin_shutdown_frame_drains_and_reports_served_requests() {
     let (handle, reg, _) = start_server(2);
     let mut client = connect(&handle);

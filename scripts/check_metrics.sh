@@ -55,7 +55,7 @@ lime = json.load(open(sys.argv[1]))
 anchor = json.load(open(sys.argv[2]))
 
 for snap, where in ((lime, "lime"), (anchor, "anchor")):
-    for section in ("counters", "gauges", "histograms"):
+    for section in ("counters", "gauges", "histograms", "value_histograms"):
         if section not in snap:
             raise SystemExit(f"FAIL: {where}: no '{section}' section")
     # Perturbation store traffic and footprint.
@@ -313,6 +313,7 @@ import json, sys
 snap = json.load(open(sys.argv[1]))
 requests = int(sys.argv[2])
 counters, gauges, hists = snap["counters"], snap["gauges"], snap["histograms"]
+vhists = snap["value_histograms"]
 
 if counters.get("serve.requests") != requests:
     raise SystemExit(f"FAIL: serve: serve.requests "
@@ -324,8 +325,8 @@ if counters.get("serve.connections", 0) < 4:
                      f"{counters.get('serve.connections')}")
 # Clean run: nothing rejected, expired, or quarantined.
 for c in ("serve.rejected_overload", "serve.rejected_malformed",
-          "serve.rejected_shutdown", "serve.deadline_expired",
-          "serve.quarantined"):
+          "serve.rejected_shutdown", "serve.rejected_forbidden",
+          "serve.deadline_expired", "serve.quarantined"):
     if counters.get(c, -1) != 0:
         raise SystemExit(f"FAIL: serve: '{c}' is {counters.get(c)} "
                          f"on a clean run")
@@ -334,15 +335,26 @@ if gauges.get("serve.drained") != 1:
     raise SystemExit("FAIL: serve: serve.drained gauge != 1")
 if gauges.get("serve.queue_depth") != 0:
     raise SystemExit("FAIL: serve: serve.queue_depth != 0 after drain")
-# Per-request and per-batch distributions populated consistently.
-for h in ("serve.batch_size", "serve.queue_wait", "serve.request_latency"):
+# Per-request and per-batch distributions populated consistently. The
+# batch-size distribution is a unitless value histogram, not a
+# nanosecond one.
+for h in ("serve.queue_wait", "serve.request_latency"):
     if h not in hists:
         raise SystemExit(f"FAIL: serve: missing histogram '{h}'")
 if hists["serve.request_latency"]["count"] != requests:
     raise SystemExit(f"FAIL: serve: request_latency count "
                      f"{hists['serve.request_latency']['count']} != {requests}")
-if hists["serve.batch_size"]["count"] != counters["serve.batches"]:
+if "serve.batch_size" in hists:
+    raise SystemExit("FAIL: serve: batch_size must be a value histogram, "
+                     "not a ns histogram")
+if "serve.batch_size" not in vhists:
+    raise SystemExit("FAIL: serve: missing value histogram 'serve.batch_size'")
+bs = vhists["serve.batch_size"]
+if bs["count"] != counters["serve.batches"]:
     raise SystemExit("FAIL: serve: batch_size samples != serve.batches")
+if bs["sum"] != requests:
+    raise SystemExit(f"FAIL: serve: batch_size sum {bs['sum']} != "
+                     f"{requests} requests")
 # The warm repository actually served the traffic.
 for c in ("store.lookups", "store.hits"):
     if counters.get(c, 0) == 0:

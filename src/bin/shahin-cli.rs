@@ -49,6 +49,7 @@ USAGE:
                      [--addr HOST:PORT] [--warm-rows N] [--seed S]
                      [--max-batch N] [--max-delay-ms MS] [--queue-capacity N]
                      [--threads K] [--refresh-every N] [--port-file <file>]
+                     [--write-timeout-ms MS] [--allow-remote-shutdown]
                      [--metrics] [--metrics-out <file.json>]
                      [--provenance-out <file.jsonl>]
                      [resilience/chaos flags as for explain]
@@ -67,7 +68,10 @@ SERVING:
   store and Anchor caches. A full admission queue answers 429-style
   frames; malformed frames get 400-style frames and keep the
   connection open. SIGINT/SIGTERM or an admin shutdown frame drains
-  the queue — every admitted request is answered — then exits.
+  the queue — every admitted request is answered — then exits. The
+  shutdown frame is accepted from loopback peers only unless
+  --allow-remote-shutdown is passed; clients that stop reading are
+  disconnected after --write-timeout-ms per response frame.
   --addr with port 0 picks an ephemeral port; --port-file writes the
   bound port for scripts. --refresh-every N rebuilds the warm store
   every N micro-batches (0 = never).
@@ -118,7 +122,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
-        if key == "summary" || key == "help" || key == "metrics" || key == "chaos" {
+        if key == "summary"
+            || key == "help"
+            || key == "metrics"
+            || key == "chaos"
+            || key == "allow-remote-shutdown"
+        {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -574,6 +583,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let queue_capacity: usize =
         parse_num(get_or(flags, "queue-capacity", "1024"), "queue-capacity")?;
     let refresh_every: u64 = parse_num(get_or(flags, "refresh-every", "0"), "refresh-every")?;
+    let write_timeout_ms: u64 = parse_num(
+        get_or(flags, "write-timeout-ms", "1000"),
+        "write-timeout-ms",
+    )?;
+    let allow_remote_shutdown = flags.contains_key("allow-remote-shutdown");
 
     let file = File::open(path).map_err(|e| e.to_string())?;
     let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
@@ -675,6 +689,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             max_batch,
             max_delay: Duration::from_millis(max_delay_ms),
             refresh_every,
+            write_timeout: Duration::from_millis(write_timeout_ms),
+            allow_remote_shutdown,
             watch_signals: true,
             ..Default::default()
         },
