@@ -8,11 +8,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use shahin::PerturbationStore;
+use shahin::{MatchEngine, PerturbationStore};
 use shahin_explain::{perturb_codes, ExplainContext};
-use shahin_fim::{apriori, AprioriParams, Itemset, ItemsetIndex};
+use shahin_fim::{apriori, AprioriParams, Itemset, ItemsetIndex, MatchScratch};
 use shahin_linalg::{constrained_wls, ridge, Matrix};
-use shahin_model::{Classifier, ForestParams, MajorityClass, RandomForest};
+use shahin_model::{Classifier, ForestLayout, ForestParams, MajorityClass, RandomForest};
 use shahin_tabular::{DatasetPreset, DiscreteTable};
 
 fn synth_table(n_rows: usize, n_attrs: usize, seed: u64) -> DiscreteTable {
@@ -97,8 +97,12 @@ fn bench_store(c: &mut Criterion) {
     let mut store = PerturbationStore::new(sets, usize::MAX);
     store.materialize(&ctx, &clf, 20, &mut rng);
     let row = table.row(0);
-    let mut scratch = Vec::new();
+    let mut scratch = MatchScratch::new();
     c.bench_function("store/matching", |b| {
+        b.iter(|| store.matching(&row, &mut scratch))
+    });
+    store.set_match_engine(MatchEngine::Postings);
+    c.bench_function("store/matching_postings", |b| {
         b.iter(|| store.matching(&row, &mut scratch))
     });
 }
@@ -126,6 +130,21 @@ fn bench_forest(c: &mut Criterion) {
     let inst = data.instance(0);
     c.bench_function("model/rf_predict", |b| {
         b.iter(|| forest.predict_proba(&inst))
+    });
+    // The same forest under both layouts, single row and a small batch:
+    // the flat CSR arena vs the nested per-tree `Vec<Node>` arenas.
+    let nested = forest.clone().with_layout(ForestLayout::Nested);
+    c.bench_function("model/rf_predict_nested", |b| {
+        b.iter(|| nested.predict_proba(&inst))
+    });
+    let rows: Vec<Vec<_>> = (0..100.min(data.n_rows()))
+        .map(|r| data.instance(r))
+        .collect();
+    c.bench_function("model/rf_batch100_flat_layout", |b| {
+        b.iter(|| forest.predict_batch_with(&rows, 1))
+    });
+    c.bench_function("model/rf_batch100_nested_layout", |b| {
+        b.iter(|| nested.predict_batch_with(&rows, 1))
     });
     c.bench_function("model/rf_train_25trees", |b| {
         b.iter_batched(

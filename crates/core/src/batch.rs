@@ -16,7 +16,7 @@ use shahin_explain::{
     AnchorExplainer, AnchorExplanation, ExplainContext, FeatureWeights, KernelShapExplainer,
     LimeExplainer,
 };
-use shahin_fim::{apriori, fpgrowth, sample_rows, AprioriParams, Itemset};
+use shahin_fim::{apriori, fpgrowth, sample_rows, AprioriParams, Itemset, MatchScratch};
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::{Dataset, DiscreteTable};
 
@@ -110,6 +110,7 @@ impl ShahinBatch {
 
         let fill_span = self.obs.span(names::SPAN_MATERIALIZE_FILL);
         let mut store = PerturbationStore::new(itemsets, self.config.cache_budget_bytes);
+        store.set_match_engine(self.config.match_engine);
         store.attach_obs(&self.obs);
         // "The parameter τ is set automatically by Shahin based on the
         // resource constraints" (§3.1): τ only pays off up to the point
@@ -151,7 +152,7 @@ impl ShahinBatch {
 
         let quarantine = QuarantineObs::new(&self.obs);
         let mut retrieval = Duration::ZERO;
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {
@@ -233,7 +234,7 @@ impl ShahinBatch {
 
         let quarantine = QuarantineObs::new(&self.obs);
         let mut retrieval = Duration::ZERO;
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {
@@ -322,7 +323,7 @@ impl ShahinBatch {
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Batch", "SHAP");
 
         let mut retrieval = Duration::ZERO;
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut explanations = Vec::with_capacity(batch.n_rows());
         let mut report = BatchReport::default();
         for row in 0..batch.n_rows() {

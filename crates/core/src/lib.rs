@@ -84,7 +84,7 @@ pub use runner::{
     per_tuple_seed, run, run_with_obs, ExplainerKind, Explanation, Method, RunReport,
 };
 pub use shap_source::StoreCoalitionSource;
-pub use store::{per_itemset_seed, LookupStats, PerturbationStore};
+pub use store::{per_itemset_seed, LookupStats, MatchEngine, PerturbationStore};
 pub use streaming::ShahinStreaming;
 pub use summarize::{
     summarize_attributions, summarize_rules, top_k_overlap, AttributionSummary, RuleSummary,

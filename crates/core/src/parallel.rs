@@ -35,6 +35,7 @@ use shahin_explain::{
     AnchorExplainer, AnchorExplanation, ExplainContext, FeatureWeights, KernelShapExplainer,
     LimeExplainer,
 };
+use shahin_fim::MatchScratch;
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::Dataset;
 
@@ -105,7 +106,7 @@ impl ShahinBatch {
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
+                    let mut scratch = MatchScratch::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
                         // Panic isolation per tuple: a classifier panic
@@ -210,7 +211,7 @@ impl ShahinBatch {
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
+                    let mut scratch = MatchScratch::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
                         // The shared anchor caches are lock-striped with
@@ -316,7 +317,7 @@ impl ShahinBatch {
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
+                    let mut scratch = MatchScratch::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let row = start + offset;
                         *slot = Some(guard_tuple(row as u32, &quarantine, |incidents0| {

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use shahin_explain::{
     labeled_perturbation, labeled_perturbations_batch_timed, ExplainContext, LabeledSample,
 };
-use shahin_fim::{Itemset, ItemsetIndex};
+use shahin_fim::{BitsetDomain, Itemset, ItemsetIndex, MatchScratch};
 use shahin_model::Classifier;
 use shahin_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
@@ -46,12 +46,29 @@ pub struct LookupStats {
     pub samples_available: u64,
 }
 
-/// One itemset's materialized samples.
+/// Which containment engine the `matching*` family dispatches to.
+///
+/// Both engines give the same answer in the same (ascending-id) order —
+/// [`MatchEngine::Bitset`] is the cache-conscious default,
+/// [`MatchEngine::Postings`] pins the legacy hash-postings index for
+/// equivalence tests and old-vs-new benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchEngine {
+    /// Dictionary-encoded `[u64; W]` masks, AND/EQ scan ([`BitsetDomain`]).
+    #[default]
+    Bitset,
+    /// Per-item hash postings with hit counting ([`ItemsetIndex`]).
+    Postings,
+}
+
+/// One itemset's materialized samples. Only touched when samples are
+/// actually read or written — the `matching*` hot path works off the
+/// store's dense `n_samples` / `last_used` side arrays instead, so a
+/// lookup never chases these scattered per-entry allocations.
 #[derive(Clone, Debug, Default)]
 struct StoreEntry {
     samples: Vec<LabeledSample>,
     bytes: usize,
-    last_used: u64,
 }
 
 /// Observability handles of one store. Detached no-ops by default;
@@ -81,7 +98,16 @@ struct StoreObs {
 pub struct PerturbationStore {
     itemsets: Vec<Itemset>,
     entries: Vec<StoreEntry>,
+    /// Dense per-itemset sample counts, kept in sync with
+    /// `entries[id].samples.len()`. The lookup hot path reads these (one
+    /// contiguous `u32` lane) instead of dereferencing each matched
+    /// entry's `Vec`.
+    n_samples: Vec<u32>,
+    /// Dense per-itemset LRU clocks (see `clock`); same rationale.
+    last_used: Vec<u64>,
     index: ItemsetIndex,
+    domain: BitsetDomain,
+    engine: MatchEngine,
     budget: usize,
     used_bytes: usize,
     peak_bytes: usize,
@@ -91,21 +117,39 @@ pub struct PerturbationStore {
 
 impl PerturbationStore {
     /// Creates an empty store over the given itemsets (typically the mined
-    /// frequent itemsets, highest support first).
+    /// frequent itemsets, highest support first). Both containment engines
+    /// are built here — the bitset masks are derived from the same itemset
+    /// list as the postings index, so either can serve `matching*`.
     pub fn new(itemsets: Vec<Itemset>, budget_bytes: usize) -> PerturbationStore {
         let index = ItemsetIndex::new(&itemsets);
+        let domain = BitsetDomain::new(&itemsets);
         let base: usize = itemsets.iter().map(Itemset::approx_bytes).sum();
         let entries = vec![StoreEntry::default(); itemsets.len()];
         PerturbationStore {
+            n_samples: vec![0; itemsets.len()],
+            last_used: vec![0; itemsets.len()],
             itemsets,
             entries,
             index,
+            domain,
+            engine: MatchEngine::default(),
             budget: budget_bytes,
             used_bytes: base,
             peak_bytes: base,
             clock: 0,
             obs: StoreObs::default(),
         }
+    }
+
+    /// The containment engine `matching*` currently dispatches to.
+    #[inline]
+    pub fn match_engine(&self) -> MatchEngine {
+        self.engine
+    }
+
+    /// Selects the containment engine (answers are identical either way).
+    pub fn set_match_engine(&mut self, engine: MatchEngine) {
+        self.engine = engine;
     }
 
     /// Wires the store's metrics (`store.*` counters and gauges, the
@@ -159,7 +203,7 @@ impl PerturbationStore {
 
     /// Total samples currently materialized.
     pub fn n_samples(&self) -> usize {
-        self.entries.iter().map(|e| e.samples.len()).sum()
+        self.n_samples.iter().map(|&n| n as usize).sum()
     }
 
     /// Materializes up to `tau` labeled perturbations per itemset, highest
@@ -175,7 +219,7 @@ impl PerturbationStore {
     ) -> usize {
         let mut created = 0usize;
         for id in 0..self.itemsets.len() {
-            for _ in self.entries[id].samples.len()..tau {
+            for _ in self.n_samples[id] as usize..tau {
                 if self.used_bytes >= self.budget {
                     return created;
                 }
@@ -197,8 +241,8 @@ impl PerturbationStore {
     fn fill_plan(&self, tau: usize, sample_bytes: usize) -> Vec<usize> {
         let mut plan = vec![0usize; self.entries.len()];
         let mut used = self.used_bytes;
-        for (id, entry) in self.entries.iter().enumerate() {
-            for _ in entry.samples.len()..tau {
+        for (id, &have) in self.n_samples.iter().enumerate() {
+            for _ in have as usize..tau {
                 if used >= self.budget {
                     return plan;
                 }
@@ -319,6 +363,7 @@ impl PerturbationStore {
         let e = &mut self.entries[id];
         e.samples.push(sample);
         e.bytes += bytes;
+        self.n_samples[id] += 1;
         self.used_bytes += bytes;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         self.obs.resident_bytes.set(self.used_bytes as u64);
@@ -329,11 +374,11 @@ impl PerturbationStore {
     /// Returns false when nothing can be evicted.
     fn evict_lru(&mut self, keep: u32) -> bool {
         let victim = self
-            .entries
+            .n_samples
             .iter()
             .enumerate()
-            .filter(|(id, e)| *id != keep as usize && !e.samples.is_empty())
-            .min_by_key(|(_, e)| e.last_used)
+            .filter(|&(id, &n)| id != keep as usize && n > 0)
+            .min_by_key(|&(id, _)| self.last_used[id])
             .map(|(id, _)| id);
         match victim {
             Some(id) => {
@@ -341,6 +386,7 @@ impl PerturbationStore {
                 self.used_bytes -= e.bytes;
                 e.samples = Vec::new();
                 e.bytes = 0;
+                self.n_samples[id] = 0;
                 self.obs.evictions.inc();
                 self.obs.resident_bytes.set(self.used_bytes as u64);
                 true
@@ -349,9 +395,47 @@ impl PerturbationStore {
         }
     }
 
+    /// Raw containment: ids of tracked itemsets contained in `row_codes`,
+    /// in ascending order, via whichever engine is selected. Everything in
+    /// the `matching*` family funnels through here.
+    #[inline]
+    fn contained_ids(&self, row_codes: &[u32], scratch: &mut MatchScratch) -> Vec<u32> {
+        match self.engine {
+            MatchEngine::Bitset => self.domain.contained_in_with(row_codes, scratch),
+            MatchEngine::Postings => self.index.contained_in_with(row_codes, &mut scratch.counts),
+        }
+    }
+
+    /// The one lookup core behind the `matching*` family: containment ids,
+    /// filtered down to entries with materialized samples, with hit/miss/
+    /// availability accounting recorded. Read-only — the mutable variant
+    /// layers its LRU touch on top, so the bitset/postings dispatch and the
+    /// filtering logic live exactly once.
+    fn lookup_core(
+        &self,
+        row_codes: &[u32],
+        scratch: &mut MatchScratch,
+    ) -> (Vec<u32>, LookupStats) {
+        let mut ids = self.contained_ids(row_codes, scratch);
+        let mut stats = LookupStats::default();
+        ids.retain(|&id| {
+            let n = self.n_samples[id as usize];
+            if n > 0 {
+                stats.hits += 1;
+                stats.samples_available += u64::from(n);
+                true
+            } else {
+                stats.misses += 1;
+                false
+            }
+        });
+        self.record_lookup(stats.hits, stats.misses, stats.samples_available);
+        (ids, stats)
+    }
+
     /// Ids of itemsets contained in the tuple (by discretized codes) that
     /// currently have materialized samples, marking them as recently used.
-    pub fn matching(&mut self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+    pub fn matching(&mut self, row_codes: &[u32], scratch: &mut MatchScratch) -> Vec<u32> {
         self.matching_stats(row_codes, scratch).0
     }
 
@@ -361,28 +445,14 @@ impl PerturbationStore {
     pub fn matching_stats(
         &mut self,
         row_codes: &[u32],
-        scratch: &mut Vec<u8>,
+        scratch: &mut MatchScratch,
     ) -> (Vec<u32>, LookupStats) {
         self.clock += 1;
-        let ids = self.index.contained_in_with(row_codes, scratch);
-        let mut stats = LookupStats::default();
         let clock = self.clock;
-        let out: Vec<u32> = ids
-            .into_iter()
-            .filter(|&id| {
-                let e = &mut self.entries[id as usize];
-                let hit = !e.samples.is_empty();
-                if hit {
-                    e.last_used = clock;
-                    stats.hits += 1;
-                    stats.samples_available += e.samples.len() as u64;
-                } else {
-                    stats.misses += 1;
-                }
-                hit
-            })
-            .collect();
-        self.record_lookup(stats.hits, stats.misses, stats.samples_available);
+        let (out, stats) = self.lookup_core(row_codes, scratch);
+        for &id in &out {
+            self.last_used[id as usize] = clock;
+        }
         (out, stats)
     }
 
@@ -391,7 +461,7 @@ impl PerturbationStore {
     /// used, and the store is not mutated — the lookup the parallel
     /// drivers' worker threads use against a shared `&store`. Hit/miss
     /// counters still record (they are atomics).
-    pub fn matching_read(&self, row_codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
+    pub fn matching_read(&self, row_codes: &[u32], scratch: &mut MatchScratch) -> Vec<u32> {
         self.matching_read_stats(row_codes, scratch).0
     }
 
@@ -400,26 +470,9 @@ impl PerturbationStore {
     pub fn matching_read_stats(
         &self,
         row_codes: &[u32],
-        scratch: &mut Vec<u8>,
+        scratch: &mut MatchScratch,
     ) -> (Vec<u32>, LookupStats) {
-        let ids = self.index.contained_in_with(row_codes, scratch);
-        let mut stats = LookupStats::default();
-        let out: Vec<u32> = ids
-            .into_iter()
-            .filter(|&id| {
-                let e = &self.entries[id as usize];
-                let hit = !e.samples.is_empty();
-                if hit {
-                    stats.hits += 1;
-                    stats.samples_available += e.samples.len() as u64;
-                } else {
-                    stats.misses += 1;
-                }
-                hit
-            })
-            .collect();
-        self.record_lookup(stats.hits, stats.misses, stats.samples_available);
-        (out, stats)
+        self.lookup_core(row_codes, scratch)
     }
 
     fn record_lookup(&self, hits: u64, misses: u64, reused: u64) {
@@ -441,8 +494,8 @@ impl PerturbationStore {
     /// Ids of all tracked itemsets contained in `codes`, including entries
     /// without materialized samples, without touching LRU state. Used when
     /// routing freshly generated samples into the store.
-    pub fn matching_all(&self, codes: &[u32], scratch: &mut Vec<u8>) -> Vec<u32> {
-        self.index.contained_in_with(codes, scratch)
+    pub fn matching_all(&self, codes: &[u32], scratch: &mut MatchScratch) -> Vec<u32> {
+        self.contained_ids(codes, scratch)
     }
 
     /// Flattens and removes every materialized sample (used when the
@@ -454,6 +507,7 @@ impl PerturbationStore {
             e.bytes = 0;
             out.append(&mut e.samples);
         }
+        self.n_samples.fill(0);
         self.obs.resident_bytes.set(self.used_bytes as u64);
         out
     }
@@ -529,7 +583,7 @@ mod tests {
         let mut store = PerturbationStore::new(itemsets(), usize::MAX);
         let mut rng = StdRng::seed_from_u64(3);
         store.materialize(&ctx, &clf, 5, &mut rng);
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let n_attrs = ctx.n_attrs();
         let mut row = vec![9999u32; n_attrs];
         row[0] = 0;
@@ -549,7 +603,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         store.materialize(&ctx, &clf, 5, &mut rng);
         // Touch entries 0 and 2 (a row containing both itemsets).
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut row = vec![9999u32; ctx.n_attrs()];
         row[0] = 0;
         row[1] = 1;
@@ -660,7 +714,7 @@ mod tests {
         let mut store = PerturbationStore::new(itemsets(), usize::MAX);
         store.materialize_parallel(&ctx, &clf, 5, 11, 4);
         // Touch entries 0 and 2 so entry 1 becomes the LRU victim.
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut row = vec![9999u32; ctx.n_attrs()];
         row[0] = 0;
         store.matching(&row, &mut scratch);
@@ -689,7 +743,7 @@ mod tests {
         let mut store = PerturbationStore::new(itemsets(), usize::MAX);
         store.attach_obs(&reg);
         store.materialize_parallel(&ctx, &clf, 5, 21, 2);
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let mut row = vec![9999u32; ctx.n_attrs()];
         row[0] = 0;
         row[1] = 1;
@@ -727,7 +781,8 @@ mod tests {
         store.materialize(&ctx, &clf, 5, &mut rng);
         // Empty out entry 1 so the lookup sees a store miss.
         store.entries[1].samples.clear();
-        let mut scratch = Vec::new();
+        store.n_samples[1] = 0;
+        let mut scratch = MatchScratch::new();
         let mut row = vec![9999u32; ctx.n_attrs()];
         row[0] = 0;
         row[1] = 1;
@@ -751,16 +806,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         store.materialize(&ctx, &clf, 3, &mut rng);
         let clock_before = store.clock;
-        let lru_before: Vec<u64> = store.entries.iter().map(|e| e.last_used).collect();
-        let mut scratch = Vec::new();
+        let lru_before = store.last_used.clone();
+        let mut scratch = MatchScratch::new();
         let mut row = vec![9999u32; ctx.n_attrs()];
         row[0] = 0;
         row[1] = 1;
         let ids = store.matching_read(&row, &mut scratch);
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(store.clock, clock_before);
-        let lru_after: Vec<u64> = store.entries.iter().map(|e| e.last_used).collect();
+        let lru_after = store.last_used.clone();
         assert_eq!(lru_before, lru_after);
+    }
+
+    #[test]
+    fn bitset_and_postings_engines_agree() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        assert_eq!(store.match_engine(), MatchEngine::Bitset);
+        let mut rng = StdRng::seed_from_u64(11);
+        store.materialize(&ctx, &clf, 4, &mut rng);
+        // Empty out one entry so the hit-filtering path is exercised too.
+        store.entries[1].samples.clear();
+        store.n_samples[1] = 0;
+        let mut scratch = MatchScratch::new();
+        let rows: Vec<Vec<u32>> = vec![
+            {
+                let mut r = vec![9999u32; ctx.n_attrs()];
+                r[0] = 0;
+                r[1] = 1;
+                r
+            },
+            vec![0u32; ctx.n_attrs()],
+            vec![9999u32; ctx.n_attrs()],
+        ];
+        for row in &rows {
+            store.set_match_engine(MatchEngine::Bitset);
+            let all_b = store.matching_all(row, &mut scratch);
+            let (ids_b, stats_b) = store.matching_read_stats(row, &mut scratch);
+            store.set_match_engine(MatchEngine::Postings);
+            let all_p = store.matching_all(row, &mut scratch);
+            let (ids_p, stats_p) = store.matching_read_stats(row, &mut scratch);
+            assert_eq!(all_b, all_p);
+            assert_eq!(ids_b, ids_p);
+            assert_eq!(stats_b, stats_p);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use shahin_explain::{
     AnchorExplainer, AnchorExplanation, CoalitionSample, ExplainContext, FeatureWeights,
     KernelShapExplainer, LabeledSample, LimeExplainer, NoSource,
 };
-use shahin_fim::{apriori, AprioriParams, Itemset};
+use shahin_fim::{apriori, AprioriParams, Itemset, MatchScratch};
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::{Dataset, DiscreteTable, Feature};
 
@@ -107,7 +107,7 @@ struct StreamState {
     fim_time: Duration,
     materialization_time: Duration,
     peak_bytes: usize,
-    scratch: Vec<u8>,
+    scratch: MatchScratch,
 }
 
 impl StreamState {
@@ -134,7 +134,7 @@ impl StreamState {
             fim_time: Duration::ZERO,
             materialization_time: Duration::ZERO,
             peak_bytes: 0,
-            scratch: Vec::new(),
+            scratch: MatchScratch::new(),
         }
     }
 

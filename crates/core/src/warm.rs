@@ -36,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin_explain::{AnchorExplainer, ExplainContext, KernelShapExplainer, LimeExplainer};
+use shahin_fim::MatchScratch;
 use shahin_model::{Classifier, CountingClassifier};
 use shahin_tabular::{Dataset, DiscreteTable};
 
@@ -259,7 +260,7 @@ impl<C: Classifier> WarmEngine<C> {
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
+                    let mut scratch = MatchScratch::new();
                     for (offset, slot) in head.iter_mut().enumerate() {
                         let req = requests[start + offset];
                         *slot = Some(self.explain_one(
@@ -308,7 +309,7 @@ impl<C: Classifier> WarmEngine<C> {
         surrogate_hist: &crate::obs::Histogram,
         prov: &ProvenanceCtx,
         quarantine: &QuarantineObs,
-        scratch: &mut Vec<u8>,
+        scratch: &mut MatchScratch,
     ) -> TupleOutcome<Explanation> {
         let row = req.row;
         let prov = prov.tagged(req.request_id);

@@ -29,7 +29,7 @@ impl FeatureWeights {
 }
 
 /// An Anchor explanation: a high-precision rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AnchorExplanation {
     /// The rule predicate, as items over the discretized space.
     pub rule: Itemset,

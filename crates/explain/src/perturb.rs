@@ -119,7 +119,8 @@ pub fn labeled_perturbation(
 }
 
 /// Generates `count` perturbations with `frozen` held fixed and labels them
-/// through a **single** [`Classifier::predict_proba_batch`] dispatch.
+/// through a **single** [`Classifier::predict_proba_flat`] dispatch over
+/// one flat row-major buffer.
 ///
 /// The RNG is consumed in exactly the order of `count` calls to
 /// [`labeled_perturbation`] (perturb then undiscretize, per sample), so the
@@ -149,15 +150,19 @@ pub fn labeled_perturbations_batch_timed(
     rng: &mut impl Rng,
 ) -> (Vec<LabeledSample>, std::time::Duration) {
     let gen_start = std::time::Instant::now();
+    let n_attrs = ctx.n_attrs();
     let mut codes_list = Vec::with_capacity(count);
-    let mut instances = Vec::with_capacity(count);
+    // One flat row-major buffer for the whole batch: no per-row
+    // `Vec<Feature>` allocations, and the classifier's flat fast path
+    // (e.g. `FlatForest`) consumes it without re-framing.
+    let mut rows = Vec::with_capacity(count * n_attrs);
     for _ in 0..count {
         let codes = perturb_codes(ctx, frozen, rng);
-        instances.push(ctx.discretizer().undiscretize_instance(&codes, rng));
+        ctx.discretizer().undiscretize_into(&codes, rng, &mut rows);
         codes_list.push(codes);
     }
     let generate_time = gen_start.elapsed();
-    let probas = clf.predict_proba_batch(&instances);
+    let probas = clf.predict_proba_flat(&rows, n_attrs);
     let samples = codes_list
         .into_iter()
         .zip(probas)

@@ -1,0 +1,362 @@
+//! Bitmask containment over a dictionary-encoded itemset domain.
+//!
+//! [`crate::ItemsetIndex`] answers "which itemsets are contained in this
+//! tuple?" by hashing each of the tuple's items into a postings map and
+//! counting hits — a pointer-chasing loop whose cost is dominated by
+//! SipHash and cache misses. [`BitsetDomain`] rebuilds the same answer
+//! cache-consciously: the *distinct items that appear in any tracked
+//! itemset* form a small dictionary (one bit each), so a tuple and a
+//! frozen itemset each become a `[u64; W]` mask and containment reduces
+//! to `iset & row == iset` over `W` words, with a popcount-based size
+//! reject in front. Items outside the dictionary cannot influence any
+//! containment answer, so they simply set no bit.
+//!
+//! The answer is **bit-identical** to the postings index: both return the
+//! ids of exactly the contained itemsets, in ascending order (the bitset
+//! scan visits ids in order, so no sort is needed).
+
+use crate::item::Itemset;
+
+/// Reusable per-thread scratch for containment lookups.
+///
+/// Holds both the row-mask words used by [`BitsetDomain`] and the per-
+/// itemset hit counters used by the legacy [`crate::ItemsetIndex`] path,
+/// so one scratch value serves either matching engine.
+#[derive(Clone, Debug, Default)]
+pub struct MatchScratch {
+    /// Row bitmask buffer (`W` words), used by [`BitsetDomain`].
+    pub mask: Vec<u64>,
+    /// Per-itemset hit counters, used by
+    /// [`crate::ItemsetIndex::contained_in_with`].
+    pub counts: Vec<u8>,
+}
+
+impl MatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+}
+
+/// A dictionary-encoded bitmask index over a fixed collection of itemsets.
+///
+/// Construction assigns one bit to every distinct `(attr, code)` item
+/// appearing in the tracked itemsets and stores, per itemset, its mask in
+/// *sparse* CSR form — only the non-zero words, at most one per item — plus
+/// its item count. Per-attribute lookup tables are *dense*
+/// (`code → bit + 1`, `0` = absent), so encoding a tuple is one
+/// bounds-checked load per attribute — no hashing — and the subset test
+/// per itemset is a handful of word ANDs however wide the dictionary is.
+#[derive(Clone, Debug)]
+pub struct BitsetDomain {
+    /// CSR offsets into `attr_bits`: attribute `a`'s dense code table is
+    /// `attr_bits[attr_first[a]..attr_first[a + 1]]`. One flat allocation
+    /// (instead of a `Vec` per attribute), so a cold row encode streams a
+    /// single contiguous array rather than chasing scattered tables.
+    attr_first: Vec<u32>,
+    /// Concatenated per-attribute dictionaries: entries are `bit + 1`, or
+    /// `0` when the item is not in any tracked itemset.
+    attr_bits: Vec<u32>,
+    /// Words per row mask: `n_bits.div_ceil(64)`.
+    words: usize,
+    /// Total dictionary bits (distinct items across all itemsets).
+    n_bits: usize,
+    /// CSR offsets into `iset_entries`, one span per itemset
+    /// (`n_itemsets + 1` entries).
+    iset_first: Vec<u32>,
+    /// Sparse `(word index, word bits)` pairs per itemset. An itemset has
+    /// at most one entry per item, so a 3-item itemset tests at most 3
+    /// words regardless of how wide the dictionary is.
+    iset_entries: Vec<(u32, u64)>,
+    /// Item count per itemset (for the popcount reject).
+    sizes: Vec<u8>,
+    /// Largest tracked itemset size: rows with at least this many
+    /// in-dictionary items skip the popcount-reject pass entirely (it
+    /// could never fire), saving the `sizes` scan on typical full rows.
+    max_size: u32,
+    n_itemsets: usize,
+}
+
+impl BitsetDomain {
+    /// Builds the domain. Itemset ids are positions in `itemsets`.
+    pub fn new(itemsets: &[Itemset]) -> BitsetDomain {
+        // Pass 1: assign dictionary bits in first-seen order.
+        let mut attr_tables: Vec<Vec<u32>> = Vec::new();
+        let mut n_bits = 0usize;
+        for set in itemsets {
+            assert!(!set.is_empty(), "empty itemset cannot be indexed");
+            for item in set.items() {
+                let attr = usize::from(item.attr);
+                if attr >= attr_tables.len() {
+                    attr_tables.resize(attr + 1, Vec::new());
+                }
+                let table = &mut attr_tables[attr];
+                let code = item.code as usize;
+                if code >= table.len() {
+                    table.resize(code + 1, 0);
+                }
+                if table[code] == 0 {
+                    n_bits += 1;
+                    table[code] = u32::try_from(n_bits).expect("dictionary fits in u32");
+                }
+            }
+        }
+        // Pass 2: materialize the per-itemset sparse masks. Itemsets are
+        // short (≤ `u8::MAX` items, typically ≤ 3), so bits of one set are
+        // merged into per-word entries with a linear scan.
+        let words = n_bits.div_ceil(64);
+        let mut iset_first = Vec::with_capacity(itemsets.len() + 1);
+        let mut iset_entries: Vec<(u32, u64)> = Vec::new();
+        let mut sizes = Vec::with_capacity(itemsets.len());
+        for set in itemsets {
+            sizes.push(u8::try_from(set.len()).expect("itemset length fits in u8"));
+            iset_first.push(u32::try_from(iset_entries.len()).expect("entry count fits in u32"));
+            let span_start = iset_entries.len();
+            for item in set.items() {
+                let bit = attr_tables[usize::from(item.attr)][item.code as usize] - 1;
+                let (word, bits) = (bit / 64, 1u64 << (bit % 64));
+                match iset_entries[span_start..].iter_mut().find(|e| e.0 == word) {
+                    Some(entry) => entry.1 |= bits,
+                    None => iset_entries.push((word, bits)),
+                }
+            }
+        }
+        iset_first.push(u32::try_from(iset_entries.len()).expect("entry count fits in u32"));
+        // Flatten the per-attribute tables into one CSR dictionary.
+        let mut attr_first = Vec::with_capacity(attr_tables.len() + 1);
+        let mut attr_bits = Vec::new();
+        attr_first.push(0);
+        for table in &attr_tables {
+            attr_bits.extend_from_slice(table);
+            attr_first.push(u32::try_from(attr_bits.len()).expect("dictionary fits in u32"));
+        }
+        BitsetDomain {
+            attr_first,
+            attr_bits,
+            words,
+            n_bits,
+            iset_first,
+            iset_entries,
+            max_size: sizes.iter().map(|&s| u32::from(s)).max().unwrap_or(0),
+            sizes,
+            n_itemsets: itemsets.len(),
+        }
+    }
+
+    /// Number of indexed itemsets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_itemsets
+    }
+
+    /// True if no itemsets are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_itemsets == 0
+    }
+
+    /// Total dictionary bits (distinct items across all itemsets).
+    #[inline]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Words per mask (`n_bits.div_ceil(64)`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Encodes a tuple's discretized codes into `scratch.mask` and returns
+    /// the number of set bits (= the tuple's in-dictionary items).
+    #[inline]
+    fn encode_row(&self, row_codes: &[u32], mask: &mut Vec<u64>) -> u32 {
+        mask.clear();
+        mask.resize(self.words, 0);
+        let mut pop = 0u32;
+        let n_attrs = self.attr_first.len() - 1;
+        for (attr, &code) in row_codes.iter().enumerate().take(n_attrs) {
+            let table =
+                &self.attr_bits[self.attr_first[attr] as usize..self.attr_first[attr + 1] as usize];
+            if let Some(&slot) = table.get(code as usize) {
+                if slot != 0 {
+                    let bit = slot - 1;
+                    mask[bit as usize / 64] |= 1u64 << (bit % 64);
+                    pop += 1;
+                }
+            }
+        }
+        pop
+    }
+
+    /// Ids of all indexed itemsets fully contained in the tuple with the
+    /// given discretized `row_codes` (indexed by attribute), in ascending
+    /// order — the same answer, in the same order, as
+    /// [`crate::ItemsetIndex::contained_in`].
+    pub fn contained_in_with(&self, row_codes: &[u32], scratch: &mut MatchScratch) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.n_itemsets == 0 {
+            return out;
+        }
+        let row_pop = self.encode_row(row_codes, &mut scratch.mask);
+        let row = &scratch.mask[..self.words];
+        let contains = |id: usize| {
+            let span =
+                &self.iset_entries[self.iset_first[id] as usize..self.iset_first[id + 1] as usize];
+            span.iter()
+                .all(|&(word, bits)| row[word as usize] & bits == bits)
+        };
+        if row_pop < self.max_size {
+            for id in 0..self.n_itemsets {
+                // An itemset with more items than the row has in-dictionary
+                // bits cannot be a subset — reject on the popcount alone.
+                if u32::from(self.sizes[id]) > row_pop {
+                    continue;
+                }
+                if contains(id) {
+                    out.push(id as u32);
+                }
+            }
+        } else {
+            // A full row: no itemset can out-size it, so skip the reject
+            // pass (and its `sizes` scan) and test the CSR spans directly.
+            for id in 0..self.n_itemsets {
+                if contains(id) {
+                    out.push(id as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Allocation-per-call convenience form of [`Self::contained_in_with`].
+    pub fn contained_in(&self, row_codes: &[u32]) -> Vec<u32> {
+        self.contained_in_with(row_codes, &mut MatchScratch::new())
+    }
+
+    /// Approximate resident bytes of the dictionary and masks.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<BitsetDomain>()
+            + (self.attr_first.len() + self.attr_bits.len() + self.iset_first.len())
+                * std::mem::size_of::<u32>()
+            + self.iset_entries.len() * std::mem::size_of::<(u32, u64)>()
+            + self.sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ItemsetIndex;
+    use crate::item::Item;
+
+    fn iset(pairs: &[(usize, u32)]) -> Itemset {
+        Itemset::new(pairs.iter().map(|&(a, c)| Item::new(a, c)).collect())
+    }
+
+    fn sets() -> Vec<Itemset> {
+        vec![
+            iset(&[(0, 1)]),
+            iset(&[(1, 2)]),
+            iset(&[(0, 1), (1, 2)]),
+            iset(&[(0, 1), (2, 0)]),
+            iset(&[(0, 2), (1, 2), (2, 5)]),
+        ]
+    }
+
+    #[test]
+    fn finds_all_contained_sets() {
+        let domain = BitsetDomain::new(&sets());
+        assert_eq!(domain.contained_in(&[1, 2, 0]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_postings_index_and_brute_force() {
+        let sets = sets();
+        let domain = BitsetDomain::new(&sets);
+        let index = ItemsetIndex::new(&sets);
+        let mut scratch = MatchScratch::new();
+        for row in [
+            vec![1, 2, 5],
+            vec![2, 2, 5],
+            vec![0, 0, 0],
+            vec![1, 0, 0],
+            vec![2, 2, 0],
+            vec![9999, 9999, 9999],
+        ] {
+            let got = domain.contained_in_with(&row, &mut scratch);
+            assert_eq!(got, index.contained_in(&row), "row {row:?}");
+            let brute: Vec<u32> = sets
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contained_in(&row))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, brute, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_dictionary_codes_set_no_bits() {
+        let domain = BitsetDomain::new(&sets());
+        // Codes far past every table length, and rows longer than the
+        // tracked attribute range, must match nothing and not panic.
+        assert_eq!(
+            domain.contained_in(&[9999, 9999, 9999, 7, 7]),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn empty_domain() {
+        let domain = BitsetDomain::new(&[]);
+        assert!(domain.is_empty());
+        assert_eq!(domain.words(), 0);
+        assert_eq!(domain.contained_in(&[1, 2, 3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn multi_word_domain_wraps_past_64_bits() {
+        // 10 attributes × 9 codes = 90 singleton items → 2 mask words.
+        let mut sets = Vec::new();
+        for attr in 0..10usize {
+            for code in 0..9u32 {
+                sets.push(iset(&[(attr, code)]));
+            }
+        }
+        // One wide itemset whose bits straddle the word boundary.
+        sets.push(iset(&[(0, 0), (4, 4), (9, 8)]));
+        let domain = BitsetDomain::new(&sets);
+        assert!(domain.n_bits() > 64);
+        assert_eq!(domain.words(), 2);
+        let index = ItemsetIndex::new(&sets);
+        let mut scratch = MatchScratch::new();
+        for row in [
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 8],
+            vec![0, 0, 0, 0, 4, 0, 0, 0, 0, 8],
+            vec![9, 9, 9, 9, 9, 9, 9, 9, 9, 9],
+        ] {
+            assert_eq!(
+                domain.contained_in_with(&row, &mut scratch),
+                index.contained_in(&row),
+                "row {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_domains() {
+        let small = BitsetDomain::new(&sets()[..2]);
+        let large = BitsetDomain::new(&sets());
+        let mut scratch = MatchScratch::new();
+        assert_eq!(
+            small.contained_in_with(&[1, 2, 0], &mut scratch),
+            vec![0, 1]
+        );
+        assert_eq!(
+            large.contained_in_with(&[1, 2, 0], &mut scratch),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(small.contained_in_with(&[1, 9, 9], &mut scratch), vec![0]);
+    }
+}

@@ -15,18 +15,23 @@
 //! * [`ItemsetIndex`] — a postings-list index answering "which frequent
 //!   itemsets are contained in this tuple?" in time proportional to the
 //!   matching postings,
+//! * [`BitsetDomain`] — the cache-conscious answer to the same question:
+//!   tracked items are dictionary-encoded so tuples and itemsets become
+//!   `[u64; W]` masks and containment is a handful of AND/EQ word ops,
 //! * [`shahin_sample_size`] / [`sample_rows`] — the paper's
 //!   `max(1000, 1% of batch)` sampling rule.
 //!
 //! [`DiscreteTable`]: shahin_tabular::DiscreteTable
 
 pub mod apriori;
+pub mod bitset;
 pub mod fpgrowth;
 pub mod index;
 pub mod item;
 pub mod sample;
 
 pub use apriori::{apriori, AprioriParams, AprioriResult};
+pub use bitset::{BitsetDomain, MatchScratch};
 pub use fpgrowth::fpgrowth;
 pub use index::ItemsetIndex;
 pub use item::{Item, Itemset};

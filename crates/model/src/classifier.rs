@@ -22,6 +22,22 @@ pub trait Classifier: Send + Sync {
     fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
         instances.iter().map(|i| self.predict_proba(i)).collect()
     }
+
+    /// Probabilities for a batch packed into one flat row-major buffer:
+    /// `rows` holds `rows.len() / n_attrs` instances of `n_attrs` features
+    /// each, back to back. Semantically identical to
+    /// [`Self::predict_proba_batch`] on the materialized rows — the flat
+    /// form exists so batch producers can skip the per-row `Vec<Feature>`
+    /// allocations. `n_attrs == 0` means zero rows.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        if n_attrs == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(rows.len() % n_attrs, 0, "ragged flat buffer");
+        rows.chunks_exact(n_attrs)
+            .map(|r| self.predict_proba(r))
+            .collect()
+    }
 }
 
 // The wrapper impls forward every method (not just `predict_proba`) so
@@ -39,6 +55,10 @@ impl<C: Classifier + ?Sized> Classifier for &C {
     fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
         (**self).predict_proba_batch(instances)
     }
+
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        (**self).predict_proba_flat(rows, n_attrs)
+    }
 }
 
 impl<C: Classifier + ?Sized> Classifier for std::sync::Arc<C> {
@@ -53,6 +73,10 @@ impl<C: Classifier + ?Sized> Classifier for std::sync::Arc<C> {
     fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
         (**self).predict_proba_batch(instances)
     }
+
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        (**self).predict_proba_flat(rows, n_attrs)
+    }
 }
 
 impl<C: Classifier + ?Sized> Classifier for Box<C> {
@@ -66,6 +90,10 @@ impl<C: Classifier + ?Sized> Classifier for Box<C> {
 
     fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
         (**self).predict_proba_batch(instances)
+    }
+
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        (**self).predict_proba_flat(rows, n_attrs)
     }
 }
 
@@ -111,6 +139,16 @@ mod tests {
         let m = MajorityClass::fit(&[1, 0]);
         let batch = vec![vec![Feature::Cat(0)], vec![Feature::Cat(1)]];
         assert_eq!(m.predict_proba_batch(&batch), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn flat_buffer_matches_batch() {
+        let m = MajorityClass::fit(&[1, 0]);
+        let flat = vec![Feature::Cat(0), Feature::Cat(1)];
+        assert_eq!(m.predict_proba_flat(&flat, 1), vec![0.5, 0.5]);
+        assert_eq!(m.predict_proba_flat(&[], 0), Vec::<f64>::new());
+        let by_ref: &dyn Classifier = &m;
+        assert_eq!(by_ref.predict_proba_flat(&flat, 2), vec![0.5]);
     }
 
     #[test]

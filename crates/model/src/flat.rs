@@ -1,0 +1,248 @@
+//! CSR-flattened forests: contiguous struct-of-arrays tree storage.
+//!
+//! A fitted [`crate::RandomForest`] stores each tree as its own
+//! `Vec<Node>` of 32-byte enum variants — every prediction hops between
+//! per-tree allocations and pattern-matches an enum per node. For the
+//! batch workloads Shahin runs (millions of invocations per explanation
+//! batch), that layout is memory-bound: the working set is scattered and
+//! each node touch loads fields the branch never reads.
+//!
+//! [`FlatForest`] re-packs the whole forest once, at fit time, into six
+//! contiguous arrays in the CSR `first_out`/`head` idiom:
+//!
+//! ```text
+//! first_out  : [u32; n_trees + 1]   tree t's nodes live at first_out[t]..first_out[t+1]
+//! feature    : [u32; n_nodes]       LEAF sentinel | CAT_BIT-flagged attr | numeric attr
+//! threshold  : [f64; n_nodes]       numeric cut, or the categorical code as f64
+//! left,right : [u32; n_nodes]       absolute child indices (pre-offset by the tree base)
+//! leaf_value : [f64; n_nodes]       leaf probability (0.0 on interior nodes)
+//! ```
+//!
+//! Traversal reads exactly two cache-line-friendly lanes per step
+//! (`feature[idx]`, `threshold[idx]`) plus one child index, with no enum
+//! discriminant and no per-tree pointer chase. The categorical code is
+//! stored as `f64::from(code)` — `u32 → f64` is exact, so `f64` equality
+//! against the instance's code is equivalent to the nested layout's `u32`
+//! equality and predictions stay **bit-identical** (same trees, same
+//! visit order, same `sum / n` reduction).
+
+use shahin_tabular::Feature;
+
+use crate::tree::{DecisionTree, Node};
+
+/// `feature` sentinel marking a leaf node.
+const LEAF: u32 = u32::MAX;
+/// `feature` flag marking a categorical (one-vs-rest equality) split.
+const CAT_BIT: u32 = 1 << 31;
+
+/// A whole random forest flattened into contiguous arrays.
+///
+/// Built once from fitted [`DecisionTree`]s; see the module docs for the
+/// memory map. All `predict*` entry points reproduce the nested layout's
+/// outputs bit for bit.
+#[derive(Clone, Debug)]
+pub struct FlatForest {
+    /// CSR offsets: tree `t` owns nodes `first_out[t]..first_out[t + 1]`,
+    /// its root at `first_out[t]`.
+    first_out: Vec<u32>,
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    leaf_value: Vec<f64>,
+}
+
+impl FlatForest {
+    /// Flattens fitted trees. Node ids are the tree's arena order shifted
+    /// by the tree's base offset, so child indices need no per-tree base
+    /// at traversal time.
+    pub(crate) fn from_trees(trees: &[DecisionTree]) -> FlatForest {
+        let n_nodes: usize = trees.iter().map(DecisionTree::n_nodes).sum();
+        let mut flat = FlatForest {
+            first_out: Vec::with_capacity(trees.len() + 1),
+            feature: Vec::with_capacity(n_nodes),
+            threshold: Vec::with_capacity(n_nodes),
+            left: Vec::with_capacity(n_nodes),
+            right: Vec::with_capacity(n_nodes),
+            leaf_value: Vec::with_capacity(n_nodes),
+        };
+        flat.first_out.push(0);
+        for tree in trees {
+            let base = *flat.first_out.last().expect("first_out starts at 0");
+            for node in tree.nodes() {
+                match *node {
+                    Node::Leaf { proba } => {
+                        flat.feature.push(LEAF);
+                        flat.threshold.push(0.0);
+                        flat.left.push(0);
+                        flat.right.push(0);
+                        flat.leaf_value.push(proba);
+                    }
+                    Node::SplitNum {
+                        attr,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        assert!(attr & CAT_BIT == 0, "attribute index overflows CAT_BIT");
+                        flat.feature.push(attr);
+                        flat.threshold.push(threshold);
+                        flat.left.push(base + left);
+                        flat.right.push(base + right);
+                        flat.leaf_value.push(0.0);
+                    }
+                    Node::SplitCat {
+                        attr,
+                        code,
+                        left,
+                        right,
+                    } => {
+                        assert!(attr & CAT_BIT == 0, "attribute index overflows CAT_BIT");
+                        flat.feature.push(attr | CAT_BIT);
+                        // u32 → f64 is exact, so f64 equality below is
+                        // equivalent to the nested layout's u32 equality.
+                        flat.threshold.push(f64::from(code));
+                        flat.left.push(base + left);
+                        flat.right.push(base + right);
+                        flat.leaf_value.push(0.0);
+                    }
+                }
+            }
+            let end = u32::try_from(flat.feature.len()).expect("node count fits in u32");
+            flat.first_out.push(end);
+        }
+        flat
+    }
+
+    /// Number of trees.
+    #[inline]
+    pub fn n_trees(&self) -> usize {
+        self.first_out.len() - 1
+    }
+
+    /// Total node count across all trees.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Walks one tree (by its root node index) for one row.
+    #[inline]
+    fn walk(&self, root: u32, row: &[Feature]) -> f64 {
+        let mut idx = root as usize;
+        loop {
+            let f = self.feature[idx];
+            if f == LEAF {
+                return self.leaf_value[idx];
+            }
+            let attr = (f & !CAT_BIT) as usize;
+            let go_left = if f & CAT_BIT != 0 {
+                f64::from(row[attr].cat()) == self.threshold[idx]
+            } else {
+                row[attr].num() < self.threshold[idx]
+            };
+            idx = if go_left {
+                self.left[idx]
+            } else {
+                self.right[idx]
+            } as usize;
+        }
+    }
+
+    /// Mean leaf probability across all trees for one row — bit-identical
+    /// to averaging the nested trees' `predict_proba` outputs.
+    pub fn predict_proba(&self, row: &[Feature]) -> f64 {
+        let mut sum = 0.0;
+        for &root in &self.first_out[..self.n_trees()] {
+            sum += self.walk(root, row);
+        }
+        sum / self.n_trees() as f64
+    }
+
+    /// Sums every tree's probability into `out[i]` for row `i` of the flat
+    /// row-major buffer, then divides by the tree count. Tree-outer /
+    /// row-inner, so one tree's arrays stay hot across the whole chunk;
+    /// the division (not a reciprocal multiply) keeps each row's result
+    /// bit-identical to [`Self::predict_proba`].
+    pub fn predict_chunk(&self, rows: &[Feature], n_attrs: usize, out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), out.len() * n_attrs, "ragged flat chunk");
+        for &root in &self.first_out[..self.n_trees()] {
+            for (sum, row) in out.iter_mut().zip(rows.chunks_exact(n_attrs)) {
+                *sum += self.walk(root, row);
+            }
+        }
+        let n = self.n_trees() as f64;
+        for sum in out.iter_mut() {
+            *sum /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use crate::tree::TreeParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shahin_tabular::{DatasetPreset, Instance};
+
+    fn fitted_trees(n: usize) -> (Vec<DecisionTree>, Vec<Instance>) {
+        let spec = DatasetPreset::Recidivism.spec(0.03);
+        let (data, labels) = spec.generate(11);
+        let mut rng = StdRng::seed_from_u64(21);
+        let trees = (0..n)
+            .map(|_| DecisionTree::fit(&data, &labels, &TreeParams::default(), &mut rng))
+            .collect();
+        let rows = (0..64.min(data.n_rows()))
+            .map(|r| data.instance(r))
+            .collect();
+        (trees, rows)
+    }
+
+    #[test]
+    fn csr_offsets_partition_the_arena() {
+        let (trees, _) = fitted_trees(4);
+        let flat = FlatForest::from_trees(&trees);
+        assert_eq!(flat.n_trees(), 4);
+        assert_eq!(
+            flat.n_nodes(),
+            trees.iter().map(DecisionTree::n_nodes).sum::<usize>()
+        );
+        for (t, tree) in trees.iter().enumerate() {
+            let span = flat.first_out[t + 1] - flat.first_out[t];
+            assert_eq!(span as usize, tree.n_nodes(), "tree {t}");
+        }
+    }
+
+    #[test]
+    fn flat_walk_is_bit_identical_to_nested_trees() {
+        let (trees, rows) = fitted_trees(5);
+        let flat = FlatForest::from_trees(&trees);
+        for row in &rows {
+            let nested: f64 =
+                trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / trees.len() as f64;
+            assert_eq!(flat.predict_proba(row), nested);
+            for (t, tree) in trees.iter().enumerate() {
+                assert_eq!(
+                    flat.walk(flat.first_out[t], row),
+                    tree.predict_proba(row),
+                    "tree {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_matches_per_row() {
+        let (trees, rows) = fitted_trees(3);
+        let flat = FlatForest::from_trees(&trees);
+        let n_attrs = rows[0].len();
+        let buf: Vec<Feature> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let mut out = vec![0.0; rows.len()];
+        flat.predict_chunk(&buf, n_attrs, &mut out);
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(*got, flat.predict_proba(row));
+        }
+    }
+}

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use shahin_tabular::{Dataset, Feature};
 
 use crate::classifier::Classifier;
+use crate::flat::FlatForest;
 use crate::tree::{DecisionTree, TreeParams};
 
 /// Random Forest hyperparameters.
@@ -32,17 +33,35 @@ impl Default for ForestParams {
     }
 }
 
+/// Which physical representation the forest's `predict*` paths traverse.
+///
+/// Both layouts encode the same fitted trees and produce bit-identical
+/// outputs (see [`FlatForest`]); `Nested` exists so benchmarks and
+/// equivalence tests can pin the legacy pointer-chasing layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForestLayout {
+    /// Contiguous CSR arrays (the default — cache-conscious hot path).
+    #[default]
+    Flat,
+    /// Per-tree `Vec<Node>` arenas (the legacy layout).
+    Nested,
+}
+
 /// A trained Random Forest binary classifier. Probability is the mean of
 /// the trees' leaf probabilities.
 #[derive(Clone, Debug)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
+    flat: FlatForest,
+    layout: ForestLayout,
 }
 
 impl RandomForest {
     /// Trains the forest: each tree sees a bootstrap sample (with
     /// replacement, same size as the training set) and considers `⌊√m⌋`
-    /// attributes per split.
+    /// attributes per split. The fitted trees are flattened into a
+    /// [`FlatForest`] here, once, so every `predict*` path can use the
+    /// contiguous layout.
     pub fn fit(
         data: &Dataset,
         labels: &[u8],
@@ -56,14 +75,19 @@ impl RandomForest {
         if tree_params.max_features == 0 {
             tree_params.max_features = ((data.n_attrs() as f64).sqrt().floor() as usize).max(1);
         }
-        let trees = (0..params.n_trees)
+        let trees: Vec<DecisionTree> = (0..params.n_trees)
             .map(|_| {
                 let mut tree_rng = StdRng::seed_from_u64(rng.gen());
                 let rows: Vec<u32> = (0..n).map(|_| tree_rng.gen_range(0..n as u32)).collect();
                 DecisionTree::fit_on_rows(data, labels, rows, &tree_params, &mut tree_rng)
             })
             .collect();
-        RandomForest { trees }
+        let flat = FlatForest::from_trees(&trees);
+        RandomForest {
+            trees,
+            flat,
+            layout: ForestLayout::default(),
+        }
     }
 
     /// Number of trees.
@@ -71,53 +95,112 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// The flattened representation.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
+    }
+
+    /// The layout `predict*` currently traverses.
+    pub fn layout(&self) -> ForestLayout {
+        self.layout
+    }
+
+    /// Selects the traversal layout (outputs are bit-identical either way).
+    pub fn set_layout(&mut self, layout: ForestLayout) {
+        self.layout = layout;
+    }
+
+    /// Builder-style [`Self::set_layout`].
+    pub fn with_layout(mut self, layout: ForestLayout) -> RandomForest {
+        self.layout = layout;
+        self
+    }
+
     /// Rows per worker below which batched prediction stays on one thread
     /// (tree traversal is cheap; spawning threads for small batches costs
     /// more than it saves).
     const MIN_ROWS_PER_WORKER: usize = 256;
 
-    /// Sums every tree's probability into `out[i]` for `rows[i]` and
-    /// divides by the tree count. The outer loop is over trees so one
-    /// tree's nodes stay hot in cache across the whole row chunk.
-    fn predict_chunk(&self, rows: &[Vec<Feature>], out: &mut [f64]) {
-        for tree in &self.trees {
-            for (sum, inst) in out.iter_mut().zip(rows) {
-                *sum += tree.predict_proba(inst);
+    /// Sums every tree's probability into `out[i]` for row `i` of the flat
+    /// row-major buffer and divides by the tree count. The outer loop is
+    /// over trees so one tree's nodes stay hot in cache across the whole
+    /// row chunk; the borrowed flat slice means callers never materialize
+    /// per-row `Vec<Feature>`s.
+    fn predict_chunk(&self, rows: &[Feature], n_attrs: usize, out: &mut [f64]) {
+        match self.layout {
+            ForestLayout::Flat => self.flat.predict_chunk(rows, n_attrs, out),
+            ForestLayout::Nested => {
+                for tree in &self.trees {
+                    for (sum, inst) in out.iter_mut().zip(rows.chunks_exact(n_attrs)) {
+                        *sum += tree.predict_proba(inst);
+                    }
+                }
+                // Divide (not multiply by a reciprocal) so each row's
+                // result is bit-identical to `predict_proba`'s `sum / n`.
+                let n = self.trees.len() as f64;
+                for sum in out.iter_mut() {
+                    *sum /= n;
+                }
             }
-        }
-        // Divide (not multiply by a reciprocal) so each row's result is
-        // bit-identical to `predict_proba`'s `sum / n`.
-        let n = self.trees.len() as f64;
-        for sum in out.iter_mut() {
-            *sum /= n;
         }
     }
 
-    /// [`Classifier::predict_proba_batch`] with an explicit worker count
+    /// [`Classifier::predict_proba_flat`] with an explicit worker count
     /// (clamped so each worker gets at least
     /// [`Self::MIN_ROWS_PER_WORKER`] rows). Row order — and hence the
-    /// output — is independent of the worker count.
-    fn predict_batch_with(&self, instances: &[Vec<Feature>], workers: usize) -> Vec<f64> {
-        let mut out = vec![0.0; instances.len()];
-        let workers = workers.min(instances.len() / Self::MIN_ROWS_PER_WORKER);
+    /// output — is independent of the worker count and of the layout.
+    pub fn predict_flat_with(&self, rows: &[Feature], n_attrs: usize, workers: usize) -> Vec<f64> {
+        if n_attrs == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(rows.len() % n_attrs, 0, "ragged flat buffer");
+        let n_rows = rows.len() / n_attrs;
+        let mut out = vec![0.0; n_rows];
+        let workers = workers.min(n_rows / Self::MIN_ROWS_PER_WORKER);
         if workers < 2 {
-            self.predict_chunk(instances, &mut out);
+            self.predict_chunk(rows, n_attrs, &mut out);
             return out;
         }
-        let chunk = instances.len().div_ceil(workers);
+        let chunk = n_rows.div_ceil(workers);
         std::thread::scope(|scope| {
-            for (rows, sums) in instances.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || self.predict_chunk(rows, sums));
+            for (rows, sums) in rows.chunks(chunk * n_attrs).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || self.predict_chunk(rows, n_attrs, sums));
             }
         });
         out
+    }
+
+    /// [`Classifier::predict_proba_batch`] with an explicit worker count:
+    /// flattens the rows into one contiguous buffer, then dispatches to
+    /// [`Self::predict_flat_with`].
+    pub fn predict_batch_with(&self, instances: &[Vec<Feature>], workers: usize) -> Vec<f64> {
+        let Some(first) = instances.first() else {
+            return Vec::new();
+        };
+        let n_attrs = first.len();
+        if n_attrs == 0 {
+            // Zero-arity rows cannot be framed in a flat buffer; only
+            // degenerate single-leaf trees can answer them anyway.
+            return instances.iter().map(|i| self.predict_proba(i)).collect();
+        }
+        let mut buf = Vec::with_capacity(instances.len() * n_attrs);
+        for inst in instances {
+            debug_assert_eq!(inst.len(), n_attrs, "ragged batch");
+            buf.extend_from_slice(inst);
+        }
+        self.predict_flat_with(&buf, n_attrs, workers)
     }
 }
 
 impl Classifier for RandomForest {
     fn predict_proba(&self, instance: &[Feature]) -> f64 {
-        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(instance)).sum();
-        sum / self.trees.len() as f64
+        match self.layout {
+            ForestLayout::Flat => self.flat.predict_proba(instance),
+            ForestLayout::Nested => {
+                let sum: f64 = self.trees.iter().map(|t| t.predict_proba(instance)).sum();
+                sum / self.trees.len() as f64
+            }
+        }
     }
 
     /// Single-dispatch batch evaluation: per-tree inner loop over the rows,
@@ -127,6 +210,14 @@ impl Classifier for RandomForest {
     fn predict_proba_batch(&self, instances: &[Vec<Feature>]) -> Vec<f64> {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         self.predict_batch_with(instances, workers)
+    }
+
+    /// The allocation-free fast path: batched rows arrive already packed
+    /// into one flat row-major buffer and go straight to the chunked
+    /// traversal loop.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.predict_flat_with(rows, n_attrs, workers)
     }
 }
 
@@ -207,6 +298,34 @@ mod tests {
     }
 
     #[test]
+    fn layouts_are_bit_identical() {
+        let spec = DatasetPreset::Recidivism.spec(0.03);
+        let (data, labels) = spec.generate(13);
+        let mut rng = StdRng::seed_from_u64(31);
+        let forest = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(forest.layout(), ForestLayout::Flat);
+        let nested = forest.clone().with_layout(ForestLayout::Nested);
+        let rows: Vec<Vec<_>> = (0..data.n_rows()).map(|r| data.instance(r)).collect();
+        for row in &rows {
+            assert_eq!(forest.predict_proba(row), nested.predict_proba(row));
+        }
+        for workers in [1usize, 2, 8] {
+            assert_eq!(
+                forest.predict_batch_with(&rows, workers),
+                nested.predict_batch_with(&rows, workers)
+            );
+        }
+    }
+
+    #[test]
     fn batch_matches_per_row_predictions_at_any_worker_count() {
         // Large enough (> 2 * MIN_ROWS_PER_WORKER) that the multi-worker
         // path actually splits, regardless of this machine's core count.
@@ -235,6 +354,13 @@ mod tests {
         // The default entry point agrees too.
         assert_eq!(
             forest.predict_proba_batch(&rows),
+            forest.predict_batch_with(&rows, 1)
+        );
+        // And so does the flat-buffer entry point.
+        let n_attrs = rows[0].len();
+        let buf: Vec<Feature> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        assert_eq!(
+            forest.predict_proba_flat(&buf, n_attrs),
             forest.predict_batch_with(&rows, 1)
         );
     }

@@ -105,6 +105,15 @@ impl<C: Classifier> Classifier for CountingClassifier<C> {
             .fetch_add(instances.len() as u64, Ordering::Relaxed);
         self.inner.predict_proba_batch(instances)
     }
+
+    /// Same accounting for the flat-buffer path: one atomic add of the
+    /// row count, then forward so the inner fast path survives.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        if let Some(n) = rows.len().checked_div(n_attrs) {
+            self.count.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        self.inner.predict_proba_flat(rows, n_attrs)
+    }
 }
 
 /// Wraps a classifier and busy-waits a fixed duration per invocation,
@@ -157,6 +166,20 @@ impl<C: Classifier> Classifier for SimulatedCost<C> {
         }
         out
     }
+
+    /// Flat-buffer path: same pay-per-row busy-wait after the inner
+    /// dispatch.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        let out = self.inner.predict_proba_flat(rows, n_attrs);
+        if !self.cost.is_zero() && n_attrs > 0 && !rows.is_empty() {
+            let total = self.cost * (rows.len() / n_attrs) as u32;
+            let start = Instant::now();
+            while start.elapsed() < total {
+                std::hint::spin_loop();
+            }
+        }
+        out
+    }
 }
 
 /// Wraps a classifier and *sleeps* a fixed duration per invocation,
@@ -202,6 +225,14 @@ impl<C: Classifier> Classifier for LatencyCost<C> {
             std::thread::sleep(self.latency * instances.len() as u32);
         }
         self.inner.predict_proba_batch(instances)
+    }
+
+    /// Flat-buffer path: one sleep covering every packed row, then forward.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        if !self.latency.is_zero() && n_attrs > 0 && !rows.is_empty() {
+            std::thread::sleep(self.latency * (rows.len() / n_attrs) as u32);
+        }
+        self.inner.predict_proba_flat(rows, n_attrs)
     }
 }
 
@@ -264,6 +295,21 @@ impl<C: Classifier> Classifier for TracedClassifier<C> {
         span.stop();
         out
     }
+
+    /// Flat-buffer path: identical accounting to the batch path — `n`
+    /// invocations, one batch call, one `predict_batch` span.
+    fn predict_proba_flat(&self, rows: &[Feature], n_attrs: usize) -> Vec<f64> {
+        let n = rows.len().checked_div(n_attrs).unwrap_or(0);
+        self.invocations.add(n as u64);
+        self.batch_calls.inc();
+        if !self.batch_latency.is_enabled() {
+            return self.inner.predict_proba_flat(rows, n_attrs);
+        }
+        let span = self.batch_latency.start();
+        let out = self.inner.predict_proba_flat(rows, n_attrs);
+        span.stop();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +343,22 @@ mod tests {
         let c = CountingClassifier::new(MajorityClass::fit(&[1]));
         c.predict_proba_batch(&[vec![], vec![], vec![]]);
         assert_eq!(c.invocations(), 3);
+    }
+
+    #[test]
+    fn flat_path_counts_rows_like_batch() {
+        let c = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let rows = vec![Feature::Cat(0); 6];
+        assert_eq!(c.predict_proba_flat(&rows, 2), vec![1.0; 3]);
+        assert_eq!(c.invocations(), 3);
+
+        let reg = MetricsRegistry::new();
+        let t = TracedClassifier::new(MajorityClass::fit(&[1]), &reg);
+        t.predict_proba_flat(&rows, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("classifier.invocations"), 2);
+        assert_eq!(snap.counter("classifier.batch_calls"), 1);
+        assert_eq!(snap.histograms["classifier.predict_batch"].count, 1);
     }
 
     #[test]

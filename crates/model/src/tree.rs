@@ -36,9 +36,10 @@ impl Default for TreeParams {
     }
 }
 
-/// Arena-allocated tree node.
+/// Arena-allocated tree node. Crate-visible so [`crate::flat::FlatForest`]
+/// can re-pack fitted trees into its contiguous arrays.
 #[derive(Clone, Debug)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         proba: f64,
     },
@@ -309,6 +310,12 @@ impl DecisionTree {
     /// Number of nodes (for size diagnostics).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node arena (root at index 0), for flattening.
+    #[inline]
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Tree depth.

@@ -236,6 +236,20 @@ impl Discretizer {
             .map(|(a, &c)| self.undiscretize(a, c, rng))
             .collect()
     }
+
+    /// Appends the reconstructed features for `codes` onto `out`: the same
+    /// draws, consuming the RNG in the same per-attribute order, as
+    /// [`Self::undiscretize_instance`] — but into a caller-owned flat
+    /// buffer, so batch producers pack many rows without a `Vec` per row.
+    pub fn undiscretize_into(&self, codes: &[u32], rng: &mut impl Rng, out: &mut Vec<Feature>) {
+        assert_eq!(codes.len(), self.bins.len(), "arity mismatch");
+        out.extend(
+            codes
+                .iter()
+                .enumerate()
+                .map(|(a, &c)| self.undiscretize(a, c, rng)),
+        );
+    }
 }
 
 #[cfg(test)]

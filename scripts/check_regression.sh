@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Perf-regression gate: reruns the parallel-driver, observability-overhead,
-# and serving benchmarks at CI scale and diffs the fresh artifacts against
-# the committed baselines under baselines/ci/ with bench_compare. Exits
-# non-zero when a deterministic count changed or a wall-time/speedup
-# tolerance was exceeded.
+# serving, and data-layout benchmarks at CI scale and diffs the fresh
+# artifacts against the committed baselines under baselines/ci/ with
+# bench_compare. Exits non-zero when a deterministic count changed or a
+# wall-time/speedup tolerance was exceeded.
 #
 #   scripts/check_regression.sh                     # gate against baselines
 #   scripts/check_regression.sh --update-baselines  # regenerate baselines
@@ -17,6 +17,9 @@
 #   SHAHIN_REG_OBS_REPS    obs-bench repetitions per arm     (default 7)
 #   SHAHIN_REG_SERVE_REQS  serve-bench requests per arm      (default 80)
 #   SHAHIN_REG_SERVE_CONC  serve-bench closed-loop clients   (default 4)
+#   SHAHIN_REG_LAYOUT_BATCH   tuples per layout-bench batch  (default 1000)
+#   SHAHIN_REG_LAYOUT_THREADS layout thread counts swept     (default 1,8)
+#   SHAHIN_REG_LAYOUT_REPS    layout runs per arm, min kept  (default 3)
 #   SHAHIN_REG_OUT         where fresh artifacts land        (default mktemp)
 # Comparison tolerances: see bench_compare (SHAHIN_CMP_TOL_*).
 set -euo pipefail
@@ -30,6 +33,9 @@ OBS_BATCH="${SHAHIN_REG_OBS_BATCH:-400}"
 OBS_REPS="${SHAHIN_REG_OBS_REPS:-7}"
 SERVE_REQS="${SHAHIN_REG_SERVE_REQS:-80}"
 SERVE_CONC="${SHAHIN_REG_SERVE_CONC:-4}"
+LAYOUT_BATCH="${SHAHIN_REG_LAYOUT_BATCH:-1000}"
+LAYOUT_THREADS="${SHAHIN_REG_LAYOUT_THREADS:-1,8}"
+LAYOUT_REPS="${SHAHIN_REG_LAYOUT_REPS:-3}"
 
 if [[ "${1:-}" == "--update-baselines" ]]; then
     OUT="$BASELINE_DIR"
@@ -40,7 +46,8 @@ else
 fi
 
 cargo build --release -p shahin-bench \
-    --bin bench_parallel --bin bench_obs --bin bench_serve --bin bench_compare
+    --bin bench_parallel --bin bench_obs --bin bench_serve --bin bench_layout \
+    --bin bench_compare
 
 # The obs bench runs first: its arms are short (~100ms) and timing-
 # sensitive, and running them on a machine still recovering from the
@@ -60,6 +67,11 @@ SHAHIN_PAR_BATCH="$BATCH" SHAHIN_PAR_LATENCY_US="$LATENCY" \
     SHAHIN_PAR_THREADS="$THREADS" SHAHIN_PAR_OUT="$OUT/BENCH_parallel.json" \
     target/release/bench_parallel
 
+echo "== data-layout benchmark (batch=$LAYOUT_BATCH, threads=$LAYOUT_THREADS, reps=$LAYOUT_REPS)"
+SHAHIN_LAYOUT_BATCH="$LAYOUT_BATCH" SHAHIN_LAYOUT_THREADS="$LAYOUT_THREADS" \
+    SHAHIN_LAYOUT_REPS="$LAYOUT_REPS" SHAHIN_LAYOUT_OUT="$OUT/BENCH_layout.json" \
+    target/release/bench_layout
+
 if [[ "${1:-}" == "--update-baselines" ]]; then
     echo "baselines regenerated under $BASELINE_DIR/ — review and commit them"
     exit 0
@@ -69,4 +81,5 @@ echo "== gating against $BASELINE_DIR/"
 target/release/bench_compare parallel "$BASELINE_DIR/BENCH_parallel.json" "$OUT/BENCH_parallel.json"
 target/release/bench_compare obs "$BASELINE_DIR/BENCH_obs.json" "$OUT/BENCH_obs.json"
 target/release/bench_compare serve "$BASELINE_DIR/BENCH_serve.json" "$OUT/BENCH_serve.json"
+target/release/bench_compare layout "$BASELINE_DIR/BENCH_layout.json" "$OUT/BENCH_layout.json"
 echo "perf-regression gate passed (fresh artifacts in $OUT)"

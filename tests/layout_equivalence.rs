@@ -1,0 +1,193 @@
+//! Equivalence tests for the cache-conscious layouts (DESIGN.md §5g): the
+//! bitset containment engine must agree bit-for-bit with the legacy
+//! postings index, the CSR-flattened forest with the nested trees, and the
+//! end-to-end drivers must produce identical explanations and invocation
+//! counts under either representation at 1/2/8 threads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shahin::{run, BatchConfig, ExplainerKind, Explanation, MatchEngine, Method};
+use shahin_explain::{ExplainContext, KernelShapExplainer, LimeExplainer, LimeParams, ShapParams};
+use shahin_fim::{BitsetDomain, Item, Itemset, ItemsetIndex, MatchScratch};
+use shahin_model::{Classifier, CountingClassifier, ForestLayout, ForestParams, RandomForest};
+use shahin_tabular::{train_test_split, Dataset, DatasetPreset};
+
+/// A random non-empty itemset over `n_attrs` attributes with codes below
+/// `card`: between 1 and 3 items on distinct attributes.
+fn itemset_strategy(n_attrs: usize, card: u32) -> impl Strategy<Value = Itemset> {
+    proptest::collection::btree_map(0..n_attrs, 0..card, 1..=3)
+        .prop_map(|m| Itemset::new(m.into_iter().map(|(a, c)| Item::new(a, c)).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitset containment == postings containment == brute force, on
+    /// random families and rows. `n_attrs × card` ranges past 64 so the
+    /// multi-word (`W > 1`) mask path is exercised, and rows draw codes
+    /// beyond `card` so out-of-dictionary handling is covered.
+    #[test]
+    fn bitset_matches_postings_and_brute_force(
+        sets in proptest::collection::vec(itemset_strategy(12, 10), 1..24),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..14, 12), 1..16),
+    ) {
+        let domain = BitsetDomain::new(&sets);
+        let index = ItemsetIndex::new(&sets);
+        let mut scratch = MatchScratch::new();
+        for row in &rows {
+            let via_bits = domain.contained_in_with(row, &mut scratch);
+            let via_postings = index.contained_in_with(row, &mut scratch.counts);
+            prop_assert_eq!(&via_bits, &via_postings, "row {:?}", row);
+            let brute: Vec<u32> = sets
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contained_in(row))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(via_bits, brute, "row {:?}", row);
+        }
+    }
+
+    /// A domain wider than one `u64` word: every tracked itemset is still
+    /// found on a row made of exactly its items.
+    #[test]
+    fn wide_domains_overflow_words_correctly(
+        sets in proptest::collection::vec(itemset_strategy(20, 12), 8..32),
+    ) {
+        let domain = BitsetDomain::new(&sets);
+        if domain.n_bits() <= 64 {
+            // Narrow draw; the single-word path is covered elsewhere.
+            return Ok(());
+        }
+        prop_assert!(domain.words() >= 2);
+        let mut scratch = MatchScratch::new();
+        for (id, set) in sets.iter().enumerate() {
+            // A row agreeing with `set` everywhere it constrains and
+            // out-of-dictionary (no bits) elsewhere.
+            let mut row = vec![u32::MAX; 20];
+            for item in set.items() {
+                row[item.attr as usize] = item.code;
+            }
+            let ids = domain.contained_in_with(&row, &mut scratch);
+            prop_assert!(ids.contains(&(id as u32)), "itemset {id} lost");
+            for &got in &ids {
+                prop_assert!(sets[got as usize].contained_in(&row));
+            }
+        }
+    }
+}
+
+fn forest_world() -> (Dataset, RandomForest, ExplainContext, Dataset) {
+    let (data, labels) = DatasetPreset::CensusIncome.spec(0.05).generate(17);
+    let mut rng = StdRng::seed_from_u64(17);
+    let split = train_test_split(&data, &labels, 1.0 / 3.0, &mut rng);
+    let forest = RandomForest::fit(
+        &split.train,
+        &split.train_labels,
+        &ForestParams {
+            n_trees: 12,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let ctx = ExplainContext::fit(&split.train, 500, &mut rng);
+    let rows: Vec<usize> = (0..30.min(split.test.n_rows())).collect();
+    let batch = split.test.select(&rows);
+    (split.train, forest, ctx, batch)
+}
+
+#[test]
+fn flat_and_nested_predictions_are_bit_identical_at_every_worker_count() {
+    let (train, forest, _, _) = forest_world();
+    assert_eq!(forest.layout(), ForestLayout::Flat);
+    let nested = forest.clone().with_layout(ForestLayout::Nested);
+    let instances: Vec<Vec<shahin_tabular::Feature>> = (0..train.n_rows().min(200))
+        .map(|r| train.instance(r))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let flat_out = forest.predict_batch_with(&instances, workers);
+        let nested_out = nested.predict_batch_with(&instances, workers);
+        assert_eq!(flat_out, nested_out, "workers {workers}");
+    }
+    for inst in &instances {
+        assert_eq!(forest.predict_proba(inst), nested.predict_proba(inst));
+    }
+}
+
+fn assert_same_explanations(a: &[Explanation], b: &[Explanation], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: tuple count");
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (Explanation::Weights(w1), Explanation::Weights(w2)) => {
+                assert_eq!(w1, w2, "{what}: weights differ")
+            }
+            (Explanation::Rule(r1), Explanation::Rule(r2)) => {
+                assert_eq!(r1, r2, "{what}: rules differ")
+            }
+            _ => panic!("{what}: mismatched explanation kinds"),
+        }
+    }
+}
+
+/// The tentpole guarantee, end-to-end: swapping both hot-path layouts at
+/// once (bitset+flat vs postings+nested) changes nothing observable — the
+/// LIME and SHAP drivers return bit-identical explanations and invocation
+/// counts at 1, 2 and 8 threads.
+#[test]
+fn drivers_are_bit_identical_across_layouts_and_threads() {
+    let (_, forest, ctx, batch) = forest_world();
+    let flat_clf = CountingClassifier::new(forest.clone());
+    let nested_clf = CountingClassifier::new(forest.with_layout(ForestLayout::Nested));
+    let kinds = [
+        ExplainerKind::Lime(LimeExplainer::new(LimeParams {
+            n_samples: 120,
+            ..Default::default()
+        })),
+        ExplainerKind::Shap(KernelShapExplainer::new(ShapParams {
+            n_samples: 64,
+            ..Default::default()
+        })),
+    ];
+    for kind in &kinds {
+        for threads in [1usize, 2, 8] {
+            let config = |engine| BatchConfig {
+                n_threads: Some(threads),
+                match_engine: engine,
+                ..Default::default()
+            };
+            let method = |engine| {
+                if threads == 1 {
+                    Method::Batch(config(engine))
+                } else {
+                    Method::BatchParallel(config(engine))
+                }
+            };
+            flat_clf.reset();
+            let new_run = run(
+                &method(MatchEngine::Bitset),
+                kind,
+                &ctx,
+                &flat_clf,
+                &batch,
+                23,
+            );
+            let new_inv = flat_clf.invocations();
+            nested_clf.reset();
+            let old_run = run(
+                &method(MatchEngine::Postings),
+                kind,
+                &ctx,
+                &nested_clf,
+                &batch,
+                23,
+            );
+            let old_inv = nested_clf.invocations();
+            let what = format!("{} x{threads}", kind.name());
+            assert_eq!(new_inv, old_inv, "{what}: invocation counts differ");
+            assert_same_explanations(&new_run.explanations, &old_run.explanations, &what);
+        }
+    }
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use shahin::{PerturbationStore, TaggedLruCache};
 use shahin_explain::LabeledSample;
-use shahin_fim::{Item, Itemset};
+use shahin_fim::{Item, Itemset, MatchScratch};
 
 const N_ATTRS: usize = 5;
 
@@ -71,7 +71,7 @@ proptest! {
             }
             store.insert(id, sample);
         }
-        let mut scratch = Vec::new();
+        let mut scratch = MatchScratch::new();
         let matched = store.matching(&probe, &mut scratch);
         // Sound: every matched itemset really is contained and stocked.
         for &id in &matched {
