@@ -26,6 +26,11 @@
 //!   counts must match the baseline exactly (the warm engine and the
 //!   request schedule are deterministic), and warm mean latency /
 //!   throughput may drift at most the wall tolerance.
+//! * `obs_live` — the fresh run's live-scrape `overhead_pct` must stay
+//!   under its own `budget_pct` plus `SHAHIN_CMP_TOL_OVERHEAD_PCT`
+//!   extra slack, the scraper must have completed at least one poll,
+//!   and scraped throughput may shrink at most the wall tolerance
+//!   against the baseline.
 //! * `layout` — inside the fresh run, both layout arms must agree
 //!   bit-for-bit (invocations, explanation fingerprints, lookup counts;
 //!   parallel Anchor invocations get the Anchor tolerance); deterministic
@@ -276,6 +281,47 @@ fn compare_serve(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Strin
     Ok(())
 }
 
+fn compare_obs_live(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    // Same rationale as `obs`: the budget targets quiet hardware and a
+    // shared CI runner can add noise to runs this short.
+    let tol_overhead = env_f64("SHAHIN_CMP_TOL_OVERHEAD_PCT", 0.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &[
+            "dataset",
+            "requests",
+            "concurrency",
+            "warm_rows",
+            "seed",
+            "reps",
+        ],
+    )?;
+
+    let budget = num(fresh, &["budget_pct"], "fresh")? + tol_overhead;
+    let overhead = num(fresh, &["overhead_pct"], "fresh")?;
+    gate.check(
+        overhead < budget,
+        format!("live-scrape overhead {overhead:.2}% within the {budget}% budget"),
+    );
+    let scrapes = num(fresh, &["scrapes"], "fresh")?;
+    gate.check(
+        scrapes > 0.0,
+        format!("scraper completed {scrapes} metrics polls"),
+    );
+
+    // Throughput is hardware-dependent: wall tolerance.
+    let b_rps = num(base, &["scrape_rps"], "baseline")?;
+    let f_rps = num(fresh, &["scrape_rps"], "fresh")?;
+    gate.check(
+        f_rps >= b_rps * (1.0 - tol_wall / 100.0),
+        format!("scraped throughput {f_rps:.1} req/s within {tol_wall}% of baseline {b_rps:.1}"),
+    );
+    Ok(())
+}
+
 fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
     let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
     let tol_anchor = env_f64("SHAHIN_CMP_TOL_ANCHOR_PCT", 15.0);
@@ -384,7 +430,8 @@ fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Stri
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let [kind, base_path, fresh_path] = args else {
         return Err(
-            "usage: bench_compare <parallel|obs|serve|layout> <baseline.json> <fresh.json>".into(),
+            "usage: bench_compare <parallel|obs|serve|obs_live|layout> <baseline.json> <fresh.json>"
+                .into(),
         );
     };
     let base = load(base_path)?;
@@ -395,6 +442,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         "parallel" => compare_parallel(&mut gate, &base, &fresh)?,
         "obs" => compare_obs(&mut gate, &base, &fresh)?,
         "serve" => compare_serve(&mut gate, &base, &fresh)?,
+        "obs_live" => compare_obs_live(&mut gate, &base, &fresh)?,
         "layout" => compare_layout(&mut gate, &base, &fresh)?,
         other => return Err(format!("unknown artifact kind '{other}'")),
     }

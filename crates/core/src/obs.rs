@@ -164,6 +164,24 @@ pub mod names {
     /// End-to-end per-request latency, admission to response write
     /// (histogram, ns).
     pub const SERVE_REQUEST_LATENCY: &str = "serve.request_latency";
+    /// Admin `metrics`/`stats` frames answered (scrapes of the live
+    /// observability plane; never counted as explain traffic).
+    pub const SERVE_SCRAPES: &str = "serve.scrapes";
+    /// Monitor-thread ticks completed (each tick samples gauges and
+    /// feeds the windowed aggregator).
+    pub const SERVE_MONITOR_TICKS: &str = "serve.monitor_ticks";
+    /// Reader threads currently attached to live client connections
+    /// (gauge, sampled by the monitor from the server's atomic).
+    pub const SERVE_LIVE_CONNECTIONS: &str = "serve.live_connections";
+    /// Requests currently being explained by the batcher (gauge: batch
+    /// size while a flush is in flight, 0 between flushes).
+    pub const SERVE_BATCH_INFLIGHT: &str = "serve.batch_inflight";
+    /// Itemset entries resident in the warm perturbation store (gauge,
+    /// sampled by the monitor each tick).
+    pub const SERVE_WARM_ENTRIES: &str = "serve.warm_entries";
+    /// Bytes resident in the warm perturbation store (gauge, sampled by
+    /// the monitor each tick).
+    pub const SERVE_WARM_BYTES: &str = "serve.warm_bytes";
 
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
@@ -227,6 +245,8 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::SERVE_QUARANTINED,
         names::SERVE_CONNECTIONS,
         names::SERVE_REFRESHES,
+        names::SERVE_SCRAPES,
+        names::SERVE_MONITOR_TICKS,
     ] {
         reg.counter(counter);
     }
@@ -235,6 +255,10 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::STORE_PEAK_BYTES,
         names::SERVE_QUEUE_DEPTH,
         names::SERVE_DRAINED,
+        names::SERVE_LIVE_CONNECTIONS,
+        names::SERVE_BATCH_INFLIGHT,
+        names::SERVE_WARM_ENTRIES,
+        names::SERVE_WARM_BYTES,
         names::PROVENANCE_RECORDS,
         names::PROVENANCE_MATCHED_ITEMSETS,
         names::PROVENANCE_STORE_MISSES,

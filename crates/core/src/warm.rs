@@ -211,6 +211,19 @@ impl<C: Classifier> WarmEngine<C> {
         &self.obs
     }
 
+    /// Itemset entries resident in the warm perturbation store right
+    /// now (briefly takes the state read lock; the serve monitor samples
+    /// this into the `serve.warm_entries` gauge).
+    pub fn store_entries(&self) -> usize {
+        self.state.read().store.len()
+    }
+
+    /// Bytes resident in the warm perturbation store right now (sampled
+    /// into `serve.warm_bytes`).
+    pub fn store_bytes(&self) -> usize {
+        self.state.read().store.used_bytes()
+    }
+
     /// Rebuilds the store with the prime seed (bit-identical contents,
     /// so served explanations are epoch-invariant) and bumps the epoch.
     pub fn refresh(&self) {

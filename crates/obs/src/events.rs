@@ -500,4 +500,57 @@ mod tests {
         assert!(trace.contains("\"dropped_events\": 0"));
         assert_eq!(count(&trace, "{"), count(&trace, "}"));
     }
+
+    #[test]
+    fn concurrent_drop_newest_reconciles_exactly() {
+        // 8 writers push far past a tiny per-stripe capacity. Whatever
+        // mix of stripe collisions the thread-id assignment produces,
+        // the invariant must hold exactly: every push either landed in a
+        // stripe or bumped the dropped counter — nothing double-counted,
+        // nothing lost silently.
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 200;
+        const CAP: usize = 50;
+
+        let sink = Arc::new(EventSink::with_capacity(CAP));
+        let barrier = Arc::new(std::sync::Barrier::new(WRITERS));
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let sink = Arc::clone(&sink);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let phase: Arc<str> = Arc::from(format!("writer.{w}"));
+                barrier.wait();
+                for i in 0..PER_WRITER {
+                    sink.complete(&phase, i as u64, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let pushed = (WRITERS * PER_WRITER) as u64;
+        let retained = sink.len() as u64;
+        let dropped = sink.dropped();
+        assert_eq!(
+            dropped,
+            pushed - retained,
+            "dropped must reconcile with pushed - retained (pushed={pushed}, retained={retained})"
+        );
+        // Capacity is a hard per-stripe bound, and 8 writers into a
+        // 50-slot cap must actually exercise the drop path.
+        assert!(retained <= (N_EVENT_STRIPES * CAP) as u64);
+        assert!(retained >= CAP as u64, "at least one stripe fills");
+        assert!(dropped > 0, "test must exercise drop-newest");
+        for stripe_len in sink.records().iter().fold(
+            std::collections::BTreeMap::<u64, usize>::new(),
+            |mut acc, r| {
+                *acc.entry(r.tid % N_EVENT_STRIPES as u64).or_default() += 1;
+                acc
+            },
+        ) {
+            assert!(stripe_len.1 <= CAP, "stripe over capacity: {stripe_len:?}");
+        }
+    }
 }

@@ -30,6 +30,15 @@
 //!   [`ProvenanceRecord`] per tuple (matched itemsets, reused vs fresh
 //!   samples, invocations, wall time), exported as JSONL
 //!   (`--provenance-out`).
+//! * [`WindowedAggregator`] / [`SloTracker`] — live views for
+//!   long-running processes: a monitor thread snapshots the registry
+//!   every tick and differences consecutive snapshots into a bounded
+//!   ring of per-window deltas (counter rates, gauge last-values,
+//!   windowed histogram quantiles), from which SLO burn-rate and
+//!   error-budget gauges are derived (see [`window`]).
+//! * Prometheus text exposition — [`MetricsSnapshot::to_prometheus`]
+//!   renders the label-free `# TYPE`/`_total`/`_bucket` wire format for
+//!   scrapers, alongside the JSON export (see [`prometheus`]).
 //!
 //! A registry can also be created [`MetricsRegistry::disabled`]: every
 //! handle it vends is a no-op (a `None` inside, checked by one predictable
@@ -45,9 +54,11 @@
 
 pub mod events;
 pub mod json;
+pub mod prometheus;
 pub mod provenance;
 pub mod registry;
 pub mod snapshot;
+pub mod window;
 
 pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
 pub use json::Json;
@@ -57,6 +68,7 @@ pub use registry::{
     ValueHistogram, N_BUCKETS, N_STRIPES, SPAN_PREFIX,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use window::{SloConfig, SloStatus, SloTracker, WindowDelta, WindowedAggregator};
 
 /// Starts an RAII span timer on a registry: `span!(reg, "fim.mine")`
 /// records elapsed wall time into the histogram `span.fim.mine` when the

@@ -25,21 +25,28 @@ impl HistogramSnapshot {
     }
 
     /// Approximate quantile `q` in [0, 1]: the upper bound of the bucket
-    /// containing the q-th sample. Log2 buckets make this exact to within
-    /// a factor of 2, which is plenty for latency tails.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
+    /// containing the q-th sample, or `None` when the histogram is empty
+    /// (matching [`crate::registry::Histogram::quantile_ns`]). Log2
+    /// buckets make this exact to within a factor of 2, which is plenty
+    /// for latency tails.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for &(i, n) in &self.buckets {
             seen += n;
             if seen >= rank {
-                return bucket_upper_ns(i);
+                return Some(bucket_upper_ns(i));
             }
         }
-        self.buckets.last().map_or(0, |&(i, _)| bucket_upper_ns(i))
+        self.buckets.last().map(|&(i, _)| bucket_upper_ns(i))
     }
 }
 
@@ -114,7 +121,7 @@ impl MetricsSnapshot {
                     h.count,
                     fmt_ns(h.sum_ns),
                     fmt_ns(h.mean_ns()),
-                    fmt_ns(h.quantile_ns(0.99)),
+                    fmt_ns_opt(h.quantile_ns(0.99)),
                 ));
             }
         }
@@ -150,8 +157,8 @@ impl MetricsSnapshot {
                     h.count,
                     fmt_ns(h.sum_ns),
                     fmt_ns(h.mean_ns()),
-                    fmt_ns(h.quantile_ns(0.5)),
-                    fmt_ns(h.quantile_ns(0.99)),
+                    fmt_ns_opt(h.quantile_ns(0.5)),
+                    fmt_ns_opt(h.quantile_ns(0.99)),
                 ));
             }
         }
@@ -169,8 +176,8 @@ impl MetricsSnapshot {
                     h.count,
                     h.sum_ns,
                     h.mean_ns(),
-                    fmt_plain(h.quantile_ns(0.5)),
-                    fmt_plain(h.quantile_ns(0.99)),
+                    fmt_plain_opt(h.quantile_ns(0.5)),
+                    fmt_plain_opt(h.quantile_ns(0.99)),
                 ));
             }
         }
@@ -245,6 +252,15 @@ fn fmt_plain(v: u64) -> String {
     } else {
         v.to_string()
     }
+}
+
+/// Quantile rendering: an empty histogram has no quantiles, shown as "-".
+fn fmt_plain_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), fmt_plain)
+}
+
+fn fmt_ns_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), fmt_ns)
 }
 
 /// Human-scaled duration: ns → µs → ms → s.
@@ -331,10 +347,36 @@ mod tests {
         let snap = sample_snapshot();
         let h = &snap.histograms["classifier.predict"];
         assert_eq!(h.count, 3);
-        assert!(h.quantile_ns(0.0) >= 900);
-        assert!(h.quantile_ns(1.0) >= 1_500_000);
-        assert!(h.quantile_ns(0.5) >= 1_500 && h.quantile_ns(0.5) < 1_500_000);
-        assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), 0);
+        assert!(h.quantile_ns(0.0).unwrap() >= 900);
+        assert!(h.quantile_ns(1.0).unwrap() >= 1_500_000);
+        let p50 = h.quantile_ns(0.5).unwrap();
+        assert!((1_500..1_500_000).contains(&p50));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        // Matches registry::Histogram::quantile_ns: empty means None, not
+        // a conjured 0 that downstream math would mistake for "fast".
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.quantile_ns(0.0), None);
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert_eq!(h.quantile_ns(1.0), None);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_land_in_its_bucket() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("solo").record_ns(900);
+        let snap = reg.snapshot();
+        let h = &snap.histograms["solo"];
+        assert_eq!(h.count, 1);
+        let expected = crate::registry::bucket_upper_ns(crate::registry::bucket_index(900));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), Some(expected), "q={q}");
+        }
+        // Non-finite q clamps rather than panicking, same as the registry.
+        assert_eq!(h.quantile_ns(f64::NAN), Some(expected));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   that coalesces concurrent requests into dynamic micro-batches
 //!   (flush on `max_batch` or `max_delay`) so co-batched tuples share
 //!   the warm [`shahin::PerturbationStore`] and Anchor caches,
+//! - [`monitor`]: the server-owned monitor thread feeding the live
+//!   observability plane — per-tick gauges, the windowed aggregator
+//!   behind the `stats` admin frame, `slo.*` burn-rate gauges, and
+//!   atomic `--metrics-out` rewrites,
 //! - [`signal`]: SIGINT/SIGTERM watching for graceful drains.
 //!
 //! Served explanations are bit-identical to the offline
@@ -44,11 +48,13 @@
 //! println!("drained cleanly ({served} requests served)");
 //! ```
 
+pub mod monitor;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod signal;
 
-pub use protocol::{parse_request, Request, WireError};
+pub use monitor::write_atomic;
+pub use protocol::{parse_request, MetricsFormat, Request, StatsSummary, WireError};
 pub use queue::{Admission, PushError};
 pub use server::{ServeConfig, Server, ServerHandle, MAX_FRAME_LEN};

@@ -1,0 +1,188 @@
+//! The server-owned monitor thread: the heartbeat of the live
+//! observability plane.
+//!
+//! Every `monitor_interval` the monitor samples the instantaneous state
+//! only it can see consistently — admission-queue depth, live
+//! connections, warm-store entries/bytes — into gauges, snapshots the
+//! whole registry, and feeds the snapshot to the
+//! [`WindowedAggregator`], which differences it against the previous
+//! tick into a bounded ring of per-window deltas. The [`SloTracker`]
+//! then re-derives `slo.*` burn-rate/budget gauges from the merged
+//! ring, and, when `--metrics-out` is set, the current snapshot is
+//! rewritten to disk via temp-file + atomic rename (a tailing reader
+//! never observes a torn document).
+//!
+//! The thread is owned by the server: [`crate::Server::start`] spawns
+//! it and [`crate::ServerHandle::wait`] joins it. It exits after the
+//! batcher reports the drain complete, taking one final tick first so
+//! the last window and the on-disk file reflect the drain tail.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use shahin::obs::names;
+use shahin::MetricsRegistry;
+use shahin_model::Classifier;
+use shahin_obs::{SloConfig, SloTracker, WindowedAggregator};
+
+use crate::protocol::StatsSummary;
+use crate::server::Shared;
+
+/// Windowing and SLO state shared between the monitor thread (writer)
+/// and the `stats` admin frame (reader).
+pub(crate) struct MonitorState {
+    pub(crate) agg: Mutex<WindowedAggregator>,
+    pub(crate) slo: SloTracker,
+    pub(crate) started: Instant,
+}
+
+impl MonitorState {
+    pub(crate) fn new(windows: usize, slo: SloConfig) -> MonitorState {
+        MonitorState {
+            agg: Mutex::new(WindowedAggregator::new(windows)),
+            slo: SloTracker::new(vec![slo]),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// same-directory temp file first and are renamed over the target, so a
+/// concurrent reader sees either the old document or the new one in
+/// full, never a torn prefix. Parent directories are created as needed.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    // Rename is only atomic within a filesystem, so the temp file must
+    // live in the target's directory; the pid suffix keeps concurrent
+    // processes (e.g. two servers pointed at one file) from colliding.
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// One monitor tick: sample instantaneous gauges, difference the
+/// registry into the window ring, refresh SLO gauges, rewrite the
+/// metrics file.
+fn tick<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
+    obs.gauge(names::SERVE_QUEUE_DEPTH)
+        .set(shared.queue.len() as u64);
+    obs.gauge(names::SERVE_LIVE_CONNECTIONS)
+        .set(shared.live_connections.load(Ordering::Relaxed));
+    obs.gauge(names::SERVE_WARM_ENTRIES)
+        .set(shared.engine.store_entries() as u64);
+    obs.gauge(names::SERVE_WARM_BYTES)
+        .set(shared.engine.store_bytes() as u64);
+    obs.counter(names::SERVE_MONITOR_TICKS).inc();
+
+    {
+        let mut agg = shared.monitor.agg.lock().unwrap();
+        agg.tick(obs.snapshot());
+        shared.monitor.slo.update(&agg, obs);
+    }
+
+    if let Some(path) = &shared.config.metrics_out {
+        // Best-effort: a transient disk error must not kill the monitor;
+        // the CLI's final write surfaces persistent ones.
+        let _ = write_atomic(path, &obs.snapshot().to_json());
+    }
+}
+
+/// Runs until the batcher reports the drain complete, ticking every
+/// `monitor_interval` (checking for the drain every `poll_interval` so
+/// shutdown is never blocked on a long monitor sleep).
+pub(crate) fn monitor_loop<C: Classifier>(shared: Arc<Shared<C>>) {
+    let obs = shared.obs().clone();
+    loop {
+        let drained = shared.drained();
+        tick(&shared, &obs);
+        if drained {
+            break;
+        }
+        let deadline = Instant::now() + shared.config.monitor_interval;
+        loop {
+            let now = Instant::now();
+            if now >= deadline || shared.drained() {
+                break;
+            }
+            std::thread::sleep(shared.config.poll_interval.min(deadline - now));
+        }
+    }
+}
+
+/// Computes the `stats` admin frame's windowed summary.
+pub(crate) fn stats_summary<C: Classifier>(shared: &Shared<C>) -> StatsSummary {
+    let agg = shared.monitor.agg.lock().unwrap();
+    let merged = agg.merged();
+    let windows = agg.len();
+    drop(agg);
+
+    let hits = merged.counter(names::STORE_HITS);
+    let misses = merged.counter(names::STORE_MISSES);
+    let lookups = hits + misses;
+    let slo = shared
+        .monitor
+        .slo
+        .configs()
+        .first()
+        .map(|config| SloTracker::evaluate(config, &merged))
+        .unwrap_or_default();
+
+    StatsSummary {
+        window_secs: merged.duration.as_secs_f64(),
+        windows,
+        req_per_s: merged.rate_per_sec(names::SERVE_REQUESTS),
+        p50_ns: merged.quantile_ns(names::SERVE_REQUEST_LATENCY, 0.5),
+        p99_ns: merged.quantile_ns(names::SERVE_REQUEST_LATENCY, 0.99),
+        hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        queue_depth: shared.queue.len() as u64,
+        live_connections: shared.live_connections.load(Ordering::Relaxed),
+        slo_burn_rate: slo.burn_rate,
+        slo_budget_remaining: slo.budget_remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_whole_documents() {
+        let dir = std::env::temp_dir().join(format!("shahin_atomic_{}", std::process::id()));
+        let path = dir.join("metrics.json");
+        write_atomic(&path, "{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}\n");
+        write_atomic(&path, "{\"b\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"b\": 2}\n");
+        // No temp debris left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not persist");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_rejects_directoryless_targets() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
+    }
+}

@@ -12,7 +12,17 @@
 //! {"id": 2, "method": "explain", "row": 3, "deadline_ms": 250}
 //! {"id": 3, "method": "ping"}
 //! {"id": 4, "method": "shutdown"}
+//! {"id": 5, "method": "metrics"}
+//! {"id": 6, "method": "metrics", "format": "json"}
+//! {"id": 7, "method": "stats"}
 //! ```
+//!
+//! `metrics` and `stats` are admin frames (loopback-gated like
+//! `shutdown`): `metrics` returns the full registry in one frame —
+//! Prometheus text exposition by default, the JSON snapshot with
+//! `"format": "json"` — and `stats` returns a compact windowed summary
+//! (req/s, windowed p50/p99, warm hit rate, SLO burn) computed by the
+//! server's monitor thread.
 //!
 //! ## Responses
 //!
@@ -57,6 +67,66 @@ pub enum Request {
         /// Client-chosen frame id.
         id: u64,
     },
+    /// Admin: scrape the full metrics registry in one frame.
+    Metrics {
+        /// Client-chosen frame id.
+        id: u64,
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// Admin: compact windowed summary from the monitor thread.
+    Stats {
+        /// Client-chosen frame id.
+        id: u64,
+    },
+}
+
+/// Exposition format of a `metrics` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text format (the default).
+    Prometheus,
+    /// The `MetricsSnapshot::to_json` document, inlined in the frame.
+    Json,
+}
+
+impl MetricsFormat {
+    /// Wire name of the format, echoed in the response frame.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsFormat::Prometheus => "prometheus",
+            MetricsFormat::Json => "json",
+        }
+    }
+}
+
+/// The compact windowed summary behind the `stats` admin frame. All
+/// rates and quantiles are computed over the monitor's retained windows,
+/// not since process start; `None` quantiles mean no traffic landed in
+/// the look-back period.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Wall time covered by the retained windows, seconds.
+    pub window_secs: f64,
+    /// Number of complete windows merged into this summary.
+    pub windows: usize,
+    /// Served requests per second over the window.
+    pub req_per_s: f64,
+    /// Windowed request-latency p50, nanoseconds.
+    pub p50_ns: Option<u64>,
+    /// Windowed request-latency p99, nanoseconds.
+    pub p99_ns: Option<u64>,
+    /// Warm-store hit rate over the window, in [0, 1] (0 when the store
+    /// saw no lookups).
+    pub hit_rate: f64,
+    /// Admission-queue depth right now.
+    pub queue_depth: u64,
+    /// Live client connections right now.
+    pub live_connections: u64,
+    /// SLO burn rate (1.0 = burning budget exactly as fast as allowed).
+    pub slo_burn_rate: f64,
+    /// Fraction of the window's error budget remaining, in [0, 1].
+    pub slo_budget_remaining: f64,
 }
 
 /// A typed error, rendered as an error frame.
@@ -81,12 +151,12 @@ impl WireError {
     }
 
     /// 403: an admin frame from a peer that may not send one (remote
-    /// shutdown is off by default; see `ServeConfig::allow_remote_shutdown`).
+    /// admin is off by default; see `ServeConfig::allow_remote_shutdown`).
     pub fn forbidden() -> WireError {
         WireError {
             code: 403,
             kind: "forbidden",
-            message: "shutdown is only accepted from loopback peers".into(),
+            message: "admin frames are only accepted from loopback peers".into(),
         }
     }
 
@@ -145,7 +215,10 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         .as_obj()
         .ok_or_else(|| WireError::bad_request("request frame must be a JSON object"))?;
     for key in obj.keys() {
-        if !matches!(key.as_str(), "id" | "method" | "row" | "deadline_ms") {
+        if !matches!(
+            key.as_str(),
+            "id" | "method" | "row" | "deadline_ms" | "format"
+        ) {
             return Err(WireError::bad_request(format!("unknown key \"{key}\"")));
         }
     }
@@ -161,6 +234,11 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         .ok_or_else(|| WireError::bad_request("missing \"method\" string"))?;
     match method {
         "explain" => {
+            if value.get("format").is_some() {
+                return Err(WireError::bad_request(
+                    "\"format\" only applies to \"metrics\"",
+                ));
+            }
             let row = value
                 .get("row")
                 .ok_or_else(|| WireError::bad_request("explain needs a \"row\" integer"))?
@@ -178,17 +256,40 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 deadline_ms,
             })
         }
-        "ping" | "shutdown" => {
-            if value.get("row").is_some() || value.get("deadline_ms").is_some() {
+        "ping" | "shutdown" | "stats" => {
+            if value.get("row").is_some()
+                || value.get("deadline_ms").is_some()
+                || value.get("format").is_some()
+            {
                 return Err(WireError::bad_request(format!(
                     "\"{method}\" takes no parameters"
                 )));
             }
-            Ok(if method == "ping" {
-                Request::Ping { id }
-            } else {
-                Request::Shutdown { id }
+            Ok(match method {
+                "ping" => Request::Ping { id },
+                "shutdown" => Request::Shutdown { id },
+                _ => Request::Stats { id },
             })
+        }
+        "metrics" => {
+            if value.get("row").is_some() || value.get("deadline_ms").is_some() {
+                return Err(WireError::bad_request(
+                    "\"metrics\" takes only an optional \"format\"",
+                ));
+            }
+            let format = match value.get("format") {
+                None => MetricsFormat::Prometheus,
+                Some(v) => match v.as_str() {
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    _ => {
+                        return Err(WireError::bad_request(
+                            "\"format\" must be \"prometheus\" or \"json\"",
+                        ))
+                    }
+                },
+            };
+            Ok(Request::Metrics { id, format })
         }
         other => Err(WireError::bad_request(format!(
             "unknown method \"{other}\""
@@ -254,14 +355,64 @@ pub fn explanation_frame(
     out
 }
 
-/// Renders the pong frame.
-pub fn pong_frame(id: u64) -> String {
-    format!("{{\"id\": {id}, \"ok\": true, \"pong\": true}}")
+/// Renders the pong frame. Beyond liveness it carries enough signal for
+/// a health check to act on: process uptime, the build version, and the
+/// warm-store entry count (0 would mean the repository the whole service
+/// exists to exploit is gone).
+pub fn pong_frame(id: u64, uptime_secs: u64, version: &str, warm_entries: usize) -> String {
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"pong\": true, \"uptime_secs\": {uptime_secs}, \
+         \"version\": \"{}\", \"warm_entries\": {warm_entries}}}",
+        escape(version)
+    )
 }
 
 /// Renders the shutdown acknowledgement frame.
 pub fn shutdown_frame(id: u64) -> String {
     format!("{{\"id\": {id}, \"ok\": true, \"shutting_down\": true}}")
+}
+
+/// Renders a `metrics` response frame. The Prometheus exposition text
+/// travels as one escaped JSON string under `"metrics"`; the JSON
+/// snapshot is inlined as a nested object under `"snapshot"` (the
+/// snapshot document's newlines are structural, so collapsing them keeps
+/// it valid while preserving the one-frame-per-line protocol).
+pub fn metrics_frame(id: u64, format: MetricsFormat, body: &str) -> String {
+    match format {
+        MetricsFormat::Prometheus => format!(
+            "{{\"id\": {id}, \"ok\": true, \"format\": \"prometheus\", \"metrics\": \"{}\"}}",
+            escape(body)
+        ),
+        MetricsFormat::Json => format!(
+            "{{\"id\": {id}, \"ok\": true, \"format\": \"json\", \"snapshot\": {}}}",
+            body.replace('\n', " ")
+        ),
+    }
+}
+
+fn fmt_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// Renders a `stats` response frame from the monitor's windowed summary.
+pub fn stats_frame(id: u64, s: &StatsSummary) -> String {
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"stats\": {{\
+         \"window_secs\": {}, \"windows\": {}, \"req_per_s\": {}, \
+         \"p50_ns\": {}, \"p99_ns\": {}, \"hit_rate\": {}, \
+         \"queue_depth\": {}, \"live_connections\": {}, \
+         \"slo\": {{\"burn_rate\": {}, \"budget_remaining\": {}}}}}}}",
+        fmt_f64(s.window_secs),
+        s.windows,
+        fmt_f64(s.req_per_s),
+        fmt_opt_u64(s.p50_ns),
+        fmt_opt_u64(s.p99_ns),
+        fmt_f64(s.hit_rate),
+        s.queue_depth,
+        s.live_connections,
+        fmt_f64(s.slo_burn_rate),
+        fmt_f64(s.slo_budget_remaining),
+    )
 }
 
 #[cfg(test)]
@@ -408,7 +559,10 @@ mod tests {
     #[test]
     fn control_frames_parse() {
         assert_eq!(
-            Json::parse(&pong_frame(5)).unwrap().get("pong").unwrap(),
+            Json::parse(&pong_frame(5, 0, "0.1.0", 0))
+                .unwrap()
+                .get("pong")
+                .unwrap(),
             &Json::Bool(true)
         );
         assert_eq!(
@@ -418,5 +572,117 @@ mod tests {
                 .unwrap(),
             &Json::Bool(true)
         );
+    }
+
+    #[test]
+    fn pong_frame_carries_health_signal() {
+        let v = Json::parse(&pong_frame(9, 321, "0.1.0", 200)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("uptime_secs").unwrap().as_u64(), Some(321));
+        assert_eq!(v.get("version").unwrap().as_str(), Some("0.1.0"));
+        assert_eq!(v.get("warm_entries").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn parses_metrics_and_stats_requests() {
+        assert_eq!(
+            parse_request("{\"id\": 1, \"method\": \"metrics\"}").unwrap(),
+            Request::Metrics {
+                id: 1,
+                format: MetricsFormat::Prometheus
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 2, \"method\": \"metrics\", \"format\": \"json\"}").unwrap(),
+            Request::Metrics {
+                id: 2,
+                format: MetricsFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 3, \"method\": \"metrics\", \"format\": \"prometheus\"}")
+                .unwrap(),
+            Request::Metrics {
+                id: 3,
+                format: MetricsFormat::Prometheus
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 4, \"method\": \"stats\"}").unwrap(),
+            Request::Stats { id: 4 }
+        );
+    }
+
+    #[test]
+    fn metrics_and_stats_arity_is_enforced() {
+        // Unknown format value.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"metrics\", \"format\": \"xml\"}").unwrap_err();
+        assert_eq!(err.code, 400);
+        assert!(err.message.contains("prometheus"));
+        // Non-string format.
+        let err = parse_request("{\"id\": 1, \"method\": \"metrics\", \"format\": 3}").unwrap_err();
+        assert_eq!(err.code, 400);
+        // metrics rejects explain parameters.
+        let err = parse_request("{\"id\": 1, \"method\": \"metrics\", \"row\": 2}").unwrap_err();
+        assert_eq!(err.code, 400);
+        // stats is nullary, including format.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"stats\", \"format\": \"json\"}").unwrap_err();
+        assert!(err.message.contains("takes no parameters"));
+        // format on explain is rejected even though the key is known.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": 1, \"format\": \"json\"}")
+                .unwrap_err();
+        assert!(err.message.contains("format"));
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_both_formats() {
+        let text = "# TYPE serve_requests_total counter\nserve_requests_total 42\n";
+        let frame = metrics_frame(7, MetricsFormat::Prometheus, text);
+        assert!(!frame.contains('\n'), "frames must be single-line");
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("format").unwrap().as_str(), Some("prometheus"));
+        assert_eq!(v.get("metrics").unwrap().as_str(), Some(text));
+
+        let snapshot_json = shahin_obs::MetricsRegistry::new().snapshot().to_json();
+        let frame = metrics_frame(8, MetricsFormat::Json, &snapshot_json);
+        assert!(!frame.contains('\n'));
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("format").unwrap().as_str(), Some("json"));
+        assert!(v.get("snapshot").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn stats_frame_schema_is_stable() {
+        let s = StatsSummary {
+            window_secs: 2.5,
+            windows: 5,
+            req_per_s: 12.0,
+            p50_ns: Some(1_023),
+            p99_ns: None,
+            hit_rate: 0.875,
+            queue_depth: 3,
+            live_connections: 2,
+            slo_burn_rate: 0.25,
+            slo_budget_remaining: 0.75,
+        };
+        let v = Json::parse(&stats_frame(11, &s)).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(11));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("window_secs").unwrap().as_f64(), Some(2.5));
+        assert_eq!(stats.get("windows").unwrap().as_u64(), Some(5));
+        assert_eq!(stats.get("req_per_s").unwrap().as_f64(), Some(12.0));
+        assert_eq!(stats.get("p50_ns").unwrap().as_u64(), Some(1_023));
+        assert_eq!(stats.get("p99_ns").unwrap(), &Json::Null);
+        assert_eq!(stats.get("hit_rate").unwrap().as_f64(), Some(0.875));
+        assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("live_connections").unwrap().as_u64(), Some(2));
+        let slo = stats.get("slo").unwrap();
+        assert_eq!(slo.get("burn_rate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(slo.get("budget_remaining").unwrap().as_f64(), Some(0.75));
     }
 }

@@ -31,9 +31,10 @@ use shahin::obs::names;
 use shahin::{MetricsRegistry, WarmEngine, WarmOutcome, WarmRequest};
 use shahin_model::Classifier;
 
+use crate::monitor::{self, MonitorState};
 use crate::protocol::{
-    error_frame, explanation_frame, parse_frame_id, parse_request, pong_frame, shutdown_frame,
-    Request, WireError,
+    error_frame, explanation_frame, metrics_frame, parse_frame_id, parse_request, pong_frame,
+    shutdown_frame, stats_frame, MetricsFormat, Request, WireError,
 };
 use crate::queue::{Admission, PushError};
 use crate::signal;
@@ -67,12 +68,28 @@ pub struct ServeConfig {
     /// dead and further responses for it are dropped, so a stalled
     /// socket never blocks the batcher for other requests.
     pub write_timeout: Duration,
-    /// Accept admin `shutdown` frames from non-loopback peers. Off by
-    /// default: when `addr` binds a non-loopback interface, remote
-    /// clients get a 403 frame instead of draining the server.
+    /// Accept admin frames (`shutdown`, `metrics`, `stats`) from
+    /// non-loopback peers. Off by default: when `addr` binds a
+    /// non-loopback interface, remote clients get 403 frames instead of
+    /// draining or scraping the server.
     pub allow_remote_shutdown: bool,
     /// Watch SIGINT/SIGTERM and drain when one arrives.
     pub watch_signals: bool,
+    /// How often the monitor thread samples gauges and rolls a new
+    /// metrics window.
+    pub monitor_interval: Duration,
+    /// How many monitor windows the aggregator retains; `stats` and SLO
+    /// gauges look back over `windows × monitor_interval` of wall time.
+    pub windows: usize,
+    /// SLO latency objective: windowed request-latency p99 should stay
+    /// at or below this.
+    pub slo_p99: Duration,
+    /// SLO error-rate objective: allowed fraction of failed traffic
+    /// (rejections, expired deadlines, quarantines).
+    pub slo_error_rate: f64,
+    /// When set, the monitor atomically rewrites this file with the
+    /// current metrics JSON every tick, so an operator can tail it.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +104,11 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(1),
             allow_remote_shutdown: false,
             watch_signals: false,
+            monitor_interval: Duration::from_secs(1),
+            windows: 12,
+            slo_p99: Duration::from_millis(500),
+            slo_error_rate: 0.001,
+            metrics_out: None,
         }
     }
 }
@@ -131,7 +153,7 @@ impl Conn {
 }
 
 /// An admitted explain request waiting for the batcher.
-struct Pending {
+pub(crate) struct Pending {
     conn: Arc<Conn>,
     /// Client frame id, echoed on the response.
     frame_id: u64,
@@ -145,9 +167,9 @@ struct Pending {
     deadline: Option<Instant>,
 }
 
-struct Shared<C: Classifier> {
-    engine: Arc<WarmEngine<C>>,
-    queue: Admission<Pending>,
+pub(crate) struct Shared<C: Classifier> {
+    pub(crate) engine: Arc<WarmEngine<C>>,
+    pub(crate) queue: Admission<Pending>,
     shutdown: AtomicBool,
     /// Set by the batcher once the backlog is fully answered; readers
     /// hold connections open (answering 503s) until then.
@@ -155,11 +177,16 @@ struct Shared<C: Classifier> {
     next_request_id: AtomicU64,
     /// Requests answered by the batcher (the drain report).
     served: AtomicU64,
-    config: ServeConfig,
+    /// Reader threads currently attached to a client connection; the
+    /// monitor samples this into the `serve.live_connections` gauge.
+    pub(crate) live_connections: AtomicU64,
+    /// Windowed-aggregator + SLO state owned by the monitor thread.
+    pub(crate) monitor: MonitorState,
+    pub(crate) config: ServeConfig,
 }
 
 impl<C: Classifier> Shared<C> {
-    fn obs(&self) -> &MetricsRegistry {
+    pub(crate) fn obs(&self) -> &MetricsRegistry {
         self.engine.obs()
     }
 
@@ -174,7 +201,7 @@ impl<C: Classifier> Shared<C> {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    fn drained(&self) -> bool {
+    pub(crate) fn drained(&self) -> bool {
         self.drained.load(Ordering::SeqCst)
     }
 }
@@ -190,6 +217,7 @@ pub struct ServerHandle<C: Classifier + 'static> {
     shared: Arc<Shared<C>>,
     acceptor: JoinHandle<()>,
     batcher: JoinHandle<()>,
+    monitor: JoinHandle<()>,
 }
 
 impl<C: Classifier + 'static> ServerHandle<C> {
@@ -204,10 +232,13 @@ impl<C: Classifier + 'static> ServerHandle<C> {
     }
 
     /// Blocks until the drain completes and all server threads exit;
-    /// returns the number of requests the batcher answered.
+    /// returns the number of requests the batcher answered. The monitor
+    /// exits after its final post-drain tick, so the last metrics-out
+    /// rewrite reflects the drained state.
     pub fn wait(self) -> u64 {
         self.acceptor.join().expect("acceptor thread panicked");
         self.batcher.join().expect("batcher thread panicked");
+        self.monitor.join().expect("monitor thread panicked");
         self.shared.served.load(Ordering::SeqCst)
     }
 }
@@ -225,6 +256,20 @@ impl Server {
         if config.watch_signals {
             signal::install();
         }
+        let slo = shahin_obs::SloConfig {
+            target: "serve.request".into(),
+            latency_histogram: names::SERVE_REQUEST_LATENCY.into(),
+            latency_objective: config.slo_p99,
+            latency_quantile: 0.99,
+            requests_counter: names::SERVE_REQUESTS.into(),
+            error_counters: vec![
+                names::SERVE_REJECTED_OVERLOAD.into(),
+                names::SERVE_REJECTED_SHUTDOWN.into(),
+                names::SERVE_DEADLINE_EXPIRED.into(),
+                names::SERVE_QUARANTINED.into(),
+            ],
+            error_rate_objective: config.slo_error_rate,
+        };
         let shared = Arc::new(Shared {
             engine,
             queue: Admission::new(config.queue_capacity),
@@ -232,6 +277,8 @@ impl Server {
             drained: AtomicBool::new(false),
             next_request_id: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            live_connections: AtomicU64::new(0),
+            monitor: MonitorState::new(config.windows, slo),
             config,
         });
         let acceptor = {
@@ -242,11 +289,16 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || batch_loop(shared))
         };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || monitor::monitor_loop(shared))
+        };
         Ok(ServerHandle {
             addr,
             shared,
             acceptor,
             batcher,
+            monitor,
         })
     }
 }
@@ -306,6 +358,9 @@ fn read_loop<C: Classifier + 'static>(stream: TcpStream, shared: Arc<Shared<C>>)
         peer_loopback,
         dead: AtomicBool::new(false),
     });
+    shared.live_connections.fetch_add(1, Ordering::Relaxed);
+    // Decrements on every exit path out of the read loop below (the
+    // loop only breaks, never returns).
     let mut reader = BufReader::new(stream);
     let mut line: Vec<u8> = Vec::new();
     // True while discarding the tail of an overlong line; the 400 frame
@@ -366,6 +421,7 @@ fn read_loop<C: Classifier + 'static>(stream: TcpStream, shared: Arc<Shared<C>>)
             line.clear();
         }
     }
+    shared.live_connections.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Parses and dispatches one frame.
@@ -380,15 +436,46 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
         }
     };
     match request {
-        Request::Ping { id } => conn.send(&pong_frame(id)),
+        Request::Ping { id } => {
+            let uptime_secs = shared.monitor.started.elapsed().as_secs();
+            conn.send(&pong_frame(
+                id,
+                uptime_secs,
+                env!("CARGO_PKG_VERSION"),
+                shared.engine.store_entries(),
+            ));
+        }
         Request::Shutdown { id } => {
-            if !shutdown_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+            if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
                 obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
                 conn.send(&error_frame(id, &WireError::forbidden()));
                 return;
             }
             conn.send(&shutdown_frame(id));
             shared.trigger_shutdown();
+        }
+        Request::Metrics { id, format } => {
+            if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+                obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
+                conn.send(&error_frame(id, &WireError::forbidden()));
+                return;
+            }
+            obs.counter(names::SERVE_SCRAPES).inc();
+            let snapshot = obs.snapshot();
+            let body = match format {
+                MetricsFormat::Prometheus => snapshot.to_prometheus(),
+                MetricsFormat::Json => snapshot.to_json(),
+            };
+            conn.send(&metrics_frame(id, format, &body));
+        }
+        Request::Stats { id } => {
+            if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+                obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
+                conn.send(&error_frame(id, &WireError::forbidden()));
+                return;
+            }
+            obs.counter(names::SERVE_SCRAPES).inc();
+            conn.send(&stats_frame(id, &monitor::stats_summary(shared)));
         }
         Request::Explain {
             id,
@@ -439,9 +526,10 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
     }
 }
 
-/// Whether an admin `shutdown` frame may drain the server: always from
-/// loopback peers, from remote ones only when the operator opted in.
-fn shutdown_permitted(peer_loopback: bool, allow_remote_shutdown: bool) -> bool {
+/// Whether an admin frame (`shutdown`, `metrics`, `stats`) may act on
+/// the server: always from loopback peers, from remote ones only when
+/// the operator opted in.
+fn admin_permitted(peer_loopback: bool, allow_remote_shutdown: bool) -> bool {
     peer_loopback || allow_remote_shutdown
 }
 
@@ -488,7 +576,12 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                 })
                 .collect();
             let epoch = shared.engine.epoch();
+            // Batcher occupancy: how many requests the engine is
+            // explaining right now (0 between flushes).
+            obs.gauge(names::SERVE_BATCH_INFLIGHT)
+                .set(live.len() as u64);
             let outcomes = shared.engine.explain(&requests);
+            obs.gauge(names::SERVE_BATCH_INFLIGHT).set(0);
             for (pending, outcome) in live.iter().zip(outcomes) {
                 match outcome {
                     WarmOutcome::Ok {
@@ -532,10 +625,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shutdown_is_loopback_only_unless_opted_in() {
-        assert!(shutdown_permitted(true, false));
-        assert!(shutdown_permitted(true, true));
-        assert!(!shutdown_permitted(false, false));
-        assert!(shutdown_permitted(false, true));
+    fn admin_frames_are_loopback_only_unless_opted_in() {
+        assert!(admin_permitted(true, false));
+        assert!(admin_permitted(true, true));
+        assert!(!admin_permitted(false, false));
+        assert!(admin_permitted(false, true));
     }
 }

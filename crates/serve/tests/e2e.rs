@@ -58,6 +58,10 @@ fn start_server(n_workers: usize) -> (ServerHandle<MajorityClass>, MetricsRegist
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             poll_interval: Duration::from_millis(10),
+            // Fast ticks and a deep ring so the windowed aggregator has
+            // seen every sample by the time a test interrogates `stats`.
+            monitor_interval: Duration::from_millis(20),
+            windows: 256,
             ..Default::default()
         },
     )
@@ -327,6 +331,144 @@ fn explains_arriving_mid_drain_are_rejected_with_503() {
     assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
     assert_eq!(handle.wait(), 1);
     assert_eq!(reg.snapshot().counter(names::SERVE_REJECTED_SHUTDOWN), 1);
+}
+
+#[test]
+fn ping_reports_uptime_version_and_warm_entries() {
+    let (handle, _reg, _n_rows) = start_server(1);
+    let mut client = connect(&handle);
+    let frame = round_trip(&mut client, "{\"id\": 1, \"method\": \"ping\"}");
+    assert_eq!(frame.get("pong").unwrap().as_bool(), Some(true));
+    assert!(frame.get("uptime_secs").unwrap().as_u64().is_some());
+    assert_eq!(
+        frame.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    // Priming populates the perturbation store, so a freshly started
+    // server always reports a non-empty warm repository.
+    assert!(frame.get("warm_entries").unwrap().as_u64().unwrap() > 0);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn metrics_and_stats_frames_round_trip_during_and_after_load() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (handle, reg, n_rows) = start_server(2);
+
+    // A load burst (two closed-loop clients sweeping every row three
+    // times) with an admin poller hammering `metrics`/`stats` on its own
+    // connection the whole time.
+    let stop = AtomicBool::new(false);
+    let polls = std::thread::scope(|scope| {
+        let loaders: Vec<_> = (0..2usize)
+            .map(|c| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = connect(handle);
+                    for i in 0..3 * n_rows {
+                        let row = (i + c) % n_rows;
+                        let frame = round_trip(
+                            &mut client,
+                            &format!("{{\"id\": {i}, \"method\": \"explain\", \"row\": {row}}}"),
+                        );
+                        assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+                    }
+                })
+            })
+            .collect();
+        let admin = {
+            let (stop, handle) = (&stop, &handle);
+            scope.spawn(move || {
+                let mut client = connect(handle);
+                let mut polls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let frame = round_trip(
+                        &mut client,
+                        "{\"id\": 7, \"method\": \"metrics\", \"format\": \"prometheus\"}",
+                    );
+                    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+                    let text = frame.get("metrics").unwrap().as_str().unwrap();
+                    assert!(text.contains("# TYPE serve_requests_total counter"));
+
+                    let frame = round_trip(
+                        &mut client,
+                        "{\"id\": 8, \"method\": \"metrics\", \"format\": \"json\"}",
+                    );
+                    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+                    assert!(frame.get("snapshot").is_some());
+
+                    let frame = round_trip(&mut client, "{\"id\": 9, \"method\": \"stats\"}");
+                    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+                    assert!(frame.at(&["stats", "req_per_s"]).is_some());
+
+                    polls += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                polls
+            })
+        };
+        for l in loaders {
+            l.join().expect("load client");
+        }
+        stop.store(true, Ordering::Relaxed);
+        admin.join().expect("admin poller")
+    });
+    assert!(
+        polls > 0,
+        "admin frames must answer while load is in flight"
+    );
+
+    // Give the monitor ≥2 ticks to fold the burst's tail into the window
+    // ring, then ask for the windowed p99. The ring (256 windows of
+    // 20ms) spans the whole run, so the windowed quantile must land
+    // within one log2 bucket of the end-of-run histogram quantile.
+    let mut client = connect(&handle);
+    let mut stats_p99 = None;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(45));
+        let frame = round_trip(&mut client, "{\"id\": 10, \"method\": \"stats\"}");
+        assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+        stats_p99 = frame.at(&["stats", "p99_ns"]).and_then(Json::as_u64);
+        let seen = frame
+            .at(&["stats", "req_per_s"])
+            .and_then(Json::as_f64)
+            .unwrap();
+        if stats_p99.is_some() && seen > 0.0 {
+            break;
+        }
+    }
+    let stats_p99 = stats_p99.expect("windowed p99 materializes after the burst");
+
+    // The prometheus exposition carries the same histogram.
+    let frame = round_trip(
+        &mut client,
+        "{\"id\": 11, \"method\": \"metrics\", \"format\": \"prometheus\"}",
+    );
+    let text = frame.get("metrics").unwrap().as_str().unwrap();
+    assert!(text.contains("serve_request_latency_ns_bucket{le="));
+    assert!(text.contains("serve_request_latency_ns_count"));
+
+    handle.shutdown();
+    handle.wait();
+
+    let snapshot_p99 = reg
+        .snapshot()
+        .histograms
+        .get(names::SERVE_REQUEST_LATENCY)
+        .expect("latency histogram recorded")
+        .quantile_ns(0.99)
+        .expect("histogram has samples");
+    let (windowed, end_of_run) = (
+        shahin_obs::bucket_index(stats_p99),
+        shahin_obs::bucket_index(snapshot_p99),
+    );
+    assert!(
+        windowed.abs_diff(end_of_run) <= 1,
+        "windowed p99 bucket {windowed} (={stats_p99}ns) vs end-of-run \
+         bucket {end_of_run} (={snapshot_p99}ns)"
+    );
 }
 
 #[test]

@@ -12,9 +12,11 @@
 #
 # The final section smoke-tests the serving path: it starts
 # `shahin-cli serve` in the background, drives it with bench_serve in
-# external mode (which ends by sending an admin shutdown frame), asserts
-# the server drains cleanly, and validates the serve.* metric families
-# in the server's metrics dump.
+# external mode, validates the live observability plane over the admin
+# protocol (Prometheus exposition shape, JSON snapshot, windowed `stats`
+# summary, extended `ping`), sends the admin shutdown frame, asserts the
+# server drains cleanly, and validates the serve.* metric families in
+# the server's metrics dump.
 #
 # Knobs (all optional):
 #   SHAHIN_CHECK_ROWS        synthetic dataset rows    (default 2000)
@@ -263,13 +265,16 @@ print("resilience schema check passed")
 PY
 
 # Serving smoke: start the server in the background over the same synthetic
-# dataset, drive it with bench_serve in external mode (ends with an admin
-# shutdown frame), and require a clean drain plus a serve.* metrics dump.
+# dataset, drive it with bench_serve in external mode, validate the live
+# observability plane over the admin protocol, then shut down and require
+# a clean drain plus a serve.* metrics dump.
 echo "== serve smoke ($SERVE_REQS requests)"
 "$CLI" serve --csv "$WORKDIR/census.csv" --label label --explainer lime \
     --warm-rows 150 --addr 127.0.0.1:0 \
     --port-file "$WORKDIR/serve.port" \
     --metrics-out "$WORKDIR/serve.json" \
+    --monitor-interval-ms 100 --windows 64 \
+    --slo-p99-ms 500 --slo-error-rate 0.01 \
     >"$WORKDIR/serve.log" 2>&1 &
 serve_pid=$!
 
@@ -289,10 +294,139 @@ if [ ! -s "$WORKDIR/serve.port" ]; then
 fi
 port="$(tr -d '[:space:]' < "$WORKDIR/serve.port")"
 
-SHAHIN_SERVE_ADDR="127.0.0.1:$port" SHAHIN_SERVE_SHUTDOWN=1 \
+SHAHIN_SERVE_ADDR="127.0.0.1:$port" \
     SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_WARM_ROWS=150 \
     SHAHIN_SERVE_OUT="$WORKDIR/BENCH_serve_smoke.json" \
     target/release/bench_serve
+
+# Live observability plane: validate the Prometheus exposition shape,
+# the JSON snapshot frame, the windowed `stats` summary, and the
+# extended `ping` over the admin protocol, then send the shutdown frame.
+python3 - "$port" <<'PY'
+import json, re, socket, sys, time
+
+port = int(sys.argv[1])
+# Give the monitor at least two 100ms ticks after the load so the window
+# ring has folded the burst in.
+time.sleep(0.3)
+
+sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+rfile = sock.makefile("r", encoding="utf-8")
+
+def frame(method, **kw):
+    req = {"id": 1, "method": method, **kw}
+    sock.sendall((json.dumps(req) + "\n").encode())
+    resp = json.loads(rfile.readline())
+    if resp.get("ok") is not True:
+        raise SystemExit(f"FAIL: live: '{method}' frame rejected: {resp}")
+    return resp
+
+# --- Prometheus exposition shape -------------------------------------
+text = frame("metrics", format="prometheus")["metrics"]
+types = {}     # family -> declared type
+samples = {}   # family -> sample lines
+series = []    # full series identifiers (name + labels)
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, fam, kind = line.split(" ")
+        if fam in types:
+            raise SystemExit(f"FAIL: live: duplicate # TYPE for '{fam}'")
+        types[fam] = kind
+    elif line.startswith("#"):
+        raise SystemExit(f"FAIL: live: unexpected comment line: {line}")
+    else:
+        name_labels, _, value = line.rpartition(" ")
+        float(value)  # every sample line must end in a number
+        series.append(name_labels)
+        # Histogram rows group under their family base; counter families
+        # are declared with the `_total` suffix included.
+        base = re.sub(r"(_bucket\{.*\}|_sum|_count)$", "", name_labels)
+        samples.setdefault(base, []).append(name_labels)
+if len(series) != len(set(series)):
+    dupes = sorted({s for s in series if series.count(s) > 1})
+    raise SystemExit(f"FAIL: live: duplicate series: {dupes[:5]}")
+for fam, kind in types.items():
+    if fam not in samples:
+        raise SystemExit(f"FAIL: live: '# TYPE {fam} {kind}' has no samples")
+for fam, kind in types.items():
+    if kind == "histogram":
+        buckets = [s for s in samples[fam] if s.startswith(fam + "_bucket{")]
+        if not buckets:
+            raise SystemExit(f"FAIL: live: histogram '{fam}' has no buckets")
+        if f'{fam}_bucket{{le="+Inf"}}' not in buckets:
+            raise SystemExit(f"FAIL: live: histogram '{fam}' lacks +Inf bucket")
+
+# --- JSON snapshot frame, cross-checked against the exposition --------
+snap = frame("metrics", format="json")["snapshot"]
+for section in ("counters", "gauges", "histograms", "value_histograms"):
+    if section not in snap:
+        raise SystemExit(f"FAIL: live: json snapshot lacks '{section}'")
+
+def sanitize(name):
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+prom_counts = {}
+for line in text.splitlines():
+    if line.startswith("#"):
+        continue
+    name_labels, _, value = line.rpartition(" ")
+    if name_labels.endswith("_count"):
+        prom_counts[name_labels[:-len("_count")]] = int(float(value))
+for name, h in snap["histograms"].items():
+    fam = sanitize(name) + "_ns"
+    if prom_counts.get(fam) != h["count"]:
+        raise SystemExit(f"FAIL: live: '{fam}_count' {prom_counts.get(fam)} "
+                         f"!= snapshot count {h['count']} for '{name}'")
+for name, h in snap["value_histograms"].items():
+    fam = sanitize(name)
+    if prom_counts.get(fam) != h["count"]:
+        raise SystemExit(f"FAIL: live: '{fam}_count' {prom_counts.get(fam)} "
+                         f"!= snapshot count {h['count']} for '{name}'")
+
+# The monitor thread's own families are live.
+if snap["counters"].get("serve.monitor_ticks", 0) < 2:
+    raise SystemExit("FAIL: live: serve.monitor_ticks < 2")
+if snap["gauges"].get("serve.warm_entries", 0) <= 0:
+    raise SystemExit("FAIL: live: serve.warm_entries gauge not sampled")
+for g in ("slo.serve.request.burn_rate", "slo.serve.request.budget_remaining"):
+    if g not in snap["gauges"]:
+        raise SystemExit(f"FAIL: live: SLO gauge '{g}' not published")
+
+# --- Windowed stats summary ------------------------------------------
+stats = frame("stats")["stats"]
+for key in ("window_secs", "windows", "req_per_s", "p50_ns", "p99_ns",
+            "hit_rate", "queue_depth", "live_connections", "slo"):
+    if key not in stats:
+        raise SystemExit(f"FAIL: live: stats summary lacks '{key}'")
+for key in ("burn_rate", "budget_remaining"):
+    if key not in stats["slo"]:
+        raise SystemExit(f"FAIL: live: stats.slo lacks '{key}'")
+if stats["windows"] < 2:
+    raise SystemExit(f"FAIL: live: stats.windows {stats['windows']} < 2")
+if stats["p99_ns"] is None:
+    raise SystemExit("FAIL: live: windowed p99 is null right after a burst")
+
+# --- Extended ping ----------------------------------------------------
+pong = frame("ping")
+for key in ("uptime_secs", "version", "warm_entries"):
+    if key not in pong:
+        raise SystemExit(f"FAIL: live: ping lacks '{key}'")
+if pong["warm_entries"] <= 0:
+    raise SystemExit("FAIL: live: ping reports an empty warm store")
+
+print(f"OK: live exposition has {len(types)} families, "
+      f"{len(series)} series, no duplicates")
+print(f"OK: stats window spans {stats['window_secs']:.2f}s across "
+      f"{stats['windows']} windows (p99 {stats['p99_ns']}ns)")
+print("live observability check passed")
+
+sock.sendall(b'{"id": 2, "method": "shutdown"}\n')
+resp = json.loads(rfile.readline())
+if resp.get("shutting_down") is not True:
+    raise SystemExit(f"FAIL: live: shutdown frame rejected: {resp}")
+PY
 
 serve_status=0
 wait "$serve_pid" || serve_status=$?
@@ -359,6 +493,13 @@ if bs["sum"] != requests:
 for c in ("store.lookups", "store.hits"):
     if counters.get(c, 0) == 0:
         raise SystemExit(f"FAIL: serve: '{c}' saw no traffic")
+# The live-plane section issued two metrics frames and one stats frame,
+# none of which may count as explain traffic.
+if counters.get("serve.scrapes", 0) < 3:
+    raise SystemExit(f"FAIL: serve: serve.scrapes "
+                     f"{counters.get('serve.scrapes')} < 3 admin reads")
+if counters.get("serve.monitor_ticks", 0) == 0:
+    raise SystemExit("FAIL: serve: monitor thread never ticked")
 
 batches = counters["serve.batches"]
 print(f"OK: serve smoke answered {requests} requests in {batches} "

@@ -50,6 +50,8 @@ USAGE:
                      [--max-batch N] [--max-delay-ms MS] [--queue-capacity N]
                      [--threads K] [--refresh-every N] [--port-file <file>]
                      [--write-timeout-ms MS] [--allow-remote-shutdown]
+                     [--monitor-interval-ms MS] [--windows N]
+                     [--slo-p99-ms MS] [--slo-error-rate F]
                      [--metrics] [--metrics-out <file.json>]
                      [--provenance-out <file.jsonl>]
                      [resilience/chaos flags as for explain]
@@ -63,6 +65,8 @@ SERVING:
       {\"id\": 1, \"method\": \"explain\", \"row\": 17}
       {\"id\": 2, \"method\": \"explain\", \"row\": 3, \"deadline_ms\": 250}
       {\"id\": 3, \"method\": \"ping\"}      {\"id\": 4, \"method\": \"shutdown\"}
+      {\"id\": 5, \"method\": \"metrics\" [, \"format\": \"json\"]}
+      {\"id\": 6, \"method\": \"stats\"}
   Concurrent requests are coalesced into micro-batches (flush at
   --max-batch requests or after --max-delay-ms) that share the warm
   store and Anchor caches. A full admission queue answers 429-style
@@ -75,6 +79,19 @@ SERVING:
   --addr with port 0 picks an ephemeral port; --port-file writes the
   bound port for scripts. --refresh-every N rebuilds the warm store
   every N micro-batches (0 = never).
+
+  A monitor thread samples queue depth, live connections, and warm-store
+  size every --monitor-interval-ms (default 1000) and keeps the last
+  --windows (default 12) windows of metric deltas; the windowed view
+  backs the `stats` admin frame (req/s, windowed p50/p99, hit rate, SLO
+  burn) and the slo.* gauges. --slo-p99-ms (default 500) and
+  --slo-error-rate (default 0.001) set the latency and error-budget
+  objectives. The `metrics` admin frame returns a Prometheus text
+  exposition (or the JSON snapshot with \"format\": \"json\"); like
+  `shutdown`, `metrics` and `stats` are loopback-only unless
+  --allow-remote-shutdown. With --metrics-out the monitor also rewrites
+  the snapshot file atomically every tick, so it can be tailed while
+  serving.
 
 OBSERVABILITY:
   --metrics              print the metrics table (spans, counters, histograms)
@@ -588,6 +605,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         "write-timeout-ms",
     )?;
     let allow_remote_shutdown = flags.contains_key("allow-remote-shutdown");
+    let monitor_interval_ms: u64 = parse_num(
+        get_or(flags, "monitor-interval-ms", "1000"),
+        "monitor-interval-ms",
+    )?;
+    let windows: usize = parse_num(get_or(flags, "windows", "12"), "windows")?;
+    let slo_p99_ms: u64 = parse_num(get_or(flags, "slo-p99-ms", "500"), "slo-p99-ms")?;
+    let slo_error_rate: f64 =
+        parse_num(get_or(flags, "slo-error-rate", "0.001"), "slo-error-rate")?;
+    if !(0.0..=1.0).contains(&slo_error_rate) {
+        return Err("slo-error-rate must be in [0, 1]".into());
+    }
+    if monitor_interval_ms == 0 {
+        return Err("monitor-interval-ms must be positive".into());
+    }
 
     let file = File::open(path).map_err(|e| e.to_string())?;
     let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
@@ -692,6 +723,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             write_timeout: Duration::from_millis(write_timeout_ms),
             allow_remote_shutdown,
             watch_signals: true,
+            monitor_interval: Duration::from_millis(monitor_interval_ms),
+            windows,
+            slo_p99: Duration::from_millis(slo_p99_ms),
+            slo_error_rate,
+            // The monitor rewrites the file atomically every tick; the
+            // final write below adds the folded provenance gauges.
+            metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
             ..Default::default()
         },
     )
@@ -705,7 +743,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
 
     if let Some(out_path) = flags.get("metrics-out") {
         fold_provenance(&obs);
-        write_output(out_path, &obs.snapshot().to_json(), "metrics")?;
+        // Atomic like the monitor's periodic rewrites: a reader tailing
+        // the file must never observe a torn document, including the
+        // final post-drain write.
+        shahin_serve::write_atomic(std::path::Path::new(out_path), &obs.snapshot().to_json())
+            .map_err(|e| format!("cannot write metrics to '{out_path}': {e}"))?;
         println!("metrics written to {out_path}");
     }
     if flags.contains_key("metrics") {
