@@ -31,6 +31,11 @@
 //!   extra slack, the scraper must have completed at least one poll,
 //!   and scraped throughput may shrink at most the wall tolerance
 //!   against the baseline.
+//! * `trace` — the fresh run's request-tracing `overhead_pct` must stay
+//!   under its own `budget_pct` plus the overhead slack, the traced
+//!   server must have retained at least one trace, and traced
+//!   throughput may shrink at most the wall tolerance against the
+//!   baseline.
 //! * `layout` — inside the fresh run, both layout arms must agree
 //!   bit-for-bit (invocations, explanation fingerprints, lookup counts;
 //!   parallel Anchor invocations get the Anchor tolerance); deterministic
@@ -322,6 +327,47 @@ fn compare_obs_live(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), St
     Ok(())
 }
 
+fn compare_trace(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    // Same rationale as `obs_live`: the 1% budget targets quiet
+    // hardware; CI slack is opt-in via the environment.
+    let tol_overhead = env_f64("SHAHIN_CMP_TOL_OVERHEAD_PCT", 0.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &[
+            "dataset",
+            "requests",
+            "concurrency",
+            "warm_rows",
+            "seed",
+            "reps",
+        ],
+    )?;
+
+    let budget = num(fresh, &["budget_pct"], "fresh")? + tol_overhead;
+    let overhead = num(fresh, &["overhead_pct"], "fresh")?;
+    gate.check(
+        overhead < budget,
+        format!("tracing overhead {overhead:.2}% within the {budget}% budget"),
+    );
+    let retained = num(fresh, &["retained"], "fresh")?;
+    gate.check(
+        retained > 0.0,
+        format!("traced server retained {retained} traces (tracer was live)"),
+    );
+
+    // Throughput is hardware-dependent: wall tolerance.
+    let b_rps = num(base, &["traced_rps"], "baseline")?;
+    let f_rps = num(fresh, &["traced_rps"], "fresh")?;
+    gate.check(
+        f_rps >= b_rps * (1.0 - tol_wall / 100.0),
+        format!("traced throughput {f_rps:.1} req/s within {tol_wall}% of baseline {b_rps:.1}"),
+    );
+    Ok(())
+}
+
 fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
     let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
     let tol_anchor = env_f64("SHAHIN_CMP_TOL_ANCHOR_PCT", 15.0);
@@ -430,7 +476,8 @@ fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Stri
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let [kind, base_path, fresh_path] = args else {
         return Err(
-            "usage: bench_compare <parallel|obs|serve|obs_live|layout> <baseline.json> <fresh.json>"
+            "usage: bench_compare <parallel|obs|serve|obs_live|trace|layout> \
+             <baseline.json> <fresh.json>"
                 .into(),
         );
     };
@@ -443,6 +490,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         "obs" => compare_obs(&mut gate, &base, &fresh)?,
         "serve" => compare_serve(&mut gate, &base, &fresh)?,
         "obs_live" => compare_obs_live(&mut gate, &base, &fresh)?,
+        "trace" => compare_trace(&mut gate, &base, &fresh)?,
         "layout" => compare_layout(&mut gate, &base, &fresh)?,
         other => return Err(format!("unknown artifact kind '{other}'")),
     }

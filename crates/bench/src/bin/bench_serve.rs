@@ -40,6 +40,15 @@
 //! emits `SHAHIN_OBS_LIVE_OUT` (default `BENCH_obs_live.json`), gated
 //! in CI by `bench_compare obs_live`. `SHAHIN_OBS_LIVE_REPS` (default
 //! 7) sets the repetitions.
+//!
+//! A fourth **tracing** arm measures request-scoped tracing the same
+//! way: two servers share one warm engine — one with tracing disabled
+//! (`trace_store: 0`), one at the default tail-sampling configuration —
+//! and paired order-alternating drives (`SHAHIN_TRACE_REQUESTS`,
+//! `SHAHIN_TRACE_REPS`) yield a median overhead asserted below
+//! `SHAHIN_TRACE_BUDGET_PCT` (default 1%) and written to
+//! `SHAHIN_TRACE_OUT` (default `BENCH_trace.json`), gated in CI by
+//! `bench_compare trace`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -541,4 +550,145 @@ fn main() {
     );
     write_artifact(&obs_out, &obs_json);
     println!("wrote {obs_out}");
+
+    // ---- Tracing arm: does request-scoped tracing cost throughput? ----
+    let trace_out = std::env::var("SHAHIN_TRACE_OUT").unwrap_or_else(|_| "BENCH_trace.json".into());
+    let trace_reps = (env_u64("SHAHIN_TRACE_REPS", 7) as usize).max(1);
+    let trace_requests =
+        (env_u64("SHAHIN_TRACE_REQUESTS", 12 * requests as u64) as usize / concurrency).max(1)
+            * concurrency;
+    let trace_budget_pct = std::env::var("SHAHIN_TRACE_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    println!(
+        "# Tracing overhead: {trace_requests} requests/drive, {trace_reps} reps, \
+         default tail sampling"
+    );
+
+    let (bare_rps, traced_rps, retained) = {
+        let w = workload(preset, 0.2, seed);
+        let warm_rows = warm_rows.min(w.max_batch());
+        let warm = w.batch(warm_rows);
+        let reg = MetricsRegistry::new();
+        let engine = Arc::new(WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(bench_lime()),
+            w.ctx,
+            w.clf,
+            warm,
+            seed,
+            &reg,
+        ));
+        // Both servers share the primed engine: the bare one admits
+        // requests without trace contexts (trace_store: 0), so the
+        // engine's stage capture stays dormant on its path, and sharing
+        // keeps the warm store identical between arms.
+        let quiet = ServeConfig {
+            max_delay: Duration::from_millis(5),
+            monitor_interval: Duration::from_millis(50),
+            windows: 32,
+            ..Default::default()
+        };
+        let bare_handle = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                trace_store: 0,
+                ..quiet.clone()
+            },
+        )
+        .expect("bare server binds");
+        let traced_handle = Server::start(engine, quiet).expect("traced server binds");
+        let bare_addr = bare_handle.addr().to_string();
+        let traced_addr = traced_handle.addr().to_string();
+
+        // Untimed warmup on each server (thread spawns, allocator
+        // growth) so one-time costs land on neither timed arm.
+        drive_clients(&bare_addr, concurrency, trace_requests, seed, warm_rows);
+        drive_clients(&traced_addr, concurrency, trace_requests, seed, warm_rows);
+
+        // Same pooled-second-round estimator as the scrape arm: one
+        // paired overhead per rep, order alternating, judged by median.
+        let mut bare_all: Vec<f64> = Vec::with_capacity(2 * trace_reps);
+        let mut traced_all: Vec<f64> = Vec::with_capacity(2 * trace_reps);
+        for round in 0..2 {
+            for rep in 0..trace_reps {
+                let drive = |addr: &str| {
+                    let (wall_s, lats) =
+                        drive_clients(addr, concurrency, trace_requests, seed, warm_rows);
+                    lats.len() as f64 / wall_s.max(1e-9)
+                };
+                let (bare, traced) = if rep % 2 == 0 {
+                    let b = drive(&bare_addr);
+                    (b, drive(&traced_addr))
+                } else {
+                    let t = drive(&traced_addr);
+                    (drive(&bare_addr), t)
+                };
+                bare_all.push(bare);
+                traced_all.push(traced);
+                println!("rep {rep}: bare {bare:.1} req/s, traced {traced:.1} req/s");
+            }
+            let mut sorted: Vec<f64> = bare_all
+                .iter()
+                .zip(&traced_all)
+                .map(|(no, tr)| 100.0 * (no - tr) / no.max(1e-9))
+                .collect();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            if round == 0 && sorted[sorted.len() / 2] >= trace_budget_pct {
+                println!("first-round median missed the budget; pooling a second round");
+            } else {
+                break;
+            }
+        }
+
+        // The traced server must actually have retained traces — an
+        // accidentally-dormant tracer would measure 0% overhead.
+        let slowest = admin_round_trip(
+            &traced_addr,
+            "{\"id\": 3, \"method\": \"trace\", \"slowest\": 1}",
+        );
+        assert_eq!(slowest.get("ok").and_then(Json::as_bool), Some(true));
+        let retained = slowest
+            .get("store")
+            .and_then(|s| s.get("retained"))
+            .and_then(Json::as_f64)
+            .expect("trace frame carries store totals") as u64;
+
+        bare_handle.shutdown();
+        traced_handle.shutdown();
+        bare_handle.wait();
+        traced_handle.wait();
+        (bare_all, traced_all, retained)
+    };
+
+    let trace_pair_overheads: Vec<f64> = bare_rps
+        .iter()
+        .zip(&traced_rps)
+        .map(|(no, tr)| 100.0 * (no - tr) / no.max(1e-9))
+        .collect();
+    let trace_overhead_pct = median(&trace_pair_overheads);
+    let bare_rps = median(&bare_rps);
+    let traced_rps = median(&traced_rps);
+    println!(
+        "tracing overhead: bare {bare_rps:.1} req/s vs traced {traced_rps:.1} req/s \
+         median ({} pct, {retained} traces retained, budget {} pct)",
+        f2(trace_overhead_pct),
+        f2(trace_budget_pct)
+    );
+    assert!(
+        retained > 0,
+        "the traced server must have retained at least one trace"
+    );
+    assert!(
+        trace_overhead_pct < trace_budget_pct,
+        "tracing cost {trace_overhead_pct:.2}% of throughput (budget {trace_budget_pct:.2}%)"
+    );
+
+    let trace_json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"requests\": {trace_requests},\n  \"concurrency\": {concurrency},\n  \"warm_rows\": {warm_rows},\n  \"seed\": {seed},\n  \"reps\": {trace_reps},\n  \"bare_rps\": {bare_rps:.3},\n  \"traced_rps\": {traced_rps:.3},\n  \"overhead_pct\": {trace_overhead_pct:.3},\n  \"budget_pct\": {trace_budget_pct:.3},\n  \"retained\": {retained}\n}}\n",
+        preset.name()
+    );
+    write_artifact(&trace_out, &trace_json);
+    println!("wrote {trace_out}");
 }

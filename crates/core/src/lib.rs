@@ -76,8 +76,9 @@ pub use metrics::{
     BatchReport, BatchResult, FailureKind, OverheadBreakdown, RunMetrics, TupleFailure,
 };
 pub use obs::{
-    fold_provenance, register_standard, EventSink, MetricsRegistry, MetricsSnapshot,
-    ProvenanceRecord, ProvenanceSink,
+    fold_provenance, register_standard, trace_sampled, EventSink, MetricsRegistry,
+    MetricsSnapshot, ProvenanceRecord, ProvenanceSink, RequestTrace, StageSpan, TraceContext,
+    TraceCounters, TraceSink, TraceSpan, TraceStore, TraceStoreConfig,
 };
 pub use parallel::chunks;
 pub use runner::{

@@ -6,9 +6,11 @@
 //! keys regardless of which (method, explainer) combination ran.
 
 pub use shahin_obs::{
-    bucket_index, bucket_upper_ns, current_thread_id, Counter, EventRecord, EventSink, Gauge,
-    Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ProvenanceRecord,
-    ProvenanceSink, ProvenanceTotals, Span, ValueHistogram, N_BUCKETS, SPAN_PREFIX,
+    bucket_index, bucket_upper_ns, current_thread_id, trace_sampled, Counter, EventRecord,
+    EventSink, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    ProvenanceRecord, ProvenanceSink, ProvenanceTotals, RequestTrace, Span, StageSpan,
+    TraceContext, TraceCounters, TraceSink, TraceSpan, TraceStore, TraceStoreConfig,
+    ValueHistogram, N_BUCKETS, SPAN_PREFIX,
 };
 
 use std::sync::Arc;
@@ -183,6 +185,24 @@ pub mod names {
     /// the monitor each tick).
     pub const SERVE_WARM_BYTES: &str = "serve.warm_bytes";
 
+    /// Admin `trace` frames answered (trace fetches from the tail-sampled
+    /// store; counted apart from `serve.scrapes` so scrape-rate
+    /// assertions stay undisturbed).
+    pub const SERVE_TRACE_FETCHES: &str = "serve.trace_fetches";
+    /// Request traces currently retained in the tail-sampled store
+    /// (gauge, sampled by the monitor each tick).
+    pub const TRACE_RETAINED: &str = "trace.retained";
+    /// Request traces not retained by the tail-sampling policy (gauge,
+    /// monotone within one process; sampled by the monitor).
+    pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// Retained traces evicted by the ring bound (gauge, sampled by the
+    /// monitor each tick).
+    pub const TRACE_EVICTED: &str = "trace.evicted";
+    /// Counter regressions detected by the windowed aggregator — a
+    /// persistent scraper watched the process restart (counter,
+    /// published by the monitor from the aggregator's running total).
+    pub const OBS_COUNTER_RESETS: &str = "obs.counter_resets";
+
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
     pub fn anchor_shard(idx: usize, kind: &str) -> String {
@@ -247,6 +267,8 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::SERVE_REFRESHES,
         names::SERVE_SCRAPES,
         names::SERVE_MONITOR_TICKS,
+        names::SERVE_TRACE_FETCHES,
+        names::OBS_COUNTER_RESETS,
     ] {
         reg.counter(counter);
     }
@@ -259,6 +281,9 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::SERVE_BATCH_INFLIGHT,
         names::SERVE_WARM_ENTRIES,
         names::SERVE_WARM_BYTES,
+        names::TRACE_RETAINED,
+        names::TRACE_DROPPED,
+        names::TRACE_EVICTED,
         names::PROVENANCE_RECORDS,
         names::PROVENANCE_MATCHED_ITEMSETS,
         names::PROVENANCE_STORE_MISSES,
@@ -329,6 +354,10 @@ pub(crate) struct ProvenanceCtx {
     /// Serving request id stamped on every record this context emits
     /// (`None` for the offline drivers).
     request: Option<u64>,
+    /// Trace id stamped on every record this context emits, joining the
+    /// lineage against the request's retained [`RequestTrace`] (`None`
+    /// for the offline drivers and untraced serve requests).
+    trace: Option<u64>,
 }
 
 impl ProvenanceCtx {
@@ -339,14 +368,17 @@ impl ProvenanceCtx {
             method: Arc::from(method),
             explainer: Arc::from(explainer),
             request: None,
+            trace: None,
         }
     }
 
-    /// A copy of this context that stamps `request` on its records — the
-    /// serve engine tags each tuple with the request that asked for it.
-    pub(crate) fn tagged(&self, request: u64) -> ProvenanceCtx {
+    /// A copy of this context that stamps `request` (and, when present,
+    /// `trace`) on its records — the serve engine tags each tuple with
+    /// the request that asked for it.
+    pub(crate) fn tagged(&self, request: u64, trace: Option<u64>) -> ProvenanceCtx {
         ProvenanceCtx {
             request: Some(request),
+            trace,
             ..self.clone()
         }
     }
@@ -399,6 +431,7 @@ impl ProvenanceCtx {
             }),
             degraded,
             request: self.request,
+            trace_id: self.trace,
         });
     }
 }

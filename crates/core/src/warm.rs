@@ -30,6 +30,7 @@
 //! mutable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -44,7 +45,9 @@ use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::batch::{estimate_base_value_guarded, ShahinBatch};
 use crate::config::BatchConfig;
 use crate::metrics::TupleFailure;
-use crate::obs::{names, register_standard, MetricsRegistry, ProvenanceCtx};
+use crate::obs::{
+    names, register_standard, MetricsRegistry, ProvenanceCtx, StageSpan, TraceCounters, TraceSink,
+};
 use crate::parallel::chunks;
 use crate::quarantine::{guard_tuple, QuarantineObs, TupleOutcome};
 use crate::runner::{per_tuple_seed, Explanation, SHAP_BASE_SAMPLES};
@@ -95,6 +98,13 @@ pub struct WarmRequest {
     pub row: usize,
     /// Serving request id for provenance tagging.
     pub request_id: u64,
+    /// Trace id of the request's [`shahin_obs::RequestTrace`], if the
+    /// serve layer is tracing it. When set (and the registry carries a
+    /// [`TraceSink`]), the worker deposits per-stage [`StageSpan`]s —
+    /// `retrieve`, `classify`, `explain` — keyed by this id, which the
+    /// serve batcher collects into the request's span tree. `None` keeps
+    /// the engine-side tracing cost at one branch per stage.
+    pub trace: Option<u64>,
 }
 
 /// Outcome of one warm-served request.
@@ -260,35 +270,41 @@ impl<C: Classifier> WarmEngine<C> {
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
         let prov = ProvenanceCtx::new(&self.obs, "Shahin-Serve", self.explainer.name());
         let quarantine = QuarantineObs::new(&self.obs);
+        let traces = self.obs.trace_sink();
 
         let mut slots: Vec<Option<TupleOutcome<Explanation>>> =
             (0..requests.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut rest = slots.as_mut_slice();
-            for (start, end) in chunks(requests.len(), n_threads) {
+            for (i, (start, end)) in chunks(requests.len(), n_threads).into_iter().enumerate() {
                 let (head, tail) = rest.split_at_mut(end - start);
                 rest = tail;
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
-                scope.spawn(move || {
-                    let mut scratch = MatchScratch::new();
-                    for (offset, slot) in head.iter_mut().enumerate() {
-                        let req = requests[start + offset];
-                        *slot = Some(self.explain_one(
-                            req,
-                            epoch,
-                            table,
-                            store,
-                            &retrieve_hist,
-                            &surrogate_hist,
-                            &prov,
-                            &quarantine,
-                            &mut scratch,
-                        ));
-                    }
-                });
+                let traces = traces.clone();
+                std::thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn_scoped(scope, move || {
+                        let mut scratch = MatchScratch::new();
+                        for (offset, slot) in head.iter_mut().enumerate() {
+                            let req = requests[start + offset];
+                            *slot = Some(self.explain_one(
+                                req,
+                                epoch,
+                                table,
+                                store,
+                                &retrieve_hist,
+                                &surrogate_hist,
+                                &prov,
+                                &quarantine,
+                                traces.as_deref(),
+                                &mut scratch,
+                            ));
+                        }
+                    })
+                    .expect("spawn warm worker");
             }
         });
 
@@ -322,16 +338,42 @@ impl<C: Classifier> WarmEngine<C> {
         surrogate_hist: &crate::obs::Histogram,
         prov: &ProvenanceCtx,
         quarantine: &QuarantineObs,
+        traces: Option<&TraceSink>,
         scratch: &mut MatchScratch,
     ) -> TupleOutcome<Explanation> {
         let row = req.row;
-        let prov = prov.tagged(req.request_id);
+        let prov = prov.tagged(req.request_id, req.trace);
+        // Armed only when the request carries a trace id AND the registry
+        // has a sink; the untraced path pays one `Option` check per stage.
+        // Tracing must never perturb the explanation: it takes no RNG
+        // draws and the per-tuple seed stays a function of the row alone.
+        let trace = match (traces, req.trace) {
+            (Some(sink), Some(id)) => Some((sink, id)),
+            _ => None,
+        };
         let (ctx, clf) = (&self.ctx, &self.clf);
         guard_tuple(row as u32, quarantine, |incidents0| {
             let t0 = prov.start();
             let codes = table.row(row);
             let retrieve = retrieve_hist.start();
+            let stage_t = trace.map(|_| Instant::now());
             let (matched, lookup) = store.matching_read_stats(&codes, scratch);
+            if let Some((sink, id)) = trace {
+                let start = stage_t.expect("armed with the trace");
+                sink.push(
+                    id,
+                    StageSpan {
+                        name: "retrieve",
+                        start,
+                        dur: start.elapsed(),
+                        counters: TraceCounters {
+                            store_hits: lookup.hits,
+                            store_misses: lookup.misses,
+                            ..TraceCounters::default()
+                        },
+                    },
+                );
+            }
             drop(retrieve);
             let instance = self.warm.instance(row);
             match &self.explainer {
@@ -339,6 +381,7 @@ impl<C: Classifier> WarmEngine<C> {
                     let mut tuple_rng = StdRng::seed_from_u64(per_tuple_seed(self.seed, row));
                     let pooled = matched.iter().flat_map(|&id| store.samples(id).iter());
                     let _fit = surrogate_hist.start();
+                    let stage_t = trace.map(|_| Instant::now());
                     let (weights, reuse) = lime.explain_with_reused_counted(
                         ctx,
                         clf,
@@ -346,6 +389,16 @@ impl<C: Classifier> WarmEngine<C> {
                         pooled,
                         &mut tuple_rng,
                     );
+                    if let Some((sink, id)) = trace {
+                        push_explain_stages(
+                            sink,
+                            id,
+                            stage_t.expect("armed with the trace"),
+                            reuse.reused,
+                            reuse.fresh,
+                            reuse.invocations,
+                        );
+                    }
                     let degraded =
                         reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
                     prov.record(
@@ -367,7 +420,23 @@ impl<C: Classifier> WarmEngine<C> {
                         .anchor
                         .as_ref()
                         .expect("anchor engine has a wired clone");
+                    let stage_t = trace.map(|_| Instant::now());
                     let target = clf.predict(&instance);
+                    if let Some((sink, id)) = trace {
+                        let start = stage_t.expect("armed with the trace");
+                        sink.push(
+                            id,
+                            StageSpan {
+                                name: "classify",
+                                start,
+                                dur: start.elapsed(),
+                                counters: TraceCounters {
+                                    invocations: 1,
+                                    ..TraceCounters::default()
+                                },
+                            },
+                        );
+                    }
                     let mut sampler = CachingRuleSampler::new(
                         ctx,
                         clf,
@@ -376,8 +445,26 @@ impl<C: Classifier> WarmEngine<C> {
                         &self.caches,
                         per_tuple_seed(self.seed, row),
                     );
+                    let stage_t = trace.map(|_| Instant::now());
                     let explanation = anchor.explain_with_sampler(&codes, target, &mut sampler);
                     let stats = sampler.stats();
+                    if let Some((sink, id)) = trace {
+                        let start = stage_t.expect("armed with the trace");
+                        sink.push(
+                            id,
+                            StageSpan {
+                                name: "explain",
+                                start,
+                                dur: start.elapsed(),
+                                counters: TraceCounters {
+                                    samples_reused: stats.reused,
+                                    samples_fresh: stats.fresh,
+                                    invocations: stats.fresh,
+                                    ..TraceCounters::default()
+                                },
+                            },
+                        );
+                    }
                     let degraded = shahin_model::degraded_incidents() > incidents0;
                     prov.record(
                         row as u32,
@@ -398,6 +485,7 @@ impl<C: Classifier> WarmEngine<C> {
                     let pooled = pool_coalitions(store, &matched, shap.params.n_samples / 2);
                     let mut source = StoreCoalitionSource::new(store, matched.clone());
                     let _fit = surrogate_hist.start();
+                    let stage_t = trace.map(|_| Instant::now());
                     let (weights, reuse) = shap.explain_with_counted(
                         ctx,
                         clf,
@@ -407,6 +495,16 @@ impl<C: Classifier> WarmEngine<C> {
                         &mut source,
                         &mut tuple_rng,
                     );
+                    if let Some((sink, id)) = trace {
+                        push_explain_stages(
+                            sink,
+                            id,
+                            stage_t.expect("armed with the trace"),
+                            reuse.reused,
+                            reuse.fresh,
+                            reuse.invocations,
+                        );
+                    }
                     let degraded =
                         reuse.clamped > 0 || shahin_model::degraded_incidents() > incidents0;
                     prov.record(
@@ -426,6 +524,49 @@ impl<C: Classifier> WarmEngine<C> {
             }
         })
     }
+}
+
+/// Deposits the surrogate explainers' stage spans for one traced tuple:
+/// an `explain` span timing the whole surrogate fit (sample top-up +
+/// regression) carrying the reuse counters, plus a zero-length `classify`
+/// marker at its start carrying the classifier-invocation attribution.
+/// LIME/SHAP drive the classifier from inside the fit, so classify wall
+/// time is not separable — only Anchor's direct target probe gets a timed
+/// classify span — but the invocation *count* is exact either way.
+fn push_explain_stages(
+    sink: &TraceSink,
+    id: u64,
+    start: Instant,
+    reused: u64,
+    fresh: u64,
+    invocations: u64,
+) {
+    let dur = start.elapsed();
+    sink.push(
+        id,
+        StageSpan {
+            name: "classify",
+            start,
+            dur: Duration::ZERO,
+            counters: TraceCounters {
+                invocations,
+                ..TraceCounters::default()
+            },
+        },
+    );
+    sink.push(
+        id,
+        StageSpan {
+            name: "explain",
+            start,
+            dur,
+            counters: TraceCounters {
+                samples_reused: reused,
+                samples_fresh: fresh,
+                ..TraceCounters::default()
+            },
+        },
+    );
 }
 
 #[cfg(test)]
@@ -492,6 +633,7 @@ mod tests {
                     .map(|&row| WarmRequest {
                         row,
                         request_id: row as u64,
+                        trace: None,
                     })
                     .collect();
                 for (req, out) in reqs.iter().zip(eng.explain(&reqs)) {
@@ -514,6 +656,7 @@ mod tests {
         let req = [WarmRequest {
             row: 3,
             request_id: 1,
+            trace: None,
         }];
         let first = match &eng.explain(&req)[0] {
             WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
@@ -537,6 +680,8 @@ mod tests {
         let reg = MetricsRegistry::new();
         let sink = Arc::new(ProvenanceSink::new());
         reg.attach_provenance_sink(Arc::clone(&sink));
+        let traces = Arc::new(TraceSink::new());
+        reg.attach_trace_sink(Arc::clone(&traces));
         let eng = WarmEngine::prime(
             BatchConfig::default(),
             WarmExplainer::Lime(lime()),
@@ -550,10 +695,12 @@ mod tests {
             WarmRequest {
                 row: 0,
                 request_id: 100,
+                trace: Some(40),
             },
             WarmRequest {
                 row: 1,
                 request_id: 101,
+                trace: None,
             },
         ]);
         let recs = sink.records();
@@ -565,6 +712,69 @@ mod tests {
             assert_eq!(r.epoch, 0);
             assert!(r.to_json().contains("\"request\": "));
         }
+
+        // The traced request's lineage joins against its trace id; the
+        // untraced one carries none and deposits no stage spans.
+        let traced = recs.iter().find(|r| r.request == Some(100)).unwrap();
+        assert_eq!(traced.trace_id, Some(40));
+        let untraced = recs.iter().find(|r| r.request == Some(101)).unwrap();
+        assert_eq!(untraced.trace_id, None);
+        let stages = traces.take(40);
+        let names: Vec<&str> = stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["retrieve", "classify", "explain"]);
+        let mut totals = TraceCounters::default();
+        for s in &stages {
+            totals.absorb(&s.counters);
+        }
+        assert_eq!(totals.invocations, traced.invocations);
+        assert_eq!(totals.samples_reused, traced.samples_reused);
+        assert_eq!(totals.samples_fresh, traced.samples_fresh);
+        assert_eq!(totals.store_misses, traced.store_misses);
+        assert!(traces.is_empty(), "row 1 was untraced — nothing left over");
+    }
+
+    #[test]
+    fn tracing_does_not_change_served_explanations() {
+        use std::sync::Arc;
+
+        let (ctx, clf, warm) = setup();
+        let reg = MetricsRegistry::new();
+        let traces = Arc::new(TraceSink::new());
+        reg.attach_trace_sink(Arc::clone(&traces));
+        let eng = WarmEngine::prime(
+            BatchConfig {
+                n_threads: Some(2),
+                ..Default::default()
+            },
+            WarmExplainer::Lime(lime()),
+            ctx,
+            clf,
+            warm,
+            11,
+            &reg,
+        );
+        let bare = [WarmRequest {
+            row: 5,
+            request_id: 1,
+            trace: None,
+        }];
+        let traced = [WarmRequest {
+            row: 5,
+            request_id: 2,
+            trace: Some(9),
+        }];
+        let w_bare = match &eng.explain(&bare)[0] {
+            WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+            WarmOutcome::Failed(f) => panic!("{f:?}"),
+        };
+        let w_traced = match &eng.explain(&traced)[0] {
+            WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+            WarmOutcome::Failed(f) => panic!("{f:?}"),
+        };
+        assert_eq!(w_bare, w_traced, "tracing must not perturb explanations");
+        let stages = traces.take(9);
+        assert_eq!(stages.len(), 3);
+        assert!(stages.iter().all(|s| s.dur <= s.start.elapsed()));
     }
 
     #[test]
@@ -616,6 +826,7 @@ mod tests {
             .map(|row| WarmRequest {
                 row,
                 request_id: row as u64,
+                trace: None,
             })
             .collect();
         let outs = eng.explain(&reqs);

@@ -30,6 +30,14 @@
 //!   [`ProvenanceRecord`] per tuple (matched itemsets, reused vs fresh
 //!   samples, invocations, wall time), exported as JSONL
 //!   (`--provenance-out`).
+//! * [`TraceContext`] / [`RequestTrace`] / [`TraceStore`] —
+//!   request-scoped tracing: a causal span tree per served request
+//!   (queue wait, batch, store retrieval, classifier, explainer) with
+//!   the key counters, retained in a bounded tail-sampled store (errors
+//!   always, slowest K per window, sampled bulk) and renderable as
+//!   single-request Chrome-trace JSON. Histogram buckets remember the
+//!   last trace id that landed in them ([`Histogram::record_ns_traced`])
+//!   as exemplars in both exports (see [`trace`]).
 //! * [`WindowedAggregator`] / [`SloTracker`] — live views for
 //!   long-running processes: a monitor thread snapshots the registry
 //!   every tick and differences consecutive snapshots into a bounded
@@ -58,6 +66,7 @@ pub mod prometheus;
 pub mod provenance;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 pub mod window;
 
 pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
@@ -68,6 +77,10 @@ pub use registry::{
     ValueHistogram, N_BUCKETS, N_STRIPES, SPAN_PREFIX,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::{
+    trace_sampled, RequestTrace, StageSpan, TraceContext, TraceCounters, TraceSink, TraceSpan,
+    TraceStore, TraceStoreConfig, N_TRACE_STRIPES,
+};
 pub use window::{SloConfig, SloStatus, SloTracker, WindowDelta, WindowedAggregator};
 
 /// Starts an RAII span timer on a registry: `span!(reg, "fim.mine")`

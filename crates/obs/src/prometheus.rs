@@ -41,6 +41,22 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Emits one `# EXEMPLAR` comment per stamped bucket, after the family's
+/// sample lines (comment placement matters: a `# TYPE` header must be
+/// followed immediately by a sample of its family). The label-free v1
+/// exposition has no native exemplar syntax, so these ride as comments a
+/// human or the check scripts can join against retained traces.
+fn push_exemplar_comments(out: &mut String, base: &str, exemplars: &[(usize, u64)]) {
+    for &(i, trace_id) in exemplars {
+        let le = bucket_upper_ns(i);
+        if le == u64::MAX {
+            writeln!(out, "# EXEMPLAR {base}_bucket{{le=\"+Inf\"}} trace_id={trace_id}").unwrap();
+        } else {
+            writeln!(out, "# EXEMPLAR {base}_bucket{{le=\"{le}\"}} trace_id={trace_id}").unwrap();
+        }
+    }
+}
+
 fn push_histogram_family(out: &mut String, base: &str, h: &HistogramSnapshot) {
     writeln!(out, "# TYPE {base} histogram").unwrap();
     let mut cumulative = 0u64;
@@ -78,10 +94,16 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let base = format!("{}_ns", sanitize_name(name));
             push_histogram_family(&mut out, &base, h);
+            if let Some(ex) = self.exemplars.get(name) {
+                push_exemplar_comments(&mut out, &base, ex);
+            }
         }
         for (name, h) in &self.value_histograms {
             let base = sanitize_name(name);
             push_histogram_family(&mut out, &base, h);
+            if let Some(ex) = self.exemplars.get(name) {
+                push_exemplar_comments(&mut out, &base, ex);
+            }
         }
         out
     }
@@ -175,5 +197,39 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(MetricsSnapshot::default().to_prometheus(), "");
+    }
+
+    #[test]
+    fn exemplar_comments_follow_their_family_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("serve.request_latency");
+        h.record_ns_traced(900, 17);
+        h.record_ns_traced(u64::MAX, 23);
+        let text = reg.snapshot().to_prometheus();
+        assert!(
+            text.contains(
+                "# EXEMPLAR serve_request_latency_ns_bucket{le=\"1023\"} trace_id=17\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# EXEMPLAR serve_request_latency_ns_bucket{le=\"+Inf\"} trace_id=23\n"
+            ),
+            "{text}"
+        );
+        // Comments come after the family's sample lines, never directly
+        // after a # TYPE header.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.starts_with("# EXEMPLAR") {
+                assert!(
+                    !lines[i - 1].starts_with("# TYPE"),
+                    "exemplar comment directly after a TYPE header:\n{text}"
+                );
+            }
+        }
+        // Untraced snapshots emit no exemplar comments.
+        assert!(!sample().to_prometheus().contains("# EXEMPLAR"));
     }
 }

@@ -71,6 +71,10 @@ pub struct ProvenanceRecord {
     /// Serving request id that asked for this explanation (`shahin-serve`
     /// only; `None` — and omitted from the JSONL — for offline drivers).
     pub request: Option<u64>,
+    /// Trace id of the serving request, joining this row against the
+    /// retained [`crate::trace::RequestTrace`]s (`None` — and omitted
+    /// from the JSONL — when the request was untraced or offline).
+    pub trace_id: Option<u64>,
 }
 
 impl ProvenanceRecord {
@@ -115,6 +119,10 @@ impl ProvenanceRecord {
             // Truncate the closing brace, append the optional key, re-close.
             out.pop();
             write!(out, ", \"request\": {request}}}").unwrap();
+        }
+        if let Some(trace_id) = self.trace_id {
+            out.pop();
+            write!(out, ", \"trace_id\": {trace_id}}}").unwrap();
         }
         out
     }
@@ -337,5 +345,24 @@ mod tests {
         let line = served.to_json();
         assert!(line.ends_with(", \"request\": 97}"), "got {line}");
         assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn trace_id_is_serialized_only_when_present() {
+        let untraced = record(0, 1, 2);
+        assert!(!untraced.to_json().contains("\"trace_id\""));
+        let mut traced = record(1, 3, 4);
+        traced.request = Some(97);
+        traced.trace_id = Some(12);
+        let line = traced.to_json();
+        assert!(
+            line.ends_with(", \"request\": 97, \"trace_id\": 12}"),
+            "got {line}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        // A traced record without a request id still serializes cleanly.
+        let mut only_trace = record(2, 1, 1);
+        only_trace.trace_id = Some(5);
+        assert!(only_trace.to_json().ends_with(", \"trace_id\": 5}"));
     }
 }

@@ -18,6 +18,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::events::EventSink;
 use crate::provenance::ProvenanceSink;
+use crate::trace::TraceSink;
 
 /// Number of name-keyed stripes. Registration is rare (handles are cached
 /// by the instrumented structures), so this only needs to keep concurrent
@@ -53,6 +54,10 @@ pub(crate) struct HistogramCell {
     pub(crate) count: AtomicU64,
     pub(crate) sum_ns: AtomicU64,
     pub(crate) buckets: [AtomicU64; N_BUCKETS],
+    /// Exemplars: per bucket, the last nonzero trace id whose sample
+    /// landed there (0 = none yet). Written only by the traced record
+    /// path, so untraced hot paths never touch this array.
+    pub(crate) exemplars: [AtomicU64; N_BUCKETS],
 }
 
 impl HistogramCell {
@@ -61,6 +66,7 @@ impl HistogramCell {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -206,6 +212,29 @@ impl Histogram {
     #[inline]
     pub fn record(&self, d: Duration) {
         self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample and stamps `trace_id` as the exemplar of the
+    /// bucket it lands in (a `trace_id` of 0 means "untraced" and only
+    /// records the sample). Snapshots export the exemplars so operators
+    /// can jump from a latency bucket to a concrete retained trace.
+    #[inline]
+    pub fn record_ns_traced(&self, ns: u64, trace_id: u64) {
+        if let Some(cell) = &self.cell {
+            let i = bucket_index(ns);
+            cell.buckets[i].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            if trace_id != 0 {
+                cell.exemplars[i].store(trace_id, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Duration-flavored [`Histogram::record_ns_traced`].
+    #[inline]
+    pub fn record_traced(&self, d: Duration, trace_id: u64) {
+        self.record_ns_traced(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), trace_id);
     }
 
     /// Starts an RAII span recording into this histogram when dropped.
@@ -413,6 +442,9 @@ struct Inner {
     /// Per-tuple provenance sink; drivers record lineage only while
     /// attached.
     provenance: RwLock<Option<Arc<ProvenanceSink>>>,
+    /// Per-request stage-span sink; engine workers record trace stages
+    /// only while attached.
+    traces: RwLock<Option<Arc<TraceSink>>>,
 }
 
 /// A lock-striped, thread-safe registry of named metrics. Cloning shares
@@ -448,6 +480,7 @@ impl MetricsRegistry {
                 stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
                 events: RwLock::new(None),
                 provenance: RwLock::new(None),
+                traces: RwLock::new(None),
             }),
         }
     }
@@ -586,6 +619,23 @@ impl MetricsRegistry {
         self.inner.provenance.read().clone()
     }
 
+    /// Attaches a request-trace stage sink: engine workers that see it
+    /// record per-stage [`crate::trace::StageSpan`]s for traced
+    /// requests. Ignored on a disabled registry.
+    pub fn attach_trace_sink(&self, sink: Arc<TraceSink>) {
+        if self.inner.enabled {
+            *self.inner.traces.write() = Some(sink);
+        }
+    }
+
+    /// The attached trace sink, if any (always `None` when disabled).
+    pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        if !self.inner.enabled {
+            return None;
+        }
+        self.inner.traces.read().clone()
+    }
+
     /// Starts an RAII span recording into `span.{name}` when dropped.
     pub fn span(&self, name: &str) -> Span {
         self.span_histogram(name).start()
@@ -607,10 +657,18 @@ impl MetricsRegistry {
                     }
                     Slot::Histogram(h) => {
                         snap.histograms.insert(name.clone(), freeze_histogram(h));
+                        let ex = freeze_exemplars(h);
+                        if !ex.is_empty() {
+                            snap.exemplars.insert(name.clone(), ex);
+                        }
                     }
                     Slot::ValueHistogram(h) => {
                         snap.value_histograms
                             .insert(name.clone(), freeze_histogram(h));
+                        let ex = freeze_exemplars(h);
+                        if !ex.is_empty() {
+                            snap.exemplars.insert(name.clone(), ex);
+                        }
                     }
                 }
             }
@@ -637,6 +695,19 @@ fn freeze_histogram(h: &HistogramCell) -> crate::HistogramSnapshot {
         sum_ns: h.sum_ns.load(Ordering::Relaxed),
         buckets,
     }
+}
+
+/// The `(bucket_index, last_trace_id)` exemplar pairs of one histogram
+/// cell; buckets that never saw a traced sample are omitted.
+fn freeze_exemplars(h: &HistogramCell) -> Vec<(usize, u64)> {
+    h.exemplars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let id = e.load(Ordering::Relaxed);
+            (id != 0).then_some((i, id))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -871,6 +942,54 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn traced_records_stamp_bucket_exemplars() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("serve.request_latency");
+        h.record_ns(500); // untraced: no exemplar
+        h.record_ns_traced(600, 41); // same bucket, traced
+        h.record_ns_traced(600, 42); // last writer wins
+        h.record_ns_traced(1 << 20, 7);
+        h.record_ns_traced(900, 0); // trace id 0 = untraced
+        let snap = reg.snapshot();
+        let ex = snap.exemplars.get("serve.request_latency").expect("stamped");
+        assert_eq!(ex.len(), 2);
+        assert!(ex.contains(&(bucket_index(600), 42)));
+        assert!(ex.contains(&(bucket_index(1 << 20), 7)));
+        // Counts unaffected by tracing.
+        assert_eq!(h.count(), 5);
+        // Histograms that never saw a traced sample export no entry.
+        reg.histogram("quiet").record_ns(3);
+        assert!(!reg.snapshot().exemplars.contains_key("quiet"));
+        // Detached handles stay no-ops.
+        let off = Histogram::noop();
+        off.record_ns_traced(5, 9);
+        assert_eq!(off.count(), 0);
+    }
+
+    #[test]
+    fn trace_sink_round_trips_through_registry() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.trace_sink().is_none());
+        let sink = Arc::new(crate::trace::TraceSink::new());
+        reg.attach_trace_sink(Arc::clone(&sink));
+        let got = reg.trace_sink().expect("attached");
+        got.push(
+            3,
+            crate::trace::StageSpan {
+                name: "retrieve",
+                start: Instant::now(),
+                dur: Duration::from_micros(1),
+                counters: crate::trace::TraceCounters::default(),
+            },
+        );
+        assert_eq!(sink.len(), 1);
+        // Disabled registries ignore the attachment.
+        let off = MetricsRegistry::disabled();
+        off.attach_trace_sink(Arc::new(crate::trace::TraceSink::new()));
+        assert!(off.trace_sink().is_none());
     }
 
     #[test]

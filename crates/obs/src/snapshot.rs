@@ -61,6 +61,11 @@ pub struct MetricsSnapshot {
     /// Unitless value histograms (batch sizes, counts); exported without
     /// time semantics.
     pub value_histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-histogram bucket exemplars: `(bucket_index, trace_id)` pairs
+    /// recording the last trace id whose sample landed in each bucket
+    /// (see [`crate::Histogram::record_ns_traced`]). Only histograms
+    /// that saw at least one traced sample appear.
+    pub exemplars: BTreeMap<String, Vec<(usize, u64)>>,
 }
 
 impl MetricsSnapshot {
@@ -94,8 +99,44 @@ impl MetricsSnapshot {
         push_histograms(&mut out, &self.histograms, "ns");
         out.push_str("},\n  \"value_histograms\": {");
         push_histograms(&mut out, &self.value_histograms, "");
+        out.push_str("},\n  \"exemplars\": {");
+        self.push_exemplars(&mut out);
         out.push_str("}\n}\n");
         out
+    }
+
+    /// Serializes the exemplar map: per histogram, one object per
+    /// stamped bucket with the bucket's upper bound (in the histogram's
+    /// own unit) and the last trace id that landed there.
+    fn push_exemplars(&self, out: &mut String) {
+        let mut first = true;
+        for (name, pairs) in &self.exemplars {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let suffix = if self.value_histograms.contains_key(name) {
+                ""
+            } else {
+                "_ns"
+            };
+            write!(out, "\n    \"{}\": [", escape(name)).unwrap();
+            for (j, &(i, id)) in pairs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let le = bucket_upper_ns(i);
+                if le == u64::MAX {
+                    write!(out, "{{\"le{suffix}\": null, \"trace_id\": {id}}}").unwrap();
+                } else {
+                    write!(out, "{{\"le{suffix}\": {le}, \"trace_id\": {id}}}").unwrap();
+                }
+            }
+            out.push(']');
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
     }
 
     /// Renders the snapshot as aligned console tables: spans (phase wall
@@ -330,6 +371,32 @@ mod tests {
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"value_histograms\": {}"));
+        assert!(json.contains("\"exemplars\": {}"));
+    }
+
+    #[test]
+    fn exemplars_export_bucket_bounds_and_trace_ids() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("serve.request_latency")
+            .record_ns_traced(900, 17);
+        reg.histogram("serve.request_latency")
+            .record_ns_traced(u64::MAX, 23);
+        reg.value_histogram("serve.batch_size").record(4);
+        let json = reg.snapshot().to_json();
+        // ns-unit bound for the time histogram; catch-all renders null.
+        assert!(json.contains("\"exemplars\""), "{json}");
+        assert!(
+            json.contains("{\"le_ns\": 1023, \"trace_id\": 17}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"le_ns\": null, \"trace_id\": 23}"),
+            "{json}"
+        );
+        // Untraced histograms contribute no exemplar entries.
+        assert!(!json.contains("\"serve.batch_size\": ["), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! *differencing* consecutive snapshots into [`WindowDelta`]s kept in a
 //! bounded ring:
 //!
-//! * counters — monotonic, so `fresh - prev` is the per-window increment
-//!   (saturating, so a registry reset mid-flight degrades to zero instead
-//!   of wrapping);
+//! * counters — monotonic, so `fresh - prev` is the per-window increment.
+//!   A counter *below* its baseline means the process restarted under a
+//!   persistent scraper: the aggregator counts the reset
+//!   ([`WindowedAggregator::counter_resets`], published as the
+//!   `obs.counter_resets` counter by the serve monitor), re-baselines on
+//!   the fresh snapshot, and emits no bogus window for that tick;
 //! * gauges — instantaneous, so the window keeps the *last value*;
 //! * histograms — per-bucket counts are monotonic, so bucket-wise
 //!   differencing yields a histogram of only the samples recorded inside
@@ -132,6 +135,7 @@ pub struct WindowedAggregator {
     ring: std::collections::VecDeque<WindowDelta>,
     prev: Option<(Instant, MetricsSnapshot)>,
     next_seq: u64,
+    counter_resets: u64,
 }
 
 impl WindowedAggregator {
@@ -142,7 +146,14 @@ impl WindowedAggregator {
             ring: std::collections::VecDeque::new(),
             prev: None,
             next_seq: 1,
+            counter_resets: 0,
         }
+    }
+
+    /// Times a counter regressed below its baseline (process restart
+    /// under a persistent scraper); each one re-baselined the aggregator.
+    pub fn counter_resets(&self) -> u64 {
+        self.counter_resets
     }
 
     /// Maximum number of windows retained.
@@ -175,6 +186,19 @@ impl WindowedAggregator {
             self.prev = Some((at, snapshot));
             return None;
         };
+        // A counter below its baseline can only mean the process behind
+        // the snapshots restarted: re-baseline on the fresh snapshot and
+        // skip the window instead of reporting a silent all-zero delta
+        // (the restart gap is unknowable, not zero).
+        if snapshot
+            .counters
+            .iter()
+            .any(|(name, &v)| v < prev_snap.counter(name))
+        {
+            self.counter_resets += 1;
+            self.prev = Some((at, snapshot));
+            return None;
+        }
         let mut counters = BTreeMap::new();
         for (name, &v) in &snapshot.counters {
             let d = v.saturating_sub(prev_snap.counter(name));
@@ -489,17 +513,44 @@ mod tests {
     }
 
     #[test]
-    fn counter_reset_degrades_to_zero_delta() {
+    fn counter_reset_rebaselines_and_is_counted() {
         let mut agg = WindowedAggregator::new(2);
         let big = reg_with(100, 0, &[]);
         let t0 = Instant::now();
         agg.tick_at(t0, big.snapshot());
-        // Simulate a reset: a fresh registry with a smaller cumulative value.
+        assert_eq!(agg.counter_resets(), 0);
+        // Simulate a restart: a fresh registry with a smaller cumulative
+        // value. The tick must not produce a window (the gap is
+        // unknowable), must count the reset, and must re-baseline.
         let small = reg_with(40, 0, &[]);
-        let w = agg
+        assert!(agg
             .tick_at(t0 + Duration::from_secs(1), small.snapshot())
+            .is_none());
+        assert_eq!(agg.counter_resets(), 1);
+        assert_eq!(agg.len(), 0);
+        // Post-restart progress diffs against the *new* baseline.
+        small.counter("serve.requests").add(5);
+        let w = agg
+            .tick_at(t0 + Duration::from_secs(2), small.snapshot())
             .unwrap();
-        assert_eq!(w.counter("serve.requests"), 0);
+        assert_eq!(w.counter("serve.requests"), 5);
+        assert_eq!(agg.counter_resets(), 1);
+    }
+
+    #[test]
+    fn disappearing_counter_is_not_a_reset() {
+        // A restarted process that has not yet re-registered a counter
+        // simply omits it from the snapshot; only an observed regression
+        // (present but smaller) re-baselines.
+        let mut agg = WindowedAggregator::new(2);
+        let reg = reg_with(10, 0, &[]);
+        let t0 = Instant::now();
+        agg.tick_at(t0, reg.snapshot());
+        let empty = MetricsRegistry::new();
+        assert!(agg
+            .tick_at(t0 + Duration::from_secs(1), empty.snapshot())
+            .is_some());
+        assert_eq!(agg.counter_resets(), 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -37,6 +37,10 @@ pub(crate) struct MonitorState {
     pub(crate) agg: Mutex<WindowedAggregator>,
     pub(crate) slo: SloTracker,
     pub(crate) started: Instant,
+    /// Aggregator reset count already published to `obs.counter_resets`
+    /// — the monitor publishes only the delta each tick, keeping the
+    /// registry counter monotone.
+    published_resets: AtomicU64,
 }
 
 impl MonitorState {
@@ -45,6 +49,7 @@ impl MonitorState {
             agg: Mutex::new(WindowedAggregator::new(windows)),
             slo: SloTracker::new(vec![slo]),
             started: Instant::now(),
+            published_resets: AtomicU64::new(0),
         }
     }
 }
@@ -88,10 +93,27 @@ fn tick<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
         .set(shared.engine.store_bytes() as u64);
     obs.counter(names::SERVE_MONITOR_TICKS).inc();
 
+    if let Some(traces) = &shared.traces {
+        obs.gauge(names::TRACE_RETAINED).set(traces.store.len() as u64);
+        obs.gauge(names::TRACE_DROPPED).set(traces.store.dropped());
+        obs.gauge(names::TRACE_EVICTED).set(traces.store.evicted());
+        // The monitor tick is the tail-sampler's "window": each tick the
+        // slow-K reservoir restarts, so "slowest K per window" means per
+        // monitor interval.
+        traces.store.roll_window();
+    }
+
     {
         let mut agg = shared.monitor.agg.lock().unwrap();
         agg.tick(obs.snapshot());
         shared.monitor.slo.update(&agg, obs);
+        // Surface aggregator re-baselines (counter regressions, e.g. a
+        // registry swap) as a first-class counter.
+        let resets = agg.counter_resets();
+        let published = shared.monitor.published_resets.swap(resets, Ordering::Relaxed);
+        if resets > published {
+            obs.counter(names::OBS_COUNTER_RESETS).add(resets - published);
+        }
     }
 
     if let Some(path) = &shared.config.metrics_out {

@@ -15,14 +15,23 @@
 //! {"id": 5, "method": "metrics"}
 //! {"id": 6, "method": "metrics", "format": "json"}
 //! {"id": 7, "method": "stats"}
+//! {"id": 8, "method": "trace", "trace_id": 42}
+//! {"id": 9, "method": "trace", "trace_id": 42, "format": "chrome"}
+//! {"id": 10, "method": "trace", "slowest": 5}
+//! {"id": 11, "method": "trace", "errors": true}
 //! ```
 //!
-//! `metrics` and `stats` are admin frames (loopback-gated like
+//! `metrics`, `stats`, and `trace` are admin frames (loopback-gated like
 //! `shutdown`): `metrics` returns the full registry in one frame —
 //! Prometheus text exposition by default, the JSON snapshot with
 //! `"format": "json"` — and `stats` returns a compact windowed summary
 //! (req/s, windowed p50/p99, warm hit rate, SLO burn) computed by the
-//! server's monitor thread.
+//! server's monitor thread. `trace` queries the tail-sampled store of
+//! retained request traces: one trace by id (as a span-tree JSON object,
+//! or with `"format": "chrome"` as a single-request Chrome-trace
+//! document loadable in Perfetto), the N slowest retained, or every
+//! retained error trace. Served explanation and batcher-side error
+//! frames carry the request's `trace_id`, which is the join key.
 //!
 //! ## Responses
 //!
@@ -42,7 +51,9 @@
 //! | 429  | `overloaded`       | admission queue full — back off and retry  |
 //! | 503  | `shutting_down`    | server is draining; no new work accepted   |
 
-use shahin::{Explanation, FailureKind};
+use std::sync::Arc;
+
+use shahin::{Explanation, FailureKind, RequestTrace};
 use shahin_obs::json::{escape, fmt_f64, Json};
 
 /// A parsed request frame.
@@ -79,6 +90,36 @@ pub enum Request {
         /// Client-chosen frame id.
         id: u64,
     },
+    /// Admin: fetch retained request traces from the tail-sampled store.
+    Trace {
+        /// Client-chosen frame id.
+        id: u64,
+        /// Which retained traces to fetch.
+        query: TraceQuery,
+        /// Requested rendering of the trace(s).
+        format: TraceFormat,
+    },
+}
+
+/// Selector of a `trace` admin frame — exactly one per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceQuery {
+    /// One trace by the id a response frame carried.
+    ById(u64),
+    /// The N slowest retained traces, slowest first.
+    Slowest(usize),
+    /// Every retained error/quarantined trace.
+    Errors,
+}
+
+/// Rendering of a `trace` response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The span-tree JSON object (the default).
+    Json,
+    /// A single-request Chrome-trace document (Perfetto-loadable); only
+    /// valid with a `trace_id` selector.
+    Chrome,
 }
 
 /// Exposition format of a `metrics` frame.
@@ -169,6 +210,25 @@ impl WireError {
         }
     }
 
+    /// 404: no retained trace with the requested id (never retained,
+    /// sampled out, or evicted by the ring bound).
+    pub fn trace_not_found(trace_id: u64) -> WireError {
+        WireError {
+            code: 404,
+            kind: "trace_not_found",
+            message: format!("no retained trace with id {trace_id}"),
+        }
+    }
+
+    /// 404: the server runs with tracing disabled (`--trace-store 0`).
+    pub fn tracing_disabled() -> WireError {
+        WireError {
+            code: 404,
+            kind: "tracing_disabled",
+            message: "request tracing is disabled (--trace-store 0)".into(),
+        }
+    }
+
     /// 408: the request's deadline expired while it was queued.
     pub fn deadline_expired() -> WireError {
         WireError {
@@ -217,7 +277,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
-            "id" | "method" | "row" | "deadline_ms" | "format"
+            "id" | "method" | "row" | "deadline_ms" | "format" | "trace_id" | "slowest" | "errors"
         ) {
             return Err(WireError::bad_request(format!("unknown key \"{key}\"")));
         }
@@ -232,11 +292,19 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         .get("method")
         .and_then(Json::as_str)
         .ok_or_else(|| WireError::bad_request("missing \"method\" string"))?;
+    let has_trace_selector = value.get("trace_id").is_some()
+        || value.get("slowest").is_some()
+        || value.get("errors").is_some();
+    if has_trace_selector && method != "trace" {
+        return Err(WireError::bad_request(format!(
+            "trace selectors only apply to \"trace\", not \"{method}\""
+        )));
+    }
     match method {
         "explain" => {
             if value.get("format").is_some() {
                 return Err(WireError::bad_request(
-                    "\"format\" only applies to \"metrics\"",
+                    "\"format\" only applies to \"metrics\" and \"trace\"",
                 ));
             }
             let row = value
@@ -291,6 +359,65 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             };
             Ok(Request::Metrics { id, format })
         }
+        "trace" => {
+            if value.get("row").is_some() || value.get("deadline_ms").is_some() {
+                return Err(WireError::bad_request(
+                    "\"trace\" takes one selector and an optional \"format\"",
+                ));
+            }
+            let by_id = match value.get("trace_id") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    WireError::bad_request("\"trace_id\" must be a non-negative integer")
+                })?),
+            };
+            let slowest = match value.get("slowest") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    WireError::bad_request("\"slowest\" must be a non-negative integer")
+                })?),
+            };
+            let errors = match value.get("errors") {
+                None => false,
+                Some(v) => match v.as_bool() {
+                    Some(true) => true,
+                    Some(false) => {
+                        return Err(WireError::bad_request(
+                            "\"errors\" must be true when present",
+                        ))
+                    }
+                    None => return Err(WireError::bad_request("\"errors\" must be a boolean")),
+                },
+            };
+            let query = match (by_id, slowest, errors) {
+                (Some(trace_id), None, false) => TraceQuery::ById(trace_id),
+                (None, Some(n), false) => TraceQuery::Slowest(n as usize),
+                (None, None, true) => TraceQuery::Errors,
+                _ => {
+                    return Err(WireError::bad_request(
+                        "\"trace\" needs exactly one of \"trace_id\", \"slowest\", \"errors\"",
+                    ))
+                }
+            };
+            let format = match value.get("format") {
+                None => TraceFormat::Json,
+                Some(v) => match v.as_str() {
+                    Some("json") => TraceFormat::Json,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => {
+                        return Err(WireError::bad_request(
+                            "\"format\" must be \"json\" or \"chrome\"",
+                        ))
+                    }
+                },
+            };
+            if format == TraceFormat::Chrome && !matches!(query, TraceQuery::ById(_)) {
+                return Err(WireError::bad_request(
+                    "\"chrome\" format needs a \"trace_id\" selector",
+                ));
+            }
+            Ok(Request::Trace { id, query, format })
+        }
         other => Err(WireError::bad_request(format!(
             "unknown method \"{other}\""
         ))),
@@ -308,22 +435,36 @@ pub fn parse_frame_id(line: &str) -> u64 {
 
 /// Renders an error frame (no trailing newline).
 pub fn error_frame(id: u64, err: &WireError) -> String {
-    format!(
-        "{{\"id\": {id}, \"ok\": false, \"code\": {}, \"error\": \"{}\", \"message\": \"{}\"}}",
+    error_frame_traced(id, err, None)
+}
+
+/// Renders an error frame carrying the request's trace id, the join key
+/// for the `trace` admin frame (error traces are always retained).
+pub fn error_frame_traced(id: u64, err: &WireError, trace_id: Option<u64>) -> String {
+    let mut out = format!(
+        "{{\"id\": {id}, \"ok\": false, \"code\": {}, \"error\": \"{}\", \"message\": \"{}\"",
         err.code,
         escape(err.kind),
         escape(&err.message)
-    )
+    );
+    if let Some(trace_id) = trace_id {
+        out.push_str(&format!(", \"trace_id\": {trace_id}"));
+    }
+    out.push('}');
+    out
 }
 
 /// Renders a success frame for one served explanation (no trailing
-/// newline). `epoch` is the refresh epoch the tuple was explained in.
+/// newline). `epoch` is the refresh epoch the tuple was explained in;
+/// `trace_id` joins the frame against its retained request trace (absent
+/// when tracing is off).
 pub fn explanation_frame(
     id: u64,
     row: usize,
     explanation: &Explanation,
     degraded: bool,
     epoch: u64,
+    trace_id: Option<u64>,
 ) -> String {
     let mut out = format!("{{\"id\": {id}, \"ok\": true, \"row\": {row}, ");
     match explanation {
@@ -351,7 +492,11 @@ pub fn explanation_frame(
             ));
         }
     }
-    out.push_str(&format!(", \"degraded\": {degraded}, \"epoch\": {epoch}}}"));
+    out.push_str(&format!(", \"degraded\": {degraded}, \"epoch\": {epoch}"));
+    if let Some(trace_id) = trace_id {
+        out.push_str(&format!(", \"trace_id\": {trace_id}"));
+    }
+    out.push('}');
     out
 }
 
@@ -413,6 +558,55 @@ pub fn stats_frame(id: u64, s: &StatsSummary) -> String {
         fmt_f64(s.slo_burn_rate),
         fmt_f64(s.slo_budget_remaining),
     )
+}
+
+/// Retention totals of the trace store, attached to multi-trace
+/// responses so a scraper can judge coverage (how much the tail-sampling
+/// policy kept vs sampled out vs evicted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Traces in the ring right now.
+    pub len: u64,
+    /// Traces retained since start (monotonic).
+    pub retained: u64,
+    /// Traces sampled out by the tail policy.
+    pub dropped: u64,
+    /// Retained traces later pushed out by the ring bound.
+    pub evicted: u64,
+}
+
+/// Renders a single-trace `trace` response frame. The span tree is
+/// inlined as a nested object; the Chrome-trace rendering collapses its
+/// structural newlines, like the JSON `metrics` frame.
+pub fn trace_frame(id: u64, trace: &RequestTrace, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Json => format!(
+            "{{\"id\": {id}, \"ok\": true, \"format\": \"json\", \"trace\": {}}}",
+            trace.to_json()
+        ),
+        TraceFormat::Chrome => format!(
+            "{{\"id\": {id}, \"ok\": true, \"format\": \"chrome\", \"chrome_trace\": {}}}",
+            trace.to_chrome_trace().replace('\n', " ").trim_end()
+        ),
+    }
+}
+
+/// Renders a multi-trace `trace` response frame (`slowest`/`errors`
+/// selectors), traces in the selector's order plus the store's
+/// retention totals.
+pub fn traces_frame(id: u64, traces: &[Arc<RequestTrace>], stats: TraceStoreStats) -> String {
+    let mut out = format!("{{\"id\": {id}, \"ok\": true, \"traces\": [");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str(&format!(
+        "], \"store\": {{\"len\": {}, \"retained\": {}, \"dropped\": {}, \"evicted\": {}}}}}",
+        stats.len, stats.retained, stats.dropped, stats.evicted
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -536,12 +730,15 @@ mod tests {
             intercept: 0.25,
             local_prediction: 0.75,
         };
-        let frame = explanation_frame(9, 4, &Explanation::Weights(w.clone()), false, 2);
+        let frame = explanation_frame(9, 4, &Explanation::Weights(w.clone()), false, 2, Some(31));
         let v = Json::parse(&frame).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("row").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("epoch").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("degraded").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("trace_id").unwrap().as_u64(), Some(31));
+        let untraced = explanation_frame(9, 4, &Explanation::Weights(w.clone()), false, 2, None);
+        assert!(Json::parse(&untraced).unwrap().get("trace_id").is_none());
         let parsed: Vec<f64> = v
             .get("weights")
             .unwrap()
@@ -654,6 +851,171 @@ mod tests {
         let v = Json::parse(&frame).unwrap();
         assert_eq!(v.get("format").unwrap().as_str(), Some("json"));
         assert!(v.get("snapshot").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn parses_trace_requests() {
+        assert_eq!(
+            parse_request("{\"id\": 1, \"method\": \"trace\", \"trace_id\": 42}").unwrap(),
+            Request::Trace {
+                id: 1,
+                query: TraceQuery::ById(42),
+                format: TraceFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request(
+                "{\"id\": 2, \"method\": \"trace\", \"trace_id\": 42, \"format\": \"chrome\"}"
+            )
+            .unwrap(),
+            Request::Trace {
+                id: 2,
+                query: TraceQuery::ById(42),
+                format: TraceFormat::Chrome
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 3, \"method\": \"trace\", \"slowest\": 5}").unwrap(),
+            Request::Trace {
+                id: 3,
+                query: TraceQuery::Slowest(5),
+                format: TraceFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 4, \"method\": \"trace\", \"errors\": true}").unwrap(),
+            Request::Trace {
+                id: 4,
+                query: TraceQuery::Errors,
+                format: TraceFormat::Json
+            }
+        );
+    }
+
+    #[test]
+    fn trace_arity_is_enforced() {
+        // No selector.
+        let err = parse_request("{\"id\": 1, \"method\": \"trace\"}").unwrap_err();
+        assert!(err.message.contains("exactly one"));
+        // Two selectors.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"trace\", \"trace_id\": 1, \"slowest\": 2}")
+                .unwrap_err();
+        assert!(err.message.contains("exactly one"));
+        // errors must be literally true.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"trace\", \"errors\": false}").unwrap_err();
+        assert!(err.message.contains("true"));
+        // Chrome rendering is single-trace only.
+        let err = parse_request(
+            "{\"id\": 1, \"method\": \"trace\", \"slowest\": 3, \"format\": \"chrome\"}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("trace_id"));
+        // Unknown format value.
+        let err = parse_request(
+            "{\"id\": 1, \"method\": \"trace\", \"trace_id\": 1, \"format\": \"xml\"}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("chrome"));
+        // Trace selectors are rejected on other methods.
+        let err = parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": 1, \"trace_id\": 2}")
+            .unwrap_err();
+        assert!(err.message.contains("trace selectors"));
+        let err = parse_request("{\"id\": 1, \"method\": \"stats\", \"errors\": true}").unwrap_err();
+        assert!(err.message.contains("trace selectors"));
+        // Explain parameters are rejected on trace.
+        let err = parse_request("{\"id\": 1, \"method\": \"trace\", \"trace_id\": 1, \"row\": 2}")
+            .unwrap_err();
+        assert!(err.message.contains("selector"));
+    }
+
+    fn sample_trace(trace_id: u64) -> RequestTrace {
+        use shahin::{TraceCounters, TraceSpan};
+        RequestTrace {
+            trace_id,
+            request_id: 7,
+            row: 4,
+            batch_id: Some(2),
+            spans: vec![
+                TraceSpan {
+                    name: Arc::from("request"),
+                    parent: None,
+                    start_ns: 0,
+                    dur_ns: 900,
+                },
+                TraceSpan {
+                    name: Arc::from("queue"),
+                    parent: Some(0),
+                    start_ns: 0,
+                    dur_ns: 300,
+                },
+            ],
+            counters: TraceCounters::default(),
+            error: false,
+            quarantined: false,
+            degraded: false,
+            total_ns: 900,
+        }
+    }
+
+    #[test]
+    fn trace_frames_round_trip_both_formats() {
+        let t = sample_trace(42);
+        let frame = trace_frame(5, &t, TraceFormat::Json);
+        assert!(!frame.contains('\n'), "frames must be single-line");
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("format").unwrap().as_str(), Some("json"));
+        let trace = v.get("trace").unwrap();
+        assert_eq!(trace.get("trace_id").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            trace.get("spans").unwrap().as_arr().unwrap().len(),
+            2
+        );
+
+        let frame = trace_frame(6, &t, TraceFormat::Chrome);
+        assert!(!frame.contains('\n'));
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("format").unwrap().as_str(), Some("chrome"));
+        let doc = v.get("chrome_trace").unwrap();
+        assert!(
+            !doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty(),
+            "chrome document must inline its events"
+        );
+    }
+
+    #[test]
+    fn traces_frame_carries_store_totals() {
+        let frame = traces_frame(
+            9,
+            &[Arc::new(sample_trace(1)), Arc::new(sample_trace(2))],
+            TraceStoreStats {
+                len: 2,
+                retained: 5,
+                dropped: 40,
+                evicted: 3,
+            },
+        );
+        assert!(!frame.contains('\n'));
+        let v = Json::parse(&frame).unwrap();
+        let traces = v.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[1].get("trace_id").unwrap().as_u64(), Some(2));
+        let store = v.get("store").unwrap();
+        assert_eq!(store.get("len").unwrap().as_u64(), Some(2));
+        assert_eq!(store.get("retained").unwrap().as_u64(), Some(5));
+        assert_eq!(store.get("dropped").unwrap().as_u64(), Some(40));
+        assert_eq!(store.get("evicted").unwrap().as_u64(), Some(3));
+        // Empty result set is still a well-formed frame.
+        let empty = traces_frame(10, &[], TraceStoreStats::default());
+        assert!(Json::parse(&empty)
+            .unwrap()
+            .get("traces")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

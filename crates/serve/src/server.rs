@@ -28,13 +28,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use shahin::obs::names;
-use shahin::{MetricsRegistry, WarmEngine, WarmOutcome, WarmRequest};
+use shahin::{
+    MetricsRegistry, RequestTrace, StageSpan, TraceContext, TraceCounters, TraceSink, TraceSpan,
+    TraceStore, TraceStoreConfig, WarmEngine, WarmOutcome, WarmRequest,
+};
 use shahin_model::Classifier;
 
 use crate::monitor::{self, MonitorState};
 use crate::protocol::{
-    error_frame, explanation_frame, metrics_frame, parse_frame_id, parse_request, pong_frame,
-    shutdown_frame, stats_frame, MetricsFormat, Request, WireError,
+    error_frame, error_frame_traced, explanation_frame, metrics_frame, parse_frame_id,
+    parse_request, pong_frame, shutdown_frame, stats_frame, trace_frame, traces_frame,
+    MetricsFormat, Request, TraceQuery, TraceStoreStats, WireError,
 };
 use crate::queue::{Admission, PushError};
 use crate::signal;
@@ -90,6 +94,16 @@ pub struct ServeConfig {
     /// When set, the monitor atomically rewrites this file with the
     /// current metrics JSON every tick, so an operator can tail it.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// Probability of retaining a bulk-success request trace
+    /// (`--trace-sample`); errors, quarantined requests, and slow ones
+    /// are retained regardless (tail-based sampling).
+    pub trace_sample: f64,
+    /// Wall time at or above which a request's trace is always retained
+    /// (`--trace-slow-ms`).
+    pub trace_slow: Duration,
+    /// Retained-trace ring bound (`--trace-store`); 0 disables request
+    /// tracing entirely — no ids minted, no stage spans recorded.
+    pub trace_store: usize,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +123,9 @@ impl Default for ServeConfig {
             slo_p99: Duration::from_millis(500),
             slo_error_rate: 0.001,
             metrics_out: None,
+            trace_sample: TraceStoreConfig::default().sample,
+            trace_slow: TraceStoreConfig::default().slow,
+            trace_store: TraceStoreConfig::default().capacity,
         }
     }
 }
@@ -161,10 +178,29 @@ pub(crate) struct Pending {
     row: usize,
     /// Server-assigned id stamped on provenance records.
     request_id: u64,
-    /// Admission time (queue-wait + end-to-end latency histograms).
+    /// Admission time (queue-wait + end-to-end latency histograms; the
+    /// zero point of the request's span tree).
     enqueued: Instant,
     /// Absolute queue deadline, from the request's `deadline_ms`.
     deadline: Option<Instant>,
+    /// Trace context minted at admission (`None` with tracing off).
+    trace: Option<TraceContext>,
+}
+
+/// The server's request-tracing state: the sink engine workers deposit
+/// stage spans into, the tail-sampled store of retained traces, and the
+/// trace-id mint. `None` on [`Shared::traces`] when `trace_store` is 0.
+pub(crate) struct TracePlane {
+    pub(crate) store: TraceStore,
+    pub(crate) sink: Arc<TraceSink>,
+    /// Ids start at 1: 0 means "no exemplar" in histogram bucket slots.
+    next_trace_id: AtomicU64,
+}
+
+impl TracePlane {
+    fn mint(&self) -> TraceContext {
+        TraceContext::root(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
+    }
 }
 
 pub(crate) struct Shared<C: Classifier> {
@@ -182,6 +218,8 @@ pub(crate) struct Shared<C: Classifier> {
     pub(crate) live_connections: AtomicU64,
     /// Windowed-aggregator + SLO state owned by the monitor thread.
     pub(crate) monitor: MonitorState,
+    /// Request-tracing plane (`None` when `trace_store` is 0).
+    pub(crate) traces: Option<TracePlane>,
     pub(crate) config: ServeConfig,
 }
 
@@ -270,6 +308,22 @@ impl Server {
             ],
             error_rate_objective: config.slo_error_rate,
         };
+        // Tracing on: attach the stage sink so engine workers can see it,
+        // and bound the retained-trace ring per the config knobs.
+        let traces = (config.trace_store > 0).then(|| {
+            let sink = Arc::new(TraceSink::new());
+            engine.obs().attach_trace_sink(Arc::clone(&sink));
+            TracePlane {
+                store: TraceStore::new(TraceStoreConfig {
+                    capacity: config.trace_store,
+                    sample: config.trace_sample,
+                    slow: config.trace_slow,
+                    ..TraceStoreConfig::default()
+                }),
+                sink,
+                next_trace_id: AtomicU64::new(1),
+            }
+        });
         let shared = Arc::new(Shared {
             engine,
             queue: Admission::new(config.queue_capacity),
@@ -279,19 +333,31 @@ impl Server {
             served: AtomicU64::new(0),
             live_connections: AtomicU64::new(0),
             monitor: MonitorState::new(config.windows, slo),
+            traces,
             config,
         });
+        // Server threads carry names so EventSink timeline lanes and
+        // panic messages identify their role.
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
+            std::thread::Builder::new()
+                .name("acceptor".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn acceptor")
         };
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batch_loop(shared))
+            std::thread::Builder::new()
+                .name("batcher".into())
+                .spawn(move || batch_loop(shared))
+                .expect("spawn batcher")
         };
         let monitor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || monitor::monitor_loop(shared))
+            std::thread::Builder::new()
+                .name("monitor".into())
+                .spawn(move || monitor::monitor_loop(shared))
+                .expect("spawn monitor")
         };
         Ok(ServerHandle {
             addr,
@@ -321,7 +387,12 @@ fn accept_loop<C: Classifier + 'static>(listener: TcpListener, shared: Arc<Share
                 let _ = stream.set_nodelay(true);
                 shared.obs().counter(names::SERVE_CONNECTIONS).inc();
                 let shared = Arc::clone(&shared);
-                readers.push(std::thread::spawn(move || read_loop(stream, shared)));
+                readers.push(
+                    std::thread::Builder::new()
+                        .name("reader".into())
+                        .spawn(move || read_loop(stream, shared))
+                        .expect("spawn reader"),
+                );
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(shared.config.poll_interval);
@@ -477,6 +548,40 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
             obs.counter(names::SERVE_SCRAPES).inc();
             conn.send(&stats_frame(id, &monitor::stats_summary(shared)));
         }
+        Request::Trace { id, query, format } => {
+            if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+                obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
+                conn.send(&error_frame(id, &WireError::forbidden()));
+                return;
+            }
+            // Counted apart from serve.scrapes: trace fetches are debug
+            // traffic, not metrics-plane load.
+            obs.counter(names::SERVE_TRACE_FETCHES).inc();
+            let Some(traces) = &shared.traces else {
+                conn.send(&error_frame(id, &WireError::tracing_disabled()));
+                return;
+            };
+            let stats = TraceStoreStats {
+                len: traces.store.len() as u64,
+                retained: traces.store.retained(),
+                dropped: traces.store.dropped(),
+                evicted: traces.store.evicted(),
+            };
+            match query {
+                TraceQuery::ById(trace_id) => match traces.store.get(trace_id) {
+                    Some(trace) => conn.send(&trace_frame(id, &trace, format)),
+                    None => {
+                        conn.send(&error_frame(id, &WireError::trace_not_found(trace_id)));
+                    }
+                },
+                TraceQuery::Slowest(n) => {
+                    conn.send(&traces_frame(id, &traces.store.slowest(n), stats));
+                }
+                TraceQuery::Errors => {
+                    conn.send(&traces_frame(id, &traces.store.errors(), stats));
+                }
+            }
+        }
         Request::Explain {
             id,
             row,
@@ -501,6 +606,7 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
                 request_id: shared.next_request_id.fetch_add(1, Ordering::Relaxed),
                 enqueued,
                 deadline: deadline_ms.map(|ms| enqueued + Duration::from_millis(ms)),
+                trace: shared.traces.as_ref().map(TracePlane::mint),
             };
             match shared.queue.push(pending) {
                 Ok(()) => {
@@ -510,27 +616,142 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
                 }
                 Err((rejected, PushError::Full)) => {
                     obs.counter(names::SERVE_REJECTED_OVERLOAD).inc();
-                    rejected.conn.send(&error_frame(
-                        rejected.frame_id,
+                    reject_traced(
+                        shared,
+                        &rejected,
                         &WireError::overloaded(shared.config.queue_capacity),
-                    ));
+                    );
                 }
                 Err((rejected, PushError::Closed)) => {
                     obs.counter(names::SERVE_REJECTED_SHUTDOWN).inc();
-                    rejected
-                        .conn
-                        .send(&error_frame(rejected.frame_id, &WireError::shutting_down()));
+                    reject_traced(shared, &rejected, &WireError::shutting_down());
                 }
             }
         }
     }
 }
 
-/// Whether an admin frame (`shutdown`, `metrics`, `stats`) may act on
-/// the server: always from loopback peers, from remote ones only when
-/// the operator opted in.
+/// Whether an admin frame (`shutdown`, `metrics`, `stats`, `trace`) may
+/// act on the server: always from loopback peers, from remote ones only
+/// when the operator opted in.
 fn admin_permitted(peer_loopback: bool, allow_remote_shutdown: bool) -> bool {
     peer_loopback || allow_remote_shutdown
+}
+
+/// Nanoseconds from `t0` to `t`, saturating both at zero (clock reads
+/// race) and at `u64::MAX`.
+fn ns_since(t0: Instant, t: Instant) -> u64 {
+    u64::try_from(t.saturating_duration_since(t0).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Answers a queue-rejected request (429/503) with an error frame and,
+/// when traced, retains a minimal error trace — admission is where trace
+/// ids are minted, so even never-batched requests stay debuggable.
+fn reject_traced<C: Classifier>(shared: &Shared<C>, rejected: &Pending, err: &WireError) {
+    let trace_id = rejected.trace.map(|ctx| ctx.trace_id);
+    // Offer before sending so a fetch issued right after the error frame
+    // never races the store insert.
+    if let (Some(traces), Some(ctx)) = (&shared.traces, rejected.trace) {
+        let total_ns = ns_since(rejected.enqueued, Instant::now());
+        traces.store.offer(assemble_trace(AssembleArgs {
+            ctx,
+            row: rejected.row,
+            request_id: rejected.request_id,
+            batch_id: None,
+            t0: rejected.enqueued,
+            total_ns,
+            queue_ns: total_ns,
+            batch_window: None,
+            stages: Vec::new(),
+            error: true,
+            quarantined: false,
+            degraded: false,
+        }));
+    }
+    rejected
+        .conn
+        .send(&error_frame_traced(rejected.frame_id, err, trace_id));
+}
+
+/// Everything the batcher knows about one finished request, handed to
+/// [`assemble_trace`].
+struct AssembleArgs {
+    ctx: TraceContext,
+    row: usize,
+    request_id: u64,
+    batch_id: Option<u64>,
+    /// The trace's zero point (admission).
+    t0: Instant,
+    total_ns: u64,
+    queue_ns: u64,
+    /// When the request reached the engine: the batch flush's start and
+    /// end instants.
+    batch_window: Option<(Instant, Instant)>,
+    stages: Vec<StageSpan>,
+    error: bool,
+    quarantined: bool,
+    degraded: bool,
+}
+
+/// Index of the `batch` span engine stages parent under (0 is the root
+/// `request` span, 1 the `queue` span).
+const BATCH_SPAN: u32 = 2;
+
+/// Builds one finished [`RequestTrace`] from the batcher's measurements
+/// plus the engine's stage spans. Every offset is clamped so children
+/// nest within their parents even under clock-read jitter: `queue` and
+/// `batch` within `request`, engine stages within `batch`.
+fn assemble_trace(args: AssembleArgs) -> RequestTrace {
+    let mut counters = TraceCounters::default();
+    let mut spans = Vec::with_capacity(3 + args.stages.len());
+    spans.push(TraceSpan {
+        name: Arc::from("request"),
+        parent: None,
+        start_ns: 0,
+        dur_ns: args.total_ns,
+    });
+    spans.push(TraceSpan {
+        name: Arc::from("queue"),
+        parent: Some(0),
+        start_ns: 0,
+        dur_ns: args.queue_ns.min(args.total_ns),
+    });
+    if let Some((flush_start, flush_end)) = args.batch_window {
+        let start = ns_since(args.t0, flush_start).min(args.total_ns);
+        let end = ns_since(args.t0, flush_end).clamp(start, args.total_ns);
+        debug_assert_eq!(spans.len(), BATCH_SPAN as usize);
+        spans.push(TraceSpan {
+            name: Arc::from("batch"),
+            parent: Some(0),
+            start_ns: start,
+            dur_ns: end - start,
+        });
+        for stage in args.stages {
+            counters.absorb(&stage.counters);
+            let stage_start = ns_since(args.t0, stage.start).clamp(start, end);
+            let stage_dur = u64::try_from(stage.dur.as_nanos())
+                .unwrap_or(u64::MAX)
+                .min(end - stage_start);
+            spans.push(TraceSpan {
+                name: Arc::from(stage.name),
+                parent: Some(BATCH_SPAN),
+                start_ns: stage_start,
+                dur_ns: stage_dur,
+            });
+        }
+    }
+    RequestTrace {
+        trace_id: args.ctx.trace_id,
+        request_id: args.request_id,
+        row: args.row as u64,
+        batch_id: args.batch_id,
+        spans,
+        counters,
+        error: args.error,
+        quarantined: args.quarantined,
+        degraded: args.degraded,
+        total_ns: args.total_ns,
+    }
 }
 
 /// Pops micro-batches until the queue closes and drains, explaining each
@@ -549,6 +770,7 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
             .set(shared.queue.len() as u64);
         batch_size.record(batch.len() as u64);
         obs.counter(names::SERVE_BATCHES).inc();
+        let batch_id = batches;
 
         // Requests whose deadline passed while queued get 408 frames and
         // never reach the engine; the rest form the micro-batch.
@@ -558,9 +780,27 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
             queue_wait.record(now.duration_since(pending.enqueued));
             if pending.deadline.is_some_and(|d| d < now) {
                 obs.counter(names::SERVE_DEADLINE_EXPIRED).inc();
-                pending.conn.send(&error_frame(
+                if let (Some(traces), Some(ctx)) = (&shared.traces, pending.trace) {
+                    let total_ns = ns_since(pending.enqueued, now);
+                    traces.store.offer(assemble_trace(AssembleArgs {
+                        ctx,
+                        row: pending.row,
+                        request_id: pending.request_id,
+                        batch_id: None,
+                        t0: pending.enqueued,
+                        total_ns,
+                        queue_ns: total_ns,
+                        batch_window: None,
+                        stages: Vec::new(),
+                        error: true,
+                        quarantined: false,
+                        degraded: false,
+                    }));
+                }
+                pending.conn.send(&error_frame_traced(
                     pending.frame_id,
                     &WireError::deadline_expired(),
+                    pending.trace.map(|ctx| ctx.trace_id),
                 ));
                 shared.served.fetch_add(1, Ordering::SeqCst);
             } else {
@@ -573,6 +813,7 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                 .map(|p| WarmRequest {
                     row: p.row,
                     request_id: p.request_id,
+                    trace: p.trace.map(|ctx| ctx.trace_id),
                 })
                 .collect();
             let epoch = shared.engine.epoch();
@@ -580,29 +821,69 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
             // explaining right now (0 between flushes).
             obs.gauge(names::SERVE_BATCH_INFLIGHT)
                 .set(live.len() as u64);
+            let flush_start = Instant::now();
             let outcomes = shared.engine.explain(&requests);
+            let flush_end = Instant::now();
             obs.gauge(names::SERVE_BATCH_INFLIGHT).set(0);
             for (pending, outcome) in live.iter().zip(outcomes) {
-                match outcome {
+                let trace_id = pending.trace.map(|ctx| ctx.trace_id);
+                let (frame, error, quarantined, degraded) = match outcome {
                     WarmOutcome::Ok {
                         explanation,
                         degraded,
-                    } => pending.conn.send(&explanation_frame(
-                        pending.frame_id,
-                        pending.row,
-                        &explanation,
+                    } => (
+                        explanation_frame(
+                            pending.frame_id,
+                            pending.row,
+                            &explanation,
+                            degraded,
+                            epoch,
+                            trace_id,
+                        ),
+                        false,
+                        false,
                         degraded,
-                        epoch,
-                    )),
+                    ),
                     WarmOutcome::Failed(failure) => {
                         obs.counter(names::SERVE_QUARANTINED).inc();
-                        pending.conn.send(&error_frame(
-                            pending.frame_id,
-                            &WireError::quarantined(failure.kind, &failure.message),
-                        ));
+                        (
+                            error_frame_traced(
+                                pending.frame_id,
+                                &WireError::quarantined(failure.kind, &failure.message),
+                                trace_id,
+                            ),
+                            true,
+                            true,
+                            false,
+                        )
                     }
+                };
+                let total = pending.enqueued.elapsed();
+                match trace_id {
+                    Some(id) => latency.record_traced(total, id),
+                    None => latency.record(total),
                 }
-                latency.record(pending.enqueued.elapsed());
+                // Offer before sending: once a client sees the trace id in
+                // its response frame, a fetch on the same connection must
+                // not race the store insert.
+                if let (Some(traces), Some(ctx)) = (&shared.traces, pending.trace) {
+                    let stages = traces.sink.take(ctx.trace_id);
+                    traces.store.offer(assemble_trace(AssembleArgs {
+                        ctx,
+                        row: pending.row,
+                        request_id: pending.request_id,
+                        batch_id: Some(batch_id),
+                        t0: pending.enqueued,
+                        total_ns: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
+                        queue_ns: ns_since(pending.enqueued, flush_start),
+                        batch_window: Some((flush_start, flush_end)),
+                        stages,
+                        error,
+                        quarantined,
+                        degraded,
+                    }));
+                }
+                pending.conn.send(&frame);
                 shared.served.fetch_add(1, Ordering::SeqCst);
             }
         }

@@ -4,8 +4,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -469,6 +470,356 @@ fn metrics_and_stats_frames_round_trip_during_and_after_load() {
         "windowed p99 bucket {windowed} (={stats_p99}ns) vs end-of-run \
          bucket {end_of_run} (={snapshot_p99}ns)"
     );
+}
+
+/// Delegates to a calm classifier until armed, then to a chaotic
+/// resilient stack — so priming is deterministic and fast while the
+/// serving path sees the injected faults.
+struct ArmedChaos {
+    chaotic: shahin_model::ResilientClassifier<shahin_model::ChaosClassifier<MajorityClass>>,
+    calm: MajorityClass,
+    armed: Arc<AtomicBool>,
+}
+
+impl shahin_model::Classifier for ArmedChaos {
+    fn predict_proba(&self, inst: &[shahin_tabular::Feature]) -> f64 {
+        if self.armed.load(Ordering::Relaxed) {
+            self.chaotic.predict_proba(inst)
+        } else {
+            self.calm.predict_proba(inst)
+        }
+    }
+}
+
+fn armed_chaos(config: shahin_model::ChaosConfig) -> (ArmedChaos, Arc<AtomicBool>) {
+    let armed = Arc::new(AtomicBool::new(false));
+    let clf = ArmedChaos {
+        chaotic: shahin_model::ResilientClassifier::new(
+            shahin_model::ChaosClassifier::new(MajorityClass::fit(&[1, 1, 0]), config),
+            shahin_model::RetryPolicy::default(),
+        ),
+        calm: MajorityClass::fit(&[1, 1, 0]),
+        armed: Arc::clone(&armed),
+    };
+    (clf, armed)
+}
+
+/// Asserts the span tree is well-formed — span 0 a root covering
+/// `total_ns`, every other span nesting within an earlier parent — and
+/// returns `(name, parent, start_ns, dur_ns)` tuples.
+fn check_span_tree(trace: &Json) -> Vec<(String, Option<u64>, u64, u64)> {
+    let spans: Vec<(String, Option<u64>, u64, u64)> = trace
+        .get("spans")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| {
+            (
+                s.get("name").unwrap().as_str().unwrap().to_string(),
+                s.get("parent").and_then(Json::as_u64),
+                s.get("start_ns").unwrap().as_u64().unwrap(),
+                s.get("dur_ns").unwrap().as_u64().unwrap(),
+            )
+        })
+        .collect();
+    assert!(!spans.is_empty(), "trace has no spans: {trace:?}");
+    let total = trace.get("total_ns").unwrap().as_u64().unwrap();
+    assert_eq!(spans[0].1, None, "span 0 must be the root");
+    assert_eq!(spans[0].2, 0, "root must start at the trace origin");
+    assert_eq!(spans[0].3, total, "root must span the whole request");
+    for (i, (name, parent, start, dur)) in spans.iter().enumerate().skip(1) {
+        let p = parent.unwrap_or_else(|| panic!("span {i} ({name}) has no parent")) as usize;
+        assert!(p < i, "span {i} ({name}) references a forward parent {p}");
+        let (_, _, p_start, p_dur) = &spans[p];
+        assert!(
+            *p_start <= *start && start + dur <= p_start + p_dur,
+            "span {i} ({name}) [{start}, {}] does not nest within parent \
+             [{p_start}, {}]",
+            start + dur,
+            p_start + p_dur
+        );
+    }
+    spans
+}
+
+#[test]
+fn slow_request_trace_round_trips_with_nested_spans() {
+    // Chaos latency injection makes the request reliably slow: every
+    // armed classifier call sleeps, and the 400-sample budget forces
+    // fresh sample generation past what the warm store pooled.
+    let (ctx, _clf, warm) = setup();
+    let reg = MetricsRegistry::new();
+    let (clf, armed) = armed_chaos(shahin_model::ChaosConfig {
+        transient_rate: 0.0,
+        nan_rate: 0.0,
+        panic_rate: 0.0,
+        latency_rate: 1.0,
+        latency_spike: Duration::from_millis(2),
+        ..Default::default()
+    });
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig {
+            n_threads: Some(1),
+            ..Default::default()
+        },
+        WarmExplainer::Lime(LimeExplainer::new(LimeParams {
+            n_samples: 400,
+            ..Default::default()
+        })),
+        ctx,
+        CountingClassifier::new(clf),
+        warm,
+        SEED,
+        &reg,
+    ));
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            max_delay: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(10),
+            monitor_interval: Duration::from_millis(20),
+            windows: 256,
+            // No probabilistic retention: this trace must be kept by the
+            // slow-request rule alone.
+            trace_sample: 0.0,
+            trace_slow: Duration::from_millis(50),
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    armed.store(true, Ordering::Relaxed);
+
+    let mut client = connect(&handle);
+    let t = Instant::now();
+    let frame = round_trip(&mut client, "{\"id\": 1, \"method\": \"explain\", \"row\": 0}");
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+    let trace_id = frame
+        .get("trace_id")
+        .and_then(Json::as_u64)
+        .expect("response frames carry the trace id");
+
+    let fetched = round_trip(
+        &mut client,
+        &format!("{{\"id\": 2, \"method\": \"trace\", \"trace_id\": {trace_id}}}"),
+    );
+    assert_eq!(fetched.get("ok").unwrap().as_bool(), Some(true));
+    let trace = fetched.get("trace").expect("trace payload");
+    assert_eq!(trace.get("trace_id").and_then(Json::as_u64), Some(trace_id));
+    assert_eq!(trace.get("row").and_then(Json::as_u64), Some(0));
+    assert!(
+        trace.get("batch_id").and_then(Json::as_u64).is_some(),
+        "a served request records its micro-batch"
+    );
+
+    let spans = check_span_tree(trace);
+    let names: Vec<&str> = spans.iter().map(|(n, ..)| n.as_str()).collect();
+    for stage in ["request", "queue", "batch", "retrieve", "classify", "explain"] {
+        assert!(names.contains(&stage), "span tree lacks '{stage}': {names:?}");
+    }
+
+    // The slow rule fired, the trace's wall time brackets within the
+    // client-measured round trip, and every stage fits inside it.
+    let total_ns = trace.get("total_ns").unwrap().as_u64().unwrap();
+    assert!(
+        total_ns >= 50_000_000,
+        "chaos latency must push the request past trace_slow, got {total_ns}ns"
+    );
+    assert!(total_ns <= wall_ns, "trace total {total_ns}ns exceeds the measured {wall_ns}ns");
+    let stage_sum: u64 = spans
+        .iter()
+        .filter(|(_, parent, ..)| *parent == Some(2))
+        .map(|(.., dur)| dur)
+        .sum();
+    assert!(
+        stage_sum <= wall_ns,
+        "engine stage durations {stage_sum}ns exceed the request wall {wall_ns}ns"
+    );
+    let fresh = trace
+        .at(&["counters", "samples_fresh"])
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(fresh > 0, "the slow request must have generated fresh samples");
+
+    // The same trace renders as a single-request Chrome-trace document.
+    let chrome = round_trip(
+        &mut client,
+        &format!(
+            "{{\"id\": 3, \"method\": \"trace\", \"trace_id\": {trace_id}, \
+             \"format\": \"chrome\"}}"
+        ),
+    );
+    assert_eq!(chrome.get("ok").unwrap().as_bool(), Some(true));
+    let events = chrome
+        .at(&["chrome_trace", "traceEvents"])
+        .and_then(Json::as_arr)
+        .expect("chrome_trace carries traceEvents");
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    assert_eq!(complete, spans.len(), "one complete event per span");
+
+    handle.shutdown();
+    handle.wait();
+    assert!(reg.snapshot().counter(names::SERVE_TRACE_FETCHES) >= 2);
+}
+
+#[test]
+fn tail_sampling_retains_every_quarantined_trace_and_samples_the_rest() {
+    // Mixed chaos load: seeded panics quarantine a slice of the requests
+    // while the rest succeed. Every quarantined trace must be retained;
+    // successes fall back to deterministic sampling (plus the slow-K
+    // reservoir) under the store bound.
+    const SAMPLE: f64 = 0.05;
+    let (ctx, _clf, warm) = setup();
+    let n_rows = warm.n_rows();
+    let reg = MetricsRegistry::new();
+    let (clf, armed) = armed_chaos(shahin_model::ChaosConfig {
+        transient_rate: 0.0,
+        nan_rate: 0.0,
+        panic_rate: 0.08,
+        latency_rate: 0.0,
+        ..Default::default()
+    });
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig {
+            n_threads: Some(2),
+            ..Default::default()
+        },
+        WarmExplainer::Lime(lime()),
+        ctx,
+        CountingClassifier::new(clf),
+        warm,
+        SEED,
+        &reg,
+    ));
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(10),
+            // A long monitor interval keeps the slow-K reservoir to a
+            // handful of windows, so the retained-success bound below is
+            // meaningful.
+            monitor_interval: Duration::from_secs(5),
+            trace_sample: SAMPLE,
+            trace_slow: Duration::from_secs(3600),
+            trace_store: 256,
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    armed.store(true, Ordering::Relaxed);
+
+    let mut client = connect(&handle);
+    let mut quarantined: Vec<u64> = Vec::new();
+    let mut succeeded: Vec<u64> = Vec::new();
+    for i in 0..3 * n_rows {
+        let frame = round_trip(
+            &mut client,
+            &format!(
+                "{{\"id\": {i}, \"method\": \"explain\", \"row\": {}}}",
+                i % n_rows
+            ),
+        );
+        let trace_id = frame
+            .get("trace_id")
+            .and_then(Json::as_u64)
+            .expect("every admitted request carries a trace id");
+        if frame.get("ok").unwrap().as_bool() == Some(true) {
+            succeeded.push(trace_id);
+        } else {
+            assert_eq!(frame.get("code").unwrap().as_u64(), Some(422));
+            quarantined.push(trace_id);
+        }
+    }
+    assert!(
+        !quarantined.is_empty() && !succeeded.is_empty(),
+        "the chaos schedule must produce a mixed outcome \
+         ({} quarantined / {} ok)",
+        quarantined.len(),
+        succeeded.len()
+    );
+
+    // Tail retention: the error selector returns exactly the quarantined
+    // requests, regardless of the 5% sampling rate.
+    let errors = round_trip(
+        &mut client,
+        "{\"id\": 9000, \"method\": \"trace\", \"errors\": true}",
+    );
+    assert_eq!(errors.get("ok").unwrap().as_bool(), Some(true));
+    let mut error_ids: Vec<u64> = errors
+        .get("traces")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|t| {
+            assert_eq!(t.get("quarantined").and_then(Json::as_bool), Some(true));
+            check_span_tree(t);
+            t.get("trace_id").unwrap().as_u64().unwrap()
+        })
+        .collect();
+    let mut expected = quarantined.clone();
+    error_ids.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(
+        error_ids, expected,
+        "every quarantined trace (and only those) must be retained"
+    );
+
+    // Success traces: the deterministically sampled ones resolve; the
+    // retained total stays near the sampled count (the slow-K reservoir
+    // may add up to 8 per window) and well under both the success count
+    // and the store bound.
+    let mut retained_successes = 0usize;
+    let mut sampled = 0usize;
+    for (i, &id) in succeeded.iter().enumerate() {
+        let frame = round_trip(
+            &mut client,
+            &format!("{{\"id\": {}, \"method\": \"trace\", \"trace_id\": {id}}}", 9001 + i),
+        );
+        let ok = frame.get("ok").unwrap().as_bool() == Some(true);
+        if shahin::trace_sampled(id, SAMPLE) {
+            sampled += 1;
+            assert!(ok, "sampled success trace {id} must be retrievable");
+            assert_eq!(
+                frame.at(&["trace", "quarantined"]).and_then(Json::as_bool),
+                Some(false)
+            );
+        } else if !ok {
+            assert_eq!(frame.get("code").unwrap().as_u64(), Some(404));
+        }
+        retained_successes += ok as usize;
+    }
+    assert!(
+        retained_successes <= sampled + 32,
+        "{retained_successes} success traces retained vs {sampled} sampled \
+         — tail sampling is not bounding retention"
+    );
+    assert!(
+        retained_successes < succeeded.len(),
+        "sampling at {SAMPLE} must drop some of the {} successes",
+        succeeded.len()
+    );
+
+    // Store totals agree: something was dropped, nothing exceeded the
+    // configured bound.
+    let store = errors.get("store").expect("multi-trace frames carry totals");
+    assert!(store.get("dropped").unwrap().as_u64().unwrap() > 0);
+    assert!(store.get("len").unwrap().as_u64().unwrap() <= 256);
+
+    handle.shutdown();
+    handle.wait();
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter(names::SERVE_QUARANTINED),
+        quarantined.len() as u64
+    );
+    assert!(snap.gauge(names::TRACE_DROPPED) > 0, "monitor publishes drop totals");
 }
 
 #[test]

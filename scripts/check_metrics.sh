@@ -11,12 +11,15 @@
 # metrics snapshot).
 #
 # The final section smoke-tests the serving path: it starts
-# `shahin-cli serve` in the background, drives it with bench_serve in
+# `shahin-cli serve` in the background (with tracing at sample rate 1.0
+# so every request's trace is retained), drives it with bench_serve in
 # external mode, validates the live observability plane over the admin
 # protocol (Prometheus exposition shape, JSON snapshot, windowed `stats`
-# summary, extended `ping`), sends the admin shutdown frame, asserts the
-# server drains cleanly, and validates the serve.* metric families in
-# the server's metrics dump.
+# summary, extended `ping`, `trace` frames — well-formed span trees,
+# durations nesting within parents, exemplar trace ids resolving),
+# sends the admin shutdown frame, asserts the server drains cleanly,
+# and validates the serve.* metric families plus the trace_id-carrying
+# provenance JSONL in the server's output.
 #
 # Knobs (all optional):
 #   SHAHIN_CHECK_ROWS        synthetic dataset rows    (default 2000)
@@ -174,6 +177,12 @@ for r in prov_lines:
             raise SystemExit(f"FAIL: provenance: record missing '{key}': {r}")
     if r["samples_reused"] + r["samples_fresh"] != r["tau"]:
         raise SystemExit(f"FAIL: provenance: reused+fresh != tau: {r}")
+    # Offline drivers have no serving request, hence no trace: both
+    # optional keys must be omitted, not null.
+    for absent in ("request", "trace_id"):
+        if absent in r:
+            raise SystemExit(f"FAIL: provenance: offline record carries "
+                             f"'{absent}': {r}")
 tuples = sorted(r["tuple"] for r in prov_lines)
 if tuples != list(range(batch)):
     raise SystemExit(f"FAIL: provenance: expected one record per tuple "
@@ -273,8 +282,10 @@ echo "== serve smoke ($SERVE_REQS requests)"
     --warm-rows 150 --addr 127.0.0.1:0 \
     --port-file "$WORKDIR/serve.port" \
     --metrics-out "$WORKDIR/serve.json" \
+    --provenance-out "$WORKDIR/serve_prov.jsonl" \
     --monitor-interval-ms 100 --windows 64 \
     --slo-p99-ms 500 --slo-error-rate 0.01 \
+    --trace-sample 1.0 \
     >"$WORKDIR/serve.log" 2>&1 &
 serve_pid=$!
 
@@ -326,6 +337,7 @@ text = frame("metrics", format="prometheus")["metrics"]
 types = {}     # family -> declared type
 samples = {}   # family -> sample lines
 series = []    # full series identifiers (name + labels)
+prom_exemplars = []  # (bucket series, trace id) from # EXEMPLAR comments
 for line in text.splitlines():
     if not line:
         continue
@@ -334,6 +346,11 @@ for line in text.splitlines():
         if fam in types:
             raise SystemExit(f"FAIL: live: duplicate # TYPE for '{fam}'")
         types[fam] = kind
+    elif line.startswith("# EXEMPLAR "):
+        m = re.fullmatch(r"# EXEMPLAR (\S+_bucket\{le=\"[^\"]+\"\}) trace_id=(\d+)", line)
+        if m is None:
+            raise SystemExit(f"FAIL: live: malformed # EXEMPLAR line: {line}")
+        prom_exemplars.append((m.group(1), int(m.group(2))))
     elif line.startswith("#"):
         raise SystemExit(f"FAIL: live: unexpected comment line: {line}")
     else:
@@ -357,6 +374,14 @@ for fam, kind in types.items():
             raise SystemExit(f"FAIL: live: histogram '{fam}' has no buckets")
         if f'{fam}_bucket{{le="+Inf"}}' not in buckets:
             raise SystemExit(f"FAIL: live: histogram '{fam}' lacks +Inf bucket")
+# Every exemplar comment must point at a bucket series emitted above it.
+if not prom_exemplars:
+    raise SystemExit("FAIL: live: exposition carries no # EXEMPLAR lines "
+                     "despite --trace-sample 1.0")
+for bucket, _tid in prom_exemplars:
+    if bucket not in series:
+        raise SystemExit(f"FAIL: live: # EXEMPLAR references unknown series "
+                         f"'{bucket}'")
 
 # --- JSON snapshot frame, cross-checked against the exposition --------
 snap = frame("metrics", format="json")["snapshot"]
@@ -416,8 +441,84 @@ for key in ("uptime_secs", "version", "warm_entries"):
 if pong["warm_entries"] <= 0:
     raise SystemExit("FAIL: live: ping reports an empty warm store")
 
+# --- Request traces ---------------------------------------------------
+def check_span_tree(trace):
+    spans = trace.get("spans")
+    if not spans:
+        raise SystemExit(f"FAIL: live: trace {trace.get('trace_id')} "
+                         f"has no spans")
+    if spans[0]["parent"] is not None or spans[0]["start_ns"] != 0:
+        raise SystemExit(f"FAIL: live: span 0 is not a root: {spans[0]}")
+    if spans[0]["dur_ns"] != trace["total_ns"]:
+        raise SystemExit(f"FAIL: live: root span dur {spans[0]['dur_ns']} "
+                         f"!= total_ns {trace['total_ns']}")
+    for i, s in enumerate(spans[1:], start=1):
+        p = s["parent"]
+        if p is None or not (0 <= p < i):
+            raise SystemExit(f"FAIL: live: span {i} has a forward or "
+                             f"missing parent: {s}")
+        parent = spans[p]
+        if not (parent["start_ns"] <= s["start_ns"] and
+                s["start_ns"] + s["dur_ns"]
+                <= parent["start_ns"] + parent["dur_ns"]):
+            raise SystemExit(f"FAIL: live: span {i} ({s['name']}) does not "
+                             f"nest within its parent ({parent['name']}): "
+                             f"{s} vs {parent}")
+
+slowest = frame("trace", slowest=5)
+for key in ("traces", "store"):
+    if key not in slowest:
+        raise SystemExit(f"FAIL: live: slowest-trace frame lacks '{key}'")
+if not slowest["traces"]:
+    raise SystemExit("FAIL: live: no traces retained at sample rate 1.0")
+if slowest["store"]["retained"] <= 0:
+    raise SystemExit("FAIL: live: store totals report nothing retained")
+durs = [t["total_ns"] for t in slowest["traces"]]
+if durs != sorted(durs, reverse=True):
+    raise SystemExit(f"FAIL: live: slowest traces not sorted: {durs}")
+for t in slowest["traces"]:
+    check_span_tree(t)
+names = {s["name"] for s in slowest["traces"][0]["spans"]}
+expected = {"request", "queue", "batch", "retrieve", "classify", "explain"}
+if not expected <= names:
+    raise SystemExit(f"FAIL: live: slowest trace lacks stages "
+                     f"{expected - names}")
+
+# A clean run retains no error traces, but the selector must answer.
+errors = frame("trace", errors=True)
+if errors["traces"]:
+    raise SystemExit(f"FAIL: live: error traces on a clean run: "
+                     f"{errors['traces']}")
+
+# Every latency-histogram exemplar must resolve to a retained trace
+# (sample rate 1.0 retains all of them), and both fetch formats must
+# agree on the request.
+exemplars = snap.get("exemplars", {})
+lat = exemplars.get("serve.request_latency")
+if not lat:
+    raise SystemExit("FAIL: live: no exemplars on serve.request_latency")
+for ex in lat:
+    tid = ex["trace_id"]
+    by_id = frame("trace", trace_id=tid)["trace"]
+    if by_id["trace_id"] != tid:
+        raise SystemExit(f"FAIL: live: exemplar trace {tid} fetched "
+                         f"trace {by_id['trace_id']}")
+    check_span_tree(by_id)
+    chrome = frame("trace", trace_id=tid, format="chrome")["chrome_trace"]
+    events = chrome.get("traceEvents")
+    if not events or any(e.get("ph") not in ("X", "M") for e in events):
+        raise SystemExit(f"FAIL: live: chrome trace {tid} has non-X/M "
+                         f"events: {chrome}")
+    complete = [e for e in events if e.get("ph") == "X"]
+    if len(complete) != len(by_id["spans"]):
+        raise SystemExit(f"FAIL: live: chrome trace {tid} has "
+                         f"{len(complete)} X events vs "
+                         f"{len(by_id['spans'])} spans")
+
 print(f"OK: live exposition has {len(types)} families, "
       f"{len(series)} series, no duplicates")
+print(f"OK: {len(slowest['traces'])} slowest traces well-formed, "
+      f"{len(lat)} latency exemplars resolve in both formats")
 print(f"OK: stats window spans {stats['window_secs']:.2f}s across "
       f"{stats['windows']} windows (p99 {stats['p99_ns']}ns)")
 print("live observability check passed")
@@ -441,11 +542,12 @@ if ! grep -q "drained cleanly" "$WORKDIR/serve.log"; then
     exit 1
 fi
 
-python3 - "$WORKDIR/serve.json" "$SERVE_REQS" <<'PY'
+python3 - "$WORKDIR/serve.json" "$SERVE_REQS" "$WORKDIR/serve_prov.jsonl" <<'PY'
 import json, sys
 
 snap = json.load(open(sys.argv[1]))
 requests = int(sys.argv[2])
+prov_lines = [json.loads(l) for l in open(sys.argv[3]) if l.strip()]
 counters, gauges, hists = snap["counters"], snap["gauges"], snap["histograms"]
 vhists = snap["value_histograms"]
 
@@ -500,9 +602,42 @@ if counters.get("serve.scrapes", 0) < 3:
                      f"{counters.get('serve.scrapes')} < 3 admin reads")
 if counters.get("serve.monitor_ticks", 0) == 0:
     raise SystemExit("FAIL: serve: monitor thread never ticked")
+# The live-plane section fetched traces (2 multi-trace selectors plus 2
+# formats per exemplar), counted apart from scrapes.
+if counters.get("serve.trace_fetches", 0) < 4:
+    raise SystemExit(f"FAIL: serve: serve.trace_fetches "
+                     f"{counters.get('serve.trace_fetches')} < 4")
+# At sample rate 1.0 the monitor's last tick saw every trace retained,
+# none dropped, none evicted (store bound 512 >> request count).
+if gauges.get("trace.retained", 0) < requests:
+    raise SystemExit(f"FAIL: serve: trace.retained "
+                     f"{gauges.get('trace.retained')} < {requests}")
+for g in ("trace.dropped", "trace.evicted"):
+    if gauges.get(g, -1) != 0:
+        raise SystemExit(f"FAIL: serve: '{g}' is {gauges.get(g)} at "
+                         f"sample rate 1.0 under the store bound")
+# The aggregator saw one monotone registry for the whole run.
+if counters.get("obs.counter_resets", -1) != 0:
+    raise SystemExit(f"FAIL: serve: obs.counter_resets is "
+                     f"{counters.get('obs.counter_resets')}")
+
+# --- Served provenance carries the trace join key ---------------------
+if len(prov_lines) != requests:
+    raise SystemExit(f"FAIL: serve: {len(prov_lines)} provenance records "
+                     f"!= {requests} requests")
+for r in prov_lines:
+    for key in ("request", "trace_id"):
+        if key not in r:
+            raise SystemExit(f"FAIL: serve: provenance record lacks "
+                             f"'{key}': {r}")
+trace_ids = [r["trace_id"] for r in prov_lines]
+if len(set(trace_ids)) != len(trace_ids):
+    raise SystemExit("FAIL: serve: duplicate trace ids in provenance")
 
 batches = counters["serve.batches"]
 print(f"OK: serve smoke answered {requests} requests in {batches} "
       f"micro-batches and drained cleanly")
+print(f"OK: {len(prov_lines)} provenance records carry unique trace ids; "
+      f"{gauges['trace.retained']} traces retained")
 print("serve smoke check passed")
 PY

@@ -18,6 +18,7 @@
 #   SHAHIN_REG_SERVE_REQS  serve-bench requests per arm      (default 80)
 #   SHAHIN_REG_SERVE_CONC  serve-bench closed-loop clients   (default 4)
 #   SHAHIN_REG_OBS_LIVE_REPS  scrape-arm repetitions         (default 7)
+#   SHAHIN_REG_TRACE_REPS  tracing-arm repetitions           (default 7)
 #   SHAHIN_REG_LAYOUT_BATCH   tuples per layout-bench batch  (default 1000)
 #   SHAHIN_REG_LAYOUT_THREADS layout thread counts swept     (default 1,8)
 #   SHAHIN_REG_LAYOUT_REPS    layout runs per arm, min kept  (default 3)
@@ -35,6 +36,7 @@ OBS_REPS="${SHAHIN_REG_OBS_REPS:-7}"
 SERVE_REQS="${SHAHIN_REG_SERVE_REQS:-80}"
 SERVE_CONC="${SHAHIN_REG_SERVE_CONC:-4}"
 OBS_LIVE_REPS="${SHAHIN_REG_OBS_LIVE_REPS:-7}"
+TRACE_REPS="${SHAHIN_REG_TRACE_REPS:-7}"
 LAYOUT_BATCH="${SHAHIN_REG_LAYOUT_BATCH:-1000}"
 LAYOUT_THREADS="${SHAHIN_REG_LAYOUT_THREADS:-1,8}"
 LAYOUT_REPS="${SHAHIN_REG_LAYOUT_REPS:-3}"
@@ -64,6 +66,8 @@ SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_CONCURRENCY="$SERVE_CONC" \
     SHAHIN_SERVE_OUT="$OUT/BENCH_serve.json" \
     SHAHIN_OBS_LIVE_OUT="$OUT/BENCH_obs_live.json" \
     SHAHIN_OBS_LIVE_REPS="$OBS_LIVE_REPS" \
+    SHAHIN_TRACE_OUT="$OUT/BENCH_trace.json" \
+    SHAHIN_TRACE_REPS="$TRACE_REPS" \
     target/release/bench_serve
 
 echo "== parallel-driver benchmark (batch=$BATCH, latency=${LATENCY}us, threads=$THREADS)"
@@ -86,5 +90,6 @@ target/release/bench_compare parallel "$BASELINE_DIR/BENCH_parallel.json" "$OUT/
 target/release/bench_compare obs "$BASELINE_DIR/BENCH_obs.json" "$OUT/BENCH_obs.json"
 target/release/bench_compare serve "$BASELINE_DIR/BENCH_serve.json" "$OUT/BENCH_serve.json"
 target/release/bench_compare obs_live "$BASELINE_DIR/BENCH_obs_live.json" "$OUT/BENCH_obs_live.json"
+target/release/bench_compare trace "$BASELINE_DIR/BENCH_trace.json" "$OUT/BENCH_trace.json"
 target/release/bench_compare layout "$BASELINE_DIR/BENCH_layout.json" "$OUT/BENCH_layout.json"
 echo "perf-regression gate passed (fresh artifacts in $OUT)"

@@ -52,6 +52,7 @@ USAGE:
                      [--write-timeout-ms MS] [--allow-remote-shutdown]
                      [--monitor-interval-ms MS] [--windows N]
                      [--slo-p99-ms MS] [--slo-error-rate F]
+                     [--trace-sample F] [--trace-slow-ms MS] [--trace-store N]
                      [--metrics] [--metrics-out <file.json>]
                      [--provenance-out <file.jsonl>]
                      [resilience/chaos flags as for explain]
@@ -92,6 +93,22 @@ SERVING:
   --allow-remote-shutdown. With --metrics-out the monitor also rewrites
   the snapshot file atomically every tick, so it can be tailed while
   serving.
+
+  Every admitted request gets a trace id (returned in its response
+  frame) and a span tree (queue/batch/retrieve/classify/explain with
+  per-stage counters). A bounded store tail-samples which traces to
+  retain: every error/quarantined request, the slowest K per monitor
+  window, plus a --trace-sample (default 0.01) fraction of the rest,
+  in a --trace-store ring (default 512 traces; 0 disables tracing).
+  --trace-slow-ms (default 100) marks a request slow enough to always
+  retain. The loopback-gated `trace` admin frame fetches them back:
+      {\"id\": 7, \"method\": \"trace\", \"trace_id\": 42}
+      {\"id\": 8, \"method\": \"trace\", \"trace_id\": 42, \"format\": \"chrome\"}
+      {\"id\": 9, \"method\": \"trace\", \"slowest\": 5}
+      {\"id\": 10, \"method\": \"trace\", \"errors\": true}
+  \"chrome\" returns a single-request Chrome-trace JSON document
+  (load in Perfetto); latency histogram buckets remember the last
+  trace id that landed in them (exemplars, in `metrics` output).
 
 OBSERVABILITY:
   --metrics              print the metrics table (spans, counters, histograms)
@@ -619,6 +636,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     if monitor_interval_ms == 0 {
         return Err("monitor-interval-ms must be positive".into());
     }
+    let trace_sample: f64 = parse_num(get_or(flags, "trace-sample", "0.01"), "trace-sample")?;
+    if !(0.0..=1.0).contains(&trace_sample) {
+        return Err("trace-sample must be in [0, 1]".into());
+    }
+    let trace_slow_ms: u64 = parse_num(get_or(flags, "trace-slow-ms", "100"), "trace-slow-ms")?;
+    let trace_store: usize = parse_num(get_or(flags, "trace-store", "512"), "trace-store")?;
 
     let file = File::open(path).map_err(|e| e.to_string())?;
     let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
@@ -727,6 +750,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             windows,
             slo_p99: Duration::from_millis(slo_p99_ms),
             slo_error_rate,
+            trace_sample,
+            trace_slow: Duration::from_millis(trace_slow_ms),
+            trace_store,
             // The monitor rewrites the file atomically every tick; the
             // final write below adds the folded provenance gauges.
             metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
