@@ -36,6 +36,14 @@
 //!   server must have retained at least one trace, and traced
 //!   throughput may shrink at most the wall tolerance against the
 //!   baseline.
+//! * `persist` — inside the fresh run, the restart drill must hold: the
+//!   hydrated restart took zero classifier invocations, produced
+//!   bit-identical explanations, and reached
+//!   `SHAHIN_CMP_MIN_RESTART_SPEEDUP` (default 2.0) over the cold
+//!   re-prime; deterministic quantities (snapshot size, restart and
+//!   serve invocation counts, the explanation fingerprint) must match
+//!   the baseline exactly; hydrated restart wall time may drift at most
+//!   the wall tolerance.
 //! * `layout` — inside the fresh run, both layout arms must agree
 //!   bit-for-bit (invocations, explanation fingerprints, lookup counts;
 //!   parallel Anchor invocations get the Anchor tolerance); deterministic
@@ -368,6 +376,67 @@ fn compare_trace(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Strin
     Ok(())
 }
 
+fn compare_persist(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    let min_speedup = env_f64("SHAHIN_CMP_MIN_RESTART_SPEEDUP", 2.0);
+    check_same_workload(gate, base, fresh, &["dataset", "requests", "warm_rows", "seed"])?;
+
+    // The headline claim, inside the fresh run itself: hydrating from a
+    // snapshot restarts warm — no classifier calls, same explanations,
+    // and much faster than re-priming from scratch.
+    let hyd_inv = num(fresh, &["hydrated", "restart_invocations"], "fresh")?;
+    gate.check(
+        hyd_inv == 0.0,
+        format!("hydrated restart took {hyd_inv} classifier invocations (must be 0)"),
+    );
+    let bit_identical = fresh
+        .at(&["hydrated", "bit_identical"])
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    gate.check(
+        bit_identical,
+        "hydrated replica serves bit-identical explanations".into(),
+    );
+    let speedup = num(fresh, &["restart_speedup"], "fresh")?;
+    gate.check(
+        speedup >= min_speedup,
+        format!("restart-to-warm speedup {speedup:.2}x >= {min_speedup:.2}x"),
+    );
+
+    // Everything the snapshot pipeline computes is seed-derived and must
+    // reproduce the baseline exactly: the snapshot's size, the cold
+    // re-prime's invoice, both arms' serve-time invocations, and the
+    // explanation fingerprint.
+    for path in [
+        &["snapshot_bytes"][..],
+        &["cold", "restart_invocations"],
+        &["cold", "serve_invocations"],
+        &["hydrated", "serve_invocations"],
+    ] {
+        let b = num(base, path, "baseline")?;
+        let f = num(fresh, path, "fresh")?;
+        gate.check(
+            b == f,
+            format!("{} {f} (baseline {b}, exact)", path.join(".")),
+        );
+    }
+    let b_fp = base.get("fingerprint").and_then(Json::as_str);
+    let f_fp = fresh.get("fingerprint").and_then(Json::as_str);
+    gate.check(
+        b_fp.is_some() && b_fp == f_fp,
+        format!("explanation fingerprint {f_fp:?} (baseline {b_fp:?}, exact)"),
+    );
+
+    // Hydration wall time is hardware-dependent: wall tolerance.
+    let b_wall = num(base, &["hydrated", "restart_s"], "baseline")?;
+    let f_wall = num(fresh, &["hydrated", "restart_s"], "fresh")?;
+    gate.check(
+        f_wall <= b_wall * (1.0 + tol_wall / 100.0),
+        format!("hydrated restart {f_wall:.3}s within {tol_wall}% of baseline {b_wall:.3}s"),
+    );
+    Ok(())
+}
+
 fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
     let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
     let tol_anchor = env_f64("SHAHIN_CMP_TOL_ANCHOR_PCT", 15.0);
@@ -476,7 +545,7 @@ fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Stri
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let [kind, base_path, fresh_path] = args else {
         return Err(
-            "usage: bench_compare <parallel|obs|serve|obs_live|trace|layout> \
+            "usage: bench_compare <parallel|obs|serve|obs_live|trace|persist|layout> \
              <baseline.json> <fresh.json>"
                 .into(),
         );
@@ -491,6 +560,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         "serve" => compare_serve(&mut gate, &base, &fresh)?,
         "obs_live" => compare_obs_live(&mut gate, &base, &fresh)?,
         "trace" => compare_trace(&mut gate, &base, &fresh)?,
+        "persist" => compare_persist(&mut gate, &base, &fresh)?,
         "layout" => compare_layout(&mut gate, &base, &fresh)?,
         other => return Err(format!("unknown artifact kind '{other}'")),
     }

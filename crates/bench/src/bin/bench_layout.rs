@@ -30,9 +30,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shahin::{
-    run_with_obs, BatchConfig, ExplainerKind, Explanation, MatchEngine, Method, MetricsRegistry,
+    run_with_obs, BatchConfig, ExplainerKind, MatchEngine, Method, MetricsRegistry,
 };
-use shahin_bench::{base_seed, bench_anchor, bench_lime, env_u64, f2, secs, write_artifact};
+use shahin_bench::{base_seed, bench_anchor, bench_lime, env_u64, explanation_fingerprint, f2, secs, write_artifact};
 use shahin_explain::ExplainContext;
 use shahin_model::{CountingClassifier, ForestLayout, ForestParams, RandomForest};
 use shahin_tabular::{train_test_split, DatasetPreset};
@@ -46,43 +46,6 @@ struct Measurement {
     fingerprint: u64,
 }
 
-/// FNV-1a over the bit-exact content of every explanation: any layout-
-/// induced drift in weights, rules, precision or coverage changes the
-/// fingerprint.
-fn fingerprint(explanations: &[Explanation]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x1_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for e in explanations {
-        match e {
-            Explanation::Weights(w) => {
-                eat(b"W");
-                for &v in &w.weights {
-                    eat(&v.to_bits().to_le_bytes());
-                }
-                eat(&w.intercept.to_bits().to_le_bytes());
-                eat(&w.local_prediction.to_bits().to_le_bytes());
-            }
-            Explanation::Rule(r) => {
-                eat(b"R");
-                for item in r.rule.items() {
-                    eat(&item.attr.to_le_bytes());
-                    eat(&item.code.to_le_bytes());
-                }
-                eat(&r.precision.to_bits().to_le_bytes());
-                eat(&r.coverage.to_bits().to_le_bytes());
-                eat(&[r.anchored_class]);
-            }
-        }
-    }
-    h
-}
 
 fn measure_once(
     method: &Method,
@@ -110,7 +73,7 @@ fn measure_once(
         invocations: clf.invocations(),
         match_ns: hist.sum_ns,
         match_count: hist.count,
-        fingerprint: fingerprint(&report.explanations),
+        fingerprint: explanation_fingerprint(&report.explanations),
     }
 }
 

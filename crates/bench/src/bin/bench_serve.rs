@@ -49,6 +49,16 @@
 //! `SHAHIN_TRACE_BUDGET_PCT` (default 1%) and written to
 //! `SHAHIN_TRACE_OUT` (default `BENCH_trace.json`), gated in CI by
 //! `bench_compare trace`.
+//!
+//! A fifth **persist** arm is the restart drill: a donor engine primes,
+//! answers a deterministic request sequence, and snapshots its warm
+//! state; then two restarts answer the *same* sequence — one cold
+//! (full re-prime, paying every mining and classifier call again) and
+//! one hydrated from the snapshot via the `--warm-from` path (zero
+//! classifier invocations to restart). The arm asserts all three
+//! engines produce bit-identical explanations (FNV-1a fingerprints)
+//! and emits `SHAHIN_PERSIST_OUT` (default `BENCH_persist.json`),
+//! gated in CI by `bench_compare persist`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -57,9 +67,12 @@ use std::time::{Duration, Instant};
 
 use shahin::{
     BatchConfig, MetricsRegistry, ProvenanceSink, ShahinBatch, WarmEngine, WarmExplainer,
+    WarmOutcome, WarmRequest,
 };
 use shahin_bench::json::Json;
-use shahin_bench::{base_seed, bench_lime, env_u64, f2, workload, write_artifact};
+use shahin_bench::{
+    base_seed, bench_lime, env_u64, explanation_fingerprint, f2, workload, write_artifact,
+};
 use shahin_serve::{ServeConfig, Server};
 use shahin_tabular::DatasetPreset;
 
@@ -691,4 +704,142 @@ fn main() {
     );
     write_artifact(&trace_out, &trace_json);
     println!("wrote {trace_out}");
+
+    // ---- Persist arm: the restart drill, cold re-prime vs hydration. ----
+    let persist_out =
+        std::env::var("SHAHIN_PERSIST_OUT").unwrap_or_else(|_| "BENCH_persist.json".into());
+    // Distinct rows keep serve-time invocation counts deterministic:
+    // duplicate rows inside one micro-batch would race on who inserts the
+    // fresh perturbations first, and this arm gates counts exactly.
+    let persist_requests = (env_u64("SHAHIN_PERSIST_REQUESTS", requests as u64) as usize)
+        .min(env_u64("SHAHIN_SERVE_WARM_ROWS", 200) as usize);
+    println!(
+        "# Restart drill: {persist_requests} requests, cold re-prime vs --warm-from hydration"
+    );
+
+    let sequence = |warm_rows: usize| -> Vec<WarmRequest> {
+        (0..persist_requests.min(warm_rows))
+            .map(|i| WarmRequest {
+                row: i,
+                request_id: i as u64,
+                trace: None,
+            })
+            .collect()
+    };
+    let serve_fingerprint = |engine: &WarmEngine<_>, warm_rows: usize| -> (u64, u64) {
+        let before = engine.invocations();
+        let outcomes = engine.explain(&sequence(warm_rows));
+        let explanations: Vec<_> = outcomes
+            .into_iter()
+            .map(|o| match o {
+                WarmOutcome::Ok { explanation, .. } => explanation,
+                WarmOutcome::Failed(f) => panic!("restart drill request failed: {f:?}"),
+            })
+            .collect();
+        (
+            explanation_fingerprint(&explanations),
+            engine.invocations() - before,
+        )
+    };
+
+    // Donor: prime, serve the sequence, snapshot the repository —
+    // exactly what a production server writes at drain. (Serving never
+    // mutates the store, so this equals the post-prime state — the
+    // canonical-dump property the e2e suite pins down.)
+    let (donor_bytes, donor_fp, donor_warm_rows) = {
+        let w = workload(preset, 0.2, seed);
+        let warm_rows = warm_rows.min(w.max_batch());
+        let warm = w.batch(warm_rows);
+        let reg = MetricsRegistry::new();
+        let engine = WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(bench_lime()),
+            w.ctx,
+            w.clf,
+            warm,
+            seed,
+            &reg,
+        );
+        let (fp, serve_inv) = serve_fingerprint(&engine, warm_rows);
+        println!(
+            "donor: primed ({} invocations), served ({serve_inv} invocations), snapshotting",
+            engine.invocations() - serve_inv
+        );
+        (engine.snapshot_bytes(), fp, warm_rows)
+    };
+
+    // Cold restart: a fresh process re-primes from scratch and re-pays
+    // the donor's entire materialization bill before it can serve.
+    let (cold_restart_s, cold_restart_inv, cold_serve_inv, cold_fp) = {
+        let w = workload(preset, 0.2, seed);
+        let warm = w.batch(donor_warm_rows);
+        let reg = MetricsRegistry::new();
+        let t0 = Instant::now();
+        let engine = WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(bench_lime()),
+            w.ctx,
+            w.clf,
+            warm,
+            seed,
+            &reg,
+        );
+        let restart_s = t0.elapsed().as_secs_f64();
+        let restart_inv = engine.invocations();
+        let (fp, serve_inv) = serve_fingerprint(&engine, donor_warm_rows);
+        (restart_s, restart_inv, serve_inv, fp)
+    };
+
+    // Hydrated restart: the same fresh process warms from the snapshot —
+    // no mining, no classifier calls — and serves the identical sequence
+    // (serve-time reads never mutate the store, so its serve invoice
+    // matches the cold arm's exactly; only the restart bill differs).
+    let (hyd_restart_s, hyd_restart_inv, hyd_serve_inv, hyd_fp) = {
+        let w = workload(preset, 0.2, seed);
+        let warm = w.batch(donor_warm_rows);
+        let reg = MetricsRegistry::new();
+        let t0 = Instant::now();
+        let engine = WarmEngine::prime_from_snapshot(
+            BatchConfig::default(),
+            WarmExplainer::Lime(bench_lime()),
+            w.ctx,
+            w.clf,
+            warm,
+            seed,
+            &reg,
+            &donor_bytes,
+        )
+        .expect("the donor snapshot hydrates");
+        let restart_s = t0.elapsed().as_secs_f64();
+        let restart_inv = engine.invocations();
+        let (fp, serve_inv) = serve_fingerprint(&engine, donor_warm_rows);
+        (restart_s, restart_inv, serve_inv, fp)
+    };
+
+    let bit_identical = cold_fp == donor_fp && hyd_fp == donor_fp;
+    assert!(
+        bit_identical,
+        "restart drill fingerprints diverged: donor {donor_fp:016x}, \
+         cold {cold_fp:016x}, hydrated {hyd_fp:016x}"
+    );
+    assert_eq!(hyd_restart_inv, 0, "hydration must be classifier-free");
+    let restart_speedup = cold_restart_s / hyd_restart_s.max(1e-9);
+    println!(
+        "cold restart: {} ({cold_restart_inv} invocations), served with {cold_serve_inv}",
+        shahin_bench::secs(cold_restart_s)
+    );
+    println!(
+        "hydrated restart: {} (0 invocations), served with {hyd_serve_inv} — \
+         {}x faster to warm, bit-identical",
+        shahin_bench::secs(hyd_restart_s),
+        f2(restart_speedup)
+    );
+
+    let persist_json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"requests\": {persist_requests},\n  \"warm_rows\": {donor_warm_rows},\n  \"seed\": {seed},\n  \"snapshot_bytes\": {},\n  \"fingerprint\": \"{donor_fp:016x}\",\n  \"cold\": {{\"restart_s\": {cold_restart_s:.6}, \"restart_invocations\": {cold_restart_inv}, \"serve_invocations\": {cold_serve_inv}}},\n  \"hydrated\": {{\"restart_s\": {hyd_restart_s:.6}, \"restart_invocations\": {hyd_restart_inv}, \"serve_invocations\": {hyd_serve_inv}, \"bit_identical\": {bit_identical}}},\n  \"restart_speedup\": {restart_speedup:.3}\n}}\n",
+        preset.name(),
+        donor_bytes.len(),
+    );
+    write_artifact(&persist_out, &persist_json);
+    println!("wrote {persist_out}");
 }

@@ -145,23 +145,53 @@ pub fn bench_shap() -> KernelShapExplainer {
     })
 }
 
-/// Writes a benchmark artifact, creating any missing parent directories
-/// first (so `SHAHIN_*_OUT=artifacts/ci/BENCH_x.json` works without a
-/// manual mkdir). Panics with the path and cause on failure — an
-/// unwritable artifact is fatal to a bench run.
-pub fn write_artifact(path: &str, contents: &str) {
-    let p = std::path::Path::new(path);
-    if let Some(parent) = p.parent() {
-        if !parent.as_os_str().is_empty() && !parent.exists() {
-            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
-                panic!(
-                    "cannot create directory '{}' for artifact '{path}': {e}",
-                    parent.display()
-                )
-            });
+/// FNV-1a over the bit-exact content of every explanation: any drift in
+/// weights, rules, precision or coverage — from a data layout, a restart,
+/// or a snapshot hydration — changes the fingerprint.
+pub fn explanation_fingerprint(explanations: &[shahin::Explanation]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for e in explanations {
+        match e {
+            shahin::Explanation::Weights(w) => {
+                eat(b"W");
+                for &v in &w.weights {
+                    eat(&v.to_bits().to_le_bytes());
+                }
+                eat(&w.intercept.to_bits().to_le_bytes());
+                eat(&w.local_prediction.to_bits().to_le_bytes());
+            }
+            shahin::Explanation::Rule(r) => {
+                eat(b"R");
+                for item in r.rule.items() {
+                    eat(&item.attr.to_le_bytes());
+                    eat(&item.code.to_le_bytes());
+                }
+                eat(&r.precision.to_bits().to_le_bytes());
+                eat(&r.coverage.to_bits().to_le_bytes());
+                eat(&[r.anchored_class]);
+            }
         }
     }
-    std::fs::write(p, contents).unwrap_or_else(|e| panic!("cannot write artifact '{path}': {e}"));
+    h
+}
+
+/// Writes a benchmark artifact atomically (temp file + fsync + rename),
+/// creating any missing parent directories first (so
+/// `SHAHIN_*_OUT=artifacts/ci/BENCH_x.json` works without a manual
+/// mkdir) — a CI reader polling the path never sees a half-written
+/// JSON. Panics with the path and cause on failure — an unwritable
+/// artifact is fatal to a bench run.
+pub fn write_artifact(path: &str, contents: &str) {
+    shahin_obs::write_atomic(std::path::Path::new(path), contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write artifact '{path}': {e}"));
 }
 
 /// Prints a markdown-style table row.

@@ -37,6 +37,7 @@ use shahin_model::Classifier;
 use shahin_obs::{Counter, MetricsRegistry};
 
 use crate::obs::names;
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use crate::store::PerturbationStore;
 
 /// Number of lock stripes. 16 keeps the worst-case contention of a full
@@ -132,6 +133,102 @@ impl SharedAnchorCaches {
     /// Number of rules with memoized coverage.
     pub fn n_coverage_entries(&self) -> usize {
         self.shards.iter().map(|s| s.lock().coverage.len()).sum()
+    }
+
+    /// Serializes every shard's precision counts, memoized coverage and
+    /// bootstrap marks into one flat payload. Entries are sorted by rule so
+    /// the bytes are deterministic regardless of `HashMap` iteration order
+    /// or which shard a rule hashed to.
+    pub(crate) fn dump_snapshot(&self) -> Vec<u8> {
+        let mut precision: Vec<(Itemset, (u64, u64))> = Vec::new();
+        let mut coverage: Vec<(Itemset, f64)> = Vec::new();
+        let mut bootstrapped: Vec<Itemset> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            precision.extend(shard.precision.iter().map(|(r, &c)| (r.clone(), c)));
+            coverage.extend(shard.coverage.iter().map(|(r, &c)| (r.clone(), c)));
+            bootstrapped.extend(shard.bootstrapped.iter().cloned());
+        }
+        precision.sort_by(|a, b| a.0.cmp(&b.0));
+        coverage.sort_by(|a, b| a.0.cmp(&b.0));
+        bootstrapped.sort();
+
+        let mut e = Enc::new();
+        e.u64(precision.len() as u64);
+        for (rule, (n, pos)) in &precision {
+            e.itemset(rule);
+            e.u64(*n);
+            e.u64(*pos);
+        }
+        e.u64(coverage.len() as u64);
+        for (rule, c) in &coverage {
+            e.itemset(rule);
+            e.f64(*c);
+        }
+        e.u64(bootstrapped.len() as u64);
+        for rule in &bootstrapped {
+            e.itemset(rule);
+        }
+        e.buf
+    }
+
+    /// Rebuilds caches from a [`dump_snapshot`](Self::dump_snapshot)
+    /// payload, re-sharding every rule (the shard a rule lands in is an
+    /// implementation detail, not part of the format). Each list must be
+    /// strictly sorted — the dump's canonical form — so duplicated or
+    /// shuffled entries are rejected as corruption, and semantic invariants
+    /// (`pos <= n`, coverage in `[0, 1]`) are enforced before any entry is
+    /// admitted.
+    pub(crate) fn load_snapshot(
+        payload: &[u8],
+        registry: &MetricsRegistry,
+    ) -> Result<SharedAnchorCaches, SnapshotError> {
+        const CONTEXT: &str = "anchor cache section";
+        let corrupt = |context: &'static str| SnapshotError::Corrupt { context };
+        let caches = SharedAnchorCaches::with_obs(registry);
+        let mut d = Dec::new(payload, CONTEXT);
+
+        let mut prev: Option<Itemset> = None;
+        for _ in 0..d.len()? {
+            let rule = d.itemset()?;
+            if prev.as_ref().is_some_and(|p| *p >= rule) {
+                return Err(corrupt("precision entries out of order"));
+            }
+            let n = d.u64()?;
+            let pos = d.u64()?;
+            if pos > n {
+                return Err(corrupt("positive count exceeds sample count"));
+            }
+            let idx = SharedAnchorCaches::shard_index(&rule);
+            caches.shards[idx].lock().precision.insert(rule.clone(), (n, pos));
+            prev = Some(rule);
+        }
+        prev = None;
+        for _ in 0..d.len()? {
+            let rule = d.itemset()?;
+            if prev.as_ref().is_some_and(|p| *p >= rule) {
+                return Err(corrupt("coverage entries out of order"));
+            }
+            let c = d.f64()?;
+            if !(0.0..=1.0).contains(&c) {
+                return Err(corrupt("coverage outside [0, 1]"));
+            }
+            let idx = SharedAnchorCaches::shard_index(&rule);
+            caches.shards[idx].lock().coverage.insert(rule.clone(), c);
+            prev = Some(rule);
+        }
+        prev = None;
+        for _ in 0..d.len()? {
+            let rule = d.itemset()?;
+            if prev.as_ref().is_some_and(|p| *p >= rule) {
+                return Err(corrupt("bootstrap marks out of order"));
+            }
+            let idx = SharedAnchorCaches::shard_index(&rule);
+            caches.shards[idx].lock().bootstrapped.insert(rule.clone());
+            prev = Some(rule);
+        }
+        d.finish()?;
+        Ok(caches)
     }
 
     /// Approximate resident bytes (for budget-style reporting).
@@ -454,6 +551,104 @@ mod tests {
         assert_eq!(stats2.reused, 57);
         assert_eq!(stats2.fresh, 0);
         assert_eq!(stats2.cache_hits, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_every_cache() {
+        let ctx = test_ctx(7);
+        let clf = MajorityClass::fit(&[1]);
+        let store = materialized_store(&ctx, &clf);
+        let matched = vec![0u32, 1];
+        let caches = SharedAnchorCaches::new();
+        let mut s = CachingRuleSampler::new(&ctx, &clf, &store, &matched, &caches, 11);
+        for rule in [
+            Itemset::new(vec![Item::new(0, 1)]),
+            Itemset::new(vec![Item::new(1, 2)]),
+            Itemset::new(vec![Item::new(0, 1), Item::new(1, 2)]),
+        ] {
+            s.prior(&rule);
+            s.coverage(&rule);
+            s.draw(&rule, 3);
+        }
+        let payload = caches.dump_snapshot();
+        let reg = MetricsRegistry::new();
+        let loaded = SharedAnchorCaches::load_snapshot(&payload, &reg).expect("valid payload");
+        assert_eq!(loaded.dump_snapshot(), payload, "reserialization identical");
+        assert_eq!(loaded.n_precision_entries(), caches.n_precision_entries());
+        assert_eq!(loaded.n_coverage_entries(), caches.n_coverage_entries());
+        // A sampler over the loaded caches sees the donor's evidence as
+        // free priors, not as cache misses to recompute.
+        let clf2 = CountingClassifier::new(MajorityClass::fit(&[1]));
+        let mut s2 = CachingRuleSampler::new(&ctx, &clf2, &store, &matched, &loaded, 12);
+        let rule = Itemset::new(vec![Item::new(0, 1)]);
+        let before = s.prior(&rule);
+        assert_eq!(s2.prior(&rule), before);
+        assert_eq!(clf2.invocations(), 0, "hydrated prior must be free");
+    }
+
+    #[test]
+    fn snapshot_load_rejects_invalid_payloads() {
+        let caches = SharedAnchorCaches::new();
+        {
+            let mut shard = caches.shards[0].lock();
+            shard
+                .precision
+                .insert(Itemset::new(vec![Item::new(0, 1)]), (10, 4));
+            shard
+                .coverage
+                .insert(Itemset::new(vec![Item::new(1, 0)]), 0.25);
+        }
+        let payload = caches.dump_snapshot();
+        let reg = MetricsRegistry::new();
+        for end in 0..payload.len() {
+            assert!(
+                SharedAnchorCaches::load_snapshot(&payload[..end], &reg).is_err(),
+                "cut at {end} must be rejected"
+            );
+        }
+        // pos > n is semantic corruption even when the framing is intact.
+        let bad = {
+            let c = SharedAnchorCaches::new();
+            c.shards[0]
+                .lock()
+                .precision
+                .insert(Itemset::new(vec![Item::new(0, 1)]), (3, 9));
+            c.dump_snapshot()
+        };
+        let err = SharedAnchorCaches::load_snapshot(&bad, &reg).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Dump → load → dump is the identity on bytes for arbitrary
+        /// cache contents, across all shards.
+        #[test]
+        fn cache_snapshot_round_trip_holds_for_arbitrary_contents(
+            entries in proptest::collection::vec(
+                ((0u32..6, 0u32..4), (0u64..200, 0u64..200), 0.0f64..=1.0, 0u8..2),
+                0..30),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let caches = SharedAnchorCaches::new();
+            for ((attr, code), (n, pos), c, mark) in entries {
+                let rule = Itemset::new(vec![Item::new(attr as usize, code)]);
+                let idx = SharedAnchorCaches::shard_index(&rule);
+                let mut shard = caches.shards[idx].lock();
+                shard.precision.insert(rule.clone(), (n, pos % (n + 1)));
+                shard.coverage.insert(rule.clone(), c);
+                if mark == 1 {
+                    shard.bootstrapped.insert(rule);
+                }
+            }
+            let payload = caches.dump_snapshot();
+            let reg = MetricsRegistry::new();
+            let loaded = SharedAnchorCaches::load_snapshot(&payload, &reg).expect("own dump loads");
+            prop_assert_eq!(loaded.dump_snapshot(), payload);
+            prop_assert_eq!(loaded.n_precision_entries(), caches.n_precision_entries());
+            prop_assert_eq!(loaded.n_coverage_entries(), caches.n_coverage_entries());
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod parallel;
 pub(crate) mod quarantine;
 pub mod runner;
 pub mod shap_source;
+pub mod snapshot;
 pub mod store;
 pub mod streaming;
 pub mod summarize;
@@ -85,6 +86,7 @@ pub use runner::{
     per_tuple_seed, run, run_with_obs, ExplainerKind, Explanation, Method, RunReport,
 };
 pub use shap_source::StoreCoalitionSource;
+pub use snapshot::{fault, SnapshotError, FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION};
 pub use store::{per_itemset_seed, LookupStats, MatchEngine, PerturbationStore};
 pub use streaming::ShahinStreaming;
 pub use summarize::{

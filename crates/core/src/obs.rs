@@ -203,6 +203,22 @@ pub mod names {
     /// published by the monitor from the aggregator's running total).
     pub const OBS_COUNTER_RESETS: &str = "obs.counter_resets";
 
+    /// Warm-state snapshots written successfully (periodic + on-demand).
+    pub const PERSIST_SNAPSHOTS_TAKEN: &str = "persist.snapshots_taken";
+    /// On-demand snapshot requests (admin `snapshot` frames + SIGUSR1).
+    pub const PERSIST_SNAPSHOTS_REQUESTED: &str = "persist.snapshots_requested";
+    /// Snapshot attempts that failed (I/O errors; the last good snapshot
+    /// on disk is untouched thanks to the atomic write path).
+    pub const PERSIST_SNAPSHOTS_FAILED: &str = "persist.snapshots_failed";
+    /// Size of the most recently written snapshot (gauge, bytes).
+    pub const PERSIST_SNAPSHOT_BYTES: &str = "persist.snapshot_bytes";
+    /// Warm-state hydrations that passed full validation.
+    pub const PERSIST_LOADS_OK: &str = "persist.loads_ok";
+    /// Hydration attempts rejected by validation (bad magic, stale
+    /// version, fingerprint mismatch, truncation, CRC failure, structural
+    /// corruption) — each falls back to a cold start.
+    pub const PERSIST_LOAD_REJECTED: &str = "persist.load_rejected";
+
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
     pub fn anchor_shard(idx: usize, kind: &str) -> String {
@@ -269,6 +285,11 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::SERVE_MONITOR_TICKS,
         names::SERVE_TRACE_FETCHES,
         names::OBS_COUNTER_RESETS,
+        names::PERSIST_SNAPSHOTS_TAKEN,
+        names::PERSIST_SNAPSHOTS_REQUESTED,
+        names::PERSIST_SNAPSHOTS_FAILED,
+        names::PERSIST_LOADS_OK,
+        names::PERSIST_LOAD_REJECTED,
     ] {
         reg.counter(counter);
     }
@@ -284,6 +305,7 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::TRACE_RETAINED,
         names::TRACE_DROPPED,
         names::TRACE_EVICTED,
+        names::PERSIST_SNAPSHOT_BYTES,
         names::PROVENANCE_RECORDS,
         names::PROVENANCE_MATCHED_ITEMSETS,
         names::PROVENANCE_STORE_MISSES,

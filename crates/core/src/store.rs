@@ -22,6 +22,7 @@ use shahin_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::obs::names;
 use crate::parallel::chunks;
+use crate::snapshot::{Dec, Enc, SnapshotError};
 
 /// Derives the RNG seed of itemset `id`'s materialization stream from the
 /// run seed (SplitMix64 finalizer). The stream constant differs from
@@ -511,6 +512,130 @@ impl PerturbationStore {
         self.obs.resident_bytes.set(self.used_bytes as u64);
         out
     }
+
+    /// Serializes the store's full warm state — itemsets, every
+    /// materialized sample, LRU clocks, byte budget/high-watermark, engine
+    /// selection, and the bitset dictionary — as a snapshot payload.
+    /// [`PerturbationStore::load_snapshot`] is the inverse.
+    pub(crate) fn dump_snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.itemsets.len() as u64);
+        for set in &self.itemsets {
+            e.itemset(set);
+        }
+        e.u8(match self.engine {
+            MatchEngine::Bitset => 0,
+            MatchEngine::Postings => 1,
+        });
+        e.u64(self.budget as u64);
+        e.u64(self.peak_bytes as u64);
+        e.u64(self.clock);
+        for &t in &self.last_used {
+            e.u64(t);
+        }
+        for entry in &self.entries {
+            e.u64(entry.samples.len() as u64);
+            for s in &entry.samples {
+                e.u32(s.codes.len() as u32);
+                for &c in s.codes.iter() {
+                    e.u32(c);
+                }
+                e.f64(s.proba);
+            }
+        }
+        e.bytes(&self.domain.dump_bytes());
+        e.buf
+    }
+
+    /// Reconstructs a store from a [`PerturbationStore::dump_snapshot`]
+    /// payload. Derivable state (postings index, per-entry byte and sample
+    /// counts, resident-byte total) is recomputed rather than trusted, and
+    /// structural invariants — every sample contains its itemset, the
+    /// dictionary covers the itemset list, LRU clocks are in range — are
+    /// verified, so a payload that passed its CRC but was written wrong
+    /// still cannot produce a store that would serve bad answers.
+    pub(crate) fn load_snapshot(payload: &[u8]) -> Result<PerturbationStore, SnapshotError> {
+        const CONTEXT: &str = "store section";
+        let corrupt = |context: &'static str| SnapshotError::Corrupt { context };
+        let mut d = Dec::new(payload, CONTEXT);
+        let n = d.len()?;
+        let mut itemsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            itemsets.push(d.itemset()?);
+        }
+        let engine = match d.u8()? {
+            0 => MatchEngine::Bitset,
+            1 => MatchEngine::Postings,
+            _ => return Err(corrupt("unknown match engine")),
+        };
+        let budget = d.u64()? as usize;
+        let peak_bytes = d.u64()? as usize;
+        let clock = d.u64()?;
+        let mut last_used = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = d.u64()?;
+            if t > clock {
+                return Err(corrupt("LRU timestamp ahead of the store clock"));
+            }
+            last_used.push(t);
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut n_samples = Vec::with_capacity(n);
+        let base: usize = itemsets.iter().map(Itemset::approx_bytes).sum();
+        let mut used_bytes = base;
+        for set in &itemsets {
+            let count = d.len()?;
+            let mut samples = Vec::with_capacity(count);
+            let mut bytes = 0usize;
+            for _ in 0..count {
+                let width = d.u32()? as usize;
+                let mut codes = Vec::with_capacity(width.min(payload.len()));
+                for _ in 0..width {
+                    codes.push(d.u32()?);
+                }
+                let proba = d.f64()?;
+                if !(0.0..=1.0).contains(&proba) {
+                    return Err(corrupt("sample probability outside [0, 1]"));
+                }
+                let sample = LabeledSample {
+                    codes: codes.into_boxed_slice(),
+                    proba,
+                };
+                if !set.contained_in(&sample.codes) {
+                    return Err(corrupt("sample does not contain its itemset"));
+                }
+                bytes += sample.approx_bytes();
+                samples.push(sample);
+            }
+            n_samples.push(u32::try_from(count).map_err(|_| corrupt("entry overflows u32"))?);
+            used_bytes += bytes;
+            entries.push(StoreEntry { samples, bytes });
+        }
+        let domain = BitsetDomain::load_bytes(d.bytes()?)
+            .map_err(|context| SnapshotError::Corrupt { context })?;
+        d.finish()?;
+        if domain.len() != itemsets.len() {
+            return Err(corrupt("bitset dictionary disagrees with the itemset list"));
+        }
+        if peak_bytes < used_bytes {
+            return Err(corrupt("peak bytes below resident bytes"));
+        }
+        let index = ItemsetIndex::new(&itemsets);
+        Ok(PerturbationStore {
+            n_samples,
+            last_used,
+            itemsets,
+            entries,
+            index,
+            domain,
+            engine,
+            budget,
+            used_bytes,
+            peak_bytes,
+            clock,
+            obs: StoreObs::default(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -850,6 +975,107 @@ mod tests {
             assert_eq!(all_b, all_p);
             assert_eq!(ids_b, ids_p);
             assert_eq!(stats_b, stats_p);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        store.materialize_parallel(&ctx, &clf, 6, 13, 2);
+        // Touch some LRU state and evict an entry so non-trivial clocks
+        // and an empty slot are part of the round trip.
+        let mut scratch = MatchScratch::new();
+        let mut row = vec![9999u32; ctx.n_attrs()];
+        row[0] = 0;
+        row[1] = 1;
+        store.matching(&row, &mut scratch);
+        store.entries[1].samples.clear();
+        store.used_bytes -= store.entries[1].bytes;
+        store.entries[1].bytes = 0;
+        store.n_samples[1] = 0;
+
+        let payload = store.dump_snapshot();
+        let loaded = PerturbationStore::load_snapshot(&payload).expect("valid payload loads");
+        assert_eq!(loaded.dump_snapshot(), payload, "reserialization identical");
+        assert_eq!(loaded.n_samples, store.n_samples);
+        assert_eq!(loaded.last_used, store.last_used);
+        assert_eq!(loaded.clock, store.clock);
+        assert_eq!(loaded.used_bytes, store.used_bytes);
+        assert_eq!(loaded.peak_bytes, store.peak_bytes);
+        assert_eq!(loaded.budget, store.budget);
+        assert_eq!(loaded.match_engine(), store.match_engine());
+        for id in 0..3u32 {
+            assert_eq!(loaded.samples(id), store.samples(id));
+        }
+        // The loaded store answers lookups identically through both the
+        // loaded dictionary and the rebuilt postings index.
+        let (ids_a, stats_a) = store.matching_read_stats(&row, &mut scratch);
+        let (ids_b, stats_b) = loaded.matching_read_stats(&row, &mut scratch);
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn snapshot_load_rejects_structural_corruption() {
+        let ctx = ctx();
+        let clf = MajorityClass::fit(&[1]);
+        let mut store = PerturbationStore::new(itemsets(), usize::MAX);
+        store.materialize_parallel(&ctx, &clf, 3, 17, 1);
+        let payload = store.dump_snapshot();
+        // Truncation anywhere is a typed error, never a panic.
+        for end in [0, 1, 8, payload.len() / 2, payload.len() - 1] {
+            let err = PerturbationStore::load_snapshot(&payload[..end]).unwrap_err();
+            assert!(
+                matches!(err.kind(), "truncated" | "corrupt"),
+                "cut at {end} -> {}",
+                err.kind()
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(PerturbationStore::load_snapshot(&padded).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Dump → load → dump is the identity on bytes for arbitrary
+        /// store contents, and the loaded store is field-for-field equal.
+        #[test]
+        fn snapshot_round_trip_holds_for_arbitrary_stores(
+            inserts in proptest::collection::vec(
+                (0u32..12, proptest::collection::vec(0u32..4, 5), 0.0f64..=1.0), 0..40),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let mut sets = Vec::new();
+            for a in 0..5usize {
+                for c in 0..2u32 {
+                    sets.push(Itemset::new(vec![Item::new(a, c)]));
+                }
+            }
+            sets.push(Itemset::new(vec![Item::new(0, 0), Item::new(1, 0)]));
+            sets.push(Itemset::new(vec![Item::new(2, 1), Item::new(3, 1)]));
+            let mut store = PerturbationStore::new(sets.clone(), usize::MAX);
+            for (id, mut codes, proba) in inserts {
+                let id = id % sets.len() as u32;
+                for item in sets[id as usize].items() {
+                    codes[item.attr as usize] = item.code;
+                }
+                store.insert(id, LabeledSample { codes: codes.into_boxed_slice(), proba });
+            }
+            let payload = store.dump_snapshot();
+            let loaded = PerturbationStore::load_snapshot(&payload).expect("own dump loads");
+            prop_assert_eq!(loaded.dump_snapshot(), payload);
+            prop_assert_eq!(&loaded.n_samples, &store.n_samples);
+            prop_assert_eq!(&loaded.last_used, &store.last_used);
+            prop_assert_eq!(loaded.used_bytes, store.used_bytes);
+            prop_assert_eq!(loaded.peak_bytes, store.peak_bytes);
+            for id in 0..sets.len() as u32 {
+                prop_assert_eq!(loaded.samples(id), store.samples(id));
+            }
         }
     }
 

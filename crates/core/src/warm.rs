@@ -29,6 +29,7 @@
 //! `refresh_every` micro-batches to bound staleness once warm sets become
 //! mutable.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -43,7 +44,7 @@ use shahin_tabular::{Dataset, DiscreteTable};
 
 use crate::anchor_cache::{CachingRuleSampler, SharedAnchorCaches};
 use crate::batch::{estimate_base_value_guarded, ShahinBatch};
-use crate::config::BatchConfig;
+use crate::config::{BatchConfig, Miner};
 use crate::metrics::TupleFailure;
 use crate::obs::{
     names, register_standard, MetricsRegistry, ProvenanceCtx, StageSpan, TraceCounters, TraceSink,
@@ -52,7 +53,10 @@ use crate::parallel::chunks;
 use crate::quarantine::{guard_tuple, QuarantineObs, TupleOutcome};
 use crate::runner::{per_tuple_seed, Explanation, SHAP_BASE_SAMPLES};
 use crate::shap_source::{pool_coalitions, StoreCoalitionSource};
-use crate::store::PerturbationStore;
+use crate::snapshot::{
+    Dec, Enc, SnapshotError, SnapshotReader, SnapshotWriter, TAG_CACHES, TAG_META, TAG_STORE,
+};
+use crate::store::{MatchEngine, PerturbationStore};
 
 /// The explainer a [`WarmEngine`] serves (one per engine; a service that
 /// offers several runs several engines over the same warm set).
@@ -123,10 +127,116 @@ pub enum WarmOutcome {
     Failed(TupleFailure),
 }
 
+/// One SplitMix64-style mixing step, folding `v` into the running hash.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The snapshot header's config fingerprint: a digest of everything the
+/// warm state's *contents* depend on — the batch config (excluding
+/// `n_threads`, which never changes results), the prime seed, the warm
+/// set's shape, and which explainer the engine serves. Hydrating under a
+/// different fingerprint would serve answers from the wrong state, so
+/// [`WarmEngine::prime_from_snapshot`] rejects the mismatch up front.
+fn snapshot_fingerprint(
+    config: &BatchConfig,
+    explainer: &WarmExplainer,
+    warm: &Dataset,
+    n_attrs: usize,
+    seed: u64,
+) -> u64 {
+    let mut h = 0x5348_4148_494E_5753u64;
+    for v in [
+        config.min_support.to_bits(),
+        config.max_itemset_len as u64,
+        config.max_itemsets as u64,
+        config.tau as u64,
+        config.cache_budget_bytes as u64,
+        u64::from(config.auto_tau),
+        match config.miner {
+            Miner::Apriori => 0,
+            Miner::FpGrowth => 1,
+        },
+        match config.match_engine {
+            MatchEngine::Bitset => 0,
+            MatchEngine::Postings => 1,
+        },
+        seed,
+        warm.n_rows() as u64,
+        n_attrs as u64,
+    ] {
+        h = mix(h, v);
+    }
+    for b in explainer.name().bytes() {
+        h = mix(h, u64::from(b));
+    }
+    h
+}
+
 /// Store + dictionary that a refresh swaps atomically.
 struct WarmState {
     table: DiscreteTable,
     store: PerturbationStore,
+}
+
+/// The decoded, fully-validated contents of a snapshot — everything
+/// hydration needs beyond what the caller already holds.
+struct SnapshotParts {
+    base: f64,
+    store: PerturbationStore,
+    caches: SharedAnchorCaches,
+}
+
+/// Opens, validates, and decodes a snapshot against the serving
+/// configuration, borrowing everything — a rejection leaves the caller's
+/// inputs intact for a cold-start fallback.
+fn load_snapshot_parts(
+    config: &BatchConfig,
+    explainer: &WarmExplainer,
+    n_attrs: usize,
+    warm: &Dataset,
+    seed: u64,
+    reg: &MetricsRegistry,
+    bytes: &[u8],
+) -> Result<SnapshotParts, SnapshotError> {
+    let expected = snapshot_fingerprint(config, explainer, warm, n_attrs, seed);
+    let mut r = SnapshotReader::open(bytes, expected)?;
+    let meta = r.section(TAG_META, "meta section")?;
+    let mut d = Dec::new(meta, "meta section");
+    let snap_seed = d.u64()?;
+    let base = d.f64()?;
+    let name = d.str()?;
+    let n_rows = d.u64()?;
+    let snap_attrs = d.u64()?;
+    d.finish()?;
+    // The fingerprint already binds these; re-checking the decoded
+    // values guards against fingerprint collisions and writer bugs.
+    if snap_seed != seed
+        || name != explainer.name()
+        || n_rows != warm.n_rows() as u64
+        || snap_attrs != n_attrs as u64
+    {
+        return Err(SnapshotError::Corrupt {
+            context: "meta disagrees with the serving configuration",
+        });
+    }
+    if !base.is_finite() {
+        return Err(SnapshotError::Corrupt {
+            context: "non-finite SHAP base value",
+        });
+    }
+    let store_payload = r.section(TAG_STORE, "store section")?;
+    let caches_payload = r.section(TAG_CACHES, "anchor cache section")?;
+    let store = PerturbationStore::load_snapshot(store_payload)?;
+    let caches = SharedAnchorCaches::load_snapshot(caches_payload, reg)?;
+    Ok(SnapshotParts {
+        base,
+        store,
+        caches,
+    })
 }
 
 /// A primed, resident explanation engine (see the module docs).
@@ -253,6 +363,159 @@ impl<C: Classifier> WarmEngine<C> {
         }
         self.epoch.fetch_add(1, Ordering::Relaxed);
         self.obs.counter(names::SERVE_REFRESHES).inc();
+    }
+
+    /// Writes a checksummed snapshot of the engine's warm state to `path`
+    /// (atomically: temp file + fsync + rename, so a crash mid-write never
+    /// corrupts the last good snapshot). The state read lock is held only
+    /// while the store is dumped to an in-memory buffer — serving stalls
+    /// for the dump, not for the disk. Returns the snapshot size in bytes.
+    pub fn write_snapshot(&self, path: &Path) -> Result<u64, SnapshotError> {
+        let bytes = self.snapshot_bytes();
+        shahin_obs::write_atomic(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// The serialized snapshot (header + checksummed sections) as an
+    /// in-memory buffer; [`WarmEngine::write_snapshot`] persists it.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let fingerprint = snapshot_fingerprint(
+            &self.shahin.config,
+            &self.explainer,
+            &self.warm,
+            self.ctx.n_attrs(),
+            self.seed,
+        );
+        let mut meta = Enc::new();
+        meta.u64(self.seed);
+        meta.f64(self.base);
+        meta.str(self.explainer.name());
+        meta.u64(self.warm.n_rows() as u64);
+        meta.u64(self.ctx.n_attrs() as u64);
+        let store_payload = self.state.read().store.dump_snapshot();
+        let caches_payload = self.caches.dump_snapshot();
+        let mut w = SnapshotWriter::new(fingerprint);
+        w.section(TAG_META, &meta.buf);
+        w.section(TAG_STORE, &store_payload);
+        w.section(TAG_CACHES, &caches_payload);
+        w.finish()
+    }
+
+    /// Builds a warm engine by hydrating `bytes` — a snapshot a donor
+    /// engine wrote under the *same* `(config, explainer, warm, seed)` —
+    /// instead of re-mining and re-materializing. No classifier is
+    /// invoked: the store's samples, the Anchor caches' evidence, and the
+    /// SHAP base value all come from the snapshot, and the discretized
+    /// warm table is recomputed from `warm` (an RNG-free pure function,
+    /// identical to what `prime` builds). The hydrated engine serves
+    /// bit-identical explanations to the donor.
+    ///
+    /// Every validation failure is a typed [`SnapshotError`]; callers log
+    /// it, count `persist.load_rejected`, and fall back to a cold
+    /// [`WarmEngine::prime`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn prime_from_snapshot(
+        config: BatchConfig,
+        explainer: WarmExplainer,
+        ctx: ExplainContext,
+        clf: CountingClassifier<C>,
+        warm: Dataset,
+        seed: u64,
+        reg: &MetricsRegistry,
+        bytes: &[u8],
+    ) -> Result<WarmEngine<C>, SnapshotError> {
+        let parts =
+            load_snapshot_parts(&config, &explainer, ctx.n_attrs(), &warm, seed, reg, bytes)?;
+        Ok(Self::assemble_hydrated(
+            config, explainer, ctx, clf, warm, seed, reg, parts,
+        ))
+    }
+
+    /// The crash-tolerant startup path: hydrates from `bytes` when it
+    /// validates, and otherwise degrades to a cold [`WarmEngine::prime`]
+    /// — never a panic, never a dead process. Returns the engine plus
+    /// the typed rejection if the snapshot was refused (the caller's log
+    /// line). `persist.loads_ok` / `persist.load_rejected` are counted
+    /// here so every caller reports recovery the same way; passing
+    /// `None` (no snapshot offered) counts neither.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prime_warm_or_cold(
+        config: BatchConfig,
+        explainer: WarmExplainer,
+        ctx: ExplainContext,
+        clf: CountingClassifier<C>,
+        warm: Dataset,
+        seed: u64,
+        reg: &MetricsRegistry,
+        bytes: Option<&[u8]>,
+    ) -> (WarmEngine<C>, Option<SnapshotError>) {
+        let rejection = match bytes {
+            None => None,
+            Some(bytes) => {
+                match load_snapshot_parts(&config, &explainer, ctx.n_attrs(), &warm, seed, reg, bytes)
+                {
+                    Ok(parts) => {
+                        reg.counter(names::PERSIST_LOADS_OK).inc();
+                        let eng = Self::assemble_hydrated(
+                            config, explainer, ctx, clf, warm, seed, reg, parts,
+                        );
+                        return (eng, None);
+                    }
+                    Err(e) => {
+                        reg.counter(names::PERSIST_LOAD_REJECTED).inc();
+                        Some(e)
+                    }
+                }
+            }
+        };
+        (
+            Self::prime(config, explainer, ctx, clf, warm, seed, reg),
+            rejection,
+        )
+    }
+
+    /// Builds the engine around fully-validated snapshot parts. (A
+    /// rejection before this point leaves at most idempotently-registered
+    /// metric names behind, which a cold prime registers anyway.)
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_hydrated(
+        config: BatchConfig,
+        explainer: WarmExplainer,
+        ctx: ExplainContext,
+        clf: CountingClassifier<C>,
+        warm: Dataset,
+        seed: u64,
+        reg: &MetricsRegistry,
+        parts: SnapshotParts,
+    ) -> WarmEngine<C> {
+        let SnapshotParts {
+            base,
+            mut store,
+            caches,
+        } = parts;
+        register_standard(reg);
+        store.set_match_engine(config.match_engine);
+        store.attach_obs(reg);
+        let table = ctx.discretizer().encode_dataset(&warm);
+        let shahin = ShahinBatch::new(config).with_obs(reg);
+        let anchor = match &explainer {
+            WarmExplainer::Anchor(a) => Some(a.clone().with_obs(reg)),
+            _ => None,
+        };
+        WarmEngine {
+            shahin,
+            ctx,
+            clf,
+            warm,
+            explainer,
+            anchor,
+            caches,
+            seed,
+            base,
+            state: RwLock::new(WarmState { table, store }),
+            epoch: AtomicU64::new(0),
+            obs: reg.clone(),
+        }
     }
 
     /// Explains one micro-batch against the warm repository, spreading
@@ -775,6 +1038,180 @@ mod tests {
         let stages = traces.take(9);
         assert_eq!(stages.len(), 3);
         assert!(stages.iter().all(|s| s.dur <= s.start.elapsed()));
+    }
+
+    fn explain_all(
+        eng: &WarmEngine<MajorityClass>,
+        n_rows: usize,
+    ) -> Vec<shahin_explain::FeatureWeights> {
+        let reqs: Vec<WarmRequest> = (0..n_rows)
+            .map(|row| WarmRequest {
+                row,
+                request_id: row as u64,
+                trace: None,
+            })
+            .collect();
+        eng.explain(&reqs)
+            .into_iter()
+            .map(|out| match out {
+                WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+                WarmOutcome::Failed(f) => panic!("{f:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hydrated_engine_is_bit_identical_to_its_donor_at_any_worker_count() {
+        let (ctx, clf, warm) = setup();
+        let reg = MetricsRegistry::new();
+        let donor = WarmEngine::prime(
+            BatchConfig {
+                n_threads: Some(2),
+                ..Default::default()
+            },
+            WarmExplainer::Lime(lime()),
+            ctx.clone(),
+            clf,
+            warm.clone(),
+            11,
+            &reg,
+        );
+        // Touch LRU state so non-trivial clocks ride along in the dump.
+        let donor_served = explain_all(&donor, warm.n_rows());
+        let bytes = donor.snapshot_bytes();
+        let mut explain_invocations: Vec<u64> = Vec::new();
+
+        for n_threads in [1usize, 2, 8] {
+            // setup() is deterministic, so this classifier is identical to
+            // the donor's (hydration itself never invokes it).
+            let (_, fresh_clf, _) = setup();
+            let reg = MetricsRegistry::new();
+            let eng = WarmEngine::prime_from_snapshot(
+                BatchConfig {
+                    n_threads: Some(n_threads),
+                    ..Default::default()
+                },
+                WarmExplainer::Lime(lime()),
+                ctx.clone(),
+                fresh_clf,
+                warm.clone(),
+                11,
+                &reg,
+                &bytes,
+            )
+            .expect("snapshot hydrates");
+            assert_eq!(
+                eng.invocations(),
+                0,
+                "hydration must not invoke the classifier"
+            );
+            assert_eq!(eng.store_entries(), donor.store_entries());
+            assert_eq!(eng.store_bytes(), donor.store_bytes());
+            let served = explain_all(&eng, warm.n_rows());
+            assert_eq!(
+                served, donor_served,
+                "hydrated explanations differ at {n_threads} workers"
+            );
+            explain_invocations.push(eng.invocations());
+            // The hydrated engine re-dumps to the donor's exact bytes.
+            assert_eq!(eng.snapshot_bytes(), bytes);
+        }
+        assert!(
+            explain_invocations.windows(2).all(|w| w[0] == w[1]),
+            "explain invocations must be worker-count invariant: {explain_invocations:?}"
+        );
+    }
+
+    #[test]
+    fn hydration_rejects_every_injected_corruption_class() {
+        use crate::snapshot::fault::{corrupt, Corruption};
+
+        let (ctx, clf, warm) = setup();
+        let reg = MetricsRegistry::new();
+        let donor = WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(lime()),
+            ctx.clone(),
+            clf,
+            warm.clone(),
+            11,
+            &reg,
+        );
+        let bytes = donor.snapshot_bytes();
+        let hydrate = |damaged: &[u8], seed: u64| {
+            WarmEngine::prime_from_snapshot(
+                BatchConfig::default(),
+                WarmExplainer::Lime(lime()),
+                ctx.clone(),
+                CountingClassifier::new(MajorityClass::fit(&[1])),
+                warm.clone(),
+                seed,
+                &MetricsRegistry::new(),
+                damaged,
+            )
+        };
+        for seed in 0..10u64 {
+            for class in Corruption::ALL {
+                let damaged = corrupt(&bytes, class, seed);
+                let err = match hydrate(&damaged, 11) {
+                    Ok(_) => panic!("{class:?} seed {seed} was accepted"),
+                    Err(e) => e,
+                };
+                match class {
+                    Corruption::StaleVersion => assert_eq!(err.kind(), "wrong_version"),
+                    Corruption::TornWrite | Corruption::Truncation => assert!(
+                        matches!(err.kind(), "truncated" | "bad_magic" | "crc_mismatch"),
+                        "{class:?} seed {seed} -> {}",
+                        err.kind()
+                    ),
+                    Corruption::BitFlip => assert!(
+                        matches!(err.kind(), "crc_mismatch" | "truncated" | "corrupt"),
+                        "{class:?} seed {seed} -> {}",
+                        err.kind()
+                    ),
+                }
+            }
+        }
+        // A different prime seed is a different config fingerprint: valid
+        // bytes, wrong state — rejected before any payload is read.
+        let err = hydrate(&bytes, 12).err().expect("seed skew must be rejected");
+        assert_eq!(err.kind(), "fingerprint_mismatch");
+        // And the undamaged snapshot still hydrates.
+        assert!(hydrate(&bytes, 11).is_ok());
+    }
+
+    #[test]
+    fn write_snapshot_persists_atomically_and_round_trips() {
+        let (ctx, clf, warm) = setup();
+        let reg = MetricsRegistry::new();
+        let donor = WarmEngine::prime(
+            BatchConfig::default(),
+            WarmExplainer::Lime(lime()),
+            ctx.clone(),
+            clf,
+            warm.clone(),
+            11,
+            &reg,
+        );
+        let dir = std::env::temp_dir().join(format!("shahin_warm_snap_{}", std::process::id()));
+        let path = dir.join("nested/warm.snap");
+        let written = donor.write_snapshot(&path).expect("snapshot writes");
+        let on_disk = std::fs::read(&path).expect("snapshot file exists");
+        assert_eq!(on_disk.len() as u64, written);
+        assert_eq!(on_disk, donor.snapshot_bytes());
+        let eng = WarmEngine::prime_from_snapshot(
+            BatchConfig::default(),
+            WarmExplainer::Lime(lime()),
+            ctx,
+            CountingClassifier::new(MajorityClass::fit(&[1])),
+            warm,
+            11,
+            &MetricsRegistry::new(),
+            &on_disk,
+        )
+        .expect("on-disk snapshot hydrates");
+        assert_eq!(eng.store_entries(), donor.store_entries());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

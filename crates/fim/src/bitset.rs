@@ -242,6 +242,166 @@ impl BitsetDomain {
             + self.iset_entries.len() * std::mem::size_of::<(u32, u64)>()
             + self.sizes.len()
     }
+
+    /// Serializes the domain as raw little-endian contiguous vectors (a
+    /// small header plus each backing `Vec` as `len` + elements), the
+    /// format warm-state snapshots embed. [`Self::load_bytes`] is the
+    /// inverse.
+    pub fn dump_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approx_bytes() + 64);
+        put_u64(&mut out, self.n_itemsets as u64);
+        put_u64(&mut out, self.words as u64);
+        put_u64(&mut out, self.n_bits as u64);
+        put_u32(&mut out, self.max_size);
+        put_u64(&mut out, self.attr_first.len() as u64);
+        for &v in &self.attr_first {
+            put_u32(&mut out, v);
+        }
+        put_u64(&mut out, self.attr_bits.len() as u64);
+        for &v in &self.attr_bits {
+            put_u32(&mut out, v);
+        }
+        put_u64(&mut out, self.iset_first.len() as u64);
+        for &v in &self.iset_first {
+            put_u32(&mut out, v);
+        }
+        put_u64(&mut out, self.iset_entries.len() as u64);
+        for &(word, bits) in &self.iset_entries {
+            put_u32(&mut out, word);
+            put_u64(&mut out, bits);
+        }
+        put_u64(&mut out, self.sizes.len() as u64);
+        out.extend_from_slice(&self.sizes);
+        out
+    }
+
+    /// Reconstructs a domain from [`Self::dump_bytes`] output, validating
+    /// every structural invariant (vector lengths, CSR monotonicity, word
+    /// bounds) so a corrupted dump is rejected instead of producing a
+    /// domain that panics or answers wrongly later.
+    pub fn load_bytes(bytes: &[u8]) -> Result<BitsetDomain, &'static str> {
+        let mut r = Reader { bytes, pos: 0 };
+        let n_itemsets = r.u64()? as usize;
+        let words = r.u64()? as usize;
+        let n_bits = r.u64()? as usize;
+        let max_size = r.u32()?;
+        let attr_first = r.vec_u32()?;
+        let attr_bits = r.vec_u32()?;
+        let iset_first = r.vec_u32()?;
+        let n_entries = r.len()?;
+        let mut iset_entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let word = r.u32()?;
+            let bits = r.u64()?;
+            iset_entries.push((word, bits));
+        }
+        let sizes = r.vec_u8()?;
+        if r.pos != bytes.len() {
+            return Err("bitset domain has trailing bytes");
+        }
+        if words != n_bits.div_ceil(64) {
+            return Err("bitset domain word count disagrees with bit count");
+        }
+        check_csr(&attr_first, attr_bits.len())?;
+        if n_itemsets.checked_add(1) != Some(iset_first.len()) {
+            return Err("bitset domain itemset offsets have wrong length");
+        }
+        check_csr(&iset_first, iset_entries.len())?;
+        if sizes.len() != n_itemsets {
+            return Err("bitset domain sizes have wrong length");
+        }
+        if iset_entries.iter().any(|&(word, _)| word as usize >= words) {
+            return Err("bitset domain mask word out of range");
+        }
+        if attr_bits.iter().any(|&slot| slot as usize > n_bits) {
+            return Err("bitset domain dictionary slot out of range");
+        }
+        Ok(BitsetDomain {
+            attr_first,
+            attr_bits,
+            words,
+            n_bits,
+            iset_first,
+            iset_entries,
+            sizes,
+            max_size,
+            n_itemsets,
+        })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A CSR offset vector must start at 0, be non-decreasing, and end at the
+/// backing vector's length.
+fn check_csr(first: &[u32], backing_len: usize) -> Result<(), &'static str> {
+    if first.first() != Some(&0) {
+        return Err("bitset domain CSR offsets do not start at zero");
+    }
+    if first.windows(2).any(|w| w[0] > w[1]) {
+        return Err("bitset domain CSR offsets decrease");
+    }
+    if first.last().copied().unwrap_or(0) as usize != backing_len {
+        return Err("bitset domain CSR offsets disagree with backing length");
+    }
+    Ok(())
+}
+
+/// Bounds-checked little-endian cursor over a dump.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], &'static str> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("bitset domain dump truncated")?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, &'static str> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length prefix, sanity-bounded by the remaining bytes so a flipped
+    /// length bit cannot trigger a huge allocation.
+    fn len(&mut self) -> Result<usize, &'static str> {
+        let n = self.u64()? as usize;
+        if n > self.bytes.len() {
+            return Err("bitset domain length prefix exceeds dump size");
+        }
+        Ok(n)
+    }
+
+    fn vec_u32(&mut self) -> Result<Vec<u32>, &'static str> {
+        let n = self.len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    fn vec_u8(&mut self) -> Result<Vec<u8>, &'static str> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +502,44 @@ mod tests {
                 "row {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn dump_load_round_trips_bit_identically() {
+        for sets in [sets(), Vec::new()] {
+            let domain = BitsetDomain::new(&sets);
+            let bytes = domain.dump_bytes();
+            let loaded = BitsetDomain::load_bytes(&bytes).expect("valid dump loads");
+            assert_eq!(loaded.dump_bytes(), bytes, "reserialization is identical");
+            let mut scratch = MatchScratch::new();
+            for row in [vec![1, 2, 0], vec![2, 2, 5], vec![0, 0, 0]] {
+                assert_eq!(
+                    loaded.contained_in_with(&row, &mut scratch),
+                    domain.contained_in(&row),
+                    "row {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_corrupt_dumps() {
+        let bytes = BitsetDomain::new(&sets()).dump_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for end in 0..bytes.len() {
+            assert!(
+                BitsetDomain::load_bytes(&bytes[..end]).is_err(),
+                "truncation at {end} must be rejected"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(BitsetDomain::load_bytes(&padded).is_err());
+        // A wild length prefix must not allocate or panic.
+        let mut wild = bytes;
+        wild[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(BitsetDomain::load_bytes(&wild).is_err());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Durable single-file writes.
+//!
+//! Every output file this workspace rewrites in place — `--metrics-out`
+//! dumps, `--port-file`, benchmark artifacts, warm-state snapshots — goes
+//! through [`write_atomic`]: the bytes land in a same-directory temp file,
+//! are fsynced, and are renamed over the target. A concurrent reader sees
+//! either the old document or the new one in full, and a crash mid-write
+//! (power loss included, thanks to the fsync) can never corrupt the last
+//! good copy.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically and durably.
+///
+/// The bytes are written to a temp file in the target's directory (rename
+/// is only atomic within one filesystem), flushed to stable storage with
+/// `fsync`, and renamed over `path`. Missing parent directories are
+/// created first. The pid suffix on the temp name keeps concurrent
+/// processes pointed at the same file from colliding; on any failure the
+/// temp file is removed so no debris accumulates.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // The rename only makes the *name* durable; the data must hit the
+        // disk before the rename or a crash could publish an empty file.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_whole_documents_and_leaves_no_debris() {
+        let dir = std::env::temp_dir().join(format!("shahin_fsio_{}", std::process::id()));
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\": 1}\n");
+        write_atomic(&path, b"{\"b\": 2}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"b\": 2}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not persist");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("shahin_fsio_deep_{}", std::process::id()));
+        let path = dir.join("a/b/out.bin");
+        write_atomic(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_directoryless_targets() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

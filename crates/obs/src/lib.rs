@@ -61,6 +61,7 @@
 //! from value histograms like `classifier.predict`.
 
 pub mod events;
+pub mod fsio;
 pub mod json;
 pub mod prometheus;
 pub mod provenance;
@@ -70,6 +71,7 @@ pub mod trace;
 pub mod window;
 
 pub use events::{current_thread_id, EventRecord, EventSink, N_EVENT_STRIPES};
+pub use fsio::write_atomic;
 pub use json::Json;
 pub use provenance::{ProvenanceRecord, ProvenanceSink, ProvenanceTotals, N_PROVENANCE_STRIPES};
 pub use registry::{

@@ -16,9 +16,11 @@
 //!   the warm [`shahin::PerturbationStore`] and Anchor caches,
 //! - [`monitor`]: the server-owned monitor thread feeding the live
 //!   observability plane — per-tick gauges, the windowed aggregator
-//!   behind the `stats` admin frame, `slo.*` burn-rate gauges, and
-//!   atomic `--metrics-out` rewrites,
-//! - [`signal`]: SIGINT/SIGTERM watching for graceful drains.
+//!   behind the `stats` admin frame, `slo.*` burn-rate gauges, atomic
+//!   `--metrics-out` rewrites, and checksummed `--snapshot-out`
+//!   warm-state snapshots (periodic, on-demand, and at drain),
+//! - [`signal`]: SIGINT/SIGTERM watching for graceful drains, SIGUSR1
+//!   for on-demand snapshots.
 //!
 //! Served explanations are bit-identical to the offline
 //! `ShahinBatch::explain_*_parallel` drivers for the same seed and warm

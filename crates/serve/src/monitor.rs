@@ -10,7 +10,10 @@
 //! then re-derives `slo.*` burn-rate/budget gauges from the merged
 //! ring, and, when `--metrics-out` is set, the current snapshot is
 //! rewritten to disk via temp-file + atomic rename (a tailing reader
-//! never observes a torn document).
+//! never observes a torn document). The monitor is also the sole
+//! warm-snapshot writer: periodic `--snapshot-interval-ms` snapshots,
+//! on-demand ones (admin `snapshot` frame, SIGUSR1), and a final
+//! at-drain snapshot, all through [`take_snapshot`].
 //!
 //! The thread is owned by the server: [`crate::Server::start`] spawns
 //! it and [`crate::ServerHandle::wait`] joins it. It exits after the
@@ -30,6 +33,7 @@ use shahin_obs::{SloConfig, SloTracker, WindowedAggregator};
 
 use crate::protocol::StatsSummary;
 use crate::server::Shared;
+use crate::signal;
 
 /// Windowing and SLO state shared between the monitor thread (writer)
 /// and the `stats` admin frame (reader).
@@ -54,29 +58,13 @@ impl MonitorState {
     }
 }
 
-/// Writes `contents` to `path` atomically: the bytes land in a
-/// same-directory temp file first and are renamed over the target, so a
-/// concurrent reader sees either the old document or the new one in
-/// full, never a torn prefix. Parent directories are created as needed.
+/// Writes `contents` to `path` atomically: temp file + fsync + rename in
+/// the target's directory, so a concurrent reader sees either the old
+/// document or the new one in full, never a torn prefix. Thin string
+/// adapter over [`shahin_obs::write_atomic`], the one atomic-persistence
+/// idiom every writer in the workspace shares.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
-        .to_string_lossy()
-        .into_owned();
-    // Rename is only atomic within a filesystem, so the temp file must
-    // live in the target's directory; the pid suffix keeps concurrent
-    // processes (e.g. two servers pointed at one file) from colliding.
-    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
+    shahin_obs::write_atomic(path, contents.as_bytes())
 }
 
 /// One monitor tick: sample instantaneous gauges, difference the
@@ -123,21 +111,69 @@ fn tick<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
     }
 }
 
+/// Takes one warm-state snapshot to `--snapshot-out`, counting the
+/// outcome under `persist.*`. The dump holds the store's read lock only
+/// long enough to serialize — the batcher keeps serving — and the write
+/// is temp-file + fsync + rename, so a crash mid-snapshot leaves the
+/// previous file intact. A no-op when no snapshot path is configured.
+pub(crate) fn take_snapshot<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
+    let Some(path) = &shared.config.snapshot_out else {
+        return;
+    };
+    match shared.engine.write_snapshot(path) {
+        Ok(bytes) => {
+            obs.counter(names::PERSIST_SNAPSHOTS_TAKEN).inc();
+            obs.gauge(names::PERSIST_SNAPSHOT_BYTES).set(bytes);
+        }
+        Err(_) => {
+            // A full disk or revoked directory must not kill the monitor;
+            // the failure counter is the operator's signal.
+            obs.counter(names::PERSIST_SNAPSHOTS_FAILED).inc();
+        }
+    }
+}
+
 /// Runs until the batcher reports the drain complete, ticking every
 /// `monitor_interval` (checking for the drain every `poll_interval` so
-/// shutdown is never blocked on a long monitor sleep).
+/// shutdown is never blocked on a long monitor sleep). The monitor is
+/// the single snapshot writer: periodic `--snapshot-interval-ms`
+/// snapshots, on-demand ones (admin `snapshot` frame, SIGUSR1), and the
+/// final at-drain snapshot all funnel through it, so two writers can
+/// never race on the snapshot file.
 pub(crate) fn monitor_loop<C: Classifier>(shared: Arc<Shared<C>>) {
     let obs = shared.obs().clone();
+    let mut last_snapshot = Instant::now();
     loop {
         let drained = shared.drained();
         tick(&shared, &obs);
+        if signal::snapshot_requested() {
+            // SIGUSR1 and the admin frame share one on-demand path (and
+            // one counter; the frame handler counts at admission).
+            obs.counter(names::PERSIST_SNAPSHOTS_REQUESTED).inc();
+            shared.snapshot_requested.store(true, Ordering::Relaxed);
+        }
+        let on_demand = shared.snapshot_requested.swap(false, Ordering::Relaxed);
+        let due = shared
+            .config
+            .snapshot_interval
+            .is_some_and(|interval| last_snapshot.elapsed() >= interval);
+        // `drained`: one final snapshot so a restart warms from the full
+        // serving history, not the last periodic tick.
+        if shared.config.snapshot_out.is_some() && (on_demand || due || drained) {
+            take_snapshot(&shared, &obs);
+            last_snapshot = Instant::now();
+        }
         if drained {
             break;
         }
         let deadline = Instant::now() + shared.config.monitor_interval;
         loop {
             let now = Instant::now();
-            if now >= deadline || shared.drained() {
+            if now >= deadline
+                || shared.drained()
+                || shared.snapshot_requested.load(Ordering::Relaxed)
+                || signal::snapshot_pending()
+            {
                 break;
             }
             std::thread::sleep(shared.config.poll_interval.min(deadline - now));

@@ -19,6 +19,7 @@
 //! {"id": 9, "method": "trace", "trace_id": 42, "format": "chrome"}
 //! {"id": 10, "method": "trace", "slowest": 5}
 //! {"id": 11, "method": "trace", "errors": true}
+//! {"id": 12, "method": "snapshot"}
 //! ```
 //!
 //! `metrics`, `stats`, and `trace` are admin frames (loopback-gated like
@@ -26,7 +27,9 @@
 //! Prometheus text exposition by default, the JSON snapshot with
 //! `"format": "json"` — and `stats` returns a compact windowed summary
 //! (req/s, windowed p50/p99, warm hit rate, SLO burn) computed by the
-//! server's monitor thread. `trace` queries the tail-sampled store of
+//! server's monitor thread. `snapshot` asks the monitor thread to write
+//! an on-demand warm-state snapshot to the `--snapshot-out` path (404
+//! when no path is configured). `trace` queries the tail-sampled store of
 //! retained request traces: one trace by id (as a span-tree JSON object,
 //! or with `"format": "chrome"` as a single-request Chrome-trace
 //! document loadable in Perfetto), the N slowest retained, or every
@@ -87,6 +90,14 @@ pub enum Request {
     },
     /// Admin: compact windowed summary from the monitor thread.
     Stats {
+        /// Client-chosen frame id.
+        id: u64,
+    },
+    /// Admin: take an on-demand warm-state snapshot (requires
+    /// `--snapshot-out`). The write happens on the monitor thread — the
+    /// acknowledgement frame confirms the request was accepted, and the
+    /// snapshot lands within one poll tick.
+    Snapshot {
         /// Client-chosen frame id.
         id: u64,
     },
@@ -229,6 +240,16 @@ impl WireError {
         }
     }
 
+    /// 404: the server has nowhere to write snapshots
+    /// (`--snapshot-out` not set).
+    pub fn snapshots_disabled() -> WireError {
+        WireError {
+            code: 404,
+            kind: "snapshots_disabled",
+            message: "snapshots are disabled (--snapshot-out not set)".into(),
+        }
+    }
+
     /// 408: the request's deadline expired while it was queued.
     pub fn deadline_expired() -> WireError {
         WireError {
@@ -324,7 +345,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 deadline_ms,
             })
         }
-        "ping" | "shutdown" | "stats" => {
+        "ping" | "shutdown" | "stats" | "snapshot" => {
             if value.get("row").is_some()
                 || value.get("deadline_ms").is_some()
                 || value.get("format").is_some()
@@ -336,7 +357,8 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             Ok(match method {
                 "ping" => Request::Ping { id },
                 "shutdown" => Request::Shutdown { id },
-                _ => Request::Stats { id },
+                "stats" => Request::Stats { id },
+                _ => Request::Snapshot { id },
             })
         }
         "metrics" => {
@@ -515,6 +537,15 @@ pub fn pong_frame(id: u64, uptime_secs: u64, version: &str, warm_entries: usize)
 /// Renders the shutdown acknowledgement frame.
 pub fn shutdown_frame(id: u64) -> String {
     format!("{{\"id\": {id}, \"ok\": true, \"shutting_down\": true}}")
+}
+
+/// Renders the snapshot acknowledgement frame: the request was accepted
+/// and the monitor thread will write `path` within one poll tick.
+pub fn snapshot_frame(id: u64, path: &str) -> String {
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"snapshot_requested\": true, \"path\": \"{}\"}}",
+        escape(path)
+    )
 }
 
 /// Renders a `metrics` response frame. The Prometheus exposition text
@@ -769,6 +800,28 @@ mod tests {
                 .unwrap(),
             &Json::Bool(true)
         );
+    }
+
+    #[test]
+    fn parses_snapshot_requests_and_enforces_arity() {
+        assert_eq!(
+            parse_request("{\"id\": 12, \"method\": \"snapshot\"}").unwrap(),
+            Request::Snapshot { id: 12 }
+        );
+        let err = parse_request("{\"id\": 1, \"method\": \"snapshot\", \"row\": 2}").unwrap_err();
+        assert!(err.message.contains("takes no parameters"));
+        let frame = snapshot_frame(12, "/var/lib/shahin/warm.snap");
+        assert!(!frame.contains('\n'), "frames must be single-line");
+        let v = Json::parse(&frame).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("snapshot_requested").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("path").unwrap().as_str(),
+            Some("/var/lib/shahin/warm.snap")
+        );
+        let err = WireError::snapshots_disabled();
+        assert_eq!(err.code, 404);
+        assert_eq!(err.kind, "snapshots_disabled");
     }
 
     #[test]

@@ -37,8 +37,8 @@ use shahin_model::Classifier;
 use crate::monitor::{self, MonitorState};
 use crate::protocol::{
     error_frame, error_frame_traced, explanation_frame, metrics_frame, parse_frame_id,
-    parse_request, pong_frame, shutdown_frame, stats_frame, trace_frame, traces_frame,
-    MetricsFormat, Request, TraceQuery, TraceStoreStats, WireError,
+    parse_request, pong_frame, shutdown_frame, snapshot_frame, stats_frame, trace_frame,
+    traces_frame, MetricsFormat, Request, TraceQuery, TraceStoreStats, WireError,
 };
 use crate::queue::{Admission, PushError};
 use crate::signal;
@@ -104,6 +104,16 @@ pub struct ServeConfig {
     /// Retained-trace ring bound (`--trace-store`); 0 disables request
     /// tracing entirely — no ids minted, no stage spans recorded.
     pub trace_store: usize,
+    /// When set, the monitor thread writes checksummed warm-state
+    /// snapshots here (`--snapshot-out`): periodically per
+    /// `snapshot_interval`, on demand (admin `snapshot` frame, SIGUSR1),
+    /// and once at drain. Writes are temp-file + fsync + rename, so the
+    /// file is always a complete snapshot. Parent directories are
+    /// created as needed.
+    pub snapshot_out: Option<std::path::PathBuf>,
+    /// Periodic snapshot cadence (`--snapshot-interval-ms`); `None`
+    /// means on-demand and at-drain snapshots only.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +136,8 @@ impl Default for ServeConfig {
             trace_sample: TraceStoreConfig::default().sample,
             trace_slow: TraceStoreConfig::default().slow,
             trace_store: TraceStoreConfig::default().capacity,
+            snapshot_out: None,
+            snapshot_interval: None,
         }
     }
 }
@@ -218,6 +230,10 @@ pub(crate) struct Shared<C: Classifier> {
     pub(crate) live_connections: AtomicU64,
     /// Windowed-aggregator + SLO state owned by the monitor thread.
     pub(crate) monitor: MonitorState,
+    /// On-demand snapshot flag: set by the admin `snapshot` frame (and
+    /// by the monitor itself for SIGUSR1), consumed by the monitor
+    /// thread — the single snapshot writer.
+    pub(crate) snapshot_requested: AtomicBool,
     /// Request-tracing plane (`None` when `trace_store` is 0).
     pub(crate) traces: Option<TracePlane>,
     pub(crate) config: ServeConfig,
@@ -333,6 +349,7 @@ impl Server {
             served: AtomicU64::new(0),
             live_connections: AtomicU64::new(0),
             monitor: MonitorState::new(config.windows, slo),
+            snapshot_requested: AtomicBool::new(false),
             traces,
             config,
         });
@@ -547,6 +564,22 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
             }
             obs.counter(names::SERVE_SCRAPES).inc();
             conn.send(&stats_frame(id, &monitor::stats_summary(shared)));
+        }
+        Request::Snapshot { id } => {
+            if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
+                obs.counter(names::SERVE_REJECTED_FORBIDDEN).inc();
+                conn.send(&error_frame(id, &WireError::forbidden()));
+                return;
+            }
+            let Some(path) = &shared.config.snapshot_out else {
+                conn.send(&error_frame(id, &WireError::snapshots_disabled()));
+                return;
+            };
+            obs.counter(names::PERSIST_SNAPSHOTS_REQUESTED).inc();
+            // The monitor thread does the write (single snapshot writer);
+            // it wakes within one poll tick of this flag.
+            shared.snapshot_requested.store(true, Ordering::Relaxed);
+            conn.send(&snapshot_frame(id, &path.to_string_lossy()));
         }
         Request::Trace { id, query, format } => {
             if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {

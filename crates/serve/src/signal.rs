@@ -1,22 +1,44 @@
-//! Minimal SIGINT/SIGTERM watching without a signal-handling crate.
+//! Minimal SIGINT/SIGTERM/SIGUSR1 watching without a signal-handling
+//! crate.
 //!
-//! The handler only flips a process-global atomic; the acceptor loop
-//! polls [`requested`] and starts a graceful drain when it trips. This
-//! keeps the handler trivially async-signal-safe (a relaxed store) and
-//! the crate std-only.
+//! Handlers only flip process-global atomics; the acceptor loop polls
+//! [`requested`] and starts a graceful drain when the shutdown flag
+//! trips, and the monitor thread polls [`snapshot_requested`] to take an
+//! on-demand warm-state snapshot when SIGUSR1 arrives. This keeps the
+//! handlers trivially async-signal-safe (a relaxed store) and the crate
+//! std-only.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SNAPSHOT: AtomicBool = AtomicBool::new(false);
 
-/// Whether a watched signal has been delivered.
+/// Whether a watched shutdown signal has been delivered.
 pub fn requested() -> bool {
     SHUTDOWN.load(Ordering::Relaxed)
 }
 
-/// Test hook: arm the flag as if a signal had arrived.
+/// Consumes a pending SIGUSR1 snapshot request (one snapshot per
+/// delivery): returns `true` at most once per signal.
+pub fn snapshot_requested() -> bool {
+    SNAPSHOT.swap(false, Ordering::Relaxed)
+}
+
+/// Whether a SIGUSR1 snapshot request is pending, without consuming it —
+/// lets the monitor's sleep loop wake early for the request its next
+/// iteration will consume.
+pub fn snapshot_pending() -> bool {
+    SNAPSHOT.load(Ordering::Relaxed)
+}
+
+/// Test hook: arm the shutdown flag as if a signal had arrived.
 pub fn raise() {
     SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Test hook: arm the snapshot flag as if SIGUSR1 had arrived.
+pub fn raise_snapshot() {
+    SNAPSHOT.store(true, Ordering::Relaxed);
 }
 
 #[cfg(unix)]
@@ -25,9 +47,15 @@ extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::Relaxed);
 }
 
-/// Installs the SIGINT and SIGTERM handlers (idempotent; unix only — a
-/// no-op elsewhere, where only [`raise`] or an admin `shutdown` frame can
-/// trigger a drain).
+#[cfg(unix)]
+extern "C" fn on_snapshot_signal(_signum: i32) {
+    // Async-signal-safe: nothing but an atomic store.
+    SNAPSHOT.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGINT/SIGTERM drain handlers and the SIGUSR1 snapshot
+/// handler (idempotent; unix only — a no-op elsewhere, where only
+/// [`raise`]/[`raise_snapshot`] or admin frames can trigger either).
 pub fn install() {
     #[cfg(unix)]
     {
@@ -39,10 +67,17 @@ pub fn install() {
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
-        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        // Unlike SIGINT/SIGTERM, SIGUSR1's number is not universal.
+        #[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "openbsd"))]
+        const SIGUSR1: i32 = 30;
+        #[cfg(not(any(target_os = "macos", target_os = "freebsd", target_os = "openbsd")))]
+        const SIGUSR1: i32 = 10;
+        let drain = on_signal as extern "C" fn(i32) as *const () as usize;
+        let snap = on_snapshot_signal as extern "C" fn(i32) as *const () as usize;
         unsafe {
-            signal(SIGINT, handler);
-            signal(SIGTERM, handler);
+            signal(SIGINT, drain);
+            signal(SIGTERM, drain);
+            signal(SIGUSR1, snap);
         }
     }
 }
@@ -57,5 +92,15 @@ mod tests {
         install();
         raise();
         assert!(requested());
+    }
+
+    #[test]
+    fn snapshot_requests_are_consumed_once() {
+        assert!(!snapshot_requested());
+        raise_snapshot();
+        assert!(snapshot_pending());
+        assert!(snapshot_requested());
+        assert!(!snapshot_pending());
+        assert!(!snapshot_requested(), "one snapshot per delivery");
     }
 }

@@ -840,3 +840,161 @@ fn queued_deadline_expiry_yields_408() {
     handle.wait();
     assert_eq!(reg.snapshot().counter(names::SERVE_DEADLINE_EXPIRED), 1);
 }
+
+#[test]
+fn snapshot_frame_persists_warm_state_and_a_restart_serves_it_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("shahin_e2e_snap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snap_path = dir.join("nested").join("warm.snap");
+
+    // Donor server: snapshots enabled, no periodic timer — only the
+    // admin frame (and the final at-drain snapshot) write the file.
+    let (ctx, clf, warm) = setup();
+    let reg = MetricsRegistry::new();
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig::default(),
+        WarmExplainer::Lime(lime()),
+        ctx,
+        clf,
+        warm,
+        SEED,
+        &reg,
+    ));
+    let donor_bytes = engine.snapshot_bytes();
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            poll_interval: Duration::from_millis(10),
+            monitor_interval: Duration::from_millis(20),
+            snapshot_out: Some(snap_path.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    let mut client = connect(&handle);
+
+    // Serve a few rows to compare against the hydrated replica later.
+    let mut donor_served: Vec<FeatureWeights> = Vec::new();
+    for row in 0..4 {
+        let frame = round_trip(
+            &mut client,
+            &format!("{{\"id\": {row}, \"method\": \"explain\", \"row\": {row}}}"),
+        );
+        donor_served.push(weights_of(&frame));
+    }
+
+    let ack = round_trip(&mut client, "{\"id\": 90, \"method\": \"snapshot\"}");
+    assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        ack.get("snapshot_requested").unwrap().as_bool(),
+        Some(true)
+    );
+    // The monitor writes within one poll tick; wait for it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !snap_path.exists() {
+        assert!(Instant::now() < deadline, "snapshot file never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+    handle.wait();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(names::PERSIST_SNAPSHOTS_REQUESTED), 1);
+    assert!(snap.counter(names::PERSIST_SNAPSHOTS_TAKEN) >= 1);
+    assert_eq!(snap.counter(names::PERSIST_SNAPSHOTS_FAILED), 0);
+    assert!(snap.gauge(names::PERSIST_SNAPSHOT_BYTES) > 0);
+
+    // Reads don't mutate the store, so the served-then-snapshotted bytes
+    // equal a pre-serving dump — the snapshot is canonical.
+    let file_bytes = std::fs::read(&snap_path).expect("snapshot file readable");
+    assert_eq!(file_bytes, donor_bytes, "snapshot dump must be canonical");
+
+    // Replica: hydrate a fresh engine from the file and serve the same
+    // rows. Zero classifier invocations to warm up, identical bytes out.
+    let (ctx, clf, warm) = setup();
+    let reg2 = MetricsRegistry::new();
+    let replica = WarmEngine::prime_from_snapshot(
+        BatchConfig::default(),
+        WarmExplainer::Lime(lime()),
+        ctx,
+        clf,
+        warm,
+        SEED,
+        &reg2,
+        &file_bytes,
+    )
+    .expect("snapshot hydrates");
+    assert_eq!(replica.invocations(), 0, "hydration is classifier-free");
+    let handle = Server::start(
+        Arc::new(replica),
+        ServeConfig {
+            poll_interval: Duration::from_millis(10),
+            monitor_interval: Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .expect("replica binds");
+    let mut client = connect(&handle);
+    let disabled = round_trip(&mut client, "{\"id\": 91, \"method\": \"snapshot\"}");
+    assert_eq!(disabled.get("code").unwrap().as_u64(), Some(404));
+    assert_eq!(
+        disabled.get("error").unwrap().as_str(),
+        Some("snapshots_disabled")
+    );
+    for row in 0..4 {
+        let frame = round_trip(
+            &mut client,
+            &format!("{{\"id\": {row}, \"method\": \"explain\", \"row\": {row}}}"),
+        );
+        let served = weights_of(&frame);
+        let donor = &donor_served[row as usize];
+        for (a, b) in served.weights.iter().zip(&donor.weights) {
+            assert_eq!(a.to_bits(), b.to_bits(), "weights must be bit-identical");
+        }
+        assert_eq!(served.intercept.to_bits(), donor.intercept.to_bits());
+    }
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigusr1_triggers_an_on_demand_snapshot() {
+    let dir = std::env::temp_dir().join(format!("shahin_e2e_usr1_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snap_path = dir.join("warm.snap");
+    let (ctx, clf, warm) = setup();
+    let reg = MetricsRegistry::new();
+    let engine = Arc::new(WarmEngine::prime(
+        BatchConfig::default(),
+        WarmExplainer::Lime(lime()),
+        ctx,
+        clf,
+        warm,
+        SEED,
+        &reg,
+    ));
+    let handle = Server::start(
+        engine,
+        ServeConfig {
+            poll_interval: Duration::from_millis(10),
+            monitor_interval: Duration::from_millis(20),
+            snapshot_out: Some(snap_path.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    // The test hook stands in for a real SIGUSR1 delivery (the handler
+    // does exactly this store).
+    shahin_serve::signal::raise_snapshot();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !snap_path.exists() {
+        assert!(Instant::now() < deadline, "snapshot file never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+    handle.wait();
+    let snap = reg.snapshot();
+    assert!(snap.counter(names::PERSIST_SNAPSHOTS_REQUESTED) >= 1);
+    assert!(snap.counter(names::PERSIST_SNAPSHOTS_TAKEN) >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

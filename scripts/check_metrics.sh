@@ -21,6 +21,14 @@
 # and validates the serve.* metric families plus the trace_id-carrying
 # provenance JSONL in the server's output.
 #
+# The persistence drill then exercises the crash-safety path: a server
+# with --snapshot-out takes periodic, admin-frame and SIGUSR1 snapshots
+# under load; a copy of its snapshot is bit-flipped; a restart with the
+# corrupted --warm-from must come up cold (typed rejection, counted
+# under persist.load_rejected) and still serve, while a restart with
+# the pristine snapshot must hydrate warm (persist.loads_ok, zero
+# classifier invocations).
+#
 # Knobs (all optional):
 #   SHAHIN_CHECK_ROWS        synthetic dataset rows    (default 2000)
 #   SHAHIN_CHECK_BATCH       tuples to explain         (default 60)
@@ -641,3 +649,176 @@ print(f"OK: {len(prov_lines)} provenance records carry unique trace ids; "
       f"{gauges['trace.retained']} traces retained")
 print("serve smoke check passed")
 PY
+
+# Persistence drill: snapshot a live server three ways (interval, admin
+# frame, SIGUSR1), then restart from a corrupted copy (must reject +
+# cold-start + serve) and from the pristine file (must hydrate warm).
+echo "== persistence drill"
+start_serve() {
+    # start_serve <tag> [extra flags...] -> port in $port, pid in $serve_pid
+    local tag="$1"; shift
+    : > "$WORKDIR/$tag.port"
+    "$CLI" serve --csv "$WORKDIR/census.csv" --label label --explainer lime \
+        --warm-rows 150 --addr 127.0.0.1:0 \
+        --port-file "$WORKDIR/$tag.port" \
+        --metrics-out "$WORKDIR/$tag.json" \
+        --monitor-interval-ms 100 \
+        "$@" \
+        >"$WORKDIR/$tag.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORKDIR/$tag.port" ] && break
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "FAIL: persist: $tag server died before listening"
+            cat "$WORKDIR/$tag.log"
+            exit 1
+        fi
+        sleep 0.2
+    done
+    if [ ! -s "$WORKDIR/$tag.port" ]; then
+        echo "FAIL: persist: $tag server published no port after 20s"
+        cat "$WORKDIR/$tag.log"
+        exit 1
+    fi
+    port="$(tr -d '[:space:]' < "$WORKDIR/$tag.port")"
+}
+
+stop_serve() {
+    # stop_serve <tag> — admin shutdown + clean-drain assertion
+    local tag="$1"
+    python3 - "$port" <<'PY'
+import json, socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+rfile = sock.makefile("r", encoding="utf-8")
+sock.sendall(b'{"id": 9, "method": "shutdown"}\n')
+resp = json.loads(rfile.readline())
+if resp.get("shutting_down") is not True:
+    raise SystemExit(f"FAIL: persist: shutdown frame rejected: {resp}")
+PY
+    local status=0
+    wait "$serve_pid" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: persist: $tag server exited with status $status"
+        cat "$WORKDIR/$tag.log"
+        exit 1
+    fi
+}
+
+# --- Donor: serve under load, snapshot on interval + frame + SIGUSR1 ---
+start_serve persist_donor \
+    --snapshot-out "$WORKDIR/warm.snap" --snapshot-interval-ms 200
+python3 - "$port" <<'PY'
+import json, socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+rfile = sock.makefile("r", encoding="utf-8")
+# A little traffic so the snapshot carries serving history, not just the
+# prime.
+for i in range(8):
+    sock.sendall((json.dumps({"id": i, "method": "explain", "row": i}) + "\n").encode())
+    resp = json.loads(rfile.readline())
+    if resp.get("ok") is not True:
+        raise SystemExit(f"FAIL: persist: explain rejected: {resp}")
+# On-demand snapshot over the loopback-gated admin frame.
+sock.sendall(b'{"id": 50, "method": "snapshot"}\n')
+resp = json.loads(rfile.readline())
+if resp.get("ok") is not True or resp.get("snapshot_requested") is not True:
+    raise SystemExit(f"FAIL: persist: snapshot frame rejected: {resp}")
+if not resp.get("path"):
+    raise SystemExit(f"FAIL: persist: snapshot ack carries no path: {resp}")
+PY
+kill -USR1 "$serve_pid"
+for _ in $(seq 1 100); do
+    [ -s "$WORKDIR/warm.snap" ] && break
+    sleep 0.2
+done
+if [ ! -s "$WORKDIR/warm.snap" ]; then
+    echo "FAIL: persist: no snapshot file after 20s"
+    cat "$WORKDIR/persist_donor.log"
+    exit 1
+fi
+stop_serve persist_donor
+
+python3 - "$WORKDIR/persist_donor.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+counters, gauges = snap["counters"], snap["gauges"]
+if counters.get("persist.snapshots_taken", 0) < 1:
+    raise SystemExit("FAIL: persist: no snapshots taken")
+# One admin frame + one SIGUSR1.
+if counters.get("persist.snapshots_requested", 0) < 2:
+    raise SystemExit(f"FAIL: persist: persist.snapshots_requested "
+                     f"{counters.get('persist.snapshots_requested')} < 2")
+if counters.get("persist.snapshots_failed", -1) != 0:
+    raise SystemExit(f"FAIL: persist: persist.snapshots_failed is "
+                     f"{counters.get('persist.snapshots_failed')}")
+if gauges.get("persist.snapshot_bytes", 0) <= 0:
+    raise SystemExit("FAIL: persist: persist.snapshot_bytes gauge not set")
+print(f"OK: donor took {counters['persist.snapshots_taken']} snapshots "
+      f"({counters['persist.snapshots_requested']} on demand, "
+      f"{gauges['persist.snapshot_bytes']} bytes)")
+PY
+
+# --- Corrupted restart: typed rejection, cold start, still serving ----
+python3 - "$WORKDIR/warm.snap" "$WORKDIR/warm.corrupt" <<'PY'
+import sys
+data = bytearray(open(sys.argv[1], "rb").read())
+data[len(data) // 2] ^= 0x10  # one flipped bit, deep in a payload
+open(sys.argv[2], "wb").write(data)
+PY
+start_serve persist_cold --warm-from "$WORKDIR/warm.corrupt"
+if ! grep -q "warm-from snapshot rejected" "$WORKDIR/persist_cold.log"; then
+    echo "FAIL: persist: corrupted snapshot was not rejected"
+    cat "$WORKDIR/persist_cold.log"
+    exit 1
+fi
+python3 - "$port" <<'PY'
+import json, socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+rfile = sock.makefile("r", encoding="utf-8")
+sock.sendall(b'{"id": 1, "method": "explain", "row": 0}\n')
+resp = json.loads(rfile.readline())
+if resp.get("ok") is not True:
+    raise SystemExit(f"FAIL: persist: cold-started server not serving: {resp}")
+PY
+stop_serve persist_cold
+python3 - "$WORKDIR/persist_cold.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+if counters.get("persist.load_rejected") != 1:
+    raise SystemExit(f"FAIL: persist: persist.load_rejected "
+                     f"{counters.get('persist.load_rejected')} != 1")
+if counters.get("persist.loads_ok", -1) != 0:
+    raise SystemExit(f"FAIL: persist: persist.loads_ok nonzero after a "
+                     f"rejected load")
+print("OK: corrupted snapshot rejected; server cold-started and served")
+PY
+
+# --- Pristine restart: warm hydration, zero classifier invocations ----
+start_serve persist_warm --warm-from "$WORKDIR/warm.snap"
+if ! grep -q "hydrated warm repository from snapshot" "$WORKDIR/persist_warm.log"; then
+    echo "FAIL: persist: pristine snapshot did not hydrate"
+    cat "$WORKDIR/persist_warm.log"
+    exit 1
+fi
+python3 - "$port" <<'PY'
+import json, socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+rfile = sock.makefile("r", encoding="utf-8")
+sock.sendall(b'{"id": 1, "method": "explain", "row": 0}\n')
+resp = json.loads(rfile.readline())
+if resp.get("ok") is not True:
+    raise SystemExit(f"FAIL: persist: hydrated server not serving: {resp}")
+PY
+stop_serve persist_warm
+python3 - "$WORKDIR/persist_warm.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+if counters.get("persist.loads_ok") != 1:
+    raise SystemExit(f"FAIL: persist: persist.loads_ok "
+                     f"{counters.get('persist.loads_ok')} != 1")
+if counters.get("persist.load_rejected", -1) != 0:
+    raise SystemExit(f"FAIL: persist: persist.load_rejected nonzero on a "
+                     f"pristine load")
+print("OK: pristine snapshot hydrated a warm replica")
+PY
+echo "persistence drill passed"

@@ -68,6 +68,8 @@ SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_CONCURRENCY="$SERVE_CONC" \
     SHAHIN_OBS_LIVE_REPS="$OBS_LIVE_REPS" \
     SHAHIN_TRACE_OUT="$OUT/BENCH_trace.json" \
     SHAHIN_TRACE_REPS="$TRACE_REPS" \
+    SHAHIN_PERSIST_OUT="$OUT/BENCH_persist.json" \
+    SHAHIN_PERSIST_REQUESTS="${SHAHIN_REG_PERSIST_REQS:-$SERVE_REQS}" \
     target/release/bench_serve
 
 echo "== parallel-driver benchmark (batch=$BATCH, latency=${LATENCY}us, threads=$THREADS)"
@@ -91,5 +93,6 @@ target/release/bench_compare obs "$BASELINE_DIR/BENCH_obs.json" "$OUT/BENCH_obs.
 target/release/bench_compare serve "$BASELINE_DIR/BENCH_serve.json" "$OUT/BENCH_serve.json"
 target/release/bench_compare obs_live "$BASELINE_DIR/BENCH_obs_live.json" "$OUT/BENCH_obs_live.json"
 target/release/bench_compare trace "$BASELINE_DIR/BENCH_trace.json" "$OUT/BENCH_trace.json"
+target/release/bench_compare persist "$BASELINE_DIR/BENCH_persist.json" "$OUT/BENCH_persist.json"
 target/release/bench_compare layout "$BASELINE_DIR/BENCH_layout.json" "$OUT/BENCH_layout.json"
 echo "perf-regression gate passed (fresh artifacts in $OUT)"

@@ -53,6 +53,8 @@ USAGE:
                      [--monitor-interval-ms MS] [--windows N]
                      [--slo-p99-ms MS] [--slo-error-rate F]
                      [--trace-sample F] [--trace-slow-ms MS] [--trace-store N]
+                     [--snapshot-out <file>] [--snapshot-interval-ms MS]
+                     [--warm-from <file>]
                      [--metrics] [--metrics-out <file.json>]
                      [--provenance-out <file.jsonl>]
                      [resilience/chaos flags as for explain]
@@ -109,6 +111,19 @@ SERVING:
   \"chrome\" returns a single-request Chrome-trace JSON document
   (load in Perfetto); latency histogram buckets remember the last
   trace id that landed in them (exemplars, in `metrics` output).
+
+PERSISTENCE:
+  --snapshot-out FILE writes checksummed warm-state snapshots (the
+  perturbation store, Anchor caches, and SHAP base value) atomically:
+  every --snapshot-interval-ms if set, on the loopback-gated admin
+  frame {\"method\": \"snapshot\"} or a SIGUSR1, and once at drain.
+  --warm-from FILE hydrates the repository from such a snapshot at
+  startup instead of re-materializing — zero classifier invocations,
+  bit-identical explanations to the donor. The file is fully validated
+  (magic, format version, config fingerprint, per-section CRCs); any
+  corruption is rejected with a typed error, counted under
+  persist.load_rejected, and the server cold-starts instead. An
+  unreadable --warm-from path is a hard startup error (before binding).
 
 OBSERVABILITY:
   --metrics              print the metrics table (spans, counters, histograms)
@@ -207,12 +222,15 @@ fn ensure_parent_dir(path: &str, what: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes `contents` to `path`, creating any missing parent directories.
-/// Errors name the file, the failing operation, and the underlying cause
-/// instead of surfacing a bare `io::Error`.
+/// Writes `contents` to `path` atomically (temp file + fsync + rename,
+/// via the shared [`shahin_serve::write_atomic`] idiom), creating any
+/// missing parent directories. Errors name the file, the failing
+/// operation, and the underlying cause instead of surfacing a bare
+/// `io::Error`.
 fn write_output(path: &str, contents: &str, what: &str) -> Result<(), String> {
     ensure_parent_dir(path, what)?;
-    std::fs::write(path, contents).map_err(|e| format!("cannot write {what} output '{path}': {e}"))
+    shahin_serve::write_atomic(std::path::Path::new(path), contents)
+        .map_err(|e| format!("cannot write {what} output '{path}': {e}"))
 }
 
 fn run_cli(args: &[String]) -> Result<ExitCode, String> {
@@ -642,6 +660,29 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     }
     let trace_slow_ms: u64 = parse_num(get_or(flags, "trace-slow-ms", "100"), "trace-slow-ms")?;
     let trace_store: usize = parse_num(get_or(flags, "trace-store", "512"), "trace-store")?;
+    let snapshot_out = flags.get("snapshot-out").map(std::path::PathBuf::from);
+    let snapshot_interval_ms: Option<u64> = match flags.get("snapshot-interval-ms") {
+        None => None,
+        Some(v) => Some(parse_num(v, "snapshot-interval-ms")?),
+    };
+    if snapshot_interval_ms == Some(0) {
+        return Err("snapshot-interval-ms must be positive".into());
+    }
+    if snapshot_interval_ms.is_some() && snapshot_out.is_none() {
+        return Err("--snapshot-interval-ms needs --snapshot-out".into());
+    }
+    // Fail fast on an unreadable --warm-from: a misconfigured path is an
+    // operator error, caught before the expensive forest fit and before
+    // the listener binds. (A *corrupt-but-readable* snapshot instead
+    // degrades to a cold start below — the file's contents are data,
+    // the file's existence is configuration.)
+    let warm_from_bytes: Option<Vec<u8>> = match flags.get("warm-from") {
+        None => None,
+        Some(p) => Some(
+            std::fs::read(p)
+                .map_err(|e| format!("cannot read --warm-from snapshot '{p}': {e}"))?,
+        ),
+    };
 
     let file = File::open(path).map_err(|e| e.to_string())?;
     let csv = read_csv(file, Some(label)).map_err(|e| e.to_string())?;
@@ -727,13 +768,34 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         "priming warm repository over {n} rows ({}) ...",
         explainer.name()
     );
-    let engine = Arc::new(WarmEngine::prime(
-        config, explainer, ctx, clf, warm, seed, &obs,
-    ));
-    println!(
-        "primed: {} invocations spent on materialization",
-        engine.invocations()
+    let (engine, rejection) = WarmEngine::prime_warm_or_cold(
+        config,
+        explainer,
+        ctx,
+        clf,
+        warm,
+        seed,
+        &obs,
+        warm_from_bytes.as_deref(),
     );
+    let engine = Arc::new(engine);
+    if let Some(err) = &rejection {
+        eprintln!(
+            "warm-from snapshot rejected ({}): {err} — cold-starting instead",
+            err.kind()
+        );
+    }
+    if warm_from_bytes.is_some() && rejection.is_none() {
+        println!(
+            "hydrated warm repository from snapshot ({} entries, 0 invocations)",
+            engine.store_entries()
+        );
+    } else {
+        println!(
+            "primed: {} invocations spent on materialization",
+            engine.invocations()
+        );
+    }
 
     let handle = Server::start(
         engine,
@@ -756,6 +818,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             // The monitor rewrites the file atomically every tick; the
             // final write below adds the folded provenance gauges.
             metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
+            snapshot_out,
+            snapshot_interval: snapshot_interval_ms.map(Duration::from_millis),
             ..Default::default()
         },
     )
