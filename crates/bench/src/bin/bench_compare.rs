@@ -44,6 +44,14 @@
 //!   serve invocation counts, the explanation fingerprint) must match
 //!   the baseline exactly; hydrated restart wall time may drift at most
 //!   the wall tolerance.
+//! * `tenancy` — the Zipf tenant mix (seed-derived) must reproduce the
+//!   baseline exactly; inside the fresh run the FaaS lifecycle must
+//!   hold: re-admitted tenants serve bit-identical explanations, every
+//!   tenant cold-started, was evicted, and re-hydrated, the first-touch
+//!   cold start dominates keepalive latency, and hydrated re-admission
+//!   beats the cold start by `SHAHIN_CMP_MIN_HYDRATED_SPEEDUP` (default
+//!   2.0); keepalive throughput and cold-start latency may drift at most
+//!   the wall tolerance against the baseline.
 //! * `layout` — inside the fresh run, both layout arms must agree
 //!   bit-for-bit (invocations, explanation fingerprints, lookup counts;
 //!   parallel Anchor invocations get the Anchor tolerance); deterministic
@@ -437,6 +445,71 @@ fn compare_persist(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Str
     Ok(())
 }
 
+fn compare_tenancy(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
+    let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
+    let min_hydrated = env_f64("SHAHIN_CMP_MIN_HYDRATED_SPEEDUP", 2.0);
+    check_same_workload(
+        gate,
+        base,
+        fresh,
+        &["dataset", "tenants", "requests", "warm_rows", "seed"],
+    )?;
+
+    // The Zipf tenant mix is seed-derived and must reproduce exactly.
+    let (b_mix, f_mix) = (base.get("mix"), fresh.get("mix"));
+    gate.check(
+        b_mix.is_some() && b_mix == f_mix,
+        format!("zipf tenant mix {f_mix:?} (baseline {b_mix:?}, exact)"),
+    );
+
+    // The FaaS lifecycle claims, inside the fresh run itself: every
+    // tenant cold-started, idled out, and came back bit-identical via a
+    // snapshot hydration.
+    let bit_identical = fresh
+        .get("bit_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    gate.check(
+        bit_identical,
+        "re-admitted tenants serve bit-identical explanations".into(),
+    );
+    let tenants = num(fresh, &["tenants"], "fresh")?;
+    let cold_starts = num(fresh, &["cold_starts"], "fresh")?;
+    gate.check(
+        cold_starts >= 2.0 * tenants,
+        format!("{cold_starts} cold starts cover first touch and re-admission of {tenants} tenants"),
+    );
+    for key in ["evictions", "hydrations"] {
+        let v = num(fresh, &[key], "fresh")?;
+        gate.check(v >= tenants, format!("{key} {v} cover all {tenants} tenants"));
+    }
+    let cold_ms = num(fresh, &["cold_start_ms"], "fresh")?;
+    let keepalive_ms = num(fresh, &["keepalive", "mean_ms"], "fresh")?;
+    gate.check(
+        cold_ms > keepalive_ms,
+        format!("cold start {cold_ms:.1} ms dominates keepalive {keepalive_ms:.2} ms"),
+    );
+    let speedup = num(fresh, &["hydrated_speedup"], "fresh")?;
+    gate.check(
+        speedup >= min_hydrated,
+        format!("hydrated re-admission {speedup:.2}x >= {min_hydrated:.2}x over a cold start"),
+    );
+
+    // Throughput and latency are hardware-dependent: wall tolerance.
+    let b_rps = num(base, &["keepalive", "throughput_rps"], "baseline")?;
+    let f_rps = num(fresh, &["keepalive", "throughput_rps"], "fresh")?;
+    gate.check(
+        f_rps >= b_rps * (1.0 - tol_wall / 100.0),
+        format!("keepalive throughput {f_rps:.1} req/s within {tol_wall}% of baseline {b_rps:.1}"),
+    );
+    let b_cold = num(base, &["cold_start_ms"], "baseline")?;
+    gate.check(
+        cold_ms <= b_cold * (1.0 + tol_wall / 100.0),
+        format!("cold start {cold_ms:.1} ms within {tol_wall}% of baseline {b_cold:.1} ms"),
+    );
+    Ok(())
+}
+
 fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), String> {
     let tol_wall = env_f64("SHAHIN_CMP_TOL_WALL_PCT", 75.0);
     let tol_anchor = env_f64("SHAHIN_CMP_TOL_ANCHOR_PCT", 15.0);
@@ -545,7 +618,7 @@ fn compare_layout(gate: &mut Gate, base: &Json, fresh: &Json) -> Result<(), Stri
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let [kind, base_path, fresh_path] = args else {
         return Err(
-            "usage: bench_compare <parallel|obs|serve|obs_live|trace|persist|layout> \
+            "usage: bench_compare <parallel|obs|serve|obs_live|trace|persist|tenancy|layout> \
              <baseline.json> <fresh.json>"
                 .into(),
         );
@@ -561,6 +634,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         "obs_live" => compare_obs_live(&mut gate, &base, &fresh)?,
         "trace" => compare_trace(&mut gate, &base, &fresh)?,
         "persist" => compare_persist(&mut gate, &base, &fresh)?,
+        "tenancy" => compare_tenancy(&mut gate, &base, &fresh)?,
         "layout" => compare_layout(&mut gate, &base, &fresh)?,
         other => return Err(format!("unknown artifact kind '{other}'")),
     }

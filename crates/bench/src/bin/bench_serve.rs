@@ -59,6 +59,19 @@
 //! engines produce bit-identical explanations (FNV-1a fingerprints)
 //! and emits `SHAHIN_PERSIST_OUT` (default `BENCH_persist.json`),
 //! gated in CI by `bench_compare persist`.
+//!
+//! A sixth **tenancy** arm drills the multi-tenant cluster: N tenants
+//! (`SHAHIN_TENANCY_TENANTS`, default 3) behind one listener, each with
+//! its own model and warm set, driven by a seed-derived Zipf tenant mix
+//! (`SHAHIN_TENANCY_REQUESTS` requests). It measures cold-start
+//! latency (first touch per tenant, paying lazy materialization) vs
+//! keepalive latency (the warm steady state), then lets every tenant
+//! idle past the keepalive (`SHAHIN_TENANCY_IDLE_MS`, default 3000) so
+//! the lifecycle controller evicts them all — writing at-evict
+//! snapshots — and re-admits each with a hydrated, classifier-free cold
+//! start, asserting the re-admitted explanations are bit-identical to
+//! the first serving. Emits `SHAHIN_TENANCY_OUT` (default
+//! `BENCH_tenancy.json`), gated in CI by `bench_compare tenancy`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -842,4 +855,309 @@ fn main() {
     );
     write_artifact(&persist_out, &persist_json);
     println!("wrote {persist_out}");
+
+    // ---- Tenancy arm: a multi-tenant cluster under a Zipf mix. ----
+    let tenancy_out =
+        std::env::var("SHAHIN_TENANCY_OUT").unwrap_or_else(|_| "BENCH_tenancy.json".into());
+    let n_tenants = (env_u64("SHAHIN_TENANCY_TENANTS", 3) as usize).max(2);
+    let tenancy_requests = (env_u64("SHAHIN_TENANCY_REQUESTS", requests as u64) as usize
+        / concurrency)
+        .max(1)
+        * concurrency;
+    let tenancy_warm_rows = env_u64("SHAHIN_TENANCY_WARM_ROWS", 48) as usize;
+    let idle_ms = env_u64("SHAHIN_TENANCY_IDLE_MS", 3000);
+    // Rows fingerprinted per tenant before eviction and after hydrated
+    // re-admission — the bit-identity probe.
+    const FP_ROWS: usize = 6;
+    println!(
+        "# Tenancy: {n_tenants} tenants, {tenancy_requests} Zipf-mixed requests, \
+         {idle_ms} ms keepalive"
+    );
+
+    let snap_dir = std::env::temp_dir().join(format!("shahin_bench_tenancy_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    std::fs::create_dir_all(&snap_dir).expect("tenancy snapshot scratch dir");
+
+    // Zipf(1) over tenant ranks, deterministic in (seed, i): tenant t
+    // draws traffic proportional to 1/(t+1).
+    let zipf_tenant = |i: usize| -> usize {
+        let mut z = (seed ^ 0x7E4A_2026).wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let h: f64 = (1..=n_tenants).map(|k| 1.0 / k as f64).sum();
+        let mut acc = 0.0;
+        for t in 0..n_tenants {
+            acc += 1.0 / ((t + 1) as f64) / h;
+            if u < acc {
+                return t;
+            }
+        }
+        n_tenants - 1
+    };
+    let schedule: Vec<usize> = (0..tenancy_requests).map(zipf_tenant).collect();
+    let mut mix = vec![0usize; n_tenants];
+    for &t in &schedule {
+        mix[t] += 1;
+    }
+
+    // Each tenant gets its own model, context, and warm set (derived
+    // from a per-tenant seed) plus a factory the lifecycle controller
+    // re-materializes it with on every cold start.
+    let obs = MetricsRegistry::new();
+    let mut tenant_rows: Vec<usize> = Vec::with_capacity(n_tenants);
+    let mut configs = Vec::with_capacity(n_tenants);
+    for t in 0..n_tenants {
+        let tseed = seed.wrapping_add(t as u64);
+        let w = workload(preset, 0.2, tseed);
+        let rows = tenancy_warm_rows.min(w.max_batch());
+        let warm = w.batch(rows);
+        let inner = w.clf.inner().clone();
+        let ctx = w.ctx;
+        let treg = MetricsRegistry::new();
+        tenant_rows.push(rows);
+        configs.push(shahin_tenancy::TenantConfig {
+            name: format!("tenant{t}"),
+            n_rows: rows,
+            quota: None,
+            snapshot_path: Some(snap_dir.join(format!("tenant{t}.shws"))),
+            warm_from: None,
+            factory: Box::new(move |bytes| {
+                WarmEngine::prime_warm_or_cold(
+                    BatchConfig::default(),
+                    WarmExplainer::Lime(bench_lime()),
+                    ctx.clone(),
+                    // A fresh counting wrapper per materialization, so
+                    // each engine's invocation count is its own.
+                    shahin_model::CountingClassifier::new(inner.clone()),
+                    warm.clone(),
+                    tseed,
+                    &treg,
+                    bytes,
+                )
+            }),
+        });
+    }
+    let cluster = Arc::new(shahin_tenancy::TenantRegistry::new(
+        configs,
+        0,
+        shahin_tenancy::LifecyclePolicy {
+            memory_budget_bytes: None,
+            idle_evict: Some(Duration::from_millis(idle_ms)),
+        },
+        &obs,
+    ));
+    let handle = Server::start_cluster(
+        cluster,
+        ServeConfig {
+            max_delay: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(10),
+            monitor_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+    )
+    .expect("tenant cluster binds");
+    let addr = handle.addr().to_string();
+
+    /// One tenant-routed explain round trip; panics on error frames.
+    fn tenant_explain(
+        reader: &mut BufReader<TcpStream>,
+        id: usize,
+        tenant: usize,
+        row: usize,
+    ) -> Json {
+        let frame =
+            format!("{{\"id\": {id}, \"method\": \"explain\", \"row\": {row}, \"tenant\": \"tenant{tenant}\"}}\n");
+        reader.get_mut().write_all(frame.as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(&line).expect("tenant explain frame parses");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "tenant explain failed: {line}"
+        );
+        v
+    }
+
+    /// Folds the served weight bits into an FNV-1a fingerprint, so two
+    /// servings can be compared bit-for-bit over the wire.
+    fn eat_weights(fp: &mut u64, frame: &Json) {
+        const PRIME: u64 = 0x1_0000_01b3;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                *fp ^= u64::from(b);
+                *fp = fp.wrapping_mul(PRIME);
+            }
+        };
+        for w in frame.get("weights").unwrap().as_arr().unwrap() {
+            eat(w.as_f64().unwrap().to_bits());
+        }
+        eat(frame.get("intercept").unwrap().as_f64().unwrap().to_bits());
+        eat(
+            frame
+                .get("local_prediction")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+        );
+    }
+
+    let connect = |addr: &str| -> BufReader<TcpStream> {
+        let stream = TcpStream::connect(addr).expect("connect to tenant cluster");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        BufReader::new(stream)
+    };
+    let mut client = connect(&addr);
+
+    // Phase 1 — cold starts: the first touch per tenant pays lazy
+    // materialization (mining + priming, no snapshot on disk yet).
+    let cold_ms: Vec<f64> = (0..n_tenants)
+        .map(|t| {
+            let t0 = Instant::now();
+            tenant_explain(&mut client, t, t, 0);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+
+    // Phase 2 — fingerprint the first rows of every tenant while warm.
+    let mut fp_before = 0xcbf2_9ce4_8422_2325u64;
+    for (t, &rows) in tenant_rows.iter().enumerate() {
+        for row in 0..FP_ROWS.min(rows) {
+            let frame = tenant_explain(&mut client, 100 + row, t, row);
+            eat_weights(&mut fp_before, &frame);
+        }
+    }
+
+    // Phase 3 — keepalive: the Zipf-mixed closed-loop drive over warm
+    // tenants (client c takes every `concurrency`-th schedule slot).
+    let keepalive = {
+        let t0 = Instant::now();
+        let mut all: Vec<f64> = Vec::with_capacity(tenancy_requests);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|c| {
+                    let (addr, schedule, tenant_rows) = (&addr, &schedule, &tenant_rows);
+                    scope.spawn(move || {
+                        let mut reader = connect(addr);
+                        let mut latencies = Vec::new();
+                        for (i, &t) in schedule
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % concurrency == c)
+                        {
+                            let row = (i * 104_729 + seed as usize) % tenant_rows[t];
+                            let t0 = Instant::now();
+                            tenant_explain(&mut reader, i, t, row);
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().expect("tenancy client thread"));
+            }
+        });
+        ArmStats {
+            wall_s: t0.elapsed().as_secs_f64(),
+            latencies_ms: all,
+            store_hit_rate: 0.0,
+            invocations_per_request: 0.0,
+        }
+    };
+    println!(
+        "keepalive: {:.1} req/s, mean {} ms, p95 {} ms (mix {mix:?})",
+        keepalive.throughput_rps(),
+        f2(keepalive.mean_ms()),
+        f2(keepalive.percentile_ms(0.95))
+    );
+
+    // Phase 4 — eviction churn: every tenant idles past the keepalive;
+    // the monitor's lifecycle sweep retires them all, writing at-evict
+    // snapshots. Pings poll state without resetting the idle clock.
+    let evict_t0 = Instant::now();
+    loop {
+        assert!(
+            evict_t0.elapsed() < Duration::from_secs(120),
+            "tenants never idled out"
+        );
+        let ping = admin_round_trip(&addr, "{\"id\": 1, \"method\": \"ping\"}");
+        let all_evicted = ping
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .all(|t| t.get("state").and_then(Json::as_str) == Some("evicted"))
+            })
+            .unwrap_or(false);
+        if all_evicted {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let evict_wait_s = evict_t0.elapsed().as_secs_f64();
+
+    // Phase 5 — hydrated re-admission: the next touch per tenant
+    // cold-starts again, classifier-free from the at-evict snapshot, and
+    // must serve the same bits as the first incarnation.
+    let mut client = connect(&addr);
+    let readmit_ms: Vec<f64> = (0..n_tenants)
+        .map(|t| {
+            let t0 = Instant::now();
+            tenant_explain(&mut client, 200 + t, t, 0);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let mut fp_after = 0xcbf2_9ce4_8422_2325u64;
+    for (t, &rows) in tenant_rows.iter().enumerate() {
+        for row in 0..FP_ROWS.min(rows) {
+            let frame = tenant_explain(&mut client, 300 + row, t, row);
+            eat_weights(&mut fp_after, &frame);
+        }
+    }
+    let bit_identical = fp_after == fp_before;
+    assert!(
+        bit_identical,
+        "re-admitted tenants diverged: {fp_before:016x} vs {fp_after:016x}"
+    );
+
+    handle.shutdown();
+    handle.wait();
+    let snap = obs.snapshot();
+    let cold_starts = snap.counter(shahin::obs::names::TENANCY_COLD_STARTS);
+    let evictions = snap.counter(shahin::obs::names::TENANCY_EVICTIONS);
+    let hydrations = snap.counter(shahin::obs::names::TENANCY_HYDRATIONS);
+    assert!(
+        hydrations >= n_tenants as u64,
+        "every re-admission must hydrate from its at-evict snapshot"
+    );
+    let cold_start_ms = median(&cold_ms);
+    let readmit_med_ms = median(&readmit_ms);
+    let hydrated_speedup = cold_start_ms / readmit_med_ms.max(1e-9);
+    println!(
+        "cold start {} ms vs hydrated re-admission {} ms ({}x) — \
+         {cold_starts} cold starts, {evictions} evictions, {hydrations} hydrations, \
+         idled out in {}",
+        f2(cold_start_ms),
+        f2(readmit_med_ms),
+        f2(hydrated_speedup),
+        shahin_bench::secs(evict_wait_s)
+    );
+
+    let mix_json: Vec<String> = mix.iter().map(|c| c.to_string()).collect();
+    let tenancy_json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"tenants\": {n_tenants},\n  \"requests\": {tenancy_requests},\n  \"warm_rows\": {tenancy_warm_rows},\n  \"seed\": {seed},\n  \"idle_ms\": {idle_ms},\n  \"mix\": [{}],\n  \"cold_start_ms\": {cold_start_ms:.4},\n  \"keepalive\": {},\n  \"readmit_ms\": {readmit_med_ms:.4},\n  \"hydrated_speedup\": {hydrated_speedup:.3},\n  \"evict_wait_s\": {evict_wait_s:.3},\n  \"cold_starts\": {cold_starts},\n  \"evictions\": {evictions},\n  \"hydrations\": {hydrations},\n  \"fingerprint\": \"{fp_before:016x}\",\n  \"bit_identical\": {bit_identical}\n}}\n",
+        preset.name(),
+        mix_json.join(", "),
+        keepalive.to_json()
+    );
+    write_artifact(&tenancy_out, &tenancy_json);
+    println!("wrote {tenancy_out}");
+    let _ = std::fs::remove_dir_all(&snap_dir);
 }

@@ -219,10 +219,52 @@ pub mod names {
     /// corruption) — each falls back to a cold start.
     pub const PERSIST_LOAD_REJECTED: &str = "persist.load_rejected";
 
+    /// Tenants registered with the serve cluster (gauge).
+    pub const TENANCY_TENANTS: &str = "tenancy.tenants";
+    /// Tenants currently holding a warm repository (gauge, sampled by
+    /// the monitor each tick).
+    pub const TENANCY_WARM_TENANTS: &str = "tenancy.warm_tenants";
+    /// Bytes resident across every warm tenant repository (gauge).
+    pub const TENANCY_WARM_BYTES: &str = "tenancy.warm_bytes";
+    /// The cluster's global warm-memory budget (gauge, bytes; 0 when
+    /// unbounded).
+    pub const TENANCY_BUDGET_BYTES: &str = "tenancy.budget_bytes";
+    /// Tenant repositories materialized lazily on first request (every
+    /// cold start, hydrated or not).
+    pub const TENANCY_COLD_STARTS: &str = "tenancy.cold_starts";
+    /// Cold starts served classifier-free from a per-tenant snapshot (a
+    /// subset of `tenancy.cold_starts`).
+    pub const TENANCY_HYDRATIONS: &str = "tenancy.hydrations";
+    /// Tenant repositories retired (idle keepalive expiry or memory
+    /// budget pressure), each with an at-evict snapshot when the tenant
+    /// has a snapshot path.
+    pub const TENANCY_EVICTIONS: &str = "tenancy.evictions";
+    /// Explain requests rejected with a 429-style frame because the
+    /// tenant was at its in-flight admission quota.
+    pub const TENANCY_QUOTA_REJECTIONS: &str = "tenancy.quota_rejections";
+    /// Explain requests naming a tenant the manifest does not know
+    /// (answered with a 404-style frame).
+    pub const TENANCY_UNKNOWN_TENANT: &str = "tenancy.unknown_tenant";
+    /// Wall time of one lazy tenant materialization (histogram, ns;
+    /// hydrated and cold-primed starts both record).
+    pub const TENANCY_COLD_START_LATENCY: &str = "tenancy.cold_start_latency";
+
     /// Name of a per-shard Anchor cache counter, `anchor.shardNN.{kind}`
     /// with `kind` one of `hits`, `misses`, `contention`.
     pub fn anchor_shard(idx: usize, kind: &str) -> String {
         format!("anchor.shard{idx:02}.{kind}")
+    }
+
+    /// Name of a per-tenant metric, `tenant.<name>.<kind>` — the
+    /// dynamic-name idiom [`anchor_shard`] established, applied to the
+    /// serve cluster's tenants. `kind` is one of `requests`,
+    /// `cold_starts`, `hydrations`, `evictions`, `quota_rejections`,
+    /// `snapshots_taken`, `loads_ok`, `load_rejected`, `warm_entries`,
+    /// `warm_bytes`, `state` (0 cold, 1 warming, 2 warm, 3 evicted).
+    /// Only recorded when the cluster is multi-tenant, so single-tenant
+    /// metric dumps keep their PR 5–9 schema exactly.
+    pub fn tenant_metric(tenant: &str, kind: &str) -> String {
+        format!("tenant.{tenant}.{kind}")
     }
 }
 
@@ -290,6 +332,11 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::PERSIST_SNAPSHOTS_FAILED,
         names::PERSIST_LOADS_OK,
         names::PERSIST_LOAD_REJECTED,
+        names::TENANCY_COLD_STARTS,
+        names::TENANCY_HYDRATIONS,
+        names::TENANCY_EVICTIONS,
+        names::TENANCY_QUOTA_REJECTIONS,
+        names::TENANCY_UNKNOWN_TENANT,
     ] {
         reg.counter(counter);
     }
@@ -306,6 +353,10 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::TRACE_DROPPED,
         names::TRACE_EVICTED,
         names::PERSIST_SNAPSHOT_BYTES,
+        names::TENANCY_TENANTS,
+        names::TENANCY_WARM_TENANTS,
+        names::TENANCY_WARM_BYTES,
+        names::TENANCY_BUDGET_BYTES,
         names::PROVENANCE_RECORDS,
         names::PROVENANCE_MATCHED_ITEMSETS,
         names::PROVENANCE_STORE_MISSES,
@@ -325,6 +376,7 @@ pub fn register_standard(reg: &MetricsRegistry) {
         names::CLASSIFIER_PREDICT_BATCH,
         names::SERVE_QUEUE_WAIT,
         names::SERVE_REQUEST_LATENCY,
+        names::TENANCY_COLD_START_LATENCY,
     ] {
         reg.histogram(hist);
     }
@@ -380,6 +432,10 @@ pub(crate) struct ProvenanceCtx {
     /// lineage against the request's retained [`RequestTrace`] (`None`
     /// for the offline drivers and untraced serve requests).
     trace: Option<u64>,
+    /// Tenant name stamped on every record this context emits (`None`
+    /// for the offline drivers and single-tenant serving, so existing
+    /// provenance schemas are unchanged outside a multi-tenant cluster).
+    tenant: Option<Arc<str>>,
 }
 
 impl ProvenanceCtx {
@@ -391,6 +447,17 @@ impl ProvenanceCtx {
             explainer: Arc::from(explainer),
             request: None,
             trace: None,
+            tenant: None,
+        }
+    }
+
+    /// A copy of this context that stamps `tenant` on its records — the
+    /// multi-tenant serve cluster labels each engine's lineage with the
+    /// tenant it belongs to.
+    pub(crate) fn with_tenant(&self, tenant: Option<Arc<str>>) -> ProvenanceCtx {
+        ProvenanceCtx {
+            tenant,
+            ..self.clone()
         }
     }
 
@@ -454,6 +521,7 @@ impl ProvenanceCtx {
             degraded,
             request: self.request,
             trace_id: self.trace,
+            tenant: self.tenant.clone(),
         });
     }
 }
@@ -529,6 +597,9 @@ mod tests {
             names::RESILIENCE_PANICS_ISOLATED,
             names::RESILIENCE_TUPLES_FAILED,
             names::RESILIENCE_TUPLES_DEGRADED,
+            names::TENANCY_COLD_STARTS,
+            names::TENANCY_EVICTIONS,
+            names::TENANCY_QUOTA_REJECTIONS,
             &names::anchor_shard(0, "hits"),
             &names::anchor_shard(N_SHARDS - 1, "contention"),
         ] {

@@ -31,6 +31,7 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
@@ -255,6 +256,9 @@ pub struct WarmEngine<C: Classifier> {
     state: RwLock<WarmState>,
     epoch: AtomicU64,
     obs: MetricsRegistry,
+    /// Tenant this engine serves under (`None` outside a multi-tenant
+    /// cluster); stamped onto every provenance record the engine emits.
+    tenant: Option<Arc<str>>,
 }
 
 impl<C: Classifier> WarmEngine<C> {
@@ -301,6 +305,7 @@ impl<C: Classifier> WarmEngine<C> {
             }),
             epoch: AtomicU64::new(0),
             obs: reg.clone(),
+            tenant: None,
         }
     }
 
@@ -319,6 +324,13 @@ impl<C: Classifier> WarmEngine<C> {
         self.explainer.name()
     }
 
+    /// Resolved worker count ([`BatchConfig::resolved_n_threads`]) —
+    /// also the shard count the serve cluster partitions this engine's
+    /// requests into.
+    pub fn n_workers(&self) -> usize {
+        self.shahin.config.resolved_n_threads()
+    }
+
     /// Total classifier invocations through this engine's classifier
     /// (materialization + explanations).
     pub fn invocations(&self) -> u64 {
@@ -329,6 +341,58 @@ impl<C: Classifier> WarmEngine<C> {
     /// for its `serve.*` metrics).
     pub fn obs(&self) -> &MetricsRegistry {
         &self.obs
+    }
+
+    /// Labels this engine with the tenant it serves; every provenance
+    /// record it emits from then on carries the name. The tenancy
+    /// registry applies this between materialization and the first
+    /// request — single-tenant servers never set it, so their lineage
+    /// schema is unchanged.
+    pub fn set_tenant(&mut self, tenant: &str) {
+        self.tenant = Some(Arc::from(tenant));
+    }
+
+    /// The tenant label, if one was set.
+    pub fn tenant(&self) -> Option<&Arc<str>> {
+        self.tenant.as_ref()
+    }
+
+    /// A stable signature of the frozen itemsets warm row `row` is
+    /// contained in: the SplitMix64 fold of each matched itemset's
+    /// `(attr, code)` items. Rows matching the same itemset family hash
+    /// identically, so a consistent-hash shard map built on these
+    /// signatures routes reuse-compatible rows to the same worker —
+    /// reuse locality survives sharding. Containment ignores
+    /// materialization state (`matching_all`, not `matching`), so the
+    /// signature is stable across refreshes and LRU churn, and the
+    /// lookup records no `store.*` accounting.
+    pub fn row_signature(&self, row: usize) -> u64 {
+        let state = self.state.read();
+        let mut scratch = MatchScratch::new();
+        Self::signature_of(&state, row, &mut scratch)
+    }
+
+    /// [`WarmEngine::row_signature`] for the whole warm set in one
+    /// read-lock acquisition — what the tenancy layer builds its per-row
+    /// shard table from at materialization time.
+    pub fn row_signatures(&self) -> Vec<u64> {
+        let state = self.state.read();
+        let mut scratch = MatchScratch::new();
+        (0..self.warm.n_rows())
+            .map(|row| Self::signature_of(&state, row, &mut scratch))
+            .collect()
+    }
+
+    fn signature_of(state: &WarmState, row: usize, scratch: &mut MatchScratch) -> u64 {
+        let codes = state.table.row(row);
+        let matched = state.store.matching_all(&codes, scratch);
+        let mut h = 0x5348_5244_5349_4721u64;
+        for &id in &matched {
+            for item in state.store.itemset(id).items() {
+                h = mix(h, (u64::from(item.attr) << 32) | u64::from(item.code));
+            }
+        }
+        mix(h, matched.len() as u64)
     }
 
     /// Itemset entries resident in the warm perturbation store right
@@ -515,6 +579,7 @@ impl<C: Classifier> WarmEngine<C> {
             state: RwLock::new(WarmState { table, store }),
             epoch: AtomicU64::new(0),
             obs: reg.clone(),
+            tenant: None,
         }
     }
 
@@ -525,45 +590,76 @@ impl<C: Classifier> WarmEngine<C> {
     /// admission; this panics on out-of-range rows).
     pub fn explain(&self, requests: &[WarmRequest]) -> Vec<WarmOutcome> {
         let n_threads = self.shahin.config.resolved_n_threads();
+        let mut assign = vec![0usize; requests.len()];
+        for (worker, (start, end)) in chunks(requests.len(), n_threads).into_iter().enumerate() {
+            for a in &mut assign[start..end] {
+                *a = worker;
+            }
+        }
+        self.explain_assigned(requests, &assign, n_threads)
+    }
+
+    /// [`WarmEngine::explain`] with an explicit request→worker
+    /// assignment: request `i` is explained by worker `assign[i]`
+    /// (`assign[i] < n_workers`). The serve cluster routes each request
+    /// to the worker its row's shard hashes to, so a row's store
+    /// neighborhood stays on one worker's cache. Outcomes are returned
+    /// in request order and are bit-identical to [`WarmEngine::explain`]
+    /// under *any* assignment: each tuple's RNG stream is a function of
+    /// its global row alone, and workers only read the shared state.
+    pub fn explain_assigned(
+        &self,
+        requests: &[WarmRequest],
+        assign: &[usize],
+        n_workers: usize,
+    ) -> Vec<WarmOutcome> {
+        assert_eq!(assign.len(), requests.len(), "one worker per request");
         let state = self.state.read();
         let table = &state.table;
         let store = &state.store;
         let epoch = self.epoch.load(Ordering::Relaxed);
         let retrieve_hist = self.obs.span_histogram(names::SPAN_RETRIEVE_MATCH);
         let surrogate_hist = self.obs.span_histogram(names::SPAN_SURROGATE_FIT);
-        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Serve", self.explainer.name());
+        let prov = ProvenanceCtx::new(&self.obs, "Shahin-Serve", self.explainer.name())
+            .with_tenant(self.tenant.clone());
         let quarantine = QuarantineObs::new(&self.obs);
         let traces = self.obs.trace_sink();
 
-        let mut slots: Vec<Option<TupleOutcome<Explanation>>> =
-            (0..requests.len()).map(|_| None).collect();
+        let mut by_worker: Vec<Vec<usize>> = vec![Vec::new(); n_workers.max(1)];
+        for (i, &worker) in assign.iter().enumerate() {
+            by_worker[worker].push(i);
+        }
+        let mut results: Vec<Vec<(usize, TupleOutcome<Explanation>)>> =
+            (0..by_worker.len()).map(|_| Vec::new()).collect();
         std::thread::scope(|scope| {
-            let mut rest = slots.as_mut_slice();
-            for (i, (start, end)) in chunks(requests.len(), n_threads).into_iter().enumerate() {
-                let (head, tail) = rest.split_at_mut(end - start);
-                rest = tail;
+            for (worker, (idxs, out)) in by_worker.iter().zip(results.iter_mut()).enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
                 let retrieve_hist = retrieve_hist.clone();
                 let surrogate_hist = surrogate_hist.clone();
                 let prov = prov.clone();
                 let quarantine = quarantine.clone();
                 let traces = traces.clone();
                 std::thread::Builder::new()
-                    .name(format!("worker-{i}"))
+                    .name(format!("worker-{worker}"))
                     .spawn_scoped(scope, move || {
                         let mut scratch = MatchScratch::new();
-                        for (offset, slot) in head.iter_mut().enumerate() {
-                            let req = requests[start + offset];
-                            *slot = Some(self.explain_one(
-                                req,
-                                epoch,
-                                table,
-                                store,
-                                &retrieve_hist,
-                                &surrogate_hist,
-                                &prov,
-                                &quarantine,
-                                traces.as_deref(),
-                                &mut scratch,
+                        for &i in idxs {
+                            out.push((
+                                i,
+                                self.explain_one(
+                                    requests[i],
+                                    epoch,
+                                    table,
+                                    store,
+                                    &retrieve_hist,
+                                    &surrogate_hist,
+                                    &prov,
+                                    &quarantine,
+                                    traces.as_deref(),
+                                    &mut scratch,
+                                ),
                             ));
                         }
                     })
@@ -571,6 +667,11 @@ impl<C: Classifier> WarmEngine<C> {
             }
         });
 
+        let mut slots: Vec<Option<TupleOutcome<Explanation>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (i, outcome) in results.into_iter().flatten() {
+            slots[i] = Some(outcome);
+        }
         slots
             .into_iter()
             .map(|slot| match slot.expect("every request visited") {
@@ -911,6 +1012,56 @@ mod tests {
                 assert_eq!(w, offline_w, "row {row}, {n_threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn assigned_explains_are_bit_identical_for_any_partition() {
+        let (eng, warm, _) = engine(2);
+        let reqs: Vec<WarmRequest> = (0..warm.n_rows())
+            .map(|row| WarmRequest {
+                row,
+                request_id: row as u64,
+                trace: None,
+            })
+            .collect();
+        let weights_of = |outs: Vec<WarmOutcome>| -> Vec<shahin_explain::FeatureWeights> {
+            outs.into_iter()
+                .map(|o| match o {
+                    WarmOutcome::Ok { explanation, .. } => explanation.weights().unwrap().clone(),
+                    WarmOutcome::Failed(f) => panic!("{f:?}"),
+                })
+                .collect()
+        };
+        let baseline = weights_of(eng.explain(&reqs));
+        // Signature-derived sharding, round-robin, and everything-on-one
+        // must all reproduce the default path bit-for-bit.
+        for n_workers in [1usize, 3, 8] {
+            let sharded: Vec<usize> = reqs
+                .iter()
+                .map(|r| (eng.row_signature(r.row) % n_workers as u64) as usize)
+                .collect();
+            let round_robin: Vec<usize> = (0..reqs.len()).map(|i| i % n_workers).collect();
+            for assign in [sharded, round_robin] {
+                let got = weights_of(eng.explain_assigned(&reqs, &assign, n_workers));
+                assert_eq!(got, baseline, "partition changed results at {n_workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_signatures_are_stable_and_refresh_invariant() {
+        let (eng, warm, _) = engine(1);
+        let sigs = eng.row_signatures();
+        assert_eq!(sigs.len(), warm.n_rows());
+        for (row, &sig) in sigs.iter().enumerate() {
+            assert_eq!(eng.row_signature(row), sig, "row {row} signature unstable");
+        }
+        assert!(
+            sigs.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "signatures should separate rows with different itemset families"
+        );
+        eng.refresh();
+        assert_eq!(eng.row_signatures(), sigs, "refresh changed signatures");
     }
 
     #[test]

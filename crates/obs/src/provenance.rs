@@ -75,6 +75,9 @@ pub struct ProvenanceRecord {
     /// retained [`crate::trace::RequestTrace`]s (`None` — and omitted
     /// from the JSONL — when the request was untraced or offline).
     pub trace_id: Option<u64>,
+    /// Tenant the explaining engine belongs to (`None` — and omitted
+    /// from the JSONL — for offline drivers and single-tenant serving).
+    pub tenant: Option<Arc<str>>,
 }
 
 impl ProvenanceRecord {
@@ -123,6 +126,10 @@ impl ProvenanceRecord {
         if let Some(trace_id) = self.trace_id {
             out.pop();
             write!(out, ", \"trace_id\": {trace_id}}}").unwrap();
+        }
+        if let Some(tenant) = &self.tenant {
+            out.pop();
+            write!(out, ", \"tenant\": \"{}\"}}", escape(tenant)).unwrap();
         }
         out
     }
@@ -364,5 +371,20 @@ mod tests {
         let mut only_trace = record(2, 1, 1);
         only_trace.trace_id = Some(5);
         assert!(only_trace.to_json().ends_with(", \"trace_id\": 5}"));
+    }
+
+    #[test]
+    fn tenant_is_serialized_only_when_present() {
+        let single = record(0, 1, 2);
+        assert!(!single.to_json().contains("\"tenant\""));
+        let mut multi = record(1, 3, 4);
+        multi.request = Some(8);
+        multi.tenant = Some(Arc::from("acme"));
+        let line = multi.to_json();
+        assert!(
+            line.ends_with(", \"request\": 8, \"tenant\": \"acme\"}"),
+            "got {line}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 }

@@ -129,6 +129,9 @@ pub struct RequestTrace {
     pub degraded: bool,
     /// End-to-end wall time, admission to response.
     pub total_ns: u64,
+    /// Tenant the request was routed to (`None` — and omitted from the
+    /// JSON — for single-tenant serving).
+    pub tenant: Option<Arc<str>>,
 }
 
 impl RequestTrace {
@@ -145,6 +148,9 @@ impl RequestTrace {
         match self.batch_id {
             Some(b) => write!(out, "{b}").unwrap(),
             None => out.push_str("null"),
+        }
+        if let Some(tenant) = &self.tenant {
+            write!(out, ", \"tenant\": \"{}\"", escape(tenant)).unwrap();
         }
         write!(
             out,
@@ -544,6 +550,7 @@ mod tests {
             quarantined: false,
             degraded: false,
             total_ns,
+            tenant: None,
         }
     }
 
@@ -687,6 +694,17 @@ mod tests {
         let mut unbatched = trace(43, 1);
         unbatched.batch_id = None;
         assert!(unbatched.to_json().contains("\"batch_id\": null"));
+    }
+
+    #[test]
+    fn tenant_is_serialized_only_when_present() {
+        let single = trace(44, 10);
+        assert!(!single.to_json().contains("\"tenant\""));
+        let mut multi = trace(45, 10);
+        multi.tenant = Some(Arc::from("acme"));
+        let line = multi.to_json();
+        assert!(line.contains("\"tenant\": \"acme\""), "got {line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 
     #[test]

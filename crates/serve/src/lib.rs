@@ -22,6 +22,18 @@
 //! - [`signal`]: SIGINT/SIGTERM watching for graceful drains, SIGUSR1
 //!   for on-demand snapshots.
 //!
+//! One listener can also front a whole *tenant cluster*: build a
+//! [`shahin_tenancy::TenantRegistry`] from a manifest and pass it to
+//! [`Server::start_cluster`]. Requests then route by their `tenant`
+//! field (absent → the default tenant, unknown → typed 404), each
+//! tenant's requests admit against its own in-flight quota (over →
+//! typed 429 with the tenant named in the frame), and tenants
+//! materialize lazily on first request — cold starts hydrate
+//! classifier-free from per-tenant snapshots when available, idle and
+//! over-budget tenants are evicted LRU-first with an at-evict snapshot.
+//! Single-tenant [`Server::start`] wraps the engine as a one-tenant
+//! cluster, keeping every frame schema byte-compatible.
+//!
 //! Served explanations are bit-identical to the offline
 //! `ShahinBatch::explain_*_parallel` drivers for the same seed and warm
 //! set — see the determinism notes on [`shahin::WarmEngine`].
@@ -57,6 +69,6 @@ pub mod server;
 pub mod signal;
 
 pub use monitor::write_atomic;
-pub use protocol::{parse_request, MetricsFormat, Request, StatsSummary, WireError};
+pub use protocol::{parse_request, MetricsFormat, Request, StatsSummary, TenantStat, WireError};
 pub use queue::{Admission, PushError};
 pub use server::{ServeConfig, Server, ServerHandle, MAX_FRAME_LEN};

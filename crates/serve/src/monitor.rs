@@ -31,7 +31,7 @@ use shahin::MetricsRegistry;
 use shahin_model::Classifier;
 use shahin_obs::{SloConfig, SloTracker, WindowedAggregator};
 
-use crate::protocol::StatsSummary;
+use crate::protocol::{StatsSummary, TenantStat};
 use crate::server::Shared;
 use crate::signal;
 
@@ -75,11 +75,14 @@ fn tick<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
         .set(shared.queue.len() as u64);
     obs.gauge(names::SERVE_LIVE_CONNECTIONS)
         .set(shared.live_connections.load(Ordering::Relaxed));
-    obs.gauge(names::SERVE_WARM_ENTRIES)
-        .set(shared.engine.store_entries() as u64);
-    obs.gauge(names::SERVE_WARM_BYTES)
-        .set(shared.engine.store_bytes() as u64);
+    let (warm_entries, warm_bytes) = shared.cluster.warm_totals();
+    obs.gauge(names::SERVE_WARM_ENTRIES).set(warm_entries);
+    obs.gauge(names::SERVE_WARM_BYTES).set(warm_bytes);
     obs.counter(names::SERVE_MONITOR_TICKS).inc();
+    // The FaaS lifecycle runs on the monitor's clock: evict idle-past-
+    // policy and over-budget tenants (LRU first, at-evict snapshot so
+    // re-admission is classifier-free), then refresh tenancy gauges.
+    shared.cluster.enforce();
 
     if let Some(traces) = &shared.traces {
         obs.gauge(names::TRACE_RETAINED).set(traces.store.len() as u64);
@@ -111,26 +114,17 @@ fn tick<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
     }
 }
 
-/// Takes one warm-state snapshot to `--snapshot-out`, counting the
-/// outcome under `persist.*`. The dump holds the store's read lock only
-/// long enough to serialize — the batcher keeps serving — and the write
-/// is temp-file + fsync + rename, so a crash mid-snapshot leaves the
-/// previous file intact. A no-op when no snapshot path is configured.
-pub(crate) fn take_snapshot<C: Classifier>(shared: &Shared<C>, obs: &MetricsRegistry) {
-    let Some(path) = &shared.config.snapshot_out else {
-        return;
-    };
-    match shared.engine.write_snapshot(path) {
-        Ok(bytes) => {
-            obs.counter(names::PERSIST_SNAPSHOTS_TAKEN).inc();
-            obs.gauge(names::PERSIST_SNAPSHOT_BYTES).set(bytes);
-        }
-        Err(_) => {
-            // A full disk or revoked directory must not kill the monitor;
-            // the failure counter is the operator's signal.
-            obs.counter(names::PERSIST_SNAPSHOTS_FAILED).inc();
-        }
-    }
+/// Takes one warm-state snapshot per persisting tenant (the single
+/// `--snapshot-out` file when single-tenant, `<snapshot-dir>/<name>.shws`
+/// per tenant under a manifest), counting outcomes under `persist.*`.
+/// Each dump holds its store's read lock only long enough to serialize —
+/// the batcher keeps serving — and every write is temp-file + fsync +
+/// rename, so a crash mid-snapshot leaves the previous file intact. A
+/// failure (full disk, revoked directory) must not kill the monitor; the
+/// failure counter is the operator's signal. A no-op when no tenant has
+/// a snapshot path.
+pub(crate) fn take_snapshot<C: Classifier>(shared: &Shared<C>) {
+    shared.cluster.write_snapshots();
 }
 
 /// Runs until the batcher reports the drain complete, ticking every
@@ -159,8 +153,8 @@ pub(crate) fn monitor_loop<C: Classifier>(shared: Arc<Shared<C>>) {
             .is_some_and(|interval| last_snapshot.elapsed() >= interval);
         // `drained`: one final snapshot so a restart warms from the full
         // serving history, not the last periodic tick.
-        if shared.config.snapshot_out.is_some() && (on_demand || due || drained) {
-            take_snapshot(&shared, &obs);
+        if shared.cluster.persists() && (on_demand || due || drained) {
+            take_snapshot(&shared);
             last_snapshot = Instant::now();
         }
         if drained {
@@ -214,7 +208,30 @@ pub(crate) fn stats_summary<C: Classifier>(shared: &Shared<C>) -> StatsSummary {
         live_connections: shared.live_connections.load(Ordering::Relaxed),
         slo_burn_rate: slo.burn_rate,
         slo_budget_remaining: slo.budget_remaining,
+        tenants: tenant_stats(shared),
     }
+}
+
+/// Per-tenant rows for the `ping` and `stats` admin frames — lifecycle
+/// state, warm-store footprint, and in-flight count per tenant. Empty
+/// for single-tenant serving, so those frames keep their pre-tenancy
+/// schema.
+pub(crate) fn tenant_stats<C: Classifier>(shared: &Shared<C>) -> Vec<TenantStat> {
+    if !shared.cluster.multi() {
+        return Vec::new();
+    }
+    shared
+        .cluster
+        .stats()
+        .into_iter()
+        .map(|t| TenantStat {
+            name: t.name.to_string(),
+            state: t.state,
+            entries: t.entries,
+            bytes: t.bytes,
+            inflight: t.inflight,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! ```json
 //! {"id": 1, "method": "explain", "row": 17}
 //! {"id": 2, "method": "explain", "row": 3, "deadline_ms": 250}
+//! {"id": 13, "method": "explain", "row": 5, "tenant": "acme"}
 //! {"id": 3, "method": "ping"}
 //! {"id": 4, "method": "shutdown"}
 //! {"id": 5, "method": "metrics"}
@@ -44,15 +45,23 @@
 //! an HTTP-flavored `code`, a machine-readable `error` kind, and a
 //! human-readable `message`:
 //!
-//! | code | error              | meaning                                    |
-//! |------|--------------------|--------------------------------------------|
-//! | 400  | `bad_request`      | unparseable JSON, unknown method, bad arity|
-//! | 403  | `forbidden`        | admin frame from a non-loopback peer       |
-//! | 404  | `row_out_of_range` | row is not in the warm set                 |
-//! | 408  | `deadline_expired` | queued past the request's `deadline_ms`    |
-//! | 422  | `quarantined`      | tuple failed inside the resilience boundary|
-//! | 429  | `overloaded`       | admission queue full — back off and retry  |
-//! | 503  | `shutting_down`    | server is draining; no new work accepted   |
+//! | code | error               | meaning                                    |
+//! |------|---------------------|--------------------------------------------|
+//! | 400  | `bad_request`       | unparseable JSON, unknown method, bad arity|
+//! | 403  | `forbidden`         | admin frame from a non-loopback peer       |
+//! | 404  | `row_out_of_range`  | row is not in the tenant's warm set        |
+//! | 404  | `unknown_tenant`    | `tenant` names no tenant in the manifest   |
+//! | 408  | `deadline_expired`  | queued past the request's `deadline_ms`    |
+//! | 422  | `quarantined`       | tuple failed inside the resilience boundary|
+//! | 429  | `overloaded`        | admission queue full — back off and retry  |
+//! | 429  | `tenant_over_quota` | the tenant's in-flight quota is exhausted  |
+//! | 503  | `shutting_down`     | server is draining; no new work accepted   |
+//!
+//! Multi-tenant servers route each explain by its optional `tenant`
+//! field (absent → the manifest's default tenant); tenant-scoped error
+//! frames (`unknown_tenant`, `tenant_over_quota`) carry the offending
+//! tenant under a `tenant` key, and `ping`/`stats` frames gain a
+//! per-tenant `tenants` array with each tenant's lifecycle state.
 
 use std::sync::Arc;
 
@@ -66,10 +75,12 @@ pub enum Request {
     Explain {
         /// Client-chosen frame id, echoed on the response.
         id: u64,
-        /// Global row index into the warm set.
+        /// Global row index into the tenant's warm set.
         row: usize,
         /// Optional queue deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Tenant to route to; `None` → the cluster's default tenant.
+        tenant: Option<String>,
     },
     /// Liveness probe.
     Ping {
@@ -179,6 +190,45 @@ pub struct StatsSummary {
     pub slo_burn_rate: f64,
     /// Fraction of the window's error budget remaining, in [0, 1].
     pub slo_budget_remaining: f64,
+    /// Per-tenant lifecycle rows; empty on single-tenant servers (the
+    /// frame schema is then unchanged from pre-tenancy builds).
+    pub tenants: Vec<TenantStat>,
+}
+
+/// One tenant's row in `ping`/`stats` frames: lifecycle state plus the
+/// tenant's share of the warm store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStat {
+    /// Tenant name (the routing key).
+    pub name: String,
+    /// Lifecycle phase: `cold`, `warming`, `warm`, or `evicted`.
+    pub state: &'static str,
+    /// Warm-store entries held by this tenant (0 unless warm).
+    pub entries: u64,
+    /// Warm-store bytes held by this tenant (0 unless warm).
+    pub bytes: u64,
+    /// Explain requests currently in flight against the tenant's quota.
+    pub inflight: u64,
+}
+
+fn tenants_json(tenants: &[TenantStat]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tenants.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"state\": \"{}\", \"entries\": {}, \"bytes\": {}, \
+             \"inflight\": {}}}",
+            escape(&t.name),
+            t.state,
+            t.entries,
+            t.bytes,
+            t.inflight
+        ));
+    }
+    out.push(']');
+    out
 }
 
 /// A typed error, rendered as an error frame.
@@ -190,6 +240,9 @@ pub struct WireError {
     pub kind: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Tenant the error is scoped to (`unknown_tenant`,
+    /// `tenant_over_quota`); rendered as a `tenant` key on the frame.
+    pub tenant: Option<String>,
 }
 
 impl WireError {
@@ -199,6 +252,7 @@ impl WireError {
             code: 400,
             kind: "bad_request",
             message: message.into(),
+            tenant: None,
         }
     }
 
@@ -209,6 +263,7 @@ impl WireError {
             code: 403,
             kind: "forbidden",
             message: "admin frames are only accepted from loopback peers".into(),
+            tenant: None,
         }
     }
 
@@ -218,6 +273,7 @@ impl WireError {
             code: 404,
             kind: "row_out_of_range",
             message: format!("row {row} is outside the warm set (0..{n_rows})"),
+            tenant: None,
         }
     }
 
@@ -228,6 +284,7 @@ impl WireError {
             code: 404,
             kind: "trace_not_found",
             message: format!("no retained trace with id {trace_id}"),
+            tenant: None,
         }
     }
 
@@ -237,6 +294,7 @@ impl WireError {
             code: 404,
             kind: "tracing_disabled",
             message: "request tracing is disabled (--trace-store 0)".into(),
+            tenant: None,
         }
     }
 
@@ -247,6 +305,27 @@ impl WireError {
             code: 404,
             kind: "snapshots_disabled",
             message: "snapshots are disabled (--snapshot-out not set)".into(),
+            tenant: None,
+        }
+    }
+
+    /// 404: the request's `tenant` names no tenant in the manifest.
+    pub fn unknown_tenant(tenant: &str) -> WireError {
+        WireError {
+            code: 404,
+            kind: "unknown_tenant",
+            message: format!("no tenant \"{tenant}\" in the manifest"),
+            tenant: Some(tenant.to_string()),
+        }
+    }
+
+    /// 429: the tenant's in-flight request quota is exhausted.
+    pub fn tenant_over_quota(tenant: &str, quota: usize) -> WireError {
+        WireError {
+            code: 429,
+            kind: "tenant_over_quota",
+            message: format!("tenant \"{tenant}\" is at its quota ({quota} in flight)"),
+            tenant: Some(tenant.to_string()),
         }
     }
 
@@ -256,6 +335,7 @@ impl WireError {
             code: 408,
             kind: "deadline_expired",
             message: "deadline expired while queued".into(),
+            tenant: None,
         }
     }
 
@@ -265,6 +345,7 @@ impl WireError {
             code: 422,
             kind: "quarantined",
             message: format!("{}: {message}", kind.name()),
+            tenant: None,
         }
     }
 
@@ -274,6 +355,7 @@ impl WireError {
             code: 429,
             kind: "overloaded",
             message: format!("admission queue full ({capacity} requests)"),
+            tenant: None,
         }
     }
 
@@ -283,6 +365,7 @@ impl WireError {
             code: 503,
             kind: "shutting_down",
             message: "server is draining; connection will close".into(),
+            tenant: None,
         }
     }
 }
@@ -298,7 +381,14 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
-            "id" | "method" | "row" | "deadline_ms" | "format" | "trace_id" | "slowest" | "errors"
+            "id" | "method"
+                | "row"
+                | "deadline_ms"
+                | "tenant"
+                | "format"
+                | "trace_id"
+                | "slowest"
+                | "errors"
         ) {
             return Err(WireError::bad_request(format!("unknown key \"{key}\"")));
         }
@@ -321,6 +411,11 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             "trace selectors only apply to \"trace\", not \"{method}\""
         )));
     }
+    if value.get("tenant").is_some() && method != "explain" {
+        return Err(WireError::bad_request(format!(
+            "\"tenant\" only applies to \"explain\", not \"{method}\""
+        )));
+    }
     match method {
         "explain" => {
             if value.get("format").is_some() {
@@ -339,10 +434,19 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                     WireError::bad_request("\"deadline_ms\" must be a non-negative integer")
                 })?),
             };
+            let tenant = match value.get("tenant") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| WireError::bad_request("\"tenant\" must be a string"))?
+                        .to_string(),
+                ),
+            };
             Ok(Request::Explain {
                 id,
                 row: row as usize,
                 deadline_ms,
+                tenant,
             })
         }
         "ping" | "shutdown" | "stats" | "snapshot" => {
@@ -469,6 +573,9 @@ pub fn error_frame_traced(id: u64, err: &WireError, trace_id: Option<u64>) -> St
         escape(err.kind),
         escape(&err.message)
     );
+    if let Some(tenant) = &err.tenant {
+        out.push_str(&format!(", \"tenant\": \"{}\"", escape(tenant)));
+    }
     if let Some(trace_id) = trace_id {
         out.push_str(&format!(", \"trace_id\": {trace_id}"));
     }
@@ -525,13 +632,27 @@ pub fn explanation_frame(
 /// Renders the pong frame. Beyond liveness it carries enough signal for
 /// a health check to act on: process uptime, the build version, and the
 /// warm-store entry count (0 would mean the repository the whole service
-/// exists to exploit is gone).
-pub fn pong_frame(id: u64, uptime_secs: u64, version: &str, warm_entries: usize) -> String {
-    format!(
+/// exists to exploit is gone). Multi-tenant servers pass per-tenant
+/// lifecycle rows — `warm_entries` is then the cluster-wide sum and
+/// `tenants` breaks it down; single-tenant servers pass `&[]` and the
+/// frame schema is unchanged.
+pub fn pong_frame(
+    id: u64,
+    uptime_secs: u64,
+    version: &str,
+    warm_entries: usize,
+    tenants: &[TenantStat],
+) -> String {
+    let mut out = format!(
         "{{\"id\": {id}, \"ok\": true, \"pong\": true, \"uptime_secs\": {uptime_secs}, \
-         \"version\": \"{}\", \"warm_entries\": {warm_entries}}}",
+         \"version\": \"{}\", \"warm_entries\": {warm_entries}",
         escape(version)
-    )
+    );
+    if !tenants.is_empty() {
+        out.push_str(&format!(", \"tenants\": {}", tenants_json(tenants)));
+    }
+    out.push('}');
+    out
 }
 
 /// Renders the shutdown acknowledgement frame.
@@ -571,13 +692,15 @@ fn fmt_opt_u64(v: Option<u64>) -> String {
 }
 
 /// Renders a `stats` response frame from the monitor's windowed summary.
+/// Multi-tenant summaries append a per-tenant `tenants` array; the
+/// single-tenant schema is unchanged.
 pub fn stats_frame(id: u64, s: &StatsSummary) -> String {
-    format!(
+    let mut out = format!(
         "{{\"id\": {id}, \"ok\": true, \"stats\": {{\
          \"window_secs\": {}, \"windows\": {}, \"req_per_s\": {}, \
          \"p50_ns\": {}, \"p99_ns\": {}, \"hit_rate\": {}, \
          \"queue_depth\": {}, \"live_connections\": {}, \
-         \"slo\": {{\"burn_rate\": {}, \"budget_remaining\": {}}}}}}}",
+         \"slo\": {{\"burn_rate\": {}, \"budget_remaining\": {}}}",
         fmt_f64(s.window_secs),
         s.windows,
         fmt_f64(s.req_per_s),
@@ -588,7 +711,12 @@ pub fn stats_frame(id: u64, s: &StatsSummary) -> String {
         s.live_connections,
         fmt_f64(s.slo_burn_rate),
         fmt_f64(s.slo_budget_remaining),
-    )
+    );
+    if !s.tenants.is_empty() {
+        out.push_str(&format!(", \"tenants\": {}", tenants_json(&s.tenants)));
+    }
+    out.push_str("}}");
+    out
 }
 
 /// Retention totals of the trace store, attached to multi-trace
@@ -651,7 +779,8 @@ mod tests {
             Request::Explain {
                 id: 7,
                 row: 12,
-                deadline_ms: None
+                deadline_ms: None,
+                tenant: None
             }
         );
         assert_eq!(
@@ -660,7 +789,18 @@ mod tests {
             Request::Explain {
                 id: 1,
                 row: 0,
-                deadline_ms: Some(250)
+                deadline_ms: Some(250),
+                tenant: None
+            }
+        );
+        assert_eq!(
+            parse_request("{\"id\": 2, \"method\": \"explain\", \"row\": 4, \"tenant\": \"acme\"}")
+                .unwrap(),
+            Request::Explain {
+                id: 2,
+                row: 4,
+                deadline_ms: None,
+                tenant: Some("acme".into())
             }
         );
         assert_eq!(
@@ -787,7 +927,7 @@ mod tests {
     #[test]
     fn control_frames_parse() {
         assert_eq!(
-            Json::parse(&pong_frame(5, 0, "0.1.0", 0))
+            Json::parse(&pong_frame(5, 0, "0.1.0", 0, &[]))
                 .unwrap()
                 .get("pong")
                 .unwrap(),
@@ -826,12 +966,94 @@ mod tests {
 
     #[test]
     fn pong_frame_carries_health_signal() {
-        let v = Json::parse(&pong_frame(9, 321, "0.1.0", 200)).unwrap();
+        let v = Json::parse(&pong_frame(9, 321, "0.1.0", 200, &[])).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("uptime_secs").unwrap().as_u64(), Some(321));
         assert_eq!(v.get("version").unwrap().as_str(), Some("0.1.0"));
         assert_eq!(v.get("warm_entries").unwrap().as_u64(), Some(200));
+        assert!(
+            v.get("tenants").is_none(),
+            "single-tenant pong schema is unchanged"
+        );
+    }
+
+    #[test]
+    fn tenant_arity_and_types_are_enforced() {
+        // tenant must be a string.
+        let err = parse_request("{\"id\": 1, \"method\": \"explain\", \"row\": 1, \"tenant\": 3}")
+            .unwrap_err();
+        assert_eq!(err.code, 400);
+        assert!(err.message.contains("tenant"));
+        // tenant only applies to explain.
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"ping\", \"tenant\": \"acme\"}").unwrap_err();
+        assert!(err.message.contains("only applies to \"explain\""));
+        let err =
+            parse_request("{\"id\": 1, \"method\": \"stats\", \"tenant\": \"acme\"}").unwrap_err();
+        assert!(err.message.contains("only applies to \"explain\""));
+    }
+
+    #[test]
+    fn tenant_scoped_errors_carry_the_tenant_key() {
+        let err = WireError::unknown_tenant("hooli");
+        assert_eq!((err.code, err.kind), (404, "unknown_tenant"));
+        let v = Json::parse(&error_frame(3, &err)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(404));
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("hooli"));
+
+        let err = WireError::tenant_over_quota("acme", 8);
+        assert_eq!((err.code, err.kind), (429, "tenant_over_quota"));
+        let v = Json::parse(&error_frame(4, &err)).unwrap();
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(429));
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("acme"));
+        assert!(v.get("message").unwrap().as_str().unwrap().contains("8"));
+
+        // Tenant-less errors keep the pre-tenancy schema.
+        let v = Json::parse(&error_frame(5, &WireError::overloaded(64))).unwrap();
+        assert!(v.get("tenant").is_none());
+    }
+
+    #[test]
+    fn multi_tenant_ping_and_stats_frames_carry_tenant_rows() {
+        let tenants = vec![
+            TenantStat {
+                name: "acme".into(),
+                state: "warm",
+                entries: 24,
+                bytes: 4096,
+                inflight: 2,
+            },
+            TenantStat {
+                name: "globex".into(),
+                state: "cold",
+                entries: 0,
+                bytes: 0,
+                inflight: 0,
+            },
+        ];
+        let v = Json::parse(&pong_frame(9, 1, "0.1.0", 24, &tenants)).unwrap();
+        let rows = v.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("acme"));
+        assert_eq!(rows[0].get("state").unwrap().as_str(), Some("warm"));
+        assert_eq!(rows[0].get("entries").unwrap().as_u64(), Some(24));
+        assert_eq!(rows[0].get("inflight").unwrap().as_u64(), Some(2));
+        assert_eq!(rows[1].get("state").unwrap().as_str(), Some("cold"));
+
+        let s = StatsSummary {
+            tenants,
+            ..StatsSummary::default()
+        };
+        let frame = stats_frame(11, &s);
+        assert!(!frame.contains('\n'), "frames must be single-line");
+        let v = Json::parse(&frame).unwrap();
+        let rows = v.get("stats").unwrap().get("tenants").unwrap();
+        assert_eq!(rows.as_arr().unwrap().len(), 2);
+        // Single-tenant stats keep the pre-tenancy schema.
+        let v = Json::parse(&stats_frame(12, &StatsSummary::default())).unwrap();
+        assert!(v.get("stats").unwrap().get("tenants").is_none());
     }
 
     #[test]
@@ -990,6 +1212,7 @@ mod tests {
             request_id: 7,
             row: 4,
             batch_id: Some(2),
+            tenant: None,
             spans: vec![
                 TraceSpan {
                     name: Arc::from("request"),
@@ -1084,10 +1307,13 @@ mod tests {
             live_connections: 2,
             slo_burn_rate: 0.25,
             slo_budget_remaining: 0.75,
+            tenants: Vec::new(),
         };
         let v = Json::parse(&stats_frame(11, &s)).unwrap();
         assert_eq!(v.get("id").unwrap().as_u64(), Some(11));
         let stats = v.get("stats").unwrap();
+        // Single-tenant: no tenants key at all (pre-tenancy schema).
+        assert!(stats.get("tenants").is_none());
         assert_eq!(stats.get("window_secs").unwrap().as_f64(), Some(2.5));
         assert_eq!(stats.get("windows").unwrap().as_u64(), Some(5));
         assert_eq!(stats.get("req_per_s").unwrap().as_f64(), Some(12.0));

@@ -4,13 +4,26 @@
 //!
 //! ```text
 //! acceptor ──spawns──▶ reader (one per connection)
-//!                        │ parse + validate + admit
+//!                        │ parse + resolve tenant + admit (quota)
 //!                        ▼
 //!                 Admission queue (bounded)
 //!                        │ pop_batch(max_batch, max_delay)
 //!                        ▼
-//!                     batcher ──▶ WarmEngine::explain ──▶ response frames
+//!                     batcher ── group by tenant
+//!                        │ ensure_warm (lazy cold start)
+//!                        ▼
+//!        WarmEngine::explain_assigned (shard-routed) ──▶ response frames
 //! ```
+//!
+//! The server fronts a [`TenantRegistry`] — one tenant wrapped from a
+//! prebuilt engine on the classic [`Server::start`] path, N manifest
+//! tenants via [`Server::start_cluster`]. Readers resolve each explain's
+//! `tenant` field (absent → default tenant, unknown → typed 404) and
+//! admit against the tenant's quota (over → typed 429) before the
+//! request crosses into the queue; the batcher groups each popped batch
+//! by tenant, materializes cold tenants on first use (counted and
+//! traced as a `coldstart` span), and routes every group through the
+//! tenant's consistent-hash shard map.
 //!
 //! Readers never touch the engine; the batcher never touches sockets
 //! except through each request's [`Conn`] handle (a mutex-wrapped writer
@@ -33,6 +46,7 @@ use shahin::{
     TraceStore, TraceStoreConfig, WarmEngine, WarmOutcome, WarmRequest,
 };
 use shahin_model::Classifier;
+use shahin_tenancy::TenantRegistry;
 
 use crate::monitor::{self, MonitorState};
 use crate::protocol::{
@@ -186,6 +200,9 @@ pub(crate) struct Pending {
     conn: Arc<Conn>,
     /// Client frame id, echoed on the response.
     frame_id: u64,
+    /// Registry index of the tenant the request routed to; the batcher
+    /// groups by it and releases the tenant's quota after answering.
+    tenant: usize,
     /// Warm-set row to explain.
     row: usize,
     /// Server-assigned id stamped on provenance records.
@@ -216,7 +233,7 @@ impl TracePlane {
 }
 
 pub(crate) struct Shared<C: Classifier> {
-    pub(crate) engine: Arc<WarmEngine<C>>,
+    pub(crate) cluster: Arc<TenantRegistry<C>>,
     pub(crate) queue: Admission<Pending>,
     shutdown: AtomicBool,
     /// Set by the batcher once the backlog is fully answered; readers
@@ -241,7 +258,16 @@ pub(crate) struct Shared<C: Classifier> {
 
 impl<C: Classifier> Shared<C> {
     pub(crate) fn obs(&self) -> &MetricsRegistry {
-        self.engine.obs()
+        self.cluster.obs()
+    }
+
+    /// The tenant label stamped on a request's trace — only when the
+    /// cluster actually is multi-tenant, so single-tenant traces keep
+    /// the pre-tenancy schema.
+    fn trace_tenant(&self, tenant: usize) -> Option<Arc<str>> {
+        self.cluster
+            .multi()
+            .then(|| Arc::clone(self.cluster.name(tenant)))
     }
 
     /// Begins the graceful drain: stop admitting, let the batcher finish
@@ -299,9 +325,23 @@ impl<C: Classifier + 'static> ServerHandle<C> {
 
 impl Server {
     /// Binds `config.addr` and spawns the acceptor and batcher threads
-    /// over a primed engine.
+    /// over a primed engine — the single-tenant path, wrapping the
+    /// engine as a one-tenant cluster (no tenant labels, no lifecycle
+    /// management; `--snapshot-out` becomes the tenant's snapshot path).
     pub fn start<C: Classifier + 'static>(
         engine: Arc<WarmEngine<C>>,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle<C>> {
+        let cluster = Arc::new(TenantRegistry::single(engine, config.snapshot_out.clone()));
+        Server::start_cluster(cluster, config)
+    }
+
+    /// Binds `config.addr` over a tenant cluster: requests route by
+    /// their `tenant` field, tenants materialize lazily, and the monitor
+    /// runs the FaaS lifecycle (idle/budget eviction, per-tenant
+    /// snapshots) every tick.
+    pub fn start_cluster<C: Classifier + 'static>(
+        cluster: Arc<TenantRegistry<C>>,
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle<C>> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -328,7 +368,7 @@ impl Server {
         // and bound the retained-trace ring per the config knobs.
         let traces = (config.trace_store > 0).then(|| {
             let sink = Arc::new(TraceSink::new());
-            engine.obs().attach_trace_sink(Arc::clone(&sink));
+            cluster.obs().attach_trace_sink(Arc::clone(&sink));
             TracePlane {
                 store: TraceStore::new(TraceStoreConfig {
                     capacity: config.trace_store,
@@ -341,7 +381,7 @@ impl Server {
             }
         });
         let shared = Arc::new(Shared {
-            engine,
+            cluster,
             queue: Admission::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
             drained: AtomicBool::new(false),
@@ -526,11 +566,14 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
     match request {
         Request::Ping { id } => {
             let uptime_secs = shared.monitor.started.elapsed().as_secs();
+            let (entries, _) = shared.cluster.warm_totals();
+            let tenants = monitor::tenant_stats(shared);
             conn.send(&pong_frame(
                 id,
                 uptime_secs,
                 env!("CARGO_PKG_VERSION"),
-                shared.engine.store_entries(),
+                entries as usize,
+                &tenants,
             ));
         }
         Request::Shutdown { id } => {
@@ -571,15 +614,21 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
                 conn.send(&error_frame(id, &WireError::forbidden()));
                 return;
             }
-            let Some(path) = &shared.config.snapshot_out else {
+            if !shared.cluster.persists() {
                 conn.send(&error_frame(id, &WireError::snapshots_disabled()));
                 return;
-            };
+            }
             obs.counter(names::PERSIST_SNAPSHOTS_REQUESTED).inc();
             // The monitor thread does the write (single snapshot writer);
             // it wakes within one poll tick of this flag.
             shared.snapshot_requested.store(true, Ordering::Relaxed);
-            conn.send(&snapshot_frame(id, &path.to_string_lossy()));
+            let path = match &shared.config.snapshot_out {
+                Some(path) => path.to_string_lossy().into_owned(),
+                // Multi-tenant: one file per tenant under the manifest's
+                // snapshot_dir.
+                None => "<per-tenant>".to_string(),
+            };
+            conn.send(&snapshot_frame(id, &path));
         }
         Request::Trace { id, query, format } => {
             if !admin_permitted(conn.peer_loopback, shared.config.allow_remote_shutdown) {
@@ -619,22 +668,42 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
             id,
             row,
             deadline_ms,
+            tenant,
         } => {
             if shared.shutting_down() {
                 obs.counter(names::SERVE_REJECTED_SHUTDOWN).inc();
                 conn.send(&error_frame(id, &WireError::shutting_down()));
                 return;
             }
-            let n_rows = shared.engine.n_rows();
+            // Route first: the row bound and quota are per-tenant.
+            // `resolve` counts `tenancy.unknown_tenant` itself; the miss
+            // is a routing 404, not malformed input.
+            let Some(tidx) = shared.cluster.resolve(tenant.as_deref()) else {
+                let name = tenant.as_deref().unwrap_or_default();
+                conn.send(&error_frame(id, &WireError::unknown_tenant(name)));
+                return;
+            };
+            let n_rows = shared.cluster.n_rows(tidx);
             if row >= n_rows {
                 obs.counter(names::SERVE_REJECTED_MALFORMED).inc();
                 conn.send(&error_frame(id, &WireError::row_out_of_range(row, n_rows)));
+                return;
+            }
+            // Quota gate: every admitted request holds one in-flight slot
+            // until the batcher answers it (release in batch_loop).
+            if !shared.cluster.try_admit(tidx) {
+                let quota = shared.cluster.quota(tidx).unwrap_or(0);
+                conn.send(&error_frame(
+                    id,
+                    &WireError::tenant_over_quota(shared.cluster.name(tidx), quota),
+                ));
                 return;
             }
             let enqueued = Instant::now();
             let pending = Pending {
                 conn: Arc::clone(conn),
                 frame_id: id,
+                tenant: tidx,
                 row,
                 request_id: shared.next_request_id.fetch_add(1, Ordering::Relaxed),
                 enqueued,
@@ -648,6 +717,7 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
                         .set(shared.queue.len() as u64);
                 }
                 Err((rejected, PushError::Full)) => {
+                    shared.cluster.release(rejected.tenant);
                     obs.counter(names::SERVE_REJECTED_OVERLOAD).inc();
                     reject_traced(
                         shared,
@@ -656,6 +726,7 @@ fn handle_frame<C: Classifier>(line: &str, conn: &Arc<Conn>, shared: &Shared<C>)
                     );
                 }
                 Err((rejected, PushError::Closed)) => {
+                    shared.cluster.release(rejected.tenant);
                     obs.counter(names::SERVE_REJECTED_SHUTDOWN).inc();
                     reject_traced(shared, &rejected, &WireError::shutting_down());
                 }
@@ -690,6 +761,7 @@ fn reject_traced<C: Classifier>(shared: &Shared<C>, rejected: &Pending, err: &Wi
             ctx,
             row: rejected.row,
             request_id: rejected.request_id,
+            tenant: shared.trace_tenant(rejected.tenant),
             batch_id: None,
             t0: rejected.enqueued,
             total_ns,
@@ -712,6 +784,9 @@ struct AssembleArgs {
     ctx: TraceContext,
     row: usize,
     request_id: u64,
+    /// Tenant label (`None` for single-tenant serving — omitted from the
+    /// trace JSON, keeping the pre-tenancy schema).
+    tenant: Option<Arc<str>>,
     batch_id: Option<u64>,
     /// The trace's zero point (admission).
     t0: Instant,
@@ -778,6 +853,7 @@ fn assemble_trace(args: AssembleArgs) -> RequestTrace {
         request_id: args.request_id,
         row: args.row as u64,
         batch_id: args.batch_id,
+        tenant: args.tenant,
         spans,
         counters,
         error: args.error,
@@ -819,6 +895,7 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                         ctx,
                         row: pending.row,
                         request_id: pending.request_id,
+                        tenant: shared.trace_tenant(pending.tenant),
                         batch_id: None,
                         t0: pending.enqueued,
                         total_ns,
@@ -835,13 +912,25 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                     &WireError::deadline_expired(),
                     pending.trace.map(|ctx| ctx.trace_id),
                 ));
+                shared.cluster.release(pending.tenant);
                 shared.served.fetch_add(1, Ordering::SeqCst);
             } else {
                 live.push(pending);
             }
         }
-        if !live.is_empty() {
-            let requests: Vec<WarmRequest> = live
+        // One engine flush per tenant present in the batch, grouped in
+        // arrival order of each tenant's first request: co-tenant
+        // requests still amortize classifier calls across the batch;
+        // cross-tenant ones never share an engine.
+        let mut groups: Vec<(usize, Vec<Pending>)> = Vec::new();
+        for pending in live {
+            match groups.iter_mut().find(|(t, _)| *t == pending.tenant) {
+                Some((_, group)) => group.push(pending),
+                None => groups.push((pending.tenant, vec![pending])),
+            }
+        }
+        for (tenant, group) in groups {
+            let requests: Vec<WarmRequest> = group
                 .iter()
                 .map(|p| WarmRequest {
                     row: p.row,
@@ -849,16 +938,32 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                     trace: p.trace.map(|ctx| ctx.trace_id),
                 })
                 .collect();
-            let epoch = shared.engine.epoch();
             // Batcher occupancy: how many requests the engine is
             // explaining right now (0 between flushes).
             obs.gauge(names::SERVE_BATCH_INFLIGHT)
-                .set(live.len() as u64);
+                .set(group.len() as u64);
             let flush_start = Instant::now();
-            let outcomes = shared.engine.explain(&requests);
+            // Lazy materialization: a cold tenant's first batch pays its
+            // cold start here, inside the flush window, so the synthetic
+            // `coldstart` stage below nests in the `batch` span.
+            let (slot, cold) = shared.cluster.ensure_warm(tenant);
+            let epoch = slot.engine.epoch();
+            // Shard-route every request by its row's frozen-itemset
+            // signature; bit-identical to unsharded explanation because
+            // per-tuple seeding depends only on the global warm row.
+            let assign = slot.assign(&requests);
+            let outcomes = slot
+                .engine
+                .explain_assigned(&requests, &assign, slot.n_workers());
             let flush_end = Instant::now();
             obs.gauge(names::SERVE_BATCH_INFLIGHT).set(0);
-            for (pending, outcome) in live.iter().zip(outcomes) {
+            let coldstart = cold.map(|c| StageSpan {
+                name: "coldstart",
+                start: flush_start,
+                dur: c.wall,
+                counters: TraceCounters::default(),
+            });
+            for (pending, outcome) in group.iter().zip(outcomes) {
                 let trace_id = pending.trace.map(|ctx| ctx.trace_id);
                 let (frame, error, quarantined, degraded) = match outcome {
                     WarmOutcome::Ok {
@@ -900,11 +1005,15 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                 // its response frame, a fetch on the same connection must
                 // not race the store insert.
                 if let (Some(traces), Some(ctx)) = (&shared.traces, pending.trace) {
-                    let stages = traces.sink.take(ctx.trace_id);
+                    let mut stages = traces.sink.take(ctx.trace_id);
+                    if let Some(cs) = &coldstart {
+                        stages.insert(0, cs.clone());
+                    }
                     traces.store.offer(assemble_trace(AssembleArgs {
                         ctx,
                         row: pending.row,
                         request_id: pending.request_id,
+                        tenant: shared.trace_tenant(pending.tenant),
                         batch_id: Some(batch_id),
                         t0: pending.enqueued,
                         total_ns: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
@@ -917,6 +1026,7 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
                     }));
                 }
                 pending.conn.send(&frame);
+                shared.cluster.release(tenant);
                 shared.served.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -924,7 +1034,13 @@ fn batch_loop<C: Classifier>(shared: Arc<Shared<C>>) {
         batches += 1;
         let every = shared.config.refresh_every;
         if every > 0 && batches.is_multiple_of(every) {
-            shared.engine.refresh();
+            // Refresh every materialized tenant; cold ones have nothing
+            // to refresh.
+            for idx in 0..shared.cluster.len() {
+                if let Some(slot) = shared.cluster.slot(idx) {
+                    slot.engine.refresh();
+                }
+            }
         }
     }
     // Queue closed and fully drained: every admitted request has been

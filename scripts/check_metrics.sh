@@ -29,6 +29,16 @@
 # the pristine snapshot must hydrate warm (persist.loads_ok, zero
 # classifier invocations).
 #
+# The multi-tenant drill serves a 3-tenant manifest from one listener:
+# requests route by the protocol's `tenant` field, tenants materialize
+# lazily on first touch (tenancy.cold_starts), a quota-0 tenant answers
+# 429 without materializing, an unknown tenant answers 404, idle
+# tenants evict with an at-evict snapshot, and re-admission hydrates
+# classifier-free. The tenancy.* aggregates must reconcile with the
+# per-tenant tenant.<name>.* families, and provenance/traces must carry
+# the tenant tag in multi-tenant mode while the single-tenant artifacts
+# from the serve smoke above carry none.
+#
 # Knobs (all optional):
 #   SHAHIN_CHECK_ROWS        synthetic dataset rows    (default 2000)
 #   SHAHIN_CHECK_BATCH       tuples to explain         (default 60)
@@ -822,3 +832,263 @@ if counters.get("persist.load_rejected", -1) != 0:
 print("OK: pristine snapshot hydrated a warm replica")
 PY
 echo "persistence drill passed"
+
+# Multi-tenant drill: one listener, three tenants, full lifecycle.
+echo "== multi-tenant drill"
+mkdir -p "$WORKDIR/snaps"
+cat > "$WORKDIR/cluster.json" <<MANIFEST
+{
+  "default": "acme",
+  "snapshot_dir": "snaps",
+  "idle_evict_ms": 400,
+  "tenants": [
+    {"name": "acme",    "csv": "census.csv", "label": "label",
+     "explainer": "lime", "seed": 5, "warm_rows": 60},
+    {"name": "globex",  "csv": "census.csv", "label": "label",
+     "explainer": "lime", "seed": 7, "warm_rows": 60},
+    {"name": "initech", "csv": "census.csv", "label": "label",
+     "explainer": "lime", "quota": 0, "warm_rows": 60}
+  ]
+}
+MANIFEST
+
+: > "$WORKDIR/tenancy.port"
+"$CLI" serve --manifest "$WORKDIR/cluster.json" --addr 127.0.0.1:0 \
+    --port-file "$WORKDIR/tenancy.port" \
+    --metrics-out "$WORKDIR/tenancy.json" \
+    --provenance-out "$WORKDIR/tenancy_prov.jsonl" \
+    --monitor-interval-ms 100 --trace-sample 1.0 \
+    >"$WORKDIR/tenancy.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORKDIR/tenancy.port" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "FAIL: tenancy: cluster died before listening"
+        cat "$WORKDIR/tenancy.log"
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ ! -s "$WORKDIR/tenancy.port" ]; then
+    echo "FAIL: tenancy: no port file after 20s"
+    cat "$WORKDIR/tenancy.log"
+    exit 1
+fi
+port="$(tr -d '[:space:]' < "$WORKDIR/tenancy.port")"
+
+python3 - "$port" "$WORKDIR" <<'PY'
+import json, os, socket, sys, time
+
+port, workdir = int(sys.argv[1]), sys.argv[2]
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+sock.settimeout(30)
+rfile = sock.makefile("r", encoding="utf-8")
+
+def send(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+    return json.loads(rfile.readline())
+
+def frame(method, **kw):
+    resp = send({"id": 1, "method": method, **kw})
+    if resp.get("ok") is not True:
+        raise SystemExit(f"FAIL: tenancy: '{method}' frame rejected: {resp}")
+    return resp
+
+def roster():
+    pong = frame("ping")
+    tenants = {t["name"]: t for t in pong.get("tenants", [])}
+    if set(tenants) != {"acme", "globex", "initech"}:
+        raise SystemExit(f"FAIL: tenancy: ping roster is {set(tenants)}")
+    return pong, tenants
+
+# --- Everything starts cold: the roster is declared, nothing is built --
+pong, tenants = roster()
+for name, t in tenants.items():
+    for key in ("state", "entries", "bytes", "inflight"):
+        if key not in t:
+            raise SystemExit(f"FAIL: tenancy: ping entry for '{name}' "
+                             f"lacks '{key}': {t}")
+    if t["state"] != "cold" or t["entries"] != 0:
+        raise SystemExit(f"FAIL: tenancy: '{name}' not cold at startup: {t}")
+if pong["warm_entries"] != 0:
+    raise SystemExit(f"FAIL: tenancy: warm_entries {pong['warm_entries']} "
+                     f"before any request")
+
+# --- Routing: default tenant, explicit tenant, 404, 429 ---------------
+for i in range(4):
+    frame("explain", row=i)                      # absent tenant -> acme
+for i in range(3):
+    frame("explain", row=i, tenant="globex")
+over = send({"id": 20, "method": "explain", "row": 0, "tenant": "initech"})
+if (over.get("ok") is not False or over.get("code") != 429
+        or over.get("error") != "tenant_over_quota"
+        or over.get("tenant") != "initech"):
+    raise SystemExit(f"FAIL: tenancy: quota-0 tenant answered {over}")
+unknown = send({"id": 21, "method": "explain", "row": 0, "tenant": "hooli"})
+if (unknown.get("ok") is not False or unknown.get("code") != 404
+        or unknown.get("error") != "unknown_tenant"
+        or unknown.get("tenant") != "hooli"):
+    raise SystemExit(f"FAIL: tenancy: unknown tenant answered {unknown}")
+
+# --- Lazy materialization is visible in ping and the live snapshot ----
+_, tenants = roster()
+for name, state in (("acme", "warm"), ("globex", "warm"), ("initech", "cold")):
+    if tenants[name]["state"] != state:
+        raise SystemExit(f"FAIL: tenancy: '{name}' is "
+                         f"{tenants[name]['state']}, wanted {state}")
+if tenants["acme"]["entries"] <= 0 or tenants["acme"]["bytes"] <= 0:
+    raise SystemExit(f"FAIL: tenancy: warm acme reports no footprint: "
+                     f"{tenants['acme']}")
+
+snap = frame("metrics", format="json")["snapshot"]
+counters, gauges = snap["counters"], snap["gauges"]
+if counters.get("tenancy.cold_starts") != 2:
+    raise SystemExit(f"FAIL: tenancy: cold_starts "
+                     f"{counters.get('tenancy.cold_starts')} != 2")
+if counters.get("tenancy.quota_rejections") != 1:
+    raise SystemExit("FAIL: tenancy: quota rejection not counted")
+if counters.get("tenancy.unknown_tenant") != 1:
+    raise SystemExit("FAIL: tenancy: unknown-tenant miss not counted")
+if gauges.get("tenancy.tenants") != 3 or gauges.get("tenancy.warm_tenants") != 2:
+    raise SystemExit(f"FAIL: tenancy: tenants gauge "
+                     f"{gauges.get('tenancy.tenants')}/"
+                     f"{gauges.get('tenancy.warm_tenants')} != 3/2")
+lat = snap["histograms"].get("tenancy.cold_start_latency")
+if lat is None or lat["count"] != 2:
+    raise SystemExit(f"FAIL: tenancy: cold-start latency histogram: {lat}")
+if counters.get("tenant.acme.requests") != 4:
+    raise SystemExit(f"FAIL: tenancy: tenant.acme.requests "
+                     f"{counters.get('tenant.acme.requests')} != 4")
+if counters.get("tenant.globex.requests") != 3:
+    raise SystemExit(f"FAIL: tenancy: tenant.globex.requests "
+                     f"{counters.get('tenant.globex.requests')} != 3")
+if counters.get("tenant.initech.quota_rejections") != 1:
+    raise SystemExit("FAIL: tenancy: initech rejection not tagged")
+if counters.get("tenant.initech.cold_starts") != 0:
+    raise SystemExit("FAIL: tenancy: a 429 materialized initech")
+
+# --- Live traces carry the tenant tag ---------------------------------
+slowest = frame("trace", slowest=3)["traces"]
+if not slowest:
+    raise SystemExit("FAIL: tenancy: no traces retained at sample rate 1.0")
+tagged = {t.get("tenant") for t in slowest}
+if not tagged <= {"acme", "globex"} or None in tagged:
+    raise SystemExit(f"FAIL: tenancy: trace tenant tags are {tagged}")
+
+# --- Idle eviction: warm tenants retire, snapshots land on disk -------
+deadline = time.time() + 60
+while True:
+    _, tenants = roster()
+    states = {n: t["state"] for n, t in tenants.items()}
+    if states["acme"] == "evicted" and states["globex"] == "evicted":
+        break
+    if time.time() > deadline:
+        raise SystemExit(f"FAIL: tenancy: no idle eviction after 60s: {states}")
+    time.sleep(0.2)
+if states["initech"] != "cold":
+    raise SystemExit(f"FAIL: tenancy: never-warm initech is {states['initech']}")
+for name in ("acme", "globex"):
+    path = os.path.join(workdir, "snaps", f"{name}.shws")
+    if not os.path.getsize(path):
+        raise SystemExit(f"FAIL: tenancy: no at-evict snapshot at {path}")
+
+# --- Re-admission hydrates classifier-free ----------------------------
+frame("explain", row=0, tenant="acme")
+snap = frame("metrics", format="json")["snapshot"]
+counters = snap["counters"]
+if counters.get("tenancy.hydrations", 0) < 1:
+    raise SystemExit("FAIL: tenancy: re-admission did not hydrate")
+if counters.get("tenant.acme.hydrations", 0) < 1:
+    raise SystemExit("FAIL: tenancy: acme hydration not tagged")
+if counters.get("tenant.acme.loads_ok", 0) < 1:
+    raise SystemExit("FAIL: tenancy: hydration not counted as a clean load")
+if counters.get("tenant.acme.load_rejected", 0) != 0:
+    raise SystemExit("FAIL: tenancy: at-evict snapshot was rejected")
+
+print(f"OK: routed 8 requests across 2 tenants, rejected 1 over quota "
+      f"and 1 unknown")
+print(f"OK: idle eviction snapshotted acme+globex; re-admission hydrated "
+      f"({counters['tenancy.cold_starts']} cold starts, "
+      f"{counters['tenancy.evictions']} evictions)")
+
+sock.sendall(b'{"id": 99, "method": "shutdown"}\n')
+resp = json.loads(rfile.readline())
+if resp.get("shutting_down") is not True:
+    raise SystemExit(f"FAIL: tenancy: shutdown frame rejected: {resp}")
+PY
+
+tenancy_status=0
+wait "$serve_pid" || tenancy_status=$?
+if [ "$tenancy_status" -ne 0 ]; then
+    echo "FAIL: tenancy: cluster exited with status $tenancy_status"
+    cat "$WORKDIR/tenancy.log"
+    exit 1
+fi
+if ! grep -q "3 tenants, default \"acme\"" "$WORKDIR/tenancy.log"; then
+    echo "FAIL: tenancy: cluster banner missing from log"
+    cat "$WORKDIR/tenancy.log"
+    exit 1
+fi
+
+python3 - "$WORKDIR/tenancy.json" "$WORKDIR/tenancy_prov.jsonl" \
+    "$WORKDIR/serve_prov.jsonl" <<'PY'
+import json, sys
+
+snap = json.load(open(sys.argv[1]))
+prov = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+single_prov = [json.loads(l) for l in open(sys.argv[3]) if l.strip()]
+counters, gauges = snap["counters"], snap["gauges"]
+
+# Aggregate tenancy.* counters reconcile with the per-tenant families.
+TENANTS = ("acme", "globex", "initech")
+for agg, kind in (("tenancy.cold_starts", "cold_starts"),
+                  ("tenancy.evictions", "evictions"),
+                  ("tenancy.hydrations", "hydrations"),
+                  ("tenancy.quota_rejections", "quota_rejections")):
+    total = sum(counters.get(f"tenant.{t}.{kind}", 0) for t in TENANTS)
+    if counters.get(agg) != total:
+        raise SystemExit(f"FAIL: tenancy: {agg} {counters.get(agg)} != "
+                         f"per-tenant sum {total}")
+if counters.get("tenancy.cold_starts", 0) < 3:
+    raise SystemExit(f"FAIL: tenancy: expected >=3 cold starts, got "
+                     f"{counters.get('tenancy.cold_starts')}")
+if counters.get("tenancy.evictions", 0) < 2:
+    raise SystemExit(f"FAIL: tenancy: expected >=2 evictions, got "
+                     f"{counters.get('tenancy.evictions')}")
+if counters.get("tenant.initech.requests", -1) != 0:
+    raise SystemExit("FAIL: tenancy: rejected-only initech counted requests")
+# At-evict persistence went through the persist plumbing, tagged per tenant.
+if counters.get("persist.snapshots_taken", 0) < 2:
+    raise SystemExit(f"FAIL: tenancy: persist.snapshots_taken "
+                     f"{counters.get('persist.snapshots_taken')} < 2")
+for t in ("acme", "globex"):
+    if counters.get(f"tenant.{t}.snapshots_taken", 0) < 1:
+        raise SystemExit(f"FAIL: tenancy: no snapshot counted for '{t}'")
+
+# Multi-tenant provenance is tenant-tagged and joinable to traces.
+by_tenant = {}
+for r in prov:
+    if "tenant" not in r:
+        raise SystemExit(f"FAIL: tenancy: untagged provenance record: {r}")
+    for key in ("request", "trace_id"):
+        if key not in r:
+            raise SystemExit(f"FAIL: tenancy: record lacks '{key}': {r}")
+    if r["samples_reused"] + r["samples_fresh"] != r["tau"]:
+        raise SystemExit(f"FAIL: tenancy: reused+fresh != tau: {r}")
+    by_tenant[r["tenant"]] = by_tenant.get(r["tenant"], 0) + 1
+if by_tenant != {"acme": 5, "globex": 3}:
+    raise SystemExit(f"FAIL: tenancy: provenance split {by_tenant} != "
+                     f"acme:5 globex:3")
+
+# Single-tenant lineage from the serve smoke stays untagged.
+for r in single_prov:
+    if "tenant" in r:
+        raise SystemExit(f"FAIL: tenancy: single-tenant record carries "
+                         f"'tenant': {r}")
+
+print(f"OK: tenancy aggregates reconcile with per-tenant families "
+      f"across {len(TENANTS)} tenants")
+print(f"OK: {len(prov)} tenant-tagged provenance records "
+      f"({by_tenant}), single-tenant lineage untagged")
+print("multi-tenant drill passed")
+PY

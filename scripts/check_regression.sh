@@ -19,6 +19,8 @@
 #   SHAHIN_REG_SERVE_CONC  serve-bench closed-loop clients   (default 4)
 #   SHAHIN_REG_OBS_LIVE_REPS  scrape-arm repetitions         (default 7)
 #   SHAHIN_REG_TRACE_REPS  tracing-arm repetitions           (default 7)
+#   SHAHIN_REG_TENANCY_REQS   tenancy-arm Zipf-mixed requests (default 60)
+#   SHAHIN_REG_TENANCY_IDLE_MS tenancy keepalive before evict (default 1500)
 #   SHAHIN_REG_LAYOUT_BATCH   tuples per layout-bench batch  (default 1000)
 #   SHAHIN_REG_LAYOUT_THREADS layout thread counts swept     (default 1,8)
 #   SHAHIN_REG_LAYOUT_REPS    layout runs per arm, min kept  (default 3)
@@ -37,6 +39,8 @@ SERVE_REQS="${SHAHIN_REG_SERVE_REQS:-80}"
 SERVE_CONC="${SHAHIN_REG_SERVE_CONC:-4}"
 OBS_LIVE_REPS="${SHAHIN_REG_OBS_LIVE_REPS:-7}"
 TRACE_REPS="${SHAHIN_REG_TRACE_REPS:-7}"
+TENANCY_REQS="${SHAHIN_REG_TENANCY_REQS:-60}"
+TENANCY_IDLE_MS="${SHAHIN_REG_TENANCY_IDLE_MS:-1500}"
 LAYOUT_BATCH="${SHAHIN_REG_LAYOUT_BATCH:-1000}"
 LAYOUT_THREADS="${SHAHIN_REG_LAYOUT_THREADS:-1,8}"
 LAYOUT_REPS="${SHAHIN_REG_LAYOUT_REPS:-3}"
@@ -70,6 +74,9 @@ SHAHIN_SERVE_REQUESTS="$SERVE_REQS" SHAHIN_SERVE_CONCURRENCY="$SERVE_CONC" \
     SHAHIN_TRACE_REPS="$TRACE_REPS" \
     SHAHIN_PERSIST_OUT="$OUT/BENCH_persist.json" \
     SHAHIN_PERSIST_REQUESTS="${SHAHIN_REG_PERSIST_REQS:-$SERVE_REQS}" \
+    SHAHIN_TENANCY_OUT="$OUT/BENCH_tenancy.json" \
+    SHAHIN_TENANCY_REQUESTS="$TENANCY_REQS" \
+    SHAHIN_TENANCY_IDLE_MS="$TENANCY_IDLE_MS" \
     target/release/bench_serve
 
 echo "== parallel-driver benchmark (batch=$BATCH, latency=${LATENCY}us, threads=$THREADS)"
@@ -94,5 +101,6 @@ target/release/bench_compare serve "$BASELINE_DIR/BENCH_serve.json" "$OUT/BENCH_
 target/release/bench_compare obs_live "$BASELINE_DIR/BENCH_obs_live.json" "$OUT/BENCH_obs_live.json"
 target/release/bench_compare trace "$BASELINE_DIR/BENCH_trace.json" "$OUT/BENCH_trace.json"
 target/release/bench_compare persist "$BASELINE_DIR/BENCH_persist.json" "$OUT/BENCH_persist.json"
+target/release/bench_compare tenancy "$BASELINE_DIR/BENCH_tenancy.json" "$OUT/BENCH_tenancy.json"
 target/release/bench_compare layout "$BASELINE_DIR/BENCH_layout.json" "$OUT/BENCH_layout.json"
 echo "perf-regression gate passed (fresh artifacts in $OUT)"

@@ -58,6 +58,8 @@ USAGE:
                      [--metrics] [--metrics-out <file.json>]
                      [--provenance-out <file.jsonl>]
                      [resilience/chaos flags as for explain]
+  shahin-cli serve   --manifest <cluster.json> [serve tuning flags as above,
+                     minus --csv/--label/--warm-from/--snapshot-out]
 
 PRESETS: census, recidivism, lendingclub, kddcup99, covertype
 
@@ -111,6 +113,32 @@ SERVING:
   \"chrome\" returns a single-request Chrome-trace JSON document
   (load in Perfetto); latency histogram buckets remember the last
   trace id that landed in them (exemplars, in `metrics` output).
+
+MULTI-TENANT:
+  --manifest FILE serves N tenants from one listener. The JSON manifest
+  declares each tenant's dataset, explainer, and knobs, plus cluster
+  policy:
+      {\"default\": \"acme\", \"snapshot_dir\": \"snaps\",
+       \"memory_budget_bytes\": 268435456, \"idle_evict_ms\": 600000,
+       \"tenants\": [
+         {\"name\": \"acme\",   \"csv\": \"acme.csv\",   \"label\": \"y\",
+          \"explainer\": \"lime\"},
+         {\"name\": \"globex\", \"csv\": \"globex.csv\", \"label\": \"y\",
+          \"explainer\": \"shap\", \"quota\": 64, \"threads\": 4}]}
+  Explain requests route by a \"tenant\" field (absent → the default
+  tenant, unknown → a 404 frame). Each tenant's warm repository is
+  materialized lazily on its first request — a counted, traced cold
+  start that hydrates classifier-free from <snapshot_dir>/<name>.shws
+  when present (or a tenant's \"warm_from\" snapshot, first start only).
+  Warm tenants above the memory budget or idle past idle_evict_ms are
+  evicted LRU-first, each writing a final at-evict snapshot so
+  re-admission is classifier-free and bit-identical. \"quota\" bounds a
+  tenant's in-flight requests (over → a 429 frame naming the tenant;
+  0 rejects everything). Datasets and models are built eagerly at
+  startup (misconfigurations fail before the listener binds), and
+  unreadable snapshots are startup errors. `ping` and `stats` frames
+  carry per-tenant lifecycle rows; metrics gain tenancy.* counters and
+  tenant.<name>.* breakdowns.
 
 PERSISTENCE:
   --snapshot-out FILE writes checksummed warm-state snapshots (the
@@ -617,18 +645,19 @@ fn explain_tail<C: Classifier>(
     })
 }
 
-/// Starts the online explanation service over a warm repository primed
-/// from the CSV's test split, and blocks until a graceful drain.
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
-    use shahin::{fold_provenance, WarmEngine, WarmExplainer};
-    use shahin_serve::{ServeConfig, Server};
-    use std::sync::Arc;
+/// Parses the serve tuning flags shared by the single-tenant and
+/// `--manifest` paths into a [`shahin_serve::ServeConfig`].
+/// `snapshot_out` is the single-tenant snapshot file (always `None`
+/// under a manifest, where persistence is per-tenant); `persists` says
+/// whether *any* snapshot target is configured, gating
+/// `--snapshot-interval-ms`.
+fn build_serve_config(
+    flags: &HashMap<String, String>,
+    snapshot_out: Option<std::path::PathBuf>,
+    persists: bool,
+) -> Result<shahin_serve::ServeConfig, String> {
     use std::time::Duration;
 
-    let path = get(flags, "csv")?;
-    let label = get(flags, "label")?;
-    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
-    let warm_rows: usize = parse_num(get_or(flags, "warm-rows", "200"), "warm-rows")?;
     let addr = get_or(flags, "addr", "127.0.0.1:0");
     let max_batch: usize = parse_num(get_or(flags, "max-batch", "32"), "max-batch")?;
     let max_delay_ms: u64 = parse_num(get_or(flags, "max-delay-ms", "5"), "max-delay-ms")?;
@@ -639,11 +668,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         get_or(flags, "write-timeout-ms", "1000"),
         "write-timeout-ms",
     )?;
-    let allow_remote_shutdown = flags.contains_key("allow-remote-shutdown");
     let monitor_interval_ms: u64 = parse_num(
         get_or(flags, "monitor-interval-ms", "1000"),
         "monitor-interval-ms",
     )?;
+    if monitor_interval_ms == 0 {
+        return Err("monitor-interval-ms must be positive".into());
+    }
     let windows: usize = parse_num(get_or(flags, "windows", "12"), "windows")?;
     let slo_p99_ms: u64 = parse_num(get_or(flags, "slo-p99-ms", "500"), "slo-p99-ms")?;
     let slo_error_rate: f64 =
@@ -651,16 +682,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     if !(0.0..=1.0).contains(&slo_error_rate) {
         return Err("slo-error-rate must be in [0, 1]".into());
     }
-    if monitor_interval_ms == 0 {
-        return Err("monitor-interval-ms must be positive".into());
-    }
     let trace_sample: f64 = parse_num(get_or(flags, "trace-sample", "0.01"), "trace-sample")?;
     if !(0.0..=1.0).contains(&trace_sample) {
         return Err("trace-sample must be in [0, 1]".into());
     }
     let trace_slow_ms: u64 = parse_num(get_or(flags, "trace-slow-ms", "100"), "trace-slow-ms")?;
     let trace_store: usize = parse_num(get_or(flags, "trace-store", "512"), "trace-store")?;
-    let snapshot_out = flags.get("snapshot-out").map(std::path::PathBuf::from);
     let snapshot_interval_ms: Option<u64> = match flags.get("snapshot-interval-ms") {
         None => None,
         Some(v) => Some(parse_num(v, "snapshot-interval-ms")?),
@@ -668,9 +695,104 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     if snapshot_interval_ms == Some(0) {
         return Err("snapshot-interval-ms must be positive".into());
     }
-    if snapshot_interval_ms.is_some() && snapshot_out.is_none() {
-        return Err("--snapshot-interval-ms needs --snapshot-out".into());
+    if snapshot_interval_ms.is_some() && !persists {
+        return Err(
+            "--snapshot-interval-ms needs a snapshot target (--snapshot-out, or a manifest with snapshot_dir)"
+                .into(),
+        );
     }
+    Ok(shahin_serve::ServeConfig {
+        addr: addr.to_string(),
+        queue_capacity,
+        max_batch,
+        max_delay: Duration::from_millis(max_delay_ms),
+        refresh_every,
+        write_timeout: Duration::from_millis(write_timeout_ms),
+        allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
+        watch_signals: true,
+        monitor_interval: Duration::from_millis(monitor_interval_ms),
+        windows,
+        slo_p99: Duration::from_millis(slo_p99_ms),
+        slo_error_rate,
+        trace_sample,
+        trace_slow: Duration::from_millis(trace_slow_ms),
+        trace_store,
+        // The monitor rewrites the file atomically every tick; the final
+        // post-drain write adds the folded provenance gauges.
+        metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
+        snapshot_out,
+        snapshot_interval: snapshot_interval_ms.map(Duration::from_millis),
+        ..Default::default()
+    })
+}
+
+/// Blocks until the server drains, then writes the requested post-drain
+/// outputs (metrics, provenance) and reports the served total — the
+/// tail both serve paths share.
+fn serve_tail<C: Classifier + 'static>(
+    flags: &HashMap<String, String>,
+    obs: &MetricsRegistry,
+    provenance_sink: &Option<std::sync::Arc<shahin::ProvenanceSink>>,
+    handle: shahin_serve::ServerHandle<C>,
+) -> Result<ExitCode, String> {
+    use shahin::fold_provenance;
+
+    let served = handle.wait();
+    if let Some(out_path) = flags.get("metrics-out") {
+        fold_provenance(obs);
+        // Atomic like the monitor's periodic rewrites: a reader tailing
+        // the file must never observe a torn document, including the
+        // final post-drain write.
+        shahin_serve::write_atomic(std::path::Path::new(out_path), &obs.snapshot().to_json())
+            .map_err(|e| format!("cannot write metrics to '{out_path}': {e}"))?;
+        println!("metrics written to {out_path}");
+    }
+    if flags.contains_key("metrics") {
+        fold_provenance(obs);
+        print!("{}", obs.snapshot().render_table());
+    }
+    if let (Some(sink), Some(out_path)) = (provenance_sink, flags.get("provenance-out")) {
+        write_output(out_path, &sink.to_jsonl(), "provenance")?;
+        println!(
+            "provenance written to {out_path} ({} records{})",
+            sink.len(),
+            match sink.dropped() {
+                0 => String::new(),
+                d => format!(", {d} dropped"),
+            }
+        );
+    }
+    println!("drained cleanly ({served} requests served)");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Starts the online explanation service over a warm repository primed
+/// from the CSV's test split, and blocks until a graceful drain. With
+/// `--manifest`, serves a whole tenant cluster instead.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    use shahin::{WarmEngine, WarmExplainer};
+    use shahin_serve::Server;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    if flags.contains_key("manifest") {
+        for conflict in ["csv", "label", "warm-from", "snapshot-out"] {
+            if flags.contains_key(conflict) {
+                return Err(format!(
+                    "--manifest declares tenants itself; drop --{conflict} \
+                     (per-tenant datasets and snapshots come from the manifest)"
+                ));
+            }
+        }
+        return cmd_serve_manifest(flags);
+    }
+
+    let path = get(flags, "csv")?;
+    let label = get(flags, "label")?;
+    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed")?;
+    let warm_rows: usize = parse_num(get_or(flags, "warm-rows", "200"), "warm-rows")?;
+    let snapshot_out = flags.get("snapshot-out").map(std::path::PathBuf::from);
+    let serve_config = build_serve_config(flags, snapshot_out.clone(), snapshot_out.is_some())?;
     // Fail fast on an unreadable --warm-from: a misconfigured path is an
     // operator error, caught before the expensive forest fit and before
     // the listener binds. (A *corrupt-but-readable* snapshot instead
@@ -797,64 +919,169 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         );
     }
 
-    let handle = Server::start(
-        engine,
-        ServeConfig {
-            addr: addr.to_string(),
-            queue_capacity,
-            max_batch,
-            max_delay: Duration::from_millis(max_delay_ms),
-            refresh_every,
-            write_timeout: Duration::from_millis(write_timeout_ms),
-            allow_remote_shutdown,
-            watch_signals: true,
-            monitor_interval: Duration::from_millis(monitor_interval_ms),
-            windows,
-            slo_p99: Duration::from_millis(slo_p99_ms),
-            slo_error_rate,
-            trace_sample,
-            trace_slow: Duration::from_millis(trace_slow_ms),
-            trace_store,
-            // The monitor rewrites the file atomically every tick; the
-            // final write below adds the folded provenance gauges.
-            metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
-            snapshot_out,
-            snapshot_interval: snapshot_interval_ms.map(Duration::from_millis),
-            ..Default::default()
-        },
-    )
-    .map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    let addr = serve_config.addr.clone();
+    let handle =
+        Server::start(engine, serve_config).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
     println!("listening on {}", handle.addr());
     if let Some(port_file) = flags.get("port-file") {
         write_output(port_file, &format!("{}\n", handle.addr().port()), "port")?;
     }
+    serve_tail(flags, &obs, &provenance_sink, handle)
+}
 
-    let served = handle.wait();
+/// Serves a whole tenant cluster from a JSON manifest: requests route by
+/// the protocol's `tenant` field, tenants materialize lazily on first
+/// request (hydrating classifier-free from `<snapshot_dir>/<name>.shws`
+/// when present), and idle / over-budget tenants are evicted LRU-first
+/// with an at-evict snapshot, so re-admission is classifier-free.
+/// Datasets, forests, and explain contexts are built eagerly so every
+/// misconfiguration fails before the listener binds; only the warm
+/// repositories are lazy.
+fn cmd_serve_manifest(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    use shahin::{WarmEngine, WarmExplainer};
+    use shahin_serve::Server;
+    use shahin_tenancy::{
+        EngineFactory, LifecyclePolicy, TenantConfig, TenantManifest, TenantRegistry,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
 
-    if let Some(out_path) = flags.get("metrics-out") {
-        fold_provenance(&obs);
-        // Atomic like the monitor's periodic rewrites: a reader tailing
-        // the file must never observe a torn document, including the
-        // final post-drain write.
-        shahin_serve::write_atomic(std::path::Path::new(out_path), &obs.snapshot().to_json())
-            .map_err(|e| format!("cannot write metrics to '{out_path}': {e}"))?;
-        println!("metrics written to {out_path}");
+    let manifest_path = get(flags, "manifest")?;
+    let manifest = TenantManifest::load(std::path::Path::new(manifest_path))?;
+
+    // One registry for the whole cluster: tenancy.* metrics aggregate
+    // across tenants, tenant.<name>.* gauges break them down.
+    let obs = MetricsRegistry::new();
+    let provenance_sink = flags
+        .contains_key("provenance-out")
+        .then(|| Arc::new(shahin::ProvenanceSink::new()));
+    if let Some(sink) = &provenance_sink {
+        obs.attach_provenance_sink(Arc::clone(sink));
     }
-    if flags.contains_key("metrics") {
-        fold_provenance(&obs);
-        print!("{}", obs.snapshot().render_table());
-    }
-    if let (Some(sink), Some(out_path)) = (&provenance_sink, flags.get("provenance-out")) {
-        write_output(out_path, &sink.to_jsonl(), "provenance")?;
+
+    let mut configs: Vec<TenantConfig<TracedClassifier<RandomForest>>> = Vec::new();
+    for spec in &manifest.tenants {
+        let snapshot_path = manifest.snapshot_path(&spec.name);
+        // Fail fast on unreadable snapshots, per tenant, before any
+        // forest fit and before the listener binds: an explicit
+        // warm_from must be readable, and a snapshot that *exists* at
+        // the tenant's layout path must be readable too. Absent is fine
+        // (the tenant cold-primes); corrupt-but-readable degrades to a
+        // cold start at materialization, counted under
+        // persist.load_rejected — the file's contents are data, the
+        // file's existence is configuration.
+        if let Some(p) = &spec.warm_from {
+            std::fs::read(p).map_err(|e| {
+                format!(
+                    "tenant \"{}\": cannot read warm_from snapshot '{p}': {e}",
+                    spec.name
+                )
+            })?;
+        }
+        if let Some(p) = &snapshot_path {
+            if p.exists() {
+                std::fs::read(p).map_err(|e| {
+                    format!(
+                        "tenant \"{}\": snapshot '{}' exists but is unreadable: {e}",
+                        spec.name,
+                        p.display()
+                    )
+                })?;
+            }
+        }
+
+        let file = File::open(&spec.csv).map_err(|e| {
+            format!(
+                "tenant \"{}\": cannot open csv '{}': {e}",
+                spec.name, spec.csv
+            )
+        })?;
+        let csv =
+            read_csv(file, Some(&spec.label)).map_err(|e| format!("tenant \"{}\": {e}", spec.name))?;
+        let labels = csv.labels.ok_or_else(|| {
+            format!(
+                "tenant \"{}\": label column '{}' produced no labels",
+                spec.name, spec.label
+            )
+        })?;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let split = train_test_split(&csv.data, &labels, 1.0 / 3.0, &mut rng);
+        let forest = RandomForest::fit(
+            &split.train,
+            &split.train_labels,
+            &ForestParams::default(),
+            &mut rng,
+        );
+        let ctx = ExplainContext::fit(&split.train, 1000, &mut rng);
+        let n = spec.warm_rows.min(split.test.n_rows());
+        let warm = split.test.select(&(0..n).collect::<Vec<_>>());
+        let explainer = match spec.explainer.as_str() {
+            "anchor" => WarmExplainer::Anchor(AnchorExplainer::default()),
+            "shap" => WarmExplainer::Shap(KernelShapExplainer::default()),
+            _ => WarmExplainer::Lime(LimeExplainer::default()),
+        };
+        let batch_config = BatchConfig {
+            n_threads: spec.threads,
+            ..Default::default()
+        };
         println!(
-            "provenance written to {out_path} ({} records{})",
-            sink.len(),
-            match sink.dropped() {
-                0 => String::new(),
-                d => format!(", {d} dropped"),
+            "tenant \"{}\": {}, {} warm rows{} — cold until first request",
+            spec.name,
+            spec.explainer,
+            n,
+            match spec.quota {
+                Some(q) => format!(", quota {q}"),
+                None => String::new(),
             }
         );
+        let seed = spec.seed;
+        let factory_obs = obs.clone();
+        // The factory re-materializes this tenant on every cold start
+        // (including re-admission after eviction): a fresh counting
+        // wrapper each time, so an engine's invocation count is its own.
+        let factory: EngineFactory<TracedClassifier<RandomForest>> = Box::new(move |bytes| {
+            WarmEngine::prime_warm_or_cold(
+                batch_config.clone(),
+                explainer.clone(),
+                ctx.clone(),
+                CountingClassifier::new(TracedClassifier::new(forest.clone(), &factory_obs)),
+                warm.clone(),
+                seed,
+                &factory_obs,
+                bytes,
+            )
+        });
+        configs.push(TenantConfig {
+            name: spec.name.clone(),
+            n_rows: n,
+            quota: spec.quota,
+            snapshot_path,
+            warm_from: spec.warm_from.as_ref().map(std::path::PathBuf::from),
+            factory,
+        });
     }
-    println!("drained cleanly ({served} requests served)");
-    Ok(ExitCode::SUCCESS)
+
+    if let Some(dir) = &manifest.snapshot_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create snapshot_dir '{}': {e}", dir.display()))?;
+    }
+    let policy = LifecyclePolicy {
+        memory_budget_bytes: manifest.memory_budget_bytes,
+        idle_evict: manifest.idle_evict_ms.map(Duration::from_millis),
+    };
+    let config = build_serve_config(flags, None, manifest.snapshot_dir.is_some())?;
+    let cluster = Arc::new(TenantRegistry::new(configs, manifest.default, policy, &obs));
+    let addr = config.addr.clone();
+    let handle =
+        Server::start_cluster(cluster, config).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    println!(
+        "listening on {} ({} tenants, default \"{}\")",
+        handle.addr(),
+        manifest.tenants.len(),
+        manifest.tenants[manifest.default].name
+    );
+    if let Some(port_file) = flags.get("port-file") {
+        write_output(port_file, &format!("{}\n", handle.addr().port()), "port")?;
+    }
+    serve_tail(flags, &obs, &provenance_sink, handle)
 }
